@@ -1,0 +1,564 @@
+package pathprof
+
+// The benchmark harness: one benchmark per paper table (regenerating its
+// rows at test scale), per-workload simulation and instrumentation
+// benchmarks, micro-benchmarks for the core data structures, and ablation
+// benchmarks for the design choices called out in DESIGN.md. Simulated
+// quantities (cycles of overhead, bytes of CCT) are reported as custom
+// benchmark metrics so `go test -bench` output doubles as an experiment
+// log.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cache"
+	"pathprof/internal/cct"
+	"pathprof/internal/experiments"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+// --- Tables 1-5 ---
+
+func BenchmarkTable1Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(workload.Test)
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderTable1(rows, io.Discard)
+			var fhw, chw, cfl float64
+			for _, r := range rows {
+				f, c, cf := r.Overheads()
+				fhw += f
+				chw += c
+				cfl += cf
+			}
+			n := float64(len(rows))
+			b.ReportMetric(fhw/n, "flowhw-x")
+			b.ReportMetric(chw/n, "ctxhw-x")
+			b.ReportMetric(cfl/n, "ctxflow-x")
+		}
+	}
+}
+
+func BenchmarkTable2Perturbation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(workload.Test)
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderTable2(rows, io.Discard)
+			var f, c float64
+			for _, r := range rows {
+				f += r.F[0] // cycles ratio
+				c += r.C[0]
+			}
+			b.ReportMetric(f/float64(len(rows)), "cyclesF-ratio")
+			b.ReportMetric(c/float64(len(rows)), "cyclesC-ratio")
+		}
+	}
+}
+
+func BenchmarkTable3CCTStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(workload.Test)
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderTable3(rows, io.Discard)
+			var nodes, bytes float64
+			for _, r := range rows {
+				nodes += float64(r.Stats.Nodes)
+				bytes += float64(r.Stats.SizeBytes)
+			}
+			b.ReportMetric(nodes, "cct-nodes-total")
+			b.ReportMetric(bytes, "cct-bytes-total")
+		}
+	}
+}
+
+func BenchmarkTable4HotPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(workload.Test)
+		rows, err := s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderTable4(rows, io.Discard)
+			var hot, cover float64
+			for _, r := range rows {
+				hot += float64(r.Std.Hot.Num)
+				cover += r.Std.Hot.MissFrac(r.Std.TotalMisses)
+			}
+			b.ReportMetric(hot/float64(len(rows)), "hot-paths-avg")
+			b.ReportMetric(100*cover/float64(len(rows)), "hot-miss-%-avg")
+		}
+	}
+}
+
+func BenchmarkTable5HotProcs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(workload.Test)
+		rows, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderTable5(rows, io.Discard)
+			var hotPaths, coldPaths float64
+			n := 0
+			for _, r := range rows {
+				if r.Hot.Num > 0 && r.Cold.Num > 0 {
+					hotPaths += r.Hot.PathsPerProc
+					coldPaths += r.Cold.PathsPerProc
+					n++
+				}
+			}
+			if n > 0 && coldPaths > 0 {
+				b.ReportMetric(hotPaths/coldPaths, "hot/cold-paths-per-proc")
+			}
+		}
+	}
+}
+
+// --- simulation throughput per workload ---
+
+func BenchmarkSimulate(b *testing.B) {
+	for _, w := range workload.Suite() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			prog := w.Build(workload.Test)
+			b.ResetTimer()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				m := sim.New(prog, sim.DefaultConfig())
+				res, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs = res.Instrs
+			}
+			b.ReportMetric(float64(instrs), "sim-instrs")
+		})
+	}
+}
+
+// BenchmarkInstrument measures the static rewriting cost per mode on the
+// largest workload.
+func BenchmarkInstrument(b *testing.B) {
+	modes := map[string]instrument.Mode{
+		"edge":    instrument.ModeEdgeCount,
+		"path":    instrument.ModePathFreq,
+		"pathhw":  instrument.ModePathHW,
+		"ctxhw":   instrument.ModeContextHW,
+		"ctxflow": instrument.ModeContextFlow,
+	}
+	prog, _ := workload.ByName("compiler")
+	p := prog.Build(workload.Test)
+	for name, mode := range modes {
+		mode := mode
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := instrument.Instrument(p, instrument.DefaultOptions(mode)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- core data structure micro-benchmarks ---
+
+func BenchmarkPathNumbering(b *testing.B) {
+	w, _ := workload.ByName("compiler")
+	plan, err := instrument.Instrument(w.Build(workload.Test), instrument.DefaultOptions(instrument.ModePathFreq))
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := plan.Prog.Procs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := procs[i%len(procs)]
+		if _, err := bl.New(p); err != nil {
+			// Entry-split procs only; instrumented CFGs qualify.
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathRegeneration(b *testing.B) {
+	w, _ := workload.ByName("searcher")
+	plan, err := instrument.Instrument(w.Build(workload.Test), instrument.DefaultOptions(instrument.ModePathFreq))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nm *bl.Numbering
+	for _, pp := range plan.Procs {
+		if pp.Numbering != nil && (nm == nil || pp.Numbering.NumPaths > nm.NumPaths) {
+			nm = pp.Numbering
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nm.Regenerate(int64(i) % nm.NumPaths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCTEnterExit(b *testing.B) {
+	procs := make([]cct.ProcInfo, 8)
+	for i := range procs {
+		procs[i] = cct.ProcInfo{Name: "p", NumSites: 4, NumPaths: 8}
+	}
+	tree := cct.New(procs, cct.Options{DistinguishCallSites: true, NumMetrics: 3}, 0)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.AtCall(rng.Intn(4), cct.NoPrefix, nil)
+		tree.Enter(rng.Intn(8), nil)
+		if tree.Depth() > 6 || rng.Intn(3) == 0 {
+			tree.Exit(nil)
+		}
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.DefaultL1D)
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1<<18)) &^ 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)], i%4 == 0)
+	}
+}
+
+// --- ablations (design choices from DESIGN.md) ---
+
+// BenchmarkAblationIncrementPlacement compares the dynamic instrumentation
+// cost of the basic edge-value placement against the spanning-tree chord
+// optimization, in added simulated instructions.
+func BenchmarkAblationIncrementPlacement(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	prog := w.Build(workload.Test)
+	m0 := sim.New(prog, sim.DefaultConfig())
+	base, err := m0.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(optimize bool) uint64 {
+		opts := instrument.DefaultOptions(instrument.ModePathFreq)
+		opts.OptimizeIncrements = optimize
+		plan, err := instrument.Instrument(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Instrs - base.Instrs
+	}
+	for i := 0; i < b.N; i++ {
+		basic := run(false)
+		opt := run(true)
+		if i == 0 {
+			b.ReportMetric(float64(basic), "basic-extra-instrs")
+			b.ReportMetric(float64(opt), "chord-extra-instrs")
+		}
+	}
+}
+
+// BenchmarkAblationCallSites compares CCT size with and without call-site
+// distinction (the paper reports a 2-3x size factor) on a program where
+// every level calls the next from several sites, so distinguishing sites
+// multiplies the contexts.
+func BenchmarkAblationCallSites(b *testing.B) {
+	prog := buildSiteFan()
+	run := func(distinguish bool) (uint64, int) {
+		opts := instrument.DefaultOptions(instrument.ModeContextHW)
+		opts.DistinguishCallSites = distinguish
+		plan, err := instrument.Instrument(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+		rt := plan.Wire(m)
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		st := rt.Tree.ComputeStats()
+		return st.SizeBytes, st.Nodes
+	}
+	for i := 0; i < b.N; i++ {
+		withBytes, withNodes := run(true)
+		withoutBytes, withoutNodes := run(false)
+		if i == 0 {
+			b.ReportMetric(float64(withBytes), "sites-bytes")
+			b.ReportMetric(float64(withoutBytes), "combined-bytes")
+			b.ReportMetric(float64(withNodes), "sites-nodes")
+			b.ReportMetric(float64(withoutNodes), "combined-nodes")
+			if withNodes <= withoutNodes {
+				b.Fatalf("site distinction did not grow the tree: %d vs %d nodes", withNodes, withoutNodes)
+			}
+		}
+	}
+}
+
+// buildSiteFan constructs main →(3 sites) mid →(3 sites) leaf: 3 mid
+// contexts and 9 leaf contexts when sites are distinguished, versus 1 and 1
+// when combined.
+func buildSiteFan() *ir.Program {
+	bld := ir.NewBuilder("sitefan")
+
+	leaf := bld.NewProc("leaf", 1)
+	le := leaf.NewBlock()
+	le.AddI(1, 1, 1)
+	le.Ret()
+
+	mid := bld.NewProc("mid", 1)
+	me := mid.NewBlock()
+	me.Call(leaf)
+	me.AddI(1, 1, 2)
+	me.Call(leaf)
+	me.MulI(1, 1, 3)
+	me.Call(leaf)
+	me.Ret()
+
+	main := bld.NewProc("main", 0)
+	e := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	x := main.NewBlock()
+	e.MovI(2, 0)
+	e.Jmp(h)
+	h.CmpLTI(3, 2, 50)
+	h.Br(3, body, x)
+	body.Mov(1, 2)
+	body.Call(mid)
+	body.AddI(1, 1, 7)
+	body.Call(mid)
+	body.XorI(1, 1, 5)
+	body.Call(mid)
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	x.Halt()
+	bld.SetMain(main)
+	return bld.MustFinish()
+}
+
+// BenchmarkAblationHashThreshold compares dense-array and hash-table path
+// counters on the same program (simulated cycles).
+func BenchmarkAblationHashThreshold(b *testing.B) {
+	w, _ := workload.ByName("searcher")
+	prog := w.Build(workload.Test)
+	run := func(threshold int64) uint64 {
+		opts := instrument.DefaultOptions(instrument.ModePathFreq)
+		opts.HashPathThreshold = threshold
+		plan, err := instrument.Instrument(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	for i := 0; i < b.N; i++ {
+		arr := run(instrument.DefaultHashPathThreshold)
+		hash := run(1) // force every procedure onto hash tables
+		if i == 0 {
+			b.ReportMetric(float64(arr), "array-cycles")
+			b.ReportMetric(float64(hash), "hash-cycles")
+		}
+	}
+}
+
+// BenchmarkAblationBackedgeReads measures the cost of the Section 4.3
+// backedge counter reads in context+HW mode.
+func BenchmarkAblationBackedgeReads(b *testing.B) {
+	w, _ := workload.ByName("grid")
+	prog := w.Build(workload.Test)
+	run := func(reads bool) uint64 {
+		opts := instrument.DefaultOptions(instrument.ModeContextHW)
+		opts.BackedgeCounterReads = reads
+		plan, err := instrument.Instrument(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+		plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(true)
+		without := run(false)
+		if i == 0 {
+			b.ReportMetric(float64(with), "ticks-cycles")
+			b.ReportMetric(float64(without), "no-ticks-cycles")
+		}
+	}
+}
+
+// BenchmarkEdgeVsPathProfiling reproduces the paper's comparison point that
+// path profiling costs roughly twice as much as edge profiling.
+func BenchmarkEdgeVsPathProfiling(b *testing.B) {
+	w, _ := workload.ByName("imagepack")
+	prog := w.Build(workload.Test)
+	m0 := sim.New(prog, sim.DefaultConfig())
+	base, err := m0.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(mode instrument.Mode) uint64 {
+		plan, err := instrument.Instrument(prog, instrument.DefaultOptions(mode))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	for i := 0; i < b.N; i++ {
+		edge := run(instrument.ModeEdgeCount)
+		path := run(instrument.ModePathFreq)
+		if i == 0 {
+			b.ReportMetric(float64(edge)/float64(base.Cycles), "edge-x")
+			b.ReportMetric(float64(path)/float64(base.Cycles), "path-x")
+		}
+	}
+}
+
+// BenchmarkTable6Spectrum regenerates the representation-spectrum extension
+// table and reports the CCT-vs-DCT compression on the call-heavy workload.
+func BenchmarkTable6Spectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(workload.Test)
+		rows, err := s.Spectrum(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderSpectrum(rows, io.Discard)
+			var best float64
+			for _, r := range rows {
+				if r.CCTNodes > 0 {
+					if ratio := float64(r.DCTNodes) / float64(r.CCTNodes); ratio > best {
+						best = ratio
+					}
+				}
+			}
+			b.ReportMetric(best, "max-dct/cct-nodes")
+		}
+	}
+}
+
+// BenchmarkAblationIssueWidth measures profiling overhead on a scalar
+// versus a 4-wide machine — the paper's closing observation that added
+// instructions hurt more on high-issue-rate processors.
+func BenchmarkAblationIssueWidth(b *testing.B) {
+	w, _ := workload.ByName("strhash")
+	prog := w.Build(workload.Test)
+	plan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModePathHW))
+	if err != nil {
+		b.Fatal(err)
+	}
+	overhead := func(width int) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.IssueWidth = width
+		m0 := sim.New(prog, cfg)
+		base, err := m0.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sim.New(plan.Prog, cfg)
+		m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+		plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(res.Cycles) / float64(base.Cycles)
+	}
+	for i := 0; i < b.N; i++ {
+		scalar := overhead(1)
+		wide := overhead(4)
+		if i == 0 {
+			b.ReportMetric(scalar, "scalar-overhead-x")
+			b.ReportMetric(wide, "4wide-overhead-x")
+			if wide <= scalar {
+				b.Logf("note: 4-wide overhead %.2f did not exceed scalar %.2f on this workload", wide, scalar)
+			}
+		}
+	}
+}
+
+// BenchmarkBlockVsPathProfiling measures Section 6.4.3's "far more
+// expensive": statement-level (per-block) hardware metric attribution
+// versus path-level on the same workload.
+func BenchmarkBlockVsPathProfiling(b *testing.B) {
+	w, _ := workload.ByName("compiler")
+	prog := w.Build(workload.Test)
+	m0 := sim.New(prog, sim.DefaultConfig())
+	base, err := m0.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(mode instrument.Mode) uint64 {
+		plan, err := instrument.Instrument(prog, instrument.DefaultOptions(mode))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+		plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	for i := 0; i < b.N; i++ {
+		blockCycles := run(instrument.ModeBlockHW)
+		pathCycles := run(instrument.ModePathHW)
+		if i == 0 {
+			b.ReportMetric(float64(blockCycles)/float64(base.Cycles), "block-x")
+			b.ReportMetric(float64(pathCycles)/float64(base.Cycles), "path-x")
+			if blockCycles <= pathCycles {
+				b.Fatalf("block-level (%d) not more expensive than path-level (%d)", blockCycles, pathCycles)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's evaluation tables (1-5) on
+// the synthetic SPEC95-like suite.
+//
+// Usage:
+//
+//	experiments [-table N | -all] [-scale ref|test] [-workloads a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pathprof/internal/experiments"
+	"pathprof/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	table := flag.Int("table", 0, "table to regenerate (1-6; 6 is the representation-spectrum extension); 0 with -all for everything")
+	all := flag.Bool("all", false, "regenerate all tables")
+	scale := flag.String("scale", "ref", "workload scale: ref or test")
+	only := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+	flag.Parse()
+
+	sc := workload.Ref
+	switch *scale {
+	case "ref":
+	case "test":
+		sc = workload.Test
+	default:
+		log.Fatalf("unknown scale %q (want ref or test)", *scale)
+	}
+
+	s := experiments.NewSession(sc)
+	if *only != "" {
+		var subset []workload.Workload
+		for _, name := range strings.Split(*only, ",") {
+			w, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown workload %q", name)
+			}
+			subset = append(subset, w)
+		}
+		s.Workloads = subset
+	}
+
+	tables := []int{}
+	if *all || *table == 0 {
+		tables = []int{1, 2, 3, 4, 5, 6}
+	} else {
+		tables = []int{*table}
+	}
+
+	for _, n := range tables {
+		start := time.Now()
+		switch n {
+		case 1:
+			rows, err := s.Table1()
+			exitOn(err)
+			experiments.RenderTable1(rows, os.Stdout)
+			ext, err := s.Table1Ext()
+			exitOn(err)
+			experiments.RenderTable1Ext(ext, os.Stdout)
+		case 2:
+			rows, err := s.Table2()
+			exitOn(err)
+			experiments.RenderTable2(rows, os.Stdout)
+		case 3:
+			rows, err := s.Table3()
+			exitOn(err)
+			experiments.RenderTable3(rows, os.Stdout)
+		case 4:
+			rows, err := s.Table4()
+			exitOn(err)
+			experiments.RenderTable4(rows, os.Stdout)
+			mult, err := s.Multiplicity()
+			exitOn(err)
+			experiments.RenderMultiplicity(mult, os.Stdout)
+		case 5:
+			rows, err := s.Table5()
+			exitOn(err)
+			experiments.RenderTable5(rows, os.Stdout)
+		case 6:
+			rows, err := s.Spectrum(2000)
+			exitOn(err)
+			experiments.RenderSpectrum(rows, os.Stdout)
+		default:
+			log.Fatalf("no such table %d (want 1-6)", n)
+		}
+		fmt.Fprintf(os.Stderr, "[table %d: %.1fs]\n", n, time.Since(start).Seconds())
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Command pp is the path profiler tool (the repository's analogue of the
+// paper's PP): it instruments a workload, runs it on the simulated machine,
+// and reports flow sensitive and/or context sensitive profiles, including
+// regenerated hot-path block sequences.
+//
+// Usage:
+//
+//	pp -workload compress [-mode flow|flowhw|context|combined|edge]
+//	   [-scale ref|test] [-events dcache-miss,insts] [-top 10]
+//	   [-profile out.prof] [-cct]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/bl"
+	"pathprof/internal/cct"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/report"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pp: ")
+
+	name := flag.String("workload", "", "workload to profile (see cmd/specgen -list)")
+	modeStr := flag.String("mode", "flowhw", "flow | flowhw | context | combined | edge | block")
+	scaleStr := flag.String("scale", "test", "workload scale: ref or test")
+	events := flag.String("events", "dcache-miss,insts", "PIC0,PIC1 event selection")
+	top := flag.Int("top", 10, "hot paths to list")
+	profileOut := flag.String("profile", "", "write the raw profile to this file")
+	showCCT := flag.Bool("cct", false, "print calling context tree statistics")
+	cctOut := flag.String("cctout", "", "write the calling context tree to this file (context modes)")
+	cctDump := flag.Bool("cctdump", false, "print the calling context tree as an indented listing")
+	flag.Parse()
+
+	w, ok := workload.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q (try cmd/specgen -list)", *name)
+	}
+	scale := workload.Test
+	if *scaleStr == "ref" {
+		scale = workload.Ref
+	}
+	var mode instrument.Mode
+	switch *modeStr {
+	case "flow":
+		mode = instrument.ModePathFreq
+	case "flowhw":
+		mode = instrument.ModePathHW
+	case "context":
+		mode = instrument.ModeContextHW
+	case "combined":
+		mode = instrument.ModeContextFlow
+	case "edge":
+		mode = instrument.ModeEdgeCount
+	case "block":
+		mode = instrument.ModeBlockHW
+	default:
+		log.Fatalf("unknown mode %q", *modeStr)
+	}
+
+	ev0, ev1, err := parseEvents(*events)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog := w.Build(scale)
+	plan, err := instrument.Instrument(prog, instrument.DefaultOptions(mode))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(ev0, ev1)
+	rt := plan.Wire(m)
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s (%s analogue), mode %v, events %v/%v\n",
+		w.Name, w.Analogue, mode, ev0, ev1)
+	fmt.Printf("run: %d instructions, %d cycles, %d L1D misses, %d I-misses\n\n",
+		res.Instrs, res.Cycles, res.Totals[hpm.EvDCacheMiss], res.Totals[hpm.EvICacheMiss])
+
+	if mode.UsesPaths() || mode == instrument.ModePathHW || mode == instrument.ModeBlockHW {
+		prof := rt.ExtractProfile()
+		if *profileOut != "" {
+			f, err := os.Create(*profileOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := prof.Write(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("profile written to %s\n\n", *profileOut)
+		}
+		numberings := map[int]*bl.Numbering{}
+		for _, pp := range plan.Procs {
+			if pp.Numbering != nil {
+				numberings[pp.ProcID] = pp.Numbering
+			}
+		}
+		rep := analysis.ClassifyPaths(prof, analysis.DefaultHotThreshold)
+		if rep.TotalMisses > 0 {
+			fmt.Printf("executed paths: %d; hot paths (>=1%% of misses): %d covering %s of misses\n\n",
+				rep.NumPaths, rep.Hot.Num, report.Pct(rep.Hot.MissFrac(rep.TotalMisses)))
+			listings := analysis.ResolveHotPaths(rep, numberings, *top)
+			t := &report.Table{
+				Title: fmt.Sprintf("Top %d hot paths", len(listings)),
+				Cols:  []string{"Proc", "PathID", "Freq", ev0.String(), ev1.String(), "Ratio", "Blocks"},
+			}
+			for _, l := range listings {
+				t.AddRow(l.Stat.Proc, l.Stat.Sum, l.Stat.Freq, l.Stat.Misses, l.Stat.Insts,
+					fmt.Sprintf("%.4f", l.Stat.MissRatio()), l.Path.String())
+			}
+			t.Render(os.Stdout)
+		} else {
+			// Frequency-only profile (e.g. combined mode): list by count.
+			fmt.Printf("executed paths: %d (frequency-only profile)\n\n", rep.NumPaths)
+			type row struct {
+				proc string
+				sum  int64
+				freq uint64
+			}
+			var rows []row
+			for _, pp := range prof.Procs {
+				for _, e := range pp.Entries {
+					rows = append(rows, row{pp.Name, e.Sum, e.Freq})
+				}
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].freq > rows[j].freq })
+			if len(rows) > *top {
+				rows = rows[:*top]
+			}
+			t := &report.Table{
+				Title: fmt.Sprintf("Top %d paths by frequency", len(rows)),
+				Cols:  []string{"Proc", "PathID", "Freq", "Blocks"},
+			}
+			for _, r := range rows {
+				blocks := ""
+				for _, pp := range plan.Procs {
+					if pp.Name == r.proc && pp.Numbering != nil {
+						if p, err := pp.Numbering.Regenerate(r.sum); err == nil {
+							blocks = p.String()
+						}
+					}
+				}
+				t.AddRow(r.proc, r.sum, r.freq, blocks)
+			}
+			t.Render(os.Stdout)
+		}
+	}
+
+	if rt.Tree != nil && (*showCCT || mode == instrument.ModeContextHW) {
+		st := rt.Tree.ComputeStats()
+		fmt.Printf("CCT: %d records, %d bytes, height max %d, max replication %d\n",
+			st.Nodes, st.SizeBytes, st.MaxHeight, st.MaxReplication)
+		if mode == instrument.ModeContextHW {
+			printTopContexts(rt.Tree, plan, *top)
+		}
+	}
+	if rt.Tree != nil && *cctDump {
+		rt.Tree.Dump(os.Stdout, func(id int) string {
+			if id < 0 || id >= len(plan.Prog.Procs) {
+				return "T"
+			}
+			return plan.Prog.Procs[id].Name
+		})
+	}
+	if rt.Tree != nil && *cctOut != "" {
+		// The paper's program-exit instrumentation writes the CCT heap to a
+		// file from which the tree can be reconstructed.
+		f, err := os.Create(*cctOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.Tree.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("calling context tree written to %s\n", *cctOut)
+	}
+}
+
+func parseEvents(s string) (hpm.Event, hpm.Event, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("pp: -events wants two comma-separated names")
+	}
+	find := func(name string) (hpm.Event, error) {
+		for e := hpm.Event(0); e < hpm.NumEvents; e++ {
+			if e.String() == strings.TrimSpace(name) {
+				return e, nil
+			}
+		}
+		return 0, fmt.Errorf("pp: unknown event %q", name)
+	}
+	ev0, err := find(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	ev1, err := find(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return ev0, ev1, nil
+}
+
+// printTopContexts lists the calling contexts with the highest recorded
+// PIC0 metric.
+func printTopContexts(tree *cct.Tree, plan *instrument.Plan, top int) {
+	type ctxRow struct {
+		path   string
+		m0, m1 int64
+		calls  int64
+	}
+	var rows []ctxRow
+	tree.Walk(func(n *cct.Node) {
+		if len(n.Metrics) < 3 {
+			return
+		}
+		var parts []string
+		for a := n; a != nil && a.Proc >= 0; a = a.Parent {
+			parts = append([]string{plan.Prog.Procs[a.Proc].Name}, parts...)
+		}
+		rows = append(rows, ctxRow{
+			path:  strings.Join(parts, "→"),
+			calls: n.Metrics[0], m0: n.Metrics[1], m1: n.Metrics[2],
+		})
+	})
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].m0 > rows[i].m0 {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	t := &report.Table{
+		Title: "Hottest calling contexts (by PIC0 metric, inclusive)",
+		Cols:  []string{"Calls", "PIC0", "PIC1", "Context"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.calls, r.m0, r.m1, r.path)
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,114 @@
+// Command specgen inspects the synthetic benchmark suite: lists the
+// workloads, prints static statistics, or dumps a workload's IR.
+//
+// Usage:
+//
+//	specgen -list
+//	specgen -stats [-scale ref|test]
+//	specgen -dump compress [-scale ref|test]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/report"
+	"pathprof/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specgen: ")
+
+	list := flag.Bool("list", false, "list workloads")
+	stats := flag.Bool("stats", false, "print static statistics for every workload")
+	dump := flag.String("dump", "", "dump one workload's IR")
+	dot := flag.String("dot", "", "emit one workload's CFGs in Graphviz DOT form (workload or workload/proc)")
+	scaleStr := flag.String("scale", "test", "workload scale: ref or test")
+	flag.Parse()
+
+	scale := workload.Test
+	if *scaleStr == "ref" {
+		scale = workload.Ref
+	}
+
+	switch {
+	case *list:
+		t := &report.Table{
+			Title: "Synthetic SPEC95-like benchmark suite",
+			Cols:  []string{"Name", "Class", "SPEC95 analogue"},
+		}
+		for _, w := range workload.Suite() {
+			t.AddRow(w.Name, w.Class.String(), w.Analogue)
+		}
+		t.Render(os.Stdout)
+
+	case *stats:
+		t := &report.Table{
+			Title: fmt.Sprintf("Static statistics (%s scale)", *scaleStr),
+			Cols: []string{"Name", "Procs", "Blocks", "Instrs", "Branches",
+				"Calls", "IndCalls", "Loads", "Stores", "FPOps", "PotentialPaths"},
+		}
+		for _, w := range workload.Suite() {
+			prog := w.Build(scale)
+			st := ir.CollectStats(prog)
+			paths := potentialPaths(prog)
+			t.AddRow(w.Name, st.Procs, st.Blocks, st.Instrs, st.Branches,
+				st.Calls, st.IndCalls, st.Loads, st.Stores, st.FPOps, paths)
+		}
+		t.Render(os.Stdout)
+
+	case *dump != "":
+		w, ok := workload.ByName(*dump)
+		if !ok {
+			log.Fatalf("unknown workload %q", *dump)
+		}
+		fmt.Print(w.Build(scale).String())
+
+	case *dot != "":
+		name, procName := *dot, ""
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name, procName = name[:i], name[i+1:]
+		}
+		w, ok := workload.ByName(name)
+		if !ok {
+			log.Fatalf("unknown workload %q", name)
+		}
+		prog := w.Build(scale)
+		for _, p := range prog.Procs {
+			if procName != "" && p.Name != procName {
+				continue
+			}
+			ir.FprintDot(os.Stdout, p)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// potentialPaths sums Ball-Larus potential path counts over the program
+// (computed on the entry-split CFGs, as the instrumenter would see them).
+func potentialPaths(prog *ir.Program) int64 {
+	plan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModePathFreq))
+	if err != nil {
+		return -1
+	}
+	var total int64
+	for _, pp := range plan.Procs {
+		if pp.Numbering != nil {
+			if pp.Numbering.NumPaths > bl.MaxPaths/2 {
+				return -1
+			}
+			total += pp.Numbering.NumPaths
+		}
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package pathprof is a reproduction of "Exploiting Hardware Performance
+// Counters with Flow and Context Sensitive Profiling" (Ammons, Ball, Larus;
+// PLDI 1997): Ball-Larus path profiling extended with hardware performance
+// metrics, and the Calling Context Tree, built on a simulated
+// UltraSPARC-like machine with a synthetic SPEC95-like workload suite.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced tables. The root package exists to host
+// the repository-wide benchmark harness (bench_test.go); the implementation
+// lives under internal/.
+package pathprof

@@ -1,0 +1,125 @@
+// gprofproblem demonstrates the paper's motivating "gprof problem"
+// (Section 4.1, citing Ponder & Fateman): two procedures call the same
+// worker equally often, but one's calls are vastly more expensive. A
+// gprof-style profiler attributes the worker's time to callers in
+// proportion to call counts — a 50/50 split — while the calling context
+// tree records the truth exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathprof/internal/baseline"
+	"pathprof/internal/cct"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+func buildProgram() (*ir.Program, map[string]int) {
+	b := ir.NewBuilder("gprofproblem")
+
+	// work(r1 = iterations): a plain counted loop.
+	work := b.NewProc("work", 1)
+	we := work.NewBlock()
+	wh := work.NewBlock()
+	wb := work.NewBlock()
+	wx := work.NewBlock()
+	we.MovI(2, 0)
+	we.Jmp(wh)
+	wh.CmpLT(3, 2, 1)
+	wh.Br(3, wb, wx)
+	wb.AddI(2, 2, 1)
+	wb.Jmp(wh)
+	wx.Ret()
+
+	// cheap calls work with a tiny bound; pricey with a huge one.
+	mk := func(name string, bound int64) *ir.ProcBuilder {
+		p := b.NewProc(name, 0)
+		e := p.NewBlock()
+		e.MovI(1, bound)
+		e.Call(work)
+		e.Ret()
+		return p
+	}
+	cheap := mk("cheap", 10)
+	pricey := mk("pricey", 10_000)
+
+	main := b.NewProc("main", 0)
+	e := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	x := main.NewBlock()
+	e.MovI(2, 0)
+	e.Jmp(h)
+	h.CmpLTI(3, 2, 25)
+	h.Br(3, body, x)
+	body.Call(cheap)
+	body.Call(pricey)
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	x.Halt()
+	b.SetMain(main)
+
+	ids := map[string]int{
+		"work": work.ID(), "cheap": cheap.ID(), "pricey": pricey.ID(), "main": main.ID(),
+	}
+	return b.MustFinish(), ids
+}
+
+func main() {
+	log.SetFlags(0)
+	prog, ids := buildProgram()
+
+	// 1. The gprof view: arc counts + proportional attribution.
+	m1 := sim.New(prog, sim.DefaultConfig())
+	g := baseline.NewGprof(m1.Cycles)
+	m1.SetTracer(g)
+	m1.OnUnwind(g.UnwindTo)
+	if _, err := m1.Run(); err != nil {
+		log.Fatal(err)
+	}
+	g.Flush()
+	attr := g.Attribute()
+	fromCheap := attr[baseline.Arc{Caller: ids["cheap"], Callee: ids["work"]}]
+	fromPricey := attr[baseline.Arc{Caller: ids["pricey"], Callee: ids["work"]}]
+
+	fmt.Println("gprof-style attribution of work's inclusive cycles to its callers")
+	fmt.Printf("  via cheap : %12.0f cycles\n", fromCheap)
+	fmt.Printf("  via pricey: %12.0f cycles\n", fromPricey)
+	fmt.Printf("  ratio     : %.2f  <- the gprof problem: equal call counts force a ~50/50 split\n\n",
+		fromPricey/fromCheap)
+
+	// 2. The CCT view: context+HW instrumentation records per-context
+	// cycle deltas exactly.
+	plan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModeContextHW))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := sim.New(plan.Prog, sim.DefaultConfig())
+	m2.PMU().Select(hpm.EvCycles, hpm.EvInsts)
+	rt := plan.Wire(m2)
+	if _, err := m2.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("calling context tree: work's recorded cycles, per context")
+	var viaCheap, viaPricey int64
+	rt.Tree.Walk(func(n *cct.Node) {
+		if n.Proc != ids["work"] || n.Parent == nil {
+			return
+		}
+		switch n.Parent.Proc {
+		case ids["cheap"]:
+			viaCheap = n.Metrics[1]
+		case ids["pricey"]:
+			viaPricey = n.Metrics[1]
+		}
+	})
+	fmt.Printf("  main→cheap→work : %12d cycles\n", viaCheap)
+	fmt.Printf("  main→pricey→work: %12d cycles\n", viaPricey)
+	fmt.Printf("  ratio           : %.0f  <- the truth: pricey's calls dominate\n",
+		float64(viaPricey)/float64(viaCheap))
+}

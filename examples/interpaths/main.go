@@ -1,0 +1,80 @@
+// interpaths demonstrates the paper's Section 6.3 observation: at call
+// sites reached by exactly one intraprocedural path, the combined flow and
+// context sensitive profile is as precise as complete interprocedural path
+// profiling. It runs the object-database workload in the combined mode with
+// canonical increments, finds the one-path sites in the CCT, and stitches
+// caller path prefixes to callee paths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/bl"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/report"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	w, _ := workload.ByName("objdb")
+	prog := w.Build(workload.Test)
+
+	opts := instrument.DefaultOptions(instrument.ModeContextFlow)
+	// Canonical increments keep the recorded path prefixes directly
+	// decodable (see analysis.StitchOnePathSites).
+	opts.OptimizeIncrements = false
+	plan, err := instrument.Instrument(prog, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := analysis.StitchConfig{
+		Numberings: map[int]*bl.Numbering{},
+		SiteBlocks: map[int][]ir.BlockID{},
+		Limit:      14,
+	}
+	for _, pp := range plan.Procs {
+		if pp.Numbering != nil {
+			cfg.Numberings[pp.ProcID] = pp.Numbering
+		}
+		if pp.SiteBlocks != nil {
+			cfg.SiteBlocks[pp.ProcID] = pp.SiteBlocks
+		}
+	}
+
+	st := rt.Tree.ComputeStats()
+	fmt.Printf("objdb (%s analogue): CCT has %d records; %d of %d used call sites\n",
+		w.Analogue, st.Nodes, st.OnePathSites, st.CallSitesUsed)
+	fmt.Printf("were reached by exactly ONE intraprocedural path — at those sites the\n")
+	fmt.Printf("combined profile equals full interprocedural path profiling.\n\n")
+
+	stitched := analysis.StitchOnePathSites(rt.Tree, cfg)
+	name := func(id int) string { return plan.Prog.Procs[id].Name }
+	t := &report.Table{
+		Title: "Stitched interprocedural paths (caller prefix ++ callee path)",
+		Cols:  []string{"Depth", "Caller", "Prefix blocks", "Callee", "Callee path", "Freq"},
+	}
+	for _, s := range stitched {
+		t.AddRow(s.Depth, name(s.CallerProc), s.CallerPrefix.String(),
+			name(s.CalleeProc), s.CalleePath.String(), s.Freq)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("Each row is an exact interprocedural path: the caller executed exactly")
+	fmt.Println("the prefix shown whenever it reached this call site in this context, so")
+	fmt.Println("the callee's path counts extend it without any approximation.")
+}

@@ -1,0 +1,3 @@
+module pathprof
+
+go 1.22

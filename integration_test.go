@@ -1,0 +1,139 @@
+package pathprof
+
+// Repository-level integration tests: cross-mode invariants that no single
+// package can check alone.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pathprof/internal/cct"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/profile"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+// runMode instruments and runs one workload, returning the profile and the
+// runtime.
+func runMode(t *testing.T, name string, mode instrument.Mode) (*profile.Profile, *instrument.Runtime) {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	plan, err := instrument.Instrument(w.Build(workload.Test), instrument.DefaultOptions(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rt.ExtractProfile(), rt
+}
+
+// TestPathFrequenciesAgreeAcrossModes: the three path-tracking modes run
+// the same deterministic program, so their per-procedure path frequency
+// tables must be identical — flow-only, flow+HW, and the flow projection
+// of the combined flow+context profile.
+func TestPathFrequenciesAgreeAcrossModes(t *testing.T) {
+	for _, name := range []string{"compress", "interp", "objdb", "parser"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			freqTable := func(p *profile.Profile) map[int]map[int64]uint64 {
+				out := map[int]map[int64]uint64{}
+				for _, pp := range p.Procs {
+					m := map[int64]uint64{}
+					for _, e := range pp.Entries {
+						if e.Freq != 0 {
+							m[e.Sum] = e.Freq
+						}
+					}
+					out[pp.ProcID] = m
+				}
+				return out
+			}
+			flow, _ := runMode(t, name, instrument.ModePathFreq)
+			flowHW, _ := runMode(t, name, instrument.ModePathHW)
+			combined, _ := runMode(t, name, instrument.ModeContextFlow)
+
+			a, b, c := freqTable(flow), freqTable(flowHW), freqTable(combined)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("path-freq and flow+HW frequency tables differ")
+			}
+			if !reflect.DeepEqual(a, c) {
+				t.Fatal("path-freq and combined-mode frequency tables differ")
+			}
+		})
+	}
+}
+
+// TestCCTFileRoundTripThroughTools: the paper's program-exit flow — write
+// the CCT heap, reload it, and verify the reloaded statistics match — plus
+// a two-run merge doubling every count.
+func TestCCTFileRoundTripThroughTools(t *testing.T) {
+	_, rt := runMode(t, "objdb", instrument.ModeContextFlow)
+
+	var buf bytes.Buffer
+	if err := rt.Tree.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	ex1, err := cct.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rt.Tree.ComputeStats()
+	got := ex1.Stats()
+	if got.Nodes != want.Nodes || got.MaxHeight != want.MaxHeight || got.MaxReplication != want.MaxReplication {
+		t.Fatalf("reloaded stats diverge: %+v vs %+v", got, want)
+	}
+
+	ex2, err := cct.Read(bytes.NewReader([]byte(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := cct.MergeExports(ex1, ex2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumNodes() != ex1.NumNodes() {
+		t.Fatalf("merge changed shape: %d vs %d nodes", merged.NumNodes(), ex1.NumNodes())
+	}
+	if got, wantM := merged.TotalMetric(0), 2*ex1.TotalMetric(0); got != wantM {
+		t.Fatalf("merged invocations %d, want %d", got, wantM)
+	}
+}
+
+// TestProfileFileRoundTripThroughTools: extract, encode, decode, merge —
+// the multi-run path-profile workflow end to end.
+func TestProfileFileRoundTripThroughTools(t *testing.T) {
+	prof, _ := runMode(t, "strhash", instrument.ModePathHW)
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := profile.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, m0, i0 := prof.Totals()
+	f1, m1, i1 := loaded.Totals()
+	if f0 != f1 || m0 != m1 || i0 != i1 {
+		t.Fatal("profile totals changed across encode/decode")
+	}
+	prof2, _ := runMode(t, "strhash", instrument.ModePathHW)
+	if err := loaded.Merge(prof2); err != nil {
+		t.Fatal(err)
+	}
+	f2, m2, i2 := loaded.Totals()
+	if f2 != 2*f0 || m2 != 2*m0 || i2 != 2*i0 {
+		t.Fatalf("merged totals not doubled: %d/%d/%d vs %d/%d/%d", f2, m2, i2, f0, m0, i0)
+	}
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// testProfile: total 1000 misses over 10000 insts (avg ratio 0.1).
+//   - path A: 600 misses / 2000 insts (ratio 0.30) -> hot, dense
+//   - path B: 300 misses / 6000 insts (ratio 0.05) -> hot, sparse
+//   - path C: 95 misses / 1000 insts  (ratio 0.095)-> hot (9.5%), sparse
+//   - path D: 5 misses / 1000 insts               -> cold (0.5%)
+func testProfile() *profile.Profile {
+	return &profile.Profile{
+		Program: "t", Mode: "flow+hw", Event0: "dcache-miss", Event1: "insts",
+		Procs: []*profile.ProcPaths{
+			{ProcID: 0, Name: "p0", NumPaths: 8, Entries: []profile.PathEntry{
+				{Sum: 0, Freq: 10, M0: 600, M1: 2000},
+				{Sum: 1, Freq: 50, M0: 300, M1: 6000},
+			}},
+			{ProcID: 1, Name: "p1", NumPaths: 4, Entries: []profile.PathEntry{
+				{Sum: 2, Freq: 5, M0: 95, M1: 1000},
+				{Sum: 3, Freq: 5, M0: 5, M1: 1000},
+			}},
+		},
+	}
+}
+
+func TestClassifyPaths(t *testing.T) {
+	r := ClassifyPaths(testProfile(), DefaultHotThreshold)
+	if r.NumPaths != 4 || r.TotalMisses != 1000 || r.TotalInsts != 10000 {
+		t.Fatalf("totals wrong: %+v", r)
+	}
+	if math.Abs(r.AvgRatio-0.1) > 1e-9 {
+		t.Fatalf("avg ratio = %v", r.AvgRatio)
+	}
+	if r.Hot.Num != 3 || r.Cold.Num != 1 {
+		t.Fatalf("hot/cold = %d/%d, want 3/1", r.Hot.Num, r.Cold.Num)
+	}
+	if r.Dense.Num != 1 || r.Sparse.Num != 2 {
+		t.Fatalf("dense/sparse = %d/%d, want 1/2", r.Dense.Num, r.Sparse.Num)
+	}
+	if r.Hot.Misses != 995 || r.Cold.Misses != 5 {
+		t.Fatalf("class misses: hot %d cold %d", r.Hot.Misses, r.Cold.Misses)
+	}
+	if got := r.Hot.MissFrac(r.TotalMisses); math.Abs(got-0.995) > 1e-9 {
+		t.Fatalf("hot miss frac = %v", got)
+	}
+	// Hot list sorted by misses descending.
+	if r.HotPaths[0].Misses != 600 || r.HotPaths[2].Misses != 95 {
+		t.Fatalf("hot order wrong: %+v", r.HotPaths)
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	// At a 50% threshold only path A (60%) survives.
+	r := ClassifyPaths(testProfile(), 0.5)
+	if r.Hot.Num != 1 || r.HotPaths[0].Misses != 600 {
+		t.Fatalf("50%% threshold: %+v", r.Hot)
+	}
+	// At 0.1% everything with misses is hot.
+	r = ClassifyPaths(testProfile(), LowHotThreshold)
+	if r.Hot.Num != 4 {
+		t.Fatalf("0.1%% threshold: hot = %d", r.Hot.Num)
+	}
+}
+
+func TestClassifyProcs(t *testing.T) {
+	r := ClassifyProcs(testProfile(), DefaultHotThreshold)
+	// p0: 900 misses (hot); p1: 100 misses (hot). None cold at 1%.
+	if r.Hot.Num != 2 || r.Cold.Num != 0 {
+		t.Fatalf("hot/cold procs = %d/%d", r.Hot.Num, r.Cold.Num)
+	}
+	// p0 ratio 900/8000=0.1125 > avg 0.1 -> dense; p1 100/2000=0.05 -> sparse.
+	if r.Dense.Num != 1 || r.Sparse.Num != 1 {
+		t.Fatalf("dense/sparse procs = %d/%d", r.Dense.Num, r.Sparse.Num)
+	}
+	if r.Hot.PathsPerProc != 2.0 {
+		t.Fatalf("paths/proc = %v, want 2.0", r.Hot.PathsPerProc)
+	}
+	if r.HotProcs[0].Proc != "p0" {
+		t.Fatalf("hottest proc = %s", r.HotProcs[0].Proc)
+	}
+}
+
+func TestCoverageAt(t *testing.T) {
+	r := ClassifyPaths(testProfile(), DefaultHotThreshold)
+	if c := CoverageAt(r, 1); math.Abs(c-0.6) > 1e-9 {
+		t.Fatalf("top-1 coverage = %v", c)
+	}
+	if c := CoverageAt(r, 2); math.Abs(c-0.9) > 1e-9 {
+		t.Fatalf("top-2 coverage = %v", c)
+	}
+	if c := CoverageAt(r, 100); math.Abs(c-0.995) > 1e-9 {
+		t.Fatalf("top-all coverage = %v", c)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	r := ClassifyPaths(&profile.Profile{Program: "empty"}, DefaultHotThreshold)
+	if r.NumPaths != 0 || r.Hot.Num != 0 || r.AvgRatio != 0 {
+		t.Fatalf("empty profile misclassified: %+v", r)
+	}
+	pr := ClassifyProcs(&profile.Profile{Program: "empty"}, DefaultHotThreshold)
+	if pr.Hot.Num != 0 {
+		t.Fatal("empty proc report nonzero")
+	}
+}
+
+func TestResolveHotPaths(t *testing.T) {
+	// Build a small proc and numbering so hot paths can be regenerated.
+	b := ir.NewBuilder("x")
+	p := b.NewProc("p0", 0)
+	e := p.NewBlock()
+	l := p.NewBlock()
+	r := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Br(2, l, r)
+	l.Nop()
+	l.Jmp(x)
+	r.Nop()
+	r.Jmp(x)
+	x.Ret()
+	b.SetMain(p)
+	nm, err := bl.New(b.MustFinish().Procs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &profile.Profile{Procs: []*profile.ProcPaths{
+		{ProcID: 0, Name: "p0", NumPaths: nm.NumPaths, Entries: []profile.PathEntry{
+			{Sum: 0, Freq: 3, M0: 10, M1: 30},
+			{Sum: 1, Freq: 1, M0: 90, M1: 20},
+		}},
+	}}
+	rep := ClassifyPaths(prof, DefaultHotThreshold)
+	listings := ResolveHotPaths(rep, map[int]*bl.Numbering{0: nm}, 10)
+	if len(listings) != 2 {
+		t.Fatalf("listings = %d", len(listings))
+	}
+	if listings[0].Stat.Misses != 90 {
+		t.Fatal("hottest first")
+	}
+	if len(listings[0].Path.Blocks) == 0 {
+		t.Fatal("no blocks regenerated")
+	}
+	// Unknown proc IDs and bad sums are skipped, not fatal.
+	rep2 := rep
+	rep2.HotPaths = append(rep2.HotPaths, PathStat{ProcID: 7, Sum: 0, Misses: 1})
+	if got := ResolveHotPaths(rep2, map[int]*bl.Numbering{0: nm}, 10); len(got) != 2 {
+		t.Fatalf("unknown proc not skipped: %d", len(got))
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	if (PathStat{Misses: 5, Insts: 0}).MissRatio() != 0 {
+		t.Fatal("zero insts should give 0 ratio")
+	}
+	if (PathStat{Misses: 5, Insts: 50}).MissRatio() != 0.1 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestBlockMultiplicity(t *testing.T) {
+	// Diamond proc: both paths share entry and exit blocks (multiplicity
+	// 2), each arm is on one path (multiplicity 1).
+	b := ir.NewBuilder("m")
+	p := b.NewProc("p0", 0)
+	e := p.NewBlock()
+	l := p.NewBlock()
+	r := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Br(2, l, r)
+	l.Nop()
+	l.Jmp(x)
+	r.Nop()
+	r.Jmp(x)
+	x.Ret()
+	b.SetMain(p)
+	nm, err := bl.New(b.MustFinish().Procs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &profile.Profile{Program: "m", Procs: []*profile.ProcPaths{
+		{ProcID: 0, Name: "p0", NumPaths: nm.NumPaths, Entries: []profile.PathEntry{
+			{Sum: 0, Freq: 10, M0: 90, M1: 100},
+			{Sum: 1, Freq: 10, M0: 10, M1: 100},
+		}},
+	}}
+	rep := BlockMultiplicity(prof, map[int]*bl.Numbering{0: nm}, DefaultHotThreshold)
+	if rep.MaxMultiplicity != 2 {
+		t.Fatalf("max multiplicity = %d, want 2 (shared entry/exit)", rep.MaxMultiplicity)
+	}
+	// Both paths are hot (>=1% each): hot blocks = all 4; average =
+	// (2+1+1+2)/4 = 1.5.
+	if rep.HotBlocks != 4 {
+		t.Fatalf("hot blocks = %d, want 4", rep.HotBlocks)
+	}
+	if rep.HotBlockAvg != 1.5 || rep.AllBlockAvg != 1.5 {
+		t.Fatalf("averages = %v/%v, want 1.5/1.5", rep.HotBlockAvg, rep.AllBlockAvg)
+	}
+}

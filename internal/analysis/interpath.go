@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"pathprof/internal/bl"
+	"pathprof/internal/cct"
+	"pathprof/internal/ir"
+)
+
+// Interprocedural path stitching (Section 6.3 of the paper): when a call
+// site in some calling context was reached by exactly one intraprocedural
+// path prefix, the combined flow+context profile identifies the complete
+// interprocedural path through that site exactly — the caller's prefix
+// concatenated with each of the callee's recorded paths.
+//
+// The recorded prefix is the runtime path register at the call, so exact
+// reconstruction requires the instrumentation to have used the canonical
+// (unoptimized) increments; with chord-optimized increments the prefix
+// still discriminates contexts but is not directly decodable.
+
+// Stitched is one reconstructed interprocedural path fragment.
+type Stitched struct {
+	CallerProc   int
+	CallerPrefix bl.Path // entry (or backedge target) to the call block
+	SiteBlock    ir.BlockID
+	CalleeProc   int
+	CalleePath   bl.Path
+	Freq         uint64 // executions of the callee path in this context
+	Depth        int    // CCT depth of the caller record
+}
+
+// StitchConfig supplies the static information stitching needs.
+type StitchConfig struct {
+	// Numberings per procedure ID (from the instrumentation plan).
+	Numberings map[int]*bl.Numbering
+	// SiteBlocks[proc][site] is the block containing the call site.
+	SiteBlocks map[int][]ir.BlockID
+	// Limit bounds the number of stitched paths returned (0 = no limit).
+	Limit int
+}
+
+// StitchOnePathSites walks the CCT and reconstructs interprocedural paths
+// at every used one-path call site. Fragments are returned in tree order.
+func StitchOnePathSites(tree *cct.Tree, cfg StitchConfig) []Stitched {
+	var out []Stitched
+	tree.Walk(func(n *cct.Node) {
+		if cfg.Limit > 0 && len(out) >= cfg.Limit {
+			return
+		}
+		nm := cfg.Numberings[n.Proc]
+		blocks := cfg.SiteBlocks[n.Proc]
+		if nm == nil || blocks == nil {
+			return
+		}
+		for _, slot := range n.Slots() {
+			if !slot.Used || !slot.OnePath || slot.Site >= len(blocks) {
+				continue
+			}
+			prefix, err := nm.RegeneratePrefix(blocks[slot.Site], slot.OnePathPrefix)
+			if err != nil {
+				continue
+			}
+			targets := append(append([]*cct.Node(nil), slot.Children...), slot.Recursed...)
+			for _, callee := range targets {
+				cnm := cfg.Numberings[callee.Proc]
+				if cnm == nil {
+					continue
+				}
+				for sum, count := range callee.PathCounts() {
+					cp, err := cnm.Regenerate(sum)
+					if err != nil {
+						continue
+					}
+					out = append(out, Stitched{
+						CallerProc:   n.Proc,
+						CallerPrefix: prefix,
+						SiteBlock:    blocks[slot.Site],
+						CalleeProc:   callee.Proc,
+						CalleePath:   cp,
+						Freq:         uint64(count),
+						Depth:        n.Depth(),
+					})
+					if cfg.Limit > 0 && len(out) >= cfg.Limit {
+						return
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"testing"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+// buildStitchable: main calls mid 20 times; mid branches on its argument
+// and calls leaf from both arms (two distinct one-path sites).
+func buildStitchable(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("stitchable")
+
+	leaf := b.NewProc("leaf", 1)
+	le := leaf.NewBlock()
+	le.AddI(1, 1, 1)
+	le.Ret()
+
+	mid := b.NewProc("mid", 1)
+	me := mid.NewBlock()
+	thenB := mid.NewBlock()
+	elseB := mid.NewBlock()
+	mx := mid.NewBlock()
+	me.AndI(2, 1, 1)
+	me.Br(2, thenB, elseB)
+	thenB.MulI(1, 1, 3)
+	thenB.Call(leaf)
+	thenB.Jmp(mx)
+	elseB.AddI(1, 1, 7)
+	elseB.Call(leaf)
+	elseB.Jmp(mx)
+	mx.Ret()
+
+	main := b.NewProc("main", 0)
+	e := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	x := main.NewBlock()
+	e.MovI(2, 0)
+	e.Jmp(h)
+	h.CmpLTI(3, 2, 20)
+	h.Br(3, body, x)
+	body.Mov(1, 2)
+	body.Call(mid)
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	x.Halt()
+	b.SetMain(main)
+	return b.MustFinish()
+}
+
+func TestStitchOnePathSites(t *testing.T) {
+	prog := buildStitchable(t)
+	opts := instrument.DefaultOptions(instrument.ModeContextFlow)
+	opts.OptimizeIncrements = false
+	plan, err := instrument.Instrument(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := StitchConfig{Numberings: map[int]*bl.Numbering{}, SiteBlocks: map[int][]ir.BlockID{}}
+	for _, pp := range plan.Procs {
+		if pp.Numbering != nil {
+			cfg.Numberings[pp.ProcID] = pp.Numbering
+		}
+		if pp.SiteBlocks != nil {
+			cfg.SiteBlocks[pp.ProcID] = pp.SiteBlocks
+		}
+	}
+	stitched := StitchOnePathSites(rt.Tree, cfg)
+	if len(stitched) == 0 {
+		t.Fatal("no stitched paths")
+	}
+
+	// mid's two call sites to leaf are each on a distinct single prefix;
+	// even- and odd-argument calls split 10/10 across them.
+	var midToLeaf []Stitched
+	for _, s := range stitched {
+		if plan.Prog.Procs[s.CallerProc].Name == "mid" &&
+			plan.Prog.Procs[s.CalleeProc].Name == "leaf" {
+			midToLeaf = append(midToLeaf, s)
+		}
+	}
+	if len(midToLeaf) != 2 {
+		t.Fatalf("mid→leaf fragments = %d, want 2 (one per arm)", len(midToLeaf))
+	}
+	var total uint64
+	prefixes := map[string]bool{}
+	for _, s := range midToLeaf {
+		total += s.Freq
+		prefixes[s.CallerPrefix.String()] = true
+		// The prefix must end at the recorded call block.
+		last := s.CallerPrefix.Blocks[len(s.CallerPrefix.Blocks)-1]
+		if last != s.SiteBlock {
+			t.Errorf("prefix %v does not end at site block %d", s.CallerPrefix.Blocks, s.SiteBlock)
+		}
+		if len(s.CalleePath.Blocks) == 0 {
+			t.Error("empty callee path")
+		}
+	}
+	if total != 20 {
+		t.Fatalf("mid→leaf total freq = %d, want 20", total)
+	}
+	if len(prefixes) != 2 {
+		t.Fatalf("expected two distinct caller prefixes, got %v", prefixes)
+	}
+}
+
+// TestStitchRequiresMetadata: missing numberings degrade gracefully.
+func TestStitchEmptyConfig(t *testing.T) {
+	prog := buildStitchable(t)
+	plan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModeContextFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	rt := plan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := StitchOnePathSites(rt.Tree, StitchConfig{}); len(got) != 0 {
+		t.Fatalf("stitching without metadata returned %d fragments", len(got))
+	}
+}

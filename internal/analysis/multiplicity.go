@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"pathprof/internal/bl"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// Block-path multiplicity (Section 6.4.3 of the paper): reporting cache
+// misses at the statement level cannot isolate dynamic behaviour because
+// "the basic blocks along hot paths execute along an average of 16
+// different paths". This analysis measures exactly that: for each basic
+// block on a hot path, how many distinct executed paths of its procedure
+// contain it.
+
+// MultiplicityReport summarizes block-path multiplicity for one program.
+type MultiplicityReport struct {
+	Program string
+
+	// HotBlockAvg is the average number of executed paths containing each
+	// block that lies on at least one hot path.
+	HotBlockAvg float64
+	// AllBlockAvg is the same average over every executed block.
+	AllBlockAvg float64
+	// MaxMultiplicity is the largest count observed.
+	MaxMultiplicity int
+	// HotBlocks is how many distinct blocks lie on hot paths.
+	HotBlocks int
+}
+
+// BlockMultiplicity computes the report from a flow+HW profile and the
+// per-procedure numberings used to regenerate paths. threshold selects hot
+// paths as in ClassifyPaths.
+func BlockMultiplicity(prof *profile.Profile, numberings map[int]*bl.Numbering, threshold float64) MultiplicityReport {
+	rep := MultiplicityReport{Program: prof.Program}
+	classified := ClassifyPaths(prof, threshold)
+
+	type blockKey struct {
+		proc  int
+		block ir.BlockID
+	}
+	// Count executed paths per block.
+	counts := map[blockKey]int{}
+	hot := map[blockKey]bool{}
+	hotSet := map[[2]int64]bool{} // (proc, sum) of hot paths
+	for _, h := range classified.HotPaths {
+		hotSet[[2]int64{int64(h.ProcID), h.Sum}] = true
+	}
+	for _, pp := range prof.Procs {
+		nm := numberings[pp.ProcID]
+		if nm == nil {
+			continue
+		}
+		for _, e := range pp.Entries {
+			p, err := nm.Regenerate(e.Sum)
+			if err != nil {
+				continue
+			}
+			isHot := hotSet[[2]int64{int64(pp.ProcID), e.Sum}]
+			for _, b := range p.Blocks {
+				k := blockKey{pp.ProcID, b}
+				counts[k]++
+				if isHot {
+					hot[k] = true
+				}
+			}
+		}
+	}
+
+	var hotSum, allSum, n int
+	for k, c := range counts {
+		allSum += c
+		n++
+		if c > rep.MaxMultiplicity {
+			rep.MaxMultiplicity = c
+		}
+		if hot[k] {
+			hotSum += c
+			rep.HotBlocks++
+		}
+	}
+	if n > 0 {
+		rep.AllBlockAvg = float64(allSum) / float64(n)
+	}
+	if rep.HotBlocks > 0 {
+		rep.HotBlockAvg = float64(hotSum) / float64(rep.HotBlocks)
+	}
+	return rep
+}

@@ -1,0 +1,321 @@
+// Package baseline implements the profiling approaches the paper compares
+// against or discusses:
+//
+//   - a full dynamic call tree (DCT) recorder, the precise-but-unbounded
+//     end of the spectrum in Figure 4;
+//   - a gprof-style profiler (arc counts plus per-procedure time, with
+//     gprof's proportional attribution of callee time to callers), used to
+//     demonstrate the "gprof problem";
+//   - a Goldberg-Hall-style sampling profiler that periodically walks the
+//     call stack and stores each sample, whose storage is unbounded.
+//
+// All three observe execution through the simulator's Tracer interface,
+// standing in for the process-level mechanisms the originals used.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+// DCTNode is one procedure activation in the dynamic call tree.
+type DCTNode struct {
+	Proc     int
+	Children []*DCTNode
+	Parent   *DCTNode
+}
+
+// DCT records the complete dynamic call tree of a run. Its size is
+// proportional to the number of calls, which is exactly why the paper
+// replaces it with the CCT.
+type DCT struct {
+	Root  *DCTNode
+	cur   *DCTNode
+	nodes int
+}
+
+// NewDCT returns an empty recorder; install it with Machine.SetTracer and
+// register OnUnwind with its UnwindTo.
+func NewDCT() *DCT {
+	root := &DCTNode{Proc: -1}
+	return &DCT{Root: root, cur: root}
+}
+
+// Enter implements sim.Tracer.
+func (d *DCT) Enter(proc int) {
+	n := &DCTNode{Proc: proc, Parent: d.cur}
+	d.cur.Children = append(d.cur.Children, n)
+	d.cur = n
+	d.nodes++
+}
+
+// Exit implements sim.Tracer.
+func (d *DCT) Exit(int) {
+	if d.cur.Parent != nil {
+		d.cur = d.cur.Parent
+	}
+}
+
+// Edge implements sim.Tracer (unused).
+func (d *DCT) Edge(int, ir.BlockID, int) {}
+
+// UnwindTo truncates to the given activation depth (for longjmp).
+func (d *DCT) UnwindTo(depth int) {
+	for d.depth() > depth && d.cur.Parent != nil {
+		d.cur = d.cur.Parent
+	}
+}
+
+func (d *DCT) depth() int {
+	n := 0
+	for c := d.cur; c.Parent != nil; c = c.Parent {
+		n++
+	}
+	return n
+}
+
+// NumNodes returns the number of activations recorded.
+func (d *DCT) NumNodes() int { return d.nodes }
+
+// SizeBytes estimates the tree's memory footprint (per the paper's CCT
+// record layout: ID, parent, one child pointer slot, one metric word).
+func (d *DCT) SizeBytes() uint64 { return uint64(d.nodes) * 32 }
+
+// MaxDepth returns the deepest activation depth seen.
+func (d *DCT) MaxDepth() int {
+	max := 0
+	var rec func(n *DCTNode, depth int)
+	rec = func(n *DCTNode, depth int) {
+		if depth > max {
+			max = depth
+		}
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(d.Root, 0)
+	return max
+}
+
+// Arc identifies a caller→callee pair.
+type Arc struct {
+	Caller int
+	Callee int
+}
+
+// Gprof is an arc-count profiler with exact measured self/total times and
+// gprof's report-time attribution. The measurement side is ideal (exact
+// per-activation cycle accounting); the information loss the paper
+// discusses happens in Attribute, which — like gprof — can only split a
+// procedure's time across callers in proportion to call counts.
+type Gprof struct {
+	now func() uint64 // cycle source (Machine.Cycles)
+
+	arcs  map[Arc]uint64
+	self  map[int]uint64 // exclusive cycles per procedure
+	total map[int]uint64 // inclusive cycles per procedure
+	calls map[int]uint64 // invocations per procedure
+
+	stack []gframe
+}
+
+type gframe struct {
+	proc      int
+	enter     uint64
+	childTime uint64
+}
+
+// NewGprof returns a profiler reading time from now.
+func NewGprof(now func() uint64) *Gprof {
+	return &Gprof{
+		now:   now,
+		arcs:  map[Arc]uint64{},
+		self:  map[int]uint64{},
+		total: map[int]uint64{},
+		calls: map[int]uint64{},
+		stack: []gframe{{proc: -1}},
+	}
+}
+
+// Enter implements sim.Tracer.
+func (g *Gprof) Enter(proc int) {
+	caller := g.stack[len(g.stack)-1].proc
+	g.arcs[Arc{Caller: caller, Callee: proc}]++
+	g.calls[proc]++
+	g.stack = append(g.stack, gframe{proc: proc, enter: g.now()})
+}
+
+// Exit implements sim.Tracer.
+func (g *Gprof) Exit(int) {
+	if len(g.stack) <= 1 {
+		return
+	}
+	f := g.stack[len(g.stack)-1]
+	g.stack = g.stack[:len(g.stack)-1]
+	dur := g.now() - f.enter
+	g.total[f.proc] += dur
+	g.self[f.proc] += dur - f.childTime
+	g.stack[len(g.stack)-1].childTime += dur
+}
+
+// Edge implements sim.Tracer (unused).
+func (g *Gprof) Edge(int, ir.BlockID, int) {}
+
+// UnwindTo truncates the timing stack (longjmp); discarded activations
+// contribute their elapsed time as usual.
+func (g *Gprof) UnwindTo(depth int) {
+	for len(g.stack)-1 > depth {
+		g.Exit(0)
+	}
+}
+
+// Flush closes out still-open activations at program end.
+func (g *Gprof) Flush() { g.UnwindTo(0) }
+
+// Self returns the measured exclusive cycles of proc.
+func (g *Gprof) Self(proc int) uint64 { return g.self[proc] }
+
+// Total returns the measured inclusive cycles of proc.
+func (g *Gprof) Total(proc int) uint64 { return g.total[proc] }
+
+// Calls returns the number of invocations of proc.
+func (g *Gprof) Calls(proc int) uint64 { return g.calls[proc] }
+
+// Arcs returns a copy of the arc counts.
+func (g *Gprof) Arcs() map[Arc]uint64 {
+	out := make(map[Arc]uint64, len(g.arcs))
+	for k, v := range g.arcs {
+		out[k] = v
+	}
+	return out
+}
+
+// Attribute performs gprof's propagation: each procedure's inclusive time
+// is divided among its callers in proportion to arc call counts. The
+// result maps each arc to the callee-inclusive cycles charged to the
+// caller. This is where context insensitivity loses information: two
+// callers invoking the same callee with equal frequency are charged
+// equally even when their calls cost wildly different amounts (the
+// Ponder-Fateman anomaly the paper cites).
+func (g *Gprof) Attribute() map[Arc]float64 {
+	out := make(map[Arc]float64, len(g.arcs))
+	for arc, n := range g.arcs {
+		callee := arc.Callee
+		if g.calls[callee] == 0 {
+			continue
+		}
+		share := float64(n) / float64(g.calls[callee])
+		out[arc] = share * float64(g.total[callee])
+	}
+	return out
+}
+
+// Report renders a flat profile sorted by self time.
+func (g *Gprof) Report(procName func(int) string) string {
+	type row struct {
+		proc int
+		self uint64
+	}
+	rows := make([]row, 0, len(g.self))
+	for p, s := range g.self {
+		rows = append(rows, row{p, s})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].self > rows[j].self })
+	out := "  self-cycles      calls  procedure\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%12d %10d  %s\n", r.self, g.calls[r.proc], procName(r.proc))
+	}
+	return out
+}
+
+// Sampler is a Goldberg-Hall-style stack-walking sampler: every Interval
+// cycles it records the entire current call stack. Each sample costs a
+// stack walk, and samples are stored verbatim, so the data structure is
+// unbounded — the two drawbacks Section 7.2 notes.
+type Sampler struct {
+	Interval uint64
+
+	machine *sim.Machine
+	next    uint64
+
+	Samples      []StackSample
+	WalkedFrames uint64
+}
+
+// StackSample is one recorded stack (outermost first).
+type StackSample struct {
+	Cycle uint64
+	Stack []int
+}
+
+// NewSampler samples m's stack every interval cycles (triggered at
+// control-flow events, the closest simulation analogue of a timer
+// interrupt).
+func NewSampler(m *sim.Machine, interval uint64) *Sampler {
+	return &Sampler{Interval: interval, machine: m, next: interval}
+}
+
+func (s *Sampler) maybeSample() {
+	now := s.machine.Cycles()
+	if now < s.next {
+		return
+	}
+	stack := s.machine.CallStack()
+	s.Samples = append(s.Samples, StackSample{Cycle: now, Stack: stack})
+	s.WalkedFrames += uint64(len(stack))
+	for s.next <= now {
+		s.next += s.Interval
+	}
+}
+
+// Edge implements sim.Tracer.
+func (s *Sampler) Edge(int, ir.BlockID, int) { s.maybeSample() }
+
+// Enter implements sim.Tracer.
+func (s *Sampler) Enter(int) { s.maybeSample() }
+
+// Exit implements sim.Tracer.
+func (s *Sampler) Exit(int) { s.maybeSample() }
+
+// SizeBytes estimates sample storage: one word per frame plus a header per
+// sample.
+func (s *Sampler) SizeBytes() uint64 {
+	return uint64(len(s.Samples))*16 + s.WalkedFrames*8
+}
+
+// FlatCounts aggregates samples into per-procedure leaf counts (what a
+// flat sampling profiler reports).
+func (s *Sampler) FlatCounts() map[int]uint64 {
+	out := map[int]uint64{}
+	for _, smp := range s.Samples {
+		if len(smp.Stack) > 0 {
+			out[smp.Stack[len(smp.Stack)-1]]++
+		}
+	}
+	return out
+}
+
+// multiTracer fans one event stream out to several tracers.
+type multiTracer []sim.Tracer
+
+func (m multiTracer) Edge(p int, b ir.BlockID, s int) {
+	for _, t := range m {
+		t.Edge(p, b, s)
+	}
+}
+func (m multiTracer) Enter(p int) {
+	for _, t := range m {
+		t.Enter(p)
+	}
+}
+func (m multiTracer) Exit(p int) {
+	for _, t := range m {
+		t.Exit(p)
+	}
+}
+
+// Combine returns a tracer that forwards to all of ts.
+func Combine(ts ...sim.Tracer) sim.Tracer { return multiTracer(ts) }

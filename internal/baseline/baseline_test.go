@@ -1,0 +1,339 @@
+package baseline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pathprof/internal/cct"
+	"pathprof/internal/hpm"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+	"pathprof/internal/testgen"
+)
+
+func randomProg(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	return testgen.RandomProgram(rng, "b", testgen.ProgramOptions{
+		NumProcs: 6, BlocksPer: 5, Recursion: true, IndirectCalls: true, Memory: true,
+	})
+}
+
+func TestDCTMatchesCallCount(t *testing.T) {
+	prog := randomProg(1)
+	m := sim.New(prog, sim.DefaultConfig())
+	d := NewDCT()
+	m.SetTracer(d)
+	m.OnUnwind(d.UnwindTo)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := uint64(d.NumNodes()), res.Totals[hpm.EvCalls]+1; got != want {
+		t.Fatalf("DCT nodes = %d, want calls+1 = %d", got, want)
+	}
+	if d.MaxDepth() < 2 {
+		t.Fatal("DCT suspiciously shallow")
+	}
+}
+
+// TestDCTGrowsCCTDoesNot is the Figure 4 size argument: doubling the work
+// doubles the DCT but leaves the CCT fixed.
+func TestDCTGrowsCCTDoesNot(t *testing.T) {
+	build := func(iters int64) *ir.Program {
+		b := ir.NewBuilder("grow")
+		leaf := b.NewProc("leaf", 1)
+		lb := leaf.NewBlock()
+		lb.AddI(1, 1, 1)
+		lb.Ret()
+		main := b.NewProc("main", 0)
+		e := main.NewBlock()
+		h := main.NewBlock()
+		body := main.NewBlock()
+		x := main.NewBlock()
+		e.MovI(2, 0)
+		e.Jmp(h)
+		h.CmpLTI(3, 2, iters)
+		h.Br(3, body, x)
+		body.Call(leaf)
+		body.AddI(2, 2, 1)
+		body.Jmp(h)
+		x.Halt()
+		b.SetMain(main)
+		return b.MustFinish()
+	}
+	measure := func(iters int64) (dctNodes, cctNodes int) {
+		prog := build(iters)
+		m := sim.New(prog, sim.DefaultConfig())
+		d := NewDCT()
+		tree := cct.New([]cct.ProcInfo{{Name: "leaf", NumSites: 0}, {Name: "main", NumSites: 1}},
+			cct.Options{DistinguishCallSites: true, NumMetrics: 1}, 0)
+		ct := &cctTracer{tree: tree}
+		m.SetTracer(Combine(d, ct))
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d.NumNodes(), tree.NumNodes()
+	}
+	d1, c1 := measure(100)
+	d2, c2 := measure(1000)
+	if d2 < d1*9 {
+		t.Fatalf("DCT did not grow with calls: %d -> %d", d1, d2)
+	}
+	if c1 != c2 {
+		t.Fatalf("CCT grew with call volume: %d -> %d", c1, c2)
+	}
+	if c1 != 2 {
+		t.Fatalf("CCT nodes = %d, want 2 (main, leaf)", c1)
+	}
+}
+
+// cctTracer adapts a cct.Tree to the sim.Tracer interface for baseline
+// comparisons (sites unknown from the trace: uses site 0).
+type cctTracer struct{ tree *cct.Tree }
+
+func (c *cctTracer) Enter(proc int) {
+	c.tree.AtCall(0, cct.NoPrefix, nil)
+	c.tree.Enter(proc, nil)
+}
+func (c *cctTracer) Exit(int)                  { c.tree.Exit(nil) }
+func (c *cctTracer) Edge(int, ir.BlockID, int) {}
+
+// buildGprofProblem constructs the classic scenario: procedures fast and
+// slow both call work the same number of times, but slow's calls make work
+// run far longer. gprof splits work's time 50/50; the truth is lopsided.
+func buildGprofProblem(t *testing.T) (*ir.Program, int, int, int) {
+	t.Helper()
+	b := ir.NewBuilder("gprofprob")
+
+	work := b.NewProc("work", 1)
+	we := work.NewBlock()
+	wh := work.NewBlock()
+	wb := work.NewBlock()
+	wx := work.NewBlock()
+	we.MovI(2, 0)
+	we.Jmp(wh)
+	wh.CmpLT(3, 2, 1) // r3 = (r2 < r1); r1 holds the iteration bound
+	wh.Br(3, wb, wx)
+	wb.AddI(2, 2, 1)
+	wb.Jmp(wh)
+	wx.Ret()
+
+	fast := b.NewProc("fast", 0)
+	fe := fast.NewBlock()
+	fe.MovI(1, 5) // cheap calls
+	fe.Call(work)
+	fe.Ret()
+
+	slow := b.NewProc("slow", 0)
+	se := slow.NewBlock()
+	se.MovI(1, 5000) // expensive calls
+	se.Call(work)
+	se.Ret()
+
+	main := b.NewProc("main", 0)
+	e := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	x := main.NewBlock()
+	e.MovI(2, 0)
+	e.Jmp(h)
+	h.CmpLTI(3, 2, 10)
+	h.Br(3, body, x)
+	body.Call(fast)
+	body.Call(slow)
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	x.Halt()
+	b.SetMain(main)
+	return b.MustFinish(), work.ID(), fast.ID(), slow.ID()
+}
+
+func TestGprofProblem(t *testing.T) {
+	prog, workID, fastID, slowID := buildGprofProblem(t)
+	m := sim.New(prog, sim.DefaultConfig())
+	g := NewGprof(m.Cycles)
+	m.SetTracer(g)
+	m.OnUnwind(g.UnwindTo)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g.Flush()
+
+	if g.Calls(workID) != 20 {
+		t.Fatalf("work called %d times, want 20", g.Calls(workID))
+	}
+	attr := g.Attribute()
+	fromFast := attr[Arc{Caller: fastID, Callee: workID}]
+	fromSlow := attr[Arc{Caller: slowID, Callee: workID}]
+	// gprof splits evenly (10 calls each): the attribution ratio is ~1
+	// even though slow's calls are ~1000x costlier.
+	ratio := fromSlow / fromFast
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("gprof attribution ratio = %v, expected ~1 (the gprof problem)", ratio)
+	}
+	// The exact truth: slow's inclusive time dwarfs fast's.
+	if g.Total(slowID) < 100*g.Total(fastID) {
+		t.Fatalf("scenario broken: slow total %d, fast total %d", g.Total(slowID), g.Total(fastID))
+	}
+}
+
+func TestGprofSelfTotalConsistency(t *testing.T) {
+	prog := randomProg(3)
+	m := sim.New(prog, sim.DefaultConfig())
+	g := NewGprof(m.Cycles)
+	m.SetTracer(g)
+	m.OnUnwind(g.UnwindTo)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Flush()
+	var selfSum uint64
+	for p := range prog.Procs {
+		selfSum += g.Self(p)
+		if g.Self(p) > g.Total(p) {
+			t.Fatalf("proc %d: self %d > total %d", p, g.Self(p), g.Total(p))
+		}
+	}
+	// All cycles belong to exactly one activation's self time.
+	if selfSum > res.Cycles || selfSum < res.Cycles/2 {
+		t.Fatalf("self cycles sum %d vs run cycles %d", selfSum, res.Cycles)
+	}
+}
+
+func TestSamplerRateAndStorage(t *testing.T) {
+	prog := randomProg(4)
+	m := sim.New(prog, sim.DefaultConfig())
+	s := NewSampler(m, 500)
+	m.SetTracer(s)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Cycles / 500
+	got := uint64(len(s.Samples))
+	if got == 0 {
+		t.Fatal("no samples taken")
+	}
+	// Event-triggered sampling can skip intervals with no events, but
+	// should be within a factor of two of the ideal rate here.
+	if got > want || got < want/2 {
+		t.Fatalf("samples = %d, ideal %d", got, want)
+	}
+	if s.SizeBytes() == 0 {
+		t.Fatal("sampler storage not accounted")
+	}
+	flat := s.FlatCounts()
+	var total uint64
+	for _, c := range flat {
+		total += c
+	}
+	if total != got {
+		t.Fatalf("flat counts %d != samples %d", total, got)
+	}
+}
+
+// TestSamplerStorageUnbounded: doubling the run doubles sample storage —
+// the unbounded-size drawback the paper notes for stack sampling.
+func TestSamplerStorageUnbounded(t *testing.T) {
+	size := func(iters int64) uint64 {
+		b := ir.NewBuilder("s")
+		p := b.NewProc("main", 0)
+		e := p.NewBlock()
+		h := p.NewBlock()
+		body := p.NewBlock()
+		x := p.NewBlock()
+		e.MovI(2, 0)
+		e.Jmp(h)
+		h.CmpLT(3, 2, 4)
+		h.Br(3, body, x)
+		body.AddI(2, 2, 1)
+		body.Jmp(h)
+		x.Halt()
+		b.SetMain(p)
+		prog := b.MustFinish()
+		// Patch the loop bound via a register-immediate compare.
+		prog.Procs[0].Blocks[1].Instrs[0] = ir.Instr{Op: ir.CmpLTI, Rd: 3, Rs: 2, Imm: iters}
+		m := sim.New(prog, sim.DefaultConfig())
+		s := NewSampler(m, 100)
+		m.SetTracer(s)
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.SizeBytes()
+	}
+	small := size(2000)
+	big := size(20000)
+	if big < small*5 {
+		t.Fatalf("sampler storage did not scale with run length: %d -> %d", small, big)
+	}
+}
+
+func TestCombineFansOut(t *testing.T) {
+	prog := randomProg(5)
+	m := sim.New(prog, sim.DefaultConfig())
+	d1, d2 := NewDCT(), NewDCT()
+	m.SetTracer(Combine(d1, d2))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumNodes() != d2.NumNodes() || d1.NumNodes() == 0 {
+		t.Fatalf("fan-out mismatch: %d vs %d", d1.NumNodes(), d2.NumNodes())
+	}
+}
+
+// TestBaselinesUnderLongjmp: all three baselines stay consistent when the
+// program unwinds with longjmp, and the gprof report/arcs render.
+func TestBaselinesUnderLongjmp(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	prog := testgen.RandomProgram(rng, "nl", testgen.ProgramOptions{
+		NumProcs: 6, BlocksPer: 4, Recursion: true,
+		IndirectCalls: true, Memory: true, NonLocal: true,
+	})
+	m := sim.New(prog, sim.DefaultConfig())
+	d := NewDCT()
+	g := NewGprof(m.Cycles)
+	s := NewSampler(m, 300)
+	m.SetTracer(Combine(d, g, s))
+	m.OnUnwind(d.UnwindTo)
+	m.OnUnwind(g.UnwindTo)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Flush()
+	recoveries := res.Output[len(res.Output)-1]
+	if recoveries == 0 {
+		t.Skip("seed produced no longjmp recoveries")
+	}
+	if got, want := uint64(d.NumNodes()), res.Totals[hpm.EvCalls]+1; got != want {
+		t.Fatalf("DCT nodes %d != calls+1 %d after unwinds", got, want)
+	}
+	if d.SizeBytes() == 0 {
+		t.Fatal("DCT size unaccounted")
+	}
+	arcs := g.Arcs()
+	if len(arcs) == 0 {
+		t.Fatal("no arcs recorded")
+	}
+	var arcTotal uint64
+	for _, c := range arcs {
+		arcTotal += c
+	}
+	if arcTotal != res.Totals[hpm.EvCalls]+1 {
+		t.Fatalf("arc total %d != calls+1 %d", arcTotal, res.Totals[hpm.EvCalls]+1)
+	}
+	rep := g.Report(func(id int) string { return prog.Procs[id].Name })
+	if !strings.Contains(rep, "procedure") || !strings.Contains(rep, "main") {
+		t.Fatalf("report malformed:\n%s", rep)
+	}
+	// Self cycles still partition total cycles despite abandoned frames.
+	var selfSum uint64
+	for p := range prog.Procs {
+		selfSum += g.Self(p)
+	}
+	if selfSum > res.Cycles {
+		t.Fatalf("self cycles %d exceed run cycles %d", selfSum, res.Cycles)
+	}
+}

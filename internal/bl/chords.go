@@ -1,0 +1,238 @@
+package bl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Increments is a re-placement of the numbering's edge values onto the
+// chords of a spanning tree, so that fewer (typically the less frequently
+// executed) edges need instrumentation while every path still computes its
+// original path sum. This is the instrumentation optimization of the
+// original path-profiling work ([BL96]/[Bal94]): add the edge EXIT→ENTRY,
+// pick a spanning tree of the transformed graph that contains it, and push
+// edge values off tree edges onto chords via vertex potentials.
+//
+// Values can be negative; the tracking register may go transiently negative
+// but every complete path still sums to its identifier in 0..NumPaths-1.
+type Increments struct {
+	// Real holds the new increment for each real transformed edge, indexed
+	// as (block, successor-list position within Numbering.Succs). A zero
+	// increment needs no instrumentation.
+	Real map[SuccRef]int64
+	// BStart and BEnd are the backedge operation constants after
+	// optimization: backedge i executes count[r+BEnd[i]]++; r = BStart[i].
+	BStart []int64
+	BEnd   []int64
+	// Instrumented counts the edges with non-zero increments (for reports).
+	Instrumented int
+	// TotalEdges counts all transformed edges (excluding EXIT→ENTRY).
+	TotalEdges int
+}
+
+// SuccRef names one transformed edge by source block and position in
+// Numbering.Succs[block].
+type SuccRef struct {
+	Block int
+	Pos   int
+}
+
+// BasicIncrements returns the unoptimized placement: every non-zero real
+// edge value is an increment, and backedges use the raw pseudo-edge values.
+func (nm *Numbering) BasicIncrements() *Increments {
+	inc := &Increments{
+		Real:   make(map[SuccRef]int64),
+		BStart: append([]int64(nil), nm.BStart...),
+		BEnd:   append([]int64(nil), nm.BEnd...),
+	}
+	for b := range nm.Succs {
+		for pos, te := range nm.Succs[b] {
+			inc.TotalEdges++
+			if te.Kind == Real && te.Val != 0 {
+				inc.Real[SuccRef{Block: b, Pos: pos}] = te.Val
+				inc.Instrumented++
+			}
+		}
+	}
+	inc.Instrumented += len(nm.Backedges)
+	return inc
+}
+
+// Optimize computes chord increments for the numbering. freqHint, if
+// non-nil, gives relative execution-frequency estimates per transformed edge
+// (higher = hotter = more desirable to leave uninstrumented); when nil, a
+// static heuristic is used that treats backedge-related pseudo edges as hot.
+func (nm *Numbering) Optimize(freqHint func(SuccRef) int64) (*Increments, error) {
+	n := len(nm.Proc.Blocks)
+	entry, exit := 0, int(nm.Proc.ExitBlock)
+
+	type uedge struct {
+		ref    SuccRef // identifies the directed transformed edge; {-1,-1} for EXIT→ENTRY
+		u, v   int     // directed: u -> v
+		weight int64
+	}
+	var edges []uedge
+	for b := 0; b < n; b++ {
+		for pos, te := range nm.Succs[b] {
+			ref := SuccRef{Block: b, Pos: pos}
+			var w int64 = 1
+			if te.Kind != Real {
+				// Backedge instrumentation (count[r+END]; r=START) is
+				// mandatory whether or not its pseudo edges join the tree,
+				// so pseudo edges must not displace hot real edges: give
+				// them no weight and let Kruskal take them only when needed
+				// for spanning.
+				w = 0
+			} else if freqHint != nil {
+				w = freqHint(ref)
+			}
+			edges = append(edges, uedge{ref: ref, u: b, v: int(te.To), weight: w})
+		}
+	}
+
+	// Maximum spanning tree (Kruskal) over the undirected view, with
+	// EXIT→ENTRY forced in first so vertex potentials preserve path sums
+	// exactly (phi(EXIT) == phi(ENTRY) == 0).
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].weight > edges[j].weight })
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		return true
+	}
+
+	type treeLink struct {
+		to      int
+		forward bool  // true when the directed edge goes parent→child here
+		val     int64 // Val of the directed edge (0 for EXIT→ENTRY)
+	}
+	tree := make([][]treeLink, n)
+	inTree := map[SuccRef]bool{}
+
+	if entry != exit {
+		union(exit, entry)
+		tree[exit] = append(tree[exit], treeLink{to: entry, forward: true, val: 0})
+		tree[entry] = append(tree[entry], treeLink{to: exit, forward: false, val: 0})
+	}
+	for _, e := range edges {
+		if union(e.u, e.v) {
+			inTree[e.ref] = true
+			val := nm.Succs[e.u][e.ref.Pos].Val
+			tree[e.u] = append(tree[e.u], treeLink{to: e.v, forward: true, val: val})
+			tree[e.v] = append(tree[e.v], treeLink{to: e.u, forward: false, val: val})
+		}
+	}
+
+	// Vertex potentials phi: phi(entry)=0; along tree edge u→v,
+	// phi(v) = phi(u) + Val(u→v).
+	phi := make([]int64, n)
+	seen := make([]bool, n)
+	seen[entry] = true
+	stack := []int{entry}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, l := range tree[u] {
+			if seen[l.to] {
+				continue
+			}
+			seen[l.to] = true
+			if l.forward {
+				phi[l.to] = phi[u] + l.val
+			} else {
+				phi[l.to] = phi[u] - l.val
+			}
+			stack = append(stack, l.to)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			return nil, fmt.Errorf("bl: spanning tree does not reach block %d", v)
+		}
+	}
+
+	inc := &Increments{
+		Real:   make(map[SuccRef]int64),
+		BStart: make([]int64, len(nm.Backedges)),
+		BEnd:   make([]int64, len(nm.Backedges)),
+	}
+	for b := 0; b < n; b++ {
+		for pos, te := range nm.Succs[b] {
+			inc.TotalEdges++
+			ref := SuccRef{Block: b, Pos: pos}
+			newVal := te.Val
+			if inTree[ref] {
+				newVal = 0
+			} else {
+				newVal = te.Val + phi[b] - phi[te.To]
+			}
+			switch te.Kind {
+			case Real:
+				if newVal != 0 {
+					inc.Real[ref] = newVal
+					inc.Instrumented++
+				}
+			case PseudoStart:
+				// The backedge resets r to the pseudo-start edge's
+				// contribution measured from ENTRY's potential (0).
+				inc.BStart[te.Backedge] = newVal
+			case PseudoEnd:
+				inc.BEnd[te.Backedge] = newVal
+			}
+		}
+	}
+	// Backedge instrumentation always executes (the combined op), so count
+	// backedges as instrumented edges.
+	inc.Instrumented += len(nm.Backedges)
+	return inc, nil
+}
+
+// VerifyPathSums checks (by exhaustive walk; for tests and small procs) that
+// the optimized increments reproduce every path's original sum. For the
+// walk, taking PseudoStart edge i contributes BStart[i] as the new running
+// value and PseudoEnd edge i contributes BEnd[i].
+func (inc *Increments) VerifyPathSums(nm *Numbering) error {
+	if nm.NumPaths > 1<<18 {
+		return fmt.Errorf("bl: too many paths to verify (%d)", nm.NumPaths)
+	}
+	var walk func(b int, want, got int64) error
+	walk = func(b int, want, got int64) error {
+		if b == int(nm.Proc.ExitBlock) {
+			if want != got {
+				return fmt.Errorf("bl: path sum mismatch: numbering %d, optimized %d", want, got)
+			}
+			return nil
+		}
+		for pos, te := range nm.Succs[b] {
+			w2 := want + te.Val
+			var g2 int64
+			switch te.Kind {
+			case Real:
+				g2 = got + inc.Real[SuccRef{Block: b, Pos: pos}]
+			case PseudoStart:
+				g2 = inc.BStart[te.Backedge] // resets the register
+			case PseudoEnd:
+				g2 = got + inc.BEnd[te.Backedge]
+			}
+			if err := walk(int(te.To), w2, g2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0, 0, 0)
+}

@@ -1,0 +1,48 @@
+package bl_test
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/ir"
+)
+
+// Example numbers the paper's Figure 1 CFG and regenerates a path from its
+// identifier.
+func Example() {
+	// Build A→{B,C}, B→{C,D}, C→D, D→{E,F}, E→F: six paths A..F.
+	b := ir.NewBuilder("fig1")
+	p := b.NewProc("f", 0)
+	A := p.NewBlock()
+	B := p.NewBlock()
+	C := p.NewBlock()
+	D := p.NewBlock()
+	E := p.NewBlock()
+	F := p.NewBlock()
+	A.Nop()
+	A.Br(2, B, C)
+	B.Nop()
+	B.Br(2, C, D)
+	C.Nop()
+	C.Jmp(D)
+	D.Nop()
+	D.Br(2, E, F)
+	E.Nop()
+	E.Jmp(F)
+	F.Ret()
+	b.SetMain(p)
+
+	nm, err := bl.New(b.MustFinish().Procs[0])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("paths:", nm.NumPaths)
+	path, _ := nm.Regenerate(0)
+	fmt.Println("path 0:", path)
+	path, _ = nm.Regenerate(nm.NumPaths - 1)
+	fmt.Println("last path:", path)
+	// Output:
+	// paths: 6
+	// path 0: b0 b1 b2 b3 b4 b5
+	// last path: b0 b2 b3 b5
+}

@@ -1,0 +1,258 @@
+// Package bl implements Ball-Larus efficient path profiling: the compact
+// edge numbering that makes the sum of edge values along every entry→exit
+// path a unique identifier in 0..NumPaths-1, the transformation of cyclic
+// CFGs into acyclic ones via pseudo edges, path regeneration (identifier →
+// block sequence), and the spanning-tree increment optimization.
+//
+// This is Section 2 of the paper. Given a procedure's CFG the numbering
+//
+//  1. labels each vertex v with NP(v), the number of paths from v to EXIT in
+//     the transformed acyclic graph (NP(EXIT) = 1, NP(v) = Σ NP(wᵢ));
+//  2. labels each edge eᵢ = v→wᵢ with Val(eᵢ) = Σ_{j<i} NP(wⱼ), so that path
+//     sums are unique and compact;
+//  3. replaces each backedge b = v→w with pseudo edges ENTRY→w (whose value
+//     becomes the backedge's START) and v→EXIT (its END). At runtime a
+//     backedge executes `count[r+END]++; r = START`.
+package bl
+
+import (
+	"fmt"
+	"math"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+)
+
+// MaxPaths bounds the number of potential paths per procedure; beyond it the
+// path sum could overflow practical counter tables. The instrumenter
+// switches from an array of counters to a hash table well below this.
+const MaxPaths = int64(1) << 40
+
+// EdgeKind distinguishes the edges of the transformed acyclic graph.
+type EdgeKind uint8
+
+const (
+	// Real is an original CFG edge that is not a backedge.
+	Real EdgeKind = iota
+	// PseudoStart is a transformed edge ENTRY→w standing for backedge v→w.
+	PseudoStart
+	// PseudoEnd is a transformed edge v→EXIT standing for backedge v→w.
+	PseudoEnd
+)
+
+// TEdge is an edge of the transformed (acyclic) graph.
+type TEdge struct {
+	Kind     EdgeKind
+	To       ir.BlockID
+	Val      int64
+	Slot     int // for Real: successor slot in the source block
+	Backedge int // for pseudo edges: index into Numbering.Backedges
+}
+
+// Numbering is the complete Ball-Larus numbering of one procedure.
+type Numbering struct {
+	Proc     *ir.Proc
+	NumPaths int64   // NP(ENTRY) of the transformed graph
+	NP       []int64 // per block: paths from the block to EXIT
+
+	// Succs is the ordered adjacency of the transformed graph; the order
+	// defines the Val assignment and drives path regeneration.
+	Succs [][]TEdge
+
+	// Backedges lists the procedure's backedges (DFS from entry) in
+	// deterministic order. BStart[i] and BEnd[i] are the values of the
+	// pseudo edges that replace Backedges[i].
+	Backedges []cfg.Edge
+	BStart    []int64
+	BEnd      []int64
+
+	// Val maps each real non-backedge edge to its increment. Edges absent
+	// from the map (or with value 0) need no instrumentation.
+	Val map[cfg.Edge]int64
+
+	isBackedge map[cfg.Edge]int // edge -> index in Backedges
+}
+
+// New computes the Ball-Larus numbering for p. It returns an error if the
+// transformed graph has more than MaxPaths paths or if path counting
+// overflows.
+func New(p *ir.Proc) (*Numbering, error) {
+	n := len(p.Blocks)
+	nm := &Numbering{
+		Proc:       p,
+		NP:         make([]int64, n),
+		Succs:      make([][]TEdge, n),
+		Val:        make(map[cfg.Edge]int64),
+		isBackedge: make(map[cfg.Edge]int),
+	}
+
+	// The pseudo-edge transform requires a canonical ENTRY with no incoming
+	// edges (a backedge into block 0 would turn its ENTRY→w pseudo edge
+	// into a self-loop). Callers normalize by splitting the entry block
+	// first, as the instrumenter does.
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			if s == 0 {
+				return nil, fmt.Errorf("bl: proc %s: entry block has an incoming edge from block %d; split the entry first", p.Name, b.ID)
+			}
+		}
+	}
+
+	for i, e := range cfg.Backedges(p) {
+		nm.Backedges = append(nm.Backedges, e)
+		nm.isBackedge[e] = i
+	}
+	nm.BStart = make([]int64, len(nm.Backedges))
+	nm.BEnd = make([]int64, len(nm.Backedges))
+
+	// Build the transformed adjacency: real non-backedge edges in slot
+	// order, then pseudo end edges (v→EXIT) for backedges sourced at v,
+	// then — at ENTRY only — pseudo start edges (ENTRY→w).
+	exit := p.ExitBlock
+	for _, b := range p.Blocks {
+		for slot, s := range b.Succs {
+			e := cfg.Edge{From: b.ID, To: s, Slot: slot}
+			if _, isBE := nm.isBackedge[e]; isBE {
+				continue
+			}
+			nm.Succs[b.ID] = append(nm.Succs[b.ID], TEdge{Kind: Real, To: s, Slot: slot})
+		}
+	}
+	for i, be := range nm.Backedges {
+		nm.Succs[be.From] = append(nm.Succs[be.From], TEdge{Kind: PseudoEnd, To: exit, Backedge: i})
+	}
+	for i, be := range nm.Backedges {
+		nm.Succs[0] = append(nm.Succs[0], TEdge{Kind: PseudoStart, To: be.To, Backedge: i})
+	}
+
+	// Reverse topological order of the transformed graph.
+	order, err := cfg.ReverseTopologicalAdj(n, func(b ir.BlockID) []ir.BlockID {
+		es := nm.Succs[b]
+		out := make([]ir.BlockID, len(es))
+		for i, e := range es {
+			out[i] = e.To
+		}
+		return out
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bl: proc %s: transformed graph is cyclic: %w", p.Name, err)
+	}
+
+	// First pass: NP.
+	for _, b := range order {
+		if b == exit {
+			nm.NP[b] = 1
+			continue
+		}
+		var np int64
+		for _, e := range nm.Succs[b] {
+			np += nm.NP[e.To]
+			if np < 0 || np > MaxPaths {
+				return nil, fmt.Errorf("bl: proc %s: more than %d paths", p.Name, MaxPaths)
+			}
+		}
+		if np == 0 && b != exit {
+			// A non-exit block with no outgoing transformed edges cannot
+			// happen in a validated CFG (all blocks reach exit), but guard
+			// against it to keep NP well defined.
+			return nil, fmt.Errorf("bl: proc %s: block %d has no path to exit", p.Name, b)
+		}
+		nm.NP[b] = np
+	}
+	nm.NumPaths = nm.NP[0]
+
+	// Second pass: Val(eᵢ) = Σ_{j<i} NP(wⱼ) over each block's ordered
+	// successor list.
+	for _, b := range p.Blocks {
+		var sum int64
+		for i := range nm.Succs[b.ID] {
+			e := &nm.Succs[b.ID][i]
+			e.Val = sum
+			sum += nm.NP[e.To]
+			switch e.Kind {
+			case Real:
+				if e.Val != 0 {
+					nm.Val[cfg.Edge{From: b.ID, To: e.To, Slot: e.Slot}] = e.Val
+				}
+			case PseudoStart:
+				nm.BStart[e.Backedge] = e.Val
+			case PseudoEnd:
+				nm.BEnd[e.Backedge] = e.Val
+			}
+		}
+	}
+	return nm, nil
+}
+
+// BackedgeIndex returns the index of e in Backedges and whether e is a
+// backedge.
+func (nm *Numbering) BackedgeIndex(e cfg.Edge) (int, bool) {
+	i, ok := nm.isBackedge[e]
+	return i, ok
+}
+
+// EdgeVal returns the increment for a real edge (0 if none).
+func (nm *Numbering) EdgeVal(e cfg.Edge) int64 { return nm.Val[e] }
+
+// CounterSlots returns how many counters a profile of this procedure needs:
+// one per potential path.
+func (nm *Numbering) CounterSlots() int64 { return nm.NumPaths }
+
+// CheckCompact verifies (by exhaustive enumeration; intended for tests and
+// small procedures) that path sums are exactly a bijection onto
+// 0..NumPaths-1. It returns an error describing the first violation.
+func (nm *Numbering) CheckCompact() error {
+	if nm.NumPaths > 1<<20 {
+		return fmt.Errorf("bl: too many paths to enumerate (%d)", nm.NumPaths)
+	}
+	seen := make([]bool, nm.NumPaths)
+	count := int64(0)
+	var walk func(b ir.BlockID, sum int64) error
+	walk = func(b ir.BlockID, sum int64) error {
+		if b == nm.Proc.ExitBlock {
+			if sum < 0 || sum >= nm.NumPaths {
+				return fmt.Errorf("bl: path sum %d out of range [0,%d)", sum, nm.NumPaths)
+			}
+			if seen[sum] {
+				return fmt.Errorf("bl: duplicate path sum %d", sum)
+			}
+			seen[sum] = true
+			count++
+			return nil
+		}
+		for _, e := range nm.Succs[b] {
+			if err := walk(e.To, sum+e.Val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Paths from ENTRY cover both ordinary paths and those beginning with a
+	// pseudo start edge, because pseudo start edges hang off ENTRY.
+	if err := walk(0, 0); err != nil {
+		return err
+	}
+	if count != nm.NumPaths {
+		return fmt.Errorf("bl: enumerated %d paths, NP(entry)=%d", count, nm.NumPaths)
+	}
+	return nil
+}
+
+// MaxVal returns the largest edge value in the numbering, a proxy for how
+// large the tracking register can grow between increments.
+func (nm *Numbering) MaxVal() int64 {
+	max := int64(math.MinInt64)
+	found := false
+	for _, es := range nm.Succs {
+		for _, e := range es {
+			if e.Val > max {
+				max = e.Val
+				found = true
+			}
+		}
+	}
+	if !found {
+		return 0
+	}
+	return max
+}

@@ -1,0 +1,76 @@
+package bl
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+)
+
+// Prefix regeneration. A partial path sum at a block identifies the prefix
+// uniquely (two prefixes to the same block with equal sums would yield two
+// distinct complete paths with equal sums when extended identically,
+// contradicting path-sum uniqueness). This inverts that mapping, which is
+// what lets the combined flow+context profile reconstruct *interprocedural*
+// paths at call sites reached by one intraprocedural path — the paper's
+// Section 6.3 observation that at such sites the combination "produces as
+// precise a result as complete interprocedural path profiling".
+//
+// The sums here are the canonical numbering's (Val-weighted) prefix sums,
+// which the instrumenter records when running with basic (unoptimized)
+// increments.
+
+// RegeneratePrefix reconstructs the unique prefix from ENTRY (or a backedge
+// target) to the given block whose canonical partial sum is sum. It returns
+// an error if no such prefix exists.
+func (nm *Numbering) RegeneratePrefix(target ir.BlockID, sum int64) (Path, error) {
+	if int(target) >= len(nm.Succs) || target < 0 {
+		return Path{}, fmt.Errorf("bl: prefix target block %d out of range", target)
+	}
+	// DFS over the transformed graph from ENTRY, pruning on overshoot
+	// (canonical Vals are non-negative). The graph is acyclic, so this
+	// terminates; uniqueness means at most one prefix matches.
+	var found *Path
+	var walk func(b ir.BlockID, rem int64, trail []ir.BlockID, edges []SuccRef, startsAfter bool) bool
+	walk = func(b ir.BlockID, rem int64, trail []ir.BlockID, edges []SuccRef, startsAfter bool) bool {
+		if b == target && rem == 0 {
+			p := Path{
+				Sum:                 sum,
+				Blocks:              append([]ir.BlockID(nil), trail...),
+				Edges:               append([]SuccRef(nil), edges...),
+				StartsAfterBackedge: startsAfter,
+			}
+			found = &p
+			return true
+		}
+		if b == nm.Proc.ExitBlock {
+			return false
+		}
+		for pos, te := range nm.Succs[b] {
+			if te.Val > rem {
+				continue
+			}
+			switch te.Kind {
+			case Real:
+				if walk(te.To, rem-te.Val, append(trail, te.To), append(edges, SuccRef{Block: int(b), Pos: pos}), startsAfter) {
+					return true
+				}
+			case PseudoStart:
+				// Only from ENTRY as the first step: the prefix belongs to
+				// a backedge-started path.
+				if len(trail) == 1 && trail[0] == 0 {
+					if walk(te.To, rem-te.Val, []ir.BlockID{te.To}, append(edges, SuccRef{Block: int(b), Pos: pos}), true) {
+						return true
+					}
+				}
+			case PseudoEnd:
+				// A prefix never takes a backedge (the backedge would have
+				// ended the path).
+			}
+		}
+		return false
+	}
+	if walk(0, sum, []ir.BlockID{0}, nil, false) {
+		return *found, nil
+	}
+	return Path{}, fmt.Errorf("bl: no prefix to block %d with sum %d", target, sum)
+}

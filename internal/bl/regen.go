@@ -1,0 +1,121 @@
+package bl
+
+import (
+	"fmt"
+	"strings"
+
+	"pathprof/internal/ir"
+)
+
+// Path is a regenerated Ball-Larus path: the block sequence of one acyclic
+// path, plus whether the path starts just after a backedge and/or ends by
+// taking one (the four path categories of Section 2.2 of the paper).
+type Path struct {
+	Sum    int64
+	Blocks []ir.BlockID
+
+	// StartsAfterBackedge is true when the path's first block is a backedge
+	// target w (the path began by executing backedge v→w) rather than ENTRY.
+	StartsAfterBackedge bool
+	// EndsWithBackedge is true when the path ends by executing a backedge
+	// out of its last block rather than reaching EXIT.
+	EndsWithBackedge bool
+
+	// Edges records the transformed edges taken, as (block, position)
+	// references into Numbering.Succs. Block sequences alone cannot
+	// distinguish parallel edges (e.g. both arms of a branch reaching the
+	// same target), so tools that need the exact edges use this.
+	Edges []SuccRef
+}
+
+// String renders the path compactly, e.g. "↻b2 b3 b4↻" for a loop body path
+// that both starts after and ends with a backedge.
+func (p Path) String() string {
+	var sb strings.Builder
+	if p.StartsAfterBackedge {
+		sb.WriteString("↻")
+	}
+	for i, b := range p.Blocks {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "b%d", b)
+	}
+	if p.EndsWithBackedge {
+		sb.WriteString("↻")
+	}
+	return sb.String()
+}
+
+// Len returns the number of blocks on the path.
+func (p Path) Len() int { return len(p.Blocks) }
+
+// Regenerate reconstructs the path with the given sum. It inverts the
+// numbering: starting at ENTRY with the remaining sum, it repeatedly takes
+// the unique outgoing transformed edge e with Val(e) <= rem < Val(e)+NP(to),
+// which exists and is unique by construction.
+//
+// Pseudo edges are translated back into path metadata: taking a PseudoStart
+// edge as the first step means the path begins at a backedge target (ENTRY
+// is not on the path); taking a PseudoEnd edge means the path ends with a
+// backedge (EXIT is not appended).
+func (nm *Numbering) Regenerate(sum int64) (Path, error) {
+	if sum < 0 || sum >= nm.NumPaths {
+		return Path{}, fmt.Errorf("bl: path sum %d out of range [0,%d)", sum, nm.NumPaths)
+	}
+	p := Path{Sum: sum}
+	exit := nm.Proc.ExitBlock
+
+	at := ir.BlockID(0)
+	p.Blocks = append(p.Blocks, at) // provisional; replaced if first edge is PseudoStart
+	rem := sum
+	for at != exit {
+		var chosen *TEdge
+		pos := -1
+		for i := range nm.Succs[at] {
+			e := &nm.Succs[at][i]
+			if rem >= e.Val && rem < e.Val+nm.NP[e.To] {
+				chosen = e
+				pos = i
+				break
+			}
+		}
+		if chosen == nil {
+			return Path{}, fmt.Errorf("bl: no edge matches remaining sum %d at block %d", rem, at)
+		}
+		p.Edges = append(p.Edges, SuccRef{Block: int(at), Pos: pos})
+		rem -= chosen.Val
+		switch chosen.Kind {
+		case Real:
+			p.Blocks = append(p.Blocks, chosen.To)
+		case PseudoStart:
+			// Only ever the first step (ENTRY has no transformed in-edges,
+			// since every original edge into ENTRY is a backedge).
+			p.StartsAfterBackedge = true
+			p.Blocks[0] = chosen.To
+		case PseudoEnd:
+			p.EndsWithBackedge = true
+			return p, nil
+		}
+		at = chosen.To
+	}
+	return p, nil
+}
+
+// Enumerate lists every potential path of the procedure in path-sum order.
+// It is linear in NumPaths × path length and intended for reports on
+// procedures with modest NumPaths and for tests.
+func (nm *Numbering) Enumerate() ([]Path, error) {
+	if nm.NumPaths > 1<<20 {
+		return nil, fmt.Errorf("bl: refusing to enumerate %d paths", nm.NumPaths)
+	}
+	out := make([]Path, 0, nm.NumPaths)
+	for s := int64(0); s < nm.NumPaths; s++ {
+		p, err := nm.Regenerate(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+// Package cache simulates set-associative caches with LRU replacement. The
+// default configurations mirror the UltraSPARC-I caches the paper measured:
+// a 16 KB direct-mapped L1 data cache with 32-byte lines and a 16 KB 2-way
+// L1 instruction cache.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Assoc     int // 1 = direct mapped
+}
+
+// UltraSPARC-like default geometries (Section 6.4.1 of the paper describes
+// the L1 data cache as "an on-chip 16 Kb, direct mapped cache").
+var (
+	DefaultL1D = Config{Name: "L1D", SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
+	DefaultL1I = Config{Name: "L1I", SizeBytes: 16 << 10, LineBytes: 32, Assoc: 2}
+	// DefaultL2 approximates the UltraSPARC's external unified E-cache; the
+	// simulator leaves it disabled unless explicitly configured.
+	DefaultL2 = Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 1}
+)
+
+// Stats accumulates access counts.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+}
+
+// Reads returns total read accesses.
+func (s Stats) Reads() uint64 { return s.ReadHits + s.ReadMisses }
+
+// Writes returns total write accesses.
+func (s Stats) Writes() uint64 { return s.WriteHits + s.WriteMisses }
+
+// Misses returns total misses.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.Reads() + s.Writes() }
+
+// MissRatio returns misses/accesses (0 when idle).
+func (s Stats) MissRatio() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(a)
+}
+
+// Cache is a set-associative cache with true-LRU replacement and
+// write-allocate semantics. It tracks only tags (contents are irrelevant to
+// miss behaviour).
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+	// tags[set][way]; lru[set][way] holds a recency stamp (higher = newer).
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+	stats Stats
+}
+
+// New builds a cache from cfg. It panics on a non-power-of-two geometry,
+// which is a configuration error.
+func New(cfg Config) *Cache {
+	if cfg.Assoc <= 0 || cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid config %+v", cfg.Name, cfg))
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Assoc
+	if sets <= 0 || sets&(sets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: geometry must be power of two (sets=%d lines=%d)", cfg.Name, sets, lines))
+	}
+	lineBits := uint(0)
+	for 1<<lineBits != cfg.LineBytes {
+		lineBits++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lineBits,
+		setMask:  uint64(sets - 1),
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Assoc)
+		c.valid[i] = make([]bool, cfg.Assoc)
+		c.lru[i] = make([]uint64, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates all lines and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		for j := range c.valid[i] {
+			c.valid[i][j] = false
+		}
+	}
+	c.stats = Stats{}
+	c.clock = 0
+}
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineBits
+	return int(line & c.setMask), line >> uint(setBits(c.sets))
+}
+
+func setBits(sets int) int {
+	b := 0
+	for 1<<b != sets {
+		b++
+	}
+	return b
+}
+
+// Access simulates one access; write=true for stores. It returns true on a
+// hit. Misses allocate the line (write-allocate for stores).
+func (c *Cache) Access(addr uint64, write bool) bool {
+	set, tag := c.index(addr)
+	c.clock++
+	ways := c.tags[set]
+	for w := range ways {
+		if c.valid[set][w] && ways[w] == tag {
+			c.lru[set][w] = c.clock
+			if write {
+				c.stats.WriteHits++
+			} else {
+				c.stats.ReadHits++
+			}
+			return true
+		}
+	}
+	if write {
+		c.stats.WriteMisses++
+	} else {
+		c.stats.ReadMisses++
+	}
+	// Victim: first invalid way, else least recently used.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := range ways {
+		if !c.valid[set][w] {
+			victim = w
+			oldest = 0
+			break
+		}
+		if c.lru[set][w] < oldest {
+			oldest = c.lru[set][w]
+			victim = w
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// Read is Access(addr, false).
+func (c *Cache) Read(addr uint64) bool { return c.Access(addr, false) }
+
+// Write is Access(addr, true).
+func (c *Cache) Write(addr uint64) bool { return c.Access(addr, true) }
+
+// Contains reports whether addr's line is currently cached (no statistics
+// side effects); used by tests.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := range c.tags[set] {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}

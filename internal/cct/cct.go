@@ -1,0 +1,722 @@
+// Package cct implements the Calling Context Tree of Section 4 of the
+// paper: a bounded run-time representation of calling contexts. Each vertex
+// (call record) stands for an equivalence class of dynamic-call-tree
+// vertices — same procedure, equivalent parent — with recursion folded by
+// the ancestor rule: all occurrences of a procedure P at or below an
+// instance of P share P's record, introducing backedges (but never cross or
+// forward edges) into the tree.
+//
+// The implementation mirrors the paper's data layout (Figures 6 and 7): a
+// call record holds the procedure ID, a parent pointer, a metrics array and
+// one callee slot per call site; a slot is tagged as uninitialized, a direct
+// pointer to one child, or a pointer to a move-to-front list of children
+// (for indirect call sites). Records are also assigned addresses in the
+// simulated CCT heap so that, when driven from instrumented code, CCT
+// maintenance genuinely perturbs the simulated caches.
+package cct
+
+import (
+	"fmt"
+	"math"
+)
+
+// NoPrefix marks an unknown path prefix in AtCall: with chord-optimized
+// increments genuine prefixes can be negative, so a dedicated sentinel is
+// required rather than -1.
+const NoPrefix int64 = math.MinInt64
+
+// Costs is how tree operations charge their simulated price: reads/writes
+// against the simulated D-cache and inline instruction costs. A nil Costs is
+// valid and makes operations free (pure Go usage, e.g. tests and baselines).
+type Costs interface {
+	TouchRead(addr uint64)
+	TouchWrite(addr uint64)
+	ChargeInstrs(n uint64)
+}
+
+// Options configures tree construction.
+type Options struct {
+	// DistinguishCallSites gives every call site its own callee slot (the
+	// paper's default, required for combining with path profiling). When
+	// false, each record keeps a single aggregated callee list, the smaller
+	// "per (caller, callee) pair" variant discussed in Section 4.1.
+	DistinguishCallSites bool
+
+	// NumMetrics is the number of 64-bit metric accumulators per record.
+	NumMetrics int
+
+	// PathCounts additionally gives each record a per-path counter table
+	// for its procedure (the combined flow- and context-sensitive mode).
+	PathCounts bool
+
+	// HashPathThreshold switches a record's path table from a dense array
+	// to a hash table when the procedure's potential path count exceeds it.
+	// Zero means DefaultHashPathThreshold.
+	HashPathThreshold int64
+}
+
+// DefaultHashPathThreshold is the array-vs-hash crossover for per-record
+// path tables.
+const DefaultHashPathThreshold = 4096
+
+// hashTableWords is the simulated footprint charged for a hash-table path
+// table (buckets only; entries are charged as they are created).
+const hashTableWords = 64
+
+// ProcInfo describes the static program shape the tree needs.
+type ProcInfo struct {
+	Name     string
+	NumSites int   // call sites in the procedure
+	NumPaths int64 // Ball-Larus potential paths (0 if unknown)
+}
+
+// SlotTag is the 2-bit tag discriminating callee slot states (Figure 6).
+type SlotTag uint8
+
+const (
+	// TagEmpty marks an uninitialized slot; in the paper it holds the
+	// tagged offset back to the start of the record.
+	TagEmpty SlotTag = iota
+	// TagRecord marks a slot holding a pointer to a single call record.
+	TagRecord
+	// TagList marks a slot holding a pointer to a list of call records.
+	TagList
+)
+
+// child is one callee recorded in a slot.
+type child struct {
+	node     *Node
+	backedge bool // true when node is an ancestor (recursive reuse)
+}
+
+// slot is one callee slot.
+type slot struct {
+	tag  SlotTag
+	one  child
+	list []child // move-to-front; hottest callee first
+
+	// pathState/pathPrefix track which intraprocedural path prefixes
+	// reached this slot (for the "One Path" column of Table 3).
+	pathState  uint8 // 0 = none yet, 1 = exactly one, 2 = multiple
+	pathPrefix int64
+}
+
+// Node is one call record.
+type Node struct {
+	Proc    int
+	Parent  *Node
+	Metrics []int64
+
+	slots []slot
+
+	// Per-path counters (combined mode). Exactly one of the two is used.
+	pathArray []int64
+	pathHash  map[int64]int64
+
+	// Addr and Size are the record's simulated placement.
+	Addr uint64
+	Size uint64
+
+	depth int // root = 0
+}
+
+// Tree is a calling context tree under construction.
+type Tree struct {
+	opts  Options
+	procs []ProcInfo
+
+	root  *Node
+	stack []*Node // shadow activation stack; stack[len-1] is current
+
+	pendingSite int   // set by AtCall, consumed by Enter
+	pendingPath int64 // path prefix at the call site (combined mode), -1 none
+
+	nodes     int
+	listElems int
+
+	heapNext uint64 // simulated bump allocator over the CCT heap region
+	heapBase uint64
+}
+
+// New creates an empty tree for a program with the given procedures. The
+// root is the distinguished non-procedure vertex the paper labels "T".
+func New(procs []ProcInfo, opts Options, heapBase uint64) *Tree {
+	if opts.HashPathThreshold == 0 {
+		opts.HashPathThreshold = DefaultHashPathThreshold
+	}
+	t := &Tree{
+		opts:        opts,
+		procs:       procs,
+		heapBase:    heapBase,
+		heapNext:    heapBase,
+		pendingSite: -1,
+		pendingPath: NoPrefix,
+	}
+	t.root = &Node{Proc: -1, depth: 0}
+	t.root.slots = make([]slot, 1)
+	t.root.Addr = t.alloc(8 * 4)
+	t.root.Size = 8 * 4
+	t.stack = append(t.stack, t.root)
+	return t
+}
+
+func (t *Tree) alloc(n uint64) uint64 {
+	a := t.heapNext
+	t.heapNext += (n + 7) &^ 7
+	return a
+}
+
+// Root returns the distinguished root record.
+func (t *Tree) Root() *Node { return t.root }
+
+// Current returns the record of the active procedure (the root before any
+// Enter).
+func (t *Tree) Current() *Node { return t.stack[len(t.stack)-1] }
+
+// Depth returns the current activation depth including the root.
+func (t *Tree) Depth() int { return len(t.stack) }
+
+// NumNodes returns the number of call records excluding the root.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// HeapBytes returns the simulated bytes allocated for records and lists.
+func (t *Tree) HeapBytes() uint64 { return t.heapNext - t.heapBase }
+
+// recordWords computes the simulated size, in words, of a record for proc.
+func (t *Tree) recordWords(proc int) uint64 {
+	info := t.procs[proc]
+	sites := uint64(info.NumSites)
+	if !t.opts.DistinguishCallSites {
+		sites = 1
+	}
+	words := 2 + uint64(t.opts.NumMetrics) + sites // ID, parent, metrics, slots
+	if t.opts.PathCounts {
+		if info.NumPaths > 0 && info.NumPaths <= t.opts.HashPathThreshold {
+			words += uint64(info.NumPaths)
+		} else {
+			words += hashTableWords
+		}
+	}
+	return words
+}
+
+// newNode allocates a call record for proc under parent.
+func (t *Tree) newNode(proc int, parent *Node) *Node {
+	info := t.procs[proc]
+	nsites := info.NumSites
+	if !t.opts.DistinguishCallSites {
+		nsites = 1
+	}
+	if nsites == 0 {
+		nsites = 1 // leaf procedures still get one slot word for uniformity
+	}
+	n := &Node{
+		Proc:    proc,
+		Parent:  parent,
+		Metrics: make([]int64, t.opts.NumMetrics),
+		slots:   make([]slot, nsites),
+		depth:   parent.depth + 1,
+	}
+	if t.opts.PathCounts {
+		if info.NumPaths > 0 && info.NumPaths <= t.opts.HashPathThreshold {
+			n.pathArray = make([]int64, info.NumPaths)
+		} else {
+			n.pathHash = make(map[int64]int64)
+		}
+	}
+	words := t.recordWords(proc)
+	n.Size = words * 8
+	n.Addr = t.alloc(n.Size)
+	t.nodes++
+	return n
+}
+
+// slotIndex maps a call-site index to the record's slot index.
+func (t *Tree) slotIndex(site int) int {
+	if !t.opts.DistinguishCallSites {
+		return 0
+	}
+	return site
+}
+
+// AtCall records that the current procedure is about to call through the
+// given call-site index, optionally with the Ball-Larus path prefix active
+// at the site (pass NoPrefix when unknown). This models setting the gCSP
+// register: one ALU instruction, no memory traffic.
+func (t *Tree) AtCall(site int, pathPrefix int64, c Costs) {
+	t.pendingSite = site
+	t.pendingPath = pathPrefix
+	if c != nil {
+		c.ChargeInstrs(1)
+	}
+}
+
+// Enter records entry into proc, finding or building its call record per
+// the paper's algorithm: check the callee slot; on a miss search the
+// ancestors for a record of the same procedure (recursion → backedge);
+// otherwise allocate a fresh record.
+func (t *Tree) Enter(proc int, c Costs) *Node {
+	cur := t.Current()
+	site := t.pendingSite
+	if site < 0 {
+		site = 0
+	}
+	si := t.slotIndex(site)
+	if si >= len(cur.slots) {
+		// Tolerate a site index beyond the caller's slot count (can only
+		// happen for the root, whose single slot hosts program entry).
+		si = len(cur.slots) - 1
+	}
+	s := &cur.slots[si]
+
+	if c != nil {
+		// Load gCSP target and inspect the tag: 2 instructions + one read
+		// of the slot word.
+		c.ChargeInstrs(2)
+		c.TouchRead(cur.Addr + uint64(2+si)*8)
+	}
+
+	// Track path prefixes reaching the site (Table 3 "One Path" column).
+	if t.pendingPath != NoPrefix {
+		switch s.pathState {
+		case 0:
+			s.pathState = 1
+			s.pathPrefix = t.pendingPath
+		case 1:
+			if s.pathPrefix != t.pendingPath {
+				s.pathState = 2
+			}
+		}
+	}
+	t.pendingSite = -1
+	t.pendingPath = NoPrefix
+
+	var target *Node
+	switch s.tag {
+	case TagRecord:
+		if s.one.node.Proc == proc {
+			// Fast path: the slot already points at the callee's record.
+			if c != nil {
+				c.ChargeInstrs(2)
+				c.TouchRead(s.one.node.Addr) // check the ID field
+			}
+			target = s.one.node
+		} else {
+			// Same site, different callee (an indirect site first seen as
+			// one target): degrade the slot to a list.
+			s.list = []child{s.one}
+			s.tag = TagList
+			if c != nil {
+				c.ChargeInstrs(6)
+				c.TouchWrite(cur.Addr + uint64(2+si)*8)
+				t.listElems++
+				t.alloc(16)
+			}
+		}
+	case TagList:
+		// Search the move-to-front list.
+		for i := range s.list {
+			if c != nil {
+				c.ChargeInstrs(3)
+				c.TouchRead(s.list[i].node.Addr)
+			}
+			if s.list[i].node.Proc == proc {
+				hit := s.list[i]
+				copy(s.list[1:i+1], s.list[:i])
+				s.list[0] = hit
+				target = hit.node
+				if c != nil && i > 0 {
+					c.ChargeInstrs(4) // relink to front
+				}
+				break
+			}
+		}
+	}
+
+	if target == nil {
+		target = t.findOrCreate(proc, cur, s, si, c)
+	}
+	t.stack = append(t.stack, target)
+	if c != nil {
+		// Save the old gCSP to the (approximate) stack location and set
+		// the local current-record pointer: 3 instructions, one store.
+		c.ChargeInstrs(3)
+		c.TouchWrite(shadowStackAddr(len(t.stack)))
+	}
+	return target
+}
+
+// findOrCreate performs the slow path: ancestor search for recursion, then
+// allocation. It installs the result into slot s.
+func (t *Tree) findOrCreate(proc int, cur *Node, s *slot, si int, c Costs) *Node {
+	// Search ancestors for a record of the same procedure (the recursion
+	// rule). The walk reads each ancestor's ID and parent fields.
+	for a := cur; a != nil; a = a.Parent {
+		if c != nil {
+			c.ChargeInstrs(3)
+			c.TouchRead(a.Addr)
+		}
+		if a.Proc == proc {
+			t.installChild(s, si, cur, child{node: a, backedge: true}, c)
+			return a
+		}
+	}
+	n := t.newNode(proc, cur)
+	if c != nil {
+		// Allocation and initialization: bump the heap pointer, write the
+		// ID, parent and slot-initialization words. Charge one write per
+		// initialized header word (capped to keep pathological records from
+		// dominating) plus bookkeeping instructions.
+		c.ChargeInstrs(8)
+		words := n.Size / 8
+		if words > 16 {
+			words = 16
+		}
+		for w := uint64(0); w < words; w++ {
+			c.TouchWrite(n.Addr + w*8)
+		}
+	}
+	t.installChild(s, si, cur, child{node: n}, c)
+	return n
+}
+
+func (t *Tree) installChild(s *slot, si int, cur *Node, ch child, c Costs) {
+	switch s.tag {
+	case TagEmpty:
+		s.tag = TagRecord
+		s.one = ch
+	case TagRecord:
+		s.tag = TagList
+		s.list = []child{ch, s.one}
+		if c != nil {
+			t.listElems++
+			t.alloc(16)
+		}
+	case TagList:
+		s.list = append([]child{ch}, s.list...)
+		if c != nil {
+			t.listElems++
+			t.alloc(16)
+		}
+	}
+	if c != nil {
+		c.ChargeInstrs(1)
+		c.TouchWrite(cur.Addr + uint64(2+si)*8)
+	}
+}
+
+// Exit records return from the current procedure, restoring the caller's
+// context (the paper restores the saved gCSP from the stack).
+func (t *Tree) Exit(c Costs) {
+	if len(t.stack) <= 1 {
+		return // returning from the program's top level
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	if c != nil {
+		c.ChargeInstrs(2)
+		c.TouchRead(shadowStackAddr(len(t.stack) + 1))
+	}
+}
+
+// UnwindTo truncates the context stack to the given activation depth
+// (including the root); called when a longjmp discards activations.
+func (t *Tree) UnwindTo(depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	// depth counts program activations; our stack additionally holds the
+	// root at the bottom.
+	want := depth + 1
+	if want > len(t.stack) {
+		return
+	}
+	t.stack = t.stack[:want]
+}
+
+// shadowStackAddr approximates where the saved gCSP of the activation at
+// the given depth lives (interleaved with the program stack region so
+// instrumentation and program data share cache sets, as on real hardware).
+func shadowStackAddr(depth int) uint64 {
+	const stackTop = 0x0800_0000
+	return stackTop - uint64(depth)*16 - 8
+}
+
+// AddMetric accumulates v into metric slot i of the current record.
+func (t *Tree) AddMetric(i int, v int64, c Costs) {
+	n := t.Current()
+	if i < len(n.Metrics) {
+		n.Metrics[i] += v
+		if c != nil {
+			c.ChargeInstrs(2)
+			off := uint64(2+i) * 8
+			c.TouchRead(n.Addr + off)
+			c.TouchWrite(n.Addr + off)
+		}
+	}
+}
+
+// CountPath increments the current record's counter for the given completed
+// path sum (combined flow+context mode).
+func (t *Tree) CountPath(sum int64, c Costs) {
+	n := t.Current()
+	switch {
+	case n.pathArray != nil:
+		if sum >= 0 && sum < int64(len(n.pathArray)) {
+			n.pathArray[sum]++
+			if c != nil {
+				c.ChargeInstrs(2)
+				base := n.Addr + n.Size - uint64(len(n.pathArray))*8
+				c.TouchRead(base + uint64(sum)*8)
+				c.TouchWrite(base + uint64(sum)*8)
+			}
+		}
+	case n.pathHash != nil:
+		n.pathHash[sum]++
+		if c != nil {
+			// Hash probe: a few instructions plus a bucket touch.
+			c.ChargeInstrs(6)
+			bucket := uint64(sum) % hashTableWords
+			base := n.Addr + n.Size - hashTableWords*8
+			c.TouchRead(base + bucket*8)
+			c.TouchWrite(base + bucket*8)
+		}
+	}
+}
+
+// PathCount returns the recorded count for a path sum at node n.
+func (n *Node) PathCount(sum int64) int64 {
+	if n.pathArray != nil {
+		if sum >= 0 && sum < int64(len(n.pathArray)) {
+			return n.pathArray[sum]
+		}
+		return 0
+	}
+	return n.pathHash[sum]
+}
+
+// PathCounts returns all non-zero (sum, count) pairs at node n.
+func (n *Node) PathCounts() map[int64]int64 {
+	out := make(map[int64]int64)
+	if n.pathArray != nil {
+		for s, c := range n.pathArray {
+			if c != 0 {
+				out[int64(s)] = c
+			}
+		}
+		return out
+	}
+	for s, c := range n.pathHash {
+		if c != 0 {
+			out[s] = c
+		}
+	}
+	return out
+}
+
+// SlotView is the read-only view of one callee slot.
+type SlotView struct {
+	Site     int
+	Used     bool
+	Children []*Node // tree children reached through this slot
+	Recursed []*Node // ancestor records reached through this slot (backedges)
+	// OnePathPrefix is the unique intraprocedural path prefix (canonical
+	// partial path sum) that reached this slot, when exactly one did.
+	OnePathPrefix int64
+	OnePath       bool
+}
+
+// Slots returns read-only views of all callee slots in site order.
+func (n *Node) Slots() []SlotView {
+	out := make([]SlotView, len(n.slots))
+	for i := range n.slots {
+		s := &n.slots[i]
+		v := SlotView{Site: i, Used: s.tag != TagEmpty}
+		if s.pathState == 1 {
+			v.OnePath = true
+			v.OnePathPrefix = s.pathPrefix
+		}
+		add := func(ch child) {
+			if ch.backedge {
+				v.Recursed = append(v.Recursed, ch.node)
+			} else {
+				v.Children = append(v.Children, ch.node)
+			}
+		}
+		switch s.tag {
+		case TagRecord:
+			add(s.one)
+		case TagList:
+			for _, ch := range s.list {
+				add(ch)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Children returns n's non-backedge (tree) children, and separately the
+// backedge targets, in slot order.
+func (n *Node) Children() (tree []*Node, backedges []*Node) {
+	add := func(ch child) {
+		if ch.backedge {
+			backedges = append(backedges, ch.node)
+		} else {
+			tree = append(tree, ch.node)
+		}
+	}
+	for i := range n.slots {
+		switch n.slots[i].tag {
+		case TagRecord:
+			add(n.slots[i].one)
+		case TagList:
+			for _, ch := range n.slots[i].list {
+				add(ch)
+			}
+		}
+	}
+	return tree, backedges
+}
+
+// Depth returns the node's distance from the root.
+func (n *Node) Depth() int { return n.depth }
+
+// Walk visits every record (excluding the root) in depth-first tree order.
+func (t *Tree) Walk(fn func(*Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n != t.root {
+			fn(n)
+		}
+		tree, _ := n.Children()
+		for _, ch := range tree {
+			rec(ch)
+		}
+	}
+	rec(t.root)
+}
+
+// Validate checks structural invariants: parent links match tree edges,
+// backedges target true ancestors (no cross or forward edges), and depth
+// never exceeds the number of procedures (the bounded-depth property that
+// the recursion rule guarantees).
+func (t *Tree) Validate() error {
+	maxDepth := len(t.procs)
+	var rec func(n *Node, ancestors map[*Node]bool) error
+	rec = func(n *Node, ancestors map[*Node]bool) error {
+		if n != t.root && n.depth > maxDepth {
+			return fmt.Errorf("cct: node for proc %d at depth %d > %d procs", n.Proc, n.depth, maxDepth)
+		}
+		tree, back := n.Children()
+		for _, b := range back {
+			if !ancestors[b] && b != n {
+				return fmt.Errorf("cct: backedge from proc %d to non-ancestor proc %d", n.Proc, b.Proc)
+			}
+		}
+		ancestors[n] = true
+		for _, ch := range tree {
+			if ch.Parent != n {
+				return fmt.Errorf("cct: child proc %d has wrong parent", ch.Proc)
+			}
+			if err := rec(ch, ancestors); err != nil {
+				return err
+			}
+		}
+		delete(ancestors, n)
+		return nil
+	}
+	return rec(t.root, map[*Node]bool{})
+}
+
+// MaxDepthBound returns the theoretical depth bound (number of procedures).
+func (t *Tree) MaxDepthBound() int { return len(t.procs) }
+
+// ProcName returns the name of procedure id (or "T" for the root's -1).
+func (t *Tree) ProcName(id int) string {
+	if id < 0 || id >= len(t.procs) {
+		return "T"
+	}
+	return t.procs[id].Name
+}
+
+// avgOrZero guards 0/0.
+func avgOrZero(sum, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Stats summarizes the tree in the shape of Table 3.
+type Stats struct {
+	SizeBytes      uint64  // simulated profile size: records + lists
+	Nodes          int     // call records, excluding the root
+	AvgNodeSize    float64 // bytes
+	AvgOutDegree   float64 // children per interior node
+	AvgHeight      float64 // average leaf depth
+	MaxHeight      int
+	MaxReplication int // most records for any single procedure
+	CallSitesTotal int // callee slots across all records
+	CallSitesUsed  int // slots actually reached
+	OnePathSites   int // used slots reached by exactly one path prefix
+	ListElems      int
+}
+
+// ComputeStats derives Table 3 statistics from the tree.
+func (t *Tree) ComputeStats() Stats {
+	var st Stats
+	st.ListElems = t.listElems
+	repl := make(map[int]int)
+	var sizeSum uint64
+	var degSum, interior int
+	var leafDepthSum, leaves int
+	maxH := 0
+	t.Walk(func(n *Node) {
+		st.Nodes++
+		repl[n.Proc]++
+		sizeSum += n.Size
+		tree, back := n.Children()
+		deg := len(tree) + len(back)
+		if deg > 0 {
+			degSum += deg
+			interior++
+		} else {
+			leaves++
+			leafDepthSum += n.depth
+		}
+		if n.depth > maxH {
+			maxH = n.depth
+		}
+		st.CallSitesTotal += len(n.slots)
+		for i := range n.slots {
+			if n.slots[i].tag != TagEmpty {
+				st.CallSitesUsed++
+				if n.slots[i].pathState == 1 {
+					st.OnePathSites++
+				}
+			}
+		}
+	})
+	st.SizeBytes = t.HeapBytes()
+	st.AvgNodeSize = avgOrZero(float64(sizeSum), float64(st.Nodes))
+	st.AvgOutDegree = avgOrZero(float64(degSum), float64(interior))
+	st.AvgHeight = avgOrZero(float64(leafDepthSum), float64(leaves))
+	if leaves == 0 {
+		// Recursion can leave no pure leaves (every node has a backedge);
+		// fall back to the average depth over all records.
+		var depthSum int
+		t.Walk(func(n *Node) { depthSum += n.depth })
+		st.AvgHeight = avgOrZero(float64(depthSum), float64(st.Nodes))
+	}
+	st.MaxHeight = maxH
+	for _, c := range repl {
+		if c > st.MaxReplication {
+			st.MaxReplication = c
+		}
+	}
+	if st.Nodes == 0 {
+		st.AvgHeight = 0
+		st.MaxHeight = 0
+	}
+	return st
+}

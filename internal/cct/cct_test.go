@@ -1,0 +1,592 @@
+package cct
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// trace events: positive = Enter(proc) through the given site; -1 = Exit.
+type call struct {
+	site int
+	proc int
+}
+
+func procs(n int, sites int) []ProcInfo {
+	out := make([]ProcInfo, n)
+	for i := range out {
+		out[i] = ProcInfo{Name: fmt.Sprintf("p%d", i), NumSites: sites, NumPaths: 4}
+	}
+	return out
+}
+
+func opts() Options {
+	return Options{DistinguishCallSites: true, NumMetrics: 1}
+}
+
+// figure4 replays the dynamic call tree of Figure 4 of the paper:
+// M{ A{ B{ C } }, A{ B{ C } }, D{ C } }. The CCT must keep the two calling
+// contexts of C (M→A→B→C and M→D→C) while merging the repeated A subtrees.
+func TestFigure4Contexts(t *testing.T) {
+	const (
+		M, A, B, C, D = 0, 1, 2, 3, 4
+	)
+	tr := New(procs(5, 3), opts(), 0)
+	enter := func(site, proc int) {
+		tr.AtCall(site, NoPrefix, nil)
+		tr.Enter(proc, nil)
+		tr.AddMetric(0, 1, nil)
+	}
+	exit := func() { tr.Exit(nil) }
+
+	enter(0, M)
+	enter(0, A)
+	enter(0, B)
+	enter(0, C)
+	exit()
+	exit()
+	exit()
+	enter(0, A) // second A activation: same context, same record
+	enter(0, B)
+	enter(0, C)
+	exit()
+	exit()
+	exit()
+	enter(1, D)
+	enter(0, C)
+	exit()
+	exit()
+	exit()
+
+	if tr.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6 (M A B C D C')", tr.NumNodes())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// C must have two records with invocation counts 2 and 1.
+	var cCounts []int64
+	tr.Walk(func(n *Node) {
+		if n.Proc == C {
+			cCounts = append(cCounts, n.Metrics[0])
+		}
+	})
+	if len(cCounts) != 2 {
+		t.Fatalf("C has %d records, want 2 distinct contexts", len(cCounts))
+	}
+	if cCounts[0]+cCounts[1] != 3 {
+		t.Fatalf("C invocations = %v, want total 3", cCounts)
+	}
+}
+
+// TestFigure5Recursion replays M{ A{ B{ A{ B{} } } } }: the recursive A
+// folds into its ancestor record via a backedge, and the CCT depth stays
+// bounded.
+func TestFigure5Recursion(t *testing.T) {
+	const (
+		M, A, B = 0, 1, 2
+	)
+	tr := New(procs(3, 2), opts(), 0)
+	enter := func(site, proc int) {
+		tr.AtCall(site, NoPrefix, nil)
+		tr.Enter(proc, nil)
+		tr.AddMetric(0, 1, nil)
+	}
+	enter(0, M)
+	enter(0, A)
+	enter(0, B)
+	enter(0, A) // recursive: reuses the ancestor A record
+	enter(0, B) // and B below it reuses the original B record
+	for i := 0; i < 5; i++ {
+		tr.Exit(nil)
+	}
+
+	if tr.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (M A B)", tr.NumNodes())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var aNode, bNode *Node
+	tr.Walk(func(n *Node) {
+		switch n.Proc {
+		case A:
+			aNode = n
+		case B:
+			bNode = n
+		}
+	})
+	if aNode.Metrics[0] != 2 || bNode.Metrics[0] != 2 {
+		t.Fatalf("A/B invocations = %d/%d, want 2/2", aNode.Metrics[0], bNode.Metrics[0])
+	}
+	_, backs := bNode.Children()
+	if len(backs) != 1 || backs[0] != aNode {
+		t.Fatalf("B should have one backedge to A")
+	}
+}
+
+// signatureRef independently computes CCT contexts as canonical signatures:
+// a context is the root-to-activation list of (site, proc) pairs, truncated
+// at recursion (re-entering a procedure already on the signature folds back
+// to that occurrence). Node counts and per-context invocation counts must
+// match the tree built by the runtime algorithm.
+type signatureRef struct {
+	distinguishSites bool
+	stack            []string // signature per live activation
+	sigProcs         []string // procs-only signature for recursion folding
+	counts           map[string]int
+	pendingSite      int
+}
+
+func newSignatureRef(distinguishSites bool) *signatureRef {
+	return &signatureRef{
+		distinguishSites: distinguishSites,
+		counts:           map[string]int{},
+		stack:            []string{""},
+		sigProcs:         []string{"|"},
+		pendingSite:      -1,
+	}
+}
+
+func (r *signatureRef) atCall(site int) { r.pendingSite = site }
+
+func (r *signatureRef) enter(proc int) {
+	parentSig := r.stack[len(r.stack)-1]
+	parentProcs := r.sigProcs[len(r.sigProcs)-1]
+	marker := fmt.Sprintf("|%d|", proc)
+	var sig, procsSig string
+	if idx := indexOf(parentProcs, marker); idx >= 0 {
+		// Recursion: fold back to the ancestor occurrence. The signature
+		// truncates to the prefix whose last proc is this one.
+		sig, procsSig = truncateAt(parentSig, parentProcs, idx, proc)
+	} else {
+		site := 0
+		// The root record has a single callee slot, so top-level entries
+		// (depth 0) never distinguish sites.
+		if r.distinguishSites && r.pendingSite >= 0 && len(r.stack) > 1 {
+			site = r.pendingSite
+		}
+		sig = fmt.Sprintf("%s/(%d,%d)", parentSig, site, proc)
+		procsSig = parentProcs + fmt.Sprintf("%d|", proc)
+	}
+	r.pendingSite = -1
+	r.stack = append(r.stack, sig)
+	r.sigProcs = append(r.sigProcs, procsSig)
+	r.counts[sig]++
+}
+
+func (r *signatureRef) exit() {
+	r.stack = r.stack[:len(r.stack)-1]
+	r.sigProcs = r.sigProcs[:len(r.sigProcs)-1]
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// truncateAt rebuilds the signature prefix ending at the ancestor
+// occurrence of proc located at byte index idx of the procs signature.
+func truncateAt(sig, procsSig string, idx int, proc int) (string, string) {
+	// Count procs up to and including the occurrence.
+	prefix := procsSig[:idx+1] // up to the '|' before proc
+	keep := 0
+	for _, c := range prefix {
+		if c == '|' {
+			keep++
+		}
+	}
+	// keep-1 procs precede; the occurrence itself is proc number `keep`.
+	// Truncate sig to its first `keep` path components.
+	count := 0
+	for i := 0; i < len(sig); i++ {
+		if sig[i] == '/' {
+			count++
+			if count == keep+1 {
+				newProcs := procsSig[:idx+1] + fmt.Sprintf("%d|", proc)
+				return sig[:i], newProcs
+			}
+		}
+	}
+	newProcs := procsSig[:idx+1] + fmt.Sprintf("%d|", proc)
+	return sig, newProcs
+}
+
+// randomTrace produces a balanced Enter/Exit trace with recursion and
+// multiple sites.
+func randomTrace(rng *rand.Rand, nProcs, nSites, length int) []call {
+	var out []call
+	depth := 0
+	for i := 0; i < length; i++ {
+		if depth == 0 || (depth < 12 && rng.Intn(100) < 55) {
+			out = append(out, call{site: rng.Intn(nSites), proc: rng.Intn(nProcs)})
+			depth++
+		} else {
+			out = append(out, call{site: -1})
+			depth--
+		}
+	}
+	for depth > 0 {
+		out = append(out, call{site: -1})
+		depth--
+	}
+	return out
+}
+
+// TestAgainstSignatureReference: on random traces, the runtime tree has
+// exactly the signature reference's contexts and counts.
+func TestAgainstSignatureReference(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProcs, nSites := rng.Intn(5)+2, rng.Intn(3)+1
+		trace := randomTrace(rng, nProcs, nSites, rng.Intn(300)+20)
+
+		tr := New(procs(nProcs, nSites), opts(), 0)
+		ref := newSignatureRef(true)
+		for _, c := range trace {
+			if c.site >= 0 {
+				tr.AtCall(c.site, NoPrefix, nil)
+				tr.Enter(c.proc, nil)
+				tr.AddMetric(0, 1, nil)
+				ref.atCall(c.site)
+				ref.enter(c.proc)
+			} else {
+				tr.Exit(nil)
+				ref.exit()
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if tr.NumNodes() != len(ref.counts) {
+			t.Logf("seed %d: tree has %d nodes, reference %d contexts", seed, tr.NumNodes(), len(ref.counts))
+			return false
+		}
+		// Invocation-count multisets must agree.
+		var treeCounts, refCounts []int
+		tr.Walk(func(n *Node) { treeCounts = append(treeCounts, int(n.Metrics[0])) })
+		for _, c := range ref.counts {
+			refCounts = append(refCounts, c)
+		}
+		if !sameMultiset(treeCounts, refCounts) {
+			t.Logf("seed %d: count multisets differ: %v vs %v", seed, treeCounts, refCounts)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameMultiset(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]int{}
+	for _, x := range a {
+		m[x]++
+	}
+	for _, x := range b {
+		m[x]--
+		if m[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDepthBound: the CCT's depth never exceeds the number of procedures,
+// no matter how deep the dynamic recursion.
+func TestDepthBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProcs := rng.Intn(4) + 2
+		tr := New(procs(nProcs, 2), opts(), 0)
+		trace := randomTrace(rng, nProcs, 2, 400)
+		for _, c := range trace {
+			if c.site >= 0 {
+				tr.AtCall(c.site, NoPrefix, nil)
+				tr.Enter(c.proc, nil)
+			} else {
+				tr.Exit(nil)
+			}
+		}
+		maxDepth := 0
+		tr.Walk(func(n *Node) {
+			if n.Depth() > maxDepth {
+				maxDepth = n.Depth()
+			}
+		})
+		// Depth includes the root at 0; records sit at 1..nProcs.
+		if maxDepth > nProcs {
+			t.Logf("seed %d: depth %d > %d procs", seed, maxDepth, nProcs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBreadthBound: a record's children never exceed its procedure's call
+// sites × distinct callees... in the site-distinguished layout, each slot
+// holds one record per distinct callee procedure.
+func TestIndirectSiteList(t *testing.T) {
+	tr := New(procs(4, 1), opts(), 0)
+	// One site calling three different procedures (an indirect call site).
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(0, nil)
+	for callee := 1; callee <= 3; callee++ {
+		for rep := 0; rep < 2; rep++ {
+			tr.AtCall(0, NoPrefix, nil)
+			tr.Enter(callee, nil)
+			tr.Exit(nil)
+		}
+	}
+	tr.Exit(nil)
+	var p0 *Node
+	tr.Walk(func(n *Node) {
+		if n.Proc == 0 {
+			p0 = n
+		}
+	})
+	kids, _ := p0.Children()
+	if len(kids) != 3 {
+		t.Fatalf("indirect site produced %d children, want 3", len(kids))
+	}
+	if tr.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", tr.NumNodes())
+	}
+}
+
+// TestMoveToFront: after calling callee X, X's record moves to the front of
+// the site's list.
+func TestMoveToFront(t *testing.T) {
+	tr := New(procs(4, 1), opts(), 0)
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(0, nil)
+	for _, callee := range []int{1, 2, 3, 1} {
+		tr.AtCall(0, NoPrefix, nil)
+		tr.Enter(callee, nil)
+		tr.Exit(nil)
+	}
+	var p0 *Node
+	tr.Walk(func(n *Node) {
+		if n.Proc == 0 {
+			p0 = n
+		}
+	})
+	s := &p0.slots[0]
+	if s.tag != TagList || len(s.list) != 3 {
+		t.Fatalf("slot = %+v, want a 3-element list", s)
+	}
+	if s.list[0].node.Proc != 1 {
+		t.Fatalf("front of list is proc %d, want 1 (most recently called)", s.list[0].node.Proc)
+	}
+}
+
+// TestCombinedSitesSmaller: turning call-site distinction off produces a
+// tree no larger, typically smaller (the paper reports 2-3x growth when
+// distinguishing sites).
+func TestCombinedSitesSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trace := randomTrace(rng, 4, 4, 2000)
+	run := func(distinguish bool) *Tree {
+		tr := New(procs(4, 4), Options{DistinguishCallSites: distinguish, NumMetrics: 1}, 0)
+		for _, c := range trace {
+			if c.site >= 0 {
+				tr.AtCall(c.site, NoPrefix, nil)
+				tr.Enter(c.proc, nil)
+			} else {
+				tr.Exit(nil)
+			}
+		}
+		return tr
+	}
+	with := run(true)
+	without := run(false)
+	if without.NumNodes() > with.NumNodes() {
+		t.Fatalf("combined-site tree has more nodes (%d) than distinguished (%d)", without.NumNodes(), with.NumNodes())
+	}
+	if without.HeapBytes() >= with.HeapBytes() {
+		t.Fatalf("combined-site tree not smaller: %d vs %d bytes", without.HeapBytes(), with.HeapBytes())
+	}
+}
+
+// TestUnwind: truncating the context stack (longjmp) leaves the tree
+// consistent and subsequent Enters attach at the right context.
+func TestUnwind(t *testing.T) {
+	tr := New(procs(5, 2), opts(), 0)
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(0, nil) // depth 1
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(1, nil) // depth 2
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(2, nil) // depth 3
+	tr.UnwindTo(1)   // back to proc 0's activation
+	if tr.Current().Proc != 0 {
+		t.Fatalf("after unwind current = proc %d, want 0", tr.Current().Proc)
+	}
+	tr.AtCall(1, NoPrefix, nil)
+	tr.Enter(3, nil)
+	if tr.Current().Parent.Proc != 0 {
+		t.Fatal("post-unwind child attached to wrong parent")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathCountsPerContext: the same procedure records separate path tables
+// in different contexts (the combined flow+context capability).
+func TestPathCountsPerContext(t *testing.T) {
+	pr := procs(3, 2)
+	pr[2].NumPaths = 8
+	tr := New(pr, Options{DistinguishCallSites: true, NumMetrics: 1, PathCounts: true}, 0)
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(0, nil)
+
+	tr.AtCall(0, 3, nil) // reaching the site via path prefix 3
+	tr.Enter(2, nil)
+	tr.CountPath(5, nil)
+	tr.Exit(nil)
+
+	tr.AtCall(1, 4, nil)
+	tr.Enter(2, nil)
+	tr.CountPath(6, nil)
+	tr.CountPath(6, nil)
+	tr.Exit(nil)
+	tr.Exit(nil)
+
+	var recs []*Node
+	tr.Walk(func(n *Node) {
+		if n.Proc == 2 {
+			recs = append(recs, n)
+		}
+	})
+	if len(recs) != 2 {
+		t.Fatalf("proc 2 has %d records, want 2", len(recs))
+	}
+	total := map[int64]int64{}
+	for _, r := range recs {
+		for s, c := range r.PathCounts() {
+			total[s] += c
+		}
+	}
+	if total[5] != 1 || total[6] != 2 {
+		t.Fatalf("path counts = %v", total)
+	}
+}
+
+// TestHashPathTable: procedures above the threshold use hash tables.
+func TestHashPathTable(t *testing.T) {
+	pr := procs(2, 1)
+	pr[1].NumPaths = 1 << 20
+	tr := New(pr, Options{DistinguishCallSites: true, PathCounts: true, HashPathThreshold: 100}, 0)
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(0, nil)
+	tr.AtCall(0, NoPrefix, nil)
+	tr.Enter(1, nil)
+	tr.CountPath(999_999, nil)
+	n := tr.Current()
+	if n.pathHash == nil {
+		t.Fatal("large-path procedure should use a hash table")
+	}
+	if n.PathCount(999_999) != 1 {
+		t.Fatal("hash path count missing")
+	}
+}
+
+// TestStatsShape: Table 3 statistics are internally consistent.
+func TestStatsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(procs(6, 3), opts(), 0)
+	trace := randomTrace(rng, 6, 3, 3000)
+	prefix := int64(0)
+	for _, c := range trace {
+		if c.site >= 0 {
+			tr.AtCall(c.site, prefix%3, nil)
+			tr.Enter(c.proc, nil)
+			prefix++
+		} else {
+			tr.Exit(nil)
+		}
+	}
+	st := tr.ComputeStats()
+	if st.Nodes != tr.NumNodes() {
+		t.Fatalf("stats nodes %d != tree nodes %d", st.Nodes, tr.NumNodes())
+	}
+	if st.CallSitesUsed > st.CallSitesTotal {
+		t.Fatal("used sites exceed total")
+	}
+	if st.OnePathSites > st.CallSitesUsed {
+		t.Fatal("one-path sites exceed used sites")
+	}
+	if st.MaxHeight > 6 {
+		t.Fatalf("height %d exceeds procedure count", st.MaxHeight)
+	}
+	if st.SizeBytes == 0 || st.AvgNodeSize <= 0 {
+		t.Fatal("size statistics empty")
+	}
+	if st.MaxReplication < 1 {
+		t.Fatal("replication must be at least 1")
+	}
+}
+
+// TestCostsCharged: operations driven with a Costs sink actually charge.
+type fakeCosts struct {
+	reads, writes, instrs uint64
+}
+
+func (f *fakeCosts) TouchRead(uint64)      { f.reads++ }
+func (f *fakeCosts) TouchWrite(uint64)     { f.writes++ }
+func (f *fakeCosts) ChargeInstrs(n uint64) { f.instrs += n }
+
+func TestCostsCharged(t *testing.T) {
+	tr := New(procs(3, 2), opts(), 0)
+	c := &fakeCosts{}
+	tr.AtCall(0, NoPrefix, c)
+	tr.Enter(0, c)
+	tr.AtCall(1, NoPrefix, c)
+	tr.Enter(1, c)
+	tr.AddMetric(0, 1, c)
+	tr.Exit(c)
+	tr.Exit(c)
+	if c.instrs == 0 || c.reads == 0 || c.writes == 0 {
+		t.Fatalf("costs not charged: %+v", c)
+	}
+}
+
+// TestRecordAddressesDisjoint: simulated record placements never overlap.
+func TestRecordAddressesDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := New(procs(5, 2), opts(), 0x1000)
+	trace := randomTrace(rng, 5, 2, 500)
+	for _, c := range trace {
+		if c.site >= 0 {
+			tr.AtCall(c.site, NoPrefix, nil)
+			tr.Enter(c.proc, nil)
+		} else {
+			tr.Exit(nil)
+		}
+	}
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	tr.Walk(func(n *Node) { spans = append(spans, span{n.Addr, n.Addr + n.Size}) })
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("records overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+}

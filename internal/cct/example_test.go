@@ -1,0 +1,62 @@
+package cct_test
+
+import (
+	"fmt"
+	"os"
+
+	"pathprof/internal/cct"
+)
+
+// Example builds the calling context tree of the paper's Figure 4 by hand
+// and dumps it: procedure C keeps its two distinct contexts while the
+// repeated A subtree merges.
+func Example() {
+	procs := []cct.ProcInfo{
+		{Name: "M", NumSites: 2},
+		{Name: "A", NumSites: 1},
+		{Name: "B", NumSites: 1},
+		{Name: "C", NumSites: 0},
+		{Name: "D", NumSites: 1},
+	}
+	tree := cct.New(procs, cct.Options{DistinguishCallSites: true, NumMetrics: 1}, 0)
+
+	enter := func(site, proc int) {
+		tree.AtCall(site, cct.NoPrefix, nil)
+		tree.Enter(proc, nil)
+		tree.AddMetric(0, 1, nil)
+	}
+	exit := func() { tree.Exit(nil) }
+
+	// M{ A{ B{ C } }, A{ B{ C } }, D{ C } }
+	enter(0, 0) // M
+	for i := 0; i < 2; i++ {
+		enter(0, 1) // A (same context both times: one record)
+		enter(0, 2) // B
+		enter(0, 3) // C
+		exit()
+		exit()
+		exit()
+	}
+	enter(1, 4) // D
+	enter(0, 3) // C — a second, distinct context
+	exit()
+	exit()
+	exit()
+
+	fmt.Println("records:", tree.NumNodes())
+	tree.Dump(os.Stdout, func(id int) string {
+		if id < 0 {
+			return "T"
+		}
+		return procs[id].Name
+	})
+	// Output:
+	// records: 6
+	// <root>
+	//   M  metrics=[1]
+	//     A  metrics=[2]
+	//       B  metrics=[2]
+	//         C  metrics=[2]
+	//     D  metrics=[1]
+	//       C  metrics=[1]
+}

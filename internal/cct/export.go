@@ -1,0 +1,255 @@
+package cct
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements what the paper's "Program exit" instrumentation
+// does: "the instrumentation writes the heap containing the CCT to a file
+// from which the CCT can be reconstructed" — a line-oriented encoding plus
+// the inverse reader, and a human-readable tree dump.
+
+// Write encodes the tree:
+//
+//	cct <numProcs> <distinguishSites> <numMetrics>
+//	node <id> <parent-id> <proc> <site> <backedge-parent 0|1-unused> <metrics...>
+//	path <node-id> <sum> <count>
+//	back <from-id> <to-id>
+//
+// Node IDs are depth-first preorder numbers; the root is 0 and is not
+// emitted as a node line.
+func (t *Tree) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cct %d %t %d\n", len(t.procs), t.opts.DistinguishCallSites, t.opts.NumMetrics)
+
+	ids := map[*Node]int{t.root: 0}
+	next := 1
+	var backedges [][2]int
+
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		tree, backs := n.Children()
+		for _, ch := range tree {
+			ids[ch] = next
+			next++
+			fmt.Fprintf(bw, "node %d %d %d", ids[ch], ids[n], ch.Proc)
+			for _, m := range ch.Metrics {
+				fmt.Fprintf(bw, " %d", m)
+			}
+			fmt.Fprintln(bw)
+			counts := ch.PathCounts()
+			sums := make([]int64, 0, len(counts))
+			for s := range counts {
+				sums = append(sums, s)
+			}
+			sort.Slice(sums, func(i, j int) bool { return sums[i] < sums[j] })
+			for _, s := range sums {
+				fmt.Fprintf(bw, "path %d %d %d\n", ids[ch], s, counts[s])
+			}
+			rec(ch)
+		}
+		for _, b := range backs {
+			backedges = append(backedges, [2]int{ids[n], ids[b]})
+		}
+	}
+	rec(t.root)
+	for _, be := range backedges {
+		fmt.Fprintf(bw, "back %d %d\n", be[0], be[1])
+	}
+	return bw.Flush()
+}
+
+// ExportedNode is one record of a decoded CCT file.
+type ExportedNode struct {
+	ID         int
+	ParentID   int
+	Proc       int
+	Metrics    []int64
+	PathCounts map[int64]int64
+	Children   []*ExportedNode
+	Backedges  []int // target node IDs
+}
+
+// Export is a decoded CCT file.
+type Export struct {
+	NumProcs         int
+	DistinguishSites bool
+	NumMetrics       int
+	Root             *ExportedNode // synthetic root with ID 0
+	Nodes            map[int]*ExportedNode
+}
+
+// Read decodes a tree written by Write.
+func Read(r io.Reader) (*Export, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var ex *Export
+	line := 0
+	for sc.Scan() {
+		line++
+		f := strings.Fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "cct":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("cct: line %d: malformed header", line)
+			}
+			np, err1 := strconv.Atoi(f[1])
+			ds, err2 := strconv.ParseBool(f[2])
+			nm, err3 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("cct: line %d: bad header fields", line)
+			}
+			root := &ExportedNode{ID: 0, Proc: -1, PathCounts: map[int64]int64{}}
+			ex = &Export{
+				NumProcs: np, DistinguishSites: ds, NumMetrics: nm,
+				Root:  root,
+				Nodes: map[int]*ExportedNode{0: root},
+			}
+		case "node":
+			if ex == nil || len(f) < 4 {
+				return nil, fmt.Errorf("cct: line %d: malformed node", line)
+			}
+			id, err1 := strconv.Atoi(f[1])
+			pid, err2 := strconv.Atoi(f[2])
+			proc, err3 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("cct: line %d: bad node fields", line)
+			}
+			n := &ExportedNode{ID: id, ParentID: pid, Proc: proc, PathCounts: map[int64]int64{}}
+			for _, ms := range f[4:] {
+				m, err := strconv.ParseInt(ms, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("cct: line %d: bad metric", line)
+				}
+				n.Metrics = append(n.Metrics, m)
+			}
+			parent, ok := ex.Nodes[pid]
+			if !ok {
+				return nil, fmt.Errorf("cct: line %d: node %d has unknown parent %d", line, id, pid)
+			}
+			parent.Children = append(parent.Children, n)
+			ex.Nodes[id] = n
+		case "path":
+			if ex == nil || len(f) != 4 {
+				return nil, fmt.Errorf("cct: line %d: malformed path", line)
+			}
+			id, err1 := strconv.Atoi(f[1])
+			sum, err2 := strconv.ParseInt(f[2], 10, 64)
+			cnt, err3 := strconv.ParseInt(f[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("cct: line %d: bad path fields", line)
+			}
+			n, ok := ex.Nodes[id]
+			if !ok {
+				return nil, fmt.Errorf("cct: line %d: path for unknown node %d", line, id)
+			}
+			n.PathCounts[sum] = cnt
+		case "back":
+			if ex == nil || len(f) != 3 {
+				return nil, fmt.Errorf("cct: line %d: malformed back", line)
+			}
+			from, err1 := strconv.Atoi(f[1])
+			to, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("cct: line %d: bad back fields", line)
+			}
+			n, ok := ex.Nodes[from]
+			if !ok {
+				return nil, fmt.Errorf("cct: line %d: backedge from unknown node %d", line, from)
+			}
+			if _, ok := ex.Nodes[to]; !ok {
+				return nil, fmt.Errorf("cct: line %d: backedge to unknown node %d", line, to)
+			}
+			n.Backedges = append(n.Backedges, to)
+		default:
+			return nil, fmt.Errorf("cct: line %d: unknown record %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ex == nil {
+		return nil, fmt.Errorf("cct: empty input")
+	}
+	return ex, nil
+}
+
+// NumNodes counts decoded records (excluding the root).
+func (ex *Export) NumNodes() int { return len(ex.Nodes) - 1 }
+
+// Stats computes Table 3-style statistics from a decoded file: node count,
+// height, out-degree and per-procedure replication (sizes are not encoded
+// in the file and read as zero).
+func (ex *Export) Stats() Stats {
+	var st Stats
+	repl := map[int]int{}
+	var degSum, interior, leafDepthSum, leaves, maxH int
+	var rec func(n *ExportedNode, depth int)
+	rec = func(n *ExportedNode, depth int) {
+		if n.ID != 0 {
+			st.Nodes++
+			repl[n.Proc]++
+			deg := len(n.Children) + len(n.Backedges)
+			if deg > 0 {
+				degSum += deg
+				interior++
+			} else {
+				leaves++
+				leafDepthSum += depth
+			}
+			if depth > maxH {
+				maxH = depth
+			}
+		}
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(ex.Root, 0)
+	st.AvgOutDegree = avgOrZero(float64(degSum), float64(interior))
+	st.AvgHeight = avgOrZero(float64(leafDepthSum), float64(leaves))
+	st.MaxHeight = maxH
+	for _, c := range repl {
+		if c > st.MaxReplication {
+			st.MaxReplication = c
+		}
+	}
+	return st
+}
+
+// Dump renders the tree as an indented listing (procName resolves IDs),
+// with per-record metrics; handy for reports and debugging.
+func (t *Tree) Dump(w io.Writer, procName func(int) string) {
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		name := procName(n.Proc)
+		if n == t.root {
+			name = "<root>"
+		}
+		fmt.Fprintf(w, "%s%s", indent, name)
+		if len(n.Metrics) > 0 {
+			fmt.Fprintf(w, "  metrics=%v", n.Metrics)
+		}
+		if pc := n.PathCounts(); len(pc) > 0 {
+			fmt.Fprintf(w, "  paths=%d", len(pc))
+		}
+		fmt.Fprintln(w)
+		tree, backs := n.Children()
+		for _, ch := range tree {
+			rec(ch, depth+1)
+		}
+		for _, b := range backs {
+			fmt.Fprintf(w, "%s  ↻ %s\n", indent, procName(b.Proc))
+		}
+	}
+	rec(t.root, 0)
+}

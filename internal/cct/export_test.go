@@ -1,0 +1,209 @@
+package cct
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTreeFromTrace(rng *rand.Rand, nProcs, nSites, length int, paths bool) *Tree {
+	opts := Options{DistinguishCallSites: true, NumMetrics: 2, PathCounts: paths}
+	pr := procs(nProcs, nSites)
+	tr := New(pr, opts, 0)
+	trace := randomTrace(rng, nProcs, nSites, length)
+	for _, c := range trace {
+		if c.site >= 0 {
+			tr.AtCall(c.site, NoPrefix, nil)
+			tr.Enter(c.proc, nil)
+			tr.AddMetric(0, 1, nil)
+			tr.AddMetric(1, int64(rng.Intn(50)), nil)
+			if paths {
+				tr.CountPath(int64(rng.Intn(4)), nil)
+			}
+		} else {
+			tr.Exit(nil)
+		}
+	}
+	return tr
+}
+
+// TestExportRoundTrip: node counts, metrics totals, path counts and
+// backedge counts survive Write/Read.
+func TestExportRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := buildTreeFromTrace(rng, rng.Intn(4)+2, rng.Intn(3)+1, rng.Intn(400)+20, true)
+
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Logf("seed %d: write: %v", seed, err)
+			return false
+		}
+		ex, err := Read(&buf)
+		if err != nil {
+			t.Logf("seed %d: read: %v", seed, err)
+			return false
+		}
+		if ex.NumNodes() != tr.NumNodes() {
+			t.Logf("seed %d: nodes %d != %d", seed, ex.NumNodes(), tr.NumNodes())
+			return false
+		}
+		// Metric and path totals agree.
+		var wantM, gotM int64
+		var wantP, gotP int64
+		var wantBack, gotBack int
+		tr.Walk(func(n *Node) {
+			wantM += n.Metrics[0] + n.Metrics[1]
+			for _, c := range n.PathCounts() {
+				wantP += c
+			}
+			_, backs := n.Children()
+			wantBack += len(backs)
+		})
+		for id, n := range ex.Nodes {
+			if id == 0 {
+				continue
+			}
+			for _, m := range n.Metrics {
+				gotM += m
+			}
+			for _, c := range n.PathCounts {
+				gotP += c
+			}
+			gotBack += len(n.Backedges)
+		}
+		if wantM != gotM || wantP != gotP || wantBack != gotBack {
+			t.Logf("seed %d: totals differ: m %d/%d p %d/%d b %d/%d",
+				seed, wantM, gotM, wantP, gotP, wantBack, gotBack)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"node 1 0 2",               // node before header
+		"cct 3 true",               // short header
+		"cct 3 true 1\nnode 5 9 0", // unknown parent
+		"cct 3 true 1\npath 7 0 1", // path for unknown node
+		"cct 3 true 1\nback 1 2",   // backedge between unknown nodes
+		"cct 3 true 1\nwat",
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := buildTreeFromTrace(rng, 3, 2, 60, false)
+	var sb strings.Builder
+	tr.Dump(&sb, func(id int) string { return tr.ProcName(id) })
+	out := sb.String()
+	if !strings.Contains(out, "<root>") {
+		t.Fatalf("dump missing root:\n%s", out)
+	}
+	if !strings.Contains(out, "metrics=") {
+		t.Fatal("dump missing metrics")
+	}
+	if len(strings.Split(out, "\n")) < tr.NumNodes() {
+		t.Fatal("dump shorter than the tree")
+	}
+}
+
+// TestExportStatsMatchTree: Table 3 statistics computed from a decoded file
+// match the in-memory tree's (for the fields the file encodes).
+func TestExportStatsMatchTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := buildTreeFromTrace(rng, 5, 2, 800, false)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.ComputeStats()
+	got := ex.Stats()
+	if got.Nodes != want.Nodes {
+		t.Fatalf("nodes %d != %d", got.Nodes, want.Nodes)
+	}
+	if got.MaxHeight != want.MaxHeight {
+		t.Fatalf("max height %d != %d", got.MaxHeight, want.MaxHeight)
+	}
+	if got.MaxReplication != want.MaxReplication {
+		t.Fatalf("replication %d != %d", got.MaxReplication, want.MaxReplication)
+	}
+	if got.AvgOutDegree != want.AvgOutDegree {
+		t.Fatalf("out-degree %v != %v", got.AvgOutDegree, want.AvgOutDegree)
+	}
+	if got.AvgHeight != want.AvgHeight {
+		t.Fatalf("avg height %v != %v", got.AvgHeight, want.AvgHeight)
+	}
+}
+
+// TestMergeExports: merging a tree with itself doubles every metric and
+// path count while preserving the shape.
+func TestMergeExports(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := buildTreeFromTrace(rng, 4, 2, 600, true)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	a, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeExports(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != a.NumNodes() {
+		t.Fatalf("merged nodes %d != %d", m.NumNodes(), a.NumNodes())
+	}
+	if got, want := m.TotalMetric(0), 2*a.TotalMetric(0); got != want {
+		t.Fatalf("metric 0: %d, want %d", got, want)
+	}
+	var aPaths, mPaths int64
+	for _, n := range a.Nodes {
+		for _, c := range n.PathCounts {
+			aPaths += c
+		}
+	}
+	for _, n := range m.Nodes {
+		for _, c := range n.PathCounts {
+			mPaths += c
+		}
+	}
+	if mPaths != 2*aPaths {
+		t.Fatalf("path counts: %d, want %d", mPaths, 2*aPaths)
+	}
+	// Shape statistics unchanged.
+	if m.Stats().MaxHeight != a.Stats().MaxHeight {
+		t.Fatal("merge changed tree height")
+	}
+}
+
+func TestMergeExportsShapeMismatch(t *testing.T) {
+	a := &Export{NumProcs: 3, Root: &ExportedNode{}, Nodes: map[int]*ExportedNode{}}
+	b := &Export{NumProcs: 4, Root: &ExportedNode{}, Nodes: map[int]*ExportedNode{}}
+	if _, err := MergeExports(a, b); err == nil {
+		t.Fatal("mismatched exports merged")
+	}
+}

@@ -1,0 +1,136 @@
+package cct
+
+import "fmt"
+
+// MergeExports combines two decoded CCT files from runs of the same
+// program, summing metrics and path counts over structurally matching
+// records (same procedure reached through the same child position of a
+// matching parent). Records present in only one tree are kept. This is the
+// multi-run aggregation workflow: each run writes its heap at program exit
+// (as the paper's instrumentation does) and the files are merged offline.
+func MergeExports(a, b *Export) (*Export, error) {
+	if a.NumProcs != b.NumProcs || a.DistinguishSites != b.DistinguishSites {
+		return nil, fmt.Errorf("cct: merge shape mismatch: %d/%v procs vs %d/%v",
+			a.NumProcs, a.DistinguishSites, b.NumProcs, b.DistinguishSites)
+	}
+	out := &Export{
+		NumProcs:         a.NumProcs,
+		DistinguishSites: a.DistinguishSites,
+		NumMetrics:       a.NumMetrics,
+		Nodes:            map[int]*ExportedNode{},
+	}
+	nextID := 1
+	var merge func(x, y *ExportedNode) *ExportedNode
+	merge = func(x, y *ExportedNode) *ExportedNode {
+		n := &ExportedNode{PathCounts: map[int64]int64{}}
+		switch {
+		case x != nil && y != nil:
+			n.Proc = x.Proc
+			n.Metrics = append([]int64(nil), x.Metrics...)
+			for i, m := range y.Metrics {
+				if i < len(n.Metrics) {
+					n.Metrics[i] += m
+				} else {
+					n.Metrics = append(n.Metrics, m)
+				}
+			}
+			for s, c := range x.PathCounts {
+				n.PathCounts[s] += c
+			}
+			for s, c := range y.PathCounts {
+				n.PathCounts[s] += c
+			}
+		case x != nil:
+			n.Proc = x.Proc
+			n.Metrics = append([]int64(nil), x.Metrics...)
+			for s, c := range x.PathCounts {
+				n.PathCounts[s] = c
+			}
+		default:
+			n.Proc = y.Proc
+			n.Metrics = append([]int64(nil), y.Metrics...)
+			for s, c := range y.PathCounts {
+				n.PathCounts[s] = c
+			}
+		}
+
+		// Children match by procedure within the parent (one record per
+		// procedure per context, as the CCT equivalence guarantees).
+		var xs, ys []*ExportedNode
+		if x != nil {
+			xs = x.Children
+		}
+		if y != nil {
+			ys = y.Children
+		}
+		byProc := map[int]*ExportedNode{}
+		for _, c := range ys {
+			if _, dup := byProc[c.Proc]; dup {
+				// Site-distinguished trees can hold several records of the
+				// same procedure under one parent (different sites). Fall
+				// back to positional pairing for those.
+				byProc = nil
+				break
+			}
+			byProc[c.Proc] = c
+		}
+		if byProc != nil {
+			seen := map[int]bool{}
+			for _, cx := range xs {
+				cy := byProc[cx.Proc]
+				if cy != nil && !seen[cx.Proc] {
+					seen[cx.Proc] = true
+				} else {
+					cy = nil
+				}
+				n.Children = append(n.Children, merge(cx, cy))
+			}
+			for _, cy := range ys {
+				if !seen[cy.Proc] {
+					n.Children = append(n.Children, merge(nil, cy))
+				}
+			}
+		} else {
+			for i := 0; i < len(xs) || i < len(ys); i++ {
+				var cx, cy *ExportedNode
+				if i < len(xs) {
+					cx = xs[i]
+				}
+				if i < len(ys) {
+					cy = ys[i]
+				}
+				n.Children = append(n.Children, merge(cx, cy))
+			}
+		}
+		return n
+	}
+	out.Root = merge(a.Root, b.Root)
+	out.Root.ID = 0
+	// Re-number depth-first and rebuild the index.
+	var index func(n *ExportedNode)
+	index = func(n *ExportedNode) {
+		out.Nodes[n.ID] = n
+		for _, c := range n.Children {
+			c.ID = nextID
+			c.ParentID = n.ID
+			nextID++
+			index(c)
+		}
+	}
+	index(out.Root)
+	return out, nil
+}
+
+// TotalMetric sums metric slot i over all records.
+func (ex *Export) TotalMetric(i int) int64 {
+	var sum int64
+	for id, n := range ex.Nodes {
+		if id == 0 {
+			continue
+		}
+		if i < len(n.Metrics) {
+			sum += n.Metrics[i]
+		}
+	}
+	return sum
+}

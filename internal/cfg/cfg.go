@@ -1,0 +1,186 @@
+// Package cfg provides control-flow-graph algorithms over ir.Proc: DFS
+// numbering, backedge identification, topological ordering of acyclic
+// graphs, dominator computation, and natural-loop discovery.
+//
+// The Ball-Larus path profiler (package bl) depends on the backedge set (a
+// backedge is an edge whose target is an ancestor on the DFS spanning tree,
+// identified by a depth-first search from ENTRY, as in the paper) and on a
+// reverse topological order of the transformed acyclic graph.
+package cfg
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+)
+
+// Edge identifies a CFG edge by its endpoints and the successor slot it
+// occupies in the source block (so parallel edges, e.g. both arms of a
+// branch targeting the same block, remain distinct).
+type Edge struct {
+	From ir.BlockID
+	To   ir.BlockID
+	Slot int // index into From's successor list
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("b%d->b%d#%d", e.From, e.To, e.Slot)
+}
+
+// Edges returns all edges of the procedure in deterministic order.
+func Edges(p *ir.Proc) []Edge {
+	var out []Edge
+	for _, b := range p.Blocks {
+		for i, s := range b.Succs {
+			out = append(out, Edge{From: b.ID, To: s, Slot: i})
+		}
+	}
+	return out
+}
+
+// DFS holds the result of a depth-first search from the entry block.
+type DFS struct {
+	Pre    []int        // preorder number per block, -1 if unreachable
+	Post   []int        // postorder number per block
+	Parent []ir.BlockID // DFS tree parent, -1 for the root
+	Order  []ir.BlockID // blocks in preorder
+}
+
+// NewDFS runs a depth-first search over p from the entry block, visiting
+// successors in slot order (deterministic).
+func NewDFS(p *ir.Proc) *DFS {
+	n := len(p.Blocks)
+	d := &DFS{
+		Pre:    make([]int, n),
+		Post:   make([]int, n),
+		Parent: make([]ir.BlockID, n),
+	}
+	for i := range d.Pre {
+		d.Pre[i] = -1
+		d.Post[i] = -1
+		d.Parent[i] = -1
+	}
+	pre, post := 0, 0
+	// Iterative DFS with explicit successor cursors to keep deterministic
+	// slot order and avoid recursion limits on large CFGs.
+	type frame struct {
+		b    ir.BlockID
+		next int
+	}
+	stack := []frame{{b: 0}}
+	d.Pre[0] = pre
+	pre++
+	d.Order = append(d.Order, 0)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := p.Blocks[f.b].Succs
+		if f.next < len(succs) {
+			w := succs[f.next]
+			f.next++
+			if d.Pre[w] == -1 {
+				d.Pre[w] = pre
+				pre++
+				d.Parent[w] = f.b
+				d.Order = append(d.Order, w)
+				stack = append(stack, frame{b: w})
+			}
+			continue
+		}
+		d.Post[f.b] = post
+		post++
+		stack = stack[:len(stack)-1]
+	}
+	return d
+}
+
+// IsBackedge reports whether the edge from->to is a backedge with respect to
+// this DFS: its target was entered before the source and not yet exited when
+// the source is visited. With the standard pre/post characterization, edge
+// (u,v) is a backedge iff Pre[v] <= Pre[u] and Post[u] <= Post[v] (v is an
+// ancestor of u, including u itself for self-loops).
+func (d *DFS) IsBackedge(from, to ir.BlockID) bool {
+	if d.Pre[from] == -1 || d.Pre[to] == -1 {
+		return false
+	}
+	return d.Pre[to] <= d.Pre[from] && d.Post[from] <= d.Post[to]
+}
+
+// Backedges returns the backedges of p identified by a DFS from entry, in
+// deterministic order.
+func Backedges(p *ir.Proc) []Edge {
+	d := NewDFS(p)
+	var out []Edge
+	for _, e := range Edges(p) {
+		if d.IsBackedge(e.From, e.To) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsAcyclic reports whether p's CFG contains no cycles.
+func IsAcyclic(p *ir.Proc) bool {
+	return len(Backedges(p)) == 0
+}
+
+// ReverseTopological returns the blocks of an acyclic CFG in reverse
+// topological order (every block appears before all of its predecessors;
+// equivalently successors first). It panics if the graph has a cycle, since
+// callers must run the backedge transformation first.
+func ReverseTopological(p *ir.Proc) []ir.BlockID {
+	order, err := reverseTopo(len(p.Blocks), func(b ir.BlockID) []ir.BlockID {
+		return p.Blocks[b].Succs
+	})
+	if err != nil {
+		panic(fmt.Sprintf("cfg: %v in proc %s", err, p.Name))
+	}
+	return order
+}
+
+// ReverseTopologicalAdj is ReverseTopological over an explicit adjacency
+// list (used by the bl package on the transformed graph, which is never
+// materialized as an ir.Proc).
+func ReverseTopologicalAdj(n int, succs func(ir.BlockID) []ir.BlockID) ([]ir.BlockID, error) {
+	return reverseTopo(n, succs)
+}
+
+func reverseTopo(n int, succs func(ir.BlockID) []ir.BlockID) ([]ir.BlockID, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, n)
+	order := make([]ir.BlockID, 0, n)
+	type frame struct {
+		b    ir.BlockID
+		next int
+	}
+	for root := 0; root < n; root++ {
+		if color[root] != white {
+			continue
+		}
+		stack := []frame{{b: ir.BlockID(root)}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ss := succs(f.b)
+			if f.next < len(ss) {
+				w := ss[f.next]
+				f.next++
+				switch color[w] {
+				case white:
+					color[w] = gray
+					stack = append(stack, frame{b: w})
+				case gray:
+					return nil, fmt.Errorf("cycle through block %d", w)
+				}
+				continue
+			}
+			color[f.b] = black
+			order = append(order, f.b)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order, nil
+}

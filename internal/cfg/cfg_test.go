@@ -1,0 +1,230 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/testgen"
+)
+
+func diamond(t *testing.T) *ir.Proc {
+	t.Helper()
+	b := ir.NewBuilder("d")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	l := p.NewBlock()
+	r := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Br(2, l, r)
+	l.Nop()
+	l.Jmp(x)
+	r.Nop()
+	r.Jmp(x)
+	x.Ret()
+	b.SetMain(p)
+	return b.MustFinish().Procs[0]
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	p := diamond(t)
+	es := Edges(p)
+	if len(es) != 4 {
+		t.Fatalf("edges = %d, want 4", len(es))
+	}
+	want := []Edge{{0, 1, 0}, {0, 2, 1}, {1, 3, 0}, {2, 3, 0}}
+	for i, e := range es {
+		if e != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestDFSBackedges(t *testing.T) {
+	b := ir.NewBuilder("l")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	h := p.NewBlock()
+	body := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Jmp(h)
+	h.Nop()
+	h.Br(2, body, x)
+	body.Nop()
+	body.Jmp(h)
+	x.Ret()
+	b.SetMain(p)
+	proc := b.MustFinish().Procs[0]
+
+	bes := Backedges(proc)
+	if len(bes) != 1 {
+		t.Fatalf("backedges = %v, want 1", bes)
+	}
+	if bes[0].From != 2 || bes[0].To != 1 {
+		t.Fatalf("backedge = %v, want b2->b1", bes[0])
+	}
+	if IsAcyclic(proc) {
+		t.Fatal("loop reported acyclic")
+	}
+	if !IsAcyclic(diamond(t)) {
+		t.Fatal("diamond reported cyclic")
+	}
+}
+
+// TestBackedgeRemovalYieldsDAG: removing the DFS backedges from any CFG
+// leaves an acyclic graph (the property the path numbering relies on).
+func TestBackedgeRemovalYieldsDAG(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := testgen.RandomProc(rng, "r", rng.Intn(20)+3)
+		be := map[Edge]bool{}
+		for _, e := range Backedges(p) {
+			be[e] = true
+		}
+		_, err := ReverseTopologicalAdj(len(p.Blocks), func(b ir.BlockID) []ir.BlockID {
+			var out []ir.BlockID
+			for slot, s := range p.Blocks[b].Succs {
+				if !be[Edge{From: b, To: s, Slot: slot}] {
+					out = append(out, s)
+				}
+			}
+			return out
+		})
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReverseTopologicalOrder: in the returned order, every block appears
+// after all of its successors.
+func TestReverseTopologicalOrder(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := testgen.RandomAcyclicProc(rng, "r", rng.Intn(20)+3)
+		order := ReverseTopological(p)
+		pos := make(map[ir.BlockID]int)
+		for i, b := range order {
+			pos[b] = i
+		}
+		for _, b := range p.Blocks {
+			for _, s := range b.Succs {
+				if pos[s] >= pos[b.ID] {
+					t.Logf("seed %d: successor b%d not before b%d", seed, s, b.ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	idom := Dominators(diamond(t))
+	want := []ir.BlockID{0, 0, 0, 0}
+	for i, w := range want {
+		if idom[i] != w {
+			t.Errorf("idom[%d] = %d, want %d", i, idom[i], w)
+		}
+	}
+	if !Dominates(idom, 0, 3) {
+		t.Error("entry should dominate exit")
+	}
+	if Dominates(idom, 1, 3) {
+		t.Error("left arm should not dominate exit")
+	}
+}
+
+// TestDominatorsAgainstReference compares the iterative dominator algorithm
+// with a brute-force reachability-based reference on random CFGs.
+func TestDominatorsAgainstReference(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := testgen.RandomProc(rng, "r", rng.Intn(12)+3)
+		idom := Dominators(p)
+		n := len(p.Blocks)
+		// Reference: a dominates b iff removing a makes b unreachable.
+		reach := func(skip ir.BlockID) []bool {
+			seen := make([]bool, n)
+			if skip == 0 {
+				return seen
+			}
+			stack := []ir.BlockID{0}
+			seen[0] = true
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range p.Blocks[v].Succs {
+					if w != skip && !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+			return seen
+		}
+		for a := 0; a < n; a++ {
+			seen := reach(ir.BlockID(a))
+			for b := 0; b < n; b++ {
+				refDom := !seen[b] || a == b
+				gotDom := Dominates(idom, ir.BlockID(a), ir.BlockID(b))
+				if refDom != gotDom {
+					t.Logf("seed %d: dominates(%d,%d) = %v, reference %v", seed, a, b, gotDom, refDom)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	b := ir.NewBuilder("nest")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	h1 := p.NewBlock()
+	h2 := p.NewBlock()
+	body := p.NewBlock()
+	l1 := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Jmp(h1)
+	h1.Nop()
+	h1.Br(2, h2, x)
+	h2.Nop()
+	h2.Br(2, body, l1)
+	body.Nop()
+	body.Jmp(h2) // inner backedge
+	l1.Nop()
+	l1.Jmp(h1) // outer backedge
+	x.Ret()
+	b.SetMain(p)
+	proc := b.MustFinish().Procs[0]
+
+	loops := NaturalLoops(proc)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	byHeader := map[ir.BlockID]Loop{}
+	for _, l := range loops {
+		byHeader[l.Header] = l
+	}
+	inner, ok := byHeader[2]
+	if !ok || len(inner.Body) != 2 {
+		t.Fatalf("inner loop wrong: %+v", inner)
+	}
+	outer, ok := byHeader[1]
+	if !ok || len(outer.Body) != 4 {
+		t.Fatalf("outer loop wrong: %+v (want h1,h2,body,l1)", outer)
+	}
+}

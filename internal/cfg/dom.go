@@ -1,0 +1,137 @@
+package cfg
+
+import "pathprof/internal/ir"
+
+// Dominators computes the immediate-dominator array of p using the
+// Cooper-Harvey-Kennedy iterative algorithm. idom[entry] == entry; blocks
+// unreachable from entry get -1. The analysis package uses dominators to
+// attribute loop structure when summarizing hot paths.
+func Dominators(p *ir.Proc) []ir.BlockID {
+	n := len(p.Blocks)
+	d := NewDFS(p)
+
+	// Blocks in reverse postorder.
+	rpo := make([]ir.BlockID, 0, n)
+	byPost := make([]ir.BlockID, n)
+	for i := range byPost {
+		byPost[i] = -1
+	}
+	maxPost := -1
+	for b := 0; b < n; b++ {
+		if d.Post[b] >= 0 {
+			byPost[d.Post[b]] = ir.BlockID(b)
+			if d.Post[b] > maxPost {
+				maxPost = d.Post[b]
+			}
+		}
+	}
+	for i := maxPost; i >= 0; i-- {
+		if byPost[i] >= 0 {
+			rpo = append(rpo, byPost[i])
+		}
+	}
+
+	preds := p.Preds()
+	idom := make([]ir.BlockID, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+
+	intersect := func(a, b ir.BlockID) ir.BlockID {
+		for a != b {
+			for d.Post[a] < d.Post[b] {
+				a = idom[a]
+			}
+			for d.Post[b] < d.Post[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			var newIdom ir.BlockID = -1
+			for _, pr := range preds[b] {
+				if idom[pr] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = pr
+				} else {
+					newIdom = intersect(pr, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b given the idom array.
+func Dominates(idom []ir.BlockID, a, b ir.BlockID) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return a == 0
+		}
+		b = idom[b]
+	}
+}
+
+// Loop describes one natural loop: its header and member blocks.
+type Loop struct {
+	Header ir.BlockID
+	Body   map[ir.BlockID]bool // includes the header
+}
+
+// NaturalLoops finds the natural loop of every backedge whose target
+// dominates its source, merging loops that share a header.
+func NaturalLoops(p *ir.Proc) []Loop {
+	idom := Dominators(p)
+	preds := p.Preds()
+	byHeader := map[ir.BlockID]*Loop{}
+	var headers []ir.BlockID
+	for _, e := range Backedges(p) {
+		if !Dominates(idom, e.To, e.From) {
+			continue // irreducible backedge; no natural loop
+		}
+		l, ok := byHeader[e.To]
+		if !ok {
+			l = &Loop{Header: e.To, Body: map[ir.BlockID]bool{e.To: true}}
+			byHeader[e.To] = l
+			headers = append(headers, e.To)
+		}
+		// Walk predecessors backward from the latch, stopping at the header.
+		stack := []ir.BlockID{e.From}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if l.Body[b] {
+				continue
+			}
+			l.Body[b] = true
+			for _, pr := range preds[b] {
+				stack = append(stack, pr)
+			}
+		}
+	}
+	out := make([]Loop, 0, len(headers))
+	for _, h := range headers {
+		out = append(out, *byHeader[h])
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"io"
+
+	"pathprof/internal/baseline"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/report"
+	"pathprof/internal/sim"
+)
+
+// callsEvent is the dynamic call counter used for the spectrum table.
+const callsEvent = hpm.EvCalls
+
+// Table 6 (an extension beyond the paper's tables): the run-time
+// representation spectrum of Figure 4, quantified. For each workload it
+// compares the dynamic call graph (arcs only — compact but context-blind),
+// the calling context tree (bounded, context-exact), the full dynamic call
+// tree (exact but proportional to call volume), and Goldberg-Hall stack
+// sampling (storage proportional to run length).
+
+// SpectrumRow holds one workload's representation sizes.
+type SpectrumRow struct {
+	Name  string
+	Calls uint64
+
+	DCGArcs  int
+	DCGBytes uint64
+
+	CCTNodes int
+	CCTBytes uint64
+
+	DCTNodes int
+	DCTBytes uint64
+
+	SamplerSamples int
+	SamplerBytes   uint64
+}
+
+// Spectrum measures all four representations on each workload: the CCT
+// from the cached context+flow cell, the rest from one traced
+// uninstrumented run.
+func (s *Session) Spectrum(sampleInterval uint64) ([]SpectrumRow, error) {
+	var rows []SpectrumRow
+	for _, w := range s.Workloads {
+		cctCell, err := s.Run(w, instrument.ModeContextFlow, StandardEvents[0], StandardEvents[1])
+		if err != nil {
+			return nil, err
+		}
+		st := cctCell.Tree.ComputeStats()
+
+		prog := w.Build(s.Scale)
+		m := sim.New(prog, s.SimConfig)
+		dct := baseline.NewDCT()
+		g := baseline.NewGprof(m.Cycles)
+		smp := baseline.NewSampler(m, sampleInterval)
+		m.SetTracer(baseline.Combine(dct, g, smp))
+		m.OnUnwind(dct.UnwindTo)
+		m.OnUnwind(g.UnwindTo)
+		res, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		g.Flush()
+
+		arcs := len(g.Arcs())
+		rows = append(rows, SpectrumRow{
+			Name:  w.Name,
+			Calls: res.Totals[callsEvent],
+
+			DCGArcs:  arcs,
+			DCGBytes: uint64(arcs) * 24, // (caller, callee, count)
+
+			CCTNodes: st.Nodes,
+			CCTBytes: st.SizeBytes,
+
+			DCTNodes: dct.NumNodes(),
+			DCTBytes: dct.SizeBytes(),
+
+			SamplerSamples: len(smp.Samples),
+			SamplerBytes:   smp.SizeBytes(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSpectrum writes the Table 6 report.
+func RenderSpectrum(rows []SpectrumRow, w io.Writer) {
+	t := &report.Table{
+		Title: "Table 6 (extension): the Figure 4 representation spectrum, measured",
+		Cols: []string{"Benchmark", "Calls", "DCG arcs", "DCG B",
+			"CCT nodes", "CCT B", "DCT nodes", "DCT B", "Samples", "Sampler B"},
+		Note: "The dynamic call graph is smallest but cannot attribute costs to contexts (the " +
+			"gprof problem); the dynamic call tree is exact but grows with every call; stack-sample " +
+			"storage grows with run length. The CCT sits between: bounded like the DCG, " +
+			"context-exact like the DCT. CCT bytes here include per-record path tables (the " +
+			"combined flow+context configuration).",
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, report.SI(r.Calls),
+			r.DCGArcs, report.SI(r.DCGBytes),
+			r.CCTNodes, report.SI(r.CCTBytes),
+			r.DCTNodes, report.SI(r.DCTBytes),
+			r.SamplerSamples, report.SI(r.SamplerBytes))
+	}
+	t.Render(w)
+}

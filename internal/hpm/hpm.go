@@ -1,0 +1,187 @@
+// Package hpm models an UltraSPARC-style hardware performance monitor: two
+// user-readable 32-bit performance instrumentation counters (PIC0, PIC1),
+// each selectable to one of a menu of events, readable and writable from
+// user code in a single instruction pair.
+//
+// Two hardware quirks the paper depends on are reproduced:
+//
+//   - The counters are 32 bits wide and wrap silently; profiling must
+//     measure short (intraprocedural, call-free) intervals or accumulate
+//     into 64-bit memory, as the instrumentation does.
+//   - On the out-of-order UltraSPARC, a write to the counters must be
+//     followed by a read to ensure the write completed before subsequent
+//     instructions execute (Figure 3's caption). The model buffers writes
+//     for a few instruction retirements unless a read forces completion, so
+//     instrumentation that omits the read-after-write observes skewed
+//     counts.
+package hpm
+
+import "fmt"
+
+// Event enumerates countable hardware events. The set matches the columns
+// of Table 2 of the paper plus supporting raw events.
+type Event uint8
+
+const (
+	EvNone Event = iota
+	EvCycles
+	EvInsts
+	EvDCacheReadMiss
+	EvDCacheWriteMiss
+	EvDCacheMiss // read+write misses combined
+	EvDCacheRead
+	EvDCacheWrite
+	EvICacheMiss
+	EvMispredict       // mispredicted branch events
+	EvMispredictStalls // cycles lost to mispredicts
+	EvStoreBufStalls   // cycles stalled on a full store buffer
+	EvFPStalls         // cycles stalled on FP result latency
+	EvBranches
+	EvCalls
+	EvLoads
+	EvStores
+	EvL2Miss // L2 (external cache) misses, when an L2 is configured
+	EvL2Hit
+
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	EvNone: "none", EvCycles: "cycles", EvInsts: "insts",
+	EvDCacheReadMiss: "dcache-read-miss", EvDCacheWriteMiss: "dcache-write-miss",
+	EvDCacheMiss: "dcache-miss", EvDCacheRead: "dcache-read", EvDCacheWrite: "dcache-write",
+	EvICacheMiss: "icache-miss",
+	EvMispredict: "mispredict", EvMispredictStalls: "mispredict-stalls",
+	EvStoreBufStalls: "storebuf-stalls", EvFPStalls: "fp-stalls",
+	EvBranches: "branches", EvCalls: "calls", EvLoads: "loads", EvStores: "stores",
+	EvL2Miss: "l2-miss", EvL2Hit: "l2-hit",
+}
+
+func (e Event) String() string {
+	if int(e) < len(eventNames) && eventNames[e] != "" {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// writeLatency is how many instruction retirements a buffered PIC write
+// survives before draining on its own.
+const writeLatency = 3
+
+// Unit is the performance monitor: two selectable 32-bit PICs plus full
+// 64-bit shadow totals for every event (the shadow totals stand in for the
+// paper's periodic-sampling baseline measurements of uninstrumented runs).
+type Unit struct {
+	pic [2]uint32
+	sel [2]Event
+
+	totals [NumEvents]uint64
+
+	// Buffered write state (see package comment).
+	pendingWrite bool
+	pendingVal   uint64
+	pendingFuel  int
+
+	// Strict mode enables write buffering; when false, writes complete
+	// immediately (a convenience for tests).
+	Strict bool
+}
+
+// New returns a unit with both counters deselected and strict write
+// buffering enabled.
+func New() *Unit {
+	return &Unit{Strict: true}
+}
+
+// Select programs the event selections (the PCR register).
+func (u *Unit) Select(pic0, pic1 Event) {
+	u.sel[0], u.sel[1] = pic0, pic1
+}
+
+// Selected returns the current event selections.
+func (u *Unit) Selected() (Event, Event) { return u.sel[0], u.sel[1] }
+
+// matches reports whether an occurrence of ev should count toward a counter
+// selecting sel (EvDCacheMiss aggregates the read and write miss events).
+func matches(sel, ev Event) bool {
+	if sel == ev {
+		return true
+	}
+	if sel == EvDCacheMiss && (ev == EvDCacheReadMiss || ev == EvDCacheWriteMiss) {
+		return true
+	}
+	return false
+}
+
+// Count records n occurrences of ev. The 32-bit PICs wrap silently.
+func (u *Unit) Count(ev Event, n uint64) {
+	u.totals[ev] += n
+	if ev == EvDCacheReadMiss || ev == EvDCacheWriteMiss {
+		u.totals[EvDCacheMiss] += n
+	}
+	for i := 0; i < 2; i++ {
+		if matches(u.sel[i], ev) {
+			u.pic[i] += uint32(n) // wraps by construction
+		}
+	}
+}
+
+// Retire notes that an instruction retired, aging any buffered write. The
+// simulator calls this once per instruction.
+func (u *Unit) Retire() {
+	if u.pendingWrite {
+		u.pendingFuel--
+		if u.pendingFuel <= 0 {
+			u.applyPending()
+		}
+	}
+}
+
+func (u *Unit) applyPending() {
+	u.pic[0] = uint32(u.pendingVal)
+	u.pic[1] = uint32(u.pendingVal >> 32)
+	u.pendingWrite = false
+}
+
+// Write sets both PICs from one 64-bit value (PIC0 low, PIC1 high). In
+// strict mode the write is buffered: events occurring during the next few
+// instructions still accumulate into the old values and are then lost when
+// the buffered write drains — unless a Read forces completion first, which
+// is why correct instrumentation always reads after writing.
+func (u *Unit) Write(v uint64) {
+	if !u.Strict {
+		u.pic[0] = uint32(v)
+		u.pic[1] = uint32(v >> 32)
+		return
+	}
+	u.pendingWrite = true
+	u.pendingVal = v
+	u.pendingFuel = writeLatency
+}
+
+// Read returns both PICs as one 64-bit value, forcing any buffered write to
+// complete first (the read-after-write idiom).
+func (u *Unit) Read() uint64 {
+	if u.pendingWrite {
+		u.applyPending()
+	}
+	return uint64(u.pic[1])<<32 | uint64(u.pic[0])
+}
+
+// Split decomposes a Read result into (pic0, pic1).
+func Split(v uint64) (pic0, pic1 uint32) {
+	return uint32(v), uint32(v >> 32)
+}
+
+// Delta32 computes the number of events between two 32-bit counter
+// readings, correctly handling a single wraparound.
+func Delta32(before, after uint32) uint32 { return after - before }
+
+// Total returns the 64-bit shadow total for ev (unaffected by PIC writes).
+func (u *Unit) Total(ev Event) uint64 { return u.totals[ev] }
+
+// Totals returns a copy of all shadow totals.
+func (u *Unit) Totals() [NumEvents]uint64 { return u.totals }
+
+// ResetTotals zeroes the shadow totals (PICs are untouched).
+func (u *Unit) ResetTotals() { u.totals = [NumEvents]uint64{} }

@@ -1,0 +1,99 @@
+package instrument
+
+import (
+	"pathprof/internal/ir"
+)
+
+// Block-level hardware metric profiling — the statement-level attribution
+// the paper argues against in Section 6.4.3: it measures each basic block's
+// counter delta separately, which costs a read-accumulate-restart sequence
+// at every block. The paper: "collecting and reporting cache misses
+// measurements at the statement level, in addition to being far more
+// expensive than path profiling, does not alleviate this problem."
+// ModeBlockHW exists to measure the "far more expensive" half of that
+// sentence; the block-path multiplicity analysis covers the rest.
+
+// blockHWProc instruments every block of p (after the entry split) with an
+// accumulate-and-restart sequence before its terminator. Per-block
+// accumulators live in simulated memory indexed by block ID; extraction
+// reports them as pseudo-paths whose Sum is the block ID.
+func (plan *Plan) blockHWProc(p *ir.Proc) error {
+	pp := plan.Procs[p.ID]
+	ed := &editor{proc: p}
+	ed.splitEntry()
+
+	nBlocks := int64(len(p.Blocks))
+	pp.BlockCount = nBlocks
+	pp.FreqBase = plan.alloc.Alloc(uint64(nBlocks)*8, 64)
+	pp.Acc0Base = plan.alloc.Alloc(uint64(nBlocks)*8, 64)
+	pp.Acc1Base = plan.alloc.Alloc(uint64(nBlocks)*8, 64)
+
+	rp, err := planRegs(p, 6)
+	if err != nil {
+		return err
+	}
+	pp.Spilled = rp.spill
+
+	for _, b := range p.Blocks {
+		bid := int64(b.ID)
+		sb := rp.seq()
+		z := sb.zeroReg()
+		pair := sb.pathRegNoLoad() // block mode has no path register; reuse it
+		t0 := sb.scratch(0)
+		t1 := sb.scratch(1)
+		idx := sb.scratch(2)
+		sb.emit(
+			ir.Instr{Op: ir.MovI, Rd: idx, Imm: bid},
+			ir.Instr{Op: ir.RdPIC, Rd: pair},
+			ir.Instr{Op: ir.ShrI, Rd: t0, Rs: pair, Imm: 32},           // PIC1
+			ir.Instr{Op: ir.AndI, Rd: pair, Rs: pair, Imm: 0xffffffff}, // PIC0
+			// acc1[b] += PIC1
+			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
+			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
+			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
+			// acc0[b] += PIC0
+			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
+			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: pair},
+			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
+			// freq[b]++
+			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
+			ir.Instr{Op: ir.AddI, Rd: t1, Rs: t1, Imm: 1},
+			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
+			// Restart for the next block.
+			ir.Instr{Op: ir.WrPIC, Rs: z},
+		)
+		if plan.Opts.ReadAfterWrite {
+			sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t0})
+		}
+		ed.insertBeforeTerm(b.ID, sb.finish())
+	}
+
+	// Procedure entry: save the caller's counters and zero; exit: restore
+	// (placed after the exit block's accumulate, still before Ret).
+	entrySeq := rp.seq()
+	if !rp.spill {
+		entrySeq.emit(ir.Instr{Op: ir.MovI, Rd: rp.zero, Imm: 0})
+	}
+	plan.emitCounterSave(entrySeq, rp)
+	plan.emitCounterZero(entrySeq, rp)
+	entry := entrySeq.finish()
+	if rp.spill {
+		entry = append([]ir.Instr{
+			{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -frameBytes},
+			{Op: ir.Mov, Rd: rp.frame, Rs: ir.RegSP},
+		}, entry...)
+	}
+	ed.prependEntry(entry)
+
+	exitSeq := rp.seq()
+	plan.emitCounterRestore(exitSeq, rp)
+	seq := exitSeq.finish()
+	if rp.spill {
+		seq = append(seq,
+			ir.Instr{Op: ir.Mov, Rd: ir.RegSP, Rs: rp.frame},
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: frameBytes},
+		)
+	}
+	ed.insertBeforeTerm(p.ExitBlock, seq)
+	return nil
+}

@@ -1,0 +1,70 @@
+package instrument
+
+import (
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+)
+
+// cctOnlyProc inserts calling-context instrumentation without path tracking
+// (ModeContextHW and ModeContextProbesOnly): an enter probe in the
+// procedure prologue, an exit probe before return, a call-site probe before
+// every call (modelling the gCSP handoff), and — for context+HW with
+// BackedgeCounterReads — a counter read along every loop backedge
+// (Section 4.3 of the paper, which bounds 32-bit wrap exposure).
+func (plan *Plan) cctOnlyProc(p *ir.Proc) error {
+	pp := plan.Procs[p.ID]
+	ed := &editor{proc: p}
+	ed.splitEntry()
+
+	rp, err := planRegs(p, 3)
+	if err != nil {
+		return err
+	}
+	pp.Spilled = rp.spill
+
+	// Backedge counter reads must be planned against the CFG before other
+	// edits (they are the only edge-targeted insertions in this mode).
+	if plan.Mode == ModeContextHW && plan.Opts.BackedgeCounterReads {
+		preds := ed.numPreds()
+		for _, be := range cfg.Backedges(p) {
+			sb := rp.seq()
+			t := sb.scratch(0)
+			sb.emit(ir.Instr{Op: ir.Probe, Imm: ProbeCCTTick, Rs: t, Rd: t})
+			ed.insertOnEdge(be.From, be.Slot, preds, sb.finish())
+		}
+	}
+
+	// Call-site probes.
+	plan.insertCallProbes(ed, rp, nil)
+
+	// Exit probe.
+	exitSeq := rp.seq()
+	t := exitSeq.scratch(0)
+	exitSeq.emit(ir.Instr{Op: ir.Probe, Imm: ProbeCCTExit, Rs: t, Rd: t})
+	seq := exitSeq.finish()
+	if rp.spill {
+		seq = append(seq,
+			ir.Instr{Op: ir.Mov, Rd: ir.RegSP, Rs: rp.frame},
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: frameBytes},
+		)
+	}
+	ed.insertBeforeTerm(p.ExitBlock, seq)
+
+	// Entry probe.
+	var entry []ir.Instr
+	if rp.spill {
+		entry = append(entry,
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -frameBytes},
+			ir.Instr{Op: ir.Mov, Rd: rp.frame, Rs: ir.RegSP},
+		)
+	}
+	sb := rp.seq()
+	te := sb.scratch(0)
+	sb.emit(
+		ir.Instr{Op: ir.MovI, Rd: te, Imm: int64(p.ID)},
+		ir.Instr{Op: ir.Probe, Imm: ProbeCCTEnter, Rs: te, Rd: te},
+	)
+	entry = append(entry, sb.finish()...)
+	ed.prependEntry(entry)
+	return nil
+}

@@ -1,0 +1,229 @@
+package instrument
+
+import (
+	"fmt"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+)
+
+// edgeCountProc inserts qpt-style edge profiling: a spanning tree of the
+// CFG (plus the virtual EXIT→ENTRY edge) is left uninstrumented and only
+// the chords carry counters; the remaining edge frequencies are recovered
+// offline by flow conservation (DecodeEdgeCounts). This is the baseline the
+// paper reports path profiling to cost roughly twice as much as.
+func (plan *Plan) edgeCountProc(p *ir.Proc) error {
+	pp := plan.Procs[p.ID]
+	ed := &editor{proc: p}
+	ed.splitEntry()
+	pp.exitBlock = p.ExitBlock
+
+	n := len(p.Blocks)
+	edges := cfg.Edges(p)
+
+	// Kruskal over the undirected view with EXIT→ENTRY forced in first.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		return true
+	}
+	union(int(p.ExitBlock), 0)
+	for _, e := range edges {
+		ref := edgeRef{From: e.From, Slot: e.Slot, To: e.To}
+		if union(int(e.From), int(e.To)) {
+			pp.EdgeTree = append(pp.EdgeTree, ref)
+		} else {
+			pp.EdgeChords = append(pp.EdgeChords, ref)
+		}
+	}
+
+	if len(pp.EdgeChords) > 0 {
+		pp.EdgeBase = plan.alloc.Alloc(uint64(len(pp.EdgeChords))*8, 64)
+	}
+
+	rp, err := planRegs(p, 3)
+	if err != nil {
+		return err
+	}
+	pp.Spilled = rp.spill
+
+	preds := ed.numPreds()
+	for i, ch := range pp.EdgeChords {
+		sb := rp.seq()
+		z := sb.zeroReg()
+		t := sb.scratch(0)
+		addr := int64(pp.EdgeBase + uint64(i)*8)
+		sb.emit(
+			ir.Instr{Op: ir.Load, Rd: t, Rs: z, Imm: addr},
+			ir.Instr{Op: ir.AddI, Rd: t, Rs: t, Imm: 1},
+			ir.Instr{Op: ir.Store, Rs: z, Imm: addr, Rd: t},
+		)
+		ed.insertOnEdge(ch.From, ch.Slot, preds, sb.finish())
+	}
+
+	// Spill-mode frame setup/teardown (zero register reconstruction keeps
+	// sequences self-contained, so only the frame register needs a home).
+	if rp.spill {
+		ed.insertBeforeTerm(p.ExitBlock, []ir.Instr{
+			{Op: ir.Mov, Rd: ir.RegSP, Rs: rp.frame},
+			{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: frameBytes},
+		})
+		ed.prependEntry([]ir.Instr{
+			{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -frameBytes},
+			{Op: ir.Mov, Rd: rp.frame, Rs: ir.RegSP},
+		})
+	} else {
+		ed.prependEntry([]ir.Instr{{Op: ir.MovI, Rd: rp.zero, Imm: 0}})
+	}
+	return nil
+}
+
+// DecodeEdgeCounts recovers every edge's execution count of one procedure
+// from the chord counters of a completed run, by leaf-elimination over the
+// spanning tree (each vertex contributes one flow-conservation equation:
+// inflow equals outflow, with the virtual EXIT→ENTRY edge carrying the
+// activation count).
+func DecodeEdgeCounts(pp *ProcPlan, memory *mem.Memory) (map[cfg.Edge]int64, int64, error) {
+	counts := make(map[cfg.Edge]int64)
+	for i, ch := range pp.EdgeChords {
+		counts[cfg.Edge{From: ch.From, To: ch.To, Slot: ch.Slot}] = memory.Load(pp.EdgeBase + uint64(i)*8)
+	}
+
+	// Unknowns: tree edges plus the virtual edge. Represent the virtual
+	// edge as a special key.
+	type ue struct {
+		e       cfg.Edge
+		virtual bool
+	}
+	unknown := make([]ue, 0, len(pp.EdgeTree)+1)
+	for _, te := range pp.EdgeTree {
+		unknown = append(unknown, ue{e: cfg.Edge{From: te.From, To: te.To, Slot: te.Slot}})
+	}
+	virtualFrom, virtualTo := pp.exitEntry()
+	unknown = append(unknown, ue{e: cfg.Edge{From: virtualFrom, To: virtualTo, Slot: -1}, virtual: true})
+
+	// incidence[v] lists indices of unknown edges incident to v.
+	maxBlock := ir.BlockID(0)
+	touch := func(b ir.BlockID) {
+		if b > maxBlock {
+			maxBlock = b
+		}
+	}
+	for _, u := range unknown {
+		touch(u.e.From)
+		touch(u.e.To)
+	}
+	for e := range counts {
+		touch(e.From)
+		touch(e.To)
+	}
+	nv := int(maxBlock) + 1
+	incident := make([][]int, nv)
+	for i, u := range unknown {
+		incident[u.e.From] = append(incident[u.e.From], i)
+		if u.e.To != u.e.From {
+			incident[u.e.To] = append(incident[u.e.To], i)
+		}
+	}
+
+	// Known net flow per vertex from chord counts: inflow - outflow.
+	net := make([]int64, nv)
+	for e, c := range counts {
+		net[e.To] += c
+		net[e.From] -= c
+	}
+
+	solved := make([]bool, len(unknown))
+	value := make([]int64, len(unknown))
+	remaining := make([]int, nv)
+	for v := 0; v < nv; v++ {
+		remaining[v] = len(incident[v])
+	}
+	queue := []int{}
+	for v := 0; v < nv; v++ {
+		if remaining[v] == 1 {
+			queue = append(queue, v)
+		}
+	}
+	solvedCount := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if remaining[v] != 1 {
+			continue
+		}
+		// Find the single unsolved incident edge.
+		var ei = -1
+		for _, i := range incident[v] {
+			if !solved[i] {
+				ei = i
+				break
+			}
+		}
+		if ei == -1 {
+			continue
+		}
+		u := unknown[ei]
+		// Flow balance at v: net[v] + x*(sign) == 0 where sign is +1 when
+		// the edge flows into v, -1 when out of v (self-loops contribute
+		// zero net flow and are always chords, never tree edges).
+		var x int64
+		if u.e.To == ir.BlockID(v) {
+			x = -net[v]
+		} else {
+			x = net[v]
+		}
+		value[ei] = x
+		solved[ei] = true
+		solvedCount++
+		// Propagate to the other endpoint.
+		other := u.e.From
+		if other == ir.BlockID(v) {
+			other = u.e.To
+		}
+		net[u.e.To] += x
+		net[u.e.From] -= x
+		remaining[v]--
+		if other != ir.BlockID(v) {
+			remaining[other]--
+			if remaining[other] == 1 {
+				queue = append(queue, int(other))
+			}
+		}
+	}
+	if solvedCount != len(unknown) {
+		return nil, 0, fmt.Errorf("instrument: edge decode incomplete (%d/%d)", solvedCount, len(unknown))
+	}
+	var activations int64
+	for i, u := range unknown {
+		if u.virtual {
+			activations = value[i]
+			continue
+		}
+		counts[u.e] = value[i]
+	}
+	return counts, activations, nil
+}
+
+// exitEntry returns the virtual edge endpoints for decoding; the entry is
+// always block 0 and the recorded tree/chord refs already use the
+// instrumented CFG's IDs.
+func (pp *ProcPlan) exitEntry() (from, to ir.BlockID) {
+	return pp.exitBlock, 0
+}

@@ -1,0 +1,138 @@
+package instrument
+
+import (
+	"testing"
+
+	"pathprof/internal/ir"
+)
+
+// buildEditable: entry -> branch -> {left, right} -> join -> exit, with a
+// loop from join back to branch.
+func buildEditable(t *testing.T) *ir.Proc {
+	t.Helper()
+	b := ir.NewBuilder("edit")
+	p := b.NewProc("f", 0)
+	entry := p.NewBlock()
+	branch := p.NewBlock()
+	left := p.NewBlock()
+	right := p.NewBlock()
+	join := p.NewBlock()
+	exit := p.NewBlock()
+	entry.MovI(2, 0)
+	entry.Jmp(branch)
+	branch.CmpLTI(3, 2, 10)
+	branch.AndI(4, 2, 1)
+	branch.Br(4, left, right)
+	left.AddI(2, 2, 1)
+	left.Jmp(join)
+	right.AddI(2, 2, 2)
+	right.Jmp(join)
+	join.CmpLTI(3, 2, 10)
+	join.Br(3, branch, exit)
+	exit.Ret()
+	b.SetMain(p)
+	return b.MustFinish().Procs[0]
+}
+
+func TestSplitEntryRedirectsBackedges(t *testing.T) {
+	p := buildEditable(t)
+	// Manufacture a backedge into the entry: join also jumps to entry.
+	p.Blocks[4].Succs[0] = 0
+	ed := &editor{proc: p}
+	moved := ed.splitEntry()
+	if p.Blocks[0].Term().Op != ir.Jmp || p.Blocks[0].Succs[0] != moved {
+		t.Fatal("entry is not a fresh jump block")
+	}
+	// The backedge must now target the moved body, not block 0.
+	if p.Blocks[4].Succs[0] != moved {
+		t.Fatalf("backedge still targets entry: %v", p.Blocks[4].Succs)
+	}
+	if err := ir.Validate(progOf(t, p)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// progOf wraps a single proc into a runnable program for validation.
+func progOf(t *testing.T, p *ir.Proc) *ir.Program {
+	t.Helper()
+	return &ir.Program{Name: "t", Procs: []*ir.Proc{p}, Main: 0}
+}
+
+func TestInsertOnEdgeAppendsToSingleSuccessor(t *testing.T) {
+	p := buildEditable(t)
+	ed := &editor{proc: p}
+	preds := ed.numPreds()
+	nBlocks := len(p.Blocks)
+	seq := []ir.Instr{{Op: ir.Nop}}
+	// left (block 2) has a single successor: the sequence lands before its
+	// terminator, no new block.
+	ed.insertOnEdge(2, 0, preds, seq)
+	if len(p.Blocks) != nBlocks {
+		t.Fatal("single-successor edge should not split")
+	}
+	instrs := p.Blocks[2].Instrs
+	if instrs[len(instrs)-2].Op != ir.Nop {
+		t.Fatal("sequence not appended before terminator")
+	}
+}
+
+func TestInsertOnEdgeSplitsCriticalEdge(t *testing.T) {
+	p := buildEditable(t)
+	ed := &editor{proc: p}
+	preds := ed.numPreds()
+	nBlocks := len(p.Blocks)
+	// join(4) -> branch(1) is critical: join has 2 successors and branch
+	// has 2 predecessors (entry and join).
+	ed.insertOnEdge(4, 0, preds, []ir.Instr{{Op: ir.Nop}})
+	if len(p.Blocks) != nBlocks+1 {
+		t.Fatal("critical edge not split")
+	}
+	nb := p.Blocks[nBlocks]
+	if p.Blocks[4].Succs[0] != nb.ID || nb.Succs[0] != 1 {
+		t.Fatal("split block mis-wired")
+	}
+	if nb.Instrs[0].Op != ir.Nop || nb.Term().Op != ir.Jmp {
+		t.Fatal("split block contents wrong")
+	}
+	if err := ir.Validate(progOf(t, p)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertOnEdgePrependsAtSinglePredecessor(t *testing.T) {
+	p := buildEditable(t)
+	ed := &editor{proc: p}
+	preds := ed.numPreds()
+	nBlocks := len(p.Blocks)
+	// branch(1) -> left(2): branch has 2 successors but left has a single
+	// in-edge, so the sequence is prepended at left.
+	ed.insertOnEdge(1, 0, preds, []ir.Instr{{Op: ir.Nop}})
+	if len(p.Blocks) != nBlocks {
+		t.Fatal("single-predecessor target should not split")
+	}
+	if p.Blocks[2].Instrs[0].Op != ir.Nop {
+		t.Fatal("sequence not prepended at target")
+	}
+}
+
+func TestFreeRegsExcludesUsedAndSP(t *testing.T) {
+	p := buildEditable(t)
+	free := freeRegs(p, 40)
+	seen := map[ir.Reg]bool{}
+	used := p.UsedRegs()
+	for _, r := range free {
+		if used[r] {
+			t.Fatalf("register %v reported free but used", r)
+		}
+		if r == ir.RegSP {
+			t.Fatal("stack pointer reported free")
+		}
+		if seen[r] {
+			t.Fatal("duplicate free register")
+		}
+		seen[r] = true
+	}
+	if len(free) == 0 {
+		t.Fatal("no free registers found")
+	}
+}

@@ -1,0 +1,74 @@
+package instrument_test
+
+import (
+	"fmt"
+
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+	"pathprof/internal/sim"
+)
+
+// Example instruments a two-path kernel for flow sensitive profiling of
+// hardware metrics and prints the per-path profile — the complete pipeline
+// in one place: build, instrument, wire, run, extract.
+func Example() {
+	// kernel: if arg is odd, touch memory; always returns.
+	b := ir.NewBuilder("example")
+	kernel := b.NewProc("kernel", 1)
+	e := kernel.NewBlock()
+	odd := kernel.NewBlock()
+	even := kernel.NewBlock()
+	x := kernel.NewBlock()
+	e.AndI(2, 1, 1)
+	e.Br(2, odd, even)
+	odd.AndI(3, 1, 63)
+	odd.MovI(4, 0)
+	odd.LoadIdx(5, 4, 3, int64(mem.GlobalBase))
+	odd.Jmp(x)
+	even.MulI(5, 1, 3)
+	even.Jmp(x)
+	x.Mov(1, 5)
+	x.Ret()
+
+	main := b.NewProc("main", 0)
+	me := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	done := main.NewBlock()
+	me.MovI(2, 0)
+	me.Jmp(h)
+	h.CmpLTI(3, 2, 100)
+	h.Br(3, body, done)
+	body.Mov(1, 2)
+	body.Call(kernel)
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	done.Halt()
+	b.SetMain(main)
+	prog := b.MustFinish()
+
+	plan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModePathHW))
+	if err != nil {
+		panic(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+
+	prof := rt.ExtractProfile()
+	kp := prof.Proc(kernel.ID())
+	fmt.Printf("kernel: %d potential paths, %d executed\n", kp.NumPaths, kp.Executed())
+	for _, e := range kp.Entries {
+		path, _ := plan.Procs[kernel.ID()].Numbering.Regenerate(e.Sum)
+		fmt.Printf("path %d (%v): %d runs\n", e.Sum, path, e.Freq)
+	}
+	// Output:
+	// kernel: 2 potential paths, 2 executed
+	// path 0 (b0 b4 b1 b3): 50 runs
+	// path 1 (b0 b4 b2 b3): 50 runs
+}

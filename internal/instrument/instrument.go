@@ -1,0 +1,321 @@
+package instrument
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cct"
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+)
+
+// Mode selects what instrumentation to insert. The names of the three
+// profiled configurations follow Table 1 of the paper.
+type Mode int
+
+const (
+	// ModeNone performs no insertion (baseline runs).
+	ModeNone Mode = iota
+	// ModeEdgeCount inserts edge-frequency counting (the qpt-style
+	// baseline the paper compares path profiling against).
+	ModeEdgeCount
+	// ModePathFreq inserts Ball-Larus path frequency counting only.
+	ModePathFreq
+	// ModePathHW is "Flow and HW": hardware metrics accumulated per path.
+	ModePathHW
+	// ModeContextHW is "Context and HW": a CCT with per-record hardware
+	// metric deltas.
+	ModeContextHW
+	// ModeContextFlow is "Context and Flow": a CCT whose records hold path
+	// frequency tables (no hardware counters).
+	ModeContextFlow
+	// ModeContextProbesOnly inserts only the call/enter/exit probes, with
+	// no metric work; baselines (dynamic call tree, gprof-style arc counts,
+	// sampling) wire their own handlers to it.
+	ModeContextProbesOnly
+	// ModeBlockHW records hardware metric deltas per basic block — the
+	// statement-level attribution of Section 6.4.3, implemented so its
+	// "far more expensive" overhead can be measured against path profiling.
+	ModeBlockHW
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeEdgeCount:
+		return "edge-count"
+	case ModePathFreq:
+		return "path-freq"
+	case ModePathHW:
+		return "flow+hw"
+	case ModeContextHW:
+		return "context+hw"
+	case ModeContextFlow:
+		return "context+flow"
+	case ModeContextProbesOnly:
+		return "context-probes"
+	case ModeBlockHW:
+		return "block+hw"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// UsesPaths reports whether the mode inserts Ball-Larus path tracking.
+func (m Mode) UsesPaths() bool {
+	return m == ModePathFreq || m == ModePathHW || m == ModeContextFlow
+}
+
+// UsesCCT reports whether the mode inserts context probes.
+func (m Mode) UsesCCT() bool {
+	return m == ModeContextHW || m == ModeContextFlow || m == ModeContextProbesOnly
+}
+
+// Probe identifiers understood by the wiring in wire.go.
+const (
+	ProbeCCTCall  = 1 // arg: site<<40 | pathPrefix+1 (0 when no path info)
+	ProbeCCTEnter = 2 // arg: callee procedure ID
+	ProbeCCTExit  = 3 // arg: unused
+	ProbeCCTTick  = 4 // arg: unused; backedge counter read (Section 4.3)
+	ProbeCCTPath  = 5 // arg: completed path sum (combined mode)
+	ProbeHashFreq = 6 // arg: procID<<40 | pathIndex (hash-table path count)
+	ProbeHashHW   = 7 // arg: procID<<40 | pathIndex (hash-table HW update)
+)
+
+// prefixBias re-centres path prefixes for packing: chord-optimized
+// increments make the tracking register transiently negative, so prefixes
+// are stored biased (and offset by one so that a packed value of zero
+// means "no prefix").
+const prefixBias = int64(1) << 38
+
+// packSitePath packs a call-site index and path prefix for ProbeCCTCall.
+// An unknown prefix encodes as 0 in the low 40 bits; known prefixes are
+// stored as prefix+prefixBias+1, which the instrumenter guarantees is
+// positive and below 2^40 (see maxPackedPaths).
+func packSitePath(site int, prefix int64) int64 {
+	low := int64(0)
+	if prefix != noPrefix {
+		low = prefix + prefixBias + 1
+	}
+	return int64(site)<<40 | low
+}
+
+// noPrefix mirrors cct.NoPrefix for the packing layer.
+const noPrefix = int64(-1) << 62
+
+// UnpackSitePath inverts packSitePath; an absent prefix decodes to
+// cct.NoPrefix semantics via the noPrefix sentinel.
+func UnpackSitePath(arg int64) (site int, prefix int64) {
+	low := arg & ((1 << 40) - 1)
+	if low == 0 {
+		return int(arg >> 40), noPrefix
+	}
+	return int(arg >> 40), low - prefixBias - 1
+}
+
+// PackProcPath packs a procedure ID and path index for the hash probes.
+func PackProcPath(proc int, idx int64) int64 { return int64(proc)<<40 | idx }
+
+// UnpackProcPath inverts PackProcPath.
+func UnpackProcPath(arg int64) (proc int, idx int64) {
+	return int(arg >> 40), arg & ((1 << 40) - 1)
+}
+
+// maxPackedPaths bounds path sums that can ride in packed probe arguments.
+// Chord-optimized prefixes range within a few multiples of NumPaths, so the
+// bound sits far below the 2^38 packing bias.
+const maxPackedPaths = int64(1) << 34
+
+// Options configures instrumentation.
+type Options struct {
+	Mode Mode
+
+	// OptimizeIncrements places path increments on spanning-tree chords
+	// instead of every non-zero edge (the [BL96] optimization).
+	OptimizeIncrements bool
+
+	// HashPathThreshold is the potential-path count above which a
+	// procedure's counters move from a dense array in simulated memory to
+	// a hash table maintained by the profiling runtime. Zero means
+	// DefaultHashPathThreshold.
+	HashPathThreshold int64
+
+	// ReadAfterWrite controls whether counter-zeroing emits the mandatory
+	// UltraSPARC read-after-write; disabling it is an ablation showing the
+	// skew from unconfirmed counter writes.
+	ReadAfterWrite bool
+
+	// BackedgeCounterReads makes context+HW instrumentation read the
+	// counters along loop backedges (Section 4.3), bounding wrap exposure
+	// and attributing long loops to their own record.
+	BackedgeCounterReads bool
+
+	// DistinguishCallSites selects the CCT layout (see cct.Options).
+	DistinguishCallSites bool
+
+	// CCTMetrics is the number of per-record metric slots for context
+	// modes: slot 0 counts invocations, slots 1 and 2 accumulate the PIC0
+	// and PIC1 deltas.
+	CCTMetrics int
+
+	// ProfiledFreqs, when non-nil, supplies measured edge frequencies per
+	// procedure (from CollectEdgeFrequencies) to weight the spanning tree
+	// of the increment optimization — the profile-guided placement of the
+	// original path-profiling work. Procedures with a nil entry fall back
+	// to the static loop-depth heuristic.
+	ProfiledFreqs []EdgeFreqs
+}
+
+// DefaultHashPathThreshold is where the array-of-counters gives way to a
+// hash table, as in the paper's instrumentation.
+const DefaultHashPathThreshold = int64(1) << 16
+
+// DefaultOptions returns the configuration used for the paper's main
+// experiments.
+func DefaultOptions(mode Mode) Options {
+	return Options{
+		Mode:                 mode,
+		OptimizeIncrements:   true,
+		HashPathThreshold:    DefaultHashPathThreshold,
+		ReadAfterWrite:       true,
+		BackedgeCounterReads: true,
+		DistinguishCallSites: true,
+		CCTMetrics:           3,
+	}
+}
+
+// ProcPlan records how one procedure was instrumented, with everything
+// needed to decode its counters afterwards.
+type ProcPlan struct {
+	ProcID    int
+	Name      string
+	Numbering *bl.Numbering  // nil unless the mode uses paths
+	Inc       *bl.Increments // increments actually inserted
+	UseHash   bool           // counters in a runtime hash table
+	Spilled   bool           // register-starved: spill-mode instrumentation
+
+	// Simulated addresses of dense counter tables (0 when unused/hashed).
+	FreqBase uint64
+	Acc0Base uint64
+	Acc1Base uint64
+
+	NumSites int // call sites (for CCT slot layout)
+
+	// BlockCount is the number of per-block accumulator slots allocated by
+	// ModeBlockHW (0 otherwise).
+	BlockCount int64
+
+	// SiteBlocks maps call-site index -> the block containing the call,
+	// on the instrumented (entry-split) CFG. Filled by the context modes;
+	// used to stitch interprocedural paths at one-path sites.
+	SiteBlocks []ir.BlockID
+
+	// EdgeChords lists, for ModeEdgeCount, which edges carry counters:
+	// EdgeChords[i] is the (block, slot) whose counter lives at
+	// EdgeBase + 8*i. Non-chord edge counts are recovered by flow
+	// conservation during decoding.
+	EdgeChords []edgeRef
+	EdgeBase   uint64
+	// EdgeTree describes the spanning tree used (for decoding).
+	EdgeTree []edgeRef
+	// exitBlock is the instrumented procedure's exit block (decoding).
+	exitBlock ir.BlockID
+}
+
+type edgeRef struct {
+	From ir.BlockID
+	Slot int
+	To   ir.BlockID
+}
+
+// Plan is the complete instrumentation result.
+type Plan struct {
+	Mode Mode
+	Opts Options
+
+	Prog *ir.Program // instrumented program (a deep copy)
+	Orig *ir.Program // the program as given
+
+	Procs []*ProcPlan // indexed by procedure ID
+
+	// CCTInfo describes procedures for the cct package.
+	CCTInfo []cct.ProcInfo
+
+	// CounterBytes is the simulated memory reserved for counter tables.
+	CounterBytes uint64
+
+	alloc *mem.Allocator
+}
+
+// Instrument clones prog and inserts instrumentation per opts. The returned
+// plan's Prog field is the program to run; Wire must be called on each
+// machine executing it.
+func Instrument(prog *ir.Program, opts Options) (*Plan, error) {
+	if opts.HashPathThreshold == 0 {
+		opts.HashPathThreshold = DefaultHashPathThreshold
+	}
+	clone := ir.Clone(prog)
+	plan := &Plan{
+		Mode:  opts.Mode,
+		Opts:  opts,
+		Prog:  clone,
+		Orig:  prog,
+		alloc: mem.NewAllocator(mem.CounterBase, 1<<30),
+	}
+
+	for _, p := range clone.Procs {
+		pp := &ProcPlan{ProcID: p.ID, Name: p.Name, NumSites: countSites(p)}
+		plan.Procs = append(plan.Procs, pp)
+	}
+
+	for _, p := range clone.Procs {
+		if err := plan.instrumentProc(p); err != nil {
+			return nil, err
+		}
+	}
+
+	plan.CCTInfo = make([]cct.ProcInfo, len(clone.Procs))
+	for i, p := range clone.Procs {
+		info := cct.ProcInfo{Name: p.Name, NumSites: plan.Procs[i].NumSites}
+		if nm := plan.Procs[i].Numbering; nm != nil {
+			info.NumPaths = nm.NumPaths
+		}
+		plan.CCTInfo[i] = info
+	}
+	plan.CounterBytes = plan.alloc.Used(mem.CounterBase)
+
+	if err := ir.Validate(clone); err != nil {
+		return nil, fmt.Errorf("instrument: produced invalid program: %w", err)
+	}
+	return plan, nil
+}
+
+func countSites(p *ir.Proc) int {
+	n := 0
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.IsCall() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// instrumentProc dispatches on mode.
+func (plan *Plan) instrumentProc(p *ir.Proc) error {
+	switch plan.Mode {
+	case ModeNone:
+		return nil
+	case ModeEdgeCount:
+		return plan.edgeCountProc(p)
+	case ModePathFreq, ModePathHW, ModeContextFlow:
+		return plan.pathProc(p)
+	case ModeContextHW, ModeContextProbesOnly:
+		return plan.cctOnlyProc(p)
+	case ModeBlockHW:
+		return plan.blockHWProc(p)
+	default:
+		return fmt.Errorf("instrument: unknown mode %v", plan.Mode)
+	}
+}

@@ -1,0 +1,809 @@
+package instrument
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cct"
+	"pathprof/internal/cfg"
+	"pathprof/internal/hpm"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+	"pathprof/internal/testgen"
+)
+
+func randomProgram(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	return testgen.RandomProgram(rng, "p", testgen.ProgramOptions{
+		NumProcs:      int(rng.Intn(6) + 3),
+		BlocksPer:     5,
+		Recursion:     seed%2 == 0,
+		IndirectCalls: seed%3 == 0,
+		Memory:        true,
+	})
+}
+
+func runProgram(t *testing.T, prog *ir.Program, plan *Plan) (sim.Result, *Runtime) {
+	t.Helper()
+	m := sim.New(prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	var rt *Runtime
+	if plan != nil {
+		rt = plan.Wire(m)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rt
+}
+
+// TestSemanticsPreserved: instrumented programs produce the same output as
+// the original, in every mode.
+func TestSemanticsPreserved(t *testing.T) {
+	modes := []Mode{ModeEdgeCount, ModePathFreq, ModePathHW, ModeContextHW, ModeContextFlow, ModeContextProbesOnly}
+	check := func(seed int64) bool {
+		prog := randomProgram(seed)
+		base, _ := runProgram(t, prog, nil)
+		for _, mode := range modes {
+			plan, err := Instrument(prog, DefaultOptions(mode))
+			if err != nil {
+				t.Logf("seed %d mode %v: %v", seed, mode, err)
+				return false
+			}
+			res, _ := runProgram(t, plan.Prog, plan)
+			if !reflect.DeepEqual(base.Output, res.Output) {
+				t.Logf("seed %d mode %v: output diverged (%d vs %d values)", seed, mode, len(base.Output), len(res.Output))
+				return false
+			}
+			if res.Instrs <= base.Instrs && mode != ModeNone {
+				t.Logf("seed %d mode %v: instrumentation added no instructions", seed, mode)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pathOracle derives the ground-truth path profile from the control-flow
+// trace of the instrumented program, using the plan's numbering directly.
+type pathOracle struct {
+	plan   *Plan
+	stack  []oframe
+	counts []map[int64]uint64 // per proc: path sum -> executions
+}
+
+type oframe struct {
+	proc int
+	r    int64
+}
+
+func newPathOracle(plan *Plan) *pathOracle {
+	o := &pathOracle{plan: plan}
+	o.counts = make([]map[int64]uint64, len(plan.Procs))
+	for i := range o.counts {
+		o.counts[i] = map[int64]uint64{}
+	}
+	return o
+}
+
+func (o *pathOracle) Enter(proc int) {
+	o.stack = append(o.stack, oframe{proc: proc})
+}
+
+func (o *pathOracle) Exit(proc int) {
+	top := o.stack[len(o.stack)-1]
+	if nm := o.plan.Procs[top.proc].Numbering; nm != nil {
+		o.counts[top.proc][top.r]++
+	}
+	o.stack = o.stack[:len(o.stack)-1]
+}
+
+func (o *pathOracle) Edge(proc int, from ir.BlockID, slot int) {
+	top := &o.stack[len(o.stack)-1]
+	nm := o.plan.Procs[proc].Numbering
+	if nm == nil || int(from) >= len(nm.Succs) {
+		return // inserted split block, or mode without numbering
+	}
+	// The oracle works in numbering space (nm.BEnd/BStart raw values),
+	// independent of which increment placement the instrumentation used —
+	// optimized increments compute the same final sums.
+	for i, be := range nm.Backedges {
+		if be.From == from && be.Slot == slot {
+			o.counts[proc][top.r+nm.BEnd[i]]++
+			top.r = nm.BStart[i]
+			return
+		}
+	}
+	for _, te := range nm.Succs[from] {
+		if te.Kind == bl.Real && te.Slot == slot {
+			top.r += te.Val
+			return
+		}
+	}
+}
+
+// flush counts the final path of the still-active activation: main ends in
+// Halt rather than Ret, so no Exit event fires for it, yet its exit-block
+// instrumentation does run.
+func (o *pathOracle) flush() {
+	if len(o.stack) == 0 {
+		return
+	}
+	top := o.stack[len(o.stack)-1]
+	if nm := o.plan.Procs[top.proc].Numbering; nm != nil {
+		o.counts[top.proc][top.r]++
+	}
+}
+
+func (o *pathOracle) profileOf(proc int) map[int64]uint64 { return o.counts[proc] }
+
+func checkProfileMatchesOracle(t *testing.T, seed int64, opts Options) {
+	t.Helper()
+	prog := randomProgram(seed)
+	plan, err := Instrument(prog, opts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	oracle := newPathOracle(plan)
+	m.SetTracer(oracle)
+	m.OnUnwind(func(d int) { oracle.stack = oracle.stack[:d] })
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	oracle.flush()
+	prof := rt.ExtractProfile()
+	for _, pp := range plan.Procs {
+		if pp.Numbering == nil {
+			continue
+		}
+		want := oracle.profileOf(pp.ProcID)
+		got := map[int64]uint64{}
+		if p := prof.Proc(pp.ProcID); p != nil {
+			for _, e := range p.Entries {
+				got[e.Sum] = e.Freq
+			}
+		}
+		if !reflect.DeepEqual(mapNonZero(want), mapNonZero(got)) {
+			t.Errorf("seed %d proc %s (hash=%v): profile mismatch\n want %v\n got  %v",
+				seed, pp.Name, pp.UseHash, mapNonZero(want), mapNonZero(got))
+		}
+	}
+}
+
+func mapNonZero(m map[int64]uint64) map[int64]uint64 {
+	out := map[int64]uint64{}
+	for k, v := range m {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// TestPathFreqMatchesOracle: dense-array counters, optimized increments.
+func TestPathFreqMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		checkProfileMatchesOracle(t, seed, DefaultOptions(ModePathFreq))
+	}
+}
+
+// TestPathFreqBasicIncrements: the unoptimized placement agrees too.
+func TestPathFreqBasicIncrements(t *testing.T) {
+	opts := DefaultOptions(ModePathFreq)
+	opts.OptimizeIncrements = false
+	for seed := int64(1); seed <= 8; seed++ {
+		checkProfileMatchesOracle(t, seed, opts)
+	}
+}
+
+// TestPathFreqHashTables: forcing a tiny hash threshold exercises the
+// hash-table path counters.
+func TestPathFreqHashTables(t *testing.T) {
+	opts := DefaultOptions(ModePathFreq)
+	opts.HashPathThreshold = 2
+	for seed := int64(1); seed <= 8; seed++ {
+		checkProfileMatchesOracle(t, seed, opts)
+	}
+}
+
+// TestPathHWMatchesOracle: the HW variant counts frequencies identically.
+func TestPathHWMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		checkProfileMatchesOracle(t, seed, DefaultOptions(ModePathHW))
+	}
+}
+
+// TestContextFlowMatchesOracle: summing per-record path tables over the CCT
+// reproduces the flow-sensitive profile.
+func TestContextFlowMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		checkProfileMatchesOracle(t, seed, DefaultOptions(ModeContextFlow))
+	}
+}
+
+// TestPathHWMetricsBounded: per-path metric accumulators stay within the
+// run's totals (they measure sub-intervals of it).
+func TestPathHWMetricsBounded(t *testing.T) {
+	prog := randomProgram(5)
+	plan, err := Instrument(prog, DefaultOptions(ModePathHW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rt := runProgram(t, plan.Prog, plan)
+	prof := rt.ExtractProfile()
+	_, m0, m1 := prof.Totals()
+	if m1 == 0 {
+		t.Fatal("no instructions attributed to any path")
+	}
+	if m0 > res.Totals[hpm.EvDCacheMiss] {
+		t.Fatalf("paths claim %d D-misses, run had %d", m0, res.Totals[hpm.EvDCacheMiss])
+	}
+	if m1 > res.Totals[hpm.EvInsts] {
+		t.Fatalf("paths claim %d insts, run had %d", m1, res.Totals[hpm.EvInsts])
+	}
+	// Most instructions should be attributed to paths (the remainder is
+	// instrumentation outside measured intervals).
+	if m1 < res.Totals[hpm.EvInsts]/3 {
+		t.Fatalf("only %d of %d instructions attributed to paths", m1, res.Totals[hpm.EvInsts])
+	}
+}
+
+// TestPathHWExactOnStraightLine: a single-path procedure's per-path
+// instruction metric is exactly the instructions inside the measured
+// interval, run after run.
+func TestPathHWExactOnStraightLine(t *testing.T) {
+	b := ir.NewBuilder("straight")
+	callee := b.NewProc("work", 1)
+	ce := callee.NewBlock()
+	ce.AddI(1, 1, 1)
+	ce.MulI(1, 1, 3)
+	ce.AddI(1, 1, -2)
+	ce.Ret()
+
+	main := b.NewProc("main", 0)
+	e := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	x := main.NewBlock()
+	e.MovI(2, 0)
+	e.Jmp(h)
+	h.CmpLTI(3, 2, 50)
+	h.Br(3, body, x)
+	body.MovI(1, 7)
+	body.Call(callee)
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	x.Halt()
+	b.SetMain(main)
+	prog := b.MustFinish()
+
+	plan, err := Instrument(prog, DefaultOptions(ModePathHW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof := rt.ExtractProfile()
+	pw := prof.Proc(0) // work
+	if pw == nil || len(pw.Entries) != 1 {
+		t.Fatalf("work should have exactly one executed path, got %+v", pw)
+	}
+	ent := pw.Entries[0]
+	if ent.Freq != 50 {
+		t.Fatalf("work path freq = %d, want 50", ent.Freq)
+	}
+	if ent.M1%ent.Freq != 0 {
+		t.Fatalf("per-execution instruction count not constant: %d/%d", ent.M1, ent.Freq)
+	}
+	per := ent.M1 / ent.Freq
+	// The measured interval covers the callee's own body plus the
+	// instrumentation between the zeroing read and the path-end read.
+	if per < 3 || per > 30 {
+		t.Fatalf("instructions per execution = %d, want a small constant", per)
+	}
+}
+
+// TestEdgeDecodeMatchesOracle: chord counters plus flow conservation
+// reproduce exact edge counts.
+func TestEdgeDecodeMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		prog := randomProgram(seed)
+		plan, err := Instrument(prog, DefaultOptions(ModeEdgeCount))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		oracle := &edgeOracle{counts: map[edgeKey]int64{}}
+		m.SetTracer(oracle)
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, pp := range plan.Procs {
+			got, _, err := DecodeEdgeCounts(pp, m.Mem())
+			if err != nil {
+				t.Fatalf("seed %d proc %s: %v", seed, pp.Name, err)
+			}
+			for e, c := range got {
+				want := oracle.counts[edgeKey{pp.ProcID, e.From, e.Slot}]
+				if c != want {
+					t.Errorf("seed %d proc %s edge %v: decoded %d, oracle %d", seed, pp.Name, e, c, want)
+				}
+			}
+		}
+	}
+}
+
+type edgeKey struct {
+	proc int
+	from ir.BlockID
+	slot int
+}
+
+type edgeOracle struct{ counts map[edgeKey]int64 }
+
+func (o *edgeOracle) Edge(proc int, from ir.BlockID, slot int) {
+	o.counts[edgeKey{proc, from, slot}]++
+}
+func (o *edgeOracle) Enter(int) {}
+func (o *edgeOracle) Exit(int)  {}
+
+// TestCCTInvariantsUnderInstrumentation: the runtime-built CCT validates,
+// respects the depth bound, and its invocation metrics match the machine's
+// call count.
+func TestCCTInvariantsUnderInstrumentation(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		prog := randomProgram(seed)
+		plan, err := Instrument(prog, DefaultOptions(ModeContextHW))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, rt := runProgram(t, plan.Prog, plan)
+		if err := rt.Tree.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		total := int64(0)
+		rt.Tree.Walk(func(n *cct.Node) { total += n.Metrics[0] })
+		invocations := uint64(total)
+		if want := res.Totals[hpm.EvCalls] + 1; invocations != want {
+			t.Fatalf("seed %d: CCT records %d invocations, machine made %d", seed, invocations, want)
+		}
+	}
+}
+
+// TestSpillModeInstrumentation: a register-starved procedure forces spill
+// mode and still profiles correctly.
+func TestSpillModeInstrumentation(t *testing.T) {
+	b := ir.NewBuilder("pressure")
+	hot := b.NewProc("hot", 1)
+	e := hot.NewBlock()
+	thenB := hot.NewBlock()
+	elseB := hot.NewBlock()
+	x := hot.NewBlock()
+	// Use every register except r29 (one free register → spill mode).
+	for r := ir.Reg(0); r < ir.NumRegs; r++ {
+		if r == ir.RegSP || r == 29 || r == 1 {
+			continue // r1 carries the live argument
+		}
+		e.MovI(r, int64(r))
+	}
+	e.AndI(2, 1, 1)
+	e.Br(2, thenB, elseB)
+	thenB.AddI(1, 1, 5)
+	thenB.Jmp(x)
+	elseB.MulI(1, 1, 3)
+	elseB.Jmp(x)
+	x.Ret()
+
+	main := b.NewProc("main", 0)
+	me := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	done := main.NewBlock()
+	me.MovI(2, 0)
+	me.Jmp(h)
+	h.CmpLTI(3, 2, 20)
+	h.Br(3, body, done)
+	body.Mov(1, 2)
+	body.Call(hot)
+	body.Out(1)
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	done.Halt()
+	b.SetMain(main)
+	prog := b.MustFinish()
+
+	base, _ := runProgram(t, prog, nil)
+	for _, mode := range []Mode{ModePathFreq, ModePathHW} {
+		plan, err := Instrument(prog, DefaultOptions(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Procs[0].Spilled {
+			t.Fatalf("mode %v: register-starved proc not in spill mode", mode)
+		}
+		res, rt := runProgram(t, plan.Prog, plan)
+		if !reflect.DeepEqual(base.Output, res.Output) {
+			t.Fatalf("mode %v: spill-mode instrumentation changed semantics", mode)
+		}
+		prof := rt.ExtractProfile()
+		pw := prof.Proc(0)
+		freq, _, _ := pw.Totals()
+		if freq != 20 {
+			t.Fatalf("mode %v: hot executed paths %d times, want 20", mode, freq)
+		}
+		if len(pw.Entries) != 2 {
+			t.Fatalf("mode %v: want both branch paths, got %d", mode, len(pw.Entries))
+		}
+	}
+}
+
+// TestInstrumentedProgramValid: every mode yields a Validate-clean program.
+func TestInstrumentedProgramValid(t *testing.T) {
+	prog := randomProgram(9)
+	for _, mode := range []Mode{ModeEdgeCount, ModePathFreq, ModePathHW, ModeContextHW, ModeContextFlow} {
+		plan, err := Instrument(prog, DefaultOptions(mode))
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if err := ir.Validate(plan.Prog); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if ir.Validate(plan.Orig) != nil {
+			t.Fatalf("mode %v: original program mutated", mode)
+		}
+	}
+}
+
+// TestOriginalUntouched: instrumenting must not mutate the input program.
+func TestOriginalUntouched(t *testing.T) {
+	prog := randomProgram(11)
+	before := prog.String()
+	if _, err := Instrument(prog, DefaultOptions(ModePathHW)); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() != before {
+		t.Fatal("Instrument mutated its input")
+	}
+}
+
+// TestBackedgesPreservedByEntrySplit: the entry split redirects backedges
+// into the moved body, keeping loop structure intact.
+func TestBackedgesPreservedByEntrySplit(t *testing.T) {
+	b := ir.NewBuilder("eb")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	body := p.NewBlock()
+	x := p.NewBlock()
+	e.MovI(2, 0)
+	e.Jmp(body)
+	body.AddI(2, 2, 1)
+	body.CmpLTI(3, 2, 4)
+	body.Br(3, body, x)
+	x.Ret()
+	b.SetMain(p)
+	prog := b.MustFinish()
+	plan, err := Instrument(prog, DefaultOptions(ModePathFreq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := plan.Procs[0].Numbering
+	if len(nm.Backedges) != 1 {
+		t.Fatalf("backedges after split = %d, want 1", len(nm.Backedges))
+	}
+	if len(cfg.Edges(plan.Prog.Procs[0])) == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+// TestProfileGuidedPlacement: the two-pass workflow — edge-profile once,
+// feed measured frequencies into the spanning-tree weights — keeps profiles
+// exact and does not cost more dynamic increments than the static
+// loop-depth heuristic.
+func TestProfileGuidedPlacement(t *testing.T) {
+	prog := randomProgram(21)
+
+	edgePlan, err := Instrument(prog, DefaultOptions(ModeEdgeCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs, err := CollectEdgeFrequencies(edgePlan, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, ef := range freqs {
+		for _, c := range ef {
+			if c > 0 {
+				nonzero++
+			}
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("edge profile collected no counts")
+	}
+
+	measure := func(opts Options) (uint64, *Plan, *Runtime) {
+		plan, err := Instrument(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.New(plan.Prog, sim.DefaultConfig())
+		m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+		rt := plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Instrs, plan, rt
+	}
+
+	staticInstrs, _, _ := measure(DefaultOptions(ModePathFreq))
+
+	pgoOpts := DefaultOptions(ModePathFreq)
+	pgoOpts.ProfiledFreqs = freqs
+	pgoInstrs, pgoPlan, pgoRT := measure(pgoOpts)
+
+	// Correctness: the PGO-placed instrumentation still produces the exact
+	// oracle profile.
+	m := sim.New(pgoPlan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt2 := pgoPlan.Wire(m)
+	oracle := newPathOracle(pgoPlan)
+	m.SetTracer(oracle)
+	m.OnUnwind(func(d int) { oracle.stack = oracle.stack[:d] })
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oracle.flush()
+	prof := rt2.ExtractProfile()
+	for _, pp := range pgoPlan.Procs {
+		if pp.Numbering == nil {
+			continue
+		}
+		got := map[int64]uint64{}
+		if p := prof.Proc(pp.ProcID); p != nil {
+			for _, e := range p.Entries {
+				got[e.Sum] = e.Freq
+			}
+		}
+		if !reflect.DeepEqual(mapNonZero(oracle.profileOf(pp.ProcID)), mapNonZero(got)) {
+			t.Errorf("proc %s: PGO-placed profile diverges from oracle", pp.Name)
+		}
+	}
+	_ = pgoRT
+
+	// Economy: by max-spanning-tree optimality, the measured-frequency
+	// placement must not execute more weighted chord increments than the
+	// static heuristic (evaluated against the same measured frequencies).
+	// Total dynamic instructions can differ slightly either way because
+	// critical-edge splits add jumps the objective does not see.
+	staticPlan, err := Instrument(prog, DefaultOptions(ModePathFreq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := func(plan *Plan) int64 {
+		var sum int64
+		for _, pp := range plan.Procs {
+			if pp.Inc == nil || pp.Numbering == nil {
+				continue
+			}
+			ef := freqs[pp.ProcID]
+			for ref := range pp.Inc.Real {
+				te := pp.Numbering.Succs[ref.Block][ref.Pos]
+				e := cfg.Edge{From: ir.BlockID(ref.Block), To: te.To, Slot: te.Slot}
+				sum += ef[e]
+			}
+		}
+		return sum
+	}
+	staticCost := weighted(staticPlan)
+	pgoCost := weighted(pgoPlan)
+	if pgoCost > staticCost {
+		t.Errorf("PGO chord cost %d exceeds static heuristic %d", pgoCost, staticCost)
+	}
+	t.Logf("weighted chord executions: static %d, pgo %d; dynamic instrs: static %d, pgo %d",
+		staticCost, pgoCost, staticInstrs, pgoInstrs)
+}
+
+// TestSemanticsPreservedWithLongjmp: programs that recover via non-local
+// returns keep identical outputs under every instrumentation mode, and the
+// CCT stays valid through the unwinds.
+func TestSemanticsPreservedWithLongjmp(t *testing.T) {
+	modes := []Mode{ModePathFreq, ModePathHW, ModeContextHW, ModeContextFlow}
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := testgen.RandomProgram(rng, "nl", testgen.ProgramOptions{
+			NumProcs: 6, BlocksPer: 4, Recursion: seed%2 == 0,
+			IndirectCalls: true, Memory: true, NonLocal: true,
+		})
+		m0 := sim.New(prog, sim.DefaultConfig())
+		base, err := m0.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The generator must actually exercise recovery on some seeds; the
+		// final output word counts recoveries.
+		recoveries := base.Output[len(base.Output)-1]
+		for _, mode := range modes {
+			plan, err := Instrument(prog, DefaultOptions(mode))
+			if err != nil {
+				t.Fatalf("seed %d mode %v: %v", seed, mode, err)
+			}
+			m := sim.New(plan.Prog, sim.DefaultConfig())
+			m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+			rt := plan.Wire(m)
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("seed %d mode %v: %v", seed, mode, err)
+			}
+			if !reflect.DeepEqual(base.Output, res.Output) {
+				t.Fatalf("seed %d mode %v: semantics diverged (recoveries=%d)", seed, mode, recoveries)
+			}
+			if rt.Tree != nil {
+				if err := rt.Tree.Validate(); err != nil {
+					t.Fatalf("seed %d mode %v: CCT invalid after unwinds: %v", seed, mode, err)
+				}
+			}
+		}
+	}
+}
+
+// TestLongjmpActuallyHappens guards the generator: across the seeds used
+// above, at least some runs recover via longjmp.
+func TestLongjmpActuallyHappens(t *testing.T) {
+	total := int64(0)
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := testgen.RandomProgram(rng, "nl", testgen.ProgramOptions{
+			NumProcs: 6, BlocksPer: 4, Recursion: seed%2 == 0,
+			IndirectCalls: true, Memory: true, NonLocal: true,
+		})
+		m := sim.New(prog, sim.DefaultConfig())
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Output[len(res.Output)-1]
+	}
+	if total == 0 {
+		t.Fatal("no seed produced a longjmp recovery; the property is untested")
+	}
+}
+
+// TestBlockHWMode: statement-level profiling preserves semantics, its
+// per-block metrics bound the run totals, and — the paper's point — it
+// costs more than path profiling on branchy code.
+func TestBlockHWMode(t *testing.T) {
+	prog := randomProgram(6)
+	m0 := sim.New(prog, sim.DefaultConfig())
+	base, err := m0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := Instrument(prog, DefaultOptions(ModeBlockHW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Output, res.Output) {
+		t.Fatal("block instrumentation changed semantics")
+	}
+
+	prof := rt.ExtractProfile()
+	_, m0sum, m1sum := prof.Totals()
+	if m1sum == 0 {
+		t.Fatal("no per-block instructions recorded")
+	}
+	if m0sum > res.Totals[hpm.EvDCacheMiss] || m1sum > res.Totals[hpm.EvInsts] {
+		t.Fatalf("block metrics exceed run totals: %d/%d vs %d/%d",
+			m0sum, m1sum, res.Totals[hpm.EvDCacheMiss], res.Totals[hpm.EvInsts])
+	}
+
+	// Every emitted entry must be a genuinely executed block.
+	for _, pp := range prof.Procs {
+		for _, e := range pp.Entries {
+			if e.Freq == 0 {
+				t.Fatalf("zero-frequency entry emitted: %+v", e)
+			}
+			if e.Sum < 0 || e.Sum >= pp.NumPaths {
+				t.Fatalf("block id %d out of range [0,%d)", e.Sum, pp.NumPaths)
+			}
+		}
+	}
+
+	// Overhead comparison: block-level must cost more cycles than
+	// path-level on the same program.
+	pathPlan, err := Instrument(prog, DefaultOptions(ModePathHW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := sim.New(pathPlan.Prog, sim.DefaultConfig())
+	mp.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	pathPlan.Wire(mp)
+	resPath, err := mp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= resPath.Cycles {
+		t.Fatalf("block-level profiling (%d cycles) not more expensive than path-level (%d)",
+			res.Cycles, resPath.Cycles)
+	}
+}
+
+// TestCCTShapeIndependentOfIncrementPlacement: calling contexts must not
+// depend on how path increments are placed. With chord-optimized
+// increments the path register can be negative at a call site; a packing
+// bug there would corrupt site indices and change the tree shape. The tree
+// built under optimized increments must match the one built under canonical
+// increments exactly.
+func TestCCTShapeIndependentOfIncrementPlacement(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		prog := randomProgram(seed)
+		shape := func(optimize bool) (int, map[int]int64, int) {
+			opts := DefaultOptions(ModeContextFlow)
+			opts.OptimizeIncrements = optimize
+			plan, err := Instrument(prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := sim.New(plan.Prog, sim.DefaultConfig())
+			m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+			rt := plan.Wire(m)
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Tree.Validate(); err != nil {
+				t.Fatalf("seed %d optimize=%v: %v", seed, optimize, err)
+			}
+			invocations := map[int]int64{}
+			rt.Tree.Walk(func(n *cct.Node) { invocations[n.Proc] += n.Metrics[0] })
+			st := rt.Tree.ComputeStats()
+			return rt.Tree.NumNodes(), invocations, st.CallSitesUsed
+		}
+		optNodes, optInv, optUsed := shape(true)
+		basicNodes, basicInv, basicUsed := shape(false)
+		if optNodes != basicNodes {
+			t.Fatalf("seed %d: node counts differ: optimized %d, canonical %d", seed, optNodes, basicNodes)
+		}
+		if optUsed != basicUsed {
+			t.Fatalf("seed %d: used sites differ: %d vs %d", seed, optUsed, basicUsed)
+		}
+		if !reflect.DeepEqual(optInv, basicInv) {
+			t.Fatalf("seed %d: invocation counts differ:\n optimized %v\n canonical %v", seed, optInv, basicInv)
+		}
+	}
+}
+
+// TestPackSitePathNegativePrefixes: round-trip through the packed probe
+// argument for the full prefix range, including negatives.
+func TestPackSitePathNegativePrefixes(t *testing.T) {
+	for _, site := range []int{0, 1, 7, 1 << 19} {
+		for _, prefix := range []int64{noPrefix, -maxPackedPaths, -1, 0, 1, maxPackedPaths} {
+			gotSite, gotPrefix := UnpackSitePath(packSitePath(site, prefix))
+			if gotSite != site || gotPrefix != prefix {
+				t.Fatalf("pack(%d,%d) -> (%d,%d)", site, prefix, gotSite, gotPrefix)
+			}
+		}
+	}
+}

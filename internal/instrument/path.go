@@ -1,0 +1,353 @@
+package instrument
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+)
+
+// pathProc inserts Ball-Larus path instrumentation into p, in one of three
+// flavours: frequency only (ModePathFreq), hardware metrics per path
+// (ModePathHW, Figure 3 of the paper), or per-context path frequency
+// (ModeContextFlow, where the counter update targets the current CCT
+// record).
+func (plan *Plan) pathProc(p *ir.Proc) error {
+	pp := plan.Procs[p.ID]
+	mode := plan.Mode
+	opts := plan.Opts
+
+	ed := &editor{proc: p}
+	ed.splitEntry()
+
+	nm, err := bl.New(p)
+	if err != nil {
+		return err
+	}
+	pp.Numbering = nm
+
+	var inc *bl.Increments
+	if opts.OptimizeIncrements {
+		hint := loopDepthFreqHint(p, nm)
+		if opts.ProfiledFreqs != nil && p.ID < len(opts.ProfiledFreqs) && opts.ProfiledFreqs[p.ID] != nil {
+			hint = profiledFreqHint(opts.ProfiledFreqs[p.ID], nm)
+		}
+		inc, err = nm.Optimize(hint)
+		if err != nil {
+			return err
+		}
+		if nm.NumPaths <= 1<<12 {
+			// Cheap insurance on small procedures; the property is also
+			// covered exhaustively by the bl package's tests.
+			if err := inc.VerifyPathSums(nm); err != nil {
+				return err
+			}
+		}
+	} else {
+		inc = nm.BasicIncrements()
+	}
+	pp.Inc = inc
+
+	pp.UseHash = nm.NumPaths > opts.HashPathThreshold
+	if pp.UseHash && nm.NumPaths > maxPackedPaths {
+		return fmt.Errorf("instrument: proc %s: %d paths exceed packable range", p.Name, nm.NumPaths)
+	}
+	if !pp.UseHash {
+		pp.FreqBase = plan.alloc.Alloc(uint64(nm.NumPaths)*8, 64)
+		if mode == ModePathHW {
+			pp.Acc0Base = plan.alloc.Alloc(uint64(nm.NumPaths)*8, 64)
+			pp.Acc1Base = plan.alloc.Alloc(uint64(nm.NumPaths)*8, 64)
+		}
+	}
+
+	want := 5 // zero, path, 3 temps
+	if mode == ModePathHW {
+		want = 6 // + saved-PIC register
+	}
+	rp, err := planRegs(p, want)
+	if err != nil {
+		return err
+	}
+	pp.Spilled = rp.spill
+
+	preds := ed.numPreds()
+
+	// (a) Real-edge increments, in deterministic block/position order.
+	for b := range nm.Succs {
+		for pos, te := range nm.Succs[b] {
+			if te.Kind != bl.Real {
+				continue
+			}
+			val, ok := inc.Real[bl.SuccRef{Block: b, Pos: pos}]
+			if !ok || val == 0 {
+				continue
+			}
+			sb := rp.seq()
+			r := sb.pathReg()
+			sb.emit(ir.Instr{Op: ir.AddI, Rd: r, Rs: r, Imm: val})
+			sb.storePath()
+			ed.insertOnEdge(ir.BlockID(b), te.Slot, preds, sb.finish())
+		}
+	}
+
+	// (b) Backedge operations: count[r+END]++; r = START (plus counter
+	// restart in HW mode).
+	for i, be := range nm.Backedges {
+		sb := rp.seq()
+		plan.emitPathEnd(sb, pp, inc.BEnd[i], mode)
+		r := sb.pathRegNoLoad()
+		sb.emit(ir.Instr{Op: ir.MovI, Rd: r, Imm: inc.BStart[i]})
+		sb.storePath()
+		if mode == ModePathHW {
+			plan.emitCounterZero(sb, rp)
+		}
+		ed.insertOnEdge(be.From, be.Slot, preds, sb.finish())
+	}
+
+	// (c) Exit block: final path count, then (HW) counter restore, then
+	// (ContextFlow) the CCT exit probe, then frame teardown.
+	exitSeq := rp.seq()
+	plan.emitPathEnd(exitSeq, pp, 0, mode)
+	if mode == ModePathHW {
+		plan.emitCounterRestore(exitSeq, rp)
+	}
+	if mode == ModeContextFlow {
+		t := exitSeq.scratch(0)
+		exitSeq.emit(ir.Instr{Op: ir.Probe, Imm: ProbeCCTExit, Rs: t, Rd: t})
+	}
+	seq := exitSeq.finish()
+	if rp.spill {
+		seq = append(seq,
+			ir.Instr{Op: ir.Mov, Rd: ir.RegSP, Rs: rp.frame},
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: frameBytes},
+		)
+	}
+	ed.insertBeforeTerm(p.ExitBlock, seq)
+
+	// (d) Call sites (ContextFlow): pass the site index and current path
+	// prefix to the CCT runtime just before each call.
+	if mode == ModeContextFlow {
+		plan.insertCallProbes(ed, rp, nm)
+	}
+
+	// (e) Entry: frame setup (spill), zero register, r = 0, CCT enter probe
+	// (ContextFlow), counter save + zero (HW).
+	var entry []ir.Instr
+	if rp.spill {
+		entry = append(entry,
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -frameBytes},
+			ir.Instr{Op: ir.Mov, Rd: rp.frame, Rs: ir.RegSP},
+		)
+	} else {
+		entry = append(entry, ir.Instr{Op: ir.MovI, Rd: rp.zero, Imm: 0})
+	}
+	sb := rp.seq()
+	r := sb.pathRegNoLoad()
+	sb.emit(ir.Instr{Op: ir.MovI, Rd: r, Imm: 0})
+	sb.storePath()
+	if mode == ModeContextFlow {
+		t := sb.scratch(0)
+		sb.emit(
+			ir.Instr{Op: ir.MovI, Rd: t, Imm: int64(p.ID)},
+			ir.Instr{Op: ir.Probe, Imm: ProbeCCTEnter, Rs: t, Rd: t},
+		)
+	}
+	if mode == ModePathHW {
+		plan.emitCounterSave(sb, rp)
+		plan.emitCounterZero(sb, rp)
+	}
+	entry = append(entry, sb.finish()...)
+	ed.prependEntry(entry)
+	return nil
+}
+
+// loopDepthFreqHint estimates relative edge execution frequencies from
+// natural-loop nesting: an edge inside k nested loops is weighted 8^k, so
+// the maximum spanning tree keeps hot loop edges uninstrumented and the
+// chord increments land on cold edges — the intent of the original [BL96]
+// placement optimization, using static estimates in lieu of a prior
+// profile.
+func loopDepthFreqHint(p *ir.Proc, nm *bl.Numbering) func(bl.SuccRef) int64 {
+	depth := make([]int, len(p.Blocks))
+	for _, l := range cfg.NaturalLoops(p) {
+		for b := range l.Body {
+			depth[b]++
+		}
+	}
+	weight := func(d int) int64 {
+		if d > 6 {
+			d = 6
+		}
+		w := int64(1)
+		for i := 0; i < d; i++ {
+			w *= 8
+		}
+		return w
+	}
+	return func(ref bl.SuccRef) int64 {
+		te := nm.Succs[ref.Block][ref.Pos]
+		switch te.Kind {
+		case bl.Real:
+			d := depth[ref.Block]
+			if dt := depth[te.To]; dt < d {
+				d = dt // edges leaving a loop run at the outer frequency
+			}
+			return weight(d)
+		default:
+			// Pseudo edges stand for a backedge of the loop headed at the
+			// backedge target; they execute once per iteration.
+			be := nm.Backedges[te.Backedge]
+			return weight(depth[be.From])
+		}
+	}
+}
+
+// insertCallProbes places a ProbeCCTCall before every call instruction,
+// packing the call-site index with the live path prefix.
+func (plan *Plan) insertCallProbes(ed *editor, rp *regPlan, nm *bl.Numbering) {
+	p := ed.proc
+	pp := plan.Procs[p.ID]
+	canPack := nm == nil || nm.NumPaths <= maxPackedPaths
+	site := 0
+	for _, b := range p.Blocks {
+		// Collect call positions first; insertion shifts indices.
+		var calls []int
+		for i, in := range b.Instrs {
+			if in.Op.IsCall() {
+				calls = append(calls, i)
+			}
+		}
+		for range calls {
+			pp.SiteBlocks = append(pp.SiteBlocks, b.ID)
+		}
+		for k := len(calls) - 1; k >= 0; k-- {
+			idx := calls[k]
+			siteID := site + k
+			sb := rp.seq()
+			t := sb.scratch(0)
+			if nm != nil && canPack {
+				// packSitePath(site, 0) + r == packSitePath(site, r): the
+				// bias makes the low field positive for any reachable r.
+				r := sb.pathReg()
+				sb.emit(
+					ir.Instr{Op: ir.MovI, Rd: t, Imm: packSitePath(siteID, 0)},
+					ir.Instr{Op: ir.Add, Rd: t, Rs: t, Rt: r},
+				)
+			} else {
+				sb.emit(ir.Instr{Op: ir.MovI, Rd: t, Imm: packSitePath(siteID, noPrefix)})
+			}
+			sb.emit(ir.Instr{Op: ir.Probe, Imm: ProbeCCTCall, Rs: t, Rd: t})
+			ed.insertAt(b.ID, idx, sb.finish())
+		}
+		site += len(calls)
+	}
+}
+
+// emitPathEnd emits the "path completed" update: count the path whose index
+// is the current path register plus offset. The counter targeted depends on
+// the mode and on whether the procedure's table is dense or hashed. The
+// path register is dead after a path ends (the caller either resets it or
+// returns), so the sequence may clobber it as a scratch register.
+func (plan *Plan) emitPathEnd(sb *seqBuilder, pp *ProcPlan, offset int64, mode Mode) {
+	r := sb.pathReg()
+	idx := sb.scratch(2)
+	sb.emit(ir.Instr{Op: ir.AddI, Rd: idx, Rs: r, Imm: offset})
+
+	switch {
+	case mode == ModeContextFlow:
+		// Path count goes to the current CCT record.
+		sb.emit(ir.Instr{Op: ir.Probe, Imm: ProbeCCTPath, Rs: idx, Rd: idx})
+
+	case pp.UseHash && mode == ModePathHW:
+		t := sb.scratch(0)
+		sb.emit(
+			ir.Instr{Op: ir.MovI, Rd: t, Imm: PackProcPath(pp.ProcID, 0)},
+			ir.Instr{Op: ir.Add, Rd: t, Rs: t, Rt: idx},
+			ir.Instr{Op: ir.Probe, Imm: ProbeHashHW, Rs: t, Rd: t},
+		)
+
+	case pp.UseHash:
+		t := sb.scratch(0)
+		sb.emit(
+			ir.Instr{Op: ir.MovI, Rd: t, Imm: PackProcPath(pp.ProcID, 0)},
+			ir.Instr{Op: ir.Add, Rd: t, Rs: t, Rt: idx},
+			ir.Instr{Op: ir.Probe, Imm: ProbeHashFreq, Rs: t, Rd: t},
+		)
+
+	case mode == ModePathHW:
+		// Read the counter pair once, then accumulate both halves into
+		// 64-bit accumulators and bump the frequency count — the paper's
+		// "thirteen or more instructions". r is reused to hold the counter
+		// pair.
+		z := sb.zeroReg()
+		t0, t1 := sb.scratch(0), sb.scratch(1)
+		sb.emit(
+			ir.Instr{Op: ir.RdPIC, Rd: r},
+			// PIC1 (high half) into acc1.
+			ir.Instr{Op: ir.ShrI, Rd: t0, Rs: r, Imm: 32},
+			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
+			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
+			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
+			// PIC0 (low half) into acc0.
+			ir.Instr{Op: ir.AndI, Rd: t0, Rs: r, Imm: 0xffffffff},
+			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
+			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
+			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
+			// Frequency.
+			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
+			ir.Instr{Op: ir.AddI, Rd: t1, Rs: t1, Imm: 1},
+			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
+		)
+
+	default: // ModePathFreq, dense array: count[idx]++
+		z := sb.zeroReg()
+		t1 := sb.scratch(1)
+		sb.emit(
+			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
+			ir.Instr{Op: ir.AddI, Rd: t1, Rs: t1, Imm: 1},
+			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
+		)
+	}
+}
+
+// emitCounterZero writes zero to both PICs and, unless ablated, performs the
+// mandatory read-after-write (Figure 3: "it is necessary to read the
+// hardware counter after writing it").
+func (plan *Plan) emitCounterZero(sb *seqBuilder, rp *regPlan) {
+	z := sb.zeroReg()
+	sb.emit(ir.Instr{Op: ir.WrPIC, Rs: z})
+	if plan.Opts.ReadAfterWrite {
+		t := sb.scratch(0)
+		sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t})
+	}
+}
+
+// emitCounterSave preserves the caller's counter pair on procedure entry.
+func (plan *Plan) emitCounterSave(sb *seqBuilder, rp *regPlan) {
+	if rp.spill {
+		t := sb.scratch(0)
+		sb.emit(
+			ir.Instr{Op: ir.RdPIC, Rd: t},
+			ir.Instr{Op: ir.Store, Rs: rp.frame, Imm: slotSavePIC, Rd: t},
+		)
+		return
+	}
+	sb.emit(ir.Instr{Op: ir.RdPIC, Rd: rp.save})
+}
+
+// emitCounterRestore reinstates the caller's counter pair before return.
+func (plan *Plan) emitCounterRestore(sb *seqBuilder, rp *regPlan) {
+	var src ir.Reg
+	if rp.spill {
+		src = sb.scratch(0)
+		sb.emit(ir.Instr{Op: ir.Load, Rd: src, Rs: rp.frame, Imm: slotSavePIC})
+	} else {
+		src = rp.save
+	}
+	sb.emit(ir.Instr{Op: ir.WrPIC, Rs: src})
+	if plan.Opts.ReadAfterWrite {
+		t := sb.scratch(1)
+		sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t})
+	}
+}

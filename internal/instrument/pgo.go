@@ -1,0 +1,65 @@
+package instrument
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+// Profile-guided increment placement: the original path-profiling work
+// weights the spanning tree with *measured* edge frequencies so that chord
+// increments land on the coldest edges. This file provides the two-pass
+// workflow — run cheap edge profiling once, decode the counts, and feed
+// them into the path instrumenter as spanning-tree weights.
+
+// EdgeFreqs maps a procedure's CFG edges (identified on the entry-split
+// CFG, the form every instrumentation mode normalizes to first) to
+// execution counts.
+type EdgeFreqs map[cfg.Edge]int64
+
+// CollectEdgeFrequencies runs one edge-profiled execution of prog and
+// returns per-procedure edge counts suitable for Options.ProfiledFreqs.
+func CollectEdgeFrequencies(plan *Plan, cfg_ sim.Config) ([]EdgeFreqs, error) {
+	if plan.Mode != ModeEdgeCount {
+		return nil, fmt.Errorf("instrument: edge frequencies need a ModeEdgeCount plan, got %v", plan.Mode)
+	}
+	m := sim.New(plan.Prog, cfg_)
+	plan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		return nil, err
+	}
+	out := make([]EdgeFreqs, len(plan.Procs))
+	for _, pp := range plan.Procs {
+		counts, _, err := DecodeEdgeCounts(pp, m.Mem())
+		if err != nil {
+			return nil, fmt.Errorf("instrument: decoding %s: %w", pp.Name, err)
+		}
+		ef := make(EdgeFreqs, len(counts))
+		for e, c := range counts {
+			ef[e] = c
+		}
+		out[pp.ProcID] = ef
+	}
+	return out, nil
+}
+
+// profiledFreqHint converts measured edge counts into a spanning-tree
+// weight function for the numbering's transformed edges. Pseudo edges take
+// their backedge's measured count. A +1 floor keeps never-executed edges
+// comparable.
+func profiledFreqHint(freqs EdgeFreqs, nm *bl.Numbering) func(bl.SuccRef) int64 {
+	return func(ref bl.SuccRef) int64 {
+		te := nm.Succs[ref.Block][ref.Pos]
+		var e cfg.Edge
+		switch te.Kind {
+		case bl.Real:
+			e = cfg.Edge{From: ir.BlockID(ref.Block), To: te.To, Slot: te.Slot}
+		default:
+			e = nm.Backedges[te.Backedge]
+		}
+		return freqs[e] + 1
+	}
+}

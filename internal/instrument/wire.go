@@ -1,0 +1,244 @@
+package instrument
+
+import (
+	"pathprof/internal/cct"
+	"pathprof/internal/hpm"
+	"pathprof/internal/mem"
+	"pathprof/internal/profile"
+	"pathprof/internal/sim"
+)
+
+// Runtime is the per-machine profiling runtime: the CCT under construction,
+// the hash-table path counters for path-rich procedures, and the saved
+// counter readings that context+HW profiling keeps per activation. Create
+// one with Plan.Wire for every machine that runs the instrumented program.
+type Runtime struct {
+	Plan    *Plan
+	Machine *sim.Machine
+	Tree    *cct.Tree
+
+	// Hash path tables (per procedure; nil when the procedure uses a dense
+	// array in simulated memory).
+	hashFreq []map[int64]uint64
+	hashAcc0 []map[int64]uint64
+	hashAcc1 []map[int64]uint64
+	// Simulated bucket arrays backing the hash tables, so probes perturb
+	// the cache like real hash updates would: [proc] -> base address.
+	hashBase []uint64
+
+	// Context+HW state: the counter-pair reading at entry to each live
+	// activation (parallel to the CCT's context stack).
+	entryPIC []uint64
+}
+
+const hashBuckets = 64
+
+// Wire registers probe handlers on m and returns the runtime. It must be
+// called once per machine before Run.
+func (plan *Plan) Wire(m *sim.Machine) *Runtime {
+	rt := &Runtime{Plan: plan, Machine: m}
+	n := len(plan.Prog.Procs)
+	rt.hashFreq = make([]map[int64]uint64, n)
+	rt.hashAcc0 = make([]map[int64]uint64, n)
+	rt.hashAcc1 = make([]map[int64]uint64, n)
+	rt.hashBase = make([]uint64, n)
+	for _, pp := range plan.Procs {
+		if pp.UseHash {
+			rt.hashFreq[pp.ProcID] = make(map[int64]uint64)
+			rt.hashAcc0[pp.ProcID] = make(map[int64]uint64)
+			rt.hashAcc1[pp.ProcID] = make(map[int64]uint64)
+			rt.hashBase[pp.ProcID] = plan.alloc.Alloc(hashBuckets*8*3, 64)
+		}
+	}
+
+	if plan.Mode.UsesCCT() {
+		rt.Tree = cct.New(plan.CCTInfo, cct.Options{
+			DistinguishCallSites: plan.Opts.DistinguishCallSites,
+			NumMetrics:           plan.Opts.CCTMetrics,
+			PathCounts:           plan.Mode == ModeContextFlow,
+		}, mem.CCTBase)
+		m.OnUnwind(func(depth int) {
+			rt.Tree.UnwindTo(depth)
+			if len(rt.entryPIC) > depth {
+				rt.entryPIC = rt.entryPIC[:depth]
+			}
+		})
+	}
+
+	m.RegisterProbe(ProbeHashFreq, rt.onHashFreq)
+	m.RegisterProbe(ProbeHashHW, rt.onHashHW)
+	m.RegisterProbe(ProbeCCTCall, rt.onCCTCall)
+	m.RegisterProbe(ProbeCCTEnter, rt.onCCTEnter)
+	m.RegisterProbe(ProbeCCTExit, rt.onCCTExit)
+	m.RegisterProbe(ProbeCCTTick, rt.onCCTTick)
+	m.RegisterProbe(ProbeCCTPath, rt.onCCTPath)
+	return rt
+}
+
+// onHashFreq handles a hash-table path frequency update: in real
+// instrumentation a short hash probe plus a counter increment.
+func (rt *Runtime) onHashFreq(ctx sim.ProbeCtx, arg int64) int64 {
+	proc, idx := UnpackProcPath(arg)
+	rt.hashFreq[proc][idx]++
+	ctx.ChargeInstrs(6)
+	a := rt.hashBase[proc] + (uint64(idx)%hashBuckets)*8
+	ctx.TouchRead(a)
+	ctx.TouchWrite(a)
+	return arg
+}
+
+// onHashHW handles a hash-table path metric update: read the counter pair,
+// accumulate both halves and the frequency.
+func (rt *Runtime) onHashHW(ctx sim.ProbeCtx, arg int64) int64 {
+	proc, idx := UnpackProcPath(arg)
+	v := rt.Machine.PMU().Read()
+	pic0, pic1 := hpm.Split(v)
+	rt.hashAcc0[proc][idx] += uint64(pic0)
+	rt.hashAcc1[proc][idx] += uint64(pic1)
+	rt.hashFreq[proc][idx]++
+	ctx.ChargeInstrs(14)
+	base := rt.hashBase[proc]
+	b := (uint64(idx) % hashBuckets) * 8
+	for i := uint64(0); i < 3; i++ {
+		ctx.TouchRead(base + i*hashBuckets*8 + b)
+		ctx.TouchWrite(base + i*hashBuckets*8 + b)
+	}
+	return arg
+}
+
+func (rt *Runtime) onCCTCall(ctx sim.ProbeCtx, arg int64) int64 {
+	site, prefix := UnpackSitePath(arg)
+	if prefix == noPrefix {
+		prefix = cct.NoPrefix
+	}
+	rt.Tree.AtCall(site, prefix, ctx)
+	return arg
+}
+
+func (rt *Runtime) onCCTEnter(ctx sim.ProbeCtx, arg int64) int64 {
+	rt.Tree.Enter(int(arg), ctx)
+	rt.Tree.AddMetric(0, 1, ctx) // invocation count
+	if rt.Plan.Mode == ModeContextHW {
+		// Record the counter pair at entry (one RDPIC).
+		ctx.ChargeInstrs(1)
+		rt.entryPIC = append(rt.entryPIC, rt.Machine.PMU().Read())
+	}
+	return arg
+}
+
+func (rt *Runtime) onCCTExit(ctx sim.ProbeCtx, arg int64) int64 {
+	if rt.Plan.Mode == ModeContextHW && len(rt.entryPIC) > 0 {
+		rt.accumulateDelta(ctx)
+		rt.entryPIC = rt.entryPIC[:len(rt.entryPIC)-1]
+	}
+	rt.Tree.Exit(ctx)
+	return arg
+}
+
+// onCCTTick reads the counters along a loop backedge, attributing the
+// events since the last reading to the current record and re-basing — the
+// Section 4.3 refinement that bounds counter-wrap exposure.
+func (rt *Runtime) onCCTTick(ctx sim.ProbeCtx, arg int64) int64 {
+	if rt.Plan.Mode == ModeContextHW && len(rt.entryPIC) > 0 {
+		rt.accumulateDelta(ctx)
+		rt.entryPIC[len(rt.entryPIC)-1] = rt.Machine.PMU().Read()
+	}
+	return arg
+}
+
+// accumulateDelta adds (now - entry) for both 32-bit counters into the
+// current record's metric slots 1 and 2.
+func (rt *Runtime) accumulateDelta(ctx sim.ProbeCtx) {
+	ctx.ChargeInstrs(4) // RDPIC, two subtracts, bookkeeping
+	now := rt.Machine.PMU().Read()
+	entry := rt.entryPIC[len(rt.entryPIC)-1]
+	n0, n1 := hpm.Split(now)
+	e0, e1 := hpm.Split(entry)
+	rt.Tree.AddMetric(1, int64(hpm.Delta32(e0, n0)), ctx)
+	rt.Tree.AddMetric(2, int64(hpm.Delta32(e1, n1)), ctx)
+}
+
+func (rt *Runtime) onCCTPath(ctx sim.ProbeCtx, arg int64) int64 {
+	rt.Tree.CountPath(arg, ctx)
+	return arg
+}
+
+// ExtractProfile reads the completed run's path counters — dense tables
+// from simulated memory, hash tables from the runtime — into a Profile.
+// For ModeContextFlow the per-record tables are summed per procedure (the
+// flow-sensitive projection of the combined profile).
+func (rt *Runtime) ExtractProfile() *profile.Profile {
+	plan := rt.Plan
+	p := &profile.Profile{
+		Program: plan.Prog.Name,
+		Mode:    plan.Mode.String(),
+	}
+	ev0, ev1 := rt.Machine.PMU().Selected()
+	p.Event0, p.Event1 = ev0.String(), ev1.String()
+
+	memory := rt.Machine.Mem()
+	if plan.Mode == ModeBlockHW {
+		for _, pp := range plan.Procs {
+			out := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.BlockCount}
+			for bid := int64(0); bid < pp.BlockCount; bid++ {
+				freq := uint64(memory.Load(pp.FreqBase + uint64(bid)*8))
+				if freq == 0 {
+					continue
+				}
+				out.Entries = append(out.Entries, profile.PathEntry{
+					Sum:  bid,
+					Freq: freq,
+					M0:   uint64(memory.Load(pp.Acc0Base + uint64(bid)*8)),
+					M1:   uint64(memory.Load(pp.Acc1Base + uint64(bid)*8)),
+				})
+			}
+			p.Procs = append(p.Procs, out)
+		}
+		return p
+	}
+	for _, pp := range plan.Procs {
+		if pp.Numbering == nil {
+			continue
+		}
+		out := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.Numbering.NumPaths}
+		switch {
+		case plan.Mode == ModeContextFlow:
+			sums := make(map[int64]uint64)
+			rt.Tree.Walk(func(n *cct.Node) {
+				if n.Proc != pp.ProcID {
+					return
+				}
+				for s, c := range n.PathCounts() {
+					sums[s] += uint64(c)
+				}
+			})
+			for s, c := range sums {
+				out.Entries = append(out.Entries, profile.PathEntry{Sum: s, Freq: c})
+			}
+		case pp.UseHash:
+			for s, c := range rt.hashFreq[pp.ProcID] {
+				out.Entries = append(out.Entries, profile.PathEntry{
+					Sum: s, Freq: c,
+					M0: rt.hashAcc0[pp.ProcID][s],
+					M1: rt.hashAcc1[pp.ProcID][s],
+				})
+			}
+		default:
+			for s := int64(0); s < pp.Numbering.NumPaths; s++ {
+				freq := uint64(memory.Load(pp.FreqBase + uint64(s)*8))
+				if freq == 0 {
+					continue
+				}
+				e := profile.PathEntry{Sum: s, Freq: freq}
+				if plan.Mode == ModePathHW {
+					e.M0 = uint64(memory.Load(pp.Acc0Base + uint64(s)*8))
+					e.M1 = uint64(memory.Load(pp.Acc1Base + uint64(s)*8))
+				}
+				out.Entries = append(out.Entries, e)
+			}
+		}
+		out.Sort()
+		p.Procs = append(p.Procs, out)
+	}
+	return p
+}

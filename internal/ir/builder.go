@@ -1,0 +1,283 @@
+package ir
+
+import "fmt"
+
+// Builder incrementally constructs a Program. It exists so that workload
+// generators and tests can express machine programs compactly and safely;
+// Finish validates the result.
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// NewProc adds a procedure and returns its builder. The first block created
+// is the entry block; call Exit (or mark a block with SetExit) before Finish.
+func (b *Builder) NewProc(name string, numArgs int) *ProcBuilder {
+	p := &Proc{Name: name, ID: len(b.prog.Procs), NumArgs: numArgs, ExitBlock: -1}
+	b.prog.Procs = append(b.prog.Procs, p)
+	return &ProcBuilder{proc: p}
+}
+
+// SetMain records which procedure the machine starts in.
+func (b *Builder) SetMain(p *ProcBuilder) { b.prog.Main = p.proc.ID }
+
+// Globals sets the initial global data segment (8-byte words) and returns
+// the base byte address at which it will be mapped.
+func (b *Builder) Globals(words []int64, base uint64) {
+	b.prog.Globals = words
+	b.prog.GlobalBase = base
+}
+
+// Finish validates and returns the constructed program.
+func (b *Builder) Finish() (*Program, error) {
+	if err := Validate(b.prog); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustFinish is Finish but panics on validation failure; intended for
+// statically-known workload constructors and tests.
+func (b *Builder) MustFinish() *Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("ir: invalid program %q: %v", b.prog.Name, err))
+	}
+	return p
+}
+
+// ProcBuilder constructs one procedure.
+type ProcBuilder struct {
+	proc *Proc
+}
+
+// ID returns the procedure's index in the program, for use as a Call target.
+func (pb *ProcBuilder) ID() int { return pb.proc.ID }
+
+// NewBlock appends an empty block and returns its builder. The first block
+// created is the procedure's entry.
+func (pb *ProcBuilder) NewBlock() *BlockBuilder {
+	blk := &Block{ID: BlockID(len(pb.proc.Blocks))}
+	pb.proc.Blocks = append(pb.proc.Blocks, blk)
+	return &BlockBuilder{pb: pb, blk: blk}
+}
+
+// SetExit marks bb's block as the procedure's unique exit block.
+func (pb *ProcBuilder) SetExit(bb *BlockBuilder) {
+	pb.proc.ExitBlock = bb.blk.ID
+}
+
+// BlockBuilder appends instructions to one block. Arithmetic helpers are
+// named after their opcodes.
+type BlockBuilder struct {
+	pb  *ProcBuilder
+	blk *Block
+}
+
+// ID returns the block's ID.
+func (bb *BlockBuilder) ID() BlockID { return bb.blk.ID }
+
+func (bb *BlockBuilder) emit(in Instr) *BlockBuilder {
+	if len(bb.blk.Instrs) > 0 && bb.blk.Term().Op.IsTerminator() {
+		panic(fmt.Sprintf("ir: emit after terminator in block %d of %s", bb.blk.ID, bb.pb.proc.Name))
+	}
+	bb.blk.Instrs = append(bb.blk.Instrs, in)
+	return bb
+}
+
+// --- integer ALU ---
+
+func (bb *BlockBuilder) Add(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Add, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Sub(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Sub, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Mul(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Mul, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Div(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Div, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Rem(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Rem, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) And(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: And, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Or(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Or, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Xor(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Xor, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Shl(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Shl, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Shr(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Shr, Rd: rd, Rs: rs, Rt: rt})
+}
+
+func (bb *BlockBuilder) AddI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: AddI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) MulI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: MulI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) AndI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: AndI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) OrI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: OrI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) XorI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: XorI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) ShlI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: ShlI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) ShrI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: ShrI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+func (bb *BlockBuilder) MovI(rd Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: MovI, Rd: rd, Imm: imm})
+}
+func (bb *BlockBuilder) Mov(rd, rs Reg) *BlockBuilder { return bb.emit(Instr{Op: Mov, Rd: rd, Rs: rs}) }
+
+// --- comparisons ---
+
+func (bb *BlockBuilder) CmpLT(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpLT, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) CmpLE(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpLE, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) CmpEQ(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpEQ, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) CmpNE(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpNE, Rd: rd, Rs: rs, Rt: rt})
+}
+
+func (bb *BlockBuilder) CmpLTI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpLTI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) CmpLEI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpLEI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) CmpEQI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpEQI, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) CmpNEI(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: CmpNEI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// --- floating point ---
+
+func (bb *BlockBuilder) FAdd(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: FAdd, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) FSub(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: FSub, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) FMul(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: FMul, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) FDiv(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: FDiv, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) FNeg(rd, rs Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: FNeg, Rd: rd, Rs: rs})
+}
+func (bb *BlockBuilder) FSqrt(rd, rs Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: FSqrt, Rd: rd, Rs: rs})
+}
+func (bb *BlockBuilder) FCmpLT(rd, rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: FCmpLT, Rd: rd, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) CvtIF(rd, rs Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: CvtIF, Rd: rd, Rs: rs})
+}
+func (bb *BlockBuilder) CvtFI(rd, rs Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: CvtFI, Rd: rd, Rs: rs})
+}
+
+// --- memory ---
+
+func (bb *BlockBuilder) Load(rd, rs Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: Load, Rd: rd, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) Store(rs Reg, imm int64, rv Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Store, Rd: rv, Rs: rs, Imm: imm})
+}
+func (bb *BlockBuilder) LoadIdx(rd, rs, rt Reg, imm int64) *BlockBuilder {
+	return bb.emit(Instr{Op: LoadIdx, Rd: rd, Rs: rs, Rt: rt, Imm: imm})
+}
+func (bb *BlockBuilder) StoreIdx(rs, rt Reg, imm int64, rv Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: StoreIdx, Rd: rv, Rs: rs, Rt: rt, Imm: imm})
+}
+
+// --- calls, output, counters, non-local control ---
+
+func (bb *BlockBuilder) Call(callee *ProcBuilder) *BlockBuilder {
+	return bb.emit(Instr{Op: Call, Imm: int64(callee.proc.ID)})
+}
+
+// CallID calls a procedure by raw index (for forward references).
+func (bb *BlockBuilder) CallID(id int) *BlockBuilder  { return bb.emit(Instr{Op: Call, Imm: int64(id)}) }
+func (bb *BlockBuilder) CallInd(rs Reg) *BlockBuilder { return bb.emit(Instr{Op: CallInd, Rs: rs}) }
+func (bb *BlockBuilder) Out(rs Reg) *BlockBuilder     { return bb.emit(Instr{Op: Out, Rs: rs}) }
+func (bb *BlockBuilder) RdPIC(rd Reg) *BlockBuilder   { return bb.emit(Instr{Op: RdPIC, Rd: rd}) }
+func (bb *BlockBuilder) WrPIC(rs Reg) *BlockBuilder   { return bb.emit(Instr{Op: WrPIC, Rs: rs}) }
+func (bb *BlockBuilder) RdTick(rd Reg) *BlockBuilder  { return bb.emit(Instr{Op: RdTick, Rd: rd}) }
+
+// SetJmp stores a context handle in rd and sets rt to 0; a later LongJmp to
+// the handle resumes after this instruction with rt set to the delivered
+// (non-zero) value.
+func (bb *BlockBuilder) SetJmp(rd, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: SetJmp, Rd: rd, Rt: rt})
+}
+func (bb *BlockBuilder) LongJmp(rs, rt Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: LongJmp, Rs: rs, Rt: rt})
+}
+func (bb *BlockBuilder) Probe(id int64, rs, rd Reg) *BlockBuilder {
+	return bb.emit(Instr{Op: Probe, Imm: id, Rs: rs, Rd: rd})
+}
+func (bb *BlockBuilder) Nop() *BlockBuilder { return bb.emit(Instr{Op: Nop}) }
+
+// --- terminators ---
+
+// Br ends the block with a conditional branch: taken if rs != 0.
+func (bb *BlockBuilder) Br(rs Reg, taken, notTaken *BlockBuilder) {
+	bb.emit(Instr{Op: Br, Rs: rs})
+	bb.blk.Succs = []BlockID{taken.blk.ID, notTaken.blk.ID}
+}
+
+// Jmp ends the block with an unconditional jump.
+func (bb *BlockBuilder) Jmp(target *BlockBuilder) {
+	bb.emit(Instr{Op: Jmp})
+	bb.blk.Succs = []BlockID{target.blk.ID}
+}
+
+// Ret ends the block with a return and marks it the procedure exit if none
+// is set yet.
+func (bb *BlockBuilder) Ret() {
+	bb.emit(Instr{Op: Ret})
+	if bb.pb.proc.ExitBlock < 0 {
+		bb.pb.proc.ExitBlock = bb.blk.ID
+	}
+}
+
+// Halt ends the block by stopping the machine (main procedure only) and
+// marks it the procedure exit if none is set yet.
+func (bb *BlockBuilder) Halt() {
+	bb.emit(Instr{Op: Halt})
+	if bb.pb.proc.ExitBlock < 0 {
+		bb.pb.proc.ExitBlock = bb.blk.ID
+	}
+}

@@ -1,0 +1,51 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FprintDot renders a procedure's CFG in Graphviz DOT syntax: one node per
+// basic block labelled with its instructions, solid edges for branch/jump
+// successors. Tools use it to visualize hot paths next to the CFG.
+func FprintDot(w io.Writer, p *Proc) {
+	fmt.Fprintf(w, "digraph %q {\n", p.Name)
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
+	for _, b := range p.Blocks {
+		var label strings.Builder
+		fmt.Fprintf(&label, "b%d", b.ID)
+		if b.ID == 0 {
+			label.WriteString(" (entry)")
+		}
+		if b.ID == p.ExitBlock {
+			label.WriteString(" (exit)")
+		}
+		label.WriteString("\\l")
+		for _, in := range b.Instrs {
+			label.WriteString(escapeDot(in.String()))
+			label.WriteString("\\l")
+		}
+		fmt.Fprintf(w, "  b%d [label=\"%s\"];\n", b.ID, label.String())
+	}
+	for _, b := range p.Blocks {
+		for slot, s := range b.Succs {
+			attr := ""
+			if len(b.Succs) == 2 {
+				if slot == 0 {
+					attr = " [label=\"T\"]"
+				} else {
+					attr = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(w, "  b%d -> b%d%s;\n", b.ID, s, attr)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

@@ -1,0 +1,379 @@
+// Package ir defines the register-machine intermediate representation that
+// the whole system operates on: programs, procedures, basic blocks and
+// instructions.
+//
+// The IR plays the role that SPARC executables played in the original PLDI'97
+// system. It is deliberately machine-like: a fixed register file, explicit
+// loads and stores against a flat simulated address space, explicit
+// control-flow successors, direct and indirect calls, and the two
+// UltraSPARC-style performance-counter instructions (RdPIC/WrPIC) that the
+// flow-sensitive instrumentation relies on.
+//
+// Control-flow conventions:
+//
+//   - Block 0 of every procedure is the unique entry block.
+//   - Every procedure has a unique exit block (Proc.ExitBlock) terminated by
+//     Ret (or Halt in the program's main procedure).
+//   - Every block ends in exactly one terminator (Br, Jmp, Ret, Halt); there
+//     is no implicit fallthrough.
+//   - Calls are ordinary (non-terminator) instructions, as on a real machine.
+//
+// Register conventions:
+//
+//   - Each activation has a private register file of NumRegs registers.
+//   - Arguments are passed in R1..R8 (copied caller->callee on call).
+//   - The return value is returned in R1 (copied callee->caller on return).
+//   - RegSP (R30) is the stack pointer; it is copied in both directions
+//     across calls so stack discipline behaves conventionally.
+package ir
+
+import "fmt"
+
+// NumRegs is the architectural register file size of each activation.
+const NumRegs = 32
+
+// Register aliases used by the calling convention.
+const (
+	// RegRV is the return-value register, also the first argument register.
+	RegRV Reg = 1
+	// RegArg0 is the first argument register (arguments are R1..R8).
+	RegArg0 Reg = 1
+	// NumArgRegs is how many registers are copied to a callee on call.
+	NumArgRegs = 8
+	// RegSP is the stack-pointer register, copied across call and return.
+	RegSP Reg = 30
+)
+
+// Reg names one of the NumRegs general-purpose registers. Registers hold
+// 64-bit values; floating-point instructions interpret the bits as float64.
+type Reg uint8
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Opcode identifies an instruction's operation.
+type Opcode uint8
+
+// Instruction opcodes. See Instr for operand conventions.
+const (
+	Nop Opcode = iota
+
+	// Integer ALU, register forms: Rd = Rs op Rt.
+	Add
+	Sub
+	Mul
+	Div // trapping divide-by-zero is defined as 0 to keep programs total
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+
+	// Integer ALU, immediate forms: Rd = Rs op Imm.
+	AddI
+	MulI
+	AndI
+	OrI
+	XorI
+	ShlI
+	ShrI
+
+	// Moves: MovI sets Rd = Imm; Mov sets Rd = Rs.
+	MovI
+	Mov
+
+	// Comparisons produce 0 or 1 in Rd.
+	CmpLT  // Rd = Rs <  Rt
+	CmpLE  // Rd = Rs <= Rt
+	CmpEQ  // Rd = Rs == Rt
+	CmpNE  // Rd = Rs != Rt
+	CmpLTI // Rd = Rs <  Imm
+	CmpLEI // Rd = Rs <= Imm
+	CmpEQI // Rd = Rs == Imm
+	CmpNEI // Rd = Rs != Imm
+
+	// Floating point; registers carry float64 bit patterns.
+	FAdd  // Rd = Rs + Rt
+	FSub  // Rd = Rs - Rt
+	FMul  // Rd = Rs * Rt
+	FDiv  // Rd = Rs / Rt
+	FNeg  // Rd = -Rs
+	FSqrt // Rd = sqrt(Rs)
+	FCmpLT
+	CvtIF // Rd = float64(int64 Rs)
+	CvtFI // Rd = int64(float64 Rs)
+
+	// Memory. Addresses are byte addresses and must be 8-byte aligned.
+	// For stores, Rd holds the VALUE being stored (the instruction has no
+	// destination register).
+	Load     // Rd = M[Rs + Imm]
+	Store    // M[Rs + Imm] = Rd
+	LoadIdx  // Rd = M[Rs + Rt*8 + Imm]
+	StoreIdx // M[Rs + Rt*8 + Imm] = Rd
+
+	// Calls. Call's Imm is the callee's procedure index; CallInd takes the
+	// callee index from Rs. Arguments R1..R8 and RegSP are copied to the
+	// callee; on return, R1 and RegSP are copied back.
+	Call
+	CallInd
+
+	// Observable output: appends the value of Rs to the program's output
+	// stream. Used by semantics-preservation tests and example programs.
+	Out
+
+	// Hardware performance counters (UltraSPARC-style).
+	RdPIC  // Rd = PIC1<<32 | PIC0 (both 32-bit counters in one register)
+	WrPIC  // PIC0 = low 32 bits of Rs; PIC1 = high 32 bits
+	RdTick // Rd = current simulated cycle count (used by sampling profiler)
+
+	// Non-local control transfer (longjmp-style).
+	SetJmp  // Rd = 0; saves a context; a later LongJmp resumes here with Rd = Rt
+	LongJmp // unwind to context id in Rs, delivering value Rt
+
+	// Probe calls a registered runtime hook (used for CCT instrumentation).
+	// Imm is the probe identifier, Rs an argument register, Rd receives the
+	// hook's result.
+	Probe
+
+	// Terminators.
+	Br   // if Rs != 0 goto Succs[0] else Succs[1]
+	Jmp  // goto Succs[0]
+	Ret  // return to caller
+	Halt // stop the machine (main only)
+
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	Nop: "nop",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	AddI: "addi", MulI: "muli", AndI: "andi", OrI: "ori", XorI: "xori",
+	ShlI: "shli", ShrI: "shri",
+	MovI: "movi", Mov: "mov",
+	CmpLT: "cmplt", CmpLE: "cmple", CmpEQ: "cmpeq", CmpNE: "cmpne",
+	CmpLTI: "cmplti", CmpLEI: "cmplei", CmpEQI: "cmpeqi", CmpNEI: "cmpnei",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FNeg: "fneg",
+	FSqrt: "fsqrt", FCmpLT: "fcmplt", CvtIF: "cvtif", CvtFI: "cvtfi",
+	Load: "load", Store: "store", LoadIdx: "loadidx", StoreIdx: "storeidx",
+	Call: "call", CallInd: "callind",
+	Out:   "out",
+	RdPIC: "rdpic", WrPIC: "wrpic", RdTick: "rdtick",
+	SetJmp: "setjmp", LongJmp: "longjmp",
+	Probe: "probe",
+	Br:    "br", Jmp: "jmp", Ret: "ret", Halt: "halt",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsTerminator reports whether op must appear as the last instruction of a
+// block and nowhere else.
+func (op Opcode) IsTerminator() bool {
+	switch op {
+	case Br, Jmp, Ret, Halt:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether op is a floating-point operation (relevant to the
+// simulator's FP latency model and the FPStall event).
+func (op Opcode) IsFP() bool {
+	switch op {
+	case FAdd, FSub, FMul, FDiv, FNeg, FSqrt, FCmpLT, CvtIF, CvtFI:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether op reads simulated memory.
+func (op Opcode) IsLoad() bool { return op == Load || op == LoadIdx }
+
+// IsStore reports whether op writes simulated memory.
+func (op Opcode) IsStore() bool { return op == Store || op == StoreIdx }
+
+// IsCall reports whether op transfers control to another procedure.
+func (op Opcode) IsCall() bool { return op == Call || op == CallInd }
+
+// Instr is a single machine instruction. Operand use depends on Op; see the
+// opcode comments. Imm doubles as the immediate operand, the callee index
+// (Call), and the probe identifier (Probe).
+type Instr struct {
+	Op  Opcode
+	Rd  Reg
+	Rs  Reg
+	Rt  Reg
+	Imm int64
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case Nop, Ret, Halt:
+		return in.Op.String()
+	case Jmp, Br:
+		if in.Op == Br {
+			return fmt.Sprintf("br %s", in.Rs)
+		}
+		return "jmp"
+	case MovI:
+		return fmt.Sprintf("movi %s, %d", in.Rd, in.Imm)
+	case Mov, FNeg, FSqrt, CvtIF, CvtFI, RdPIC, RdTick:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+	case WrPIC, Out:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, CmpLTI, CmpLEI, CmpEQI, CmpNEI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case Load:
+		return fmt.Sprintf("load %s, [%s+%d]", in.Rd, in.Rs, in.Imm)
+	case Store:
+		return fmt.Sprintf("store [%s+%d], %s", in.Rs, in.Imm, in.Rd)
+	case LoadIdx:
+		return fmt.Sprintf("loadidx %s, [%s+%s*8+%d]", in.Rd, in.Rs, in.Rt, in.Imm)
+	case StoreIdx:
+		return fmt.Sprintf("storeidx [%s+%s*8+%d], %s", in.Rs, in.Rt, in.Imm, in.Rd)
+	case Call:
+		return fmt.Sprintf("call p%d", in.Imm)
+	case CallInd:
+		return fmt.Sprintf("callind %s", in.Rs)
+	case SetJmp:
+		return fmt.Sprintf("setjmp %s, %s", in.Rd, in.Rt)
+	case LongJmp:
+		return fmt.Sprintf("longjmp %s, %s", in.Rs, in.Rt)
+	case Probe:
+		return fmt.Sprintf("probe #%d, %s -> %s", in.Imm, in.Rs, in.Rd)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	}
+}
+
+// BlockID indexes a block within its procedure.
+type BlockID int
+
+// Block is a basic block: a run of non-terminator instructions followed by a
+// single terminator, with explicit successor block IDs.
+type Block struct {
+	ID     BlockID
+	Instrs []Instr   // includes the terminator as the final element
+	Succs  []BlockID // Br: [taken, not-taken]; Jmp: [target]; Ret/Halt: none
+}
+
+// Term returns the block's terminator instruction.
+func (b *Block) Term() Instr {
+	return b.Instrs[len(b.Instrs)-1]
+}
+
+// Body returns the block's instructions excluding the terminator.
+func (b *Block) Body() []Instr {
+	return b.Instrs[:len(b.Instrs)-1]
+}
+
+// NumInstrs returns the number of instructions in the block, including the
+// terminator.
+func (b *Block) NumInstrs() int { return len(b.Instrs) }
+
+// Proc is a procedure: a CFG of basic blocks plus metadata.
+type Proc struct {
+	Name      string
+	ID        int // index within the Program
+	Blocks    []*Block
+	ExitBlock BlockID // the unique exit block (terminated by Ret or Halt)
+
+	// NumArgs documents how many of R1..R8 carry live arguments; it is
+	// informational (the calling convention always copies all eight).
+	NumArgs int
+}
+
+// Entry returns the procedure's entry block (always block 0).
+func (p *Proc) Entry() *Block { return p.Blocks[0] }
+
+// Exit returns the procedure's unique exit block.
+func (p *Proc) Exit() *Block { return p.Blocks[p.ExitBlock] }
+
+// NumInstrs returns the total instruction count of the procedure.
+func (p *Proc) NumInstrs() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Preds computes the predecessor lists of every block.
+func (p *Proc) Preds() [][]BlockID {
+	preds := make([][]BlockID, len(p.Blocks))
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}
+
+// UsedRegs returns the set of registers mentioned by any instruction of the
+// procedure. Instrumentation uses this to find scratch registers.
+func (p *Proc) UsedRegs() [NumRegs]bool {
+	var used [NumRegs]bool
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case Nop, Jmp, Ret, Halt, Call:
+				// no register operands (Call implicitly uses the
+				// argument registers, handled below)
+			default:
+				used[in.Rd] = true
+				used[in.Rs] = true
+				used[in.Rt] = true
+			}
+			if in.Op.IsCall() {
+				for r := RegArg0; r < RegArg0+NumArgRegs; r++ {
+					used[r] = true
+				}
+				used[RegSP] = true
+			}
+		}
+	}
+	return used
+}
+
+// Program is a complete executable: procedures plus an initialized global
+// data segment.
+type Program struct {
+	Name  string
+	Procs []*Proc
+	Main  int // index of the entry procedure
+
+	// Globals is the initial content of the global data segment, in 8-byte
+	// words. The simulator maps it at a fixed base address (see the mem
+	// package); programs address it with absolute immediates.
+	Globals []int64
+
+	// GlobalBase is the simulated byte address where Globals is mapped.
+	GlobalBase uint64
+}
+
+// Proc returns the procedure with the given index.
+func (pr *Program) Proc(id int) *Proc { return pr.Procs[id] }
+
+// ProcByName returns the procedure with the given name, or nil.
+func (pr *Program) ProcByName(name string) *Proc {
+	for _, p := range pr.Procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the total static instruction count of the program.
+func (pr *Program) NumInstrs() int {
+	n := 0
+	for _, p := range pr.Procs {
+		n += p.NumInstrs()
+	}
+	return n
+}

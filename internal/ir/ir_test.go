@@ -1,0 +1,253 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSimple(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("simple")
+	callee := b.NewProc("double", 1)
+	ce := callee.NewBlock()
+	ce.Add(1, 1, 1)
+	ce.Ret()
+
+	main := b.NewProc("main", 0)
+	e := main.NewBlock()
+	x := main.NewBlock()
+	e.MovI(1, 21)
+	e.Call(callee)
+	e.Out(1)
+	e.Jmp(x)
+	x.Halt()
+	b.SetMain(main)
+	return b.MustFinish()
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	prog := buildSimple(t)
+	if err := Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.ProcByName("double") == nil || prog.ProcByName("nope") != nil {
+		t.Fatal("ProcByName lookup broken")
+	}
+}
+
+func TestValidateRejectsMissingExit(t *testing.T) {
+	prog := buildSimple(t)
+	prog.Procs[1].ExitBlock = -1
+	if err := Validate(prog); err == nil {
+		t.Fatal("missing exit accepted")
+	}
+}
+
+func TestValidateRejectsInteriorTerminator(t *testing.T) {
+	prog := buildSimple(t)
+	blk := prog.Procs[0].Blocks[0]
+	blk.Instrs = append([]Instr{{Op: Ret}}, blk.Instrs...)
+	if err := Validate(prog); err == nil {
+		t.Fatal("interior terminator accepted")
+	}
+}
+
+func TestValidateRejectsBadCallTarget(t *testing.T) {
+	prog := buildSimple(t)
+	blk := prog.Procs[1].Blocks[0]
+	for i := range blk.Instrs {
+		if blk.Instrs[i].Op == Call {
+			blk.Instrs[i].Imm = 99
+		}
+	}
+	if err := Validate(prog); err == nil {
+		t.Fatal("out-of-range call target accepted")
+	}
+}
+
+func TestValidateRejectsUnreachable(t *testing.T) {
+	b := NewBuilder("bad")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	orphan := p.NewBlock()
+	x := p.NewBlock()
+	e.Jmp(x)
+	orphan.Jmp(x)
+	x.Ret()
+	b.SetMain(p)
+	_, err := b.Finish()
+	// The orphan is unreachable from entry (though it reaches exit).
+	if err == nil || !strings.Contains(err.Error(), "not reachable") {
+		t.Fatalf("err = %v, want unreachable-block error", err)
+	}
+}
+
+func TestValidateRejectsNoPathToExit(t *testing.T) {
+	b := NewBuilder("bad2")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	spin := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Br(2, spin, x)
+	spin.Nop()
+	spin.Jmp(spin)
+	x.Ret()
+	b.SetMain(p)
+	_, err := b.Finish()
+	if err == nil || !strings.Contains(err.Error(), "cannot reach exit") {
+		t.Fatalf("err = %v, want cannot-reach-exit error", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	prog := buildSimple(t)
+	c := Clone(prog)
+	c.Procs[0].Blocks[0].Instrs[0].Imm = 999
+	if prog.Procs[0].Blocks[0].Instrs[0].Imm == 999 {
+		t.Fatal("clone shares instruction storage")
+	}
+	// main's entry block has a successor; mutating the clone's copy must
+	// not reach the original.
+	mainID := prog.Main
+	c.Procs[mainID].Blocks[0].Succs[0] = 0
+	if prog.Procs[mainID].Blocks[0].Succs[0] == 0 {
+		t.Fatal("clone shares successor storage")
+	}
+	if err := Validate(prog); err != nil {
+		t.Fatalf("original corrupted by clone edit: %v", err)
+	}
+}
+
+func TestUsedRegs(t *testing.T) {
+	prog := buildSimple(t)
+	used := prog.Procs[1].UsedRegs() // main: uses r1, arg regs via call, SP
+	if !used[1] {
+		t.Fatal("r1 not marked used")
+	}
+	if !used[RegSP] {
+		t.Fatal("SP not marked used by call")
+	}
+	if used[20] {
+		t.Fatal("r20 spuriously used")
+	}
+}
+
+func TestPreds(t *testing.T) {
+	b := NewBuilder("p")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	l := p.NewBlock()
+	r := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Br(2, l, r)
+	l.Nop()
+	l.Jmp(x)
+	r.Nop()
+	r.Jmp(x)
+	x.Ret()
+	b.SetMain(p)
+	prog := b.MustFinish()
+	preds := prog.Procs[0].Preds()
+	if len(preds[3]) != 2 || len(preds[0]) != 0 {
+		t.Fatalf("preds wrong: %v", preds)
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := map[string]Instr{
+		"add r1, r2, r3":     {Op: Add, Rd: 1, Rs: 2, Rt: 3},
+		"movi r4, -7":        {Op: MovI, Rd: 4, Imm: -7},
+		"load r1, [r2+16]":   {Op: Load, Rd: 1, Rs: 2, Imm: 16},
+		"store [r2+8], r1":   {Op: Store, Rd: 1, Rs: 2, Imm: 8},
+		"call p3":            {Op: Call, Imm: 3},
+		"br r5":              {Op: Br, Rs: 5},
+		"probe #2, r3 -> r4": {Op: Probe, Imm: 2, Rs: 3, Rd: 4},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v renders %q, want %q", in.Op, got, want)
+		}
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !Br.IsTerminator() || Add.IsTerminator() {
+		t.Fatal("IsTerminator wrong")
+	}
+	if !FAdd.IsFP() || Add.IsFP() {
+		t.Fatal("IsFP wrong")
+	}
+	if !Load.IsLoad() || !StoreIdx.IsStore() || Load.IsStore() {
+		t.Fatal("memory predicates wrong")
+	}
+	if !Call.IsCall() || !CallInd.IsCall() || Jmp.IsCall() {
+		t.Fatal("IsCall wrong")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	prog := buildSimple(t)
+	s := CollectStats(prog)
+	if s.Procs != 2 || s.Calls != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Instrs != prog.NumInstrs() {
+		t.Fatal("instruction counts disagree")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	out := buildSimple(t).String()
+	for _, want := range []string{"program simple", "proc main", "proc double", "call p0", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitAfterTerminatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("emit after terminator did not panic")
+		}
+	}()
+	b := NewBuilder("x")
+	p := b.NewProc("f", 0)
+	blk := p.NewBlock()
+	blk.Ret()
+	blk.Nop()
+}
+
+func TestFprintDot(t *testing.T) {
+	prog := buildSimple(t)
+	var sb strings.Builder
+	FprintDot(&sb, prog.Procs[prog.Main])
+	out := sb.String()
+	for _, want := range []string{"digraph", "b0 [label=", "(entry)", "(exit)", "b0 -> b1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Branch edges carry T/F labels.
+	b := NewBuilder("d")
+	p := b.NewProc("f", 0)
+	e := p.NewBlock()
+	l := p.NewBlock()
+	r := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Br(2, l, r)
+	l.Nop()
+	l.Jmp(x)
+	r.Nop()
+	r.Jmp(x)
+	x.Ret()
+	b.SetMain(p)
+	sb.Reset()
+	FprintDot(&sb, b.MustFinish().Procs[0])
+	if !strings.Contains(sb.String(), "[label=\"T\"]") || !strings.Contains(sb.String(), "[label=\"F\"]") {
+		t.Error("branch edges not labelled")
+	}
+}

@@ -1,0 +1,493 @@
+package ir
+
+// This file implements the assembler: a parser for the textual form that
+// Fprint emits, so programs round-trip between text and the in-memory
+// representation. It lets test cases and tools ship programs as text and
+// completes the "executable format" role the IR plays.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the syntax produced by Fprint/Program.String:
+//
+//	program <name> (main=<proc>, ...)
+//	proc <name> (#<id>, <n> blocks, exit=b<id>):
+//	  b<id>: [-> b<i>, b<j>]
+//	    <instruction>
+//
+// Instruction syntax matches Instr.String exactly. Parse validates the
+// result before returning it.
+func Parse(r io.Reader) (*Program, error) {
+	p := &parser{sc: bufio.NewScanner(r)}
+	p.sc.Buffer(make([]byte, 1<<20), 1<<24)
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(prog); err != nil {
+		return nil, fmt.Errorf("ir: parsed program invalid: %w", err)
+	}
+	return prog, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Program, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+	cur  string
+	done bool
+}
+
+func (p *parser) next() bool {
+	for p.sc.Scan() {
+		p.line++
+		p.cur = strings.TrimRight(p.sc.Text(), " \t")
+		if strings.TrimSpace(p.cur) != "" {
+			return true
+		}
+	}
+	p.done = true
+	return false
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ir: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	if !p.next() {
+		return nil, fmt.Errorf("ir: empty input")
+	}
+	head := strings.TrimSpace(p.cur)
+	if !strings.HasPrefix(head, "program ") {
+		return nil, p.errf("expected 'program', got %q", head)
+	}
+	rest := strings.TrimPrefix(head, "program ")
+	name := rest
+	mainName := ""
+	if i := strings.IndexByte(rest, '('); i >= 0 {
+		name = strings.TrimSpace(rest[:i])
+		meta := rest[i+1:]
+		if j := strings.Index(meta, "main="); j >= 0 {
+			mainName = meta[j+5:]
+			for k, c := range mainName {
+				if c == ',' || c == ')' {
+					mainName = mainName[:k]
+					break
+				}
+			}
+		}
+	}
+	prog := &Program{Name: name}
+
+	hasLine := p.next()
+	// Optional globals section.
+	if hasLine {
+		head := strings.TrimSpace(p.cur)
+		if strings.HasPrefix(head, "globals ") {
+			if err := p.parseGlobalsHeader(prog, head); err != nil {
+				return nil, err
+			}
+			for {
+				hasLine = p.next()
+				if !hasLine {
+					break
+				}
+				line := strings.TrimSpace(p.cur)
+				if !strings.HasPrefix(line, "g ") {
+					break
+				}
+				f := strings.Fields(line)
+				if len(f) != 3 {
+					return nil, p.errf("malformed global %q", line)
+				}
+				idx, err1 := strconv.Atoi(f[1])
+				val, err2 := strconv.ParseInt(f[2], 10, 64)
+				if err1 != nil || err2 != nil || idx < 0 || idx >= len(prog.Globals) {
+					return nil, p.errf("bad global %q", line)
+				}
+				prog.Globals[idx] = val
+			}
+		}
+	}
+	for hasLine && !p.done {
+		head := strings.TrimSpace(p.cur)
+		if !strings.HasPrefix(head, "proc ") {
+			return nil, p.errf("expected 'proc', got %q", head)
+		}
+		var err error
+		hasLine, err = p.parseProc(prog, head)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i, pr := range prog.Procs {
+		if pr.Name == mainName {
+			prog.Main = i
+		}
+	}
+	return prog, nil
+}
+
+// parseGlobalsHeader handles "globals base=N len=K".
+func (p *parser) parseGlobalsHeader(prog *Program, head string) error {
+	base, length := int64(-1), -1
+	for _, f := range strings.Fields(strings.TrimPrefix(head, "globals ")) {
+		switch {
+		case strings.HasPrefix(f, "base="):
+			v, err := strconv.ParseInt(f[5:], 10, 64)
+			if err != nil || v < 0 {
+				return p.errf("bad globals base in %q", head)
+			}
+			base = v
+		case strings.HasPrefix(f, "len="):
+			v, err := strconv.Atoi(f[4:])
+			if err != nil || v < 0 {
+				return p.errf("bad globals len in %q", head)
+			}
+			length = v
+		}
+	}
+	if base < 0 || length < 0 {
+		return p.errf("malformed globals header %q", head)
+	}
+	prog.GlobalBase = uint64(base)
+	prog.Globals = make([]int64, length)
+	return nil
+}
+
+// parseProc consumes one proc and returns whether another line is pending.
+func (p *parser) parseProc(prog *Program, head string) (bool, error) {
+	// proc NAME (#ID, N blocks, exit=bE):
+	rest := strings.TrimPrefix(head, "proc ")
+	i := strings.IndexByte(rest, '(')
+	if i < 0 {
+		return false, p.errf("malformed proc header %q", head)
+	}
+	proc := &Proc{Name: strings.TrimSpace(rest[:i]), ID: len(prog.Procs), ExitBlock: -1}
+	meta := rest[i+1:]
+	if j := strings.Index(meta, "exit=b"); j >= 0 {
+		numStr := meta[j+6:]
+		for k, c := range numStr {
+			if c < '0' || c > '9' {
+				numStr = numStr[:k]
+				break
+			}
+		}
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			return false, p.errf("bad exit block in %q", head)
+		}
+		proc.ExitBlock = BlockID(n)
+	}
+	prog.Procs = append(prog.Procs, proc)
+
+	var blk *Block
+	for p.next() {
+		line := strings.TrimSpace(p.cur)
+		switch {
+		case strings.HasPrefix(line, "proc "):
+			return true, nil
+		case strings.HasPrefix(line, "b") && strings.Contains(line, ":"):
+			b, err := p.parseBlockHeader(line)
+			if err != nil {
+				return false, err
+			}
+			if int(b.ID) != len(proc.Blocks) {
+				return false, p.errf("block b%d out of order (expected b%d)", b.ID, len(proc.Blocks))
+			}
+			proc.Blocks = append(proc.Blocks, b)
+			blk = b
+		default:
+			if blk == nil {
+				return false, p.errf("instruction outside a block: %q", line)
+			}
+			in, err := parseInstr(line)
+			if err != nil {
+				return false, p.errf("%v", err)
+			}
+			blk.Instrs = append(blk.Instrs, in)
+		}
+	}
+	return false, nil
+}
+
+// parseBlockHeader handles "b3:" and "b3: -> b4, b5".
+func (p *parser) parseBlockHeader(line string) (*Block, error) {
+	colon := strings.IndexByte(line, ':')
+	idStr := strings.TrimPrefix(line[:colon], "b")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return nil, p.errf("bad block id %q", line)
+	}
+	b := &Block{ID: BlockID(id)}
+	rest := strings.TrimSpace(line[colon+1:])
+	if rest != "" {
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, "->"))
+		for _, part := range strings.Split(rest, ",") {
+			part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "b"))
+			s, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, p.errf("bad successor in %q", line)
+			}
+			b.Succs = append(b.Succs, BlockID(s))
+		}
+	}
+	return b, nil
+}
+
+// opByName is built once from the opcode string table.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// parseInstr inverts Instr.String.
+func parseInstr(s string) (Instr, error) {
+	s = strings.TrimSpace(s)
+	sp := strings.IndexByte(s, ' ')
+	mnemonic := s
+	rest := ""
+	if sp >= 0 {
+		mnemonic = s[:sp]
+		rest = strings.TrimSpace(s[sp+1:])
+	}
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in := Instr{Op: op}
+	args := splitArgs(rest)
+
+	reg := func(i int) (Reg, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i)
+		}
+		a := strings.TrimPrefix(args[i], "r")
+		n, err := strconv.Atoi(a)
+		if err != nil || n < 0 || n >= NumRegs {
+			return 0, fmt.Errorf("%s: bad register %q", mnemonic, args[i])
+		}
+		return Reg(n), nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing immediate", mnemonic)
+		}
+		return strconv.ParseInt(args[i], 10, 64)
+	}
+	var err error
+	fail := func(e error) (Instr, error) { return Instr{}, e }
+
+	switch op {
+	case Nop, Ret, Halt, Jmp:
+		// no operands
+	case Br, WrPIC, Out:
+		if in.Rs, err = reg(0); err != nil {
+			return fail(err)
+		}
+	case MovI:
+		if in.Rd, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Imm, err = imm(1); err != nil {
+			return fail(err)
+		}
+	case Mov, FNeg, FSqrt, CvtIF, CvtFI, RdPIC, RdTick:
+		if in.Rd, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return fail(err)
+		}
+	case AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, CmpLTI, CmpLEI, CmpEQI, CmpNEI:
+		if in.Rd, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return fail(err)
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return fail(err)
+		}
+	case Load: // load rd, [rs+imm]
+		if in.Rd, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Rs, in.Imm, err = parseMem(args, 1); err != nil {
+			return fail(err)
+		}
+	case Store: // store [rs+imm], rv
+		if in.Rs, in.Imm, err = parseMem(args, 0); err != nil {
+			return fail(err)
+		}
+		if in.Rd, err = reg(1); err != nil {
+			return fail(err)
+		}
+	case LoadIdx: // loadidx rd, [rs+rt*8+imm]
+		if in.Rd, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Rs, in.Rt, in.Imm, err = parseMemIdx(args, 1); err != nil {
+			return fail(err)
+		}
+	case StoreIdx: // storeidx [rs+rt*8+imm], rv
+		if in.Rs, in.Rt, in.Imm, err = parseMemIdx(args, 0); err != nil {
+			return fail(err)
+		}
+		if in.Rd, err = reg(1); err != nil {
+			return fail(err)
+		}
+	case Call: // call pN
+		if len(args) != 1 || !strings.HasPrefix(args[0], "p") {
+			return fail(fmt.Errorf("call: bad target"))
+		}
+		n, err := strconv.Atoi(args[0][1:])
+		if err != nil {
+			return fail(fmt.Errorf("call: bad target %q", args[0]))
+		}
+		in.Imm = int64(n)
+	case CallInd:
+		if in.Rs, err = reg(0); err != nil {
+			return fail(err)
+		}
+	case SetJmp:
+		if in.Rd, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Rt, err = reg(1); err != nil {
+			return fail(err)
+		}
+	case LongJmp:
+		if in.Rs, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Rt, err = reg(1); err != nil {
+			return fail(err)
+		}
+	case Probe: // probe #N, rs -> rd
+		if len(args) != 3 || !strings.HasPrefix(args[0], "#") {
+			return fail(fmt.Errorf("probe: malformed"))
+		}
+		n, err := strconv.ParseInt(args[0][1:], 10, 64)
+		if err != nil {
+			return fail(fmt.Errorf("probe: bad id"))
+		}
+		in.Imm = n
+		if in.Rs, err = reg(1); err != nil {
+			return fail(err)
+		}
+		if in.Rd, err = reg(2); err != nil {
+			return fail(err)
+		}
+	default: // three-register ALU/FP forms
+		if in.Rd, err = reg(0); err != nil {
+			return fail(err)
+		}
+		if in.Rs, err = reg(1); err != nil {
+			return fail(err)
+		}
+		if in.Rt, err = reg(2); err != nil {
+			return fail(err)
+		}
+	}
+	return in, nil
+}
+
+// splitArgs splits "r1, [r2+8], r3" into components, keeping bracketed
+// memory operands whole and treating the "->" arrow (probe result) as a
+// separator.
+func splitArgs(s string) []string {
+	s = strings.ReplaceAll(s, " -> ", ", ")
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	flush := func() {
+		if a := strings.TrimSpace(cur.String()); a != "" {
+			out = append(out, a)
+		}
+		cur.Reset()
+	}
+	for _, c := range s {
+		switch {
+		case c == '[':
+			depth++
+			cur.WriteRune(c)
+		case c == ']':
+			depth--
+			cur.WriteRune(c)
+		case c == ',' && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// parseMem parses "[rN+IMM]" (IMM may be negative).
+func parseMem(args []string, i int) (Reg, int64, error) {
+	if i >= len(args) {
+		return 0, 0, fmt.Errorf("missing memory operand")
+	}
+	a := args[i]
+	if !strings.HasPrefix(a, "[") || !strings.HasSuffix(a, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", a)
+	}
+	body := a[1 : len(a)-1]
+	plus := strings.IndexAny(body[1:], "+-")
+	if plus < 0 {
+		return 0, 0, fmt.Errorf("bad memory operand %q", a)
+	}
+	plus++ // adjust for the [1:] offset
+	rStr := strings.TrimPrefix(body[:plus], "r")
+	n, err := strconv.Atoi(rStr)
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, 0, fmt.Errorf("bad base register in %q", a)
+	}
+	immStr := strings.TrimPrefix(body[plus:], "+") // "+-8" -> "-8"
+	imm, err := strconv.ParseInt(immStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad displacement in %q", a)
+	}
+	return Reg(n), imm, nil
+}
+
+// parseMemIdx parses "[rS+rT*8+IMM]".
+func parseMemIdx(args []string, i int) (Reg, Reg, int64, error) {
+	if i >= len(args) {
+		return 0, 0, 0, fmt.Errorf("missing memory operand")
+	}
+	a := args[i]
+	if !strings.HasPrefix(a, "[") || !strings.HasSuffix(a, "]") {
+		return 0, 0, 0, fmt.Errorf("bad memory operand %q", a)
+	}
+	body := a[1 : len(a)-1]
+	parts := strings.SplitN(body, "+", 3)
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad indexed operand %q", a)
+	}
+	rs, err1 := strconv.Atoi(strings.TrimPrefix(parts[0], "r"))
+	rtStr := strings.TrimSuffix(parts[1], "*8")
+	rt, err2 := strconv.Atoi(strings.TrimPrefix(rtStr, "r"))
+	imm, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil ||
+		rs < 0 || rs >= NumRegs || rt < 0 || rt >= NumRegs {
+		return 0, 0, 0, fmt.Errorf("bad indexed operand %q", a)
+	}
+	return Reg(rs), Reg(rt), imm, nil
+}

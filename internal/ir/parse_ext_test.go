@@ -1,0 +1,43 @@
+package ir_test
+
+// External test package so the round-trip property can use the testgen
+// random program generator (which itself imports ir).
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/testgen"
+)
+
+// TestParseRoundTripRandomPrograms: String → Parse → String is the identity
+// on arbitrary generated programs.
+func TestParseRoundTripRandomPrograms(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := testgen.RandomProgram(rng, "rt", testgen.ProgramOptions{
+			NumProcs:      int(rng.Intn(6) + 2),
+			BlocksPer:     4,
+			Recursion:     seed%2 == 0,
+			IndirectCalls: seed%3 == 0,
+			Memory:        true,
+			NonLocal:      seed%5 == 0,
+		})
+		text := prog.String()
+		got, err := ir.ParseString(text)
+		if err != nil {
+			t.Logf("seed %d: parse: %v", seed, err)
+			return false
+		}
+		if got.String() != text {
+			t.Logf("seed %d: round trip diverged", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package ir
+
+import "testing"
+
+func TestParseRoundTripSimple(t *testing.T) {
+	prog := buildSimple(t)
+	text := prog.String()
+	got, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parse failed:\n%s\nerr: %v", text, err)
+	}
+	if got.String() != text {
+		t.Fatalf("round trip diverged:\n--- original\n%s\n--- reparsed\n%s", text, got.String())
+	}
+	if got.Main != prog.Main {
+		t.Fatalf("main = %d, want %d", got.Main, prog.Main)
+	}
+}
+
+func TestParseAllInstructionForms(t *testing.T) {
+	// A program exercising every operand shape Instr.String can produce.
+	b := NewBuilder("forms")
+	callee := b.NewProc("callee", 1)
+	cb := callee.NewBlock()
+	cb.AddI(1, 1, -3)
+	cb.Ret()
+
+	p := b.NewProc("main", 0)
+	e := p.NewBlock()
+	l := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.MovI(2, -42)
+	e.Mov(3, 2)
+	// Every integer ALU form.
+	e.Add(4, 2, 3)
+	e.Sub(4, 2, 3)
+	e.Mul(4, 2, 3)
+	e.Div(4, 2, 3)
+	e.Rem(4, 2, 3)
+	e.And(4, 2, 3)
+	e.Or(4, 2, 3)
+	e.Xor(4, 2, 3)
+	e.Shl(4, 2, 3)
+	e.Shr(4, 2, 3)
+	e.AddI(4, 2, -1)
+	e.MulI(4, 2, 3)
+	e.AndI(4, 2, 7)
+	e.OrI(4, 2, 8)
+	e.XorI(4, 2, 9)
+	e.ShlI(4, 2, 2)
+	e.ShrI(4, 2, 2)
+	// Every comparison form.
+	e.CmpLT(5, 4, 2)
+	e.CmpLE(5, 4, 2)
+	e.CmpEQ(5, 4, 2)
+	e.CmpNE(5, 4, 2)
+	e.CmpLTI(5, 4, 100)
+	e.CmpLEI(5, 4, 100)
+	e.CmpEQI(5, 4, 100)
+	e.CmpNEI(5, 4, 100)
+	// Every FP form.
+	e.FAdd(6, 4, 3)
+	e.FSub(6, 4, 3)
+	e.FMul(6, 4, 3)
+	e.FDiv(6, 4, 3)
+	e.FNeg(6, 4)
+	e.FSqrt(7, 6)
+	e.FCmpLT(5, 6, 7)
+	e.CvtIF(8, 2)
+	e.CvtFI(9, 8)
+	// Memory, calls, counters, non-local control, probes, output.
+	e.Load(10, 2, -8)
+	e.Store(2, 16, 10)
+	e.LoadIdx(11, 2, 3, 4096)
+	e.StoreIdx(2, 3, -4096, 11)
+	e.Call(callee)
+	e.CallID(callee.ID())
+	e.CallInd(5)
+	e.Out(4)
+	e.RdPIC(12)
+	e.WrPIC(12)
+	e.RdTick(13)
+	e.SetJmp(14, 15)
+	e.Probe(7, 4, 5)
+	e.Br(5, l, x)
+	l.LongJmp(14, 15)
+	l.Jmp(x)
+	x.Halt()
+	p.SetExit(x)
+	_ = x.ID()
+	b.SetMain(p)
+	prog := b.MustFinish()
+
+	text := prog.String()
+	got, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parse failed:\n%s\nerr: %v", text, err)
+	}
+	if got.String() != text {
+		t.Fatalf("round trip diverged:\n--- original\n%s\n--- reparsed\n%s", text, got.String())
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a program",
+		"program x (main=x, 1 procs, 0 global words)\nwat",
+		"program x (main=f, 1 procs, 0 global words)\nproc f (#0, 1 blocks, exit=b0):\n  b0:\n    frobnicate r1",
+		// Structurally invalid (no terminator) must fail validation.
+		"program x (main=f, 1 procs, 0 global words)\nproc f (#0, 1 blocks, exit=b0):\n  b0:\n    nop",
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}

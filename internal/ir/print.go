@@ -1,0 +1,131 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fprint renders the program as readable assembly-like text, for the specgen
+// tool, debugging, and golden tests. The format is complete: ir.Parse
+// reconstructs the program, including the global data segment (only
+// non-zero words are listed).
+func Fprint(sb *strings.Builder, prog *Program) {
+	fmt.Fprintf(sb, "program %s (main=%s, %d procs, %d global words)\n",
+		prog.Name, prog.Procs[prog.Main].Name, len(prog.Procs), len(prog.Globals))
+	if len(prog.Globals) > 0 {
+		fmt.Fprintf(sb, "globals base=%d len=%d\n", prog.GlobalBase, len(prog.Globals))
+		for i, w := range prog.Globals {
+			if w != 0 {
+				fmt.Fprintf(sb, "  g %d %d\n", i, w)
+			}
+		}
+	}
+	for _, p := range prog.Procs {
+		FprintProc(sb, p)
+	}
+}
+
+// FprintProc renders one procedure.
+func FprintProc(sb *strings.Builder, p *Proc) {
+	fmt.Fprintf(sb, "\nproc %s (#%d, %d blocks, exit=b%d):\n", p.Name, p.ID, len(p.Blocks), p.ExitBlock)
+	for _, b := range p.Blocks {
+		succ := ""
+		if len(b.Succs) > 0 {
+			parts := make([]string, len(b.Succs))
+			for i, s := range b.Succs {
+				parts[i] = fmt.Sprintf("b%d", s)
+			}
+			succ = " -> " + strings.Join(parts, ", ")
+		}
+		fmt.Fprintf(sb, "  b%d:%s\n", b.ID, succ)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "    %s\n", in)
+		}
+	}
+}
+
+// String renders the whole program.
+func (pr *Program) String() string {
+	var sb strings.Builder
+	Fprint(&sb, pr)
+	return sb.String()
+}
+
+// Stats summarizes a program's static shape.
+type Stats struct {
+	Procs    int
+	Blocks   int
+	Instrs   int
+	Branches int
+	Calls    int
+	IndCalls int
+	Loads    int
+	Stores   int
+	FPOps    int
+}
+
+// CollectStats computes static statistics over the program.
+func CollectStats(prog *Program) Stats {
+	var s Stats
+	s.Procs = len(prog.Procs)
+	for _, p := range prog.Procs {
+		s.Blocks += len(p.Blocks)
+		for _, b := range p.Blocks {
+			for _, in := range b.Instrs {
+				s.Instrs++
+				switch {
+				case in.Op == Br:
+					s.Branches++
+				case in.Op == Call:
+					s.Calls++
+				case in.Op == CallInd:
+					s.IndCalls++
+				case in.Op.IsLoad():
+					s.Loads++
+				case in.Op.IsStore():
+					s.Stores++
+				case in.Op.IsFP():
+					s.FPOps++
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the program. The instrumenter copies a
+// program before editing so the uninstrumented original remains runnable for
+// baseline and perturbation measurements.
+func Clone(prog *Program) *Program {
+	out := &Program{
+		Name:       prog.Name,
+		Main:       prog.Main,
+		GlobalBase: prog.GlobalBase,
+	}
+	out.Globals = append([]int64(nil), prog.Globals...)
+	out.Procs = make([]*Proc, len(prog.Procs))
+	for i, p := range prog.Procs {
+		np := &Proc{Name: p.Name, ID: p.ID, ExitBlock: p.ExitBlock, NumArgs: p.NumArgs}
+		np.Blocks = make([]*Block, len(p.Blocks))
+		for j, b := range p.Blocks {
+			nb := &Block{ID: b.ID}
+			nb.Instrs = append([]Instr(nil), b.Instrs...)
+			nb.Succs = append([]BlockID(nil), b.Succs...)
+			np.Blocks[j] = nb
+		}
+		out.Procs[i] = np
+	}
+	return out
+}
+
+// SortedProcNames returns the program's procedure names in sorted order
+// (handy for deterministic report output).
+func SortedProcNames(prog *Program) []string {
+	names := make([]string, len(prog.Procs))
+	for i, p := range prog.Procs {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,143 @@
+package ir
+
+import "fmt"
+
+// Validate checks the structural invariants the rest of the system relies
+// on: well-formed terminators and successor lists, a unique entry (block 0)
+// from which all blocks are reachable, a unique exit block that is reachable
+// from all blocks, in-range register and call operands, and 8-byte operand
+// sanity. It returns the first violation found.
+//
+// These are exactly the preconditions the Ball-Larus algorithm states for a
+// profilable CFG ("a unique entry vertex ENTRY from which all vertices are
+// reachable and a unique exit vertex EXIT that is reachable from all
+// vertices").
+func Validate(prog *Program) error {
+	if len(prog.Procs) == 0 {
+		return fmt.Errorf("program %q has no procedures", prog.Name)
+	}
+	if prog.Main < 0 || prog.Main >= len(prog.Procs) {
+		return fmt.Errorf("program %q: main index %d out of range", prog.Name, prog.Main)
+	}
+	for i, p := range prog.Procs {
+		if p.ID != i {
+			return fmt.Errorf("proc %q: ID %d does not match slot %d", p.Name, p.ID, i)
+		}
+		if err := validateProc(prog, p); err != nil {
+			return fmt.Errorf("proc %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateProc(prog *Program, p *Proc) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if p.ExitBlock < 0 || int(p.ExitBlock) >= len(p.Blocks) {
+		return fmt.Errorf("exit block %d out of range", p.ExitBlock)
+	}
+	for i, b := range p.Blocks {
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("block %d: ID %d does not match slot", i, b.ID)
+		}
+		if err := validateBlock(prog, p, b); err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+	}
+	exitTerm := p.Exit().Term().Op
+	if exitTerm != Ret && exitTerm != Halt {
+		return fmt.Errorf("exit block %d ends in %s, want ret or halt", p.ExitBlock, exitTerm)
+	}
+	for _, b := range p.Blocks {
+		t := b.Term().Op
+		if (t == Ret || t == Halt) && b.ID != p.ExitBlock {
+			return fmt.Errorf("block %d ends in %s but is not the exit block", b.ID, t)
+		}
+	}
+	// Reachability: entry reaches all, all reach exit.
+	if unreached := unreachableFrom(p, 0, false); len(unreached) > 0 {
+		return fmt.Errorf("blocks %v not reachable from entry", unreached)
+	}
+	if unreaching := unreachableFrom(p, p.ExitBlock, true); len(unreaching) > 0 {
+		return fmt.Errorf("blocks %v cannot reach exit", unreaching)
+	}
+	return nil
+}
+
+func validateBlock(prog *Program, p *Proc, b *Block) error {
+	if len(b.Instrs) == 0 {
+		return fmt.Errorf("empty block")
+	}
+	for i, in := range b.Instrs {
+		isLast := i == len(b.Instrs)-1
+		if in.Op.IsTerminator() != isLast {
+			if isLast {
+				return fmt.Errorf("last instruction %q is not a terminator", in)
+			}
+			return fmt.Errorf("terminator %q in block interior (instr %d)", in, i)
+		}
+		if in.Op >= numOpcodes {
+			return fmt.Errorf("instr %d: invalid opcode %d", i, in.Op)
+		}
+		if int(in.Rd) >= NumRegs || int(in.Rs) >= NumRegs || int(in.Rt) >= NumRegs {
+			return fmt.Errorf("instr %d (%q): register out of range", i, in)
+		}
+		if in.Op == Call {
+			if in.Imm < 0 || int(in.Imm) >= len(prog.Procs) {
+				return fmt.Errorf("instr %d: call target %d out of range", i, in.Imm)
+			}
+		}
+	}
+	term := b.Term().Op
+	wantSuccs := 0
+	switch term {
+	case Br:
+		wantSuccs = 2
+	case Jmp:
+		wantSuccs = 1
+	}
+	if len(b.Succs) != wantSuccs {
+		return fmt.Errorf("terminator %s has %d successors, want %d", term, len(b.Succs), wantSuccs)
+	}
+	for _, s := range b.Succs {
+		if s < 0 || int(s) >= len(p.Blocks) {
+			return fmt.Errorf("successor %d out of range", s)
+		}
+	}
+	return nil
+}
+
+// unreachableFrom returns the blocks not reachable from start, following
+// edges forward (reverse=false) or backward (reverse=true).
+func unreachableFrom(p *Proc, start BlockID, reverse bool) []BlockID {
+	adj := make([][]BlockID, len(p.Blocks))
+	if reverse {
+		preds := p.Preds()
+		copy(adj, preds)
+	} else {
+		for _, b := range p.Blocks {
+			adj[b.ID] = b.Succs
+		}
+	}
+	seen := make([]bool, len(p.Blocks))
+	stack := []BlockID{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	var missing []BlockID
+	for i, ok := range seen {
+		if !ok {
+			missing = append(missing, BlockID(i))
+		}
+	}
+	return missing
+}

@@ -1,0 +1,209 @@
+// Package profile defines the profile data model produced by instrumented
+// runs: per-procedure path tables carrying a frequency and up to two
+// hardware-metric accumulators per path, plus program-level totals. It also
+// provides a line-oriented text encoding for saving and reloading profiles.
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PathEntry is one executed path's record.
+type PathEntry struct {
+	Sum  int64  // Ball-Larus path identifier
+	Freq uint64 // executions
+	M0   uint64 // accumulated PIC0 metric (e.g. D-cache misses)
+	M1   uint64 // accumulated PIC1 metric (e.g. instructions)
+}
+
+// ProcPaths is the path profile of one procedure.
+type ProcPaths struct {
+	ProcID   int
+	Name     string
+	NumPaths int64 // potential paths
+	Entries  []PathEntry
+}
+
+// Executed returns how many distinct paths executed.
+func (pp *ProcPaths) Executed() int { return len(pp.Entries) }
+
+// Totals sums frequency and metrics over all executed paths.
+func (pp *ProcPaths) Totals() (freq, m0, m1 uint64) {
+	for _, e := range pp.Entries {
+		freq += e.Freq
+		m0 += e.M0
+		m1 += e.M1
+	}
+	return
+}
+
+// Sort orders entries by path identifier.
+func (pp *ProcPaths) Sort() {
+	sort.Slice(pp.Entries, func(i, j int) bool { return pp.Entries[i].Sum < pp.Entries[j].Sum })
+}
+
+// Profile is a complete flow-sensitive profile of one program run.
+type Profile struct {
+	Program string
+	Mode    string
+	Event0  string // what M0 counted
+	Event1  string // what M1 counted
+	Procs   []*ProcPaths
+}
+
+// Proc returns the entry for the given procedure ID, or nil.
+func (p *Profile) Proc(id int) *ProcPaths {
+	for _, pp := range p.Procs {
+		if pp.ProcID == id {
+			return pp
+		}
+	}
+	return nil
+}
+
+// Totals sums over all procedures.
+func (p *Profile) Totals() (freq, m0, m1 uint64) {
+	for _, pp := range p.Procs {
+		f, a, b := pp.Totals()
+		freq += f
+		m0 += a
+		m1 += b
+	}
+	return
+}
+
+// TotalExecutedPaths counts distinct executed paths across procedures.
+func (p *Profile) TotalExecutedPaths() int {
+	n := 0
+	for _, pp := range p.Procs {
+		n += pp.Executed()
+	}
+	return n
+}
+
+// Merge adds other's counts into p (matching procedures by ID). Profiles
+// from repeated runs of the same instrumented program can be combined.
+func (p *Profile) Merge(other *Profile) error {
+	if len(p.Procs) != len(other.Procs) {
+		return fmt.Errorf("profile: merge shape mismatch: %d vs %d procs", len(p.Procs), len(other.Procs))
+	}
+	for i, pp := range p.Procs {
+		op := other.Procs[i]
+		if pp.ProcID != op.ProcID {
+			return fmt.Errorf("profile: merge proc mismatch at %d", i)
+		}
+		idx := make(map[int64]int, len(pp.Entries))
+		for j, e := range pp.Entries {
+			idx[e.Sum] = j
+		}
+		for _, e := range op.Entries {
+			if j, ok := idx[e.Sum]; ok {
+				pp.Entries[j].Freq += e.Freq
+				pp.Entries[j].M0 += e.M0
+				pp.Entries[j].M1 += e.M1
+			} else {
+				pp.Entries = append(pp.Entries, e)
+			}
+		}
+		pp.Sort()
+	}
+	return nil
+}
+
+// Write encodes the profile as text:
+//
+//	profile <program> <mode> <event0> <event1>
+//	proc <id> <name> <numpaths>
+//	path <sum> <freq> <m0> <m1>
+func (p *Profile) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "profile %s %s %s %s\n", field(p.Program), field(p.Mode), field(p.Event0), field(p.Event1))
+	for _, pp := range p.Procs {
+		fmt.Fprintf(bw, "proc %d %s %d\n", pp.ProcID, field(pp.Name), pp.NumPaths)
+		for _, e := range pp.Entries {
+			fmt.Fprintf(bw, "path %d %d %d %d\n", e.Sum, e.Freq, e.M0, e.M1)
+		}
+	}
+	return bw.Flush()
+}
+
+func field(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+func unfield(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+// Read decodes a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var p *Profile
+	var cur *ProcPaths
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "profile":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("profile: line %d: malformed header", line)
+			}
+			p = &Profile{
+				Program: unfield(fields[1]), Mode: unfield(fields[2]),
+				Event0: unfield(fields[3]), Event1: unfield(fields[4]),
+			}
+		case "proc":
+			if p == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("profile: line %d: malformed proc", line)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			np, err2 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("profile: line %d: bad proc numbers", line)
+			}
+			cur = &ProcPaths{ProcID: id, Name: unfield(fields[2]), NumPaths: np}
+			p.Procs = append(p.Procs, cur)
+		case "path":
+			if cur == nil || len(fields) != 5 {
+				return nil, fmt.Errorf("profile: line %d: malformed path", line)
+			}
+			var e PathEntry
+			var errs [4]error
+			e.Sum, errs[0] = strconv.ParseInt(fields[1], 10, 64)
+			e.Freq, errs[1] = strconv.ParseUint(fields[2], 10, 64)
+			e.M0, errs[2] = strconv.ParseUint(fields[3], 10, 64)
+			e.M1, errs[3] = strconv.ParseUint(fields[4], 10, 64)
+			for _, err := range errs {
+				if err != nil {
+					return nil, fmt.Errorf("profile: line %d: bad path numbers", line)
+				}
+			}
+			cur.Entries = append(cur.Entries, e)
+		default:
+			return nil, fmt.Errorf("profile: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("profile: empty input")
+	}
+	return p, nil
+}

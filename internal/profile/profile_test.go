@@ -1,0 +1,152 @@
+package profile
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Profile {
+	return &Profile{
+		Program: "prog", Mode: "flow+hw", Event0: "dcache-miss", Event1: "insts",
+		Procs: []*ProcPaths{
+			{ProcID: 0, Name: "main", NumPaths: 6, Entries: []PathEntry{
+				{Sum: 0, Freq: 10, M0: 5, M1: 100},
+				{Sum: 3, Freq: 2, M0: 1, M1: 20},
+			}},
+			{ProcID: 1, Name: "leaf", NumPaths: 2, Entries: []PathEntry{
+				{Sum: 1, Freq: 7, M0: 3, M1: 70},
+			}},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	p := sample()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != p.Program || got.Mode != p.Mode || got.Event0 != p.Event0 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Procs) != 2 || len(got.Procs[0].Entries) != 2 {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	if got.Procs[0].Entries[1] != p.Procs[0].Entries[1] {
+		t.Fatalf("entry mismatch")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Profile{Program: "r", Mode: "m", Event0: "a", Event1: "b"}
+		for i := 0; i < rng.Intn(5)+1; i++ {
+			pp := &ProcPaths{ProcID: i, Name: "p", NumPaths: int64(rng.Intn(100) + 1)}
+			for j := 0; j < rng.Intn(20); j++ {
+				pp.Entries = append(pp.Entries, PathEntry{
+					Sum: int64(j), Freq: uint64(rng.Intn(1000)),
+					M0: uint64(rng.Intn(1000)), M1: uint64(rng.Intn(1000)),
+				})
+			}
+			p.Procs = append(p.Procs, pp)
+		}
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		f1, a1, b1 := p.Totals()
+		f2, a2, b2 := got.Totals()
+		return f1 == f2 && a1 == a2 && b1 == b2 && got.TotalExecutedPaths() == p.TotalExecutedPaths()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	f, m0, m1 := sample().Totals()
+	if f != 19 || m0 != 9 || m1 != 190 {
+		t.Fatalf("totals = %d %d %d", f, m0, m1)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sample()
+	b := sample()
+	b.Procs[0].Entries = append(b.Procs[0].Entries, PathEntry{Sum: 5, Freq: 1})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if e := a.Procs[0].Entries; len(e) != 3 {
+		t.Fatalf("merged entries = %d", len(e))
+	}
+	if a.Proc(0).Entries[0].Freq != 20 {
+		t.Fatalf("freq not doubled: %+v", a.Proc(0).Entries[0])
+	}
+	// Shape mismatch errors.
+	c := sample()
+	c.Procs = c.Procs[:1]
+	if err := a.Merge(c); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestProcLookup(t *testing.T) {
+	p := sample()
+	if p.Proc(1) == nil || p.Proc(99) != nil {
+		t.Fatal("Proc lookup broken")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 1 2 3",
+		"profile a b c",             // short header
+		"path 1 2 3 4",              // path before proc
+		"profile p m a b\nproc x y", // short proc
+		"profile p m a b\nproc 0 n 1\npath 1 nope 3 4", // bad number
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestFieldEscaping(t *testing.T) {
+	p := sample()
+	p.Program = "has space"
+	p.Event0 = ""
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "has_space" || got.Event0 != "" {
+		t.Fatalf("fields: %q %q", got.Program, got.Event0)
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	pp := &ProcPaths{Entries: []PathEntry{{Sum: 5}, {Sum: 1}, {Sum: 3}}}
+	pp.Sort()
+	if pp.Entries[0].Sum != 1 || pp.Entries[2].Sum != 5 {
+		t.Fatalf("not sorted: %+v", pp.Entries)
+	}
+}

@@ -1,0 +1,153 @@
+// Package report renders the experiment tables as aligned text, in the
+// shape of the paper's Tables 1-5.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddSeparator appends a visual separator row.
+func (t *Table) AddSeparator() {
+	t.Rows = append(t.Rows, nil)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", min(total, 110)))
+	}
+	for i, c := range t.Cols {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", min(total, 110)))
+	for _, r := range t.Rows {
+		if r == nil {
+			fmt.Fprintln(w, strings.Repeat("-", min(total, 110)))
+			continue
+		}
+		for i, v := range r {
+			if i >= len(widths) {
+				break
+			}
+			// Right-align numeric-looking cells, left-align names.
+			if isNumeric(v) {
+				fmt.Fprintf(w, "%*s  ", widths[i], v)
+			} else {
+				fmt.Fprintf(w, "%-*s  ", widths[i], v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "\n%s\n", wrap(t.Note, 100))
+	}
+	fmt.Fprintln(w)
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dots := 0
+	for i, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' && dots == 0:
+			dots++
+		case (c == '-' || c == '+') && i == 0:
+		case c == '%' && i == len(s)-1:
+		case c == 'e' || c == 'x':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// wrap breaks a note into lines at word boundaries.
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	var sb strings.Builder
+	line := 0
+	for i, w := range words {
+		if line > 0 && line+1+len(w) > width {
+			sb.WriteByte('\n')
+			line = 0
+		} else if i > 0 {
+			sb.WriteByte(' ')
+			line++
+		}
+		sb.WriteString(w)
+		line += len(w)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Ratio formats a ratio with two decimals.
+func Ratio(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// SI formats large counts compactly (e.g. 1.1e9 style like the paper).
+func SI(v uint64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.1fe9", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fe6", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fe3", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title: "T",
+		Cols:  []string{"Name", "Value"},
+	}
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 123456)
+	tb.AddSeparator()
+	tb.AddRow("avg", 2.5)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"T\n", "Name", "Value", "a-much-longer-name", "123456", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// All data lines should be equally wide-ish (aligned columns).
+	var dataLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "short") || strings.Contains(l, "longer") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 {
+		t.Fatalf("data lines = %d", len(dataLines))
+	}
+}
+
+func TestNoteWrap(t *testing.T) {
+	tb := &Table{
+		Cols: []string{"A"},
+		Note: strings.Repeat("word ", 60),
+	}
+	tb.AddRow("x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > 115 {
+			t.Fatalf("line too long (%d): %q", len(line), line)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	yes := []string{"1", "1.5", "-3", "+2", "95.1%", "1.1e9", "0x10"}
+	no := []string{"", "name", "1.2.3", "12a", "b12"}
+	for _, s := range yes {
+		if !isNumeric(s) {
+			t.Errorf("%q should be numeric", s)
+		}
+	}
+	for _, s := range no {
+		if isNumeric(s) {
+			t.Errorf("%q should not be numeric", s)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+	if Ratio(1.005) != "1.00" && Ratio(1.005) != "1.01" {
+		t.Fatalf("Ratio = %q", Ratio(1.005))
+	}
+	cases := map[uint64]string{
+		5:             "5",
+		9_999:         "9999",
+		50_000:        "50.0e3",
+		3_200_000:     "3.2e6",
+		2_100_000_000: "2.1e9",
+	}
+	for v, want := range cases {
+		if got := SI(v); got != want {
+			t.Errorf("SI(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

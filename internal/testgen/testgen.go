@@ -1,0 +1,311 @@
+// Package testgen builds randomized but deterministic IR procedures and
+// programs for property-based tests: random CFG shapes for the path
+// numbering invariants, and random terminating programs (with loops, calls,
+// guarded recursion, indirect calls and memory traffic) for
+// semantics-preservation tests of the instrumenter and simulator.
+package testgen
+
+import (
+	"math/rand"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+)
+
+// RandomProc builds a valid procedure with nBlocks blocks whose CFG
+// contains random forward and backward edges. Every block i keeps a "chain"
+// edge to block i+1, guaranteeing entry-reaches-all and all-reach-exit; a
+// second random successor (when the block branches) may target any block,
+// producing loops, irreducible regions and diamonds.
+func RandomProc(rng *rand.Rand, name string, nBlocks int) *ir.Proc {
+	if nBlocks < 2 {
+		nBlocks = 2
+	}
+	b := ir.NewBuilder("tmp")
+	pb := b.NewProc(name, 0)
+	blocks := make([]*ir.BlockBuilder, nBlocks)
+	for i := range blocks {
+		blocks[i] = pb.NewBlock()
+	}
+	for i := 0; i < nBlocks-1; i++ {
+		bb := blocks[i]
+		bb.AddI(2, 2, int64(rng.Intn(7)+1))
+		if rng.Intn(100) < 65 {
+			// Branch: random target (never the entry block, which must
+			// have no incoming edges for the path-numbering transform)
+			// plus the chain edge.
+			bb.CmpLTI(3, 2, int64(rng.Intn(50)))
+			target := blocks[rng.Intn(nBlocks-1)+1]
+			bb.Br(3, target, blocks[i+1])
+		} else {
+			bb.Jmp(blocks[i+1])
+		}
+	}
+	blocks[nBlocks-1].Ret()
+	b.SetMain(pb)
+	prog := b.MustFinish()
+	return prog.Procs[0]
+}
+
+// RandomAcyclicProc is RandomProc restricted to forward edges only.
+func RandomAcyclicProc(rng *rand.Rand, name string, nBlocks int) *ir.Proc {
+	if nBlocks < 2 {
+		nBlocks = 2
+	}
+	b := ir.NewBuilder("tmp")
+	pb := b.NewProc(name, 0)
+	blocks := make([]*ir.BlockBuilder, nBlocks)
+	for i := range blocks {
+		blocks[i] = pb.NewBlock()
+	}
+	for i := 0; i < nBlocks-1; i++ {
+		bb := blocks[i]
+		bb.AddI(2, 2, 1)
+		if rng.Intn(100) < 70 && i+2 < nBlocks {
+			bb.CmpLTI(3, 2, int64(rng.Intn(50)))
+			target := blocks[i+1+rng.Intn(nBlocks-i-1)]
+			bb.Br(3, target, blocks[i+1])
+		} else {
+			bb.Jmp(blocks[i+1])
+		}
+	}
+	blocks[nBlocks-1].Ret()
+	b.SetMain(pb)
+	return b.MustFinish().Procs[0]
+}
+
+// ProgramOptions tunes RandomProgram.
+type ProgramOptions struct {
+	NumProcs      int // leaf + interior procedures (≥ 2)
+	BlocksPer     int // CFG size per procedure
+	Recursion     bool
+	IndirectCalls bool
+	Memory        bool // loads/stores against a scratch global region
+	NonLocal      bool // setjmp in main, occasional longjmp from a thrower
+}
+
+// RandomProgram builds a deterministic, terminating program that exercises
+// loops, calls (direct and optionally indirect), optional guarded recursion
+// and memory traffic, and emits output values so that two executions can be
+// compared for semantic equality.
+//
+// Register conventions inside generated code: r1 carries arguments/return
+// values, r2 is a monotone step counter that bounds every loop, r3-r6 are
+// data registers, r7 holds indirect-call targets.
+func RandomProgram(rng *rand.Rand, name string, opts ProgramOptions) *ir.Program {
+	if opts.NumProcs < 2 {
+		opts.NumProcs = 2
+	}
+	if opts.BlocksPer < 3 {
+		opts.BlocksPer = 3
+	}
+	b := ir.NewBuilder(name)
+
+	// Leaf procedures: mix the argument with constants through a small
+	// loop; optionally touch memory.
+	nLeaf := opts.NumProcs / 2
+	leaves := make([]*ir.ProcBuilder, 0, nLeaf)
+	for i := 0; i < nLeaf; i++ {
+		leaves = append(leaves, buildLeaf(b, rng, i, opts))
+	}
+
+	// Optional guarded recursive procedure.
+	var recursive *ir.ProcBuilder
+	if opts.Recursion {
+		recursive = buildRecursive(b, rng, leaves)
+	}
+
+	// Optional thrower: longjmps back to main's recovery point when its
+	// argument hits a sparse pattern. The handle is always 1 (main's
+	// setjmp is the only one).
+	var thrower *ir.ProcBuilder
+	if opts.NonLocal {
+		thrower = b.NewProc("thrower", 1)
+		te := thrower.NewBlock()
+		tb := thrower.NewBlock()
+		tx := thrower.NewBlock()
+		te.AndI(2, 1, 31)
+		te.CmpEQI(2, 2, 7)
+		te.Br(2, tb, tx)
+		tb.MovI(3, 1) // handle
+		tb.MovI(4, 1) // delivered value
+		tb.LongJmp(3, 4)
+		tb.Jmp(tx)
+		tx.AddI(1, 1, 2)
+		tx.Ret()
+	}
+
+	// Interior procedures call leaves (and the recursive proc).
+	interior := make([]*ir.ProcBuilder, 0)
+	for i := nLeaf; i < opts.NumProcs; i++ {
+		interior = append(interior, buildInterior(b, rng, i, leaves, recursive, opts))
+	}
+	if len(interior) == 0 {
+		interior = leaves
+	}
+
+	// Main: loop over interior procedures, seed r1 differently each
+	// iteration, emit results.
+	main := b.NewProc("main", 0)
+	entry := main.NewBlock()
+	loop := main.NewBlock()
+	body := main.NewBlock()
+	done := main.NewBlock()
+
+	entry.MovI(2, 0)
+	entry.MovI(6, 0)
+	if opts.NonLocal {
+		// Recovery point: longjmp delivers r11 != 0; count recoveries in
+		// r12 and continue the loop (r2 survives as of the call site).
+		entry.SetJmp(10, 11)
+		entry.Add(12, 12, 11)
+		entry.MovI(11, 0)
+	}
+	entry.Jmp(loop)
+	iters := int64(rng.Intn(20) + 8)
+	loop.CmpLTI(3, 2, iters)
+	loop.Br(3, body, done)
+	body.MulI(1, 2, 37)
+	body.AddI(1, 1, int64(rng.Intn(100)))
+	for _, p := range interior {
+		if rng.Intn(100) < 80 {
+			body.Call(p)
+			body.Add(6, 6, 1)
+		}
+	}
+	if opts.IndirectCalls && len(leaves) > 0 {
+		// r7 = leaf chosen by loop counter.
+		body.MovI(7, int64(len(leaves)))
+		body.Rem(7, 2, 7)
+		body.AddI(7, 7, int64(leaves[0].ID()))
+		body.CallInd(7)
+		body.Add(6, 6, 1)
+	}
+	if opts.NonLocal && thrower != nil {
+		// Mix the recovery count (r12) into the argument so a retried
+		// iteration eventually stops throwing and the loop makes progress.
+		body.MulI(1, 2, 13)
+		body.AddI(1, 1, 5)
+		body.Add(1, 1, 12)
+		body.Call(thrower)
+		body.Add(6, 6, 1)
+	}
+	body.Out(1)
+	body.AddI(2, 2, 1)
+	body.Jmp(loop)
+	done.Out(6)
+	done.Out(12)
+	done.Halt()
+	b.SetMain(main)
+
+	if opts.Memory {
+		words := make([]int64, 256)
+		for i := range words {
+			words[i] = rng.Int63n(1 << 20)
+		}
+		b.Globals(words, mem.GlobalBase)
+	}
+	return b.MustFinish()
+}
+
+func buildLeaf(b *ir.Builder, rng *rand.Rand, i int, opts ProgramOptions) *ir.ProcBuilder {
+	p := b.NewProc("leaf"+string(rune('A'+i)), 1)
+	entry := p.NewBlock()
+	loop := p.NewBlock()
+	odd := p.NewBlock()
+	even := p.NewBlock()
+	latch := p.NewBlock()
+	exit := p.NewBlock()
+
+	entry.MovI(2, 0)
+	entry.AndI(3, 1, 1023)
+	entry.Jmp(loop)
+
+	bound := int64(rng.Intn(12) + 2)
+	loop.CmpLTI(4, 2, bound)
+	loop.Br(4, odd, exit)
+
+	odd.AndI(5, 3, 1)
+	odd.Br(5, even, latch)
+
+	even.MulI(3, 3, 3)
+	even.AddI(3, 3, 1)
+	if opts.Memory {
+		even.AndI(6, 3, 63)
+		even.MovI(9, 0)
+		even.LoadIdx(5, 9, 6, int64(mem.GlobalBase))
+		even.Add(3, 3, 5)
+	}
+	even.Jmp(latch)
+
+	latch.ShrI(3, 3, 1)
+	if opts.Memory && rng.Intn(2) == 0 {
+		latch.AndI(6, 2, 63)
+		latch.MovI(9, 0)
+		latch.StoreIdx(9, 6, int64(mem.GlobalBase), 3)
+	}
+	latch.AddI(2, 2, 1)
+	latch.Jmp(loop)
+
+	exit.Mov(1, 3)
+	exit.Ret()
+	return p
+}
+
+func buildRecursive(b *ir.Builder, rng *rand.Rand, leaves []*ir.ProcBuilder) *ir.ProcBuilder {
+	p := b.NewProc("recur", 1)
+	entry := p.NewBlock()
+	rec := p.NewBlock()
+	base := p.NewBlock()
+	exit := p.NewBlock()
+
+	entry.AndI(2, 1, 7) // depth bound 0..7
+	entry.CmpLTI(3, 2, 1)
+	entry.Br(3, base, rec)
+
+	rec.AddI(1, 2, -1)
+	rec.Call(p) // self-recursion with decreasing argument
+	rec.AddI(1, 1, 3)
+	if len(leaves) > 0 && rng.Intn(2) == 0 {
+		rec.Call(leaves[0])
+	}
+	rec.Jmp(exit)
+
+	base.MovI(1, 1)
+	base.Jmp(exit)
+
+	exit.AddI(1, 1, 1)
+	exit.Ret()
+	return p
+}
+
+func buildInterior(b *ir.Builder, rng *rand.Rand, i int, leaves []*ir.ProcBuilder, recursive *ir.ProcBuilder, opts ProgramOptions) *ir.ProcBuilder {
+	p := b.NewProc("mid"+string(rune('A'+i)), 1)
+	entry := p.NewBlock()
+	thenB := p.NewBlock()
+	elseB := p.NewBlock()
+	exit := p.NewBlock()
+
+	entry.AndI(2, 1, 15)
+	entry.CmpLTI(3, 2, int64(rng.Intn(12)+2))
+	entry.Br(3, thenB, elseB)
+
+	pick := func(bb *ir.BlockBuilder) {
+		if len(leaves) > 0 {
+			bb.Call(leaves[rng.Intn(len(leaves))])
+		}
+		if recursive != nil && rng.Intn(2) == 0 {
+			bb.Call(recursive)
+		}
+	}
+	thenB.MulI(1, 1, 5)
+	pick(thenB)
+	thenB.Jmp(exit)
+	elseB.AddI(1, 1, 11)
+	pick(elseB)
+	elseB.Jmp(exit)
+
+	exit.AddI(1, 1, 1)
+	exit.Ret()
+	return p
+}

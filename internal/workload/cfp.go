@@ -1,0 +1,335 @@
+package workload
+
+import "pathprof/internal/ir"
+
+// Layout offsets for the floating-point group.
+const (
+	offA = 0
+	offB = 4 << 20
+	offC = 8 << 20
+)
+
+// initFPArray emits code filling `words` words at off with small positive
+// floats derived from the seed register.
+func initFPArray(f *fb, z, seedR, i, tmp, fv ir.Reg, off int64, words int64) {
+	f.loop(i, tmp, words, func() {
+		f.xorshift(seedR, tmp)
+		f.b().AndI(tmp, seedR, 1023)
+		f.b().AddI(tmp, tmp, 1)
+		f.b().CvtIF(fv, tmp)
+		f.storeArr(z, i, off, fv)
+	})
+}
+
+// buildMesh is the 101.tomcatv analogue: repeated five-point stencil sweeps
+// over an N×N mesh with a boundary branch — one dominant interior path that
+// carries nearly all execution and most data-cache misses.
+func buildMesh(s Scale) *ir.Program {
+	b := ir.NewBuilder("mesh")
+	n := pick(s, 24, 160)
+
+	// sweep(): one relaxation pass A -> B, then copy back.
+	sweep := newFn(b, "sweep", 0)
+	{
+		z := sweep.reg()
+		i := sweep.reg()
+		j := sweep.reg()
+		tmp := sweep.reg()
+		idx := sweep.reg()
+		ctr := sweep.reg()
+		up := sweep.reg()
+		down := sweep.reg()
+		left := sweep.reg()
+		acc := sweep.reg()
+		c := sweep.reg()
+		quarter := sweep.reg()
+		sweep.b().MovI(z, 0)
+		// quarter = 0.25
+		sweep.b().MovI(tmp, 1)
+		sweep.b().CvtIF(quarter, tmp)
+		sweep.b().MovI(tmp, 4)
+		sweep.b().CvtIF(c, tmp)
+		sweep.b().FDiv(quarter, quarter, c)
+		sweep.loop(i, tmp, n, func() {
+			sweep.loop(j, tmp, n, func() {
+				sweep.b().MulI(idx, i, n)
+				sweep.b().Add(idx, idx, j)
+				// Boundary test: i==0 || i==n-1 || j==0 || j==n-1.
+				sweep.b().CmpEQI(c, i, 0)
+				sweep.b().CmpEQI(tmp, j, 0)
+				sweep.b().Or(c, c, tmp)
+				sweep.b().CmpEQI(tmp, i, n-1)
+				sweep.b().Or(c, c, tmp)
+				sweep.b().CmpEQI(tmp, j, n-1)
+				sweep.b().Or(c, c, tmp)
+				sweep.ifElse(c, func() {
+					// Boundary: copy through.
+					sweep.loadArr(ctr, z, idx, offA)
+					sweep.storeArr(z, idx, offB, ctr)
+				}, func() {
+					// Interior: the hot path.
+					sweep.loadArr(ctr, z, idx, offA)
+					sweep.b().AddI(tmp, idx, -1)
+					sweep.loadArr(left, z, tmp, offA)
+					sweep.b().AddI(tmp, idx, 1)
+					sweep.loadArr(acc, z, tmp, offA)
+					sweep.b().FAdd(acc, acc, left)
+					sweep.b().AddI(tmp, idx, -int64(n))
+					sweep.loadArr(up, z, tmp, offA)
+					sweep.b().FAdd(acc, acc, up)
+					sweep.b().AddI(tmp, idx, int64(n))
+					sweep.loadArr(down, z, tmp, offA)
+					sweep.b().FAdd(acc, acc, down)
+					sweep.b().FMul(acc, acc, quarter)
+					sweep.b().FAdd(acc, acc, ctr)
+					sweep.b().FMul(acc, acc, quarter)
+					sweep.storeArr(z, idx, offB, acc)
+				})
+			})
+		})
+		// Copy B back to A.
+		sweep.loop(idx, tmp, n*n, func() {
+			sweep.loadArr(ctr, z, idx, offB)
+			sweep.storeArr(z, idx, offA, ctr)
+		})
+		sweep.b().MovI(1, 0)
+		sweep.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 101)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n*n)
+		main.loop(iter, tmp, pick(s, 2, 12), func() {
+			main.b().Call(sweep.p)
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildShallow is the 102.swim analogue: three coupled planes updated by
+// two separate stencil loops per timestep — FP heavy, highly regular, very
+// few paths.
+func buildShallow(s Scale) *ir.Program {
+	b := ir.NewBuilder("shallow")
+	n := pick(s, 24, 150)
+
+	// stepUV(): U += f(V, C); V += g(U, C).
+	step := newFn(b, "timestep", 0)
+	{
+		z := step.reg()
+		i := step.reg()
+		tmp := step.reg()
+		u := step.reg()
+		v := step.reg()
+		cc := step.reg()
+		t2 := step.reg()
+		step.b().MovI(z, 0)
+		inner := n*n - int64(n) - 1
+		step.loop(i, tmp, inner, func() {
+			step.loadArr(u, z, i, offA)
+			step.loadArr(v, z, i, offB)
+			step.b().AddI(tmp, i, 1)
+			step.loadArr(cc, z, tmp, offC)
+			step.b().FMul(t2, v, cc)
+			step.b().FAdd(u, u, t2)
+			step.storeArr(z, i, offA, u)
+		})
+		step.loop(i, tmp, inner, func() {
+			step.loadArr(v, z, i, offB)
+			step.b().AddI(tmp, i, int64(n))
+			step.loadArr(u, z, tmp, offA)
+			step.loadArr(cc, z, i, offC)
+			step.b().FMul(t2, u, cc)
+			step.b().FSub(v, v, t2)
+			step.storeArr(z, i, offB, v)
+		})
+		step.b().MovI(1, 0)
+		step.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 102)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n*n)
+		initFPArray(main, z, seedR, i, tmp, fv, offB, n*n)
+		initFPArray(main, z, seedR, i, tmp, fv, offC, n*n)
+		main.loop(iter, tmp, pick(s, 2, 14), func() {
+			main.b().Call(step.p)
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildGrid is the 107.mgrid analogue: relaxation at a hierarchy of
+// power-of-two strides over one large array. The strided levels turn
+// sequential locality into conflict and capacity misses, concentrating
+// misses in the coarse-level paths.
+func buildGrid(s Scale) *ir.Program {
+	b := ir.NewBuilder("grid")
+	n := pick(s, 1<<12, 1<<17) // words
+
+	// relax(r1 = stride): one smoothing pass at the given stride.
+	relax := newFn(b, "relax", 1)
+	{
+		z := relax.reg()
+		stride := relax.reg()
+		i := relax.reg()
+		tmp := relax.reg()
+		a := relax.reg()
+		bv := relax.reg()
+		c := relax.reg()
+		going := relax.reg()
+		half := relax.reg()
+		relax.b().MovI(z, 0)
+		relax.b().Mov(stride, 1)
+		relax.b().MovI(tmp, 2)
+		relax.b().CvtIF(half, tmp)
+		relax.b().MovI(i, 0)
+		relax.whileNZ(going, func() {
+			relax.b().MovI(tmp, n)
+			relax.b().Sub(tmp, tmp, stride)
+			relax.b().CmpLT(going, i, tmp)
+		}, func() {
+			relax.loadArr(a, z, i, offA)
+			relax.b().Add(tmp, i, stride)
+			relax.loadArr(bv, z, tmp, offA)
+			relax.b().FAdd(c, a, bv)
+			relax.b().FDiv(c, c, half)
+			relax.storeArr(z, i, offA, c)
+			relax.b().Add(i, i, stride)
+		})
+		relax.b().MovI(1, 0)
+		relax.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		cycle := main.reg()
+		stride := main.reg()
+		c := main.reg()
+		going := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 107)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n)
+		main.loop(cycle, tmp, pick(s, 1, 3), func() {
+			// V-cycle: stride 1,2,4,...,64 then back down.
+			main.b().MovI(stride, 1)
+			main.whileNZ(going, func() {
+				main.b().CmpLEI(going, stride, 64)
+			}, func() {
+				main.b().Mov(1, stride)
+				main.b().Call(relax.p)
+				main.b().ShlI(stride, stride, 1)
+			})
+			main.b().MovI(stride, 64)
+			main.whileNZ(going, func() {
+				main.b().CmpLEI(c, stride, 0)
+				main.b().XorI(going, c, 1)
+			}, func() {
+				main.b().Mov(1, stride)
+				main.b().Call(relax.p)
+				main.b().ShrI(stride, stride, 1)
+			})
+		})
+		main.b().Out(cycle)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildFPStraight is the 145.fpppp analogue: enormous straight-line blocks
+// of dependent floating-point arithmetic with almost no control flow — the
+// lowest path count of the suite, FP-stall bound, with I-cache pressure
+// from sheer code size.
+func buildFPStraight(s Scale) *ir.Program {
+	b := ir.NewBuilder("fpstraight")
+	n := int64(512)
+
+	// kernel(r1 = base index): a long unrolled dependent FP chain over 32
+	// consecutive elements.
+	kernel := newFn(b, "kernel", 1)
+	{
+		z := kernel.reg()
+		base := kernel.reg()
+		idx := kernel.reg()
+		a := kernel.reg()
+		bv := kernel.reg()
+		acc := kernel.reg()
+		kernel.b().MovI(z, 0)
+		kernel.b().Mov(base, 1)
+		kernel.loadArr(acc, z, base, offA)
+		for k := int64(0); k < 32; k++ {
+			kernel.b().AddI(idx, base, k)
+			kernel.loadArr(a, z, idx, offA)
+			kernel.b().AddI(idx, base, (k+7)&255)
+			kernel.loadArr(bv, z, idx, offB)
+			// Dependent chain: acc flows through every step.
+			kernel.b().FMul(a, a, bv)
+			kernel.b().FAdd(acc, acc, a)
+			kernel.b().FMul(acc, acc, bv)
+			kernel.b().FSub(acc, acc, a)
+			kernel.b().FAdd(a, acc, bv)
+			kernel.b().FMul(acc, acc, a)
+		}
+		kernel.b().FSqrt(acc, acc)
+		kernel.storeArr(z, base, offC, acc)
+		kernel.b().MovI(1, 0)
+		kernel.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		c0 := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 145)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n)
+		initFPArray(main, z, seedR, i, tmp, fv, offB, n)
+		main.loop(iter, tmp, pick(s, 4, 180), func() {
+			main.loop(i, tmp, n-40, func() {
+				main.b().AndI(c0, i, 7)
+				main.b().CmpEQI(c0, c0, 0)
+				main.ifThen(c0, func() {
+					main.b().Mov(1, i)
+					main.b().Call(kernel.p)
+				})
+			})
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}

@@ -1,0 +1,481 @@
+package workload
+
+import "pathprof/internal/ir"
+
+// Second floating-point group: lattice (su2cor), hydro (hydro2d), lusolve
+// (applu), turbulence (turb3d), weather (apsi), plasma (wave5). They share
+// the offA/offB/offC plane layout of cfp.go.
+
+// buildLattice is the 103.su2cor analogue: gather-style updates through an
+// index array — FP arithmetic whose operands arrive via data-dependent
+// indirection, spreading misses across a gather path.
+func buildLattice(s Scale) *ir.Program {
+	b := ir.NewBuilder("lattice")
+	n := pick(s, 1<<10, 1<<15)
+
+	// gatherStep(r1 = offset seed): one sweep of x[i] += y[idx[i]] * c.
+	step := newFn(b, "gather_step", 1)
+	{
+		z := step.reg()
+		i := step.reg()
+		tmp := step.reg()
+		idx := step.reg()
+		x := step.reg()
+		y := step.reg()
+		cc := step.reg()
+		step.b().MovI(z, 0)
+		// cc = 1.0 + small
+		step.b().MovI(tmp, 3)
+		step.b().CvtIF(cc, tmp)
+		step.loop(i, tmp, n, func() {
+			step.loadArr(idx, z, i, offC) // index plane (integers)
+			step.b().Add(idx, idx, 1)     // r1 = offset seed
+			step.b().AndI(idx, idx, n-1)
+			step.loadArr(y, z, idx, offB)
+			step.b().FMul(y, y, cc)
+			step.loadArr(x, z, i, offA)
+			step.b().FAdd(x, x, y)
+			step.storeArr(z, i, offA, x)
+		})
+		step.b().MovI(1, 0)
+		step.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 103)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n)
+		initFPArray(main, z, seedR, i, tmp, fv, offB, n)
+		// Index plane: a scrambled permutation-ish gather map.
+		main.loop(i, tmp, n, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, n-1)
+			main.storeArr(z, i, offC, tmp)
+		})
+		main.loop(iter, tmp, pick(s, 2, 12), func() {
+			main.b().Mov(1, iter)
+			main.b().Call(step.p)
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildHydro is the 104.hydro2d analogue: several distinct coupled loop
+// nests per timestep (flux, advance, boundary), each its own procedure —
+// more procedures and loop paths than the pure stencils.
+func buildHydro(s Scale) *ir.Program {
+	b := ir.NewBuilder("hydro")
+	n := pick(s, 20, 120)
+
+	flux := newFn(b, "flux", 0)
+	{
+		z := flux.reg()
+		i := flux.reg()
+		tmp := flux.reg()
+		a := flux.reg()
+		bv := flux.reg()
+		flux.b().MovI(z, 0)
+		flux.loop(i, tmp, n*n-1, func() {
+			flux.loadArr(a, z, i, offA)
+			flux.b().AddI(tmp, i, 1)
+			flux.loadArr(bv, z, tmp, offA)
+			flux.b().FSub(bv, bv, a)
+			flux.storeArr(z, i, offB, bv)
+		})
+		flux.b().MovI(1, 0)
+		flux.ret()
+	}
+
+	advance := newFn(b, "advance", 0)
+	{
+		z := advance.reg()
+		i := advance.reg()
+		tmp := advance.reg()
+		a := advance.reg()
+		f0 := advance.reg()
+		f1 := advance.reg()
+		c := advance.reg()
+		advance.b().MovI(z, 0)
+		advance.loop(i, tmp, n*n-int64(n), func() {
+			advance.loadArr(a, z, i, offA)
+			advance.loadArr(f0, z, i, offB)
+			advance.b().AddI(tmp, i, int64(n))
+			advance.loadArr(f1, z, tmp, offB)
+			advance.b().FSub(f1, f1, f0)
+			advance.b().FAdd(a, a, f1)
+			// Limiter branch: clamp runaway cells (a data-dependent path).
+			advance.b().CvtFI(c, a)
+			advance.b().CmpLTI(c, c, 1<<20)
+			advance.ifElse(c, func() {
+				advance.storeArr(z, i, offA, a)
+			}, func() {
+				advance.b().MovI(c, 1000)
+				advance.b().CvtIF(a, c)
+				advance.storeArr(z, i, offA, a)
+			})
+		})
+		advance.b().MovI(1, 0)
+		advance.ret()
+	}
+
+	boundary := newFn(b, "boundary", 0)
+	{
+		z := boundary.reg()
+		i := boundary.reg()
+		tmp := boundary.reg()
+		v := boundary.reg()
+		boundary.b().MovI(z, 0)
+		boundary.loop(i, tmp, int64(n), func() {
+			// Copy row 1 into row 0, row n-2 into row n-1.
+			boundary.b().AddI(tmp, i, int64(n))
+			boundary.loadArr(v, z, tmp, offA)
+			boundary.storeArr(z, i, offA, v)
+			boundary.b().MovI(tmp, (int64(n)-2)*int64(n))
+			boundary.b().Add(tmp, tmp, i)
+			boundary.loadArr(v, z, tmp, offA)
+			boundary.b().AddI(tmp, tmp, int64(n))
+			boundary.storeArr(z, tmp, offA, v)
+		})
+		boundary.b().MovI(1, 0)
+		boundary.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 104)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n*n)
+		main.loop(iter, tmp, pick(s, 2, 16), func() {
+			main.b().Call(flux.p)
+			main.b().Call(advance.p)
+			main.b().Call(boundary.p)
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildLUSolve is the 110.applu analogue: blocked lower/upper triangular
+// sweeps with dependent FP chains — long serial dependences produce FP
+// stalls the paper's stall metrics capture.
+func buildLUSolve(s Scale) *ir.Program {
+	b := ir.NewBuilder("lusolve")
+	n := pick(s, 24, 140)
+
+	lower := newFn(b, "lower_sweep", 0)
+	{
+		z := lower.reg()
+		i := lower.reg()
+		j := lower.reg()
+		tmp := lower.reg()
+		acc := lower.reg()
+		v := lower.reg()
+		idx := lower.reg()
+		lower.b().MovI(z, 0)
+		lower.loop(i, tmp, int64(n), func() {
+			// acc = row i's running value; serial in j.
+			lower.b().MulI(idx, i, int64(n))
+			lower.loadArr(acc, z, idx, offA)
+			lower.loop(j, tmp, int64(n)-1, func() {
+				lower.b().MulI(idx, i, int64(n))
+				lower.b().Add(idx, idx, j)
+				lower.b().AddI(idx, idx, 1)
+				lower.loadArr(v, z, idx, offA)
+				lower.b().FMul(v, v, acc) // depends on previous iteration
+				lower.b().FSub(acc, v, acc)
+				lower.storeArr(z, idx, offB, acc)
+			})
+		})
+		lower.b().MovI(1, 0)
+		lower.ret()
+	}
+
+	upper := newFn(b, "upper_sweep", 0)
+	{
+		z := upper.reg()
+		i := upper.reg()
+		tmp := upper.reg()
+		acc := upper.reg()
+		v := upper.reg()
+		idx := upper.reg()
+		going := upper.reg()
+		upper.b().MovI(z, 0)
+		upper.b().MovI(i, int64(n*n-1))
+		upper.whileNZ(going, func() {
+			upper.b().CmpLEI(tmp, i, 0)
+			upper.b().XorI(going, tmp, 1)
+		}, func() {
+			upper.b().Mov(idx, i)
+			upper.loadArr(v, z, idx, offB)
+			upper.b().AddI(idx, i, -1)
+			upper.loadArr(acc, z, idx, offB)
+			upper.b().FAdd(acc, acc, v)
+			upper.storeArr(z, idx, offA, acc)
+			upper.b().AddI(i, i, -1)
+		})
+		upper.b().MovI(1, 0)
+		upper.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 110)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n*n)
+		main.loop(iter, tmp, pick(s, 1, 4), func() {
+			main.b().Call(lower.p)
+			main.b().Call(upper.p)
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildTurbulence is the 125.turb3d analogue: FFT-style butterfly passes
+// with power-of-two strides — the stride ladder shifts misses between
+// passes, one hot path per level.
+func buildTurbulence(s Scale) *ir.Program {
+	b := ir.NewBuilder("turbulence")
+	logN := pick(s, 10, 15)
+	n := int64(1) << uint(logN)
+
+	// butterfly(r1 = stride): pairwise add/sub at the given stride.
+	butterfly := newFn(b, "butterfly", 1)
+	{
+		z := butterfly.reg()
+		stride := butterfly.reg()
+		i := butterfly.reg()
+		tmp := butterfly.reg()
+		a := butterfly.reg()
+		bb := butterfly.reg()
+		pair := butterfly.reg()
+		mask := butterfly.reg()
+		going := butterfly.reg()
+		butterfly.b().MovI(z, 0)
+		butterfly.b().Mov(stride, 1)
+		butterfly.b().MovI(i, 0)
+		butterfly.whileNZ(going, func() {
+			butterfly.b().CmpLTI(going, i, n)
+		}, func() {
+			// pair = i ^ stride; operate only when i < pair.
+			butterfly.b().Xor(pair, i, stride)
+			butterfly.b().CmpLT(mask, i, pair)
+			butterfly.ifThen(mask, func() {
+				butterfly.loadArr(a, z, i, offA)
+				butterfly.loadArr(bb, z, pair, offA)
+				butterfly.b().FAdd(tmp, a, bb)
+				butterfly.b().FSub(bb, a, bb)
+				butterfly.storeArr(z, i, offA, tmp)
+				butterfly.storeArr(z, pair, offA, bb)
+			})
+			butterfly.b().AddI(i, i, 1)
+		})
+		butterfly.b().MovI(1, 0)
+		butterfly.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		stride := main.reg()
+		going := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 125)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n)
+		main.loop(iter, tmp, pick(s, 1, 2), func() {
+			main.b().MovI(stride, 1)
+			main.whileNZ(going, func() {
+				main.b().CmpLTI(going, stride, n)
+			}, func() {
+				main.b().Mov(1, stride)
+				main.b().Call(butterfly.p)
+				main.b().ShlI(stride, stride, 1)
+			})
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildWeather is the 141.apsi analogue: many small mixed loop nests
+// (advection, diffusion, sources) with moderate branching — a middle ground
+// between the stencils and the integer codes.
+func buildWeather(s Scale) *ir.Program {
+	b := ir.NewBuilder("weather")
+	n := pick(s, 24, 130)
+
+	mkPass := func(name string, off1, off2 int64, sub bool) *fb {
+		f := newFn(b, name, 0)
+		z := f.reg()
+		i := f.reg()
+		tmp := f.reg()
+		a := f.reg()
+		bv := f.reg()
+		c := f.reg()
+		f.b().MovI(z, 0)
+		f.loop(i, tmp, n*n-1, func() {
+			f.loadArr(a, z, i, off1)
+			f.b().AddI(tmp, i, 1)
+			f.loadArr(bv, z, tmp, off2)
+			if sub {
+				f.b().FSub(a, a, bv)
+			} else {
+				f.b().FAdd(a, a, bv)
+			}
+			// Source term on a sparse subset of cells.
+			f.b().AndI(c, i, 31)
+			f.b().CmpEQI(c, c, 0)
+			f.ifThen(c, func() {
+				f.b().FAdd(a, a, bv)
+			})
+			f.storeArr(z, i, off1, a)
+		})
+		f.b().MovI(1, 0)
+		f.ret()
+		return f
+	}
+	advect := mkPass("advect", offA, offB, false)
+	diffuse := mkPass("diffuse", offB, offC, true)
+	source := mkPass("sources", offC, offA, false)
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 141)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, n*n)
+		initFPArray(main, z, seedR, i, tmp, fv, offB, n*n)
+		initFPArray(main, z, seedR, i, tmp, fv, offC, n*n)
+		main.loop(iter, tmp, pick(s, 2, 10), func() {
+			main.b().Call(advect.p)
+			main.b().Call(diffuse.p)
+			main.b().Call(source.p)
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildPlasma is the 146.wave5 analogue: a particle-in-cell step —
+// particles gather field values (indirection), push, and scatter charge
+// back. Scatter writes are the write-miss-heavy path.
+func buildPlasma(s Scale) *ir.Program {
+	b := ir.NewBuilder("plasma")
+	cells := int64(1) << 13
+	parts := pick(s, 1<<10, 1<<15)
+
+	push := newFn(b, "push", 0)
+	{
+		z := push.reg()
+		i := push.reg()
+		tmp := push.reg()
+		pos := push.reg()
+		vel := push.reg()
+		e := push.reg()
+		cell := push.reg()
+		push.b().MovI(z, 0)
+		push.loop(i, tmp, parts, func() {
+			// Positions in plane B (integers), velocities in plane A (FP).
+			push.loadArr(pos, z, i, offB)
+			push.b().AndI(cell, pos, cells-1)
+			push.loadArr(e, z, cell, offC) // gather field
+			push.loadArr(vel, z, i, offA)
+			push.b().FAdd(vel, vel, e)
+			push.storeArr(z, i, offA, vel)
+			// Move: pos += int(vel) & small.
+			push.b().CvtFI(tmp, vel)
+			push.b().AndI(tmp, tmp, 63)
+			push.b().Add(pos, pos, tmp)
+			push.b().AddI(pos, pos, 1)
+			push.storeArr(z, i, offB, pos)
+		})
+		push.b().MovI(1, 0)
+		push.ret()
+	}
+
+	scatter := newFn(b, "scatter", 0)
+	{
+		z := scatter.reg()
+		i := scatter.reg()
+		tmp := scatter.reg()
+		pos := scatter.reg()
+		q := scatter.reg()
+		cell := scatter.reg()
+		scatter.b().MovI(z, 0)
+		scatter.loop(i, tmp, parts, func() {
+			scatter.loadArr(pos, z, i, offB)
+			scatter.b().AndI(cell, pos, cells-1)
+			scatter.loadArr(q, z, cell, offC)
+			scatter.b().AddI(q, q, 1) // integer charge deposit
+			scatter.storeArr(z, cell, offC, q)
+		})
+		scatter.b().MovI(1, 0)
+		scatter.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		fv := main.reg()
+		iter := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 146)
+		initFPArray(main, z, seedR, i, tmp, fv, offA, parts)
+		main.loop(i, tmp, parts, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, cells-1)
+			main.storeArr(z, i, offB, tmp)
+		})
+		main.loop(iter, tmp, pick(s, 2, 10), func() {
+			main.b().Call(push.p)
+			main.b().Call(scatter.p)
+		})
+		main.b().Out(iter)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}

@@ -1,0 +1,424 @@
+package workload
+
+import "pathprof/internal/ir"
+
+// Array layout offsets (bytes from the global base) shared by the integer
+// workloads. Each workload uses its own program, so overlaps across
+// workloads are irrelevant; offsets within one workload must not collide.
+const (
+	offBoard = 0         // searcher: 64-word board
+	offCode  = 0         // cpuemu: instruction memory
+	offRegs  = 64 << 10  // cpuemu: register file (past code)
+	offTab   = 512 << 10 // dispatch / hash tables
+	offData  = 0         // compress/compiler input
+	offOut   = 1 << 20   // output regions
+)
+
+// buildSearcher is the 099.go analogue: a recursive game-tree search whose
+// evaluation procedure is a chain of data-dependent diamonds — a large
+// number of potential and executed paths, poor branch predictability, and
+// cache misses spread over many paths.
+func buildSearcher(s Scale) *ir.Program {
+	b := ir.NewBuilder("searcher")
+
+	// evaluate(r1 = position hash) -> r1 = score.
+	// Eight data-dependent diamonds over board cells: up to 2^8 paths.
+	eval := newFn(b, "evaluate", 1)
+	{
+		z := eval.reg()
+		h := eval.reg()
+		idx := eval.reg()
+		cell := eval.reg()
+		score := eval.reg()
+		c := eval.reg()
+		eval.b().MovI(z, 0)
+		eval.b().Mov(h, 1)
+		eval.b().MovI(score, 0)
+		for round := 0; round < 8; round++ {
+			eval.b().ShrI(idx, h, int64(round*3))
+			eval.b().AndI(idx, idx, 63)
+			eval.loadArr(cell, z, idx, offBoard)
+			eval.b().CmpLTI(c, cell, 32)
+			eval.ifElse(c, func() {
+				eval.b().Add(score, score, cell)
+				eval.b().ShlI(cell, cell, 1)
+			}, func() {
+				eval.b().Sub(score, score, cell)
+				eval.b().XorI(score, score, 0x55)
+			})
+		}
+		eval.b().Mov(1, score)
+		eval.ret()
+	}
+
+	// search(r1 = state, r2 = depth) -> r1 = best score.
+	search := newFn(b, "search", 2)
+	{
+		state := ir.Reg(1)
+		depth := ir.Reg(2)
+		z := search.reg()
+		best := search.reg()
+		move := search.reg()
+		tmp := search.reg()
+		child := search.reg()
+		saveState := search.reg()
+		saveDepth := search.reg()
+		c := search.reg()
+		search.b().MovI(z, 0)
+		search.b().CmpLEI(c, depth, 0)
+		search.ifElse(c, func() {
+			// Leaf: evaluate the position.
+			search.b().Call(eval.p)
+		}, func() {
+			search.b().Mov(saveState, state)
+			search.b().Mov(saveDepth, depth)
+			search.b().MovI(best, -1<<30)
+			search.loop(move, tmp, 4, func() {
+				// child = mix(state, move)
+				search.b().MulI(child, saveState, 1103515245)
+				search.b().Add(child, child, move)
+				search.b().AddI(child, child, 12345)
+				search.b().ShrI(tmp, child, 16)
+				search.b().Xor(child, child, tmp)
+				// Prune: skip uninteresting children (alpha-beta stand-in).
+				search.b().AndI(tmp, child, 7)
+				search.b().CmpLTI(c, tmp, 6)
+				search.ifThen(c, func() {
+					search.b().Mov(1, child)
+					search.b().AddI(2, saveDepth, -1)
+					search.b().Call(search.p)
+					// Negamax flavour: alternate sign by move parity.
+					search.b().AndI(tmp, move, 1)
+					search.ifThen(tmp, func() {
+						search.b().MovI(tmp, 0)
+						search.b().Sub(1, tmp, 1)
+					})
+					search.b().CmpLT(c, best, 1)
+					search.ifThen(c, func() {
+						search.b().Mov(best, 1)
+					})
+				})
+			})
+			search.b().Mov(1, best)
+		})
+		search.ret()
+	}
+
+	// main: initialize the board, run several root searches.
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		games := main.reg()
+		acc := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 0x9E3779B97F4A7C15>>1)
+		main.b().MovI(acc, 0)
+		main.loop(i, tmp, 64, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, 63)
+			main.storeArr(z, i, offBoard, tmp)
+		})
+		main.loop(games, tmp, pick(s, 2, 48), func() {
+			main.xorshift(seedR, tmp)
+			main.b().Mov(1, seedR)
+			main.b().MovI(2, pick(s, 3, 5))
+			main.b().Call(search.p)
+			main.b().Add(acc, acc, 1)
+		})
+		main.b().Out(acc)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildCPUEmu is the 124.m88ksim analogue: an instruction-set emulator with
+// an indirect-dispatch decode loop over four execution units, a register
+// file in memory, and moderate path counts per unit.
+func buildCPUEmu(s Scale) *ir.Program {
+	b := ir.NewBuilder("cpuemu")
+	codeWords := int64(4096)
+
+	// Unit procedures take r1 = packed instruction, operate on the
+	// register file at offRegs, and return a pc delta in r1.
+	// Packing: op[0:4] rd[4:8] rs[8:12] imm[12:20].
+	declUnit := func(name string, gen func(f *fb, opLow, rd, rs, imm, z ir.Reg)) *fb {
+		f := newFn(b, name, 1)
+		z := f.reg()
+		opLow := f.reg()
+		rd := f.reg()
+		rs := f.reg()
+		imm := f.reg()
+		f.b().MovI(z, 0)
+		f.b().AndI(opLow, 1, 3)
+		f.b().ShrI(rd, 1, 4)
+		f.b().AndI(rd, rd, 15)
+		f.b().ShrI(rs, 1, 8)
+		f.b().AndI(rs, rs, 15)
+		f.b().ShrI(imm, 1, 12)
+		f.b().AndI(imm, imm, 255)
+		gen(f, opLow, rd, rs, imm, z)
+		f.ret()
+		return f
+	}
+
+	alu := declUnit("alu_unit", func(f *fb, opLow, rd, rs, imm, z ir.Reg) {
+		a := f.reg()
+		bb := f.reg()
+		c := f.reg()
+		f.loadArr(a, z, rd, offRegs)
+		f.loadArr(bb, z, rs, offRegs)
+		f.b().CmpEQI(c, opLow, 0)
+		f.ifElse(c, func() {
+			f.b().Add(a, a, bb)
+		}, func() {
+			f.b().CmpEQI(c, opLow, 1)
+			f.ifElse(c, func() {
+				f.b().Sub(a, a, bb)
+			}, func() {
+				f.b().CmpEQI(c, opLow, 2)
+				f.ifElse(c, func() {
+					f.b().Xor(a, a, bb)
+				}, func() {
+					f.b().And(a, a, bb)
+				})
+			})
+		})
+		f.b().Add(a, a, imm)
+		f.storeArr(z, rd, offRegs, a)
+		f.b().MovI(1, 1)
+	})
+
+	memu := declUnit("mem_unit", func(f *fb, opLow, rd, rs, imm, z ir.Reg) {
+		addr := f.reg()
+		v := f.reg()
+		c := f.reg()
+		f.loadArr(addr, z, rs, offRegs)
+		f.b().Add(addr, addr, imm)
+		f.b().AndI(addr, addr, 2047) // data segment: 2K words at offTab
+		f.b().AndI(c, opLow, 1)
+		f.ifElse(c, func() { // load
+			f.loadArr(v, z, addr, offTab)
+			f.storeArr(z, rd, offRegs, v)
+		}, func() { // store
+			f.loadArr(v, z, rd, offRegs)
+			f.storeArr(z, addr, offTab, v)
+		})
+		f.b().MovI(1, 1)
+	})
+
+	bru := declUnit("branch_unit", func(f *fb, opLow, rd, rs, imm, z ir.Reg) {
+		v := f.reg()
+		c := f.reg()
+		f.loadArr(v, z, rs, offRegs)
+		f.b().CmpEQI(c, opLow, 0)
+		f.ifElse(c, func() {
+			f.b().CmpEQI(c, v, 0)
+		}, func() {
+			f.b().CmpLTI(c, v, 0)
+		})
+		f.ifElse(c, func() {
+			// Taken: jump forward by imm&15 (+1 to guarantee progress).
+			f.b().AndI(1, imm, 15)
+			f.b().AddI(1, 1, 1)
+		}, func() {
+			f.b().MovI(1, 1)
+		})
+	})
+
+	sys := declUnit("sys_unit", func(f *fb, opLow, rd, rs, imm, z ir.Reg) {
+		v := f.reg()
+		f.loadArr(v, z, rd, offRegs)
+		f.b().Xor(v, v, imm)
+		f.b().ShrI(v, v, 1)
+		f.storeArr(z, rd, offRegs, v)
+		f.b().MovI(1, 1)
+	})
+
+	// step(r1 = pc) -> r1 = new pc: fetch, decode, dispatch indirectly.
+	step := newFn(b, "step", 1)
+	{
+		z := step.reg()
+		pc := step.reg()
+		insn := step.reg()
+		op := step.reg()
+		handler := step.reg()
+		step.b().MovI(z, 0)
+		step.b().Mov(pc, 1)
+		step.b().AndI(insn, pc, codeWords-1)
+		step.loadArr(insn, z, insn, offCode)
+		step.b().ShrI(op, insn, 2)
+		step.b().AndI(op, op, 3)
+		// handler = dispatch[op] (function pointers in memory).
+		step.loadArr(handler, z, op, offOut)
+		step.b().Mov(1, insn)
+		step.b().CallInd(handler)
+		step.b().Add(1, 1, pc)
+		step.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		pc := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 88)
+		// Code memory: biased opcode mix (ALU-heavy, like real code).
+		main.loop(i, tmp, codeWords, func() {
+			main.xorshift(seedR, tmp)
+			v := seedR
+			main.b().AndI(tmp, v, 0xFFFFF)
+			main.storeArr(z, i, offCode, tmp)
+		})
+		// Dispatch table.
+		for op, unit := range []*fb{alu, memu, bru, sys} {
+			main.b().MovI(tmp, int64(op))
+			main.b().MovI(i, int64(unit.p.ID()))
+			main.storeArr(z, tmp, offOut, i)
+		}
+		// Emulation loop.
+		main.b().MovI(pc, 0)
+		main.loop(i, tmp, pick(s, 400, 120_000), func() {
+			main.b().Mov(1, pc)
+			main.b().Call(step.p)
+			main.b().Mov(pc, 1)
+		})
+		main.b().Out(pc)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildCompress is the 129.compress analogue: LZ-style compression over a
+// semi-repetitive buffer with a hash table sized past the L1 cache, so a
+// handful of paths (hash probe hit/miss, match extension) carry nearly all
+// the data-cache misses.
+func buildCompress(s Scale) *ir.Program {
+	b := ir.NewBuilder("compress")
+	n := pick(s, 2048, 300_000)
+	tabWords := int64(8192) // 64 KB table: 4x the L1 D-cache
+
+	// matchlen(r1 = posA, r2 = posB) -> r1 = length of common run (max 16).
+	matchlen := newFn(b, "matchlen", 2)
+	{
+		z := matchlen.reg()
+		l := matchlen.reg()
+		a := matchlen.reg()
+		bb := matchlen.reg()
+		va := matchlen.reg()
+		vb := matchlen.reg()
+		c := matchlen.reg()
+		going := matchlen.reg()
+		matchlen.b().MovI(z, 0)
+		matchlen.b().MovI(l, 0)
+		matchlen.b().Mov(a, 1)
+		matchlen.b().Mov(bb, 2)
+		matchlen.whileNZ(going, func() {
+			matchlen.b().CmpLTI(c, l, 16)
+			matchlen.b().Mov(going, c)
+			matchlen.ifThen(c, func() {
+				matchlen.loadArr(va, z, a, offData)
+				matchlen.loadArr(vb, z, bb, offData)
+				matchlen.b().CmpEQ(going, va, vb)
+			})
+		}, func() {
+			matchlen.b().AddI(l, l, 1)
+			matchlen.b().AddI(a, a, 1)
+			matchlen.b().AddI(bb, bb, 1)
+		})
+		matchlen.b().Mov(1, l)
+		matchlen.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		h := main.reg()
+		v0 := main.reg()
+		v1 := main.reg()
+		cand := main.reg()
+		c := main.reg()
+		emitted := main.reg()
+		pos := main.reg()
+		going := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 777)
+		main.b().MovI(emitted, 0)
+
+		// Semi-repetitive input: fresh random byte 1 time in 4, otherwise a
+		// copy from 64 positions back.
+		main.loop(i, tmp, n, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(c, seedR, 3)
+			main.b().CmpEQI(c, c, 0)
+			main.ifElse(c, func() {
+				main.b().AndI(tmp, seedR, 255)
+				main.storeArr(z, i, offData, tmp)
+			}, func() {
+				main.b().AddI(tmp, i, -64)
+				main.b().CmpLTI(c, i, 64)
+				main.ifElse(c, func() {
+					main.b().AndI(tmp, i, 7)
+					main.storeArr(z, i, offData, tmp)
+				}, func() {
+					main.loadArr(v0, z, tmp, offData)
+					main.storeArr(z, i, offData, v0)
+				})
+			})
+		})
+
+		// Compression scan.
+		main.b().MovI(pos, 0)
+		main.whileNZ(going, func() {
+			main.b().CmpLTI(going, pos, n-20)
+		}, func() {
+			// h = hash of the 2-word window at pos.
+			main.loadArr(v0, z, pos, offData)
+			main.b().AddI(tmp, pos, 1)
+			main.loadArr(v1, z, tmp, offData)
+			main.b().ShlI(h, v0, 5)
+			main.b().Xor(h, h, v1)
+			main.b().MulI(h, h, 2654435761)
+			main.b().ShrI(h, h, 8)
+			main.b().AndI(h, h, tabWords-1)
+			// Probe (the dense-miss path: table exceeds the cache).
+			main.loadArr(cand, z, h, offTab)
+			main.b().AddI(tmp, pos, 1)
+			main.storeArr(z, h, offTab, tmp) // store pos+1 (0 = empty)
+			main.b().CmpEQI(c, cand, 0)
+			main.ifElse(c, func() {
+				// Miss: emit literal.
+				main.b().AddI(emitted, emitted, 1)
+				main.b().AddI(pos, pos, 1)
+			}, func() {
+				// Try to extend a match at cand-1.
+				main.b().AddI(1, cand, -1)
+				main.b().Mov(2, pos)
+				main.b().Call(matchlen.p)
+				main.b().CmpLTI(c, 1, 3)
+				main.ifElse(c, func() {
+					main.b().AddI(emitted, emitted, 1)
+					main.b().AddI(pos, pos, 1)
+				}, func() {
+					// Match: emit a (distance, length) token.
+					main.b().AddI(emitted, emitted, 2)
+					main.b().Add(pos, pos, 1)
+				})
+			})
+		})
+		main.b().Out(emitted)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}

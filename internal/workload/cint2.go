@@ -1,0 +1,467 @@
+package workload
+
+import "pathprof/internal/ir"
+
+// Layout offsets for the second integer group.
+const (
+	offTree  = 0       // compiler: expression nodes; interp: cons cells
+	offEmit  = 1 << 20 // compiler: emitted ops
+	offHeap  = 0       // interp: heap
+	offImg   = 0       // imagepack: image
+	offImg2  = 1 << 20 // imagepack: output plane
+	offStr   = 0       // strhash: string pool
+	offSTab  = 1 << 20 // strhash: hash table
+	offObj   = 0       // objdb: object store
+	offIndex = 1 << 20 // objdb: index
+)
+
+// buildCompiler is the 126.gcc analogue: a toy expression compiler —
+// generate random expression trees, fold constants, lower to a linear op
+// stream, then run a branchy linear-scan "register allocator" over it. Its
+// procedures are larger and branchier than the rest of the suite, so it
+// executes roughly an order of magnitude more distinct paths, reproducing
+// the go/gcc outlier behaviour of Tables 4 and 5.
+//
+// Node encoding (3 words per node at offTree): kind, left|value, right.
+// Kinds: 0..3 binary (+ - * &), 4 constant, 5 variable.
+func buildCompiler(s Scale) *ir.Program {
+	b := ir.NewBuilder("compiler")
+
+	// gen(r1 = node index base, r2 = depth, r3 = seed) -> r1 = next free index.
+	gen := newFn(b, "gen", 3)
+	{
+		z := gen.reg()
+		node := gen.reg()
+		depth := gen.reg()
+		seedR := gen.reg()
+		tmp := gen.reg()
+		kind := gen.reg()
+		c := gen.reg()
+		idx3 := gen.reg()
+		next := gen.reg()
+		gen.b().MovI(z, 0)
+		gen.b().Mov(node, 1)
+		gen.b().Mov(depth, 2)
+		gen.b().Mov(seedR, 3)
+		gen.xorshift(seedR, tmp)
+		gen.b().MulI(idx3, node, 3)
+		gen.b().CmpLEI(c, depth, 0)
+		gen.ifElse(c, func() {
+			// Leaf: constant or variable.
+			gen.b().AndI(kind, seedR, 1)
+			gen.b().AddI(kind, kind, 4)
+			gen.storeArr(z, idx3, offTree, kind)
+			gen.b().AddI(tmp, idx3, 1)
+			gen.b().AndI(kind, seedR, 255)
+			gen.storeArr(z, tmp, offTree, kind)
+			gen.b().AddI(1, node, 1) // return the next free index
+		}, func() {
+			gen.b().AndI(kind, seedR, 3)
+			gen.storeArr(z, idx3, offTree, kind)
+			// Left child sits at node+1; record it, then generate it.
+			gen.b().AddI(tmp, idx3, 1)
+			gen.b().AddI(c, node, 1)
+			gen.storeArr(z, tmp, offTree, c)
+			gen.b().AddI(1, node, 1)
+			gen.b().AddI(2, depth, -1)
+			gen.b().Mov(3, seedR)
+			gen.b().Call(gen.p)
+			// r1 = next free index = the right child's base; record it and
+			// generate the right subtree with a decorrelated seed.
+			gen.b().Mov(next, 1)
+			gen.b().AddI(tmp, idx3, 2)
+			gen.storeArr(z, tmp, offTree, next)
+			gen.b().Mov(1, next)
+			gen.b().AddI(2, depth, -1)
+			gen.b().MulI(3, seedR, 6364136223846793005)
+			gen.b().AddI(3, 3, 1442695040888963407)
+			gen.b().Call(gen.p)
+			// r1 already holds the next free index: the return value.
+		})
+		gen.ret()
+	}
+
+	// fold(r1 = node) -> r1 = value, r2 = isConst. A recursive constant
+	// folder with per-operator branches: the path-rich core.
+	fold := newFn(b, "fold", 1)
+	{
+		z := fold.reg()
+		node := fold.reg()
+		kind := fold.reg()
+		idx3 := fold.reg()
+		tmp := fold.reg()
+		lv := fold.reg()
+		lc := fold.reg()
+		rv := fold.reg()
+		rc := fold.reg()
+		c := fold.reg()
+		fold.b().MovI(z, 0)
+		fold.b().Mov(node, 1)
+		fold.b().MulI(idx3, node, 3)
+		fold.loadArr(kind, z, idx3, offTree)
+		fold.b().CmpEQI(c, kind, 4)
+		fold.ifElse(c, func() {
+			fold.b().AddI(tmp, idx3, 1)
+			fold.loadArr(1, z, tmp, offTree)
+			fold.b().MovI(2, 1)
+		}, func() {
+			fold.b().CmpEQI(c, kind, 5)
+			fold.ifElse(c, func() {
+				fold.b().AddI(tmp, idx3, 1)
+				fold.loadArr(1, z, tmp, offTree)
+				fold.b().MovI(2, 0)
+			}, func() {
+				// Binary: fold children.
+				fold.b().AddI(tmp, idx3, 1)
+				fold.loadArr(1, z, tmp, offTree)
+				fold.b().Call(fold.p)
+				fold.b().Mov(lv, 1)
+				fold.b().Mov(lc, 2)
+				fold.b().AddI(tmp, idx3, 2)
+				fold.loadArr(1, z, tmp, offTree)
+				fold.b().Call(fold.p)
+				fold.b().Mov(rv, 1)
+				fold.b().Mov(rc, 2)
+				// Operator dispatch.
+				fold.b().CmpEQI(c, kind, 0)
+				fold.ifElse(c, func() {
+					fold.b().Add(1, lv, rv)
+				}, func() {
+					fold.b().CmpEQI(c, kind, 1)
+					fold.ifElse(c, func() {
+						fold.b().Sub(1, lv, rv)
+					}, func() {
+						fold.b().CmpEQI(c, kind, 2)
+						fold.ifElse(c, func() {
+							fold.b().Mul(1, lv, rv)
+							// Strength reduction branch: x*1, x*0.
+							fold.b().CmpEQI(c, rv, 0)
+							fold.ifThen(c, func() {
+								fold.b().MovI(1, 0)
+							})
+						}, func() {
+							fold.b().And(1, lv, rv)
+						})
+					})
+				})
+				fold.b().And(2, lc, rc) // const iff both const
+				// Algebraic identity branches add path variety.
+				fold.b().CmpEQI(c, lv, 0)
+				fold.ifThen(c, func() {
+					fold.b().XorI(2, 2, 0) // no-op, but a distinct path
+				})
+			})
+		})
+		fold.ret()
+	}
+
+	// emit(r1 = node) -> r1 = ops emitted. Lowers the tree to a linear op
+	// buffer with a small peephole branch per op.
+	emit := newFn(b, "emit", 1)
+	{
+		z := emit.reg()
+		node := emit.reg()
+		kind := emit.reg()
+		idx3 := emit.reg()
+		tmp := emit.reg()
+		cnt := emit.reg()
+		c := emit.reg()
+		slot := emit.reg()
+		emit.b().MovI(z, 0)
+		emit.b().Mov(node, 1)
+		emit.b().MulI(idx3, node, 3)
+		emit.loadArr(kind, z, idx3, offTree)
+		emit.b().CmpLTI(c, kind, 4)
+		emit.ifElse(c, func() {
+			emit.b().AddI(tmp, idx3, 1)
+			emit.loadArr(1, z, tmp, offTree)
+			emit.b().Call(emit.p)
+			emit.b().Mov(cnt, 1)
+			emit.b().AddI(tmp, idx3, 2)
+			emit.loadArr(1, z, tmp, offTree)
+			emit.b().Call(emit.p)
+			emit.b().Add(cnt, cnt, 1)
+			// Append the operator to the op buffer (bounded ring).
+			emit.b().AndI(slot, cnt, 4095)
+			emit.storeArr(z, slot, offEmit, kind)
+		}, func() {
+			emit.b().MovI(cnt, 1)
+			emit.b().AndI(slot, node, 4095)
+			emit.storeArr(z, slot, offEmit, kind)
+		})
+		emit.b().Mov(1, cnt)
+		emit.ret()
+	}
+
+	// regalloc(r1 = nops): a linear pass with a branchy state machine —
+	// every iteration picks one of many paths based on the op stream.
+	regalloc := newFn(b, "regalloc", 1)
+	{
+		z := regalloc.reg()
+		nops := regalloc.reg()
+		i := regalloc.reg()
+		tmp := regalloc.reg()
+		op := regalloc.reg()
+		live := regalloc.reg()
+		spills := regalloc.reg()
+		c := regalloc.reg()
+		regalloc.b().MovI(z, 0)
+		regalloc.b().Mov(nops, 1)
+		regalloc.b().MovI(live, 0)
+		regalloc.b().MovI(spills, 0)
+		regalloc.b().AndI(nops, nops, 4095)
+		regalloc.loopReg(i, tmp, nops, func() {
+			regalloc.loadArr(op, z, i, offEmit)
+			regalloc.b().CmpLTI(c, op, 4)
+			regalloc.ifElse(c, func() {
+				regalloc.b().AddI(live, live, -1) // binary op kills one value
+			}, func() {
+				regalloc.b().AddI(live, live, 1) // leaf defines a value
+			})
+			regalloc.b().CmpLTI(c, live, 0)
+			regalloc.ifThen(c, func() {
+				regalloc.b().MovI(live, 0)
+			})
+			regalloc.b().CmpLTI(c, live, 7)
+			regalloc.ifElse(c, func() {
+				regalloc.b().AndI(tmp, op, 1)
+				regalloc.ifThen(tmp, func() {
+					regalloc.b().AddI(spills, spills, 0) // coalesce path
+				})
+			}, func() {
+				regalloc.b().AddI(spills, spills, 1) // spill path
+				regalloc.b().AddI(live, live, -2)
+			})
+		})
+		regalloc.b().Mov(1, spills)
+		regalloc.ret()
+	}
+
+	// peephole(r1 = window base): a long chain of data-dependent diamonds
+	// over the op buffer — the path-rich core that gives this workload its
+	// gcc-like executed-path counts (2^10 potential paths through one body).
+	peephole := newFn(b, "peephole", 1)
+	{
+		z := peephole.reg()
+		base := peephole.reg()
+		v := peephole.reg()
+		c := peephole.reg()
+		acc := peephole.reg()
+		idx := peephole.reg()
+		peephole.b().MovI(z, 0)
+		peephole.b().AndI(base, 1, 4095-16)
+		peephole.b().MovI(acc, 0)
+		for k := int64(0); k < 10; k++ {
+			peephole.b().AddI(idx, base, k)
+			peephole.loadArr(v, z, idx, offEmit)
+			peephole.b().CmpLEI(c, v, 2)
+			peephole.ifElse(c, func() {
+				peephole.b().ShlI(acc, acc, 1)
+				peephole.b().Add(acc, acc, v)
+				peephole.storeArr(z, idx, offEmit, acc)
+			}, func() {
+				peephole.b().XorI(acc, acc, 0x3F)
+				peephole.b().AddI(acc, acc, 1)
+			})
+		}
+		peephole.b().Mov(1, acc)
+		peephole.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		seedR := main.reg()
+		t := main.reg()
+		tmp := main.reg()
+		acc := main.reg()
+		main.b().MovI(seedR, 126)
+		main.b().MovI(acc, 0)
+		main.loop(t, tmp, pick(s, 3, 220), func() {
+			main.xorshift(seedR, tmp)
+			main.b().MovI(1, 0)
+			main.b().MovI(2, pick(s, 4, 7))
+			main.b().Mov(3, seedR)
+			main.b().Call(gen.p)
+			main.b().MovI(1, 0)
+			main.b().Call(fold.p)
+			main.b().Add(acc, acc, 1)
+			main.b().MovI(1, 0)
+			main.b().Call(emit.p)
+			main.b().Call(regalloc.p) // r1 = ops emitted
+			main.b().Add(acc, acc, 1)
+			// Peephole over several windows of the op stream.
+			main.b().Mov(1, seedR)
+			main.b().Call(peephole.p)
+			main.b().Add(1, 1, t)
+			main.b().Call(peephole.p)
+			main.b().Add(acc, acc, 1)
+		})
+		main.b().Out(acc)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildInterp is the 130.li analogue: a cons-cell interpreter — recursive
+// evaluation over linked lists in the heap, dependent-load pointer chasing,
+// and a small operator dispatch.
+//
+// Cell encoding (2 words at offHeap): car, cdr (indices; 0 = nil; values
+// are tagged odd as 2v+1).
+func buildInterp(s Scale) *ir.Program {
+	b := ir.NewBuilder("interp")
+	heapCells := int64(32768)
+
+	// eval(r1 = cell) -> r1 = value. Sums tagged values through the spine,
+	// with per-element operator branches and recursion into nested lists.
+	eval := newFn(b, "eval", 1)
+	{
+		z := eval.reg()
+		cell := eval.reg()
+		car := eval.reg()
+		acc := eval.reg()
+		tmp := eval.reg()
+		c := eval.reg()
+		going := eval.reg()
+		eval.b().MovI(z, 0)
+		eval.b().Mov(cell, 1)
+		eval.b().MovI(acc, 0)
+		eval.whileNZ(going, func() {
+			eval.b().CmpNEI(going, cell, 0)
+		}, func() {
+			eval.b().ShlI(tmp, cell, 1)
+			eval.loadArr(car, z, tmp, offHeap)
+			eval.b().AndI(c, car, 1)
+			eval.ifElse(c, func() {
+				// Tagged value: fold into the accumulator with a
+				// value-dependent operator.
+				eval.b().ShrI(tmp, car, 1)
+				eval.b().AndI(c, tmp, 3)
+				eval.b().CmpEQI(c, c, 0)
+				eval.ifElse(c, func() {
+					eval.b().Sub(acc, acc, tmp)
+				}, func() {
+					eval.b().Add(acc, acc, tmp)
+				})
+			}, func() {
+				// Sublist: recurse.
+				eval.b().CmpNEI(c, car, 0)
+				eval.ifThen(c, func() {
+					eval.b().ShrI(1, car, 1)
+					eval.b().Call(eval.p)
+					eval.b().Add(acc, acc, 1)
+				})
+			})
+			// cdr
+			eval.b().ShlI(tmp, cell, 1)
+			eval.b().AddI(tmp, tmp, 1)
+			eval.loadArr(cell, z, tmp, offHeap)
+		})
+		eval.b().Mov(1, acc)
+		eval.ret()
+	}
+
+	// build(r1 = seed, r2 = length, r3 = depth) -> r1 = head cell index.
+	build := newFn(b, "build", 3)
+	{
+		z := build.reg()
+		seedR := build.reg()
+		length := build.reg()
+		depth := build.reg()
+		head := build.reg()
+		tmp := build.reg()
+		i := build.reg()
+		cellIdx := build.reg()
+		c := build.reg()
+		prev := build.reg()
+		build.b().MovI(z, 0)
+		build.b().Mov(seedR, 1)
+		build.b().Mov(length, 2)
+		build.b().Mov(depth, 3)
+		build.b().MovI(head, 0)
+		build.b().MovI(prev, 0)
+		build.loopReg(i, tmp, length, func() {
+			// Allocate: bump pointer kept in heap slot 1 (cell 0 reserved
+			// as nil).
+			build.b().MovI(tmp, 1)
+			build.loadArr(cellIdx, z, tmp, offHeap)
+			build.b().AddI(cellIdx, cellIdx, 1)
+			build.b().CmpLTI(c, cellIdx, heapCells/2-2)
+			build.ifElse(c, func() {}, func() {
+				build.b().MovI(cellIdx, 2) // wrap: reuse the arena
+			})
+			build.b().MovI(tmp, 1)
+			build.storeArr(z, tmp, offHeap, cellIdx)
+			build.xorshift(seedR, tmp)
+			// car: nested list 1 time in 8 (when depth remains), else value.
+			build.b().AndI(c, seedR, 7)
+			build.b().CmpEQI(c, c, 0)
+			build.ifElse(c, func() {
+				build.b().CmpLEI(tmp, depth, 0)
+				build.ifElse(tmp, func() {
+					// No depth left: tagged value.
+					build.b().AndI(tmp, seedR, 1023)
+					build.b().ShlI(tmp, tmp, 1)
+					build.b().OrI(tmp, tmp, 1)
+					build.b().ShlI(c, cellIdx, 1)
+					build.storeArr(z, c, offHeap, tmp)
+				}, func() {
+					// Recurse: sublist of length 3.
+					build.b().Mov(tmp, cellIdx)
+					build.b().Mov(1, seedR)
+					build.b().MovI(2, 3)
+					build.b().AddI(3, depth, -1)
+					build.b().Mov(prev, tmp) // keep cellIdx live across call
+					build.b().Call(build.p)
+					build.b().Mov(cellIdx, prev)
+					build.b().ShlI(tmp, 1, 1) // store sublist untagged (even)
+					build.b().ShlI(c, cellIdx, 1)
+					build.storeArr(z, c, offHeap, tmp)
+				})
+			}, func() {
+				build.b().AndI(tmp, seedR, 1023)
+				build.b().ShlI(tmp, tmp, 1)
+				build.b().OrI(tmp, tmp, 1)
+				build.b().ShlI(c, cellIdx, 1)
+				build.storeArr(z, c, offHeap, tmp)
+			})
+			// cdr: link to the previous head (building in reverse).
+			build.b().ShlI(tmp, cellIdx, 1)
+			build.b().AddI(tmp, tmp, 1)
+			build.storeArr(z, tmp, offHeap, head)
+			build.b().Mov(head, cellIdx)
+		})
+		build.b().Mov(1, head)
+		build.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		acc := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 130)
+		main.b().MovI(acc, 0)
+		// Initialize the bump pointer past nil.
+		main.b().MovI(tmp, 1)
+		main.b().MovI(i, 1)
+		main.storeArr(z, tmp, offHeap, i)
+		main.loop(i, tmp, pick(s, 4, 700), func() {
+			main.xorshift(seedR, tmp)
+			main.b().Mov(1, seedR)
+			main.b().MovI(2, 40)
+			main.b().MovI(3, 2)
+			main.b().Call(build.p)
+			main.b().Call(eval.p)
+			main.b().Add(acc, acc, 1)
+		})
+		main.b().Out(acc)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}

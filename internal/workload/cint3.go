@@ -1,0 +1,456 @@
+package workload
+
+import "pathprof/internal/ir"
+
+// buildImagePack is the 132.ijpeg analogue: blockwise image transforms —
+// an 8x8 butterfly pass, data-dependent quantization clamping, and a
+// zigzag-order repack. Good locality inside a block, strided access across
+// rows, and a small number of hot loop paths.
+func buildImagePack(s Scale) *ir.Program {
+	b := ir.NewBuilder("imagepack")
+	dim := pick(s, 32, 256) // image is dim x dim words
+
+	// transform(r1 = block row, r2 = block col): butterfly + quantize one
+	// 8x8 block in place, then write the packed plane.
+	transform := newFn(b, "transform", 2)
+	{
+		z := transform.reg()
+		baseIdx := transform.reg()
+		i := transform.reg()
+		j := transform.reg()
+		tmp := transform.reg()
+		idx := transform.reg()
+		a := transform.reg()
+		bv := transform.reg()
+		c := transform.reg()
+		acc := transform.reg()
+		transform.b().MovI(z, 0)
+		// baseIdx = (row*8)*dim + col*8
+		transform.b().MulI(baseIdx, 1, 8)
+		transform.b().MulI(baseIdx, baseIdx, dim)
+		transform.b().MulI(tmp, 2, 8)
+		transform.b().Add(baseIdx, baseIdx, tmp)
+
+		// Row butterflies: a' = a+b, b' = a-b over column pairs.
+		transform.loop(i, tmp, 8, func() {
+			transform.loop(j, tmp, 4, func() {
+				// idx = base + i*dim + j; pair at j+4.
+				transform.b().MulI(idx, i, dim)
+				transform.b().Add(idx, idx, baseIdx)
+				transform.b().Add(idx, idx, j)
+				transform.loadArr(a, z, idx, offImg)
+				transform.b().AddI(idx, idx, 4)
+				transform.loadArr(bv, z, idx, offImg)
+				transform.b().Add(acc, a, bv)
+				transform.b().Sub(bv, a, bv)
+				transform.storeArr(z, idx, offImg, bv)
+				transform.b().AddI(idx, idx, -4)
+				transform.storeArr(z, idx, offImg, acc)
+			})
+		})
+
+		// Quantize with clamping branches (data-dependent paths).
+		transform.loop(i, tmp, 8, func() {
+			transform.loop(j, tmp, 8, func() {
+				transform.b().MulI(idx, i, dim)
+				transform.b().Add(idx, idx, baseIdx)
+				transform.b().Add(idx, idx, j)
+				transform.loadArr(a, z, idx, offImg)
+				transform.b().ShrI(a, a, 2)
+				transform.b().CmpLTI(c, a, -255)
+				transform.ifThen(c, func() {
+					transform.b().MovI(a, -255)
+				})
+				transform.b().CmpLTI(c, a, 256)
+				transform.ifElse(c, func() {}, func() {
+					transform.b().MovI(a, 255)
+				})
+				transform.storeArr(z, idx, offImg, a)
+				// Packed output plane (sequential writes).
+				transform.b().MulI(c, i, 8)
+				transform.b().Add(c, c, j)
+				transform.storeArr(z, c, offImg2, a)
+			})
+		})
+		transform.b().MovI(1, 0)
+		transform.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		r := main.reg()
+		cc := main.reg()
+		passes := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 132)
+		main.loop(i, tmp, dim*dim, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, 511)
+			main.storeArr(z, i, offImg, tmp)
+		})
+		main.loop(passes, tmp, pick(s, 1, 8), func() {
+			main.loop(r, tmp, dim/8, func() {
+				main.loop(cc, tmp, dim/8, func() {
+					main.b().Mov(1, r)
+					main.b().Mov(2, cc)
+					main.b().Call(transform.p)
+				})
+			})
+		})
+		main.b().Out(passes)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildStrHash is the 134.perl analogue: string processing — hash a word
+// pool into a chained table with string comparison on collision, plus a
+// branchy per-character translation pass.
+func buildStrHash(s Scale) *ir.Program {
+	b := ir.NewBuilder("strhash")
+	words := pick(s, 256, 20_000)
+	wordLen := int64(6) // words per "string"
+	tabSize := int64(4096)
+
+	// strEq(r1 = strA index, r2 = strB index) -> r1 = 1 if equal.
+	strEq := newFn(b, "streq", 2)
+	{
+		z := strEq.reg()
+		a := strEq.reg()
+		bb := strEq.reg()
+		i := strEq.reg()
+		tmp := strEq.reg()
+		va := strEq.reg()
+		vb := strEq.reg()
+		eq := strEq.reg()
+		c := strEq.reg()
+		strEq.b().MovI(z, 0)
+		strEq.b().MulI(a, 1, wordLen)
+		strEq.b().MulI(bb, 2, wordLen)
+		strEq.b().MovI(eq, 1)
+		strEq.loop(i, tmp, wordLen, func() {
+			strEq.b().Add(tmp, a, i)
+			strEq.loadArr(va, z, tmp, offStr)
+			strEq.b().Add(tmp, bb, i)
+			strEq.loadArr(vb, z, tmp, offStr)
+			strEq.b().CmpEQ(c, va, vb)
+			strEq.ifElse(c, func() {}, func() {
+				strEq.b().MovI(eq, 0)
+			})
+		})
+		strEq.b().Mov(1, eq)
+		strEq.ret()
+	}
+
+	// hash(r1 = str index) -> r1 = bucket.
+	hash := newFn(b, "hash", 1)
+	{
+		z := hash.reg()
+		base := hash.reg()
+		i := hash.reg()
+		tmp := hash.reg()
+		h := hash.reg()
+		v := hash.reg()
+		hash.b().MovI(z, 0)
+		hash.b().MulI(base, 1, wordLen)
+		hash.b().MovI(h, 5381)
+		hash.loop(i, tmp, wordLen, func() {
+			hash.b().Add(tmp, base, i)
+			hash.loadArr(v, z, tmp, offStr)
+			hash.b().ShlI(tmp, h, 5)
+			hash.b().Add(h, h, tmp)
+			hash.b().Xor(h, h, v)
+		})
+		hash.b().AndI(1, h, tabSize-1)
+		hash.ret()
+	}
+
+	// translate(r1 = str index): per-word case-chain rewriting.
+	translate := newFn(b, "translate", 1)
+	{
+		z := translate.reg()
+		base := translate.reg()
+		i := translate.reg()
+		tmp := translate.reg()
+		v := translate.reg()
+		c := translate.reg()
+		translate.b().MovI(z, 0)
+		translate.b().MulI(base, 1, wordLen)
+		translate.loop(i, tmp, wordLen, func() {
+			translate.b().Add(tmp, base, i)
+			translate.loadArr(v, z, tmp, offStr)
+			translate.b().AndI(c, v, 3)
+			translate.b().CmpEQI(c, c, 0)
+			translate.ifElse(c, func() {
+				translate.b().AddI(v, v, 13)
+			}, func() {
+				translate.b().AndI(c, v, 1)
+				translate.ifElse(c, func() {
+					translate.b().XorI(v, v, 0x20)
+				}, func() {
+					translate.b().ShrI(v, v, 1)
+				})
+			})
+			translate.b().Add(tmp, base, i)
+			translate.storeArr(z, tmp, offStr, v)
+		})
+		translate.b().MovI(1, 0)
+		translate.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		bucket := main.reg()
+		cur := main.reg()
+		c := main.reg()
+		hits := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 134)
+		main.b().MovI(hits, 0)
+		// Word pool: a modest vocabulary (every 16th word is fresh) so
+		// lookups hit existing entries often.
+		main.loop(i, tmp, words*wordLen, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, 127)
+			main.storeArr(z, i, offStr, tmp)
+		})
+		main.loop(i, tmp, words, func() {
+			main.b().AndI(1, i, int64(words/16)|15) // skewed reuse
+			main.b().Call(hash.p)
+			main.b().Mov(bucket, 1)
+			main.loadArr(cur, z, bucket, offSTab)
+			main.b().CmpEQI(c, cur, 0)
+			main.ifElse(c, func() {
+				// Insert: store index+1.
+				main.b().AndI(tmp, i, int64(words/16)|15)
+				main.b().AddI(tmp, tmp, 1)
+				main.storeArr(z, bucket, offSTab, tmp)
+			}, func() {
+				// Compare on collision.
+				main.b().AddI(1, cur, -1)
+				main.b().AndI(2, i, int64(words/16)|15)
+				main.b().Call(strEq.p)
+				main.ifThen(1, func() {
+					main.b().AddI(hits, hits, 1)
+				})
+			})
+			// Translate every 4th word.
+			main.b().AndI(c, i, 3)
+			main.b().CmpEQI(c, c, 0)
+			main.ifThen(c, func() {
+				main.b().AndI(1, i, int64(words/16)|15)
+				main.b().Call(translate.p)
+			})
+		})
+		main.b().Out(hits)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildObjDB is the 147.vortex analogue: an object store with three object
+// kinds, per-kind accessor and validator procedures, deep call chains
+// (main → transaction → operation → kind handler → field access), many call
+// sites, and therefore the largest calling context tree of the suite.
+func buildObjDB(s Scale) *ir.Program {
+	b := ir.NewBuilder("objdb")
+	numObjs := int64(2048)
+	objWords := int64(8)
+
+	// field(r1 = obj, r2 = field) -> r1 = value.
+	field := newFn(b, "field", 2)
+	{
+		z := field.reg()
+		idx := field.reg()
+		field.b().MovI(z, 0)
+		field.b().MulI(idx, 1, objWords)
+		field.b().Add(idx, idx, 2)
+		field.loadArr(1, z, idx, offObj)
+		field.ret()
+	}
+	// setfield(r1 = obj, r2 = field, r3 = value).
+	setfield := newFn(b, "setfield", 3)
+	{
+		z := setfield.reg()
+		idx := setfield.reg()
+		setfield.b().MovI(z, 0)
+		setfield.b().MulI(idx, 1, objWords)
+		setfield.b().Add(idx, idx, 2)
+		setfield.storeArr(z, idx, offObj, 3)
+		setfield.b().MovI(1, 0)
+		setfield.ret()
+	}
+
+	// Three kind handlers, each with its own validation shape.
+	mkKind := func(name string, mix int64) *fb {
+		f := newFn(b, name, 1)
+		obj := f.reg()
+		v := f.reg()
+		c := f.reg()
+		f.b().Mov(obj, 1)
+		// Read field (mix&3), validate, write field ((mix>>2)&3).
+		f.b().Mov(1, obj)
+		f.b().MovI(2, mix&3)
+		f.b().Call(field.p)
+		f.b().Mov(v, 1)
+		f.b().CmpLTI(c, v, 1<<20)
+		f.ifElse(c, func() {
+			f.b().MulI(v, v, 3)
+			f.b().AddI(v, v, mix)
+		}, func() {
+			f.b().ShrI(v, v, 3)
+		})
+		f.b().Mov(1, obj)
+		f.b().MovI(2, (mix>>2)&3)
+		f.b().Mov(3, v)
+		f.b().Call(setfield.p)
+		f.b().Mov(1, v)
+		f.ret()
+		return f
+	}
+	kindA := mkKind("kind_part", 5)
+	kindB := mkKind("kind_assembly", 9)
+	kindC := mkKind("kind_document", 14)
+
+	// validate(r1 = obj) -> r1 = 1 if the object passes its kind's check.
+	validate := newFn(b, "validate", 1)
+	{
+		obj := validate.reg()
+		v := validate.reg()
+		c := validate.reg()
+		validate.b().Mov(obj, 1)
+		validate.b().Mov(1, obj)
+		validate.b().MovI(2, 1)
+		validate.b().Call(field.p)
+		validate.b().Mov(v, 1)
+		validate.b().CmpLTI(c, v, 0)
+		validate.ifElse(c, func() {
+			validate.b().MovI(1, 0)
+		}, func() {
+			validate.b().MovI(1, 1)
+		})
+		validate.ret()
+	}
+
+	// audit(r1 = obj): log a fingerprint of the access into the index area.
+	audit := newFn(b, "audit", 1)
+	{
+		z := audit.reg()
+		obj := audit.reg()
+		slot := audit.reg()
+		v := audit.reg()
+		audit.b().MovI(z, 0)
+		audit.b().Mov(obj, 1)
+		audit.b().Mov(1, obj)
+		audit.b().MovI(2, 3)
+		audit.b().Call(field.p)
+		audit.b().Mov(v, 1)
+		audit.b().AndI(slot, obj, 255)
+		audit.b().AddI(slot, slot, numObjs)
+		audit.storeArr(z, slot, offIndex, v)
+		audit.b().MovI(1, 0)
+		audit.ret()
+	}
+
+	// operation(r1 = obj): dispatch on the object's kind tag (word 0).
+	operation := newFn(b, "operation", 1)
+	{
+		z := operation.reg()
+		obj := operation.reg()
+		kind := operation.reg()
+		idx := operation.reg()
+		c := operation.reg()
+		operation.b().MovI(z, 0)
+		operation.b().Mov(obj, 1)
+		operation.b().MulI(idx, obj, objWords)
+		operation.loadArr(kind, z, idx, offObj)
+		operation.b().AndI(kind, kind, 3)
+		operation.b().Mov(1, obj)
+		operation.b().Call(validate.p)
+		operation.ifElse(1, func() {
+			operation.b().CmpEQI(c, kind, 0)
+			operation.ifElse(c, func() {
+				operation.b().Mov(1, obj)
+				operation.b().Call(kindA.p)
+			}, func() {
+				operation.b().CmpEQI(c, kind, 1)
+				operation.ifElse(c, func() {
+					operation.b().Mov(1, obj)
+					operation.b().Call(kindB.p)
+				}, func() {
+					operation.b().Mov(1, obj)
+					operation.b().Call(kindC.p)
+				})
+			})
+		}, func() {
+			operation.b().MovI(1, 0)
+		})
+		operation.b().Mov(1, obj)
+		operation.b().Call(audit.p)
+		operation.ret()
+	}
+
+	// transaction(r1 = seed): touch a run of objects through the index.
+	txn := newFn(b, "transaction", 1)
+	{
+		z := txn.reg()
+		seedR := txn.reg()
+		i := txn.reg()
+		tmp := txn.reg()
+		obj := txn.reg()
+		txn.b().MovI(z, 0)
+		txn.b().Mov(seedR, 1)
+		txn.loop(i, tmp, 8, func() {
+			txn.xorshift(seedR, tmp)
+			txn.b().AndI(obj, seedR, numObjs-1)
+			// Indirection through the index (extra dependent load).
+			txn.loadArr(obj, z, obj, offIndex)
+			txn.b().Mov(1, obj)
+			txn.b().Call(operation.p)
+		})
+		txn.b().MovI(1, 0)
+		txn.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 147)
+		// Objects: kind tag + payload.
+		main.loop(i, tmp, numObjs, func() {
+			main.xorshift(seedR, tmp)
+			main.b().MulI(1, i, objWords)
+			main.storeArr(z, 1, offObj, seedR)
+		})
+		// Index: a permutation-ish mapping.
+		main.loop(i, tmp, numObjs, func() {
+			main.b().MulI(tmp, i, 17)
+			main.b().AddI(tmp, tmp, 7)
+			main.b().AndI(tmp, tmp, numObjs-1)
+			main.storeArr(z, i, offIndex, tmp)
+		})
+		main.loop(i, tmp, pick(s, 60, 4000), func() {
+			main.b().Mov(1, i)
+			main.b().AddI(1, 1, 1)
+			main.b().Call(txn.p)
+		})
+		main.b().Out(i)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}

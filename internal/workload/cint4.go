@@ -1,0 +1,164 @@
+package workload
+
+import "pathprof/internal/ir"
+
+// buildParser is a second 126.gcc-flavoured workload focused on the error
+// paths: a recursive-descent parser over a token stream that recovers from
+// syntax errors with a non-local return (setjmp/longjmp), the mechanism the
+// paper's CCT construction explicitly supports ("non-local returns"). It
+// exercises CCT unwinding and path profiling under abandoned activations.
+//
+// Tokens: 0 = '(', 1 = ')', 2 = atom, 3 = BAD (forces a longjmp).
+func buildParser(s Scale) *ir.Program {
+	b := ir.NewBuilder("parser")
+	nTokens := pick(s, 512, 60_000)
+
+	// Globals layout: tokens at offData; cursor at offOut word 0; jmp
+	// handle at offOut word 1.
+	// parseExpr(r1 = depth budget) -> r1 = node count. Reads tokens at the
+	// shared cursor; on BAD or exhausted depth, longjmps to main's recovery
+	// point.
+	parse := newFn(b, "parse_expr", 1)
+	{
+		z := parse.reg()
+		depth := parse.reg()
+		tok := parse.reg()
+		cur := parse.reg()
+		cnt := parse.reg()
+		c := parse.reg()
+		h := parse.reg()
+		going := parse.reg()
+		one := parse.reg()
+		parse.b().MovI(z, 0)
+		parse.b().Mov(depth, 1)
+		parse.b().MovI(cnt, 0)
+		parse.b().MovI(one, 1)
+
+		fail := func() {
+			// Load the handle and bail out to main's recovery point.
+			parse.b().MovI(h, 1)
+			parse.loadArr(h, z, h, offOut)
+			parse.b().LongJmp(h, one)
+		}
+
+		// cursor fetch-and-advance.
+		fetch := func() {
+			parse.b().MovI(cur, 0)
+			parse.loadArr(tok, z, cur, offOut) // cursor value
+			parse.b().AndI(c, tok, int64(nTokens-1))
+			parse.b().AddI(tok, tok, 1)
+			parse.storeArr(z, cur, offOut, tok) // cursor++
+			parse.loadArr(tok, z, c, offData)   // the token
+		}
+
+		fetch()
+		parse.b().CmpEQI(c, tok, 3)
+		parse.ifThen(c, func() {
+			fail()
+			parse.b().Nop() // unreachable; keeps the block non-empty
+		})
+		parse.b().CmpLEI(c, depth, 0)
+		parse.ifThen(c, fail)
+
+		parse.b().CmpEQI(c, tok, 0)
+		parse.ifElse(c, func() {
+			// '(' expr* ')': parse children until ')'.
+			parse.b().MovI(going, 1)
+			parse.whileNZ(going, func() {
+				// going stays as computed at loop bottom; recompute by
+				// peeking the next token.
+				parse.b().MovI(cur, 0)
+				parse.loadArr(tok, z, cur, offOut)
+				parse.b().AndI(c, tok, int64(nTokens-1))
+				parse.loadArr(tok, z, c, offData)
+				parse.b().CmpNEI(going, tok, 1) // stop at ')'
+			}, func() {
+				parse.b().AddI(1, depth, -1)
+				parse.b().Call(parse.p)
+				parse.b().Add(cnt, cnt, 1)
+			})
+			// Consume the ')'.
+			parse.b().MovI(cur, 0)
+			parse.loadArr(tok, z, cur, offOut)
+			parse.b().AddI(tok, tok, 1)
+			parse.storeArr(z, cur, offOut, tok)
+		}, func() {
+			// Atom (or stray ')': treated as an atom for simplicity).
+			parse.b().AddI(cnt, cnt, 1)
+		})
+		parse.b().Mov(1, cnt)
+		parse.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		h := main.reg()
+		flag := main.reg()
+		parsed := main.reg()
+		errors := main.reg()
+		c := main.reg()
+		going := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 126126)
+		main.b().MovI(parsed, 0)
+		main.b().MovI(errors, 0)
+
+		// Token stream: mostly atoms and parens, occasionally BAD.
+		main.loop(i, tmp, nTokens, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, 15)
+			main.b().CmpLTI(c, tmp, 5)
+			main.ifElse(c, func() {
+				main.b().MovI(tmp, 0) // '('
+			}, func() {
+				main.xorshift(seedR, c)
+				main.b().AndI(tmp, seedR, 63)
+				main.b().CmpLTI(c, tmp, 24)
+				main.ifElse(c, func() {
+					main.b().MovI(tmp, 1) // ')'
+				}, func() {
+					main.b().CmpEQI(c, tmp, 63)
+					main.ifElse(c, func() {
+						main.b().MovI(tmp, 3) // BAD
+					}, func() {
+						main.b().MovI(tmp, 2) // atom
+					})
+				})
+			})
+			main.storeArr(z, i, offData, tmp)
+		})
+
+		// Recovery point: flag != 0 means we arrived here via longjmp.
+		main.b().SetJmp(h, flag)
+		rec := main.p.NewBlock()
+		main.cur.Jmp(rec)
+		main.cur = rec
+		main.b().MovI(tmp, 1)
+		main.storeArr(z, tmp, offOut, h) // publish the handle
+		main.ifThen(flag, func() {
+			main.b().Add(errors, errors, flag)
+			main.b().MovI(flag, 0)
+		})
+		_ = c
+
+		// Parse until the cursor has consumed the budget.
+		main.whileNZ(going, func() {
+			main.b().MovI(tmp, 0)
+			main.loadArr(going, z, tmp, offOut)
+			main.b().CmpLTI(going, going, nTokens*pick(s, 2, 4))
+		}, func() {
+			main.b().MovI(1, 12)
+			main.b().Call(parse.p)
+			main.b().Add(parsed, parsed, 1)
+		})
+		main.b().Out(parsed)
+		main.b().Out(errors)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/sim"
+)
+
+// goldenOutputs pins each workload's observable output at Test scale on the
+// default machine. The whole stack is deterministic, so any drift here
+// means a semantic change to a workload or the simulator — which must be a
+// conscious decision (regenerate by running the suite and updating the
+// table).
+var goldenOutputs = map[string][]int64{
+	"searcher":   []int64{268},
+	"cpuemu":     []int64{432},
+	"compiler":   []int64{-5275},
+	"compress":   []int64{1307},
+	"interp":     []int64{50473},
+	"imagepack":  []int64{1},
+	"strhash":    []int64{208},
+	"objdb":      []int64{60},
+	"parser":     []int64{437, 10},
+	"mesh":       []int64{2},
+	"shallow":    []int64{2},
+	"lattice":    []int64{2},
+	"hydro":      []int64{2},
+	"grid":       []int64{1},
+	"lusolve":    []int64{1},
+	"turbulence": []int64{1},
+	"weather":    []int64{2},
+	"fpstraight": []int64{4},
+	"plasma":     []int64{2},
+}
+
+func TestGoldenOutputs(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, ok := goldenOutputs[w.Name]
+			if !ok {
+				t.Fatalf("no golden recorded for %s", w.Name)
+			}
+			m := sim.New(w.Build(Test), sim.DefaultConfig())
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Output, want) {
+				t.Fatalf("output drifted:\n got  %v\n want %v", res.Output, want)
+			}
+		})
+	}
+	if len(goldenOutputs) != len(Suite()) {
+		t.Fatalf("golden table has %d entries for %d workloads", len(goldenOutputs), len(Suite()))
+	}
+}

@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"testing"
+
+	"pathprof/internal/sim"
+)
+
+func TestParserTriggersLongjmp(t *testing.T) {
+	for _, sc := range []Scale{Test, Ref} {
+		w, _ := ByName("parser")
+		m := sim.New(w.Build(sc), sim.DefaultConfig())
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, errors := res.Output[0], res.Output[1]
+		t.Logf("scale %v: parsed=%d errors=%d instrs=%d", sc, parsed, errors, res.Instrs)
+		if errors == 0 {
+			t.Errorf("scale %v: no longjmp recoveries; the error path is dead", sc)
+		}
+		if parsed == 0 {
+			t.Errorf("scale %v: nothing parsed", sc)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+// TestSuiteTextRoundTrip: every workload survives disassembly and
+// reassembly unchanged, and the reassembled program runs identically —
+// exercising the assembler over every instruction form the suite uses,
+// including instrumented programs with probes and negative displacements.
+func TestSuiteTextRoundTrip(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(Test)
+			text := prog.String()
+			got, err := ir.ParseString(text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got.String() != text {
+				t.Fatal("text round trip diverged")
+			}
+			m1 := sim.New(prog, sim.DefaultConfig())
+			r1, err := m1.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2 := sim.New(got, sim.DefaultConfig())
+			r2, err := m2.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Output, r2.Output) || r1.Cycles != r2.Cycles {
+				t.Fatal("reassembled program behaves differently")
+			}
+		})
+	}
+}
+
+// TestInstrumentedTextRoundTrip: instrumented programs (probes, spills,
+// counter ops) also round trip.
+func TestInstrumentedTextRoundTrip(t *testing.T) {
+	w, _ := ByName("compress")
+	for _, mode := range []instrument.Mode{instrument.ModePathHW, instrument.ModeContextFlow} {
+		plan, err := instrument.Instrument(w.Build(Test), instrument.DefaultOptions(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := plan.Prog.String()
+		got, err := ir.ParseString(text)
+		if err != nil {
+			t.Fatalf("mode %v: parse: %v", mode, err)
+		}
+		if got.String() != text {
+			t.Fatalf("mode %v: round trip diverged", mode)
+		}
+	}
+}

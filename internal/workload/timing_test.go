@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"pathprof/internal/sim"
+)
+
+func TestRefScaleTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ref-scale timing skipped in short mode")
+	}
+	for _, w := range Suite() {
+		prog := w.Build(Ref)
+		m := sim.New(prog, sim.DefaultConfig())
+		start := time.Now()
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		t.Logf("%-12s %10d instrs %12d cycles  %7.2fs wall  %5.1fM instr/s",
+			w.Name, res.Instrs, res.Cycles, time.Since(start).Seconds(),
+			float64(res.Instrs)/time.Since(start).Seconds()/1e6)
+	}
+}

@@ -1,0 +1,194 @@
+// Package workload provides the synthetic benchmark suite standing in for
+// SPEC95: twelve deterministic programs whose behavioural signatures mirror
+// the integer and floating-point workloads the paper measured — interpreter
+// dispatch, compression with hash probing, path-rich search and compilation,
+// pointer chasing, object-database call depth, stencil sweeps, hierarchical
+// grids and straight-line FP blocks.
+//
+// Each workload is constructed at a Scale: Test keeps unit tests fast,
+// Ref approximates the relative magnitudes the experiments need.
+package workload
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+)
+
+// Scale selects workload input size.
+type Scale int
+
+const (
+	// Test is a small configuration for unit tests.
+	Test Scale = iota
+	// Ref is the full experiment configuration.
+	Ref
+)
+
+// Class tags a workload as integer-like or floating-point-like, mirroring
+// the paper's CINT95/CFP95 split.
+type Class int
+
+const (
+	// CINT marks integer workloads.
+	CINT Class = iota
+	// CFP marks floating-point workloads.
+	CFP
+)
+
+func (c Class) String() string {
+	if c == CFP {
+		return "CFP"
+	}
+	return "CINT"
+}
+
+// Workload is one synthetic benchmark.
+type Workload struct {
+	Name  string
+	Class Class
+	// Analogue names the SPEC95 program whose behaviour this mirrors.
+	Analogue string
+	// Build constructs the program at the given scale.
+	Build func(Scale) *ir.Program
+}
+
+// fb is a structured-programming veneer over the raw block builder: it
+// tracks a current block and provides loops and conditionals, which keeps
+// the twelve workload generators readable.
+type fb struct {
+	p    *ir.ProcBuilder
+	cur  *ir.BlockBuilder
+	next ir.Reg
+}
+
+// newFn starts a procedure and positions the cursor at its entry block.
+func newFn(b *ir.Builder, name string, numArgs int) *fb {
+	p := b.NewProc(name, numArgs)
+	return &fb{p: p, cur: p.NewBlock(), next: 9}
+}
+
+// reg allocates a fresh scratch register. Registers r1..r8 are the calling
+// convention; allocation starts at r9 and must leave headroom for
+// instrumentation (the builder panics past r25).
+func (f *fb) reg() ir.Reg {
+	r := f.next
+	if r > 25 {
+		panic(fmt.Sprintf("workload proc #%d: out of scratch registers", f.p.ID()))
+	}
+	f.next++
+	return r
+}
+
+// b returns the current block builder for direct instruction emission.
+func (f *fb) b() *ir.BlockBuilder { return f.cur }
+
+// loop emits `for cnt = 0; cnt < n; cnt++ { body }`. The body callback may
+// emit into f.b() and open nested structures; tmp is a scratch register for
+// the comparison.
+func (f *fb) loop(cnt, tmp ir.Reg, n int64, body func()) {
+	head := f.p.NewBlock()
+	bodyB := f.p.NewBlock()
+	after := f.p.NewBlock()
+	f.cur.MovI(cnt, 0)
+	f.cur.Jmp(head)
+	head.CmpLTI(tmp, cnt, n)
+	head.Br(tmp, bodyB, after)
+	f.cur = bodyB
+	body()
+	f.cur.AddI(cnt, cnt, 1)
+	f.cur.Jmp(head)
+	f.cur = after
+}
+
+// loopReg is loop with a register bound (n already in a register).
+func (f *fb) loopReg(cnt, tmp, bound ir.Reg, body func()) {
+	head := f.p.NewBlock()
+	bodyB := f.p.NewBlock()
+	after := f.p.NewBlock()
+	f.cur.MovI(cnt, 0)
+	f.cur.Jmp(head)
+	head.CmpLT(tmp, cnt, bound)
+	head.Br(tmp, bodyB, after)
+	f.cur = bodyB
+	body()
+	f.cur.AddI(cnt, cnt, 1)
+	f.cur.Jmp(head)
+	f.cur = after
+}
+
+// whileNZ emits `while (cond() != 0) { body }`, where cond emits code
+// leaving its value in the given register.
+func (f *fb) whileNZ(condReg ir.Reg, cond func(), body func()) {
+	head := f.p.NewBlock()
+	bodyB := f.p.NewBlock()
+	after := f.p.NewBlock()
+	f.cur.Jmp(head)
+	f.cur = head
+	cond()
+	f.cur.Br(condReg, bodyB, after)
+	f.cur = bodyB
+	body()
+	f.cur.Jmp(head)
+	f.cur = after
+}
+
+// ifElse emits a two-armed conditional on cond != 0.
+func (f *fb) ifElse(cond ir.Reg, then func(), els func()) {
+	thenB := f.p.NewBlock()
+	elseB := f.p.NewBlock()
+	join := f.p.NewBlock()
+	f.cur.Br(cond, thenB, elseB)
+	f.cur = thenB
+	then()
+	f.cur.Jmp(join)
+	f.cur = elseB
+	els()
+	f.cur.Jmp(join)
+	f.cur = join
+}
+
+// ifThen emits a one-armed conditional.
+func (f *fb) ifThen(cond ir.Reg, then func()) {
+	f.ifElse(cond, then, func() {})
+}
+
+// ret ends the procedure, marking the current block as exit.
+func (f *fb) ret() { f.cur.Ret() }
+
+// halt ends main.
+func (f *fb) halt() { f.cur.Halt() }
+
+// xorshift emits a xorshift64 PRNG step on register s (the workloads'
+// deterministic data generator).
+func (f *fb) xorshift(s, tmp ir.Reg) {
+	f.cur.ShlI(tmp, s, 13)
+	f.cur.Xor(s, s, tmp)
+	f.cur.ShrI(tmp, s, 7)
+	f.cur.Xor(s, s, tmp)
+	f.cur.ShlI(tmp, s, 17)
+	f.cur.Xor(s, s, tmp)
+}
+
+// Array region helpers: workloads place arrays at fixed offsets above the
+// global base; idx is a word index.
+const arrBase = int64(mem.GlobalBase)
+
+// loadArr emits dst = arr[idx] for an array at byte offset off.
+func (f *fb) loadArr(dst, zero, idx ir.Reg, off int64) {
+	f.cur.LoadIdx(dst, zero, idx, arrBase+off)
+}
+
+// storeArr emits arr[idx] = val.
+func (f *fb) storeArr(zero, idx ir.Reg, off int64, val ir.Reg) {
+	f.cur.StoreIdx(zero, idx, arrBase+off, val)
+}
+
+// pick returns n for Test scale and r for Ref scale.
+func pick(s Scale, testVal, refVal int64) int64 {
+	if s == Ref {
+		return refVal
+	}
+	return testVal
+}

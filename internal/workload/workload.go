@@ -1,0 +1,39 @@
+package workload
+
+// Suite returns the synthetic benchmark suite in report order: nine
+// integer-like programs followed by ten floating-point-like programs,
+// mirroring the paper's CINT95/CFP95 presentation (18 SPEC95 programs plus
+// a longjmp-heavy parser exercising non-local returns).
+func Suite() []Workload {
+	return []Workload{
+		{Name: "searcher", Class: CINT, Analogue: "099.go", Build: buildSearcher},
+		{Name: "cpuemu", Class: CINT, Analogue: "124.m88ksim", Build: buildCPUEmu},
+		{Name: "compiler", Class: CINT, Analogue: "126.gcc", Build: buildCompiler},
+		{Name: "compress", Class: CINT, Analogue: "129.compress", Build: buildCompress},
+		{Name: "interp", Class: CINT, Analogue: "130.li", Build: buildInterp},
+		{Name: "imagepack", Class: CINT, Analogue: "132.ijpeg", Build: buildImagePack},
+		{Name: "strhash", Class: CINT, Analogue: "134.perl", Build: buildStrHash},
+		{Name: "objdb", Class: CINT, Analogue: "147.vortex", Build: buildObjDB},
+		{Name: "parser", Class: CINT, Analogue: "126.gcc (error paths)", Build: buildParser},
+		{Name: "mesh", Class: CFP, Analogue: "101.tomcatv", Build: buildMesh},
+		{Name: "shallow", Class: CFP, Analogue: "102.swim", Build: buildShallow},
+		{Name: "lattice", Class: CFP, Analogue: "103.su2cor", Build: buildLattice},
+		{Name: "hydro", Class: CFP, Analogue: "104.hydro2d", Build: buildHydro},
+		{Name: "grid", Class: CFP, Analogue: "107.mgrid", Build: buildGrid},
+		{Name: "lusolve", Class: CFP, Analogue: "110.applu", Build: buildLUSolve},
+		{Name: "turbulence", Class: CFP, Analogue: "125.turb3d", Build: buildTurbulence},
+		{Name: "weather", Class: CFP, Analogue: "141.apsi", Build: buildWeather},
+		{Name: "fpstraight", Class: CFP, Analogue: "145.fpppp", Build: buildFPStraight},
+		{Name: "plasma", Class: CFP, Analogue: "146.wave5", Build: buildPlasma},
+	}
+}
+
+// ByName returns the workload with the given name, or false.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

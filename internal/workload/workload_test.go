@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+// TestAllWorkloadsRunAtTestScale: every workload validates, terminates, is
+// deterministic, and produces output.
+func TestAllWorkloadsRunAtTestScale(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(Test)
+			if err := ir.Validate(prog); err != nil {
+				t.Fatal(err)
+			}
+			run := func() sim.Result {
+				m := sim.New(prog, sim.DefaultConfig())
+				res, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			r1 := run()
+			r2 := run()
+			if len(r1.Output) == 0 {
+				t.Fatal("no output")
+			}
+			if !reflect.DeepEqual(r1.Output, r2.Output) || r1.Cycles != r2.Cycles {
+				t.Fatal("nondeterministic run")
+			}
+			if r1.Instrs < 1000 {
+				t.Fatalf("suspiciously small run: %d instructions", r1.Instrs)
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsInstrumentable: every workload survives every
+// instrumentation mode with unchanged semantics.
+func TestAllWorkloadsInstrumentable(t *testing.T) {
+	modes := []instrument.Mode{
+		instrument.ModeEdgeCount,
+		instrument.ModePathFreq,
+		instrument.ModePathHW,
+		instrument.ModeContextHW,
+		instrument.ModeContextFlow,
+		instrument.ModeBlockHW,
+	}
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(Test)
+			m0 := sim.New(prog, sim.DefaultConfig())
+			base, err := m0.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range modes {
+				plan, err := instrument.Instrument(prog, instrument.DefaultOptions(mode))
+				if err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				m := sim.New(plan.Prog, sim.DefaultConfig())
+				m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+				plan.Wire(m)
+				res, err := m.Run()
+				if err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				if !reflect.DeepEqual(base.Output, res.Output) {
+					t.Fatalf("mode %v: semantics changed", mode)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadSignatures: coarse behavioural checks that the suite exhibits
+// the contrasts the experiments rely on.
+func TestWorkloadSignatures(t *testing.T) {
+	run := func(name string) sim.Result {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		m := sim.New(w.Build(Test), sim.DefaultConfig())
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// FP workloads execute FP work; integer ones essentially none.
+	mesh := run("mesh")
+	compress := run("compress")
+	if mesh.Totals[hpm.EvFPStalls] == 0 {
+		t.Error("mesh: no FP stalls")
+	}
+	if compress.Totals[hpm.EvFPStalls] != 0 {
+		t.Error("compress: unexpected FP stalls")
+	}
+
+	// compress's hash table defeats the L1; imagepack is block-local.
+	img := run("imagepack")
+	compressRatio := float64(compress.Totals[hpm.EvDCacheMiss]) / float64(compress.Totals[hpm.EvDCacheRead]+compress.Totals[hpm.EvDCacheWrite])
+	imgRatio := float64(img.Totals[hpm.EvDCacheMiss]) / float64(img.Totals[hpm.EvDCacheRead]+img.Totals[hpm.EvDCacheWrite])
+	if compressRatio <= imgRatio {
+		t.Errorf("compress miss ratio %.4f not above imagepack %.4f", compressRatio, imgRatio)
+	}
+
+	// objdb makes far more calls per instruction than fpstraight.
+	objdb := run("objdb")
+	fps := run("fpstraight")
+	objCallRate := float64(objdb.Totals[hpm.EvCalls]) / float64(objdb.Instrs)
+	fpsCallRate := float64(fps.Totals[hpm.EvCalls]) / float64(fps.Instrs)
+	if objCallRate < 4*fpsCallRate {
+		t.Errorf("objdb call rate %.5f not well above fpstraight %.5f", objCallRate, fpsCallRate)
+	}
+}
+
+// TestPathRichness: compiler (the gcc analogue) has more potential paths
+// than the regular FP workloads.
+func TestPathRichness(t *testing.T) {
+	potentialPaths := func(name string) int64 {
+		w, _ := ByName(name)
+		plan, err := instrument.Instrument(w.Build(Test), instrument.DefaultOptions(instrument.ModePathFreq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, pp := range plan.Procs {
+			if pp.Numbering != nil {
+				total += pp.Numbering.NumPaths
+			}
+		}
+		return total
+	}
+	rich := potentialPaths("compiler") + potentialPaths("searcher")
+	regular := potentialPaths("mesh") + potentialPaths("shallow")
+	if rich < 4*regular {
+		t.Errorf("path-rich workloads have %d potential paths vs %d for stencils", rich, regular)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("found nonexistent workload")
+	}
+	w, ok := ByName("compress")
+	if !ok || w.Analogue != "129.compress" || w.Class != CINT {
+		t.Fatalf("compress lookup wrong: %+v", w)
+	}
+	if CFP.String() != "CFP" || CINT.String() != "CINT" {
+		t.Fatal("class strings wrong")
+	}
+}
