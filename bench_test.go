@@ -9,8 +9,12 @@ package pathprof
 // log.
 
 import (
+	"encoding/json"
 	"io"
 	"math/rand"
+	"os"
+	"runtime"
+	"sync"
 	"testing"
 
 	"pathprof/internal/bl"
@@ -20,9 +24,74 @@ import (
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
 	"pathprof/internal/ir"
+	"pathprof/internal/mem"
 	"pathprof/internal/sim"
 	"pathprof/internal/workload"
 )
+
+// --- benchmark result log ---
+
+// benchRecord is one benchmark's summary for BENCH_experiments.json.
+type benchRecord struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+var benchLog struct {
+	mu   sync.Mutex
+	recs []benchRecord
+}
+
+// recordBench logs a finished benchmark; TestMain writes the accumulated
+// records to BENCH_experiments.json so `go test -bench` output doubles as
+// a machine-readable experiment log.
+func recordBench(b *testing.B, metrics map[string]float64) {
+	if b.N == 0 {
+		return
+	}
+	rec := benchRecord{
+		Name:    b.Name(),
+		N:       b.N,
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Metrics: metrics,
+	}
+	benchLog.mu.Lock()
+	defer benchLog.mu.Unlock()
+	// The harness re-runs a benchmark with growing b.N while calibrating;
+	// keep only the final (largest-N) measurement per name.
+	for i, r := range benchLog.recs {
+		if r.Name == rec.Name {
+			if rec.N >= r.N {
+				benchLog.recs[i] = rec
+			}
+			return
+		}
+	}
+	benchLog.recs = append(benchLog.recs, rec)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchLog.mu.Lock()
+	recs := benchLog.recs
+	benchLog.mu.Unlock()
+	if code == 0 && len(recs) > 0 {
+		out := struct {
+			GoMaxProcs int           `json:"gomaxprocs"`
+			Benchmarks []benchRecord `json:"benchmarks"`
+		}{runtime.GOMAXPROCS(0), recs}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			data = append(data, '\n')
+			if werr := os.WriteFile("BENCH_experiments.json", data, 0o644); werr != nil {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 // --- Tables 1-5 ---
 
@@ -48,6 +117,7 @@ func BenchmarkTable1Overhead(b *testing.B) {
 			b.ReportMetric(cfl/n, "ctxflow-x")
 		}
 	}
+	recordBench(b, nil)
 }
 
 func BenchmarkTable2Perturbation(b *testing.B) {
@@ -522,6 +592,111 @@ func BenchmarkAblationIssueWidth(b *testing.B) {
 				b.Logf("note: 4-wide overhead %.2f did not exceed scalar %.2f on this workload", wide, scalar)
 			}
 		}
+	}
+}
+
+// --- parallel experiment engine ---
+
+// benchmarkSession regenerates Table 1 (the largest cell matrix) with a
+// fresh session per iteration at the given worker-pool size, so the
+// measurement includes build, instrumentation and every simulation.
+func benchmarkSession(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(workload.Test)
+		s.Parallel = parallel
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderTable1(rows, io.Discard)
+		}
+	}
+	recordBench(b, map[string]float64{"workers": float64(parallel)})
+}
+
+// BenchmarkSessionSerial is the single-worker baseline for the engine.
+func BenchmarkSessionSerial(b *testing.B) { benchmarkSession(b, 1) }
+
+// BenchmarkSessionParallel runs the same matrix on a GOMAXPROCS-wide pool;
+// the speedup over BenchmarkSessionSerial is the engine's parallel gain
+// (cells are independent, so it should approach the core count on
+// multi-core hosts).
+func BenchmarkSessionParallel(b *testing.B) { benchmarkSession(b, runtime.GOMAXPROCS(0)) }
+
+// --- simulator dispatch micro-benchmarks ---
+
+// buildStepLoop constructs an endless counting loop whose body exercises
+// one instruction class, so Machine.Step can be benchmarked per-opcode
+// without the program halting mid-measurement.
+func buildStepLoop(class string) *ir.Program {
+	bld := ir.NewBuilder("step-" + class)
+	bld.Globals(make([]int64, 16), mem.GlobalBase)
+
+	leaf := bld.NewProc("leaf", 0)
+	lb := leaf.NewBlock()
+	lb.AddI(1, 1, 1)
+	lb.Ret()
+
+	main := bld.NewProc("main", 0)
+	e := main.NewBlock()
+	h := main.NewBlock()
+	body := main.NewBlock()
+	x := main.NewBlock()
+	e.MovI(2, 0)
+	e.MovI(4, int64(mem.GlobalBase))
+	e.Jmp(h)
+	h.CmpLTI(3, 2, 1<<40)
+	h.Br(3, body, x)
+	switch class {
+	case "alu":
+		body.AddI(1, 1, 3)
+		body.XorI(1, 1, 5)
+		body.Mul(1, 1, 1)
+	case "fp":
+		body.CvtIF(5, 2)
+		body.FAdd(6, 6, 5)
+		body.FMul(6, 6, 6)
+	case "mem":
+		body.Load(5, 4, 0)
+		body.AddI(5, 5, 1)
+		body.Store(4, 0, 5)
+	case "branch":
+		// The loop's compare-and-branch spine is the workload itself.
+		body.Nop()
+	case "call":
+		body.Call(leaf)
+	default:
+		panic("unknown class " + class)
+	}
+	body.AddI(2, 2, 1)
+	body.Jmp(h)
+	x.Halt()
+	bld.SetMain(main)
+	return bld.MustFinish()
+}
+
+// BenchmarkStepDispatch measures the simulator's per-instruction dispatch
+// cost by class. The step path must not allocate: any alloc/op here is a
+// regression in the simulator hot loop.
+func BenchmarkStepDispatch(b *testing.B) {
+	for _, class := range []string{"alu", "fp", "mem", "branch", "call"} {
+		class := class
+		b.Run(class, func(b *testing.B) {
+			m := sim.New(buildStepLoop(class), sim.DefaultConfig())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Step(); err != nil {
+					b.Fatal(err)
+				}
+				if m.Halted() {
+					b.Fatal("step loop halted early")
+				}
+			}
+			b.StopTimer()
+			recordBench(b, nil)
+		})
 	}
 }
 

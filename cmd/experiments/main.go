@@ -4,6 +4,11 @@
 // Usage:
 //
 //	experiments [-table N | -all] [-scale ref|test] [-workloads a,b,c]
+//	            [-parallel N] [-v]
+//
+// -parallel sets the experiment engine's worker count (0 means
+// GOMAXPROCS, 1 forces serial execution); rendered tables are
+// byte-identical at any setting. -v prints per-cell timings to stderr.
 package main
 
 import (
@@ -26,6 +31,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate all tables")
 	scale := flag.String("scale", "ref", "workload scale: ref or test")
 	only := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+	parallel := flag.Int("parallel", 0, "worker pool size for cell execution (0 = GOMAXPROCS, 1 = serial)")
+	verbose := flag.Bool("v", false, "print per-cell timing/throughput to stderr")
 	flag.Parse()
 
 	sc := workload.Ref
@@ -38,6 +45,7 @@ func main() {
 	}
 
 	s := experiments.NewSession(sc)
+	s.Parallel = *parallel
 	if *only != "" {
 		var subset []workload.Workload
 		for _, name := range strings.Split(*only, ",") {
@@ -95,6 +103,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[table %d: %.1fs]\n", n, time.Since(start).Seconds())
 	}
+
+	if *verbose {
+		printTimings(s)
+	}
+}
+
+// printTimings reports what the session actually simulated: one line per
+// unique cell (cache hits do not re-run), with wall time and simulation
+// throughput.
+func printTimings(s *experiments.Session) {
+	ts := s.Timings()
+	var wall time.Duration
+	var instrs uint64
+	fmt.Fprintf(os.Stderr, "\n%-10s %-14s %-22s %10s %12s %12s\n",
+		"workload", "mode", "events", "wall", "instrs", "instrs/s")
+	for _, t := range ts {
+		wall += t.Wall
+		instrs += t.Instrs
+		fmt.Fprintf(os.Stderr, "%-10s %-14s %-22s %10s %12d %12.3e\n",
+			t.Workload, t.Mode, t.Ev0+"+"+t.Ev1,
+			t.Wall.Round(time.Millisecond), t.Instrs, t.InstrsPerSec())
+	}
+	fmt.Fprintf(os.Stderr, "%d cells simulated, %s total simulation wall time, %d instrs\n",
+		len(ts), wall.Round(time.Millisecond), instrs)
 }
 
 func exitOn(err error) {

@@ -1,16 +1,23 @@
 // Command pp is the path profiler tool (the repository's analogue of the
-// paper's PP): it instruments a workload, runs it on the simulated machine,
-// and reports flow sensitive and/or context sensitive profiles, including
-// regenerated hot-path block sequences.
+// paper's PP): it instruments one or more workloads, runs them on the
+// simulated machine, and reports flow sensitive and/or context sensitive
+// profiles, including regenerated hot-path block sequences.
 //
 // Usage:
 //
-//	pp -workload compress [-mode flow|flowhw|context|combined|edge]
+//	pp -workload compress[,go,...] [-mode flow|flowhw|context|combined|edge]
 //	   [-scale ref|test] [-events dcache-miss,insts] [-top 10]
-//	   [-profile out.prof] [-cct]
+//	   [-profile out.prof] [-cct] [-parallel N]
+//
+// Runs go through the concurrent experiment engine: with several
+// workloads, simulations execute on a bounded worker pool (-parallel, 0 =
+// GOMAXPROCS) while reports are printed in the order the workloads were
+// named. With multiple workloads, -profile and -cctout paths get a
+// ".<workload>" suffix per workload.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,10 +28,10 @@ import (
 	"pathprof/internal/analysis"
 	"pathprof/internal/bl"
 	"pathprof/internal/cct"
+	"pathprof/internal/experiments"
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
 	"pathprof/internal/report"
-	"pathprof/internal/sim"
 	"pathprof/internal/workload"
 )
 
@@ -32,7 +39,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pp: ")
 
-	name := flag.String("workload", "", "workload to profile (see cmd/specgen -list)")
+	names := flag.String("workload", "", "comma-separated workloads to profile (see cmd/specgen -list)")
 	modeStr := flag.String("mode", "flowhw", "flow | flowhw | context | combined | edge | block")
 	scaleStr := flag.String("scale", "test", "workload scale: ref or test")
 	events := flag.String("events", "dcache-miss,insts", "PIC0,PIC1 event selection")
@@ -41,11 +48,19 @@ func main() {
 	showCCT := flag.Bool("cct", false, "print calling context tree statistics")
 	cctOut := flag.String("cctout", "", "write the calling context tree to this file (context modes)")
 	cctDump := flag.Bool("cctdump", false, "print the calling context tree as an indented listing")
+	parallel := flag.Int("parallel", 0, "worker pool size for multi-workload runs (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	w, ok := workload.ByName(*name)
-	if !ok {
-		log.Fatalf("unknown workload %q (try cmd/specgen -list)", *name)
+	if *names == "" {
+		log.Fatal("no workload given (try -workload compress)")
+	}
+	var suite []workload.Workload
+	for _, name := range strings.Split(*names, ",") {
+		w, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("unknown workload %q (try cmd/specgen -list)", name)
+		}
+		suite = append(suite, w)
 	}
 	scale := workload.Test
 	if *scaleStr == "ref" {
@@ -74,18 +89,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	prog := w.Build(scale)
-	plan, err := instrument.Instrument(prog, instrument.DefaultOptions(mode))
+	s := experiments.NewSession(scale)
+	s.Workloads = suite
+	s.Parallel = *parallel
+	specs := make([]experiments.CellSpec, len(suite))
+	for i, w := range suite {
+		specs[i] = experiments.CellSpec{Workload: w, Mode: mode, Ev0: ev0, Ev1: ev1}
+	}
+	cells, err := s.RunAll(context.Background(), specs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := sim.New(plan.Prog, sim.DefaultConfig())
-	m.PMU().Select(ev0, ev1)
-	rt := plan.Wire(m)
-	res, err := m.Run()
-	if err != nil {
-		log.Fatal(err)
+
+	for i, w := range suite {
+		if i > 0 {
+			fmt.Println()
+		}
+		profPath, cctPath := *profileOut, *cctOut
+		if len(suite) > 1 {
+			if profPath != "" {
+				profPath += "." + w.Name
+			}
+			if cctPath != "" {
+				cctPath += "." + w.Name
+			}
+		}
+		reportWorkload(w, mode, ev0, ev1, cells[i], *top, profPath, *showCCT, cctPath, *cctDump)
 	}
+}
+
+// reportWorkload prints one workload's profile report from its cached cell.
+func reportWorkload(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event,
+	cell *experiments.Cell, top int, profileOut string, showCCT bool, cctOut string, cctDump bool) {
+	res := cell.Result
+	plan := cell.Plan
 
 	fmt.Printf("workload %s (%s analogue), mode %v, events %v/%v\n",
 		w.Name, w.Analogue, mode, ev0, ev1)
@@ -93,9 +130,9 @@ func main() {
 		res.Instrs, res.Cycles, res.Totals[hpm.EvDCacheMiss], res.Totals[hpm.EvICacheMiss])
 
 	if mode.UsesPaths() || mode == instrument.ModePathHW || mode == instrument.ModeBlockHW {
-		prof := rt.ExtractProfile()
-		if *profileOut != "" {
-			f, err := os.Create(*profileOut)
+		prof := cell.Profile
+		if profileOut != "" {
+			f, err := os.Create(profileOut)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -105,7 +142,7 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("profile written to %s\n\n", *profileOut)
+			fmt.Printf("profile written to %s\n\n", profileOut)
 		}
 		numberings := map[int]*bl.Numbering{}
 		for _, pp := range plan.Procs {
@@ -117,7 +154,7 @@ func main() {
 		if rep.TotalMisses > 0 {
 			fmt.Printf("executed paths: %d; hot paths (>=1%% of misses): %d covering %s of misses\n\n",
 				rep.NumPaths, rep.Hot.Num, report.Pct(rep.Hot.MissFrac(rep.TotalMisses)))
-			listings := analysis.ResolveHotPaths(rep, numberings, *top)
+			listings := analysis.ResolveHotPaths(rep, numberings, top)
 			t := &report.Table{
 				Title: fmt.Sprintf("Top %d hot paths", len(listings)),
 				Cols:  []string{"Proc", "PathID", "Freq", ev0.String(), ev1.String(), "Ratio", "Blocks"},
@@ -142,8 +179,8 @@ func main() {
 				}
 			}
 			sort.Slice(rows, func(i, j int) bool { return rows[i].freq > rows[j].freq })
-			if len(rows) > *top {
-				rows = rows[:*top]
+			if len(rows) > top {
+				rows = rows[:top]
 			}
 			t := &report.Table{
 				Title: fmt.Sprintf("Top %d paths by frequency", len(rows)),
@@ -164,36 +201,36 @@ func main() {
 		}
 	}
 
-	if rt.Tree != nil && (*showCCT || mode == instrument.ModeContextHW) {
-		st := rt.Tree.ComputeStats()
+	if cell.Tree != nil && (showCCT || mode == instrument.ModeContextHW) {
+		st := cell.Tree.ComputeStats()
 		fmt.Printf("CCT: %d records, %d bytes, height max %d, max replication %d\n",
 			st.Nodes, st.SizeBytes, st.MaxHeight, st.MaxReplication)
 		if mode == instrument.ModeContextHW {
-			printTopContexts(rt.Tree, plan, *top)
+			printTopContexts(cell.Tree, plan, top)
 		}
 	}
-	if rt.Tree != nil && *cctDump {
-		rt.Tree.Dump(os.Stdout, func(id int) string {
+	if cell.Tree != nil && cctDump {
+		cell.Tree.Dump(os.Stdout, func(id int) string {
 			if id < 0 || id >= len(plan.Prog.Procs) {
 				return "T"
 			}
 			return plan.Prog.Procs[id].Name
 		})
 	}
-	if rt.Tree != nil && *cctOut != "" {
+	if cell.Tree != nil && cctOut != "" {
 		// The paper's program-exit instrumentation writes the CCT heap to a
 		// file from which the tree can be reconstructed.
-		f, err := os.Create(*cctOut)
+		f, err := os.Create(cctOut)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := rt.Tree.Write(f); err != nil {
+		if err := cell.Tree.Write(f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("calling context tree written to %s\n", *cctOut)
+		fmt.Printf("calling context tree written to %s\n", cctOut)
 	}
 }
 

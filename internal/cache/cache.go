@@ -56,15 +56,23 @@ func (s Stats) MissRatio() float64 {
 // Cache is a set-associative cache with true-LRU replacement and
 // write-allocate semantics. It tracks only tags (contents are irrelevant to
 // miss behaviour).
+//
+// State is kept in flat arrays indexed by set*assoc+way rather than
+// per-set slices: the lookup is on the simulator's per-instruction path
+// (every fetch and every data access goes through Access), and the flat
+// layout removes a pointer chase and two bounds checks per probe.
 type Cache struct {
 	cfg      Config
 	sets     int
+	assoc    int
 	lineBits uint
 	setMask  uint64
-	// tags[set][way]; lru[set][way] holds a recency stamp (higher = newer).
-	tags  [][]uint64
-	valid [][]bool
-	lru   [][]uint64
+	tagShift uint
+	// tags/valid/lru are indexed by set*assoc+way; lru holds a recency
+	// stamp (higher = newer).
+	tags  []uint64
+	valid []bool
+	lru   []uint64
 	clock uint64
 	stats Stats
 }
@@ -87,17 +95,14 @@ func New(cfg Config) *Cache {
 	c := &Cache{
 		cfg:      cfg,
 		sets:     sets,
+		assoc:    cfg.Assoc,
 		lineBits: lineBits,
 		setMask:  uint64(sets - 1),
+		tagShift: uint(setBits(sets)),
 	}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Assoc)
-		c.valid[i] = make([]bool, cfg.Assoc)
-		c.lru[i] = make([]uint64, cfg.Assoc)
-	}
+	c.tags = make([]uint64, sets*cfg.Assoc)
+	c.valid = make([]bool, sets*cfg.Assoc)
+	c.lru = make([]uint64, sets*cfg.Assoc)
 	return c
 }
 
@@ -113,9 +118,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // Flush invalidates all lines and clears statistics.
 func (c *Cache) Flush() {
 	for i := range c.valid {
-		for j := range c.valid[i] {
-			c.valid[i][j] = false
-		}
+		c.valid[i] = false
 	}
 	c.stats = Stats{}
 	c.clock = 0
@@ -123,7 +126,7 @@ func (c *Cache) Flush() {
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	line := addr >> c.lineBits
-	return int(line & c.setMask), line >> uint(setBits(c.sets))
+	return int(line & c.setMask), line >> c.tagShift
 }
 
 func setBits(sets int) int {
@@ -137,12 +140,34 @@ func setBits(sets int) int {
 // Access simulates one access; write=true for stores. It returns true on a
 // hit. Misses allocate the line (write-allocate for stores).
 func (c *Cache) Access(addr uint64, write bool) bool {
-	set, tag := c.index(addr)
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line >> c.tagShift
 	c.clock++
-	ways := c.tags[set]
-	for w := range ways {
-		if c.valid[set][w] && ways[w] == tag {
-			c.lru[set][w] = c.clock
+	if c.assoc == 1 {
+		// Direct-mapped fast path (the default L1D): one compare, no LRU
+		// bookkeeping — the single way is always the victim.
+		if c.tags[set] == tag && c.valid[set] {
+			if write {
+				c.stats.WriteHits++
+			} else {
+				c.stats.ReadHits++
+			}
+			return true
+		}
+		if write {
+			c.stats.WriteMisses++
+		} else {
+			c.stats.ReadMisses++
+		}
+		c.valid[set] = true
+		c.tags[set] = tag
+		return false
+	}
+	base := set * c.assoc
+	for w := base; w < base+c.assoc; w++ {
+		if c.valid[w] && c.tags[w] == tag {
+			c.lru[w] = c.clock
 			if write {
 				c.stats.WriteHits++
 			} else {
@@ -157,22 +182,21 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 		c.stats.ReadMisses++
 	}
 	// Victim: first invalid way, else least recently used.
-	victim := 0
+	victim := base
 	var oldest uint64 = ^uint64(0)
-	for w := range ways {
-		if !c.valid[set][w] {
+	for w := base; w < base+c.assoc; w++ {
+		if !c.valid[w] {
 			victim = w
-			oldest = 0
 			break
 		}
-		if c.lru[set][w] < oldest {
-			oldest = c.lru[set][w]
+		if c.lru[w] < oldest {
+			oldest = c.lru[w]
 			victim = w
 		}
 	}
-	c.valid[set][victim] = true
-	c.tags[set][victim] = tag
-	c.lru[set][victim] = c.clock
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
 	return false
 }
 
@@ -186,8 +210,9 @@ func (c *Cache) Write(addr uint64) bool { return c.Access(addr, true) }
 // side effects); used by tests.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for w := range c.tags[set] {
-		if c.valid[set][w] && c.tags[set][w] == tag {
+	base := set * c.assoc
+	for w := base; w < base+c.assoc; w++ {
+		if c.valid[w] && c.tags[w] == tag {
 			return true
 		}
 	}

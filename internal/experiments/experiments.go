@@ -6,8 +6,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"pathprof/internal/analysis"
 	"pathprof/internal/bl"
@@ -21,13 +24,25 @@ import (
 )
 
 // Session caches runs so tables sharing a configuration (e.g. Tables 4 and
-// 5 both need the flow+HW miss profile) execute each workload once.
+// 5 both need the flow+HW miss profile) execute each workload once. A
+// Session is safe for concurrent use: cells are deduplicated singleflight
+// style, and each workload's built program and each (workload, mode)
+// instrumentation plan are computed once and shared across cells.
 type Session struct {
 	Scale     workload.Scale
 	Workloads []workload.Workload
 	SimConfig sim.Config
 
-	cells map[cellKey]*Cell
+	// Parallel bounds the engine's worker pool (see RunAll); <= 0 means
+	// GOMAXPROCS. Table output is identical for every value.
+	Parallel int
+
+	mu       sync.Mutex
+	cells    map[cellKey]*Cell
+	inflight map[cellKey]*flight
+	progs    map[string]*progEntry
+	plans    map[planKey]*planEntry
+	timings  []CellTiming
 }
 
 type cellKey struct {
@@ -53,6 +68,9 @@ func NewSession(scale workload.Scale) *Session {
 		Workloads: workload.Suite(),
 		SimConfig: sim.DefaultConfig(),
 		cells:     make(map[cellKey]*Cell),
+		inflight:  make(map[cellKey]*flight),
+		progs:     make(map[string]*progEntry),
+		plans:     make(map[planKey]*planEntry),
 	}
 }
 
@@ -68,16 +86,22 @@ var PerturbationPairs = [][2]hpm.Event{
 	{hpm.EvStoreBufStalls, hpm.EvFPStalls},
 }
 
-// Run executes (or returns the cached) cell.
+// Run executes (or returns the cached) cell. It is safe for concurrent
+// use; see RunCtx for the cancellable form.
 func (s *Session) Run(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
-	key := cellKey{w.Name, mode, ev0, ev1}
-	if c, ok := s.cells[key]; ok {
-		return c, nil
+	return s.RunCtx(context.Background(), w, mode, ev0, ev1)
+}
+
+// simulate performs the actual cell run (no caching; RunCtx layers the
+// singleflight cache on top).
+func (s *Session) simulate(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	prog := w.Build(s.Scale)
+	start := time.Now()
 	cell := &Cell{Workload: w.Name, Mode: mode}
 	if mode == instrument.ModeNone {
-		m := sim.New(prog, s.SimConfig)
+		m := sim.New(s.builtProg(w), s.SimConfig)
 		m.PMU().Select(ev0, ev1)
 		res, err := m.Run()
 		if err != nil {
@@ -85,7 +109,7 @@ func (s *Session) Run(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Ev
 		}
 		cell.Result = res
 	} else {
-		plan, err := instrument.Instrument(prog, instrument.DefaultOptions(mode))
+		plan, err := s.sharedPlan(w, mode)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s %v: %w", w.Name, mode, err)
 		}
@@ -99,14 +123,21 @@ func (s *Session) Run(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Ev
 		cell.Result = res
 		cell.Plan = plan
 		cell.Tree = rt.Tree
-		if mode.UsesPaths() || mode == instrument.ModePathHW {
+		if mode.UsesPaths() || mode == instrument.ModePathHW || mode == instrument.ModeBlockHW {
 			cell.Profile = rt.ExtractProfile()
 		}
 		if mode == instrument.ModeContextHW {
 			cell.Profile = contextProfile(rt)
 		}
 	}
-	s.cells[key] = cell
+	s.recordTiming(CellTiming{
+		Workload: w.Name,
+		Mode:     mode.String(),
+		Ev0:      ev0.String(),
+		Ev1:      ev1.String(),
+		Wall:     time.Since(start),
+		Instrs:   cell.Result.Instrs,
+	})
 	return cell, nil
 }
 
@@ -149,8 +180,25 @@ func (r Table1Row) Overheads() (flowHW, ctxHW, ctxFlow float64) {
 	return float64(r.FlowHW) / b, float64(r.ContextHW) / b, float64(r.ContextFlow) / b
 }
 
-// Table1 measures profiling overhead for every workload.
+// table1Modes are the four cells Table 1 needs per workload.
+var table1Modes = []instrument.Mode{
+	instrument.ModeNone, instrument.ModePathHW,
+	instrument.ModeContextHW, instrument.ModeContextFlow,
+}
+
+// Table1 measures profiling overhead for every workload. The cells are
+// executed through the parallel engine; rows are assembled from the cache
+// in suite order, so output is independent of completion order.
 func (s *Session) Table1() ([]Table1Row, error) {
+	var specs []CellSpec
+	for _, w := range s.Workloads {
+		for _, mode := range table1Modes {
+			specs = append(specs, CellSpec{w, mode, StandardEvents[0], StandardEvents[1]})
+		}
+	}
+	if _, err := s.RunAll(context.Background(), specs); err != nil {
+		return nil, err
+	}
 	var rows []Table1Row
 	for _, w := range s.Workloads {
 		base, err := s.Run(w, instrument.ModeNone, StandardEvents[0], StandardEvents[1])
@@ -248,8 +296,20 @@ type Table2Row struct {
 }
 
 // Table2 measures perturbation: four counter selections per mode, each
-// covering two metrics.
+// covering two metrics. All 9 cells per workload (one base + four pairs x
+// two modes) go through the parallel engine up front.
 func (s *Session) Table2() ([]Table2Row, error) {
+	var specs []CellSpec
+	for _, w := range s.Workloads {
+		specs = append(specs, CellSpec{w, instrument.ModeNone, StandardEvents[0], StandardEvents[1]})
+		for _, pair := range PerturbationPairs {
+			specs = append(specs, CellSpec{w, instrument.ModePathHW, pair[0], pair[1]})
+			specs = append(specs, CellSpec{w, instrument.ModeContextHW, pair[0], pair[1]})
+		}
+	}
+	if _, err := s.RunAll(context.Background(), specs); err != nil {
+		return nil, err
+	}
 	var rows []Table2Row
 	for _, w := range s.Workloads {
 		base, err := s.Run(w, instrument.ModeNone, StandardEvents[0], StandardEvents[1])
@@ -359,6 +419,9 @@ type Table3Row struct {
 
 // Table3 builds the combined flow+context CCT for every workload.
 func (s *Session) Table3() ([]Table3Row, error) {
+	if _, err := s.runSuite(instrument.ModeContextFlow, StandardEvents[0], StandardEvents[1]); err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
 	for _, w := range s.Workloads {
 		cell, err := s.Run(w, instrument.ModeContextFlow, StandardEvents[0], StandardEvents[1])
@@ -403,6 +466,9 @@ type Table4Result struct {
 
 // Table4 classifies each workload's paths by D-cache misses.
 func (s *Session) Table4() ([]Table4Result, error) {
+	if _, err := s.runSuite(instrument.ModePathHW, StandardEvents[0], StandardEvents[1]); err != nil {
+		return nil, err
+	}
 	var out []Table4Result
 	for _, w := range s.Workloads {
 		cell, err := s.Run(w, instrument.ModePathHW, StandardEvents[0], StandardEvents[1])
@@ -449,6 +515,9 @@ func RenderTable4(results []Table4Result, w io.Writer) {
 
 // Table5 classifies procedures by D-cache misses.
 func (s *Session) Table5() ([]analysis.ProcReport, error) {
+	if _, err := s.runSuite(instrument.ModePathHW, StandardEvents[0], StandardEvents[1]); err != nil {
+		return nil, err
+	}
 	var out []analysis.ProcReport
 	for _, w := range s.Workloads {
 		cell, err := s.Run(w, instrument.ModePathHW, StandardEvents[0], StandardEvents[1])
@@ -498,6 +567,9 @@ type MultiplicityRow struct {
 
 // Multiplicity computes block-path multiplicity from the flow+HW profiles.
 func (s *Session) Multiplicity() ([]MultiplicityRow, error) {
+	if _, err := s.runSuite(instrument.ModePathHW, StandardEvents[0], StandardEvents[1]); err != nil {
+		return nil, err
+	}
 	var rows []MultiplicityRow
 	for _, w := range s.Workloads {
 		cell, err := s.Run(w, instrument.ModePathHW, StandardEvents[0], StandardEvents[1])
@@ -552,6 +624,18 @@ type Table1ExtRow struct {
 
 // Table1Ext measures the extended overhead spectrum.
 func (s *Session) Table1Ext() ([]Table1ExtRow, error) {
+	var specs []CellSpec
+	for _, w := range s.Workloads {
+		for _, mode := range []instrument.Mode{
+			instrument.ModeNone, instrument.ModeEdgeCount,
+			instrument.ModePathFreq, instrument.ModeBlockHW,
+		} {
+			specs = append(specs, CellSpec{w, mode, StandardEvents[0], StandardEvents[1]})
+		}
+	}
+	if _, err := s.RunAll(context.Background(), specs); err != nil {
+		return nil, err
+	}
 	var rows []Table1ExtRow
 	for _, w := range s.Workloads {
 		base, err := s.Run(w, instrument.ModeNone, StandardEvents[0], StandardEvents[1])

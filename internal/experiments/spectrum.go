@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"io"
+	"sync"
 
 	"pathprof/internal/baseline"
 	"pathprof/internal/hpm"
@@ -40,18 +41,20 @@ type SpectrumRow struct {
 
 // Spectrum measures all four representations on each workload: the CCT
 // from the cached context+flow cell, the rest from one traced
-// uninstrumented run.
+// uninstrumented run. Both halves run through the parallel engine: the CCT
+// cells via RunAll, the traced runs on their own bounded worker pool; rows
+// are assembled by workload index, so output order is deterministic.
 func (s *Session) Spectrum(sampleInterval uint64) ([]SpectrumRow, error) {
-	var rows []SpectrumRow
-	for _, w := range s.Workloads {
-		cctCell, err := s.Run(w, instrument.ModeContextFlow, StandardEvents[0], StandardEvents[1])
-		if err != nil {
-			return nil, err
-		}
-		st := cctCell.Tree.ComputeStats()
+	cctCells, err := s.runSuite(instrument.ModeContextFlow, StandardEvents[0], StandardEvents[1])
+	if err != nil {
+		return nil, err
+	}
 
-		prog := w.Build(s.Scale)
-		m := sim.New(prog, s.SimConfig)
+	rows := make([]SpectrumRow, len(s.Workloads))
+	traced := func(i int) error {
+		w := s.Workloads[i]
+		st := cctCells[i].Tree.ComputeStats()
+		m := sim.New(s.builtProg(w), s.SimConfig)
 		dct := baseline.NewDCT()
 		g := baseline.NewGprof(m.Cycles)
 		smp := baseline.NewSampler(m, sampleInterval)
@@ -60,12 +63,12 @@ func (s *Session) Spectrum(sampleInterval uint64) ([]SpectrumRow, error) {
 		m.OnUnwind(g.UnwindTo)
 		res, err := m.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g.Flush()
 
 		arcs := len(g.Arcs())
-		rows = append(rows, SpectrumRow{
+		rows[i] = SpectrumRow{
 			Name:  w.Name,
 			Calls: res.Totals[callsEvent],
 
@@ -80,7 +83,49 @@ func (s *Session) Spectrum(sampleInterval uint64) ([]SpectrumRow, error) {
 
 			SamplerSamples: len(smp.Samples),
 			SamplerBytes:   smp.SizeBytes(),
-		})
+		}
+		return nil
+	}
+
+	n := s.workers()
+	if n > len(s.Workloads) {
+		n = len(s.Workloads)
+	}
+	if n <= 1 {
+		for i := range s.Workloads {
+			if err := traced(i); err != nil {
+				return nil, err
+			}
+		}
+		return rows, nil
+	}
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	jobs := make(chan int)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if first != nil {
+					continue
+				}
+				if err := traced(i); err != nil {
+					errOnce.Do(func() { first = err })
+				}
+			}
+		}()
+	}
+	for i := range s.Workloads {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if first != nil {
+		return nil, first
 	}
 	return rows, nil
 }

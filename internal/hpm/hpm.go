@@ -75,6 +75,11 @@ type Unit struct {
 	pic [2]uint32
 	sel [2]Event
 
+	// picMask[ev] has bit i set when an occurrence of ev counts toward
+	// pic[i] under the current selection; recomputed by Select so the
+	// per-event hot path is one table lookup instead of two matches calls.
+	picMask [NumEvents]uint8
+
 	totals [NumEvents]uint64
 
 	// Buffered write state (see package comment).
@@ -96,6 +101,16 @@ func New() *Unit {
 // Select programs the event selections (the PCR register).
 func (u *Unit) Select(pic0, pic1 Event) {
 	u.sel[0], u.sel[1] = pic0, pic1
+	for ev := Event(0); ev < NumEvents; ev++ {
+		var m uint8
+		if matches(pic0, ev) {
+			m |= 1
+		}
+		if matches(pic1, ev) {
+			m |= 2
+		}
+		u.picMask[ev] = m
+	}
 }
 
 // Selected returns the current event selections.
@@ -119,9 +134,12 @@ func (u *Unit) Count(ev Event, n uint64) {
 	if ev == EvDCacheReadMiss || ev == EvDCacheWriteMiss {
 		u.totals[EvDCacheMiss] += n
 	}
-	for i := 0; i < 2; i++ {
-		if matches(u.sel[i], ev) {
-			u.pic[i] += uint32(n) // wraps by construction
+	if m := u.picMask[ev]; m != 0 {
+		if m&1 != 0 {
+			u.pic[0] += uint32(n) // wraps by construction
+		}
+		if m&2 != 0 {
+			u.pic[1] += uint32(n)
 		}
 	}
 }

@@ -228,7 +228,11 @@ type edgeRef struct {
 	To   ir.BlockID
 }
 
-// Plan is the complete instrumentation result.
+// Plan is the complete instrumentation result. A Plan is immutable once
+// Instrument returns: Wire allocates per-runtime state from a clone of the
+// internal allocator, so one Plan can back any number of machines, run
+// concurrently (the parallel experiment engine shares one Plan across all
+// cells with the same workload and mode).
 type Plan struct {
 	Mode Mode
 	Opts Options

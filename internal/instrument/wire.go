@@ -35,9 +35,15 @@ const hashBuckets = 64
 
 // Wire registers probe handlers on m and returns the runtime. It must be
 // called once per machine before Run.
+//
+// Wire does not mutate the plan: per-runtime simulated allocations (the
+// hash bucket arrays) come from a clone of the plan's allocator, so every
+// wiring of the same plan produces identical simulated addresses and a
+// Plan may be shared — including concurrently — across machines.
 func (plan *Plan) Wire(m *sim.Machine) *Runtime {
 	rt := &Runtime{Plan: plan, Machine: m}
 	n := len(plan.Prog.Procs)
+	alloc := plan.alloc.Clone()
 	rt.hashFreq = make([]map[int64]uint64, n)
 	rt.hashAcc0 = make([]map[int64]uint64, n)
 	rt.hashAcc1 = make([]map[int64]uint64, n)
@@ -47,7 +53,7 @@ func (plan *Plan) Wire(m *sim.Machine) *Runtime {
 			rt.hashFreq[pp.ProcID] = make(map[int64]uint64)
 			rt.hashAcc0[pp.ProcID] = make(map[int64]uint64)
 			rt.hashAcc1[pp.ProcID] = make(map[int64]uint64)
-			rt.hashBase[pp.ProcID] = plan.alloc.Alloc(hashBuckets*8*3, 64)
+			rt.hashBase[pp.ProcID] = alloc.Alloc(hashBuckets*8*3, 64)
 		}
 	}
 

@@ -131,3 +131,12 @@ func (a *Allocator) Alloc(n, align uint64) uint64 {
 // Used reports how many bytes have been allocated (including alignment
 // padding).
 func (a *Allocator) Used(base uint64) uint64 { return a.next - base }
+
+// Clone returns an independent allocator that continues from the same
+// position. Callers that need identical address sequences from a shared
+// starting point (e.g. wiring one instrumentation plan onto several
+// machines) clone the allocator instead of mutating the shared one.
+func (a *Allocator) Clone() *Allocator {
+	c := *a
+	return &c
+}

@@ -148,6 +148,12 @@ type Machine struct {
 	cur   activation
 	stack []activation
 
+	// Hot-loop block cache: the current block and its base instruction
+	// address, refreshed on every control transfer so the per-instruction
+	// path avoids re-indexing proc.Blocks and blockAddr each step.
+	curBlock *ir.Block
+	curBase  uint64
+
 	// Instruction addresses: base address per (proc, block); instruction i
 	// of a block sits at blockAddr + 4*i.
 	blockAddr [][]uint64
@@ -217,7 +223,15 @@ func New(prog *ir.Program, cfg Config) *Machine {
 
 	m.cur = activation{proc: prog.Procs[prog.Main]}
 	m.cur.regs[ir.RegSP] = int64(mem.StackTop)
+	m.reloadBlock()
 	return m
+}
+
+// reloadBlock refreshes the cached current-block state after any change to
+// m.cur's procedure or block.
+func (m *Machine) reloadBlock() {
+	m.curBlock = m.cur.proc.Blocks[m.cur.blk]
+	m.curBase = m.blockAddr[m.cur.proc.ID][m.cur.blk]
 }
 
 // PMU returns the machine's performance monitor (to program event
@@ -386,10 +400,23 @@ func (m *Machine) Run() (Result, error) {
 	return res, nil
 }
 
+// Step executes exactly one instruction. It is the single-step form of Run
+// for debuggers and micro-benchmarks; unlike Run it does not enforce the
+// step budget. Stepping a halted machine is a no-op-free error in the sense
+// that behaviour is undefined; check Halted first.
+func (m *Machine) Step() error { return m.step() }
+
+// Halted reports whether the machine has executed Halt (or returned from
+// main).
+func (m *Machine) Halted() bool { return m.halted }
+
+// Steps returns the number of instructions executed so far.
+func (m *Machine) Steps() uint64 { return m.steps }
+
 func (m *Machine) step() error {
-	blk := m.cur.proc.Blocks[m.cur.blk]
-	in := blk.Instrs[m.cur.idx]
-	iaddr := m.blockAddr[m.cur.proc.ID][m.cur.blk] + uint64(m.cur.idx)*4
+	blk := m.curBlock
+	in := &blk.Instrs[m.cur.idx]
+	iaddr := m.curBase + uint64(m.cur.idx)*4
 
 	// Fetch.
 	if !m.l1i.Read(iaddr) {
@@ -575,6 +602,7 @@ func (m *Machine) step() error {
 		}
 		next.regs[ir.RegSP] = caller.regs[ir.RegSP]
 		m.cur = next
+		m.reloadBlock()
 		m.fpReady = [ir.NumRegs]uint64{}
 		advance = false
 
@@ -594,6 +622,7 @@ func (m *Machine) step() error {
 		m.stack = m.stack[:len(m.stack)-1]
 		m.cur.regs[ir.RegRV] = rv
 		m.cur.regs[ir.RegSP] = sp
+		m.reloadBlock()
 		m.fpReady = [ir.NumRegs]uint64{}
 		advance = false
 
@@ -636,6 +665,7 @@ func (m *Machine) step() error {
 		m.cur.blk = buf.blk
 		m.cur.idx = buf.idx
 		m.cur.regs[buf.rt] = val
+		m.reloadBlock()
 		for _, fn := range m.onUnwind {
 			fn(len(m.stack) + 1)
 		}
@@ -667,6 +697,7 @@ func (m *Machine) step() error {
 		}
 		m.cur.blk = blk.Succs[slot]
 		m.cur.idx = 0
+		m.reloadBlock()
 		advance = false
 
 	case ir.Jmp:
@@ -675,6 +706,7 @@ func (m *Machine) step() error {
 		}
 		m.cur.blk = blk.Succs[0]
 		m.cur.idx = 0
+		m.reloadBlock()
 		advance = false
 
 	case ir.Halt:
