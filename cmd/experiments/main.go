@@ -4,11 +4,14 @@
 // Usage:
 //
 //	experiments [-table N | -all] [-scale ref|test] [-workloads a,b,c]
-//	            [-parallel N] [-v]
+//	            [-parallel N] [-shards N] [-v]
 //
 // -parallel sets the experiment engine's worker count (0 means
 // GOMAXPROCS, 1 forces serial execution); rendered tables are
-// byte-identical at any setting. -v prints per-cell timings to stderr.
+// byte-identical at any setting. -shards N collects Table 3's calling
+// context trees from N independent instrumented runs merged together —
+// output is byte-identical at any shard count. -v prints per-cell
+// timings to stderr.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	scale := flag.String("scale", "ref", "workload scale: ref or test")
 	only := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
 	parallel := flag.Int("parallel", 0, "worker pool size for cell execution (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 1, "independent runs to merge per Table 3 CCT (sharded collection)")
 	verbose := flag.Bool("v", false, "print per-cell timing/throughput to stderr")
 	flag.Parse()
 
@@ -80,7 +84,13 @@ func main() {
 			exitOn(err)
 			experiments.RenderTable2(rows, os.Stdout)
 		case 3:
-			rows, err := s.Table3()
+			var rows []experiments.Table3Row
+			var err error
+			if *shards > 1 {
+				rows, err = s.Table3Sharded(*shards)
+			} else {
+				rows, err = s.Table3()
+			}
 			exitOn(err)
 			experiments.RenderTable3(rows, os.Stdout)
 		case 4:

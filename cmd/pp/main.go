@@ -17,12 +17,13 @@
 package main
 
 import (
+	"cmp"
 	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"slices"
 	"strings"
 
 	"pathprof/internal/analysis"
@@ -178,7 +179,15 @@ func reportWorkload(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Even
 					rows = append(rows, row{pp.Name, e.Sum, e.Freq})
 				}
 			}
-			sort.Slice(rows, func(i, j int) bool { return rows[i].freq > rows[j].freq })
+			slices.SortFunc(rows, func(a, b row) int {
+				if c := cmp.Compare(b.freq, a.freq); c != 0 {
+					return c
+				}
+				if c := cmp.Compare(a.proc, b.proc); c != 0 {
+					return c
+				}
+				return cmp.Compare(a.sum, b.sum)
+			})
 			if len(rows) > top {
 				rows = rows[:top]
 			}

@@ -10,11 +10,12 @@
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"slices"
 
 	"pathprof/internal/analysis"
 	"pathprof/internal/cct"
@@ -167,7 +168,14 @@ func analyzeCCT(path, mergePath string) {
 		}
 		rows = append(rows, r)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].m > rows[j].m })
+	slices.SortFunc(rows, func(a, b row) int {
+		// rows come from map iteration; break metric ties by node ID so the
+		// listing is fully determined.
+		if c := cmp.Compare(b.m, a.m); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.id, b.id)
+	})
 	t := &report.Table{
 		Title: "Records by metric slot 1",
 		Cols:  []string{"Node", "Proc", "Calls", "Metric1", "Paths"},
@@ -177,7 +185,7 @@ func analyzeCCT(path, mergePath string) {
 			break
 		}
 		n := ex.Nodes[r.id]
-		t.AddRow(r.id, n.Proc, r.calls, r.m, len(n.PathCounts))
+		t.AddRow(r.id, n.Proc, r.calls, r.m, n.PathCounts.Len())
 	}
 	t.Render(os.Stdout)
 }

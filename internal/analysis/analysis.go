@@ -11,7 +11,8 @@
 package analysis
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"pathprof/internal/bl"
 	"pathprof/internal/profile"
@@ -123,14 +124,14 @@ func ClassifyPaths(prof *profile.Profile, threshold float64) PathReport {
 			r.Cold.Misses += p.Misses
 		}
 	}
-	sort.Slice(r.HotPaths, func(i, j int) bool {
-		if r.HotPaths[i].Misses != r.HotPaths[j].Misses {
-			return r.HotPaths[i].Misses > r.HotPaths[j].Misses
+	slices.SortFunc(r.HotPaths, func(a, b PathStat) int {
+		if c := cmp.Compare(b.Misses, a.Misses); c != 0 {
+			return c
 		}
-		if r.HotPaths[i].ProcID != r.HotPaths[j].ProcID {
-			return r.HotPaths[i].ProcID < r.HotPaths[j].ProcID
+		if c := cmp.Compare(a.ProcID, b.ProcID); c != 0 {
+			return c
 		}
-		return r.HotPaths[i].Sum < r.HotPaths[j].Sum
+		return cmp.Compare(a.Sum, b.Sum)
 	})
 	return r
 }
@@ -218,11 +219,11 @@ func ClassifyProcs(prof *profile.Profile, threshold float64) ProcReport {
 			c.PathsPerProc /= float64(c.Num)
 		}
 	}
-	sort.Slice(r.HotProcs, func(i, j int) bool {
-		if r.HotProcs[i].Misses != r.HotProcs[j].Misses {
-			return r.HotProcs[i].Misses > r.HotProcs[j].Misses
+	slices.SortFunc(r.HotProcs, func(a, b ProcStat) int {
+		if c := cmp.Compare(b.Misses, a.Misses); c != 0 {
+			return c
 		}
-		return r.HotProcs[i].ProcID < r.HotProcs[j].ProcID
+		return cmp.Compare(a.ProcID, b.ProcID)
 	})
 	return r
 }

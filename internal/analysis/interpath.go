@@ -65,10 +65,11 @@ func StitchOnePathSites(tree *cct.Tree, cfg StitchConfig) []Stitched {
 				if cnm == nil {
 					continue
 				}
-				for sum, count := range callee.PathCounts() {
+				stop := false
+				callee.RangePathCounts(func(sum, count int64) bool {
 					cp, err := cnm.Regenerate(sum)
 					if err != nil {
-						continue
+						return true
 					}
 					out = append(out, Stitched{
 						CallerProc:   n.Proc,
@@ -80,8 +81,13 @@ func StitchOnePathSites(tree *cct.Tree, cfg StitchConfig) []Stitched {
 						Depth:        n.Depth(),
 					})
 					if cfg.Limit > 0 && len(out) >= cfg.Limit {
-						return
+						stop = true
+						return false
 					}
+					return true
+				})
+				if stop {
+					return
 				}
 			}
 		}

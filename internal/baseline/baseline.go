@@ -14,8 +14,9 @@
 package baseline
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"pathprof/internal/ir"
 	"pathprof/internal/sim"
@@ -223,7 +224,14 @@ func (g *Gprof) Report(procName func(int) string) string {
 	for p, s := range g.self {
 		rows = append(rows, row{p, s})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].self > rows[j].self })
+	slices.SortFunc(rows, func(a, b row) int {
+		// rows come from map iteration; break self-cycle ties by procedure
+		// so the listing is fully determined.
+		if c := cmp.Compare(b.self, a.self); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.proc, b.proc)
+	})
 	out := "  self-cycles      calls  procedure\n"
 	for _, r := range rows {
 		out += fmt.Sprintf("%12d %10d  %s\n", r.self, g.calls[r.proc], procName(r.proc))

@@ -1,8 +1,9 @@
 package bl
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Increments is a re-placement of the numbering's edge values onto the
@@ -93,7 +94,7 @@ func (nm *Numbering) Optimize(freqHint func(SuccRef) int64) (*Increments, error)
 	// Maximum spanning tree (Kruskal) over the undirected view, with
 	// EXIT→ENTRY forced in first so vertex potentials preserve path sums
 	// exactly (phi(EXIT) == phi(ENTRY) == 0).
-	sort.SliceStable(edges, func(i, j int) bool { return edges[i].weight > edges[j].weight })
+	slices.SortStableFunc(edges, func(a, b uedge) int { return cmp.Compare(b.weight, a.weight) })
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i

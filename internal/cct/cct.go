@@ -18,6 +18,8 @@ package cct
 import (
 	"fmt"
 	"math"
+
+	"pathprof/internal/flat"
 )
 
 // NoPrefix marks an unknown path prefix in AtCall: with chord-optimized
@@ -83,22 +85,55 @@ const (
 	TagList
 )
 
-// child is one callee recorded in a slot.
+// child is one callee recorded in a slot. The callee's procedure ID is
+// duplicated here so slot lookups and move-to-front list scans compare
+// against the slot's own memory instead of dereferencing every candidate
+// record — the Go-level analogue of the paper's "a few instructions and a
+// slot check" budget.
 type child struct {
 	node     *Node
+	proc     int32
 	backedge bool // true when node is an ancestor (recursive reuse)
 }
 
-// slot is one callee slot.
+// slot is one callee slot. A degraded (multi-callee) slot keeps its
+// move-to-front order in keys, a pointer-free array packing each child's
+// procedure ID, backedge flag and an index into the stable nodes array.
+// Scanning and relinking therefore touch only integer words — no write
+// barriers, 8-byte stride — while nodes stays in installation order.
 type slot struct {
-	tag  SlotTag
-	one  child
-	list []child // move-to-front; hottest callee first
+	tag   SlotTag
+	one   child
+	keys  []uint64 // move-to-front; hottest callee first (see packChildKey)
+	nodes []*Node  // stable; indexed by the key's index field
 
 	// pathState/pathPrefix track which intraprocedural path prefixes
 	// reached this slot (for the "One Path" column of Table 3).
 	pathState  uint8 // 0 = none yet, 1 = exactly one, 2 = multiple
 	pathPrefix int64
+}
+
+// Key layout: proc in the low 32 bits, the nodes index in bits 32..62,
+// the backedge flag in bit 63.
+const backedgeBit = uint64(1) << 63
+
+func packChildKey(proc int32, idx int, backedge bool) uint64 {
+	k := uint64(uint32(proc)) | uint64(idx)<<32
+	if backedge {
+		k |= backedgeBit
+	}
+	return k
+}
+
+// childAt materializes the i-th child (in move-to-front order) of a
+// degraded slot.
+func (s *slot) childAt(i int) child {
+	k := s.keys[i]
+	return child{
+		node:     s.nodes[(k>>32)&0x7FFFFFFF],
+		proc:     int32(uint32(k)),
+		backedge: k&backedgeBit != 0,
+	}
 }
 
 // Node is one call record.
@@ -111,7 +146,7 @@ type Node struct {
 
 	// Per-path counters (combined mode). Exactly one of the two is used.
 	pathArray []int64
-	pathHash  map[int64]int64
+	pathHash  *flat.Table
 
 	// Addr and Size are the record's simulated placement.
 	Addr uint64
@@ -136,6 +171,68 @@ type Tree struct {
 
 	heapNext uint64 // simulated bump allocator over the CCT heap region
 	heapBase uint64
+
+	// Go-level arenas mirroring the simulated bump allocator: records,
+	// metric/path words and callee slots are carved from large blocks owned
+	// by the tree, so building the CCT costs one Go allocation per block
+	// instead of several per record. A record's slices are sub-sliced with
+	// full capacity (three-index slicing), so they can never grow into a
+	// neighbour's words.
+	nodeArena []Node
+	intArena  []int64
+	slotArena []slot
+}
+
+// Arena block sizes (entries, not bytes). Records average a handful of
+// slots and metrics, so these amortize a block allocation over tens to
+// hundreds of records while keeping small trees cheap.
+const (
+	nodeChunk = 128
+	intChunk  = 1024
+	slotChunk = 512
+)
+
+// allocNodeRec returns a zeroed record from the node arena.
+func (t *Tree) allocNodeRec() *Node {
+	if len(t.nodeArena) == 0 {
+		t.nodeArena = make([]Node, nodeChunk)
+	}
+	n := &t.nodeArena[0]
+	t.nodeArena = t.nodeArena[1:]
+	return n
+}
+
+// allocInts returns a zeroed int64 slice of length n from the int arena.
+// Oversized requests (large dense path tables) get a dedicated block.
+func (t *Tree) allocInts(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	if n > len(t.intArena) {
+		if n >= intChunk {
+			return make([]int64, n)
+		}
+		t.intArena = make([]int64, intChunk)
+	}
+	out := t.intArena[:n:n]
+	t.intArena = t.intArena[n:]
+	return out
+}
+
+// allocSlots returns a zeroed slot slice of length n from the slot arena.
+func (t *Tree) allocSlots(n int) []slot {
+	if n == 0 {
+		return nil
+	}
+	if n > len(t.slotArena) {
+		if n >= slotChunk {
+			return make([]slot, n)
+		}
+		t.slotArena = make([]slot, slotChunk)
+	}
+	out := t.slotArena[:n:n]
+	t.slotArena = t.slotArena[n:]
+	return out
 }
 
 // New creates an empty tree for a program with the given procedures. The
@@ -152,11 +249,16 @@ func New(procs []ProcInfo, opts Options, heapBase uint64) *Tree {
 		pendingSite: -1,
 		pendingPath: NoPrefix,
 	}
-	t.root = &Node{Proc: -1, depth: 0}
-	t.root.slots = make([]slot, 1)
+	t.root = t.allocNodeRec()
+	t.root.Proc = -1
+	t.root.slots = t.allocSlots(1)
 	t.root.Addr = t.alloc(8 * 4)
 	t.root.Size = 8 * 4
-	t.stack = append(t.stack, t.root)
+	// The recursion rule bounds depth by the procedure count, so the shadow
+	// stack never regrows once sized for it (keeps Enter alloc-free even
+	// before steady state).
+	t.stack = make([]*Node, 1, len(procs)+2)
+	t.stack[0] = t.root
 	return t
 }
 
@@ -210,18 +312,17 @@ func (t *Tree) newNode(proc int, parent *Node) *Node {
 	if nsites == 0 {
 		nsites = 1 // leaf procedures still get one slot word for uniformity
 	}
-	n := &Node{
-		Proc:    proc,
-		Parent:  parent,
-		Metrics: make([]int64, t.opts.NumMetrics),
-		slots:   make([]slot, nsites),
-		depth:   parent.depth + 1,
-	}
+	n := t.allocNodeRec()
+	n.Proc = proc
+	n.Parent = parent
+	n.Metrics = t.allocInts(t.opts.NumMetrics)
+	n.slots = t.allocSlots(nsites)
+	n.depth = parent.depth + 1
 	if t.opts.PathCounts {
 		if info.NumPaths > 0 && info.NumPaths <= t.opts.HashPathThreshold {
-			n.pathArray = make([]int64, info.NumPaths)
+			n.pathArray = t.allocInts(int(info.NumPaths))
 		} else {
-			n.pathHash = make(map[int64]int64)
+			n.pathHash = flat.New(hashTableWords)
 		}
 	}
 	words := t.recordWords(proc)
@@ -256,20 +357,21 @@ func (t *Tree) AtCall(site int, pathPrefix int64, c Costs) {
 // ancestors for a record of the same procedure (recursion → backedge);
 // otherwise allocate a fresh record.
 func (t *Tree) Enter(proc int, c Costs) *Node {
-	cur := t.Current()
-	site := t.pendingSite
-	if site < 0 {
-		site = 0
-	}
-	si := t.slotIndex(site)
-	if si >= len(cur.slots) {
-		// Tolerate a site index beyond the caller's slot count (can only
-		// happen for the root, whose single slot hosts program entry).
-		si = len(cur.slots) - 1
+	// One interface nil-check up front; the hot path branches on the bool.
+	charged := c != nil
+	cur := t.stack[len(t.stack)-1]
+	si := 0
+	if t.opts.DistinguishCallSites && t.pendingSite > 0 {
+		si = t.pendingSite
+		if si >= len(cur.slots) {
+			// Tolerate a site index beyond the caller's slot count (can only
+			// happen for the root, whose single slot hosts program entry).
+			si = len(cur.slots) - 1
+		}
 	}
 	s := &cur.slots[si]
 
-	if c != nil {
+	if charged {
 		// Load gCSP target and inspect the tag: 2 instructions + one read
 		// of the slot word.
 		c.ChargeInstrs(2)
@@ -287,16 +389,17 @@ func (t *Tree) Enter(proc int, c Costs) *Node {
 				s.pathState = 2
 			}
 		}
+		t.pendingPath = NoPrefix
 	}
 	t.pendingSite = -1
-	t.pendingPath = NoPrefix
 
 	var target *Node
+	p32 := int32(proc)
 	switch s.tag {
 	case TagRecord:
-		if s.one.node.Proc == proc {
+		if s.one.proc == p32 {
 			// Fast path: the slot already points at the callee's record.
-			if c != nil {
+			if charged {
 				c.ChargeInstrs(2)
 				c.TouchRead(s.one.node.Addr) // check the ID field
 			}
@@ -304,9 +407,10 @@ func (t *Tree) Enter(proc int, c Costs) *Node {
 		} else {
 			// Same site, different callee (an indirect site first seen as
 			// one target): degrade the slot to a list.
-			s.list = []child{s.one}
+			s.keys = []uint64{packChildKey(s.one.proc, 0, s.one.backedge)}
+			s.nodes = []*Node{s.one.node}
 			s.tag = TagList
-			if c != nil {
+			if charged {
 				c.ChargeInstrs(6)
 				c.TouchWrite(cur.Addr + uint64(2+si)*8)
 				t.listElems++
@@ -314,20 +418,58 @@ func (t *Tree) Enter(proc int, c Costs) *Node {
 			}
 		}
 	case TagList:
-		// Search the move-to-front list.
-		for i := range s.list {
-			if c != nil {
-				c.ChargeInstrs(3)
-				c.TouchRead(s.list[i].node.Addr)
+		// Search the move-to-front list. The scan is duplicated for the
+		// uncharged (c == nil) case so the inner loop carries no interface
+		// checks; both arms move keys identically — scan position feeds
+		// the simulated charges, so MTF order is part of the model. The
+		// relink is a hand-rolled shift over the pointer-free key words:
+		// no write barriers, and lists are a handful of entries so a bulk
+		// copy's dispatch would dominate.
+		keys := s.keys
+		up := uint32(p32)
+		if !charged {
+			// Single displacement pass: each visited key is loaded and
+			// stored once (shifted right as the scan walks), and the hit is
+			// dropped at the front — versus scanning and then re-walking
+			// the prefix to shift it. On a miss the displacement is undone;
+			// misses only happen while the tree is still growing.
+			if len(keys) > 0 && uint32(keys[0]) == up {
+				target = s.nodes[(keys[0]>>32)&0x7FFFFFFF]
+				break
 			}
-			if s.list[i].node.Proc == proc {
-				hit := s.list[i]
-				copy(s.list[1:i+1], s.list[:i])
-				s.list[0] = hit
-				target = hit.node
-				if c != nil && i > 0 {
+			if len(keys) > 1 {
+				prev := keys[0]
+				for i := 1; i < len(keys); i++ {
+					k := keys[i]
+					keys[i] = prev
+					if uint32(k) == up {
+						keys[0] = k
+						target = s.nodes[(k>>32)&0x7FFFFFFF]
+						break
+					}
+					prev = k
+				}
+				if target == nil {
+					// Miss: slide everything back and re-append the last key.
+					copy(keys[:len(keys)-1], keys[1:])
+					keys[len(keys)-1] = prev
+				}
+			}
+			break
+		}
+		for i := range keys {
+			c.ChargeInstrs(3)
+			c.TouchRead(s.nodes[(keys[i]>>32)&0x7FFFFFFF].Addr)
+			if uint32(keys[i]) == up {
+				k := keys[i]
+				if i > 0 {
+					for j := i; j > 0; j-- {
+						keys[j] = keys[j-1]
+					}
+					keys[0] = k
 					c.ChargeInstrs(4) // relink to front
 				}
+				target = s.nodes[(k>>32)&0x7FFFFFFF]
 				break
 			}
 		}
@@ -337,7 +479,7 @@ func (t *Tree) Enter(proc int, c Costs) *Node {
 		target = t.findOrCreate(proc, cur, s, si, c)
 	}
 	t.stack = append(t.stack, target)
-	if c != nil {
+	if charged {
 		// Save the old gCSP to the (approximate) stack location and set
 		// the local current-record pointer: 3 instructions, one store.
 		c.ChargeInstrs(3)
@@ -357,7 +499,7 @@ func (t *Tree) findOrCreate(proc int, cur *Node, s *slot, si int, c Costs) *Node
 			c.TouchRead(a.Addr)
 		}
 		if a.Proc == proc {
-			t.installChild(s, si, cur, child{node: a, backedge: true}, c)
+			t.installChild(s, si, cur, child{node: a, proc: int32(proc), backedge: true}, c)
 			return a
 		}
 	}
@@ -376,7 +518,7 @@ func (t *Tree) findOrCreate(proc int, cur *Node, s *slot, si int, c Costs) *Node
 			c.TouchWrite(n.Addr + w*8)
 		}
 	}
-	t.installChild(s, si, cur, child{node: n}, c)
+	t.installChild(s, si, cur, child{node: n, proc: int32(proc)}, c)
 	return n
 }
 
@@ -387,13 +529,20 @@ func (t *Tree) installChild(s *slot, si int, cur *Node, ch child, c Costs) {
 		s.one = ch
 	case TagRecord:
 		s.tag = TagList
-		s.list = []child{ch, s.one}
+		s.nodes = []*Node{ch.node, s.one.node}
+		s.keys = []uint64{
+			packChildKey(ch.proc, 0, ch.backedge),
+			packChildKey(s.one.proc, 1, s.one.backedge),
+		}
 		if c != nil {
 			t.listElems++
 			t.alloc(16)
 		}
 	case TagList:
-		s.list = append([]child{ch}, s.list...)
+		s.nodes = append(s.nodes, ch.node)
+		s.keys = append(s.keys, 0)
+		copy(s.keys[1:], s.keys[:len(s.keys)-1])
+		s.keys[0] = packChildKey(ch.proc, len(s.nodes)-1, ch.backedge)
 		if c != nil {
 			t.listElems++
 			t.alloc(16)
@@ -471,7 +620,7 @@ func (t *Tree) CountPath(sum int64, c Costs) {
 			}
 		}
 	case n.pathHash != nil:
-		n.pathHash[sum]++
+		n.pathHash.Add(sum, 1)
 		if c != nil {
 			// Hash probe: a few instructions plus a bucket touch.
 			c.ChargeInstrs(6)
@@ -491,25 +640,56 @@ func (n *Node) PathCount(sum int64) int64 {
 		}
 		return 0
 	}
-	return n.pathHash[sum]
+	if n.pathHash == nil {
+		return 0
+	}
+	v, _ := n.pathHash.Get(sum)
+	return v
 }
 
-// PathCounts returns all non-zero (sum, count) pairs at node n.
-func (n *Node) PathCounts() map[int64]int64 {
-	out := make(map[int64]int64)
+// RangePathCounts calls fn for every non-zero (sum, count) pair at node n,
+// stopping early if fn returns false. Unlike PathCounts it allocates
+// nothing; iteration order is unspecified but deterministic for a given
+// build history.
+func (n *Node) RangePathCounts(fn func(sum, count int64) bool) {
 	if n.pathArray != nil {
 		for s, c := range n.pathArray {
-			if c != 0 {
-				out[int64(s)] = c
+			if c != 0 && !fn(int64(s), c) {
+				return
 			}
 		}
-		return out
+		return
 	}
-	for s, c := range n.pathHash {
-		if c != 0 {
-			out[s] = c
+	if n.pathHash == nil {
+		return
+	}
+	n.pathHash.Range(func(s, c int64) bool {
+		if c == 0 {
+			return true
 		}
-	}
+		return fn(s, c)
+	})
+}
+
+// NumPathCounts returns the number of non-zero path counters at node n
+// (useful for pre-sizing consumers of RangePathCounts).
+func (n *Node) NumPathCounts() int {
+	total := 0
+	n.RangePathCounts(func(_, _ int64) bool {
+		total++
+		return true
+	})
+	return total
+}
+
+// PathCounts returns all non-zero (sum, count) pairs at node n in a freshly
+// allocated map. Prefer RangePathCounts on hot paths; this accessor copies.
+func (n *Node) PathCounts() map[int64]int64 {
+	out := make(map[int64]int64, n.NumPathCounts())
+	n.RangePathCounts(func(s, c int64) bool {
+		out[s] = c
+		return true
+	})
 	return out
 }
 
@@ -546,8 +726,8 @@ func (n *Node) Slots() []SlotView {
 		case TagRecord:
 			add(s.one)
 		case TagList:
-			for _, ch := range s.list {
-				add(ch)
+			for j := range s.keys {
+				add(s.childAt(j))
 			}
 		}
 		out[i] = v
@@ -566,12 +746,13 @@ func (n *Node) Children() (tree []*Node, backedges []*Node) {
 		}
 	}
 	for i := range n.slots {
-		switch n.slots[i].tag {
+		s := &n.slots[i]
+		switch s.tag {
 		case TagRecord:
-			add(n.slots[i].one)
+			add(s.one)
 		case TagList:
-			for _, ch := range n.slots[i].list {
-				add(ch)
+			for j := range s.keys {
+				add(s.childAt(j))
 			}
 		}
 	}
@@ -666,7 +847,7 @@ type Stats struct {
 func (t *Tree) ComputeStats() Stats {
 	var st Stats
 	st.ListElems = t.listElems
-	repl := make(map[int]int)
+	repl := make([]int, len(t.procs))
 	var sizeSum uint64
 	var degSum, interior int
 	var leafDepthSum, leaves int

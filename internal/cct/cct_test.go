@@ -385,11 +385,11 @@ func TestMoveToFront(t *testing.T) {
 		}
 	})
 	s := &p0.slots[0]
-	if s.tag != TagList || len(s.list) != 3 {
+	if s.tag != TagList || len(s.keys) != 3 {
 		t.Fatalf("slot = %+v, want a 3-element list", s)
 	}
-	if s.list[0].node.Proc != 1 {
-		t.Fatalf("front of list is proc %d, want 1 (most recently called)", s.list[0].node.Proc)
+	if front := s.childAt(0); front.node.Proc != 1 {
+		t.Fatalf("front of list is proc %d, want 1 (most recently called)", front.node.Proc)
 	}
 }
 
@@ -477,9 +477,10 @@ func TestPathCountsPerContext(t *testing.T) {
 	}
 	total := map[int64]int64{}
 	for _, r := range recs {
-		for s, c := range r.PathCounts() {
+		r.RangePathCounts(func(s, c int64) bool {
 			total[s] += c
-		}
+			return true
+		})
 	}
 	if total[5] != 1 || total[6] != 2 {
 		t.Fatalf("path counts = %v", total)

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
+
+	"pathprof/internal/flat"
 )
 
 // This file implements what the paper's "Program exit" instrumentation
@@ -42,14 +44,14 @@ func (t *Tree) Write(w io.Writer) error {
 				fmt.Fprintf(bw, " %d", m)
 			}
 			fmt.Fprintln(bw)
-			counts := ch.PathCounts()
-			sums := make([]int64, 0, len(counts))
-			for s := range counts {
+			sums := make([]int64, 0, ch.NumPathCounts())
+			ch.RangePathCounts(func(s, _ int64) bool {
 				sums = append(sums, s)
-			}
-			sort.Slice(sums, func(i, j int) bool { return sums[i] < sums[j] })
+				return true
+			})
+			slices.Sort(sums)
 			for _, s := range sums {
-				fmt.Fprintf(bw, "path %d %d %d\n", ids[ch], s, counts[s])
+				fmt.Fprintf(bw, "path %d %d %d\n", ids[ch], s, ch.PathCount(s))
 			}
 			rec(ch)
 		}
@@ -64,13 +66,15 @@ func (t *Tree) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ExportedNode is one record of a decoded CCT file.
+// ExportedNode is one record of a decoded CCT file. PathCounts is a flat
+// open-addressing table (see package flat) so that merging many exports
+// does not churn per-node Go maps.
 type ExportedNode struct {
 	ID         int
 	ParentID   int
 	Proc       int
 	Metrics    []int64
-	PathCounts map[int64]int64
+	PathCounts *flat.Table
 	Children   []*ExportedNode
 	Backedges  []int // target node IDs
 }
@@ -107,7 +111,7 @@ func Read(r io.Reader) (*Export, error) {
 			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("cct: line %d: bad header fields", line)
 			}
-			root := &ExportedNode{ID: 0, Proc: -1, PathCounts: map[int64]int64{}}
+			root := &ExportedNode{ID: 0, Proc: -1, PathCounts: flat.New(0)}
 			ex = &Export{
 				NumProcs: np, DistinguishSites: ds, NumMetrics: nm,
 				Root:  root,
@@ -123,7 +127,7 @@ func Read(r io.Reader) (*Export, error) {
 			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("cct: line %d: bad node fields", line)
 			}
-			n := &ExportedNode{ID: id, ParentID: pid, Proc: proc, PathCounts: map[int64]int64{}}
+			n := &ExportedNode{ID: id, ParentID: pid, Proc: proc, PathCounts: flat.New(0)}
 			for _, ms := range f[4:] {
 				m, err := strconv.ParseInt(ms, 10, 64)
 				if err != nil {
@@ -151,7 +155,7 @@ func Read(r io.Reader) (*Export, error) {
 			if !ok {
 				return nil, fmt.Errorf("cct: line %d: path for unknown node %d", line, id)
 			}
-			n.PathCounts[sum] = cnt
+			n.PathCounts.Set(sum, cnt)
 		case "back":
 			if ex == nil || len(f) != 3 {
 				return nil, fmt.Errorf("cct: line %d: malformed back", line)
@@ -239,8 +243,8 @@ func (t *Tree) Dump(w io.Writer, procName func(int) string) {
 		if len(n.Metrics) > 0 {
 			fmt.Fprintf(w, "  metrics=%v", n.Metrics)
 		}
-		if pc := n.PathCounts(); len(pc) > 0 {
-			fmt.Fprintf(w, "  paths=%d", len(pc))
+		if pc := n.NumPathCounts(); pc > 0 {
+			fmt.Fprintf(w, "  paths=%d", pc)
 		}
 		fmt.Fprintln(w)
 		tree, backs := n.Children()

@@ -56,9 +56,10 @@ func TestExportRoundTrip(t *testing.T) {
 		var wantBack, gotBack int
 		tr.Walk(func(n *Node) {
 			wantM += n.Metrics[0] + n.Metrics[1]
-			for _, c := range n.PathCounts() {
+			n.RangePathCounts(func(_, c int64) bool {
 				wantP += c
-			}
+				return true
+			})
 			_, backs := n.Children()
 			wantBack += len(backs)
 		})
@@ -69,9 +70,10 @@ func TestExportRoundTrip(t *testing.T) {
 			for _, m := range n.Metrics {
 				gotM += m
 			}
-			for _, c := range n.PathCounts {
+			n.PathCounts.Range(func(_, c int64) bool {
 				gotP += c
-			}
+				return true
+			})
 			gotBack += len(n.Backedges)
 		}
 		if wantM != gotM || wantP != gotP || wantBack != gotBack {
@@ -182,14 +184,16 @@ func TestMergeExports(t *testing.T) {
 	}
 	var aPaths, mPaths int64
 	for _, n := range a.Nodes {
-		for _, c := range n.PathCounts {
+		n.PathCounts.Range(func(_, c int64) bool {
 			aPaths += c
-		}
+			return true
+		})
 	}
 	for _, n := range m.Nodes {
-		for _, c := range n.PathCounts {
+		n.PathCounts.Range(func(_, c int64) bool {
 			mPaths += c
-		}
+			return true
+		})
 	}
 	if mPaths != 2*aPaths {
 		t.Fatalf("path counts: %d, want %d", mPaths, 2*aPaths)

@@ -1,6 +1,11 @@
 package cct
 
-import "fmt"
+import (
+	"pathprof/internal/flat"
+
+	"fmt"
+	"sync"
+)
 
 // MergeExports combines two decoded CCT files from runs of the same
 // program, summing metrics and path counts over structurally matching
@@ -22,11 +27,17 @@ func MergeExports(a, b *Export) (*Export, error) {
 	nextID := 1
 	var merge func(x, y *ExportedNode) *ExportedNode
 	merge = func(x, y *ExportedNode) *ExportedNode {
-		n := &ExportedNode{PathCounts: map[int64]int64{}}
+		n := &ExportedNode{}
+		addCounts := func(src *ExportedNode) {
+			src.PathCounts.Range(func(s, c int64) bool {
+				n.PathCounts.Add(s, c)
+				return true
+			})
+		}
 		switch {
 		case x != nil && y != nil:
 			n.Proc = x.Proc
-			n.Metrics = append([]int64(nil), x.Metrics...)
+			n.Metrics = append(make([]int64, 0, max(len(x.Metrics), len(y.Metrics))), x.Metrics...)
 			for i, m := range y.Metrics {
 				if i < len(n.Metrics) {
 					n.Metrics[i] += m
@@ -34,24 +45,19 @@ func MergeExports(a, b *Export) (*Export, error) {
 					n.Metrics = append(n.Metrics, m)
 				}
 			}
-			for s, c := range x.PathCounts {
-				n.PathCounts[s] += c
-			}
-			for s, c := range y.PathCounts {
-				n.PathCounts[s] += c
-			}
+			n.PathCounts = flat.New(x.PathCounts.Len() + y.PathCounts.Len())
+			addCounts(x)
+			addCounts(y)
 		case x != nil:
 			n.Proc = x.Proc
-			n.Metrics = append([]int64(nil), x.Metrics...)
-			for s, c := range x.PathCounts {
-				n.PathCounts[s] = c
-			}
+			n.Metrics = append(make([]int64, 0, len(x.Metrics)), x.Metrics...)
+			n.PathCounts = flat.New(x.PathCounts.Len())
+			addCounts(x)
 		default:
 			n.Proc = y.Proc
-			n.Metrics = append([]int64(nil), y.Metrics...)
-			for s, c := range y.PathCounts {
-				n.PathCounts[s] = c
-			}
+			n.Metrics = append(make([]int64, 0, len(y.Metrics)), y.Metrics...)
+			n.PathCounts = flat.New(y.PathCounts.Len())
+			addCounts(y)
 		}
 
 		// Children match by procedure within the parent (one record per
@@ -75,6 +81,7 @@ func MergeExports(a, b *Export) (*Export, error) {
 			byProc[c.Proc] = c
 		}
 		if byProc != nil {
+			n.Children = make([]*ExportedNode, 0, max(len(xs), len(ys)))
 			seen := map[int]bool{}
 			for _, cx := range xs {
 				cy := byProc[cx.Proc]
@@ -91,6 +98,7 @@ func MergeExports(a, b *Export) (*Export, error) {
 				}
 			}
 		} else {
+			n.Children = make([]*ExportedNode, 0, max(len(xs), len(ys)))
 			for i := 0; i < len(xs) || i < len(ys); i++ {
 				var cx, cy *ExportedNode
 				if i < len(xs) {
@@ -119,6 +127,221 @@ func MergeExports(a, b *Export) (*Export, error) {
 	}
 	index(out.Root)
 	return out, nil
+}
+
+// MergeAllExports reduces a set of decoded CCT files into one by a
+// tree-structured pairwise merge. Pairs at the same level are independent
+// and merge concurrently; the pairing pattern is fixed (neighbours at
+// doubling strides), so the result is identical to a left-to-right serial
+// fold regardless of scheduling.
+func MergeAllExports(exports []*Export) (*Export, error) {
+	switch len(exports) {
+	case 0:
+		return nil, fmt.Errorf("cct: no exports to merge")
+	case 1:
+		return exports[0], nil
+	}
+	work := append([]*Export(nil), exports...)
+	for stride := 1; stride < len(work); stride *= 2 {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for i := 0; i+stride < len(work); i += 2 * stride {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m, err := MergeExports(work[i], work[i+stride])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				work[i] = m
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	return work[0], nil
+}
+
+// noopCosts satisfies Costs without charging anything. Merge operations use
+// it so structural bookkeeping gated on a non-nil Costs (list-element counts,
+// simulated list allocations) stays consistent with an instrumented build,
+// while the merge itself adds no simulated cache traffic.
+type noopCosts struct{}
+
+func (noopCosts) TouchRead(uint64)    {}
+func (noopCosts) TouchWrite(uint64)   {}
+func (noopCosts) ChargeInstrs(uint64) {}
+
+// MergeFrom folds another live tree into t, summing metrics and path
+// counters over structurally matching records and grafting records that
+// exist only in o. Both trees must come from the same program shape (same
+// procedure table and options). Merging k trees built from identical runs
+// leaves t's structure — node count, sizes, list elements, one-path slots —
+// exactly as a single run left it, with every counter k times larger; this
+// is what keeps sharded collection byte-identical in Table 3 (see
+// EXPERIMENTS.md).
+func (t *Tree) MergeFrom(o *Tree) error {
+	if len(t.procs) != len(o.procs) ||
+		t.opts.DistinguishCallSites != o.opts.DistinguishCallSites ||
+		t.opts.NumMetrics != o.opts.NumMetrics ||
+		t.opts.PathCounts != o.opts.PathCounts {
+		return fmt.Errorf("cct: tree merge shape mismatch")
+	}
+	t.mergeNode(t.root, o.root)
+	return nil
+}
+
+// mergeNode folds o's record (and subtree) into t's matching record x.
+func (t *Tree) mergeNode(x *Node, y *Node) {
+	for i, m := range y.Metrics {
+		if i < len(x.Metrics) {
+			x.Metrics[i] += m
+		}
+	}
+	switch {
+	case y.pathArray != nil && x.pathArray != nil:
+		for s, c := range y.pathArray {
+			if c != 0 {
+				x.pathArray[s] += c
+			}
+		}
+	case y.pathHash != nil && x.pathHash != nil:
+		y.pathHash.Range(func(s, c int64) bool {
+			x.pathHash.Add(s, c)
+			return true
+		})
+	}
+
+	for si := range y.slots {
+		if si >= len(x.slots) {
+			break
+		}
+		ys := &y.slots[si]
+		if ys.tag == TagEmpty {
+			continue
+		}
+		xs := &x.slots[si]
+		// Fold the one-path tracking: a slot stays "one path" only if both
+		// shards saw the same single prefix.
+		switch ys.pathState {
+		case 1:
+			switch xs.pathState {
+			case 0:
+				xs.pathState = 1
+				xs.pathPrefix = ys.pathPrefix
+			case 1:
+				if xs.pathPrefix != ys.pathPrefix {
+					xs.pathState = 2
+				}
+			}
+		case 2:
+			xs.pathState = 2
+		}
+		t.mergeSlot(x, xs, si, ys)
+	}
+}
+
+// mergeSlot folds every child reached through y's slot into x's slot si.
+func (t *Tree) mergeSlot(x *Node, xs *slot, si int, ys *slot) {
+	mergeChild := func(yc child) {
+		// Find the matching child in x's slot.
+		var xc *child
+		switch xs.tag {
+		case TagRecord:
+			if xs.one.proc == yc.proc {
+				xc = &xs.one
+			}
+		case TagList:
+			for i := range xs.keys {
+				if int32(uint32(xs.keys[i])) == yc.proc {
+					ch := xs.childAt(i)
+					xc = &ch
+					break
+				}
+			}
+		}
+		if xc != nil {
+			if !yc.backedge && !xc.backedge {
+				t.mergeNode(xc.node, yc.node)
+			}
+			// Matched backedges need no work: the target record is merged
+			// when its own pair is visited.
+			return
+		}
+		// Child exists only in y: graft it. Bookkeeping (list elements,
+		// simulated list allocation) uses noopCosts so accounting matches a
+		// build that had taken this path, without charging cache traffic.
+		if yc.backedge {
+			for a := x; a != nil; a = a.Parent {
+				if a.Proc == int(yc.proc) {
+					t.installChild(xs, si, x, child{node: a, proc: yc.proc, backedge: true}, noopCosts{})
+					return
+				}
+			}
+			return // no matching ancestor in x; drop the backedge
+		}
+		n := t.newNode(int(yc.proc), x)
+		t.installChild(xs, si, x, child{node: n, proc: yc.proc}, noopCosts{})
+		t.mergeNode(n, yc.node)
+	}
+
+	switch ys.tag {
+	case TagRecord:
+		mergeChild(ys.one)
+	case TagList:
+		// Walk back-to-front so installChild's prepends leave grafted
+		// children in y's move-to-front order.
+		for i := len(ys.keys) - 1; i >= 0; i-- {
+			mergeChild(ys.childAt(i))
+		}
+	}
+}
+
+// MergeTrees reduces per-shard trees into shards[0] by a tree-structured
+// pairwise merge: pairs at the same level are independent and merge
+// concurrently, and the fixed pairing (neighbours at doubling strides)
+// makes the result independent of goroutine scheduling. Returns the merged
+// tree (shards[0]).
+func MergeTrees(shards []*Tree) (*Tree, error) {
+	switch len(shards) {
+	case 0:
+		return nil, fmt.Errorf("cct: no trees to merge")
+	case 1:
+		return shards[0], nil
+	}
+	for stride := 1; stride < len(shards); stride *= 2 {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for i := 0; i+stride < len(shards); i += 2 * stride {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := shards[i].MergeFrom(shards[i+stride]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	return shards[0], nil
 }
 
 // TotalMetric sums metric slot i over all records.

@@ -7,9 +7,10 @@
 package experiments
 
 import (
+	"cmp"
 	"context"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -130,18 +131,17 @@ func (s *Session) Timings() []CellTiming {
 	out := make([]CellTiming, len(s.timings))
 	copy(out, s.timings)
 	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Workload != b.Workload {
-			return a.Workload < b.Workload
+	slices.SortFunc(out, func(a, b CellTiming) int {
+		if c := cmp.Compare(a.Workload, b.Workload); c != 0 {
+			return c
 		}
-		if a.Mode != b.Mode {
-			return a.Mode < b.Mode
+		if c := cmp.Compare(a.Mode, b.Mode); c != 0 {
+			return c
 		}
-		if a.Ev0 != b.Ev0 {
-			return a.Ev0 < b.Ev0
+		if c := cmp.Compare(a.Ev0, b.Ev0); c != 0 {
+			return c
 		}
-		return a.Ev1 < b.Ev1
+		return cmp.Compare(a.Ev1, b.Ev1)
 	})
 	return out
 }

@@ -1,0 +1,176 @@
+// Package flat provides a flat open-addressing hash table from int64 keys
+// to int64 values — the in-memory analogue of the paper's Figure 7 hash
+// records. The profiling hot paths (per-record path counters in the CCT,
+// the runtime's hashed path tables, profile decoding) update counters keyed
+// by path sums or packed probe arguments; a Go map pays an allocation per
+// bucket chain and hashes through runtime interfaces, while this table is
+// two parallel int64 slices probed linearly from a multiplicative hash.
+// There is no deletion, so probing needs no tombstones: a lookup stops at
+// the first empty slot.
+package flat
+
+import "math"
+
+// emptyKey marks an unoccupied slot. math.MinInt64 never occurs as a real
+// key (path sums, packed site/path words and packed proc/path words are all
+// far smaller in magnitude); the one caller-visible collision, cct.NoPrefix,
+// is a sentinel that is never inserted. Table still handles the key
+// correctly via a dedicated out-of-band slot, so the type has no forbidden
+// inputs.
+const emptyKey = math.MinInt64
+
+// minCap is the smallest bucket array; must be a power of two.
+const minCap = 8
+
+// Table is an int64 → int64 open-addressing hash table with linear probing
+// and power-of-two sizing. The zero value is not ready for use; call New.
+type Table struct {
+	keys []int64
+	vals []int64
+	mask uint64 // len(keys) - 1
+	n    int    // occupied slots, excluding the sentinel key
+
+	// Out-of-band storage for the one key that collides with emptyKey.
+	hasMin bool
+	minVal int64
+}
+
+// New returns a table pre-sized for about hint entries (hint <= 0 gives the
+// minimum size).
+func New(hint int) *Table {
+	capacity := minCap
+	for capacity*3 < hint*4 { // grow until hint fits under 3/4 load
+		capacity <<= 1
+	}
+	t := &Table{}
+	t.init(capacity)
+	return t
+}
+
+func (t *Table) init(capacity int) {
+	t.keys = make([]int64, capacity)
+	t.vals = make([]int64, capacity)
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+	t.mask = uint64(capacity - 1)
+}
+
+// Len returns the number of distinct keys stored.
+func (t *Table) Len() int {
+	if t.hasMin {
+		return t.n + 1
+	}
+	return t.n
+}
+
+// slotFor hashes k to its starting probe index. Fibonacci hashing spreads
+// the small, dense, or stride-patterned keys the profiler produces (path
+// sums, packed IDs) across the table.
+func (t *Table) slotFor(k int64) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return (h ^ h>>29) & t.mask
+}
+
+// Get returns the value stored for k and whether k is present.
+func (t *Table) Get(k int64) (int64, bool) {
+	if k == emptyKey {
+		return t.minVal, t.hasMin
+	}
+	for i := t.slotFor(k); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i], true
+		case emptyKey:
+			return 0, false
+		}
+	}
+}
+
+// Set stores v for k, inserting the key if absent.
+func (t *Table) Set(k, v int64) {
+	if k == emptyKey {
+		t.hasMin = true
+		t.minVal = v
+		return
+	}
+	*t.slot(k) = v
+}
+
+// Add adds d to k's value (inserting the key at d if absent) and returns
+// the new value. This is the counter-update hot path.
+func (t *Table) Add(k, d int64) int64 {
+	if k == emptyKey {
+		t.hasMin = true
+		t.minVal += d
+		return t.minVal
+	}
+	p := t.slot(k)
+	*p += d
+	return *p
+}
+
+// slot returns the value cell for k, inserting the key (value 0) if absent
+// and growing the table as needed. k must not be emptyKey.
+func (t *Table) slot(k int64) *int64 {
+	for i := t.slotFor(k); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			return &t.vals[i]
+		case emptyKey:
+			if (t.n+1)*4 > len(t.keys)*3 {
+				t.grow()
+				i = t.probeEmpty(k)
+			}
+			t.keys[i] = k
+			t.n++
+			return &t.vals[i]
+		}
+	}
+}
+
+// probeEmpty finds the empty slot for a key known to be absent.
+func (t *Table) probeEmpty(k int64) uint64 {
+	i := t.slotFor(k)
+	for t.keys[i] != emptyKey {
+		i = (i + 1) & t.mask
+	}
+	return i
+}
+
+// grow doubles the bucket array and reinserts every occupied slot.
+func (t *Table) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.init(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k != emptyKey {
+			j := t.probeEmpty(k)
+			t.keys[j] = k
+			t.vals[j] = oldVals[i]
+		}
+	}
+}
+
+// Range calls fn for every (key, value) pair in unspecified (but
+// deterministic for a given insertion history) order, stopping early if fn
+// returns false.
+func (t *Table) Range(fn func(k, v int64) bool) {
+	if t.hasMin && !fn(emptyKey, t.minVal) {
+		return
+	}
+	for i, k := range t.keys {
+		if k != emptyKey && !fn(k, t.vals[i]) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys, unsorted, in a freshly allocated slice.
+func (t *Table) Keys() []int64 {
+	out := make([]int64, 0, t.Len())
+	t.Range(func(k, _ int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,174 @@
+package flat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCrossCheckAgainstMap is the table's correctness property: on random
+// insert/add/lookup sequences — including enough inserts to force several
+// growth rounds, the dense/hashed crossover regime, negative keys, and the
+// sentinel-colliding key — the table behaves exactly like map[int64]int64.
+func TestCrossCheckAgainstMap(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		table := New(rng.Intn(32))
+		ref := map[int64]int64{}
+
+		// Key pool mixing the shapes the profiler stores: small dense path
+		// sums, sparse packed proc/path words, negatives (chord-optimized
+		// prefixes), and the sentinel-colliding extreme.
+		keys := make([]int64, 64)
+		for i := range keys {
+			switch i % 4 {
+			case 0:
+				keys[i] = int64(rng.Intn(128))
+			case 1:
+				keys[i] = int64(rng.Intn(1<<20)) << 18
+			case 2:
+				keys[i] = -int64(rng.Intn(1 << 30))
+			default:
+				keys[i] = rng.Int63()
+			}
+		}
+		keys[0] = math.MinInt64
+		keys[1] = math.MaxInt64
+
+		const ops = 4000 // >> 8*3/4, so growth happens repeatedly
+		for i := 0; i < ops; i++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0:
+				d := int64(rng.Intn(100) - 20)
+				got := table.Add(k, d)
+				ref[k] += d
+				if got != ref[k] {
+					t.Logf("seed %d: Add(%d) = %d, want %d", seed, k, got, ref[k])
+					return false
+				}
+			case 1:
+				v := rng.Int63n(1 << 40)
+				table.Set(k, v)
+				ref[k] = v
+			default:
+				got, ok := table.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || got != want {
+					t.Logf("seed %d: Get(%d) = %d,%v want %d,%v", seed, k, got, ok, want, wantOK)
+					return false
+				}
+			}
+		}
+
+		if table.Len() != len(ref) {
+			t.Logf("seed %d: Len %d, want %d", seed, table.Len(), len(ref))
+			return false
+		}
+		seen := map[int64]int64{}
+		table.Range(func(k, v int64) bool {
+			seen[k] = v
+			return true
+		})
+		if len(seen) != len(ref) {
+			t.Logf("seed %d: Range visited %d keys, want %d", seed, len(seen), len(ref))
+			return false
+		}
+		for k, v := range ref {
+			if seen[k] != v {
+				t.Logf("seed %d: Range gave %d=%d, want %d", seed, k, seen[k], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrowthPreservesEntries drives one table far past the >threshold
+// growth path (several doublings) and verifies every counter.
+func TestGrowthPreservesEntries(t *testing.T) {
+	table := New(0)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		table.Add(int64(i*7), int64(i))
+	}
+	if table.Len() != n {
+		t.Fatalf("Len = %d, want %d", table.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := table.Get(int64(i * 7))
+		if !ok || v != int64(i) {
+			t.Fatalf("key %d: got %d,%v", i*7, v, ok)
+		}
+	}
+	if _, ok := table.Get(3); ok {
+		t.Fatal("phantom key present")
+	}
+}
+
+// TestRangeEarlyStop: Range must respect fn returning false.
+func TestRangeEarlyStop(t *testing.T) {
+	table := New(0)
+	for i := int64(0); i < 100; i++ {
+		table.Set(i, i)
+	}
+	visits := 0
+	table.Range(func(_, _ int64) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("visited %d, want 5", visits)
+	}
+}
+
+// TestKeysMatchesLen: Keys returns each key exactly once.
+func TestKeysMatchesLen(t *testing.T) {
+	table := New(4)
+	table.Set(math.MinInt64, 1)
+	for i := int64(0); i < 50; i++ {
+		table.Add(i*3-20, 1)
+	}
+	ks := table.Keys()
+	if len(ks) != table.Len() {
+		t.Fatalf("Keys len %d != Len %d", len(ks), table.Len())
+	}
+	uniq := map[int64]bool{}
+	for _, k := range ks {
+		if uniq[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		uniq[k] = true
+	}
+}
+
+// BenchmarkAddHit measures the steady-state counter update against the map
+// it replaces.
+func BenchmarkAddHit(b *testing.B) {
+	b.Run("flat", func(b *testing.B) {
+		table := New(4096)
+		for i := int64(0); i < 4096; i++ {
+			table.Add(i, 1)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			table.Add(int64(i)&4095, 1)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		m := make(map[int64]int64, 4096)
+		for i := int64(0); i < 4096; i++ {
+			m[i] = 1
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m[int64(i)&4095]++
+		}
+	})
+}

@@ -209,6 +209,17 @@ func (plan *Plan) insertCallProbes(ed *editor, rp *regPlan, nm *bl.Numbering) {
 	p := ed.proc
 	pp := plan.Procs[p.ID]
 	canPack := nm == nil || nm.NumPaths <= maxPackedPaths
+	// One counting pass presizes the site table, so the append loop below
+	// never reallocates mid-procedure.
+	nCalls := 0
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.IsCall() {
+				nCalls++
+			}
+		}
+	}
+	pp.SiteBlocks = make([]ir.BlockID, 0, nCalls)
 	site := 0
 	for _, b := range p.Blocks {
 		// Collect call positions first; insertion shifts indices.

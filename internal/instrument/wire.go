@@ -2,6 +2,7 @@ package instrument
 
 import (
 	"pathprof/internal/cct"
+	"pathprof/internal/flat"
 	"pathprof/internal/hpm"
 	"pathprof/internal/mem"
 	"pathprof/internal/profile"
@@ -18,10 +19,11 @@ type Runtime struct {
 	Tree    *cct.Tree
 
 	// Hash path tables (per procedure; nil when the procedure uses a dense
-	// array in simulated memory).
-	hashFreq []map[int64]uint64
-	hashAcc0 []map[int64]uint64
-	hashAcc1 []map[int64]uint64
+	// array in simulated memory). Counts are non-negative and far below
+	// 2^63, so the int64-valued flat tables hold them exactly.
+	hashFreq []*flat.Table
+	hashAcc0 []*flat.Table
+	hashAcc1 []*flat.Table
 	// Simulated bucket arrays backing the hash tables, so probes perturb
 	// the cache like real hash updates would: [proc] -> base address.
 	hashBase []uint64
@@ -44,15 +46,15 @@ func (plan *Plan) Wire(m *sim.Machine) *Runtime {
 	rt := &Runtime{Plan: plan, Machine: m}
 	n := len(plan.Prog.Procs)
 	alloc := plan.alloc.Clone()
-	rt.hashFreq = make([]map[int64]uint64, n)
-	rt.hashAcc0 = make([]map[int64]uint64, n)
-	rt.hashAcc1 = make([]map[int64]uint64, n)
+	rt.hashFreq = make([]*flat.Table, n)
+	rt.hashAcc0 = make([]*flat.Table, n)
+	rt.hashAcc1 = make([]*flat.Table, n)
 	rt.hashBase = make([]uint64, n)
 	for _, pp := range plan.Procs {
 		if pp.UseHash {
-			rt.hashFreq[pp.ProcID] = make(map[int64]uint64)
-			rt.hashAcc0[pp.ProcID] = make(map[int64]uint64)
-			rt.hashAcc1[pp.ProcID] = make(map[int64]uint64)
+			rt.hashFreq[pp.ProcID] = flat.New(hashBuckets)
+			rt.hashAcc0[pp.ProcID] = flat.New(hashBuckets)
+			rt.hashAcc1[pp.ProcID] = flat.New(hashBuckets)
 			rt.hashBase[pp.ProcID] = alloc.Alloc(hashBuckets*8*3, 64)
 		}
 	}
@@ -85,7 +87,7 @@ func (plan *Plan) Wire(m *sim.Machine) *Runtime {
 // instrumentation a short hash probe plus a counter increment.
 func (rt *Runtime) onHashFreq(ctx sim.ProbeCtx, arg int64) int64 {
 	proc, idx := UnpackProcPath(arg)
-	rt.hashFreq[proc][idx]++
+	rt.hashFreq[proc].Add(idx, 1)
 	ctx.ChargeInstrs(6)
 	a := rt.hashBase[proc] + (uint64(idx)%hashBuckets)*8
 	ctx.TouchRead(a)
@@ -99,9 +101,9 @@ func (rt *Runtime) onHashHW(ctx sim.ProbeCtx, arg int64) int64 {
 	proc, idx := UnpackProcPath(arg)
 	v := rt.Machine.PMU().Read()
 	pic0, pic1 := hpm.Split(v)
-	rt.hashAcc0[proc][idx] += uint64(pic0)
-	rt.hashAcc1[proc][idx] += uint64(pic1)
-	rt.hashFreq[proc][idx]++
+	rt.hashAcc0[proc].Add(idx, int64(pic0))
+	rt.hashAcc1[proc].Add(idx, int64(pic1))
+	rt.hashFreq[proc].Add(idx, 1)
 	ctx.ChargeInstrs(14)
 	base := rt.hashBase[proc]
 	b := (uint64(idx) % hashBuckets) * 8
@@ -209,26 +211,33 @@ func (rt *Runtime) ExtractProfile() *profile.Profile {
 		out := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.Numbering.NumPaths}
 		switch {
 		case plan.Mode == ModeContextFlow:
-			sums := make(map[int64]uint64)
+			sums := flat.New(0)
 			rt.Tree.Walk(func(n *cct.Node) {
 				if n.Proc != pp.ProcID {
 					return
 				}
-				for s, c := range n.PathCounts() {
-					sums[s] += uint64(c)
-				}
-			})
-			for s, c := range sums {
-				out.Entries = append(out.Entries, profile.PathEntry{Sum: s, Freq: c})
-			}
-		case pp.UseHash:
-			for s, c := range rt.hashFreq[pp.ProcID] {
-				out.Entries = append(out.Entries, profile.PathEntry{
-					Sum: s, Freq: c,
-					M0: rt.hashAcc0[pp.ProcID][s],
-					M1: rt.hashAcc1[pp.ProcID][s],
+				n.RangePathCounts(func(s, c int64) bool {
+					sums.Add(s, c)
+					return true
 				})
-			}
+			})
+			out.Entries = make([]profile.PathEntry, 0, sums.Len())
+			sums.Range(func(s, c int64) bool {
+				out.Entries = append(out.Entries, profile.PathEntry{Sum: s, Freq: uint64(c)})
+				return true
+			})
+		case pp.UseHash:
+			freq := rt.hashFreq[pp.ProcID]
+			acc0, acc1 := rt.hashAcc0[pp.ProcID], rt.hashAcc1[pp.ProcID]
+			out.Entries = make([]profile.PathEntry, 0, freq.Len())
+			freq.Range(func(s, c int64) bool {
+				m0, _ := acc0.Get(s)
+				m1, _ := acc1.Get(s)
+				out.Entries = append(out.Entries, profile.PathEntry{
+					Sum: s, Freq: uint64(c), M0: uint64(m0), M1: uint64(m1),
+				})
+				return true
+			})
 		default:
 			for s := int64(0); s < pp.Numbering.NumPaths; s++ {
 				freq := uint64(memory.Load(pp.FreqBase + uint64(s)*8))

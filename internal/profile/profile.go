@@ -6,11 +6,14 @@ package profile
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
+
+	"pathprof/internal/flat"
 )
 
 // PathEntry is one executed path's record.
@@ -42,9 +45,10 @@ func (pp *ProcPaths) Totals() (freq, m0, m1 uint64) {
 	return
 }
 
-// Sort orders entries by path identifier.
+// Sort orders entries by path identifier. Sums are unique within a
+// procedure, so the unstable sort is still fully determined.
 func (pp *ProcPaths) Sort() {
-	sort.Slice(pp.Entries, func(i, j int) bool { return pp.Entries[i].Sum < pp.Entries[j].Sum })
+	slices.SortFunc(pp.Entries, func(a, b PathEntry) int { return cmp.Compare(a.Sum, b.Sum) })
 }
 
 // Profile is a complete flow-sensitive profile of one program run.
@@ -97,12 +101,12 @@ func (p *Profile) Merge(other *Profile) error {
 		if pp.ProcID != op.ProcID {
 			return fmt.Errorf("profile: merge proc mismatch at %d", i)
 		}
-		idx := make(map[int64]int, len(pp.Entries))
+		idx := flat.New(len(pp.Entries))
 		for j, e := range pp.Entries {
-			idx[e.Sum] = j
+			idx.Set(e.Sum, int64(j))
 		}
 		for _, e := range op.Entries {
-			if j, ok := idx[e.Sum]; ok {
+			if j, ok := idx.Get(e.Sum); ok {
 				pp.Entries[j].Freq += e.Freq
 				pp.Entries[j].M0 += e.M0
 				pp.Entries[j].M1 += e.M1

@@ -10,3 +10,10 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+# The CCT fast path must stay allocation-free in steady state. This run
+# also refreshes BENCH_cct.json (TestMain splits CCT records out of the
+# experiment log).
+out="$(go test -run='^$' -bench='BenchmarkCCT' -benchmem -benchtime=1000x .)"
+echo "$out"
+echo "$out" | grep 'BenchmarkCCTEnterExit' | grep -q ' 0 allocs/op'
