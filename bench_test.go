@@ -9,9 +9,13 @@ package pathprof
 // log.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -21,12 +25,15 @@ import (
 	"pathprof/internal/bl"
 	"pathprof/internal/cache"
 	"pathprof/internal/cct"
+	"pathprof/internal/collector"
 	"pathprof/internal/experiments"
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
 	"pathprof/internal/ir"
 	"pathprof/internal/mem"
+	"pathprof/internal/profile"
 	"pathprof/internal/sim"
+	"pathprof/internal/wire"
 	"pathprof/internal/workload"
 )
 
@@ -79,14 +86,19 @@ func TestMain(m *testing.M) {
 	recs := benchLog.recs
 	benchLog.mu.Unlock()
 	if code == 0 && len(recs) > 0 {
-		// CCT micro-benchmarks get their own log so the runtime fast path
-		// can be tracked release to release without diffing against the
-		// table-regeneration benchmarks.
-		var cctRecs, expRecs []benchRecord
+		// CCT micro-benchmarks and the wire codec/ingest benchmarks each
+		// get their own log so the runtime fast path and the collection
+		// tier can be tracked release to release without diffing against
+		// the table-regeneration benchmarks. The Wire match runs first:
+		// BenchmarkWireEncodeCCT and friends belong to the wire log.
+		var cctRecs, wireRecs, expRecs []benchRecord
 		for _, r := range recs {
-			if strings.Contains(r.Name, "CCT") {
+			switch {
+			case strings.Contains(r.Name, "Wire"):
+				wireRecs = append(wireRecs, r)
+			case strings.Contains(r.Name, "CCT"):
 				cctRecs = append(cctRecs, r)
-			} else {
+			default:
 				expRecs = append(expRecs, r)
 			}
 		}
@@ -94,6 +106,9 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 		if err := writeBenchLog("BENCH_cct.json", cctRecs); err != nil {
+			code = 1
+		}
+		if err := writeBenchLog("BENCH_wire.json", wireRecs); err != nil {
 			code = 1
 		}
 	}
@@ -935,4 +950,156 @@ func BenchmarkBlockVsPathProfiling(b *testing.B) {
 			}
 		}
 	}
+}
+
+// --- wire codec + collection tier ---
+
+// wireBench lazily produces the payloads the wire benchmarks share: a
+// flow+HW path profile and a context+flow CCT export from one real
+// instrumented run of a call-heavy workload. Built once — the run costs
+// far more than any single codec iteration.
+var wireBench struct {
+	once    sync.Once
+	profile *profile.Profile
+	export  *cct.Export
+	err     error
+}
+
+func wireBenchData(b *testing.B) (*profile.Profile, *cct.Export) {
+	wireBench.once.Do(func() {
+		s := experiments.NewSession(workload.Test)
+		w, ok := workload.ByName("compiler")
+		if !ok {
+			wireBench.err = errors.New("bench workload missing from suite")
+			return
+		}
+		s.Workloads = []workload.Workload{w}
+		cell, err := s.Run(w, instrument.ModeContextFlow,
+			experiments.StandardEvents[0], experiments.StandardEvents[1])
+		if err != nil {
+			wireBench.err = err
+			return
+		}
+		wireBench.profile = cell.Profile
+		wireBench.export = cell.Tree.Export(w.Name)
+	})
+	if wireBench.err != nil {
+		b.Fatal(wireBench.err)
+	}
+	return wireBench.profile, wireBench.export
+}
+
+// BenchmarkWireEncodeProfile measures profile serialization throughput
+// (b.SetBytes reports MB/s of wire output).
+func BenchmarkWireEncodeProfile(b *testing.B) {
+	p, _ := wireBenchData(b)
+	var buf bytes.Buffer
+	if err := wire.EncodeProfile(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wire.EncodeProfile(&buf, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, map[string]float64{"envelope-bytes": float64(buf.Len())})
+}
+
+func BenchmarkWireDecodeProfile(b *testing.B) {
+	p, _ := wireBenchData(b)
+	var buf bytes.Buffer
+	if err := wire.EncodeProfile(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeProfile(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, nil)
+}
+
+func BenchmarkWireEncodeCCT(b *testing.B) {
+	_, ex := wireBenchData(b)
+	var buf bytes.Buffer
+	if err := wire.EncodeExport(&buf, ex); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := wire.EncodeExport(&buf, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, map[string]float64{
+		"envelope-bytes": float64(buf.Len()),
+		"cct-nodes":      float64(len(ex.Nodes)),
+	})
+}
+
+func BenchmarkWireDecodeCCT(b *testing.B) {
+	_, ex := wireBenchData(b)
+	var buf bytes.Buffer
+	if err := wire.EncodeExport(&buf, ex); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeExport(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, nil)
+}
+
+// BenchmarkWireIngest is the end-to-end collection-tier measurement: each
+// iteration encodes a real CCT export, POSTs it over loopback HTTP to a
+// live collector, and folds it into the sharded aggregate (decode +
+// MergeExports on the server). SetBytes is the envelope size, so the
+// reported MB/s is sustained single-client ingest bandwidth.
+func BenchmarkWireIngest(b *testing.B) {
+	p, ex := wireBenchData(b)
+	var buf bytes.Buffer
+	if err := wire.EncodeExport(&buf, ex); err != nil {
+		b.Fatal(err)
+	}
+	c := collector.New(collector.Config{Shards: 4})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	cl := &collector.Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+	ctx := context.Background()
+	if _, err := cl.PushProfile(ctx, p); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.PushExport(ctx, ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m := c.Metrics()
+	recordBench(b, map[string]float64{
+		"envelope-bytes": float64(buf.Len()),
+		"ingested-ccts":  float64(m.IngestedCCTs),
+	})
 }

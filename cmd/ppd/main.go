@@ -1,0 +1,263 @@
+// Command ppd is the profile collection daemon and its push client.
+//
+// Serve mode runs the collection service: an HTTP daemon that ingests
+// wire-format profiles from many concurrent producers into sharded
+// in-memory aggregates and renders the paper's tables from the merged
+// data:
+//
+//	ppd serve [-addr :7997] [-shards 4] [-max-body 64MiB]
+//	          [-max-concurrent 64] [-timeout 30s]
+//
+// Push mode runs instrumented workloads locally and uploads what they
+// produce — CCT-building modes contribute their calling context tree,
+// profile modes their path profile:
+//
+//	ppd push -addr http://host:7997 -workload compress[,objdb,...]
+//	         [-mode combined|flow|flowhw|context|block] [-scale test|ref]
+//	         [-events dcache-miss,insts] [-runs 1] [-parallel N]
+//
+// Query mode fetches a rendered table from a running daemon:
+//
+//	ppd query -addr http://host:7997 -table 3 [-programs compress,objdb]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pathprof/internal/collector"
+	"pathprof/internal/experiments"
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppd: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "push":
+		push(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ppd serve|push|query [flags] (see -h of each subcommand)")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("ppd serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7997", "listen address")
+	shards := fs.Int("shards", 4, "aggregate shards")
+	maxBody := fs.Int64("max-body", 64<<20, "max request body bytes")
+	maxConc := fs.Int("max-concurrent", 64, "max concurrent ingests")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-ingest request timeout")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget")
+	fs.Parse(args)
+
+	c := collector.New(collector.Config{
+		Shards:         *shards,
+		MaxBodyBytes:   *maxBody,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: c.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		log.Printf("draining (up to %v)...", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	cfg := c.Config()
+	log.Printf("collector listening on %s (%d shards, %d concurrent, %s timeout)",
+		*addr, cfg.Shards, cfg.MaxConcurrent, cfg.RequestTimeout)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	m := c.Metrics()
+	log.Printf("drained: %d profiles, %d ccts, %d bytes ingested",
+		m.IngestedProfiles, m.IngestedCCTs, m.IngestedBytes)
+}
+
+func push(args []string) {
+	fs := flag.NewFlagSet("ppd push", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7997", "collector base URL")
+	names := fs.String("workload", "", "comma-separated workloads to run and push")
+	modeStr := fs.String("mode", "combined", "flow | flowhw | context | combined | block")
+	scaleStr := fs.String("scale", "test", "workload scale: ref or test")
+	events := fs.String("events", "dcache-miss,insts", "PIC0,PIC1 event selection")
+	runs := fs.Int("runs", 1, "independent instrumented runs to push per workload")
+	parallel := fs.Int("parallel", 0, "concurrent pushers (0 = one per workload)")
+	fs.Parse(args)
+
+	if *names == "" {
+		log.Fatal("no workload given (try -workload compress)")
+	}
+	var suite []workload.Workload
+	for _, name := range strings.Split(*names, ",") {
+		w, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("unknown workload %q", name)
+		}
+		suite = append(suite, w)
+	}
+	scale := workload.Test
+	if *scaleStr == "ref" {
+		scale = workload.Ref
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev0, ev1, err := parseEvents(*events)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := experiments.NewSession(scale)
+	s.Workloads = suite
+	cl := &collector.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	ctx := context.Background()
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = len(suite)
+	}
+	type job struct {
+		w   workload.Workload
+		run int
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				// Every push is an independent re-collected run, as if a
+				// separate machine had executed the workload.
+				cell, err := s.RunFresh(ctx, j.w, mode, ev0, ev1)
+				var resps []collector.IngestResponse
+				if err == nil {
+					resps, err = cl.PushRun(ctx, cell)
+				}
+				mu.Lock()
+				if err != nil {
+					log.Printf("%s run %d: %v", j.w.Name, j.run, err)
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					for _, r := range resps {
+						log.Printf("%s run %d: pushed %s %s", j.w.Name, j.run, r.Kind, r.Program)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < *runs; r++ {
+		for _, w := range suite {
+			jobs <- job{w, r}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		os.Exit(1)
+	}
+}
+
+func query(args []string) {
+	fs := flag.NewFlagSet("ppd query", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7997", "collector base URL")
+	table := fs.Int("table", 3, "table to render: 3, 4 or 5")
+	programs := fs.String("programs", "", "comma-separated programs (row order); default all")
+	fs.Parse(args)
+
+	cl := &collector.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	var progs []string
+	if *programs != "" {
+		progs = strings.Split(*programs, ",")
+	}
+	out, err := cl.Table(context.Background(), *table, progs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func parseMode(s string) (instrument.Mode, error) {
+	switch s {
+	case "flow":
+		return instrument.ModePathFreq, nil
+	case "flowhw":
+		return instrument.ModePathHW, nil
+	case "context":
+		return instrument.ModeContextHW, nil
+	case "combined":
+		return instrument.ModeContextFlow, nil
+	case "block":
+		return instrument.ModeBlockHW, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func parseEvents(s string) (hpm.Event, hpm.Event, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-events wants two comma-separated names")
+	}
+	find := func(name string) (hpm.Event, error) {
+		for e := hpm.Event(0); e < hpm.NumEvents; e++ {
+			if e.String() == strings.TrimSpace(name) {
+				return e, nil
+			}
+		}
+		return 0, fmt.Errorf("unknown event %q", name)
+	}
+	ev0, err := find(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	ev1, err := find(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return ev0, ev1, nil
+}

@@ -14,7 +14,8 @@ import (
 // This file implements what the paper's "Program exit" instrumentation
 // does: "the instrumentation writes the heap containing the CCT to a file
 // from which the CCT can be reconstructed" — a line-oriented encoding plus
-// the inverse reader, and a human-readable tree dump.
+// the inverse reader, a structural snapshot for the binary wire format
+// (package wire), and a human-readable tree dump.
 
 // Write encodes the tree:
 //
@@ -66,6 +67,16 @@ func (t *Tree) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// SlotStat is the per-call-site structural state of a decoded record: the
+// slot's usage and which intraprocedural path prefixes reached it (the
+// Table 3 "One Path" accounting). It is carried by the binary wire format;
+// the text codec does not encode it.
+type SlotStat struct {
+	Used       bool
+	PathState  uint8 // 0 = no prefix seen, 1 = exactly one, 2 = multiple
+	PathPrefix int64 // the unique prefix when PathState == 1
+}
+
 // ExportedNode is one record of a decoded CCT file. PathCounts is a flat
 // open-addressing table (see package flat) so that merging many exports
 // does not churn per-node Go maps.
@@ -77,6 +88,12 @@ type ExportedNode struct {
 	PathCounts *flat.Table
 	Children   []*ExportedNode
 	Backedges  []int // target node IDs
+
+	// Structural extras carried by the binary wire format (zero / nil when
+	// the export came from the text codec): the record's simulated size and
+	// its per-site slot states.
+	Size  uint64
+	Slots []SlotStat
 }
 
 // Export is a decoded CCT file.
@@ -86,30 +103,182 @@ type Export struct {
 	NumMetrics       int
 	Root             *ExportedNode // synthetic root with ID 0
 	Nodes            map[int]*ExportedNode
+
+	// Program names the profiled program; set by Tree.Export and the wire
+	// codec, empty for text-codec files (the text format has no name field).
+	Program string
+
+	// HasStructure reports whether the structural extras below (and the
+	// per-node Size/Slots) are populated, making Stats exact rather than
+	// shape-only.
+	HasStructure bool
+	SizeBytes    uint64 // simulated profile heap (records + lists)
+	ListElems    int
 }
 
-// Read decodes a tree written by Write.
+// Export snapshots the live tree as a decoded-file structure, including
+// the structural detail the text codec drops (record sizes, slot usage,
+// one-path states, the heap footprint). An export taken with Export renders
+// Table 3 statistics byte-identical to the tree's own ComputeStats, which
+// is what lets a collection tier merge uploaded trees and reproduce the
+// single-process report exactly.
+func (t *Tree) Export(program string) *Export {
+	root := &ExportedNode{ID: 0, Proc: -1, PathCounts: flat.New(0)}
+	ex := &Export{
+		NumProcs:         len(t.procs),
+		DistinguishSites: t.opts.DistinguishCallSites,
+		NumMetrics:       t.opts.NumMetrics,
+		Root:             root,
+		Nodes:            map[int]*ExportedNode{0: root},
+		Program:          program,
+		HasStructure:     true,
+		SizeBytes:        t.HeapBytes(),
+		ListElems:        t.listElems,
+	}
+	next := 1
+	var rec func(n *Node, en *ExportedNode)
+	rec = func(n *Node, en *ExportedNode) {
+		tree, backs := n.Children()
+		for _, ch := range tree {
+			e := &ExportedNode{
+				ID:       next,
+				ParentID: en.ID,
+				Proc:     ch.Proc,
+				Metrics:  append([]int64(nil), ch.Metrics...),
+				Size:     ch.Size,
+				Slots:    make([]SlotStat, len(ch.slots)),
+			}
+			next++
+			for i := range ch.slots {
+				s := &ch.slots[i]
+				e.Slots[i] = SlotStat{Used: s.tag != TagEmpty, PathState: s.pathState, PathPrefix: s.pathPrefix}
+				if s.pathState != 1 {
+					e.Slots[i].PathPrefix = 0
+				}
+			}
+			e.PathCounts = flat.New(ch.NumPathCounts())
+			ch.RangePathCounts(func(s, c int64) bool {
+				e.PathCounts.Set(s, c)
+				return true
+			})
+			en.Children = append(en.Children, e)
+			ex.Nodes[e.ID] = e
+			rec(ch, e)
+		}
+		// Backedge targets are ancestors, so their preorder IDs are already
+		// assigned; record them on the from-node like the text reader does.
+		for _, b := range backs {
+			en.Backedges = append(en.Backedges, ex.idOfAncestor(en, b.Proc))
+		}
+	}
+	rec(t.root, root)
+	return ex
+}
+
+// idOfAncestor resolves the exported ID of the nearest ancestor of n (or n
+// itself) recording the given procedure. The recursion rule guarantees each
+// procedure appears at most once on a root path, so the match is unique.
+func (ex *Export) idOfAncestor(n *ExportedNode, proc int) int {
+	for a := n; a != nil && a.ID != 0; a = ex.Nodes[a.ParentID] {
+		if a.Proc == proc {
+			return a.ID
+		}
+	}
+	return 0
+}
+
+// WriteText re-encodes the export in the text format Tree.Write produces.
+// For an export decoded from (or snapshotted alongside) a written tree the
+// output is byte-identical to the original file; this is the equivalence
+// the binary wire codec's round-trip tests are checked against.
+func (ex *Export) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "cct %d %t %d\n", ex.NumProcs, ex.DistinguishSites, ex.NumMetrics)
+	var backedges [][2]int
+	var rec func(n *ExportedNode)
+	rec = func(n *ExportedNode) {
+		for _, ch := range n.Children {
+			fmt.Fprintf(bw, "node %d %d %d", ch.ID, n.ID, ch.Proc)
+			for _, m := range ch.Metrics {
+				fmt.Fprintf(bw, " %d", m)
+			}
+			fmt.Fprintln(bw)
+			sums := make([]int64, 0, ch.PathCounts.Len())
+			ch.PathCounts.Range(func(s, c int64) bool {
+				if c != 0 {
+					sums = append(sums, s)
+				}
+				return true
+			})
+			slices.Sort(sums)
+			for _, s := range sums {
+				c, _ := ch.PathCounts.Get(s)
+				fmt.Fprintf(bw, "path %d %d %d\n", ch.ID, s, c)
+			}
+			rec(ch)
+		}
+		for _, to := range n.Backedges {
+			backedges = append(backedges, [2]int{n.ID, to})
+		}
+	}
+	rec(ex.Root)
+	for _, be := range backedges {
+		fmt.Fprintf(bw, "back %d %d\n", be[0], be[1])
+	}
+	return bw.Flush()
+}
+
+// readError builds the descriptive malformed-input error Read reports: the
+// line number, the byte offset of the line start, what was wrong, and the
+// underlying cause when there is one.
+func readError(line int, offset int64, cause error, format string, args ...interface{}) error {
+	msg := fmt.Sprintf(format, args...)
+	if cause != nil {
+		return fmt.Errorf("cct: line %d (offset %d): %s: %w", line, offset, msg, cause)
+	}
+	return fmt.Errorf("cct: line %d (offset %d): %s", line, offset, msg)
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read decodes a tree written by Write. Malformed input yields an error
+// naming the line number and file offset of the offending record and the
+// token that failed to parse.
 func Read(r io.Reader) (*Export, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var ex *Export
 	line := 0
+	var offset int64 // byte offset of the current line's start
 	for sc.Scan() {
 		line++
+		lineStart := offset
+		offset += int64(len(sc.Bytes())) + 1
 		f := strings.Fields(sc.Text())
 		if len(f) == 0 {
 			continue
 		}
+		if ex == nil && f[0] != "cct" {
+			return nil, readError(line, lineStart, nil, "%q record before the cct header", f[0])
+		}
 		switch f[0] {
 		case "cct":
 			if len(f) != 4 {
-				return nil, fmt.Errorf("cct: line %d: malformed header", line)
+				return nil, readError(line, lineStart, nil, "malformed header: want 4 fields, have %d", len(f))
 			}
 			np, err1 := strconv.Atoi(f[1])
 			ds, err2 := strconv.ParseBool(f[2])
 			nm, err3 := strconv.Atoi(f[3])
-			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fmt.Errorf("cct: line %d: bad header fields", line)
+			if err := firstErr(err1, err2, err3); err != nil {
+				return nil, readError(line, lineStart, err, "bad header fields %q", f[1:])
 			}
 			root := &ExportedNode{ID: 0, Proc: -1, PathCounts: flat.New(0)}
 			ex = &Export{
@@ -118,67 +287,70 @@ func Read(r io.Reader) (*Export, error) {
 				Nodes: map[int]*ExportedNode{0: root},
 			}
 		case "node":
-			if ex == nil || len(f) < 4 {
-				return nil, fmt.Errorf("cct: line %d: malformed node", line)
+			if len(f) < 4 {
+				return nil, readError(line, lineStart, nil, "malformed node: want >= 4 fields, have %d", len(f))
 			}
 			id, err1 := strconv.Atoi(f[1])
 			pid, err2 := strconv.Atoi(f[2])
 			proc, err3 := strconv.Atoi(f[3])
-			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fmt.Errorf("cct: line %d: bad node fields", line)
+			if err := firstErr(err1, err2, err3); err != nil {
+				return nil, readError(line, lineStart, err, "bad node fields %q", f[1:4])
 			}
 			n := &ExportedNode{ID: id, ParentID: pid, Proc: proc, PathCounts: flat.New(0)}
 			for _, ms := range f[4:] {
 				m, err := strconv.ParseInt(ms, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("cct: line %d: bad metric", line)
+					return nil, readError(line, lineStart, err, "bad metric %q", ms)
 				}
 				n.Metrics = append(n.Metrics, m)
 			}
+			if _, dup := ex.Nodes[id]; dup {
+				return nil, readError(line, lineStart, nil, "duplicate node id %d", id)
+			}
 			parent, ok := ex.Nodes[pid]
 			if !ok {
-				return nil, fmt.Errorf("cct: line %d: node %d has unknown parent %d", line, id, pid)
+				return nil, readError(line, lineStart, nil, "node %d has unknown parent %d", id, pid)
 			}
 			parent.Children = append(parent.Children, n)
 			ex.Nodes[id] = n
 		case "path":
-			if ex == nil || len(f) != 4 {
-				return nil, fmt.Errorf("cct: line %d: malformed path", line)
+			if len(f) != 4 {
+				return nil, readError(line, lineStart, nil, "malformed path: want 4 fields, have %d", len(f))
 			}
 			id, err1 := strconv.Atoi(f[1])
 			sum, err2 := strconv.ParseInt(f[2], 10, 64)
 			cnt, err3 := strconv.ParseInt(f[3], 10, 64)
-			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fmt.Errorf("cct: line %d: bad path fields", line)
+			if err := firstErr(err1, err2, err3); err != nil {
+				return nil, readError(line, lineStart, err, "bad path fields %q", f[1:])
 			}
 			n, ok := ex.Nodes[id]
 			if !ok {
-				return nil, fmt.Errorf("cct: line %d: path for unknown node %d", line, id)
+				return nil, readError(line, lineStart, nil, "path for unknown node %d", id)
 			}
 			n.PathCounts.Set(sum, cnt)
 		case "back":
-			if ex == nil || len(f) != 3 {
-				return nil, fmt.Errorf("cct: line %d: malformed back", line)
+			if len(f) != 3 {
+				return nil, readError(line, lineStart, nil, "malformed back: want 3 fields, have %d", len(f))
 			}
 			from, err1 := strconv.Atoi(f[1])
 			to, err2 := strconv.Atoi(f[2])
-			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("cct: line %d: bad back fields", line)
+			if err := firstErr(err1, err2); err != nil {
+				return nil, readError(line, lineStart, err, "bad back fields %q", f[1:])
 			}
 			n, ok := ex.Nodes[from]
 			if !ok {
-				return nil, fmt.Errorf("cct: line %d: backedge from unknown node %d", line, from)
+				return nil, readError(line, lineStart, nil, "backedge from unknown node %d", from)
 			}
 			if _, ok := ex.Nodes[to]; !ok {
-				return nil, fmt.Errorf("cct: line %d: backedge to unknown node %d", line, to)
+				return nil, readError(line, lineStart, nil, "backedge to unknown node %d", to)
 			}
 			n.Backedges = append(n.Backedges, to)
 		default:
-			return nil, fmt.Errorf("cct: line %d: unknown record %q", line, f[0])
+			return nil, readError(line, lineStart, nil, "unknown record %q", f[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cct: read at offset %d: %w", offset, err)
 	}
 	if ex == nil {
 		return nil, fmt.Errorf("cct: empty input")
@@ -190,17 +362,23 @@ func Read(r io.Reader) (*Export, error) {
 func (ex *Export) NumNodes() int { return len(ex.Nodes) - 1 }
 
 // Stats computes Table 3-style statistics from a decoded file: node count,
-// height, out-degree and per-procedure replication (sizes are not encoded
-// in the file and read as zero).
+// height, out-degree and per-procedure replication. Exports that carry the
+// wire format's structural extras (HasStructure) additionally report exact
+// sizes and call-site columns, making the result identical to the source
+// tree's ComputeStats; text-codec exports read those columns as zero.
 func (ex *Export) Stats() Stats {
 	var st Stats
+	st.ListElems = ex.ListElems
+	st.SizeBytes = ex.SizeBytes
 	repl := map[int]int{}
+	var sizeSum uint64
 	var degSum, interior, leafDepthSum, leaves, maxH int
 	var rec func(n *ExportedNode, depth int)
 	rec = func(n *ExportedNode, depth int) {
 		if n.ID != 0 {
 			st.Nodes++
 			repl[n.Proc]++
+			sizeSum += n.Size
 			deg := len(n.Children) + len(n.Backedges)
 			if deg > 0 {
 				degSum += deg
@@ -212,19 +390,49 @@ func (ex *Export) Stats() Stats {
 			if depth > maxH {
 				maxH = depth
 			}
+			st.CallSitesTotal += len(n.Slots)
+			for _, s := range n.Slots {
+				if s.Used {
+					st.CallSitesUsed++
+					if s.PathState == 1 {
+						st.OnePathSites++
+					}
+				}
+			}
 		}
 		for _, c := range n.Children {
 			rec(c, depth+1)
 		}
 	}
 	rec(ex.Root, 0)
+	st.AvgNodeSize = avgOrZero(float64(sizeSum), float64(st.Nodes))
 	st.AvgOutDegree = avgOrZero(float64(degSum), float64(interior))
 	st.AvgHeight = avgOrZero(float64(leafDepthSum), float64(leaves))
+	if leaves == 0 {
+		// Mirror ComputeStats: with no pure leaves (every record has a
+		// backedge) fall back to the average depth over all records.
+		var depthSum int
+		var all func(n *ExportedNode, depth int)
+		all = func(n *ExportedNode, depth int) {
+			if n.ID != 0 {
+				depthSum += depth
+			}
+			for _, c := range n.Children {
+				all(c, depth+1)
+			}
+		}
+		all(ex.Root, 0)
+		st.AvgHeight = avgOrZero(float64(depthSum), float64(st.Nodes))
+	}
 	st.MaxHeight = maxH
 	for _, c := range repl {
 		if c > st.MaxReplication {
 			st.MaxReplication = c
 		}
+	}
+	if st.Nodes == 0 {
+		st.AvgHeight = 0
+		st.MaxHeight = 0
 	}
 	return st
 }

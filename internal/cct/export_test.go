@@ -211,3 +211,132 @@ func TestMergeExportsShapeMismatch(t *testing.T) {
 		t.Fatal("mismatched exports merged")
 	}
 }
+
+// TestWriteTextMatchesTreeWrite: Export.WriteText reproduces Tree.Write
+// byte-identically, both for a live snapshot and after a Read round trip.
+func TestWriteTextMatchesTreeWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		tr := buildTreeFromTrace(rng, rng.Intn(5)+2, rng.Intn(3)+1, rng.Intn(500)+50, true)
+		var want bytes.Buffer
+		if err := tr.Write(&want); err != nil {
+			t.Fatal(err)
+		}
+		var fromLive bytes.Buffer
+		if err := tr.Export("x").WriteText(&fromLive); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), fromLive.Bytes()) {
+			t.Fatalf("trial %d: live export text differs from Tree.Write:\n%s\n---\n%s",
+				trial, want.String(), fromLive.String())
+		}
+		ex, err := Read(bytes.NewReader(want.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromRead bytes.Buffer
+		if err := ex.WriteText(&fromRead); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), fromRead.Bytes()) {
+			t.Fatalf("trial %d: re-read export text differs from Tree.Write", trial)
+		}
+	}
+}
+
+// TestExportStructuralStats: a live snapshot carries the structural extras
+// and reproduces ComputeStats exactly, including the size and call-site
+// columns the text codec drops.
+func TestExportStructuralStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		tr := buildTreeFromTrace(rng, rng.Intn(5)+2, rng.Intn(3)+1, rng.Intn(600)+50, true)
+		ex := tr.Export("x")
+		if !ex.HasStructure {
+			t.Fatal("Export did not mark structure")
+		}
+		if got, want := ex.Stats(), tr.ComputeStats(); got != want {
+			t.Fatalf("trial %d: structural stats\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+// TestReadDescriptiveErrors: malformed input names the line, offset and
+// offending token.
+func TestReadDescriptiveErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string // substrings of the error
+	}{
+		{"node 1 0 2", []string{"line 1", "offset 0", "before the cct header"}},
+		{"cct 3 true", []string{"line 1", "offset 0", "malformed header"}},
+		{"cct 3 true 1\nnode 5 9 0", []string{"line 2", "offset 13", "unknown parent 9"}},
+		{"cct 3 true 1\nnode 1 0 0\nnode 1 0 1", []string{"line 3", "offset 24", "duplicate node id 1"}},
+		{"cct 3 true 1\npath 7 0 1", []string{"line 2", "offset 13", "unknown node 7"}},
+		{"cct 3 true 1\nback 1 2", []string{"line 2", "offset 13", "backedge from unknown node 1"}},
+		{"cct 3 true 1\nwat", []string{"line 2", "offset 13", `unknown record "wat"`}},
+		{"cct 3 true 1\nnode 1 0 zero", []string{"line 2", "bad node fields"}},
+		{"cct 3 true 1\nnode 1 0 0 12 x", []string{"line 2", `bad metric "x"`}},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("accepted %q", c.in)
+			continue
+		}
+		for _, frag := range c.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("Read(%q) error %q misses %q", c.in, err, frag)
+			}
+		}
+	}
+}
+
+// TestMergeExportsPreservesBackedges: merging keeps recursion edges, so
+// AvgOutDegree (which counts them) survives collection-tier merging.
+func TestMergeExportsPreservesBackedges(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		tr := buildTreeFromTrace(rng, rng.Intn(4)+2, rng.Intn(3)+1, rng.Intn(700)+100, true)
+		a := tr.Export("x")
+		b := tr.Export("x")
+		var backs int
+		for _, n := range a.Nodes {
+			backs += len(n.Backedges)
+		}
+		m, err := MergeExports(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		for _, n := range m.Nodes {
+			got += len(n.Backedges)
+		}
+		if got != backs {
+			t.Fatalf("trial %d: merged backedges %d, want %d", trial, got, backs)
+		}
+		if got, want := m.Stats(), tr.ComputeStats(); got != want {
+			t.Fatalf("trial %d: merged structural stats\n got %+v\nwant %+v", trial, got, want)
+		}
+		var text, mergedText bytes.Buffer
+		if err := a.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		// Halving the merged counters must reproduce the original text.
+		for _, n := range m.Nodes {
+			for i := range n.Metrics {
+				n.Metrics[i] /= 2
+			}
+			n.PathCounts.Range(func(s, c int64) bool {
+				n.PathCounts.Set(s, c/2)
+				return true
+			})
+		}
+		if err := m.WriteText(&mergedText); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(text.Bytes(), mergedText.Bytes()) {
+			t.Fatalf("trial %d: merged tree text (halved) differs from input", trial)
+		}
+	}
+}

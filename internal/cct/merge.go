@@ -23,8 +23,24 @@ func MergeExports(a, b *Export) (*Export, error) {
 		DistinguishSites: a.DistinguishSites,
 		NumMetrics:       a.NumMetrics,
 		Nodes:            map[int]*ExportedNode{},
+		Program:          a.Program,
+		HasStructure:     a.HasStructure && b.HasStructure,
+	}
+	if out.Program == "" {
+		out.Program = b.Program
 	}
 	nextID := 1
+	// graftedBytes accumulates the simulated size of records present only in
+	// b; for same-shape inputs (the sharded-collection case) it stays zero
+	// and the merged heap footprint equals a's exactly.
+	var graftedBytes uint64
+	// Backedge targets are node IDs in their source export's numbering, so
+	// they are resolved to merged nodes by target procedure (unique along a
+	// root path by the recursion rule) and converted back to IDs after the
+	// final renumbering.
+	type pendingBack struct{ from, to *ExportedNode }
+	var pending []pendingBack
+	ancestors := map[int]*ExportedNode{}
 	var merge func(x, y *ExportedNode) *ExportedNode
 	merge = func(x, y *ExportedNode) *ExportedNode {
 		n := &ExportedNode{}
@@ -48,16 +64,65 @@ func MergeExports(a, b *Export) (*Export, error) {
 			n.PathCounts = flat.New(x.PathCounts.Len() + y.PathCounts.Len())
 			addCounts(x)
 			addCounts(y)
+			n.Size = x.Size
+			n.Slots = mergeSlotStats(x.Slots, y.Slots)
 		case x != nil:
 			n.Proc = x.Proc
 			n.Metrics = append(make([]int64, 0, len(x.Metrics)), x.Metrics...)
 			n.PathCounts = flat.New(x.PathCounts.Len())
 			addCounts(x)
+			n.Size = x.Size
+			n.Slots = append([]SlotStat(nil), x.Slots...)
 		default:
 			n.Proc = y.Proc
 			n.Metrics = append(make([]int64, 0, len(y.Metrics)), y.Metrics...)
 			n.PathCounts = flat.New(y.PathCounts.Len())
 			addCounts(y)
+			n.Size = y.Size
+			n.Slots = append([]SlotStat(nil), y.Slots...)
+			graftedBytes += y.Size
+		}
+
+		// Union the backedges by target procedure with multiplicity (one
+		// per originating call site): all of x's, plus y's that have no
+		// counterpart in x.
+		var backProcs []int
+		matched := map[int]int{}
+		if x != nil {
+			for _, to := range x.Backedges {
+				if t, ok := a.Nodes[to]; ok {
+					backProcs = append(backProcs, t.Proc)
+					matched[t.Proc]++
+				}
+			}
+		}
+		if y != nil {
+			for _, to := range y.Backedges {
+				t, ok := b.Nodes[to]
+				if !ok {
+					continue
+				}
+				if matched[t.Proc] > 0 {
+					matched[t.Proc]--
+				} else {
+					backProcs = append(backProcs, t.Proc)
+				}
+			}
+		}
+
+		prev, hadPrev := ancestors[n.Proc]
+		ancestors[n.Proc] = n
+		defer func() {
+			if hadPrev {
+				ancestors[n.Proc] = prev
+			} else {
+				delete(ancestors, n.Proc)
+			}
+		}()
+		for _, p := range backProcs {
+			if anc := ancestors[p]; anc != nil {
+				pending = append(pending, pendingBack{from: n, to: anc})
+			}
 		}
 
 		// Children match by procedure within the parent (one record per
@@ -126,7 +191,49 @@ func MergeExports(a, b *Export) (*Export, error) {
 		}
 	}
 	index(out.Root)
+	for _, pb := range pending {
+		pb.from.Backedges = append(pb.from.Backedges, pb.to.ID)
+	}
+	if out.HasStructure {
+		// Exact for same-shape inputs; for grafted subtrees the footprint
+		// grows by the grafted records (list reallocations, which the export
+		// does not model per-slot, are not charged).
+		out.SizeBytes = a.SizeBytes + graftedBytes
+		out.ListElems = a.ListElems
+	}
 	return out, nil
+}
+
+// mergeSlotStats folds y's per-site states into a copy of x's, with the
+// same one-path rules Tree.MergeFrom applies: a site stays "one path" only
+// if both sides saw the same single prefix.
+func mergeSlotStats(xs, ys []SlotStat) []SlotStat {
+	out := make([]SlotStat, max(len(xs), len(ys)))
+	copy(out, xs)
+	for i := range ys {
+		if i >= len(out) {
+			break
+		}
+		s := &out[i]
+		s.Used = s.Used || ys[i].Used
+		switch ys[i].PathState {
+		case 1:
+			switch s.PathState {
+			case 0:
+				s.PathState = 1
+				s.PathPrefix = ys[i].PathPrefix
+			case 1:
+				if s.PathPrefix != ys[i].PathPrefix {
+					s.PathState = 2
+					s.PathPrefix = 0
+				}
+			}
+		case 2:
+			s.PathState = 2
+			s.PathPrefix = 0
+		}
+	}
+	return out
 }
 
 // MergeAllExports reduces a set of decoded CCT files into one by a

@@ -1,0 +1,145 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pathprof/internal/cct"
+	"pathprof/internal/experiments"
+	"pathprof/internal/profile"
+	"pathprof/internal/wire"
+)
+
+// Client pushes wire-encoded profiles to a collector and queries its
+// tables. The zero HTTPClient uses http.DefaultClient.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (cl *Client) http() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx collector response.
+type apiError struct {
+	Status int
+	Body   string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("collector: HTTP %d: %s", e.Status, strings.TrimSpace(e.Body))
+}
+
+func (cl *Client) push(ctx context.Context, v any) (*IngestResponse, error) {
+	var body bytes.Buffer
+	if err := wire.Encode(&body, v); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+"/ingest", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := cl.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{Status: resp.StatusCode, Body: string(data)}
+	}
+	var ir IngestResponse
+	if err := json.Unmarshal(data, &ir); err != nil {
+		return nil, fmt.Errorf("collector: bad ingest response: %w", err)
+	}
+	return &ir, nil
+}
+
+// PushProfile uploads one path profile.
+func (cl *Client) PushProfile(ctx context.Context, p *profile.Profile) (*IngestResponse, error) {
+	return cl.push(ctx, p)
+}
+
+// PushExport uploads one CCT export.
+func (cl *Client) PushExport(ctx context.Context, ex *cct.Export) (*IngestResponse, error) {
+	return cl.push(ctx, ex)
+}
+
+// PushRun uploads what one instrumented run produced: CCT-building runs
+// contribute their tree (which already embodies any per-context path
+// counts), profile-only runs contribute their path profile.
+func (cl *Client) PushRun(ctx context.Context, cell *experiments.Cell) ([]IngestResponse, error) {
+	var out []IngestResponse
+	if cell.Tree != nil {
+		r, err := cl.PushExport(ctx, cell.Tree.Export(cell.Workload))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, *r)
+	} else if cell.Profile != nil {
+		r, err := cl.PushProfile(ctx, cell.Profile)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, *r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("collector: %s %v run produced nothing to push", cell.Workload, cell.Mode)
+	}
+	return out, nil
+}
+
+func (cl *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{Status: resp.StatusCode, Body: string(data)}
+	}
+	return data, nil
+}
+
+// Table fetches the rendered table n (3, 4 or 5), optionally restricted
+// to the given programs in the given row order.
+func (cl *Client) Table(ctx context.Context, n int, programs []string) (string, error) {
+	path := "/table/" + strconv.Itoa(n)
+	if len(programs) > 0 {
+		path += "?programs=" + strings.Join(programs, ",")
+	}
+	data, err := cl.get(ctx, path)
+	return string(data), err
+}
+
+// Programs fetches the list of aggregated programs.
+func (cl *Client) Programs(ctx context.Context) ([]string, error) {
+	data, err := cl.get(ctx, "/programs")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("collector: bad programs response: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,333 @@
+// Package collector implements the profile collection tier: an HTTP
+// service that ingests wire-format envelopes (internal/wire) POSTed by
+// many concurrent producers, merges them into sharded in-memory
+// aggregates, and answers queries by rendering the paper's tables from
+// the merged data.
+//
+// Concurrency model: admission is bounded by a semaphore of
+// Config.MaxConcurrent slots; each admitted request is decoded off the
+// socket under a request timeout and a body size cap, then folded into
+// one of Config.Shards shard aggregates chosen round-robin. Shards
+// never mutate published values — merging replaces the map entry with a
+// freshly built aggregate (cct.MergeExports builds new nodes; profiles
+// are cloned before profile.Merge) — so queries snapshot pointers under
+// the shard lock and read without further locking. Because merging is
+// associative and commutative over these aggregates, the fully merged
+// result is independent of how requests were spread across shards.
+//
+// Shutdown sets a draining flag (new ingests get 503) and waits for
+// in-flight merges, so no accepted profile is lost.
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathprof/internal/cct"
+	"pathprof/internal/profile"
+)
+
+// Config bounds the collector's resource use. Zero values select the
+// defaults below.
+type Config struct {
+	// Shards is the number of independent aggregate shards (default 4).
+	Shards int
+	// MaxBodyBytes caps one request body (default 64 MiB); larger
+	// uploads get 413.
+	MaxBodyBytes int64
+	// MaxConcurrent bounds admitted ingest requests (default 64); when
+	// all slots are busy new requests get 503.
+	MaxConcurrent int
+	// RequestTimeout bounds one ingest from admission to merge
+	// (default 30s); slow clients get 408.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// shard is one independent slice of the aggregate state. Map values are
+// immutable once published: merges replace entries.
+type shard struct {
+	mu       sync.Mutex
+	profiles map[string]*profile.Profile
+	exports  map[string]*cct.Export
+}
+
+// Metrics is a point-in-time snapshot of the collector's counters.
+type Metrics struct {
+	IngestedProfiles uint64 `json:"ingested_profiles"`
+	IngestedCCTs     uint64 `json:"ingested_ccts"`
+	IngestedBytes    uint64 `json:"ingested_bytes"`
+	RejectedBusy     uint64 `json:"rejected_busy"`
+	RejectedTooLarge uint64 `json:"rejected_too_large"`
+	RejectedTimeout  uint64 `json:"rejected_timeout"`
+	RejectedBad      uint64 `json:"rejected_bad"`
+	RejectedConflict uint64 `json:"rejected_conflict"`
+	RejectedDraining uint64 `json:"rejected_draining"`
+	Inflight         int64  `json:"inflight"`
+	Draining         bool   `json:"draining"`
+}
+
+// Collector aggregates pushed profiles. Create one with New.
+type Collector struct {
+	cfg    Config
+	sem    chan struct{}
+	next   atomic.Uint64 // round-robin shard cursor
+	shards []*shard
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	ingestedProfiles atomic.Uint64
+	ingestedCCTs     atomic.Uint64
+	ingestedBytes    atomic.Uint64
+	rejectedBusy     atomic.Uint64
+	rejectedTooBig   atomic.Uint64
+	rejectedTimeout  atomic.Uint64
+	rejectedBad      atomic.Uint64
+	rejectedConflict atomic.Uint64
+	rejectedDraining atomic.Uint64
+	inflightCount    atomic.Int64
+}
+
+// New creates a collector with cfg (zero fields defaulted).
+func New(cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	c := &Collector{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		shards: make([]*shard, cfg.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			profiles: make(map[string]*profile.Profile),
+			exports:  make(map[string]*cct.Export),
+		}
+	}
+	return c
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Metrics returns a snapshot of the counters.
+func (c *Collector) Metrics() Metrics {
+	c.mu.Lock()
+	draining := c.draining
+	c.mu.Unlock()
+	return Metrics{
+		IngestedProfiles: c.ingestedProfiles.Load(),
+		IngestedCCTs:     c.ingestedCCTs.Load(),
+		IngestedBytes:    c.ingestedBytes.Load(),
+		RejectedBusy:     c.rejectedBusy.Load(),
+		RejectedTooLarge: c.rejectedTooBig.Load(),
+		RejectedTimeout:  c.rejectedTimeout.Load(),
+		RejectedBad:      c.rejectedBad.Load(),
+		RejectedConflict: c.rejectedConflict.Load(),
+		RejectedDraining: c.rejectedDraining.Load(),
+		Inflight:         c.inflightCount.Load(),
+		Draining:         draining,
+	}
+}
+
+// begin admits one ingest: it fails when draining and otherwise
+// registers the request with the drain group. The caller must call the
+// returned done func exactly once.
+func (c *Collector) begin() (done func(), err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return nil, errDraining
+	}
+	c.inflight.Add(1)
+	c.inflightCount.Add(1)
+	return func() {
+		c.inflightCount.Add(-1)
+		c.inflight.Done()
+	}, nil
+}
+
+var errDraining = errors.New("collector: draining")
+
+// Shutdown stops admitting ingests and waits for in-flight requests to
+// finish merging, or for ctx.
+func (c *Collector) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		c.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("collector: shutdown: %w", ctx.Err())
+	}
+}
+
+// conflictError marks a push whose shape or mode contradicts the
+// aggregate already held for its program (HTTP 409).
+type conflictError struct{ err error }
+
+func (e *conflictError) Error() string { return e.err.Error() }
+func (e *conflictError) Unwrap() error { return e.err }
+
+// ingestProfile folds p into a round-robin shard.
+func (c *Collector) ingestProfile(p *profile.Profile) error {
+	sh := c.pick()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.profiles[p.Program]
+	if !ok {
+		sh.profiles[p.Program] = p
+		c.ingestedProfiles.Add(1)
+		return nil
+	}
+	if cur.Mode != p.Mode {
+		return &conflictError{fmt.Errorf("profile mode %q conflicts with aggregated mode %q", p.Mode, cur.Mode)}
+	}
+	merged := cloneProfile(cur)
+	if err := merged.Merge(p); err != nil {
+		return &conflictError{err}
+	}
+	sh.profiles[p.Program] = merged
+	c.ingestedProfiles.Add(1)
+	return nil
+}
+
+// ingestExport folds ex into a round-robin shard.
+func (c *Collector) ingestExport(ex *cct.Export) error {
+	sh := c.pick()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.exports[ex.Program]
+	if !ok {
+		sh.exports[ex.Program] = ex
+		c.ingestedCCTs.Add(1)
+		return nil
+	}
+	merged, err := cct.MergeExports(cur, ex)
+	if err != nil {
+		return &conflictError{err}
+	}
+	merged.Program = cur.Program
+	sh.exports[ex.Program] = merged
+	c.ingestedCCTs.Add(1)
+	return nil
+}
+
+func (c *Collector) pick() *shard {
+	return c.shards[c.next.Add(1)%uint64(len(c.shards))]
+}
+
+// Programs returns every program with any aggregated data, sorted.
+func (c *Collector) Programs() []string {
+	seen := map[string]bool{}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for name := range sh.profiles {
+			seen[name] = true
+		}
+		for name := range sh.exports {
+			seen[name] = true
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MergedExport returns the program's CCT aggregate merged across all
+// shards, or false when no shard holds one. The result shares nodes
+// with at most one shard aggregate when only one shard holds data;
+// callers must not mutate it.
+func (c *Collector) MergedExport(program string) (*cct.Export, bool) {
+	var parts []*cct.Export
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if ex, ok := sh.exports[program]; ok {
+			parts = append(parts, ex)
+		}
+		sh.mu.Unlock()
+	}
+	if len(parts) == 0 {
+		return nil, false
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		merged, err := cct.MergeExports(out, p)
+		if err != nil {
+			// Shards only hold exports that merged cleanly with each
+			// other's stream; cross-shard mismatch means the producers
+			// pushed inconsistent trees. Surface the first shard's view.
+			return out, true
+		}
+		out = merged
+	}
+	return out, true
+}
+
+// MergedProfile returns the program's path profile merged across all
+// shards, or false when no shard holds one. The result is always a
+// clone; callers may mutate it.
+func (c *Collector) MergedProfile(program string) (*profile.Profile, bool) {
+	var parts []*profile.Profile
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if p, ok := sh.profiles[program]; ok {
+			parts = append(parts, p)
+		}
+		sh.mu.Unlock()
+	}
+	if len(parts) == 0 {
+		return nil, false
+	}
+	out := cloneProfile(parts[0])
+	for _, p := range parts[1:] {
+		if err := out.Merge(p); err != nil {
+			return out, true
+		}
+	}
+	return out, true
+}
+
+// cloneProfile deep-copies p so merges never mutate published
+// aggregates out from under concurrent readers.
+func cloneProfile(p *profile.Profile) *profile.Profile {
+	q := &profile.Profile{Program: p.Program, Mode: p.Mode, Event0: p.Event0, Event1: p.Event1}
+	q.Procs = make([]*profile.ProcPaths, len(p.Procs))
+	for i, pp := range p.Procs {
+		cp := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.NumPaths}
+		cp.Entries = make([]profile.PathEntry, len(pp.Entries))
+		copy(cp.Entries, pp.Entries)
+		q.Procs[i] = cp
+	}
+	return q
+}

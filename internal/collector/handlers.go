@@ -1,0 +1,232 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/experiments"
+	"pathprof/internal/wire"
+)
+
+// Handler returns the collector's HTTP surface:
+//
+//	POST /ingest    one wire envelope (profile or CCT export)
+//	GET  /table/3   CCT statistics from merged exports
+//	GET  /table/4   hot paths from merged profiles
+//	GET  /table/5   hot procedures from merged profiles
+//	GET  /programs  JSON list of aggregated programs
+//	GET  /metrics   JSON counters
+//	GET  /healthz   liveness (503 while draining)
+//
+// The table endpoints accept ?programs=a,b to select and order rows;
+// the default is every aggregated program in sorted order.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", c.handleIngest)
+	mux.HandleFunc("GET /table/3", c.handleTable3)
+	mux.HandleFunc("GET /table/4", c.handleTable4)
+	mux.HandleFunc("GET /table/5", c.handleTable5)
+	mux.HandleFunc("GET /programs", c.handlePrograms)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	return mux
+}
+
+// IngestResponse is the JSON body of a successful push.
+type IngestResponse struct {
+	Kind    string `json:"kind"`
+	Program string `json:"program"`
+}
+
+func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
+	done, err := c.begin()
+	if err != nil {
+		c.rejectedDraining.Add(1)
+		http.Error(w, "collector is draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer done()
+
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	defer cancel()
+
+	// Admission: wait for a concurrency slot, but never longer than the
+	// request timeout.
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-ctx.Done():
+		c.rejectedBusy.Add(1)
+		http.Error(w, "too many concurrent pushes", http.StatusServiceUnavailable)
+		return
+	}
+
+	// Read the body on a helper goroutine so a dribbling client hits the
+	// request timeout instead of pinning the slot; the abandoned reader
+	// unblocks when the server tears the connection down.
+	body := http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	type readResult struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan readResult, 1)
+	go func() {
+		data, err := io.ReadAll(body)
+		ch <- readResult{data, err}
+	}()
+	var data []byte
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(res.err, &mbe) {
+				c.rejectedTooBig.Add(1)
+				abortBody(w)
+				http.Error(w, "profile exceeds the size limit", http.StatusRequestEntityTooLarge)
+			} else {
+				c.rejectedBad.Add(1)
+				http.Error(w, "reading body: "+res.err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		data = res.data
+	case <-ctx.Done():
+		c.rejectedTimeout.Add(1)
+		abortBody(w)
+		http.Error(w, "push timed out", http.StatusRequestTimeout)
+		return
+	}
+
+	pl, err := wire.Decode(bytes.NewReader(data))
+	if err != nil {
+		c.rejectedBad.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if pl.Program() == "" {
+		c.rejectedBad.Add(1)
+		http.Error(w, "payload names no program", http.StatusBadRequest)
+		return
+	}
+	switch pl.Kind {
+	case wire.KindProfile:
+		err = c.ingestProfile(pl.Profile)
+	case wire.KindCCT:
+		err = c.ingestExport(pl.Export)
+	}
+	if err != nil {
+		var ce *conflictError
+		if errors.As(err, &ce) {
+			c.rejectedConflict.Add(1)
+			http.Error(w, err.Error(), http.StatusConflict)
+		} else {
+			c.rejectedBad.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	c.ingestedBytes.Add(uint64(len(data)))
+	writeJSON(w, IngestResponse{Kind: pl.Kind.String(), Program: pl.Program()})
+}
+
+// abortBody forces pending and post-handler reads of the request body to
+// fail immediately. Without this the server would stall the error
+// response behind draining the rest of a slow or oversized upload.
+func abortBody(w http.ResponseWriter) {
+	http.NewResponseController(w).SetReadDeadline(time.Now())
+}
+
+// requestedPrograms resolves the ?programs= selection (explicit order)
+// or defaults to every aggregated program sorted.
+func (c *Collector) requestedPrograms(r *http.Request) []string {
+	if q := r.URL.Query().Get("programs"); q != "" {
+		var out []string
+		for _, name := range strings.Split(q, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				out = append(out, name)
+			}
+		}
+		return out
+	}
+	return c.Programs()
+}
+
+func (c *Collector) handleTable3(w http.ResponseWriter, r *http.Request) {
+	var rows []experiments.Table3Row
+	for _, name := range c.requestedPrograms(r) {
+		ex, ok := c.MergedExport(name)
+		if !ok {
+			http.Error(w, "no CCT aggregate for "+name, http.StatusNotFound)
+			return
+		}
+		rows = append(rows, experiments.Table3Row{Name: name, Stats: ex.Stats()})
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	experiments.RenderTable3(rows, w)
+}
+
+func (c *Collector) handleTable4(w http.ResponseWriter, r *http.Request) {
+	var results []experiments.Table4Result
+	for _, name := range c.requestedPrograms(r) {
+		p, ok := c.MergedProfile(name)
+		if !ok {
+			http.Error(w, "no profile aggregate for "+name, http.StatusNotFound)
+			return
+		}
+		results = append(results, experiments.Table4FromProfile(name, p))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	experiments.RenderTable4(results, w)
+}
+
+func (c *Collector) handleTable5(w http.ResponseWriter, r *http.Request) {
+	var reports []analysis.ProcReport
+	for _, name := range c.requestedPrograms(r) {
+		p, ok := c.MergedProfile(name)
+		if !ok {
+			http.Error(w, "no profile aggregate for "+name, http.StatusNotFound)
+			return
+		}
+		reports = append(reports, analysis.ClassifyProcs(p, analysis.DefaultHotThreshold))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	experiments.RenderTable5(reports, w)
+}
+
+func (c *Collector) handlePrograms(w http.ResponseWriter, _ *http.Request) {
+	progs := c.Programs()
+	if progs == nil {
+		progs = []string{}
+	}
+	writeJSON(w, progs)
+}
+
+func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, c.Metrics())
+}
+
+func (c *Collector) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	draining := c.draining
+	c.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -92,6 +92,15 @@ func (s *Session) Run(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Ev
 	return s.RunCtx(context.Background(), w, mode, ev0, ev1)
 }
 
+// RunFresh executes the cell without consulting or populating the session
+// cache: every call is an independent instrumented run (the workload build
+// and the instrumentation plan are still shared). Collection clients use it
+// so repeated pushes upload genuinely re-collected trees rather than one
+// cached pointer.
+func (s *Session) RunFresh(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
+	return s.simulate(ctx, w, mode, ev0, ev1)
+}
+
 // simulate performs the actual cell run (no caching; RunCtx layers the
 // singleflight cache on top).
 func (s *Session) simulate(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
@@ -475,16 +484,22 @@ func (s *Session) Table4() ([]Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := Table4Result{Name: w.Name, Std: analysis.ClassifyPaths(cell.Profile, analysis.DefaultHotThreshold)}
-		// The paper drops to 0.1% for programs (go, gcc) whose 1% hot paths
-		// cover less than half the misses.
-		if res.Std.Hot.MissFrac(res.Std.TotalMisses) < 0.5 {
-			low := analysis.ClassifyPaths(cell.Profile, analysis.LowHotThreshold)
-			res.Low = &low
-		}
-		out = append(out, res)
+		out = append(out, Table4FromProfile(w.Name, cell.Profile))
 	}
 	return out, nil
+}
+
+// Table4FromProfile classifies one flow+HW profile exactly as Table4 does:
+// the standard 1% threshold, with a 0.1% rerun when the hot paths cover
+// less than half the misses (the paper's go/gcc adjustment). The collection
+// daemon renders Table 4 rows from merged profiles through this helper.
+func Table4FromProfile(name string, p *profile.Profile) Table4Result {
+	res := Table4Result{Name: name, Std: analysis.ClassifyPaths(p, analysis.DefaultHotThreshold)}
+	if res.Std.Hot.MissFrac(res.Std.TotalMisses) < 0.5 {
+		low := analysis.ClassifyPaths(p, analysis.LowHotThreshold)
+		res.Low = &low
+	}
+	return res
 }
 
 // RenderTable4 writes the Table 4 report.

@@ -1,0 +1,44 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: arbitrary text must either parse or error — never panic. A
+// successful parse must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	p := &Profile{
+		Program: "seed", Mode: "flow+hw", Event0: "dcache-miss", Event1: "insts",
+		Procs: []*ProcPaths{
+			{ProcID: 0, Name: "main", NumPaths: 4, Entries: []PathEntry{
+				{Sum: 0, Freq: 3, M0: 7, M1: 41},
+				{Sum: 2, Freq: 1, M0: 0, M1: 9},
+			}},
+			{ProcID: 1, Name: "a proc with spaces", NumPaths: 2},
+		},
+	}
+	var seed bytes.Buffer
+	if err := p.Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("profile x y z")
+	f.Add("proc 0 main 4\npath 0 1 2 3")
+	f.Add("profile p m e0 e1\nproc zero main 4\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		got, err := Read(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("parsed profile failed to write: %v", err)
+		}
+		if _, err := Read(&out); err != nil {
+			t.Fatalf("written profile failed to re-read: %v", err)
+		}
+	})
+}

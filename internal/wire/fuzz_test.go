@@ -1,0 +1,81 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pathprof/internal/cct"
+	"pathprof/internal/profile"
+	"pathprof/internal/wire"
+)
+
+// seedEnvelopes builds small valid envelopes of both kinds without the
+// simulator, so the corpus is cheap and deterministic.
+func seedEnvelopes() [][]byte {
+	p := &profile.Profile{
+		Program: "seed", Mode: "flow+hw", Event0: "dcache-miss", Event1: "insts",
+		Procs: []*profile.ProcPaths{
+			{ProcID: 0, Name: "main", NumPaths: 4, Entries: []profile.PathEntry{
+				{Sum: 0, Freq: 3, M0: 7, M1: 41},
+				{Sum: 2, Freq: 1, M0: 0, M1: 9},
+			}},
+			{ProcID: 1, Name: "leaf", NumPaths: 2},
+		},
+	}
+	tr := cct.New([]cct.ProcInfo{
+		{Name: "main", NumSites: 2, NumPaths: 4},
+		{Name: "leaf", NumSites: 1, NumPaths: 2},
+	}, cct.Options{DistinguishCallSites: true, NumMetrics: 1, PathCounts: true}, 0)
+	tr.AtCall(0, cct.NoPrefix, nil)
+	tr.Enter(0, nil)
+	tr.AddMetric(0, 1, nil)
+	tr.CountPath(1, nil)
+	tr.AtCall(1, cct.NoPrefix, nil)
+	tr.Enter(1, nil)
+	tr.AddMetric(0, 2, nil)
+	tr.AtCall(0, cct.NoPrefix, nil)
+	tr.Enter(0, nil) // recursive: becomes a backedge
+	tr.Exit(nil)
+	tr.Exit(nil)
+	tr.Exit(nil)
+
+	var pb, xb bytes.Buffer
+	if err := wire.EncodeProfile(&pb, p); err != nil {
+		panic(err)
+	}
+	if err := wire.EncodeExport(&xb, tr.Export("seed")); err != nil {
+		panic(err)
+	}
+	return [][]byte{pb.Bytes(), xb.Bytes()}
+}
+
+// FuzzDecode: arbitrary input must produce either a decoded payload or a
+// descriptive error — never a panic, and never unbounded allocation. A
+// successful decode must also re-encode.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range seedEnvelopes() {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+	}
+	f.Add([]byte("PPW1"))
+	f.Add([]byte("PPW1\x01\x02\x00"))
+	f.Add([]byte("not an envelope at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := wire.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		switch pl.Kind {
+		case wire.KindProfile:
+			err = wire.EncodeProfile(&buf, pl.Profile)
+		case wire.KindCCT:
+			err = wire.EncodeExport(&buf, pl.Export)
+		default:
+			t.Fatalf("decode accepted unknown kind %v", pl.Kind)
+		}
+		if err != nil {
+			t.Fatalf("decoded payload failed to re-encode: %v", err)
+		}
+	})
+}

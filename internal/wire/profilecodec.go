@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"io"
+
+	"pathprof/internal/profile"
+)
+
+// Profile payload layout.
+//
+// Section secProfileHeader (one, first):
+//
+//	string program, string mode, string event0, string event1
+//
+// Section secProfileProc (one per procedure, in profile order):
+//
+//	varint procID, string name, varint numPaths,
+//	uvarint numEntries, then per entry (in stored order):
+//	varint sum, uvarint freq, uvarint m0, uvarint m1
+
+// EncodeProfile writes p as one wire envelope.
+func EncodeProfile(w io.Writer, p *profile.Profile) error {
+	e := newEncoder(w)
+	if err := e.header(KindProfile); err != nil {
+		return err
+	}
+	b := e.tmp[:0]
+	b = putString(b, p.Program)
+	b = putString(b, p.Mode)
+	b = putString(b, p.Event0)
+	b = putString(b, p.Event1)
+	if err := e.section(secProfileHeader, b); err != nil {
+		return err
+	}
+	for _, pp := range p.Procs {
+		b = b[:0]
+		b = putVarint(b, int64(pp.ProcID))
+		b = putString(b, pp.Name)
+		b = putVarint(b, pp.NumPaths)
+		b = putUvarint(b, uint64(len(pp.Entries)))
+		for _, en := range pp.Entries {
+			b = putVarint(b, en.Sum)
+			b = putUvarint(b, en.Freq)
+			b = putUvarint(b, en.M0)
+			b = putUvarint(b, en.M1)
+		}
+		if err := e.section(secProfileProc, b); err != nil {
+			return err
+		}
+	}
+	e.tmp = b
+	return e.finish()
+}
+
+// DecodeProfile reads one envelope that must carry a profile.
+func DecodeProfile(r io.Reader) (*profile.Profile, error) {
+	pl, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if pl.Kind != KindProfile {
+		return nil, errKind(KindProfile, pl.Kind)
+	}
+	return pl.Profile, nil
+}
+
+func errKind(want, got Kind) error {
+	return &KindError{Want: want, Got: got}
+}
+
+// KindError reports an envelope carrying the wrong payload kind.
+type KindError struct{ Want, Got Kind }
+
+func (e *KindError) Error() string {
+	return "wire: payload is a " + e.Got.String() + ", want " + e.Want.String()
+}
+
+func decodeProfileSections(d *decoder) (*profile.Profile, error) {
+	var p *profile.Profile
+	for {
+		id, payload, err := d.nextSection()
+		if err != nil {
+			return nil, err
+		}
+		if id == secEnd {
+			break
+		}
+		c := &cursor{b: payload}
+		switch id {
+		case secProfileHeader:
+			if p != nil {
+				return nil, d.errorf("duplicate profile header section")
+			}
+			p = &profile.Profile{}
+			if p.Program, err = c.string(); err == nil {
+				if p.Mode, err = c.string(); err == nil {
+					if p.Event0, err = c.string(); err == nil {
+						p.Event1, err = c.string()
+					}
+				}
+			}
+			if err == nil {
+				err = c.done()
+			}
+			if err != nil {
+				return nil, d.errorf("profile header: %v", err)
+			}
+		case secProfileProc:
+			if p == nil {
+				return nil, d.errorf("proc section before profile header")
+			}
+			pp, err := decodeProcSection(c)
+			if err != nil {
+				return nil, d.errorf("proc section: %v", err)
+			}
+			p.Procs = append(p.Procs, pp)
+		default:
+			return nil, d.errorf("unexpected section %d in profile payload", id)
+		}
+	}
+	if p == nil {
+		return nil, d.errorf("profile payload has no header section")
+	}
+	return p, nil
+}
+
+func decodeProcSection(c *cursor) (*profile.ProcPaths, error) {
+	pp := &profile.ProcPaths{}
+	id, err := c.varint()
+	if err != nil {
+		return nil, err
+	}
+	pp.ProcID = int(id)
+	if pp.Name, err = c.string(); err != nil {
+		return nil, err
+	}
+	if pp.NumPaths, err = c.varint(); err != nil {
+		return nil, err
+	}
+	n, err := c.count(4) // sum + freq + m0 + m1, one byte each minimum
+	if err != nil {
+		return nil, err
+	}
+	pp.Entries = make([]profile.PathEntry, n)
+	for i := range pp.Entries {
+		en := &pp.Entries[i]
+		if en.Sum, err = c.varint(); err != nil {
+			return nil, err
+		}
+		if en.Freq, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		if en.M0, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		if en.M1, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return pp, nil
+}

@@ -1,0 +1,267 @@
+package wire_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pathprof/internal/cct"
+	"pathprof/internal/experiments"
+	"pathprof/internal/instrument"
+	"pathprof/internal/profile"
+	"pathprof/internal/wire"
+	"pathprof/internal/workload"
+)
+
+// testWorkloads keeps the round-trip tests fast: two programs with very
+// different shapes (deep call tree vs. path-rich search).
+var testWorkloads = []string{"objdb", "compress"}
+
+func newSession(t *testing.T) *experiments.Session {
+	t.Helper()
+	s := experiments.NewSession(workload.Test)
+	var ws []workload.Workload
+	for _, name := range testWorkloads {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		ws = append(ws, w)
+	}
+	s.Workloads = ws
+	return s
+}
+
+func realProfile(t *testing.T, s *experiments.Session, name string) *profile.Profile {
+	t.Helper()
+	w, _ := workload.ByName(name)
+	cell, err := s.Run(w, instrument.ModePathHW, experiments.StandardEvents[0], experiments.StandardEvents[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell.Profile
+}
+
+func realTree(t *testing.T, s *experiments.Session, name string) *cct.Tree {
+	t.Helper()
+	w, _ := workload.ByName(name)
+	cell, err := s.Run(w, instrument.ModeContextFlow, experiments.StandardEvents[0], experiments.StandardEvents[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell.Tree
+}
+
+// TestProfileRoundTrip: wire encode/decode preserves a real flow+HW profile
+// byte-identically under the text encoder, and the wire form is smaller.
+func TestProfileRoundTrip(t *testing.T) {
+	s := newSession(t)
+	for _, name := range testWorkloads {
+		p := realProfile(t, s, name)
+		var text bytes.Buffer
+		if err := p.Write(&text); err != nil {
+			t.Fatal(err)
+		}
+		var bin bytes.Buffer
+		if err := wire.EncodeProfile(&bin, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.DecodeProfile(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		var text2 bytes.Buffer
+		if err := got.Write(&text2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(text.Bytes(), text2.Bytes()) {
+			t.Fatalf("%s: profile text differs after wire round trip", name)
+		}
+		if bin.Len() >= text.Len() {
+			t.Errorf("%s: wire form %d bytes, text form %d — wire should be compact",
+				name, bin.Len(), text.Len())
+		}
+	}
+}
+
+// TestExportRoundTrip: wire encode/decode preserves a real CCT export both
+// byte-identically under the text encoder and exactly under Stats().
+func TestExportRoundTrip(t *testing.T) {
+	s := newSession(t)
+	for _, name := range testWorkloads {
+		tr := realTree(t, s, name)
+		ex := tr.Export(name)
+		if !ex.HasStructure {
+			t.Fatalf("%s: Tree.Export did not mark structure", name)
+		}
+		var text bytes.Buffer
+		if err := ex.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		var bin bytes.Buffer
+		if err := wire.EncodeExport(&bin, ex); err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.DecodeExport(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		var text2 bytes.Buffer
+		if err := got.WriteText(&text2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(text.Bytes(), text2.Bytes()) {
+			t.Fatalf("%s: cct text differs after wire round trip", name)
+		}
+		if want, gotStats := tr.ComputeStats(), got.Stats(); gotStats != want {
+			t.Fatalf("%s: stats after round trip\n got %+v\nwant %+v", name, gotStats, want)
+		}
+		if bin.Len() >= text.Len() {
+			t.Errorf("%s: wire form %d bytes, text form %d — wire should be compact",
+				name, bin.Len(), text.Len())
+		}
+	}
+}
+
+// TestExportMatchesTextCodec: decoding the wire form equals decoding the
+// text form for everything the text form carries.
+func TestExportMatchesTextCodec(t *testing.T) {
+	s := newSession(t)
+	tr := realTree(t, s, testWorkloads[0])
+	ex := tr.Export(testWorkloads[0])
+
+	var text bytes.Buffer
+	if err := ex.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := cct.Read(bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := wire.EncodeExport(&bin, ex); err != nil {
+		t.Fatal(err)
+	}
+	fromWire, err := wire.DecodeExport(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := fromText.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fromWire.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("wire decode and text decode disagree")
+	}
+}
+
+// TestDecodeGenericEnvelope: Decode dispatches on the kind byte.
+func TestDecodeGenericEnvelope(t *testing.T) {
+	s := newSession(t)
+	p := realProfile(t, s, testWorkloads[0])
+	tr := realTree(t, s, testWorkloads[0])
+
+	var bin bytes.Buffer
+	if err := wire.Encode(&bin, p); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := wire.Decode(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Kind != wire.KindProfile || pl.Profile == nil || pl.Export != nil {
+		t.Fatalf("bad profile payload: %+v", pl)
+	}
+	if pl.Program() != p.Program {
+		t.Fatalf("program %q, want %q", pl.Program(), p.Program)
+	}
+
+	bin.Reset()
+	if err := wire.Encode(&bin, tr.Export("x")); err != nil {
+		t.Fatal(err)
+	}
+	pl, err = wire.Decode(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Kind != wire.KindCCT || pl.Export == nil || pl.Profile != nil {
+		t.Fatalf("bad cct payload: %+v", pl)
+	}
+	if pl.Program() != "x" {
+		t.Fatalf("program %q, want x", pl.Program())
+	}
+}
+
+// TestKindMismatch: the typed decoders reject the other payload kind.
+func TestKindMismatch(t *testing.T) {
+	s := newSession(t)
+	p := realProfile(t, s, testWorkloads[0])
+	var bin bytes.Buffer
+	if err := wire.EncodeProfile(&bin, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeExport(bytes.NewReader(bin.Bytes())); err == nil {
+		t.Fatal("DecodeExport accepted a profile envelope")
+	} else if !strings.Contains(err.Error(), "profile") {
+		t.Fatalf("unhelpful kind error: %v", err)
+	}
+}
+
+// TestDecodeTruncated: every proper prefix of a valid envelope errors and
+// never panics.
+func TestDecodeTruncated(t *testing.T) {
+	s := newSession(t)
+	p := realProfile(t, s, testWorkloads[1])
+	var bin bytes.Buffer
+	if err := wire.EncodeProfile(&bin, p); err != nil {
+		t.Fatal(err)
+	}
+	data := bin.Bytes()
+	for n := 0; n < len(data); n++ {
+		if _, err := wire.Decode(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("accepted %d-byte prefix of a %d-byte envelope", n, len(data))
+		}
+	}
+}
+
+// TestDecodeCorrupt: flipping any single bit is caught (structurally or by
+// the CRC-32C trailer).
+func TestDecodeCorrupt(t *testing.T) {
+	s := newSession(t)
+	tr := realTree(t, s, testWorkloads[0])
+	var bin bytes.Buffer
+	if err := wire.EncodeExport(&bin, tr.Export("x")); err != nil {
+		t.Fatal(err)
+	}
+	data := bin.Bytes()
+	step := 1
+	if len(data) > 4096 {
+		step = len(data) / 4096
+	}
+	for i := 0; i < len(data); i += step {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x40
+		if _, err := wire.Decode(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("accepted envelope with byte %d corrupted", i)
+		}
+	}
+}
+
+// TestBadHeader: wrong magic and unsupported versions are rejected up front.
+func TestBadHeader(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("PPW"),
+		[]byte("XXXX\x01\x01"),
+		[]byte("PPW1\x07\x01"), // future version
+		[]byte("PPW1\x01\x09"), // unknown kind
+	}
+	for _, c := range cases {
+		if _, err := wire.Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("accepted header %q", c)
+		}
+	}
+}

@@ -17,3 +17,16 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 out="$(go test -run='^$' -bench='BenchmarkCCT' -benchmem -benchtime=1000x .)"
 echo "$out"
 echo "$out" | grep 'BenchmarkCCTEnterExit' | grep -q ' 0 allocs/op'
+
+# Wire codec throughput and end-to-end collector ingest. TestMain splits
+# Wire records into BENCH_wire.json; the ingest benchmark exercises the
+# whole collection tier (encode, HTTP POST, decode, sharded merge).
+out="$(go test -run='^$' -bench='BenchmarkWire' -benchmem -benchtime=100x .)"
+echo "$out"
+echo "$out" | grep -q 'BenchmarkWireIngest'
+test -s BENCH_wire.json
+
+# Decoder hardening: the fuzz targets must survive a short smoke run
+# (corrupt and truncated input may error, never panic).
+go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/wire
+go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=5s ./internal/profile
