@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http/httptest"
@@ -365,13 +366,18 @@ func cctOpSequence(n int) []cctOp {
 	return ops
 }
 
-// newBenchTree builds the 8-procedure tree the CCT micro-benchmarks share.
-func newBenchTree() *cct.Tree {
+// newBenchTree builds the 8-procedure tree the CCT micro-benchmarks share,
+// with the classic metric layout (invocations + two counters).
+func newBenchTree() *cct.Tree { return newBenchTreeN(3) }
+
+// newBenchTreeN is newBenchTree with an explicit per-record metric count
+// (1 + the number of hardware counters the schema names).
+func newBenchTreeN(numMetrics int) *cct.Tree {
 	procs := make([]cct.ProcInfo, 8)
 	for i := range procs {
 		procs[i] = cct.ProcInfo{Name: "p", NumSites: 4, NumPaths: 8}
 	}
-	return cct.New(procs, cct.Options{DistinguishCallSites: true, NumMetrics: 3}, 0)
+	return cct.New(procs, cct.Options{DistinguishCallSites: true, NumMetrics: numMetrics}, 0)
 }
 
 // playCCTOps replays the sequence once from index j, returning the next
@@ -395,35 +401,65 @@ func playCCTOps(tree *cct.Tree, ops []cctOp, j int) int {
 // BenchmarkCCTEnterExit measures steady-state CCT maintenance: the call
 // stream is precomputed and the tree pre-warmed, so the timed loop is pure
 // slot lookups, move-to-front scans and shadow-stack pushes — the paper's
-// "few instructions per call" budget. Must be 0 allocs/op (ci.sh asserts).
+// "few instructions per call" budget. N is the metric-schema width (record
+// metrics are 1+N); the record size grows with N but the maintenance path
+// never touches the metric slots, so each variant must stay 0 allocs/op
+// (ci.sh asserts the classic N=2 row).
 func BenchmarkCCTEnterExit(b *testing.B) {
-	tree := newBenchTree()
-	ops := cctOpSequence(1 << 16)
-	for j := 0; j != len(ops)-1; {
-		j = playCCTOps(tree, ops, j) // warm: build every record once
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			tree := newBenchTreeN(1 + n)
+			ops := cctOpSequence(1 << 16)
+			for j := 0; j != len(ops)-1; {
+				j = playCCTOps(tree, ops, j) // warm: build every record once
+			}
+			playCCTOps(tree, ops, len(ops)-1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			// The op dispatch is inlined here (rather than calling
+			// playCCTOps) so the timed loop measures tree maintenance, not a
+			// wrapper call.
+			j := 0
+			for i := 0; i < b.N; i++ {
+				o := ops[j]
+				if o.enter {
+					tree.AtCall(int(o.site), cct.NoPrefix, nil)
+					tree.Enter(int(o.proc), nil)
+				}
+				if o.exit {
+					tree.Exit(nil)
+				}
+				j++
+				if j == len(ops) {
+					j = 0
+				}
+			}
+			b.StopTimer()
+			recordBench(b, map[string]float64{"cct-nodes": float64(tree.NumNodes())})
+		})
 	}
-	playCCTOps(tree, ops, len(ops)-1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	// The op dispatch is inlined here (rather than calling playCCTOps) so
-	// the timed loop measures tree maintenance, not a wrapper call.
-	j := 0
-	for i := 0; i < b.N; i++ {
-		o := ops[j]
-		if o.enter {
-			tree.AtCall(int(o.site), cct.NoPrefix, nil)
-			tree.Enter(int(o.proc), nil)
-		}
-		if o.exit {
-			tree.Exit(nil)
-		}
-		j++
-		if j == len(ops) {
-			j = 0
-		}
+}
+
+// BenchmarkCCTProfileAccumulate measures the per-exit metric accumulation
+// the HW modes perform: N counter deltas folded into the current record.
+// The work is linear in the schema width; N=2 is the paper's classic pair.
+func BenchmarkCCTProfileAccumulate(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			tree := newBenchTreeN(1 + n)
+			tree.AtCall(0, cct.NoPrefix, nil)
+			tree.Enter(0, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 1; k <= n; k++ {
+					tree.AddMetric(k, int64(i), nil)
+				}
+			}
+			b.StopTimer()
+			recordBench(b, map[string]float64{"metric-slots": float64(n)})
+		})
 	}
-	b.StopTimer()
-	recordBench(b, map[string]float64{"cct-nodes": float64(tree.NumNodes())})
 }
 
 // TestCCTEnterExitZeroAlloc pins the steady-state guarantee the arena

@@ -4,13 +4,15 @@
 // Usage:
 //
 //	experiments [-table N | -all] [-scale ref|test] [-workloads a,b,c]
-//	            [-parallel N] [-shards N] [-v]
+//	            [-parallel N] [-shards N] [-mux [-events a,b,c,d]] [-v]
 //
 // -parallel sets the experiment engine's worker count (0 means
 // GOMAXPROCS, 1 forces serial execution); rendered tables are
 // byte-identical at any setting. -shards N collects Table 3's calling
 // context trees from N independent instrumented runs merged together —
-// output is byte-identical at any shard count. -v prints per-cell
+// output is byte-identical at any shard count. -mux skips the paper
+// tables and instead compares time-multiplexed scaled estimates of the
+// -events metric set against dedicated-counter runs. -v prints per-cell
 // timings to stderr.
 package main
 
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"pathprof/internal/experiments"
+	"pathprof/internal/hpm"
 	"pathprof/internal/workload"
 )
 
@@ -36,6 +39,8 @@ func main() {
 	only := flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
 	parallel := flag.Int("parallel", 0, "worker pool size for cell execution (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 1, "independent runs to merge per Table 3 CCT (sharded collection)")
+	mux := flag.Bool("mux", false, "report multiplexed vs dedicated counter accuracy instead of the paper tables")
+	events := flag.String("events", "cycles,insts,loads,branches", "metric set for -mux (comma-separated event names)")
 	verbose := flag.Bool("v", false, "print per-cell timing/throughput to stderr")
 	flag.Parse()
 
@@ -60,6 +65,20 @@ func main() {
 			subset = append(subset, w)
 		}
 		s.Workloads = subset
+	}
+
+	if *mux {
+		set, err := hpm.ParseMetricSet(*events)
+		exitOn(err)
+		for i, w := range s.Workloads {
+			rows, err := s.MuxAccuracy(w, set)
+			exitOn(err)
+			if i > 0 {
+				fmt.Println()
+			}
+			experiments.RenderMuxAccuracy(w.Name, set, s.SimConfig.NumCounters, rows, os.Stdout)
+		}
+		return
 	}
 
 	tables := []int{}
@@ -132,7 +151,7 @@ func printTimings(s *experiments.Session) {
 		wall += t.Wall
 		instrs += t.Instrs
 		fmt.Fprintf(os.Stderr, "%-10s %-14s %-22s %10s %12d %12.3e\n",
-			t.Workload, t.Mode, t.Ev0+"+"+t.Ev1,
+			t.Workload, t.Mode, t.Events,
 			t.Wall.Round(time.Millisecond), t.Instrs, t.InstrsPerSec())
 	}
 	fmt.Fprintf(os.Stderr, "%d cells simulated, %s total simulation wall time, %d instrs\n",

@@ -9,6 +9,10 @@
 //	   [-scale ref|test] [-events dcache-miss,insts] [-top 10]
 //	   [-profile out.prof] [-cct] [-parallel N]
 //
+// -events takes any number of comma-separated event names (the metric
+// schema); instrumented runs get a counter bank as wide as the set, and
+// every profile column is labelled with its event name.
+//
 // Runs go through the concurrent experiment engine: with several
 // workloads, simulations execute on a bounded worker pool (-parallel, 0 =
 // GOMAXPROCS) while reports are printed in the order the workloads were
@@ -43,7 +47,7 @@ func main() {
 	names := flag.String("workload", "", "comma-separated workloads to profile (see cmd/specgen -list)")
 	modeStr := flag.String("mode", "flowhw", "flow | flowhw | context | combined | edge | block")
 	scaleStr := flag.String("scale", "test", "workload scale: ref or test")
-	events := flag.String("events", "dcache-miss,insts", "PIC0,PIC1 event selection")
+	events := flag.String("events", "dcache-miss,insts", "comma-separated event selection (any number of names)")
 	top := flag.Int("top", 10, "hot paths to list")
 	profileOut := flag.String("profile", "", "write the raw profile to this file")
 	showCCT := flag.Bool("cct", false, "print calling context tree statistics")
@@ -85,7 +89,7 @@ func main() {
 		log.Fatalf("unknown mode %q", *modeStr)
 	}
 
-	ev0, ev1, err := parseEvents(*events)
+	set, err := hpm.ParseMetricSet(*events)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +99,7 @@ func main() {
 	s.Parallel = *parallel
 	specs := make([]experiments.CellSpec, len(suite))
 	for i, w := range suite {
-		specs[i] = experiments.CellSpec{Workload: w, Mode: mode, Ev0: ev0, Ev1: ev1}
+		specs[i] = experiments.CellSpec{Workload: w, Mode: mode, Events: set}
 	}
 	cells, err := s.RunAll(context.Background(), specs)
 	if err != nil {
@@ -115,18 +119,18 @@ func main() {
 				cctPath += "." + w.Name
 			}
 		}
-		reportWorkload(w, mode, ev0, ev1, cells[i], *top, profPath, *showCCT, cctPath, *cctDump)
+		reportWorkload(w, mode, set, cells[i], *top, profPath, *showCCT, cctPath, *cctDump)
 	}
 }
 
 // reportWorkload prints one workload's profile report from its cached cell.
-func reportWorkload(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event,
+func reportWorkload(w workload.Workload, mode instrument.Mode, set hpm.MetricSet,
 	cell *experiments.Cell, top int, profileOut string, showCCT bool, cctOut string, cctDump bool) {
 	res := cell.Result
 	plan := cell.Plan
 
-	fmt.Printf("workload %s (%s analogue), mode %v, events %v/%v\n",
-		w.Name, w.Analogue, mode, ev0, ev1)
+	fmt.Printf("workload %s (%s analogue), mode %v, events %s\n",
+		w.Name, w.Analogue, mode, set)
 	fmt.Printf("run: %d instructions, %d cycles, %d L1D misses, %d I-misses\n\n",
 		res.Instrs, res.Cycles, res.Totals[hpm.EvDCacheMiss], res.Totals[hpm.EvICacheMiss])
 
@@ -156,9 +160,15 @@ func reportWorkload(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Even
 			fmt.Printf("executed paths: %d; hot paths (>=1%% of misses): %d covering %s of misses\n\n",
 				rep.NumPaths, rep.Hot.Num, report.Pct(rep.Hot.MissFrac(rep.TotalMisses)))
 			listings := analysis.ResolveHotPaths(rep, numberings, top)
+			slotName := func(i int) string {
+				if i < len(prof.Events) {
+					return prof.Events[i]
+				}
+				return fmt.Sprintf("m%d", i)
+			}
 			t := &report.Table{
 				Title: fmt.Sprintf("Top %d hot paths", len(listings)),
-				Cols:  []string{"Proc", "PathID", "Freq", ev0.String(), ev1.String(), "Ratio", "Blocks"},
+				Cols:  []string{"Proc", "PathID", "Freq", slotName(0), slotName(1), "Ratio", "Blocks"},
 			}
 			for _, l := range listings {
 				t.AddRow(l.Stat.Proc, l.Stat.Sum, l.Stat.Freq, l.Stat.Misses, l.Stat.Insts,
@@ -241,30 +251,6 @@ func reportWorkload(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Even
 		}
 		fmt.Printf("calling context tree written to %s\n", cctOut)
 	}
-}
-
-func parseEvents(s string) (hpm.Event, hpm.Event, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("pp: -events wants two comma-separated names")
-	}
-	find := func(name string) (hpm.Event, error) {
-		for e := hpm.Event(0); e < hpm.NumEvents; e++ {
-			if e.String() == strings.TrimSpace(name) {
-				return e, nil
-			}
-		}
-		return 0, fmt.Errorf("pp: unknown event %q", name)
-	}
-	ev0, err := find(parts[0])
-	if err != nil {
-		return 0, 0, err
-	}
-	ev1, err := find(parts[1])
-	if err != nil {
-		return 0, 0, err
-	}
-	return ev0, ev1, nil
 }
 
 // printTopContexts lists the calling contexts with the highest recorded

@@ -16,9 +16,15 @@
 //	         [-mode combined|flow|flowhw|context|block] [-scale test|ref]
 //	         [-events dcache-miss,insts] [-runs 1] [-parallel N]
 //
-// Query mode fetches a rendered table from a running daemon:
+// -events takes any number of comma-separated event names; the pushed
+// profiles carry the schema, and the collector refuses to merge pushes
+// whose schemas disagree (HTTP 409).
 //
-//	ppd query -addr http://host:7997 -table 3 [-programs compress,objdb]
+// Query mode fetches a rendered table from a running daemon ("metrics"
+// renders per-program totals under the schema's named columns):
+//
+//	ppd query -addr http://host:7997 -table 3|4|5|metrics
+//	          [-programs compress,objdb]
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -118,7 +125,7 @@ func push(args []string) {
 	names := fs.String("workload", "", "comma-separated workloads to run and push")
 	modeStr := fs.String("mode", "combined", "flow | flowhw | context | combined | block")
 	scaleStr := fs.String("scale", "test", "workload scale: ref or test")
-	events := fs.String("events", "dcache-miss,insts", "PIC0,PIC1 event selection")
+	events := fs.String("events", "dcache-miss,insts", "comma-separated event selection (any number of names)")
 	runs := fs.Int("runs", 1, "independent instrumented runs to push per workload")
 	parallel := fs.Int("parallel", 0, "concurrent pushers (0 = one per workload)")
 	fs.Parse(args)
@@ -142,7 +149,7 @@ func push(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev0, ev1, err := parseEvents(*events)
+	set, err := hpm.ParseMetricSet(*events)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,7 +178,7 @@ func push(args []string) {
 			for j := range jobs {
 				// Every push is an independent re-collected run, as if a
 				// separate machine had executed the workload.
-				cell, err := s.RunFresh(ctx, j.w, mode, ev0, ev1)
+				cell, err := s.RunFreshSet(ctx, j.w, mode, set)
 				var resps []collector.IngestResponse
 				if err == nil {
 					resps, err = cl.PushRun(ctx, cell)
@@ -206,7 +213,7 @@ func push(args []string) {
 func query(args []string) {
 	fs := flag.NewFlagSet("ppd query", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:7997", "collector base URL")
-	table := fs.Int("table", 3, "table to render: 3, 4 or 5")
+	table := fs.String("table", "3", "table to render: 3, 4, 5 or metrics")
 	programs := fs.String("programs", "", "comma-separated programs (row order); default all")
 	fs.Parse(args)
 
@@ -215,7 +222,18 @@ func query(args []string) {
 	if *programs != "" {
 		progs = strings.Split(*programs, ",")
 	}
-	out, err := cl.Table(context.Background(), *table, progs)
+	ctx := context.Background()
+	var out string
+	var err error
+	if *table == "metrics" {
+		out, err = cl.MetricTable(ctx, progs)
+	} else {
+		var n int
+		if n, err = strconv.Atoi(*table); err != nil {
+			log.Fatalf("bad -table %q (want 3, 4, 5 or metrics)", *table)
+		}
+		out, err = cl.Table(ctx, n, progs)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -238,26 +256,3 @@ func parseMode(s string) (instrument.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
-func parseEvents(s string) (hpm.Event, hpm.Event, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("-events wants two comma-separated names")
-	}
-	find := func(name string) (hpm.Event, error) {
-		for e := hpm.Event(0); e < hpm.NumEvents; e++ {
-			if e.String() == strings.TrimSpace(name) {
-				return e, nil
-			}
-		}
-		return 0, fmt.Errorf("unknown event %q", name)
-	}
-	ev0, err := find(parts[0])
-	if err != nil {
-		return 0, 0, err
-	}
-	ev1, err := find(parts[1])
-	if err != nil {
-		return 0, 0, err
-	}
-	return ev0, ev1, nil
-}

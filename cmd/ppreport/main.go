@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"slices"
+	"strings"
 
 	"pathprof/internal/analysis"
 	"pathprof/internal/cct"
@@ -69,10 +70,14 @@ func main() {
 		return
 	}
 
-	freq, m0, m1 := prof.Totals()
-	fmt.Printf("profile %s (%s), events %s/%s\n", prof.Program, prof.Mode, prof.Event0, prof.Event1)
-	fmt.Printf("%d procedures, %d executed paths, %d path executions, %d/%d metric totals\n\n",
-		len(prof.Procs), prof.TotalExecutedPaths(), freq, m0, m1)
+	freq, metrics := prof.Totals()
+	fmt.Printf("profile %s (%s), events %s\n", prof.Program, prof.Mode, strings.Join(prof.Events, "/"))
+	totals := make([]string, len(metrics))
+	for i, m := range metrics {
+		totals[i] = fmt.Sprint(m)
+	}
+	fmt.Printf("%d procedures, %d executed paths, %d path executions, %s metric totals\n\n",
+		len(prof.Procs), prof.TotalExecutedPaths(), freq, strings.Join(totals, "/"))
 
 	if *sweep {
 		t := &report.Table{

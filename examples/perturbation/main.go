@@ -29,8 +29,8 @@ func measure(mode instrument.Mode, readAfterWrite bool, ev0, ev1 hpm.Event) (rec
 	if _, err := m.Run(); err != nil {
 		log.Fatal(err)
 	}
-	_, m0, m1 := rt.ExtractProfile().Totals()
-	return m0, m1
+	_, metrics := rt.ExtractProfile().Totals()
+	return metrics[0], metrics[1]
 }
 
 func main() {

@@ -100,7 +100,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%4d  %5d  %8d  %5d  %v\n", ent.Sum, ent.Freq, ent.M0, ent.M1, path)
+		fmt.Printf("%4d  %5d  %8d  %5d  %v\n", ent.Sum, ent.Freq, ent.Metric(0), ent.Metric(1), path)
 	}
 
 	// The same sums replayed through bl confirm compactness.

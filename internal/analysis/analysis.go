@@ -25,8 +25,25 @@ const DefaultHotThreshold = 0.01
 // outliers (099.go, 126.gcc).
 const LowHotThreshold = 0.001
 
-// PathStat is one executed path with its metrics (M0 = misses, M1 =
-// instructions under the standard experiment counter selection).
+// metricSlots resolves which metric slots of prof carry D-cache misses and
+// instructions. The slots are found by schema lookup, so the classification
+// works no matter where a wide MetricSet placed the two events; profiles
+// without a schema (or without the named events) fall back to the classic
+// positional layout, slots 0 and 1.
+func metricSlots(prof *profile.Profile) (miss, insts int) {
+	miss, insts = 0, 1
+	if i := prof.MetricIndex("dcache-miss"); i >= 0 {
+		miss = i
+	}
+	if i := prof.MetricIndex("insts"); i >= 0 {
+		insts = i
+	}
+	return
+}
+
+// PathStat is one executed path with its metrics (misses and instructions
+// under the standard experiment counter selection, located by schema
+// lookup).
 type PathStat struct {
 	ProcID int
 	Proc   string
@@ -84,18 +101,20 @@ type PathReport struct {
 }
 
 // ClassifyPaths computes the Table 4 classification from a flow+HW profile
-// whose M0 counted D-cache misses and M1 counted instructions.
+// whose schema includes D-cache misses and instructions.
 func ClassifyPaths(prof *profile.Profile, threshold float64) PathReport {
 	r := PathReport{Program: prof.Program, Threshold: threshold}
+	missSlot, instSlot := metricSlots(prof)
 	var all []PathStat
 	for _, pp := range prof.Procs {
-		for _, e := range pp.Entries {
+		for i := range pp.Entries {
+			e := &pp.Entries[i]
 			all = append(all, PathStat{
 				ProcID: pp.ProcID, Proc: pp.Name, Sum: e.Sum,
-				Freq: e.Freq, Misses: e.M0, Insts: e.M1,
+				Freq: e.Freq, Misses: e.Metric(missSlot), Insts: e.Metric(instSlot),
 			})
-			r.TotalInsts += e.M1
-			r.TotalMisses += e.M0
+			r.TotalInsts += e.Metric(instSlot)
+			r.TotalMisses += e.Metric(missSlot)
 		}
 	}
 	r.NumPaths = len(all)
@@ -172,6 +191,7 @@ type ProcReport struct {
 // ClassifyProcs computes the Table 5 classification.
 func ClassifyProcs(prof *profile.Profile, threshold float64) ProcReport {
 	r := ProcReport{Program: prof.Program, Threshold: threshold}
+	missSlot, instSlot := metricSlots(prof)
 	var all []ProcStat
 	var totalInsts uint64
 	for _, pp := range prof.Procs {
@@ -179,10 +199,11 @@ func ClassifyProcs(prof *profile.Profile, threshold float64) ProcReport {
 			continue
 		}
 		st := ProcStat{ProcID: pp.ProcID, Proc: pp.Name, Paths: len(pp.Entries)}
-		for _, e := range pp.Entries {
+		for i := range pp.Entries {
+			e := &pp.Entries[i]
 			st.Freq += e.Freq
-			st.Misses += e.M0
-			st.Insts += e.M1
+			st.Misses += e.Metric(missSlot)
+			st.Insts += e.Metric(instSlot)
 		}
 		all = append(all, st)
 		r.TotalMisses += st.Misses

@@ -16,15 +16,15 @@ import (
 //   - path D: 5 misses / 1000 insts               -> cold (0.5%)
 func testProfile() *profile.Profile {
 	return &profile.Profile{
-		Program: "t", Mode: "flow+hw", Event0: "dcache-miss", Event1: "insts",
+		Program: "t", Mode: "flow+hw", Events: []string{"dcache-miss", "insts"},
 		Procs: []*profile.ProcPaths{
 			{ProcID: 0, Name: "p0", NumPaths: 8, Entries: []profile.PathEntry{
-				{Sum: 0, Freq: 10, M0: 600, M1: 2000},
-				{Sum: 1, Freq: 50, M0: 300, M1: 6000},
+				profile.NewEntry(0, 10, 600, 2000),
+				profile.NewEntry(1, 50, 300, 6000),
 			}},
 			{ProcID: 1, Name: "p1", NumPaths: 4, Entries: []profile.PathEntry{
-				{Sum: 2, Freq: 5, M0: 95, M1: 1000},
-				{Sum: 3, Freq: 5, M0: 5, M1: 1000},
+				profile.NewEntry(2, 5, 95, 1000),
+				profile.NewEntry(3, 5, 5, 1000),
 			}},
 		},
 	}
@@ -133,8 +133,8 @@ func TestResolveHotPaths(t *testing.T) {
 	}
 	prof := &profile.Profile{Procs: []*profile.ProcPaths{
 		{ProcID: 0, Name: "p0", NumPaths: nm.NumPaths, Entries: []profile.PathEntry{
-			{Sum: 0, Freq: 3, M0: 10, M1: 30},
-			{Sum: 1, Freq: 1, M0: 90, M1: 20},
+			profile.NewEntry(0, 3, 10, 30),
+			profile.NewEntry(1, 1, 90, 20),
 		}},
 	}}
 	rep := ClassifyPaths(prof, DefaultHotThreshold)
@@ -188,8 +188,8 @@ func TestBlockMultiplicity(t *testing.T) {
 	}
 	prof := &profile.Profile{Program: "m", Procs: []*profile.ProcPaths{
 		{ProcID: 0, Name: "p0", NumPaths: nm.NumPaths, Entries: []profile.PathEntry{
-			{Sum: 0, Freq: 10, M0: 90, M1: 100},
-			{Sum: 1, Freq: 10, M0: 10, M1: 100},
+			profile.NewEntry(0, 10, 90, 100),
+			profile.NewEntry(1, 10, 10, 100),
 		}},
 	}}
 	rep := BlockMultiplicity(prof, map[int]*bl.Numbering{0: nm}, DefaultHotThreshold)

@@ -131,6 +131,17 @@ func (cl *Client) Table(ctx context.Context, n int, programs []string) (string, 
 	return string(data), err
 }
 
+// MetricTable fetches the named-metric totals table, optionally
+// restricted to the given programs in the given row order.
+func (cl *Client) MetricTable(ctx context.Context, programs []string) (string, error) {
+	path := "/table/metrics"
+	if len(programs) > 0 {
+		path += "?programs=" + strings.Join(programs, ",")
+	}
+	data, err := cl.get(ctx, path)
+	return string(data), err
+}
+
 // Programs fetches the list of aggregated programs.
 func (cl *Client) Programs(ctx context.Context) ([]string, error) {
 	data, err := cl.get(ctx, "/programs")

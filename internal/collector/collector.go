@@ -209,6 +209,9 @@ func (c *Collector) ingestProfile(p *profile.Profile) error {
 	if cur.Mode != p.Mode {
 		return &conflictError{fmt.Errorf("profile mode %q conflicts with aggregated mode %q", p.Mode, cur.Mode)}
 	}
+	if cur.SchemaKey() != p.SchemaKey() {
+		return &conflictError{fmt.Errorf("profile metric schema %q conflicts with aggregated schema %q", p.SchemaKey(), cur.SchemaKey())}
+	}
 	merged := cloneProfile(cur)
 	if err := merged.Merge(p); err != nil {
 		return &conflictError{err}
@@ -321,12 +324,24 @@ func (c *Collector) MergedProfile(program string) (*profile.Profile, bool) {
 // cloneProfile deep-copies p so merges never mutate published
 // aggregates out from under concurrent readers.
 func cloneProfile(p *profile.Profile) *profile.Profile {
-	q := &profile.Profile{Program: p.Program, Mode: p.Mode, Event0: p.Event0, Event1: p.Event1}
+	q := &profile.Profile{Program: p.Program, Mode: p.Mode}
+	if len(p.Events) > 0 {
+		q.Events = append([]string(nil), p.Events...)
+	}
 	q.Procs = make([]*profile.ProcPaths, len(p.Procs))
 	for i, pp := range p.Procs {
 		cp := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.NumPaths}
 		cp.Entries = make([]profile.PathEntry, len(pp.Entries))
 		copy(cp.Entries, pp.Entries)
+		// Entries hold slices into the source arena; give the clone its
+		// own metric storage so later merges never write through shared
+		// backing arrays.
+		for j := range cp.Entries {
+			if src := pp.Entries[j].Metrics; len(src) > 0 {
+				cp.Entries[j].Metrics = cp.NewMetrics(len(src))
+				copy(cp.Entries[j].Metrics, src)
+			}
+		}
 		q.Procs[i] = cp
 	}
 	return q

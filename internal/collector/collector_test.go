@@ -96,8 +96,9 @@ func TestIngestAndQuery(t *testing.T) {
 	if !ok {
 		t.Fatal("no merged profile")
 	}
-	wf, wm0, _ := prof.Totals()
-	gf, gm0, _ := merged.Totals()
+	wf, wms := prof.Totals()
+	gf, gms := merged.Totals()
+	wm0, gm0 := wms[0], gms[0]
 	if gf != 3*wf || gm0 != 3*wm0 {
 		t.Fatalf("merged totals freq=%d m0=%d, want 3x (%d, %d)", gf, gm0, wf, wm0)
 	}
@@ -173,6 +174,82 @@ func TestModeConflictRejected(t *testing.T) {
 	_, err := cl.PushProfile(ctx, other)
 	if statusOf(t, err) != http.StatusConflict {
 		t.Fatalf("want 409, got %v", err)
+	}
+}
+
+func TestSchemaConflictRejected(t *testing.T) {
+	prof, _ := fixtures(t)
+	c, cl := newServer(t, Config{Shards: 1})
+	ctx := context.Background()
+	if _, err := cl.PushProfile(ctx, prof); err != nil {
+		t.Fatal(err)
+	}
+	// Same program, same mode, same shape — but the pusher counted
+	// different events, so slot-wise summing would be meaningless.
+	other := cloneProfile(prof)
+	other.Events = []string{"cycles", "branches"}
+	_, err := cl.PushProfile(ctx, other)
+	if statusOf(t, err) != http.StatusConflict {
+		t.Fatalf("want 409, got %v", err)
+	}
+	if c.Metrics().RejectedConflict != 1 {
+		t.Fatalf("metrics: %+v", c.Metrics())
+	}
+	// The aggregate still answers with the original schema.
+	merged, ok := c.MergedProfile(prof.Program)
+	if !ok || merged.SchemaKey() != prof.SchemaKey() {
+		t.Fatalf("aggregate schema %q, want %q", merged.SchemaKey(), prof.SchemaKey())
+	}
+}
+
+// TestNamedMetricTable: /table/metrics renders each program's totals under
+// the metric names its schema declares, and programs with disjoint schemas
+// contribute disjoint columns.
+func TestNamedMetricTable(t *testing.T) {
+	prof, _ := fixtures(t)
+	_, cl := newServer(t, Config{Shards: 2})
+	ctx := context.Background()
+	if _, err := cl.PushProfile(ctx, prof); err != nil {
+		t.Fatal(err)
+	}
+	wide := &profile.Profile{
+		Program: "wideprog", Mode: prof.Mode,
+		Events: []string{"cycles", "branches", "icache-miss"},
+		Procs: []*profile.ProcPaths{
+			{ProcID: 0, Name: "main", NumPaths: 2, Entries: []profile.PathEntry{
+				profile.NewEntry(0, 5, 500, 60, 7),
+			}},
+		},
+	}
+	if _, err := cl.PushProfile(ctx, wide); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.MetricTable(ctx, []string{prof.Program, "wideprog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := out[:strings.Index(out, "\n----")]
+	for _, ev := range append(append([]string{}, prof.Events...), wide.Events...) {
+		if !strings.Contains(header, ev) {
+			t.Fatalf("column %q missing from header of:\n%s", ev, out)
+		}
+	}
+	for _, want := range []string{prof.Program, "wideprog", "500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table misses %q:\n%s", want, out)
+		}
+	}
+	// wideprog has no dcache-miss column; its row must show the blank
+	// placeholder.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "wideprog") && !strings.Contains(line, "-") {
+			t.Fatalf("wideprog row has no placeholder for unschemed columns: %q", line)
+		}
+	}
+	// Unknown program: 404, same as the numbered tables.
+	_, err = cl.MetricTable(ctx, []string{"nonesuch"})
+	if statusOf(t, err) != http.StatusNotFound {
+		t.Fatalf("want 404, got %v", err)
 	}
 }
 
@@ -371,8 +448,8 @@ func TestConcurrentPushAndQuery(t *testing.T) {
 		t.Fatalf("ingested %d profiles / %d ccts, want %d each", m.IngestedProfiles, m.IngestedCCTs, total)
 	}
 	merged, _ := c.MergedProfile("compress")
-	wf, _, _ := prof.Totals()
-	gf, _, _ := merged.Totals()
+	wf, _ := prof.Totals()
+	gf, _ := merged.Totals()
 	if gf != uint64(total)*wf {
 		t.Fatalf("merged freq %d, want %d", gf, uint64(total)*wf)
 	}

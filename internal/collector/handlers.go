@@ -7,23 +7,26 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"pathprof/internal/analysis"
 	"pathprof/internal/experiments"
+	"pathprof/internal/report"
 	"pathprof/internal/wire"
 )
 
 // Handler returns the collector's HTTP surface:
 //
-//	POST /ingest    one wire envelope (profile or CCT export)
-//	GET  /table/3   CCT statistics from merged exports
-//	GET  /table/4   hot paths from merged profiles
-//	GET  /table/5   hot procedures from merged profiles
-//	GET  /programs  JSON list of aggregated programs
-//	GET  /metrics   JSON counters
-//	GET  /healthz   liveness (503 while draining)
+//	POST /ingest         one wire envelope (profile or CCT export)
+//	GET  /table/3        CCT statistics from merged exports
+//	GET  /table/4        hot paths from merged profiles
+//	GET  /table/5        hot procedures from merged profiles
+//	GET  /table/metrics  per-program totals under named metric columns
+//	GET  /programs       JSON list of aggregated programs
+//	GET  /metrics        JSON counters
+//	GET  /healthz        liveness (503 while draining)
 //
 // The table endpoints accept ?programs=a,b to select and order rows;
 // the default is every aggregated program in sorted order.
@@ -33,6 +36,7 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("GET /table/3", c.handleTable3)
 	mux.HandleFunc("GET /table/4", c.handleTable4)
 	mux.HandleFunc("GET /table/5", c.handleTable5)
+	mux.HandleFunc("GET /table/metrics", c.handleTableNamedMetrics)
 	mux.HandleFunc("GET /programs", c.handlePrograms)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
@@ -198,6 +202,60 @@ func (c *Collector) handleTable5(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	experiments.RenderTable5(reports, w)
+}
+
+// handleTableNamedMetrics renders each program's merged totals under the
+// metric names its profile schema declares. Programs pushed with different
+// schemas contribute different columns; the column set is the first-seen
+// union and rows leave unschemed columns blank.
+func (c *Collector) handleTableNamedMetrics(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		name   string
+		freq   uint64
+		totals map[string]uint64
+	}
+	var rows []row
+	var cols []string
+	seen := map[string]bool{}
+	for _, name := range c.requestedPrograms(r) {
+		p, ok := c.MergedProfile(name)
+		if !ok {
+			http.Error(w, "no profile aggregate for "+name, http.StatusNotFound)
+			return
+		}
+		freq, ms := p.Totals()
+		totals := make(map[string]uint64, len(p.Events))
+		for i, ev := range p.Events {
+			if ev == "" {
+				ev = "slot" + strconv.Itoa(i)
+			}
+			if !seen[ev] {
+				seen[ev] = true
+				cols = append(cols, ev)
+			}
+			if i < len(ms) {
+				totals[ev] += ms[i]
+			}
+		}
+		rows = append(rows, row{name: name, freq: freq, totals: totals})
+	}
+	t := &report.Table{
+		Title: "Merged profile totals by named metric",
+		Cols:  append([]string{"Program", "Path execs"}, cols...),
+	}
+	for _, rw := range rows {
+		vals := []interface{}{rw.name, rw.freq}
+		for _, ev := range cols {
+			if v, ok := rw.totals[ev]; ok {
+				vals = append(vals, v)
+			} else {
+				vals = append(vals, "-")
+			}
+		}
+		t.AddRow(vals...)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	t.Render(w)
 }
 
 func (c *Collector) handlePrograms(w http.ResponseWriter, _ *http.Request) {

@@ -20,11 +20,22 @@ import (
 	"pathprof/internal/workload"
 )
 
-// CellSpec names one (workload, instrumentation-mode, counter-pair) cell.
+// CellSpec names one (workload, instrumentation-mode, metric-set) cell.
+// Events takes precedence; when empty the legacy Ev0/Ev1 pair stands in for
+// the classic two-counter selection.
 type CellSpec struct {
 	Workload workload.Workload
 	Mode     instrument.Mode
+	Events   hpm.MetricSet
 	Ev0, Ev1 hpm.Event
+}
+
+// set returns the effective metric set of the spec.
+func (sp CellSpec) set() hpm.MetricSet {
+	if sp.Events.Len() > 0 {
+		return sp.Events
+	}
+	return hpm.NewMetricSet(sp.Ev0, sp.Ev1)
 }
 
 // flight tracks an in-progress cell so concurrent requests for the same
@@ -41,10 +52,13 @@ type progEntry struct {
 	prog *ir.Program
 }
 
-// planKey identifies a shared instrumentation plan.
+// planKey identifies a shared instrumentation plan. counters is the plan's
+// normalized counter width (the classic pair is 2), so cells that differ
+// only in event selection — not schema width — share one plan.
 type planKey struct {
 	workload string
 	mode     instrument.Mode
+	counters int
 }
 
 // planEntry lazily instruments a (workload, mode) pair exactly once.
@@ -58,7 +72,7 @@ type planEntry struct {
 type CellTiming struct {
 	Workload string
 	Mode     string
-	Ev0, Ev1 string
+	Events   string // comma-joined metric schema (MetricSet.Key)
 	Wall     time.Duration
 	Instrs   uint64 // simulated instructions retired
 }
@@ -96,12 +110,22 @@ func (s *Session) builtProg(w workload.Workload) *ir.Program {
 	return e.prog
 }
 
-// sharedPlan returns the (workload, mode) instrumentation plan, computing
-// it at most once per session. Plans are immutable after Instrument and
-// Wire allocates from a cloned allocator, so cells that differ only in
-// counter selection share one plan.
+// sharedPlan returns the classic two-counter (workload, mode) plan; see
+// sharedPlanN.
 func (s *Session) sharedPlan(w workload.Workload, mode instrument.Mode) (*instrument.Plan, error) {
-	key := planKey{w.Name, mode}
+	return s.sharedPlanN(w, mode, 0)
+}
+
+// sharedPlanN returns the (workload, mode, counter-width) instrumentation
+// plan, computing it at most once per session (counters <= 0 means the
+// classic pair). Plans are immutable after Instrument and Wire allocates
+// from a cloned allocator, so cells that differ only in event selection
+// share one plan.
+func (s *Session) sharedPlanN(w workload.Workload, mode instrument.Mode, counters int) (*instrument.Plan, error) {
+	if counters <= 0 {
+		counters = 2
+	}
+	key := planKey{w.Name, mode, counters}
 	s.mu.Lock()
 	e, ok := s.plans[key]
 	if !ok {
@@ -110,7 +134,9 @@ func (s *Session) sharedPlan(w workload.Workload, mode instrument.Mode) (*instru
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		e.plan, e.err = instrument.Instrument(s.builtProg(w), instrument.DefaultOptions(mode))
+		opts := instrument.DefaultOptions(mode)
+		opts.NumCounters = counters
+		e.plan, e.err = instrument.Instrument(s.builtProg(w), opts)
 	})
 	return e.plan, e.err
 }
@@ -138,19 +164,25 @@ func (s *Session) Timings() []CellTiming {
 		if c := cmp.Compare(a.Mode, b.Mode); c != 0 {
 			return c
 		}
-		if c := cmp.Compare(a.Ev0, b.Ev0); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.Ev1, b.Ev1)
+		return cmp.Compare(a.Events, b.Events)
 	})
 	return out
 }
 
-// RunCtx executes (or returns the cached) cell, deduplicating concurrent
+// RunCtx executes (or returns the cached) classic two-counter cell; it is
+// the legacy form of RunSetCtx.
+func (s *Session) RunCtx(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
+	return s.RunSetCtx(ctx, w, mode, hpm.NewMetricSet(ev0, ev1))
+}
+
+// RunSetCtx executes (or returns the cached) cell, deduplicating concurrent
 // requests for the same key: only one goroutine simulates a given cell,
 // the rest wait on its completion or on ctx.
-func (s *Session) RunCtx(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
-	key := cellKey{w.Name, mode, ev0, ev1}
+func (s *Session) RunSetCtx(ctx context.Context, w workload.Workload, mode instrument.Mode, set hpm.MetricSet) (*Cell, error) {
+	if set.Len() == 0 {
+		set = hpm.DefaultMetricSet()
+	}
+	key := cellKey{w.Name, mode, set.Key()}
 	for {
 		s.mu.Lock()
 		if c, ok := s.cells[key]; ok {
@@ -179,7 +211,7 @@ func (s *Session) RunCtx(ctx context.Context, w workload.Workload, mode instrume
 		s.inflight[key] = f
 		s.mu.Unlock()
 
-		cell, err := s.simulate(ctx, w, mode, ev0, ev1)
+		cell, err := s.simulate(ctx, w, mode, set)
 
 		s.mu.Lock()
 		if err == nil {
@@ -209,7 +241,7 @@ func (s *Session) RunAll(ctx context.Context, specs []CellSpec) ([]*Cell, error)
 	if n <= 1 {
 		// Serial fast path: no goroutines, identical cell order.
 		for i, sp := range specs {
-			c, err := s.RunCtx(ctx, sp.Workload, sp.Mode, sp.Ev0, sp.Ev1)
+			c, err := s.RunSetCtx(ctx, sp.Workload, sp.Mode, sp.set())
 			if err != nil {
 				return nil, err
 			}
@@ -235,7 +267,7 @@ func (s *Session) RunAll(ctx context.Context, specs []CellSpec) ([]*Cell, error)
 					continue // drain: cancelled
 				}
 				sp := specs[i]
-				c, err := s.RunCtx(ctx, sp.Workload, sp.Mode, sp.Ev0, sp.Ev1)
+				c, err := s.RunSetCtx(ctx, sp.Workload, sp.Mode, sp.set())
 				if err != nil {
 					errOnce.Do(func() {
 						first = err

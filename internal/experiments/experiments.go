@@ -48,17 +48,23 @@ type Session struct {
 type cellKey struct {
 	workload string
 	mode     instrument.Mode
-	ev0, ev1 hpm.Event
+	events   string // MetricSet.Key of the cell's schema
 }
 
-// Cell is one completed (workload, mode, counter-selection) run.
+// Cell is one completed (workload, mode, metric-set) run.
 type Cell struct {
 	Workload string
 	Mode     instrument.Mode
+	Events   hpm.MetricSet
 	Result   sim.Result
 	Profile  *profile.Profile // nil for ModeNone / ModeEdgeCount
 	Tree     *cct.Tree        // nil unless a context mode
 	Plan     *instrument.Plan
+
+	// Estimates holds the multiplexed scaled per-event estimates when the
+	// cell's schema was wider than the counter bank and ran behind the
+	// time-multiplexing scheduler (ModeNone only); nil otherwise.
+	Estimates []uint64
 }
 
 // NewSession prepares a session over the full suite at the given scale.
@@ -86,44 +92,81 @@ var PerturbationPairs = [][2]hpm.Event{
 	{hpm.EvStoreBufStalls, hpm.EvFPStalls},
 }
 
-// Run executes (or returns the cached) cell. It is safe for concurrent
-// use; see RunCtx for the cancellable form.
+// Run executes (or returns the cached) classic two-counter cell. It is
+// safe for concurrent use; see RunCtx for the cancellable form and RunSet
+// for wider metric schemas.
 func (s *Session) Run(w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
 	return s.RunCtx(context.Background(), w, mode, ev0, ev1)
 }
 
-// RunFresh executes the cell without consulting or populating the session
-// cache: every call is an independent instrumented run (the workload build
-// and the instrumentation plan are still shared). Collection clients use it
-// so repeated pushes upload genuinely re-collected trees rather than one
-// cached pointer.
-func (s *Session) RunFresh(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
-	return s.simulate(ctx, w, mode, ev0, ev1)
+// RunSet executes (or returns the cached) cell under an arbitrary metric
+// set. Instrumented modes get a counter bank and instrumentation plan as
+// wide as the set; under ModeNone a set wider than the configured bank runs
+// behind the multiplexing scheduler and fills Cell.Estimates.
+func (s *Session) RunSet(w workload.Workload, mode instrument.Mode, set hpm.MetricSet) (*Cell, error) {
+	return s.RunSetCtx(context.Background(), w, mode, set)
 }
 
-// simulate performs the actual cell run (no caching; RunCtx layers the
+// RunFresh executes the classic two-counter cell without consulting or
+// populating the session cache; see RunFreshSet.
+func (s *Session) RunFresh(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
+	return s.RunFreshSet(ctx, w, mode, hpm.NewMetricSet(ev0, ev1))
+}
+
+// RunFreshSet executes the cell without consulting or populating the
+// session cache: every call is an independent instrumented run (the
+// workload build and the instrumentation plan are still shared). Collection
+// clients use it so repeated pushes upload genuinely re-collected trees
+// rather than one cached pointer.
+func (s *Session) RunFreshSet(ctx context.Context, w workload.Workload, mode instrument.Mode, set hpm.MetricSet) (*Cell, error) {
+	return s.simulate(ctx, w, mode, set)
+}
+
+// simulate performs the actual cell run (no caching; RunSetCtx layers the
 // singleflight cache on top).
-func (s *Session) simulate(ctx context.Context, w workload.Workload, mode instrument.Mode, ev0, ev1 hpm.Event) (*Cell, error) {
+func (s *Session) simulate(ctx context.Context, w workload.Workload, mode instrument.Mode, set hpm.MetricSet) (*Cell, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if set.Len() == 0 {
+		set = hpm.DefaultMetricSet()
+	}
 	start := time.Now()
-	cell := &Cell{Workload: w.Name, Mode: mode}
+	cell := &Cell{Workload: w.Name, Mode: mode, Events: set}
+	cfg := s.SimConfig
+	bank := cfg.NumCounters
+	if bank <= 0 {
+		bank = 2
+	}
 	if mode == instrument.ModeNone {
-		m := sim.New(s.builtProg(w), s.SimConfig)
-		m.PMU().Select(ev0, ev1)
+		m := sim.New(s.builtProg(w), cfg)
+		var sched *hpm.Scheduler
+		if set.Len() <= bank {
+			m.PMU().SelectAll(set.Events)
+		} else {
+			sched = m.AttachScheduler(set, 0)
+		}
 		res, err := m.Run()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s base: %w", w.Name, err)
 		}
 		cell.Result = res
+		if sched != nil {
+			cell.Estimates = sched.Estimates()
+		}
 	} else {
-		plan, err := s.sharedPlan(w, mode)
+		// Instrumented probes read the counters directly, so the schema
+		// must fit in dedicated counters: widen the simulated bank (and the
+		// plan) rather than multiplex.
+		if set.Len() > bank {
+			cfg.NumCounters = set.Len()
+		}
+		plan, err := s.sharedPlanN(w, mode, set.Len())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s %v: %w", w.Name, mode, err)
 		}
-		m := sim.New(plan.Prog, s.SimConfig)
-		m.PMU().Select(ev0, ev1)
+		m := sim.New(plan.Prog, cfg)
+		m.PMU().SelectAll(set.Events)
 		rt := plan.Wire(m)
 		res, err := m.Run()
 		if err != nil {
@@ -142,31 +185,42 @@ func (s *Session) simulate(ctx context.Context, w workload.Workload, mode instru
 	s.recordTiming(CellTiming{
 		Workload: w.Name,
 		Mode:     mode.String(),
-		Ev0:      ev0.String(),
-		Ev1:      ev1.String(),
+		Events:   set.Key(),
 		Wall:     time.Since(start),
 		Instrs:   cell.Result.Instrs,
 	})
 	return cell, nil
 }
 
-// contextProfile summarizes a context+HW run: the recorded metric is the
-// root (main) record's inclusive delta, standing for "what the profiler
-// measured for the whole program".
+// contextProfile summarizes a context+HW run: the recorded metrics are the
+// root (main) record's inclusive deltas, standing for "what the profiler
+// measured for the whole program". One metric column per selected counter.
 func contextProfile(rt *instrument.Runtime) *profile.Profile {
 	p := &profile.Profile{Program: rt.Plan.Prog.Name, Mode: rt.Plan.Mode.String()}
+	nc := rt.Plan.Opts.NumCounters
+	sel := rt.Machine.PMU().SelectedAll()
+	p.Events = make([]string, nc)
+	for k := 0; k < nc; k++ {
+		ev := hpm.EvNone
+		if k < len(sel) {
+			ev = sel[k]
+		}
+		p.Events[k] = ev.String()
+	}
+	sums := make([]uint64, nc)
 	mainID := rt.Plan.Prog.Main
-	var m0, m1 uint64
 	rt.Tree.Walk(func(n *cct.Node) {
-		if n.Proc == mainID && len(n.Metrics) >= 3 {
-			m0 += uint64(n.Metrics[1])
-			m1 += uint64(n.Metrics[2])
+		if n.Proc == mainID && len(n.Metrics) >= 1+nc {
+			for k := 0; k < nc; k++ {
+				sums[k] += uint64(n.Metrics[1+k])
+			}
 		}
 	})
-	p.Procs = append(p.Procs, &profile.ProcPaths{
-		ProcID: mainID, Name: "main", NumPaths: 1,
-		Entries: []profile.PathEntry{{Sum: 0, Freq: 1, M0: m0, M1: m1}},
-	})
+	pp := &profile.ProcPaths{ProcID: mainID, Name: "main", NumPaths: 1}
+	en := profile.PathEntry{Sum: 0, Freq: 1, Metrics: pp.NewMetrics(nc)}
+	copy(en.Metrics, sums)
+	pp.Entries = []profile.PathEntry{en}
+	p.Procs = append(p.Procs, pp)
 	return p
 }
 
@@ -202,7 +256,7 @@ func (s *Session) Table1() ([]Table1Row, error) {
 	var specs []CellSpec
 	for _, w := range s.Workloads {
 		for _, mode := range table1Modes {
-			specs = append(specs, CellSpec{w, mode, StandardEvents[0], StandardEvents[1]})
+			specs = append(specs, CellSpec{Workload: w, Mode: mode, Ev0: StandardEvents[0], Ev1: StandardEvents[1]})
 		}
 	}
 	if _, err := s.RunAll(context.Background(), specs); err != nil {
@@ -310,10 +364,10 @@ type Table2Row struct {
 func (s *Session) Table2() ([]Table2Row, error) {
 	var specs []CellSpec
 	for _, w := range s.Workloads {
-		specs = append(specs, CellSpec{w, instrument.ModeNone, StandardEvents[0], StandardEvents[1]})
+		specs = append(specs, CellSpec{Workload: w, Mode: instrument.ModeNone, Ev0: StandardEvents[0], Ev1: StandardEvents[1]})
 		for _, pair := range PerturbationPairs {
-			specs = append(specs, CellSpec{w, instrument.ModePathHW, pair[0], pair[1]})
-			specs = append(specs, CellSpec{w, instrument.ModeContextHW, pair[0], pair[1]})
+			specs = append(specs, CellSpec{Workload: w, Mode: instrument.ModePathHW, Ev0: pair[0], Ev1: pair[1]})
+			specs = append(specs, CellSpec{Workload: w, Mode: instrument.ModeContextHW, Ev0: pair[0], Ev1: pair[1]})
 		}
 	}
 	if _, err := s.RunAll(context.Background(), specs); err != nil {
@@ -335,17 +389,15 @@ func (s *Session) Table2() ([]Table2Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			_, fm0, fm1 := fcell.Profile.Totals()
-			_, cm0, cm1 := ccell.Profile.Totals()
+			_, fm := fcell.Profile.Totals()
+			_, cm := ccell.Profile.Totals()
 			for half := 0; half < 2; half++ {
 				mi := pi*2 + half
 				baseVal := base.Result.Totals[metricEvents[mi]]
-				var fv, cv uint64
-				if half == 0 {
-					fv, cv = fm0, cm0
-				} else {
-					fv, cv = fm1, cm1
-				}
+				// Resolve each metric's column through the profile's
+				// schema rather than assuming slot order.
+				fv := totalFor(fcell.Profile, fm, metricEvents[mi], half)
+				cv := totalFor(ccell.Profile, cm, metricEvents[mi], half)
 				row.F[mi] = ratioOrZero(fv, baseVal)
 				row.C[mi] = ratioOrZero(cv, baseVal)
 			}
@@ -353,6 +405,19 @@ func (s *Session) Table2() ([]Table2Row, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// totalFor picks the totals column recording ev, found via the profile's
+// metric schema; fallback is the legacy slot for profiles without one.
+func totalFor(p *profile.Profile, totals []uint64, ev hpm.Event, fallback int) uint64 {
+	slot := p.MetricIndex(ev.String())
+	if slot < 0 {
+		slot = fallback
+	}
+	if slot >= len(totals) {
+		return 0
+	}
+	return totals[slot]
 }
 
 func ratioOrZero(a, b uint64) float64 {
@@ -645,7 +710,7 @@ func (s *Session) Table1Ext() ([]Table1ExtRow, error) {
 			instrument.ModeNone, instrument.ModeEdgeCount,
 			instrument.ModePathFreq, instrument.ModeBlockHW,
 		} {
-			specs = append(specs, CellSpec{w, mode, StandardEvents[0], StandardEvents[1]})
+			specs = append(specs, CellSpec{Workload: w, Mode: mode, Ev0: StandardEvents[0], Ev1: StandardEvents[1]})
 		}
 	}
 	if _, err := s.RunAll(context.Background(), specs); err != nil {

@@ -164,7 +164,8 @@ func TestContextProfileMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, m0, m1 := cell.Profile.Totals()
+	_, ms := cell.Profile.Totals()
+	m0, m1 := ms[0], ms[1]
 	if m1 == 0 {
 		t.Fatal("no instructions recorded")
 	}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/report"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+// MuxAccuracyRow compares one event's time-multiplexed scaled estimate
+// against the count a dedicated counter saw over the same deterministic run.
+type MuxAccuracyRow struct {
+	Event     string
+	Dedicated uint64
+	Estimate  uint64
+	ErrPct    float64
+}
+
+// MuxAccuracy quantifies the cost of counter multiplexing: it runs w
+// uninstrumented twice under set — once on the session's configured bank
+// (multiplexing when the set is wider), once with the bank widened to a
+// dedicated counter per event — and reports each event's scaled estimate
+// against the dedicated count. Both runs are deterministic replays of the
+// same program, so every deviation is scheduling loss, not run-to-run noise.
+func (s *Session) MuxAccuracy(w workload.Workload, set hpm.MetricSet) ([]MuxAccuracyRow, error) {
+	if set.Len() == 0 {
+		set = hpm.DefaultMetricSet()
+	}
+	muxed, err := s.RunSet(w, instrument.ModeNone, set)
+	if err != nil {
+		return nil, err
+	}
+	est := muxed.Estimates
+	if est == nil {
+		// The set fit the bank, so the "multiplexed" run already had a
+		// dedicated counter per event: its exact counts are the estimates.
+		est = make([]uint64, set.Len())
+		for i, ev := range set.Events {
+			est[i] = muxed.Result.Totals[ev]
+		}
+	}
+	// Dedicated ground truth: the same machine with the bank widened to one
+	// counter per event. The 64-bit shadow totals are exactly what the
+	// dedicated PICs counted (the PICs themselves wrap at 32 bits).
+	cfg := s.SimConfig
+	cfg.NumCounters = set.Len()
+	m := sim.New(s.builtProg(w), cfg)
+	m.PMU().SelectAll(set.Events)
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s dedicated: %w", w.Name, err)
+	}
+	rows := make([]MuxAccuracyRow, set.Len())
+	for i, ev := range set.Events {
+		ded := res.Totals[ev]
+		row := MuxAccuracyRow{Event: ev.String(), Dedicated: ded, Estimate: est[i]}
+		if ded > 0 {
+			row.ErrPct = math.Abs(float64(est[i])-float64(ded)) / float64(ded) * 100
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// RenderMuxAccuracy writes the multiplexing-accuracy comparison for one
+// workload as an aligned table; bank is the width the multiplexed run was
+// scheduled onto.
+func RenderMuxAccuracy(name string, set hpm.MetricSet, bank int, rows []MuxAccuracyRow, w io.Writer) {
+	if bank <= 0 {
+		bank = 2
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Multiplexed vs dedicated counters: %s, %d events on a %d-counter bank",
+			name, set.Len(), bank),
+		Note: "Estimates are raw counts scaled by total/enabled time (perf-style); " +
+			"both runs replay the same deterministic program.",
+		Cols: []string{"Event", "Dedicated", "Estimate", "Err %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Event, r.Dedicated, r.Estimate, fmt.Sprintf("%.2f", r.ErrPct))
+	}
+	t.Render(w)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/workload"
+)
+
+// TestMuxAccuracy is the acceptance check for multiplexed scheduling: a
+// four-event set on the default two-counter bank must estimate every
+// high-frequency event within 5% of a dedicated-counter run of the same
+// deterministic workload.
+func TestMuxAccuracy(t *testing.T) {
+	s := NewSession(workload.Test)
+	w, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("no compress workload")
+	}
+	set := hpm.NewMetricSet(hpm.EvCycles, hpm.EvInsts, hpm.EvLoads, hpm.EvBranches)
+	rows, err := s.MuxAccuracy(w, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != set.Len() {
+		t.Fatalf("got %d rows, want %d", len(rows), set.Len())
+	}
+	for _, r := range rows {
+		if r.Dedicated == 0 {
+			t.Fatalf("%s: dedicated run counted nothing", r.Event)
+		}
+		if r.ErrPct > 5 {
+			t.Errorf("%s: estimate %d vs dedicated %d = %.2f%% error, want <= 5%%",
+				r.Event, r.Estimate, r.Dedicated, r.ErrPct)
+		}
+	}
+
+	// The multiplexed cell recorded scaled estimates and no profile.
+	cell, err := s.RunSet(w, instrument.ModeNone, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Estimates) != set.Len() {
+		t.Fatalf("cell estimates = %v", cell.Estimates)
+	}
+
+	// Determinism: a fresh session replays the identical schedule and
+	// reproduces the rows bit for bit.
+	again, err := NewSession(workload.Test).MuxAccuracy(w, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatalf("mux accuracy not deterministic:\n%+v\n%+v", rows, again)
+	}
+}
+
+// TestMuxAccuracyExactWhenSetFits: a set no wider than the bank needs no
+// multiplexing, so the comparison degenerates to exact equality.
+func TestMuxAccuracyExactWhenSetFits(t *testing.T) {
+	s := NewSession(workload.Test)
+	w, ok := workload.ByName("interp")
+	if !ok {
+		t.Fatal("no interp workload")
+	}
+	rows, err := s.MuxAccuracy(w, hpm.DefaultMetricSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Estimate != r.Dedicated || r.ErrPct != 0 {
+			t.Fatalf("%s: exact run diverged: %+v", r.Event, r)
+		}
+	}
+}

@@ -112,8 +112,7 @@ func (s *Session) CollectSharded(ctx context.Context, w workload.Workload, mode 
 	s.recordTiming(CellTiming{
 		Workload: w.Name,
 		Mode:     fmt.Sprintf("%v(x%d shards)", mode, shards),
-		Ev0:      ev0.String(),
-		Ev1:      ev1.String(),
+		Events:   hpm.NewMetricSet(ev0, ev1).Key(),
 		Wall:     time.Since(start),
 		Instrs:   instrs,
 	})

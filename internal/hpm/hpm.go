@@ -1,7 +1,9 @@
-// Package hpm models an UltraSPARC-style hardware performance monitor: two
-// user-readable 32-bit performance instrumentation counters (PIC0, PIC1),
-// each selectable to one of a menu of events, readable and writable from
-// user code in a single instruction pair.
+// Package hpm models an UltraSPARC-style hardware performance monitor: a
+// small bank of user-readable 32-bit performance instrumentation counters
+// (PICs), each selectable to one of a menu of events, readable and writable
+// from user code in a single instruction pair. The classic configuration is
+// the paper's two-counter PIC0/PIC1 pair; NewK builds wider banks, and
+// Scheduler (mux.go) time-multiplexes a MetricSet larger than the bank.
 //
 // Two hardware quirks the paper depends on are reproduced:
 //
@@ -16,7 +18,10 @@
 //     counts.
 package hpm
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Event enumerates countable hardware events. The set matches the columns
 // of Table 2 of the paper plus supporting raw events.
@@ -64,26 +69,43 @@ func (e Event) String() string {
 	return fmt.Sprintf("event(%d)", uint8(e))
 }
 
+// EventByName resolves an event name as printed by Event.String.
+func EventByName(name string) (Event, bool) {
+	for e := Event(0); e < NumEvents; e++ {
+		if eventNames[e] == name {
+			return e, true
+		}
+	}
+	return EvNone, false
+}
+
 // writeLatency is how many instruction retirements a buffered PIC write
 // survives before draining on its own.
 const writeLatency = 3
 
-// Unit is the performance monitor: two selectable 32-bit PICs plus full
+// MaxCounters bounds the width of a counter bank (the per-event selection
+// mask is a uint32).
+const MaxCounters = 32
+
+// Unit is the performance monitor: K selectable 32-bit PICs plus full
 // 64-bit shadow totals for every event (the shadow totals stand in for the
 // paper's periodic-sampling baseline measurements of uninstrumented runs).
+// The zero-argument New builds the paper's two-counter unit.
 type Unit struct {
-	pic [2]uint32
-	sel [2]Event
+	pic []uint32
+	sel []Event
 
 	// picMask[ev] has bit i set when an occurrence of ev counts toward
-	// pic[i] under the current selection; recomputed by Select so the
-	// per-event hot path is one table lookup instead of two matches calls.
-	picMask [NumEvents]uint8
+	// pic[i] under the current selection; recomputed by SelectAll so the
+	// per-event hot path is one table lookup instead of K matches calls.
+	picMask [NumEvents]uint32
 
 	totals [NumEvents]uint64
 
-	// Buffered write state (see package comment).
+	// Buffered write state (see package comment). At most one pair write is
+	// pending at a time; a write to a different pair drains the old one.
 	pendingWrite bool
+	pendingPair  int
 	pendingVal   uint64
 	pendingFuel  int
 
@@ -92,28 +114,60 @@ type Unit struct {
 	Strict bool
 }
 
-// New returns a unit with both counters deselected and strict write
-// buffering enabled.
-func New() *Unit {
-	return &Unit{Strict: true}
+// New returns the classic two-counter unit with both counters deselected
+// and strict write buffering enabled.
+func New() *Unit { return NewK(2) }
+
+// NewK returns a unit with k physical counters (1..MaxCounters), all
+// deselected, with strict write buffering enabled.
+func NewK(k int) *Unit {
+	if k < 1 || k > MaxCounters {
+		panic(fmt.Sprintf("hpm: counter bank width %d out of range", k))
+	}
+	return &Unit{
+		pic:    make([]uint32, k),
+		sel:    make([]Event, k),
+		Strict: true,
+	}
 }
 
-// Select programs the event selections (the PCR register).
-func (u *Unit) Select(pic0, pic1 Event) {
-	u.sel[0], u.sel[1] = pic0, pic1
-	for ev := Event(0); ev < NumEvents; ev++ {
-		var m uint8
-		if matches(pic0, ev) {
-			m |= 1
+// NumCounters returns the bank width K.
+func (u *Unit) NumCounters() int { return len(u.pic) }
+
+// SelectAll programs the event selection of every counter (the PCR
+// register): counter i counts events[i]. Counters beyond len(events) are
+// deselected; events beyond the bank width are ignored.
+func (u *Unit) SelectAll(events []Event) {
+	for i := range u.sel {
+		if i < len(events) {
+			u.sel[i] = events[i]
+		} else {
+			u.sel[i] = EvNone
 		}
-		if matches(pic1, ev) {
-			m |= 2
+	}
+	for ev := Event(0); ev < NumEvents; ev++ {
+		var m uint32
+		for i, sel := range u.sel {
+			if matches(sel, ev) {
+				m |= 1 << i
+			}
 		}
 		u.picMask[ev] = m
 	}
 }
 
-// Selected returns the current event selections.
+// Select programs the first two counter selections, deselecting the rest —
+// the classic PIC0/PIC1 PCR write.
+func (u *Unit) Select(pic0, pic1 Event) { u.SelectAll([]Event{pic0, pic1}) }
+
+// SelectedAll returns a copy of the current per-counter event selections.
+func (u *Unit) SelectedAll() []Event {
+	out := make([]Event, len(u.sel))
+	copy(out, u.sel)
+	return out
+}
+
+// Selected returns the first two event selections.
 func (u *Unit) Selected() (Event, Event) { return u.sel[0], u.sel[1] }
 
 // matches reports whether an occurrence of ev should count toward a counter
@@ -134,13 +188,8 @@ func (u *Unit) Count(ev Event, n uint64) {
 	if ev == EvDCacheReadMiss || ev == EvDCacheWriteMiss {
 		u.totals[EvDCacheMiss] += n
 	}
-	if m := u.picMask[ev]; m != 0 {
-		if m&1 != 0 {
-			u.pic[0] += uint32(n) // wraps by construction
-		}
-		if m&2 != 0 {
-			u.pic[1] += uint32(n)
-		}
+	for m := u.picMask[ev]; m != 0; m &= m - 1 {
+		u.pic[bits.TrailingZeros32(m)] += uint32(n) // wraps by construction
 	}
 }
 
@@ -156,40 +205,112 @@ func (u *Unit) Retire() {
 }
 
 func (u *Unit) applyPending() {
-	u.pic[0] = uint32(u.pendingVal)
-	u.pic[1] = uint32(u.pendingVal >> 32)
+	u.setPair(u.pendingPair, u.pendingVal)
 	u.pendingWrite = false
 }
 
-// Write sets both PICs from one 64-bit value (PIC0 low, PIC1 high). In
-// strict mode the write is buffered: events occurring during the next few
-// instructions still accumulate into the old values and are then lost when
-// the buffered write drains — unless a Read forces completion first, which
-// is why correct instrumentation always reads after writing.
-func (u *Unit) Write(v uint64) {
+func (u *Unit) setPair(p int, v uint64) {
+	u.pic[2*p] = uint32(v)
+	if 2*p+1 < len(u.pic) {
+		u.pic[2*p+1] = uint32(v >> 32)
+	}
+}
+
+// WritePair sets the two counters of pair p (counters 2p and 2p+1) from one
+// 64-bit value (low counter in the low half). In strict mode the write is
+// buffered: events occurring during the next few instructions still
+// accumulate into the old values and are then lost when the buffered write
+// drains — unless a Read forces completion first, which is why correct
+// instrumentation always reads after writing. Writing a second pair while a
+// write is pending drains the pending write first.
+func (u *Unit) WritePair(p int, v uint64) {
+	if 2*p >= len(u.pic) {
+		panic(fmt.Sprintf("hpm: write of counter pair %d on a %d-counter bank", p, len(u.pic)))
+	}
 	if !u.Strict {
-		u.pic[0] = uint32(v)
-		u.pic[1] = uint32(v >> 32)
+		u.setPair(p, v)
 		return
 	}
+	if u.pendingWrite && u.pendingPair != p {
+		u.applyPending()
+	}
 	u.pendingWrite = true
+	u.pendingPair = p
 	u.pendingVal = v
 	u.pendingFuel = writeLatency
 }
 
-// Read returns both PICs as one 64-bit value, forcing any buffered write to
-// complete first (the read-after-write idiom).
-func (u *Unit) Read() uint64 {
+// ReadPair returns pair p's counters as one 64-bit value (low counter in
+// the low half), forcing any buffered write to complete first (the
+// read-after-write idiom).
+func (u *Unit) ReadPair(p int) uint64 {
 	if u.pendingWrite {
 		u.applyPending()
 	}
-	return uint64(u.pic[1])<<32 | uint64(u.pic[0])
+	if 2*p >= len(u.pic) {
+		panic(fmt.Sprintf("hpm: read of counter pair %d on a %d-counter bank", p, len(u.pic)))
+	}
+	v := uint64(u.pic[2*p])
+	if 2*p+1 < len(u.pic) {
+		v |= uint64(u.pic[2*p+1]) << 32
+	}
+	return v
 }
 
-// Split decomposes a Read result into (pic0, pic1).
+// Write sets counter pair 0 from one 64-bit value (PIC0 low, PIC1 high).
+//
+// Deprecated: pair-packed access exists for the classic two-counter
+// instrumentation; new code should use WriteAll (or WritePair with an
+// explicit pair index).
+func (u *Unit) Write(v uint64) { u.WritePair(0, v) }
+
+// Read returns counter pair 0 as one 64-bit value.
+//
+// Deprecated: see Write; new code should use ReadAll or ReadPair.
+func (u *Unit) Read() uint64 { return u.ReadPair(0) }
+
+// ReadAll copies every counter into dst (allocating when dst is too short),
+// forcing any buffered write to complete first. It returns the filled
+// slice.
+func (u *Unit) ReadAll(dst []uint32) []uint32 {
+	if u.pendingWrite {
+		u.applyPending()
+	}
+	if cap(dst) < len(u.pic) {
+		dst = make([]uint32, len(u.pic))
+	}
+	dst = dst[:len(u.pic)]
+	copy(dst, u.pic)
+	return dst
+}
+
+// WriteAll sets every counter from vals (counters beyond len(vals) are
+// zeroed), applying the same strict-mode buffering as WritePair, pair by
+// pair: only the final pair's write remains buffered.
+func (u *Unit) WriteAll(vals []uint32) {
+	for p := 0; 2*p < len(u.pic); p++ {
+		var v uint64
+		if 2*p < len(vals) {
+			v = uint64(vals[2*p])
+		}
+		if 2*p+1 < len(vals) {
+			v |= uint64(vals[2*p+1]) << 32
+		}
+		u.WritePair(p, v)
+	}
+}
+
+// Split decomposes a packed pair reading into (low, high) counters.
+//
+// Deprecated: pair-packed access exists for the classic two-counter
+// instrumentation; new code should use ReadAll/WriteAll.
 func Split(v uint64) (pic0, pic1 uint32) {
 	return uint32(v), uint32(v >> 32)
 }
+
+// Pack composes two 32-bit counters into the packed pair representation
+// Split inverts.
+func Pack(pic0, pic1 uint32) uint64 { return uint64(pic1)<<32 | uint64(pic0) }
 
 // Delta32 computes the number of events between two 32-bit counter
 // readings, correctly handling a single wraparound.

@@ -1,0 +1,89 @@
+package hpm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MetricSet is an ordered set of named hardware events a profiling run
+// wants collected — the metric schema threaded through the whole pipeline.
+// Slot i of every downstream accumulator (profile path metrics, CCT record
+// deltas, collector aggregates) counts Events[i]. A MetricSet may name more
+// events than a machine's counter bank holds; the Scheduler then
+// time-multiplexes the bank over the set.
+type MetricSet struct {
+	Events []Event
+}
+
+// NewMetricSet builds a set over the given events in order.
+func NewMetricSet(events ...Event) MetricSet {
+	return MetricSet{Events: events}
+}
+
+// DefaultMetricSet is the paper's classic UltraSPARC selection: PIC0 counts
+// L1 D-cache misses, PIC1 counts instructions.
+func DefaultMetricSet() MetricSet {
+	return NewMetricSet(EvDCacheMiss, EvInsts)
+}
+
+// ParseMetricSet parses a comma-separated list of event names (as printed
+// by Event.String) into a MetricSet of at least one event.
+func ParseMetricSet(s string) (MetricSet, error) {
+	var set MetricSet
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		ev, ok := EventByName(name)
+		if !ok {
+			return MetricSet{}, fmt.Errorf("hpm: unknown event %q", name)
+		}
+		set.Events = append(set.Events, ev)
+	}
+	if len(set.Events) == 0 {
+		return MetricSet{}, fmt.Errorf("hpm: empty metric set %q", s)
+	}
+	return set, nil
+}
+
+// Len returns the number of metric slots.
+func (s MetricSet) Len() int { return len(s.Events) }
+
+// Names returns the event names in slot order.
+func (s MetricSet) Names() []string {
+	out := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// String renders the set as a comma-separated event list.
+func (s MetricSet) String() string { return strings.Join(s.Names(), ",") }
+
+// Key returns a stable identity string (usable as a map key).
+func (s MetricSet) Key() string { return s.String() }
+
+// Equal reports whether both sets name the same events in the same order.
+func (s MetricSet) Equal(o MetricSet) bool {
+	if len(s.Events) != len(o.Events) {
+		return false
+	}
+	for i, e := range s.Events {
+		if o.Events[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// Index returns the slot counting ev, or -1.
+func (s MetricSet) Index(ev Event) int {
+	for i, e := range s.Events {
+		if e == ev {
+			return i
+		}
+	}
+	return -1
+}

@@ -25,13 +25,13 @@ func (plan *Plan) blockHWProc(p *ir.Proc) error {
 	nBlocks := int64(len(p.Blocks))
 	pp.BlockCount = nBlocks
 	pp.FreqBase = plan.alloc.Alloc(uint64(nBlocks)*8, 64)
-	pp.Acc0Base = plan.alloc.Alloc(uint64(nBlocks)*8, 64)
-	pp.Acc1Base = plan.alloc.Alloc(uint64(nBlocks)*8, 64)
+	plan.allocAccBases(pp, nBlocks)
 
-	rp, err := planRegs(p, 6)
+	rp, err := planRegs(p, 5+plan.numPairs())
 	if err != nil {
 		return err
 	}
+	rp.pairs = plan.numPairs()
 	pp.Spilled = rp.spill
 
 	for _, b := range p.Blocks {
@@ -42,28 +42,41 @@ func (plan *Plan) blockHWProc(p *ir.Proc) error {
 		t0 := sb.scratch(0)
 		t1 := sb.scratch(1)
 		idx := sb.scratch(2)
+		sb.emit(ir.Instr{Op: ir.MovI, Rd: idx, Imm: bid})
+		for pr := 0; pr < rp.numPairs(); pr++ {
+			hi, lo := 2*pr+1, 2*pr
+			sb.emit(ir.Instr{Op: ir.RdPIC, Rd: pair, Imm: int64(pr)})
+			if hi < plan.numCounters() {
+				sb.emit(ir.Instr{Op: ir.ShrI, Rd: t0, Rs: pair, Imm: 32}) // high half
+			}
+			sb.emit(ir.Instr{Op: ir.AndI, Rd: pair, Rs: pair, Imm: 0xffffffff}) // low half
+			if hi < plan.numCounters() {
+				// acc[hi][b] += high half
+				sb.emit(
+					ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[hi])},
+					ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
+					ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[hi])},
+				)
+			}
+			// acc[lo][b] += low half
+			sb.emit(
+				ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[lo])},
+				ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: pair},
+				ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[lo])},
+			)
+		}
 		sb.emit(
-			ir.Instr{Op: ir.MovI, Rd: idx, Imm: bid},
-			ir.Instr{Op: ir.RdPIC, Rd: pair},
-			ir.Instr{Op: ir.ShrI, Rd: t0, Rs: pair, Imm: 32},           // PIC1
-			ir.Instr{Op: ir.AndI, Rd: pair, Rs: pair, Imm: 0xffffffff}, // PIC0
-			// acc1[b] += PIC1
-			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
-			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
-			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
-			// acc0[b] += PIC0
-			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
-			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: pair},
-			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
 			// freq[b]++
 			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
 			ir.Instr{Op: ir.AddI, Rd: t1, Rs: t1, Imm: 1},
 			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
-			// Restart for the next block.
-			ir.Instr{Op: ir.WrPIC, Rs: z},
 		)
+		// Restart for the next block.
+		for pr := 0; pr < rp.numPairs(); pr++ {
+			sb.emit(ir.Instr{Op: ir.WrPIC, Rs: z, Imm: int64(pr)})
+		}
 		if plan.Opts.ReadAfterWrite {
-			sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t0})
+			sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t0, Imm: int64(rp.numPairs() - 1)})
 		}
 		ed.insertBeforeTerm(b.ID, sb.finish())
 	}
@@ -79,7 +92,7 @@ func (plan *Plan) blockHWProc(p *ir.Proc) error {
 	entry := entrySeq.finish()
 	if rp.spill {
 		entry = append([]ir.Instr{
-			{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -frameBytes},
+			{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -rp.frameSize()},
 			{Op: ir.Mov, Rd: rp.frame, Rs: ir.RegSP},
 		}, entry...)
 	}
@@ -91,7 +104,7 @@ func (plan *Plan) blockHWProc(p *ir.Proc) error {
 	if rp.spill {
 		seq = append(seq,
 			ir.Instr{Op: ir.Mov, Rd: ir.RegSP, Rs: rp.frame},
-			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: frameBytes},
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: rp.frameSize()},
 		)
 	}
 	ed.insertBeforeTerm(p.ExitBlock, seq)

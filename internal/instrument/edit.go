@@ -144,24 +144,61 @@ func freeRegs(p *ir.Proc, want int) []ir.Reg {
 type regPlan struct {
 	spill bool
 
+	// pairs is how many counter pairs the HW instrumentation saves and
+	// restores (0 and 1 mean the classic single PIC pair).
+	pairs int
+
 	// Direct mode: dedicated registers.
-	zero ir.Reg // always 0
-	path ir.Reg // Ball-Larus tracking register
-	tmp  [3]ir.Reg
-	save ir.Reg // saved counter pair across the activation (PathHW)
+	zero      ir.Reg // always 0
+	path      ir.Reg // Ball-Larus tracking register
+	tmp       [3]ir.Reg
+	save      ir.Reg   // saved counter pair 0 across the activation (PathHW)
+	saveExtra []ir.Reg // saved pairs 1.. for wide metric schemas
 
 	// Spill mode.
 	frame   ir.Reg    // the single free register, holds the frame base
 	victims [5]ir.Reg // borrowed registers (r0..): saved around sequences
 }
 
-// Frame slot offsets (bytes) in spill mode.
+// Frame slot offsets (bytes) in spill mode. Extra saved counter pairs for
+// wide metric schemas extend the frame past frameBytes (see slotSave), so
+// the classic layout — and every address the two-counter instrumentation
+// emits — is untouched.
 const (
 	slotPath    = 0  // spilled path register
 	slotSavePIC = 8  // saved counter pair (also used in direct mode frames)
 	slotVictim0 = 16 // victim save area: 5 slots
 	frameBytes  = 64
 )
+
+func (rp *regPlan) numPairs() int {
+	if rp.pairs < 1 {
+		return 1
+	}
+	return rp.pairs
+}
+
+// frameSize returns the spill frame size: the classic 64 bytes plus one
+// slot per extra saved counter pair.
+func (rp *regPlan) frameSize() int64 {
+	return frameBytes + 8*int64(rp.numPairs()-1)
+}
+
+// slotSave returns the frame offset holding saved counter pair pr.
+func (rp *regPlan) slotSave(pr int) int64 {
+	if pr == 0 {
+		return slotSavePIC
+	}
+	return frameBytes + 8*int64(pr-1)
+}
+
+// saveReg returns the direct-mode register holding saved counter pair pr.
+func (rp *regPlan) saveReg(pr int) ir.Reg {
+	if pr == 0 {
+		return rp.save
+	}
+	return rp.saveExtra[pr-1]
+}
 
 // planRegs decides the regime for a procedure needing `need` dedicated
 // registers (zero + path + temps). It returns an error only when not even
@@ -179,6 +216,9 @@ func planRegs(p *ir.Proc, need int) (*regPlan, error) {
 		}
 		if len(free) > 5 {
 			rp.save = free[5]
+		}
+		if len(free) > 6 {
+			rp.saveExtra = free[6:]
 		}
 		return rp, nil
 	}

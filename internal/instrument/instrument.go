@@ -5,6 +5,7 @@ import (
 
 	"pathprof/internal/bl"
 	"pathprof/internal/cct"
+	"pathprof/internal/hpm"
 	"pathprof/internal/ir"
 	"pathprof/internal/mem"
 )
@@ -154,9 +155,19 @@ type Options struct {
 	DistinguishCallSites bool
 
 	// CCTMetrics is the number of per-record metric slots for context
-	// modes: slot 0 counts invocations, slots 1 and 2 accumulate the PIC0
-	// and PIC1 deltas.
+	// modes: slot 0 counts invocations, slots 1..NumCounters accumulate the
+	// per-counter deltas. Zero means 1+NumCounters.
 	CCTMetrics int
+
+	// NumCounters is how many hardware counters the HW modes save, zero,
+	// and accumulate per path/block/context (the metric-schema width). Zero
+	// means the classic UltraSPARC pair. Counters are addressed in pairs
+	// (one RdPIC/WrPIC moves two), so widths beyond 2 cost an extra
+	// read/accumulate sequence per pair. The machine running the plan must
+	// have a bank at least this wide; wider MetricSets than the machine
+	// exposes need the whole-run multiplexing scheduler instead
+	// (sim.Machine.AttachScheduler).
+	NumCounters int
 
 	// ProfiledFreqs, when non-nil, supplies measured edge frequencies per
 	// procedure (from CollectEdgeFrequencies) to weight the spanning tree
@@ -194,10 +205,11 @@ type ProcPlan struct {
 	UseHash   bool           // counters in a runtime hash table
 	Spilled   bool           // register-starved: spill-mode instrumentation
 
-	// Simulated addresses of dense counter tables (0 when unused/hashed).
+	// Simulated addresses of dense counter tables (0 when unused/hashed):
+	// the frequency table plus one accumulator table per metric slot, in
+	// slot order (AccBases[0] holds what PIC0 counted, and so on).
 	FreqBase uint64
-	Acc0Base uint64
-	Acc1Base uint64
+	AccBases []uint64
 
 	NumSites int // call sites (for CCT slot layout)
 
@@ -258,6 +270,15 @@ func Instrument(prog *ir.Program, opts Options) (*Plan, error) {
 	if opts.HashPathThreshold == 0 {
 		opts.HashPathThreshold = DefaultHashPathThreshold
 	}
+	if opts.NumCounters == 0 {
+		opts.NumCounters = 2
+	}
+	if opts.NumCounters < 1 || opts.NumCounters > hpm.MaxCounters {
+		return nil, fmt.Errorf("instrument: %d counters out of range", opts.NumCounters)
+	}
+	if opts.CCTMetrics == 0 && opts.Mode.UsesCCT() {
+		opts.CCTMetrics = 1 + opts.NumCounters
+	}
 	clone := ir.Clone(prog)
 	plan := &Plan{
 		Mode:  opts.Mode,
@@ -304,6 +325,23 @@ func countSites(p *ir.Proc) int {
 		}
 	}
 	return n
+}
+
+// numCounters returns the normalized metric-schema width N.
+func (plan *Plan) numCounters() int { return plan.Opts.NumCounters }
+
+// numPairs returns how many counter pairs cover N counters (RdPIC/WrPIC
+// move a pair per instruction).
+func (plan *Plan) numPairs() int { return (plan.Opts.NumCounters + 1) / 2 }
+
+// allocAccBases reserves one 64-bit accumulator table per metric slot,
+// in slot order immediately after the frequency table — the classic
+// Acc0/Acc1 layout extended to N slots.
+func (plan *Plan) allocAccBases(pp *ProcPlan, slots int64) {
+	pp.AccBases = make([]uint64, plan.numCounters())
+	for i := range pp.AccBases {
+		pp.AccBases[i] = plan.alloc.Alloc(uint64(slots)*8, 64)
+	}
 }
 
 // instrumentProc dispatches on mode.

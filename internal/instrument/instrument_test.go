@@ -241,7 +241,8 @@ func TestPathHWMetricsBounded(t *testing.T) {
 	}
 	res, rt := runProgram(t, plan.Prog, plan)
 	prof := rt.ExtractProfile()
-	_, m0, m1 := prof.Totals()
+	_, ms := prof.Totals()
+	m0, m1 := ms[0], ms[1]
 	if m1 == 0 {
 		t.Fatal("no instructions attributed to any path")
 	}
@@ -255,6 +256,60 @@ func TestPathHWMetricsBounded(t *testing.T) {
 	// instrumentation outside measured intervals).
 	if m1 < res.Totals[hpm.EvInsts]/3 {
 		t.Fatalf("only %d of %d instructions attributed to paths", m1, res.Totals[hpm.EvInsts])
+	}
+}
+
+// TestPathHWWideBank: a four-counter plan on a four-counter machine keeps
+// the program's semantics, extracts four named metric columns, and bounds
+// each column by the run's shadow totals for its event — the N-counter
+// generalization of TestPathHWMetricsBounded.
+func TestPathHWWideBank(t *testing.T) {
+	events := []hpm.Event{hpm.EvDCacheMiss, hpm.EvInsts, hpm.EvLoads, hpm.EvBranches}
+	for seed := int64(1); seed <= 6; seed++ {
+		prog := randomProgram(seed)
+		base, _ := runProgram(t, prog, nil)
+
+		opts := DefaultOptions(ModePathHW)
+		opts.NumCounters = 4
+		plan, err := Instrument(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.NumCounters = 4
+		m := sim.New(plan.Prog, cfg)
+		m.PMU().SelectAll(events)
+		rt := plan.Wire(m)
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Output, res.Output) {
+			t.Fatalf("seed %d: output diverged under a 4-counter plan", seed)
+		}
+
+		prof := rt.ExtractProfile()
+		if prof.NumMetrics() != 4 {
+			t.Fatalf("seed %d: %d metric columns, want 4 (%v)", seed, prof.NumMetrics(), prof.Events)
+		}
+		for k, ev := range events {
+			if prof.Events[k] != ev.String() {
+				t.Fatalf("seed %d: slot %d named %q, want %q", seed, k, prof.Events[k], ev)
+			}
+		}
+		// Every slot measures sub-intervals of the run, so no column may
+		// exceed the machine's 64-bit shadow total for its event (which
+		// also proves the 32-bit save/restore arithmetic never went
+		// backwards across wraps).
+		_, ms := prof.Totals()
+		for k, ev := range events {
+			if ms[k] > res.Totals[ev] {
+				t.Fatalf("seed %d: paths claim %d %v, run had %d", seed, ms[k], ev, res.Totals[ev])
+			}
+		}
+		if ms[1] < res.Totals[hpm.EvInsts]/3 {
+			t.Fatalf("seed %d: only %d of %d instructions attributed to paths", seed, ms[1], res.Totals[hpm.EvInsts])
+		}
 	}
 }
 
@@ -306,10 +361,10 @@ func TestPathHWExactOnStraightLine(t *testing.T) {
 	if ent.Freq != 50 {
 		t.Fatalf("work path freq = %d, want 50", ent.Freq)
 	}
-	if ent.M1%ent.Freq != 0 {
-		t.Fatalf("per-execution instruction count not constant: %d/%d", ent.M1, ent.Freq)
+	if ent.Metric(1)%ent.Freq != 0 {
+		t.Fatalf("per-execution instruction count not constant: %d/%d", ent.Metric(1), ent.Freq)
 	}
-	per := ent.M1 / ent.Freq
+	per := ent.Metric(1) / ent.Freq
 	// The measured interval covers the callee's own body plus the
 	// instrumentation between the zeroing read and the path-end read.
 	if per < 3 || per > 30 {
@@ -441,7 +496,7 @@ func TestSpillModeInstrumentation(t *testing.T) {
 		}
 		prof := rt.ExtractProfile()
 		pw := prof.Proc(0)
-		freq, _, _ := pw.Totals()
+		freq, _ := pw.Totals()
 		if freq != 20 {
 			t.Fatalf("mode %v: hot executed paths %d times, want 20", mode, freq)
 		}
@@ -711,7 +766,8 @@ func TestBlockHWMode(t *testing.T) {
 	}
 
 	prof := rt.ExtractProfile()
-	_, m0sum, m1sum := prof.Totals()
+	_, msums := prof.Totals()
+	m0sum, m1sum := msums[0], msums[1]
 	if m1sum == 0 {
 		t.Fatal("no per-block instructions recorded")
 	}

@@ -56,18 +56,20 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 	if !pp.UseHash {
 		pp.FreqBase = plan.alloc.Alloc(uint64(nm.NumPaths)*8, 64)
 		if mode == ModePathHW {
-			pp.Acc0Base = plan.alloc.Alloc(uint64(nm.NumPaths)*8, 64)
-			pp.Acc1Base = plan.alloc.Alloc(uint64(nm.NumPaths)*8, 64)
+			plan.allocAccBases(pp, nm.NumPaths)
 		}
 	}
 
 	want := 5 // zero, path, 3 temps
 	if mode == ModePathHW {
-		want = 6 // + saved-PIC register
+		want += plan.numPairs() // + one saved-PIC register per pair
 	}
 	rp, err := planRegs(p, want)
 	if err != nil {
 		return err
+	}
+	if mode == ModePathHW {
+		rp.pairs = plan.numPairs()
 	}
 	pp.Spilled = rp.spill
 
@@ -120,7 +122,7 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 	if rp.spill {
 		seq = append(seq,
 			ir.Instr{Op: ir.Mov, Rd: ir.RegSP, Rs: rp.frame},
-			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: frameBytes},
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: rp.frameSize()},
 		)
 	}
 	ed.insertBeforeTerm(p.ExitBlock, seq)
@@ -136,7 +138,7 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 	var entry []ir.Instr
 	if rp.spill {
 		entry = append(entry,
-			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -frameBytes},
+			ir.Instr{Op: ir.AddI, Rd: ir.RegSP, Rs: ir.RegSP, Imm: -rp.frameSize()},
 			ir.Instr{Op: ir.Mov, Rd: rp.frame, Rs: ir.RegSP},
 		)
 	} else {
@@ -287,24 +289,34 @@ func (plan *Plan) emitPathEnd(sb *seqBuilder, pp *ProcPlan, offset int64, mode M
 		)
 
 	case mode == ModePathHW:
-		// Read the counter pair once, then accumulate both halves into
+		// Read each counter pair once, then accumulate both halves into
 		// 64-bit accumulators and bump the frequency count — the paper's
-		// "thirteen or more instructions". r is reused to hold the counter
-		// pair.
+		// "thirteen or more instructions" (plus one read-accumulate group
+		// per extra pair when the metric schema is wider than two). r is
+		// reused to hold the pair value.
 		z := sb.zeroReg()
 		t0, t1 := sb.scratch(0), sb.scratch(1)
+		for pr := 0; pr < plan.numPairs(); pr++ {
+			hi, lo := 2*pr+1, 2*pr
+			sb.emit(ir.Instr{Op: ir.RdPIC, Rd: r, Imm: int64(pr)})
+			if hi < plan.numCounters() {
+				// High half into the odd slot's accumulator.
+				sb.emit(
+					ir.Instr{Op: ir.ShrI, Rd: t0, Rs: r, Imm: 32},
+					ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[hi])},
+					ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
+					ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[hi])},
+				)
+			}
+			// Low half into the even slot's accumulator.
+			sb.emit(
+				ir.Instr{Op: ir.AndI, Rd: t0, Rs: r, Imm: 0xffffffff},
+				ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[lo])},
+				ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
+				ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.AccBases[lo])},
+			)
+		}
 		sb.emit(
-			ir.Instr{Op: ir.RdPIC, Rd: r},
-			// PIC1 (high half) into acc1.
-			ir.Instr{Op: ir.ShrI, Rd: t0, Rs: r, Imm: 32},
-			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
-			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
-			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc1Base)},
-			// PIC0 (low half) into acc0.
-			ir.Instr{Op: ir.AndI, Rd: t0, Rs: r, Imm: 0xffffffff},
-			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
-			ir.Instr{Op: ir.Add, Rd: t1, Rs: t1, Rt: t0},
-			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.Acc0Base)},
 			// Frequency.
 			ir.Instr{Op: ir.LoadIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
 			ir.Instr{Op: ir.AddI, Rd: t1, Rs: t1, Imm: 1},
@@ -322,43 +334,56 @@ func (plan *Plan) emitPathEnd(sb *seqBuilder, pp *ProcPlan, offset int64, mode M
 	}
 }
 
-// emitCounterZero writes zero to both PICs and, unless ablated, performs the
-// mandatory read-after-write (Figure 3: "it is necessary to read the
-// hardware counter after writing it").
+// emitCounterZero writes zero to every instrumented PIC pair and, unless
+// ablated, performs the mandatory read-after-write (Figure 3: "it is
+// necessary to read the hardware counter after writing it"). With several
+// pairs a single trailing read suffices: writing the next pair forces the
+// previous pair's buffered write to complete, so only the last write needs
+// the explicit read.
 func (plan *Plan) emitCounterZero(sb *seqBuilder, rp *regPlan) {
 	z := sb.zeroReg()
-	sb.emit(ir.Instr{Op: ir.WrPIC, Rs: z})
+	for pr := 0; pr < rp.numPairs(); pr++ {
+		sb.emit(ir.Instr{Op: ir.WrPIC, Rs: z, Imm: int64(pr)})
+	}
 	if plan.Opts.ReadAfterWrite {
 		t := sb.scratch(0)
-		sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t})
+		sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t, Imm: int64(rp.numPairs() - 1)})
 	}
 }
 
-// emitCounterSave preserves the caller's counter pair on procedure entry.
+// emitCounterSave preserves the caller's counter pairs on procedure entry:
+// pair 0 in the dedicated save register (or its frame slot), extra pairs in
+// their own registers (or the frame slots past the classic layout).
 func (plan *Plan) emitCounterSave(sb *seqBuilder, rp *regPlan) {
 	if rp.spill {
 		t := sb.scratch(0)
-		sb.emit(
-			ir.Instr{Op: ir.RdPIC, Rd: t},
-			ir.Instr{Op: ir.Store, Rs: rp.frame, Imm: slotSavePIC, Rd: t},
-		)
+		for pr := 0; pr < rp.numPairs(); pr++ {
+			sb.emit(
+				ir.Instr{Op: ir.RdPIC, Rd: t, Imm: int64(pr)},
+				ir.Instr{Op: ir.Store, Rs: rp.frame, Imm: rp.slotSave(pr), Rd: t},
+			)
+		}
 		return
 	}
-	sb.emit(ir.Instr{Op: ir.RdPIC, Rd: rp.save})
+	for pr := 0; pr < rp.numPairs(); pr++ {
+		sb.emit(ir.Instr{Op: ir.RdPIC, Rd: rp.saveReg(pr), Imm: int64(pr)})
+	}
 }
 
-// emitCounterRestore reinstates the caller's counter pair before return.
+// emitCounterRestore reinstates the caller's counter pairs before return.
 func (plan *Plan) emitCounterRestore(sb *seqBuilder, rp *regPlan) {
-	var src ir.Reg
-	if rp.spill {
-		src = sb.scratch(0)
-		sb.emit(ir.Instr{Op: ir.Load, Rd: src, Rs: rp.frame, Imm: slotSavePIC})
-	} else {
-		src = rp.save
+	for pr := 0; pr < rp.numPairs(); pr++ {
+		var src ir.Reg
+		if rp.spill {
+			src = sb.scratch(0)
+			sb.emit(ir.Instr{Op: ir.Load, Rd: src, Rs: rp.frame, Imm: rp.slotSave(pr)})
+		} else {
+			src = rp.saveReg(pr)
+		}
+		sb.emit(ir.Instr{Op: ir.WrPIC, Rs: src, Imm: int64(pr)})
 	}
-	sb.emit(ir.Instr{Op: ir.WrPIC, Rs: src})
 	if plan.Opts.ReadAfterWrite {
 		t := sb.scratch(1)
-		sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t})
+		sb.emit(ir.Instr{Op: ir.RdPIC, Rd: t, Imm: int64(rp.numPairs() - 1)})
 	}
 }

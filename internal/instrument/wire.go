@@ -1,6 +1,8 @@
 package instrument
 
 import (
+	"fmt"
+
 	"pathprof/internal/cct"
 	"pathprof/internal/flat"
 	"pathprof/internal/hpm"
@@ -20,17 +22,19 @@ type Runtime struct {
 
 	// Hash path tables (per procedure; nil when the procedure uses a dense
 	// array in simulated memory). Counts are non-negative and far below
-	// 2^63, so the int64-valued flat tables hold them exactly.
+	// 2^63, so the int64-valued flat tables hold them exactly. hashAcc has
+	// one table per metric slot: hashAcc[k][proc].
 	hashFreq []*flat.Table
-	hashAcc0 []*flat.Table
-	hashAcc1 []*flat.Table
+	hashAcc  [][]*flat.Table
 	// Simulated bucket arrays backing the hash tables, so probes perturb
 	// the cache like real hash updates would: [proc] -> base address.
 	hashBase []uint64
 
-	// Context+HW state: the counter-pair reading at entry to each live
-	// activation (parallel to the CCT's context stack).
+	// Context+HW state: the counter readings at entry to each live
+	// activation, one packed pair value per instrumented pair, flattened
+	// with stride numPairs (parallel to the CCT's context stack).
 	entryPIC []uint64
+	numPairs int
 }
 
 const hashBuckets = 64
@@ -43,19 +47,27 @@ const hashBuckets = 64
 // wiring of the same plan produces identical simulated addresses and a
 // Plan may be shared — including concurrently — across machines.
 func (plan *Plan) Wire(m *sim.Machine) *Runtime {
-	rt := &Runtime{Plan: plan, Machine: m}
+	if k := m.PMU().NumCounters(); k < plan.numCounters() {
+		panic(fmt.Sprintf("instrument: plan needs %d counters, machine has %d",
+			plan.numCounters(), k))
+	}
+	rt := &Runtime{Plan: plan, Machine: m, numPairs: plan.numPairs()}
 	n := len(plan.Prog.Procs)
+	nc := plan.numCounters()
 	alloc := plan.alloc.Clone()
 	rt.hashFreq = make([]*flat.Table, n)
-	rt.hashAcc0 = make([]*flat.Table, n)
-	rt.hashAcc1 = make([]*flat.Table, n)
+	rt.hashAcc = make([][]*flat.Table, nc)
+	for k := range rt.hashAcc {
+		rt.hashAcc[k] = make([]*flat.Table, n)
+	}
 	rt.hashBase = make([]uint64, n)
 	for _, pp := range plan.Procs {
 		if pp.UseHash {
 			rt.hashFreq[pp.ProcID] = flat.New(hashBuckets)
-			rt.hashAcc0[pp.ProcID] = flat.New(hashBuckets)
-			rt.hashAcc1[pp.ProcID] = flat.New(hashBuckets)
-			rt.hashBase[pp.ProcID] = alloc.Alloc(hashBuckets*8*3, 64)
+			for k := range rt.hashAcc {
+				rt.hashAcc[k][pp.ProcID] = flat.New(hashBuckets)
+			}
+			rt.hashBase[pp.ProcID] = alloc.Alloc(hashBuckets*8*uint64(1+nc), 64)
 		}
 	}
 
@@ -67,8 +79,8 @@ func (plan *Plan) Wire(m *sim.Machine) *Runtime {
 		}, mem.CCTBase)
 		m.OnUnwind(func(depth int) {
 			rt.Tree.UnwindTo(depth)
-			if len(rt.entryPIC) > depth {
-				rt.entryPIC = rt.entryPIC[:depth]
+			if len(rt.entryPIC) > depth*rt.numPairs {
+				rt.entryPIC = rt.entryPIC[:depth*rt.numPairs]
 			}
 		})
 	}
@@ -95,19 +107,26 @@ func (rt *Runtime) onHashFreq(ctx sim.ProbeCtx, arg int64) int64 {
 	return arg
 }
 
-// onHashHW handles a hash-table path metric update: read the counter pair,
-// accumulate both halves and the frequency.
+// onHashHW handles a hash-table path metric update: read each counter
+// pair, accumulate every slot and the frequency. The instruction charge is
+// the classic 14 for the two-counter schema, plus three per extra slot
+// (load, add, store of its accumulator).
 func (rt *Runtime) onHashHW(ctx sim.ProbeCtx, arg int64) int64 {
 	proc, idx := UnpackProcPath(arg)
-	v := rt.Machine.PMU().Read()
-	pic0, pic1 := hpm.Split(v)
-	rt.hashAcc0[proc].Add(idx, int64(pic0))
-	rt.hashAcc1[proc].Add(idx, int64(pic1))
+	pmu := rt.Machine.PMU()
+	nc := rt.Plan.numCounters()
+	for pr := 0; pr < rt.numPairs; pr++ {
+		lo, hi := hpm.Split(pmu.ReadPair(pr))
+		rt.hashAcc[2*pr][proc].Add(idx, int64(lo))
+		if 2*pr+1 < nc {
+			rt.hashAcc[2*pr+1][proc].Add(idx, int64(hi))
+		}
+	}
 	rt.hashFreq[proc].Add(idx, 1)
-	ctx.ChargeInstrs(14)
+	ctx.ChargeInstrs(uint64(8 + 3*nc))
 	base := rt.hashBase[proc]
 	b := (uint64(idx) % hashBuckets) * 8
-	for i := uint64(0); i < 3; i++ {
+	for i := uint64(0); i < uint64(1+nc); i++ {
 		ctx.TouchRead(base + i*hashBuckets*8 + b)
 		ctx.TouchWrite(base + i*hashBuckets*8 + b)
 	}
@@ -127,9 +146,12 @@ func (rt *Runtime) onCCTEnter(ctx sim.ProbeCtx, arg int64) int64 {
 	rt.Tree.Enter(int(arg), ctx)
 	rt.Tree.AddMetric(0, 1, ctx) // invocation count
 	if rt.Plan.Mode == ModeContextHW {
-		// Record the counter pair at entry (one RDPIC).
-		ctx.ChargeInstrs(1)
-		rt.entryPIC = append(rt.entryPIC, rt.Machine.PMU().Read())
+		// Record each counter pair at entry (one RDPIC per pair).
+		ctx.ChargeInstrs(uint64(rt.numPairs))
+		pmu := rt.Machine.PMU()
+		for pr := 0; pr < rt.numPairs; pr++ {
+			rt.entryPIC = append(rt.entryPIC, pmu.ReadPair(pr))
+		}
 	}
 	return arg
 }
@@ -137,7 +159,7 @@ func (rt *Runtime) onCCTEnter(ctx sim.ProbeCtx, arg int64) int64 {
 func (rt *Runtime) onCCTExit(ctx sim.ProbeCtx, arg int64) int64 {
 	if rt.Plan.Mode == ModeContextHW && len(rt.entryPIC) > 0 {
 		rt.accumulateDelta(ctx)
-		rt.entryPIC = rt.entryPIC[:len(rt.entryPIC)-1]
+		rt.entryPIC = rt.entryPIC[:len(rt.entryPIC)-rt.numPairs]
 	}
 	rt.Tree.Exit(ctx)
 	return arg
@@ -149,21 +171,35 @@ func (rt *Runtime) onCCTExit(ctx sim.ProbeCtx, arg int64) int64 {
 func (rt *Runtime) onCCTTick(ctx sim.ProbeCtx, arg int64) int64 {
 	if rt.Plan.Mode == ModeContextHW && len(rt.entryPIC) > 0 {
 		rt.accumulateDelta(ctx)
-		rt.entryPIC[len(rt.entryPIC)-1] = rt.Machine.PMU().Read()
+		pmu := rt.Machine.PMU()
+		base := len(rt.entryPIC) - rt.numPairs
+		for pr := 0; pr < rt.numPairs; pr++ {
+			rt.entryPIC[base+pr] = pmu.ReadPair(pr)
+		}
 	}
 	return arg
 }
 
-// accumulateDelta adds (now - entry) for both 32-bit counters into the
-// current record's metric slots 1 and 2.
+// accumulateDelta adds (now - entry) for every instrumented 32-bit counter
+// into the current record's metric slots 1..N (slot k+1 holds counter k's
+// delta; slot 0 is the invocation count).
 func (rt *Runtime) accumulateDelta(ctx sim.ProbeCtx) {
-	ctx.ChargeInstrs(4) // RDPIC, two subtracts, bookkeeping
-	now := rt.Machine.PMU().Read()
-	entry := rt.entryPIC[len(rt.entryPIC)-1]
-	n0, n1 := hpm.Split(now)
-	e0, e1 := hpm.Split(entry)
-	rt.Tree.AddMetric(1, int64(hpm.Delta32(e0, n0)), ctx)
-	rt.Tree.AddMetric(2, int64(hpm.Delta32(e1, n1)), ctx)
+	// One RDPIC plus two subtract/bookkeeping instructions per pair, plus
+	// two fixed bookkeeping instructions — 4 for the classic pair.
+	ctx.ChargeInstrs(uint64(2*rt.numPairs + 2))
+	pmu := rt.Machine.PMU()
+	nc := rt.Plan.numCounters()
+	base := len(rt.entryPIC) - rt.numPairs
+	for pr := 0; pr < rt.numPairs; pr++ {
+		now := pmu.ReadPair(pr)
+		entry := rt.entryPIC[base+pr]
+		nLo, nHi := hpm.Split(now)
+		eLo, eHi := hpm.Split(entry)
+		rt.Tree.AddMetric(1+2*pr, int64(hpm.Delta32(eLo, nLo)), ctx)
+		if 2*pr+1 < nc {
+			rt.Tree.AddMetric(2+2*pr, int64(hpm.Delta32(eHi, nHi)), ctx)
+		}
+	}
 }
 
 func (rt *Runtime) onCCTPath(ctx sim.ProbeCtx, arg int64) int64 {
@@ -174,15 +210,25 @@ func (rt *Runtime) onCCTPath(ctx sim.ProbeCtx, arg int64) int64 {
 // ExtractProfile reads the completed run's path counters — dense tables
 // from simulated memory, hash tables from the runtime — into a Profile.
 // For ModeContextFlow the per-record tables are summed per procedure (the
-// flow-sensitive projection of the combined profile).
+// flow-sensitive projection of the combined profile). The profile's metric
+// schema records the machine's event selection for every instrumented
+// counter slot.
 func (rt *Runtime) ExtractProfile() *profile.Profile {
 	plan := rt.Plan
+	nc := plan.numCounters()
 	p := &profile.Profile{
 		Program: plan.Prog.Name,
 		Mode:    plan.Mode.String(),
 	}
-	ev0, ev1 := rt.Machine.PMU().Selected()
-	p.Event0, p.Event1 = ev0.String(), ev1.String()
+	sel := rt.Machine.PMU().SelectedAll()
+	p.Events = make([]string, nc)
+	for k := 0; k < nc; k++ {
+		ev := hpm.EvNone
+		if k < len(sel) {
+			ev = sel[k]
+		}
+		p.Events[k] = ev.String()
+	}
 
 	memory := rt.Machine.Mem()
 	if plan.Mode == ModeBlockHW {
@@ -193,12 +239,11 @@ func (rt *Runtime) ExtractProfile() *profile.Profile {
 				if freq == 0 {
 					continue
 				}
-				out.Entries = append(out.Entries, profile.PathEntry{
-					Sum:  bid,
-					Freq: freq,
-					M0:   uint64(memory.Load(pp.Acc0Base + uint64(bid)*8)),
-					M1:   uint64(memory.Load(pp.Acc1Base + uint64(bid)*8)),
-				})
+				e := profile.PathEntry{Sum: bid, Freq: freq, Metrics: out.NewMetrics(nc)}
+				for k := 0; k < nc; k++ {
+					e.Metrics[k] = uint64(memory.Load(pp.AccBases[k] + uint64(bid)*8))
+				}
+				out.Entries = append(out.Entries, e)
 			}
 			p.Procs = append(p.Procs, out)
 		}
@@ -228,14 +273,14 @@ func (rt *Runtime) ExtractProfile() *profile.Profile {
 			})
 		case pp.UseHash:
 			freq := rt.hashFreq[pp.ProcID]
-			acc0, acc1 := rt.hashAcc0[pp.ProcID], rt.hashAcc1[pp.ProcID]
 			out.Entries = make([]profile.PathEntry, 0, freq.Len())
 			freq.Range(func(s, c int64) bool {
-				m0, _ := acc0.Get(s)
-				m1, _ := acc1.Get(s)
-				out.Entries = append(out.Entries, profile.PathEntry{
-					Sum: s, Freq: uint64(c), M0: uint64(m0), M1: uint64(m1),
-				})
+				e := profile.PathEntry{Sum: s, Freq: uint64(c), Metrics: out.NewMetrics(nc)}
+				for k := 0; k < nc; k++ {
+					m, _ := rt.hashAcc[k][pp.ProcID].Get(s)
+					e.Metrics[k] = uint64(m)
+				}
+				out.Entries = append(out.Entries, e)
 				return true
 			})
 		default:
@@ -246,8 +291,10 @@ func (rt *Runtime) ExtractProfile() *profile.Profile {
 				}
 				e := profile.PathEntry{Sum: s, Freq: freq}
 				if plan.Mode == ModePathHW {
-					e.M0 = uint64(memory.Load(pp.Acc0Base + uint64(s)*8))
-					e.M1 = uint64(memory.Load(pp.Acc1Base + uint64(s)*8))
+					e.Metrics = out.NewMetrics(nc)
+					for k := 0; k < nc; k++ {
+						e.Metrics[k] = uint64(memory.Load(pp.AccBases[k] + uint64(s)*8))
+					}
 				}
 				out.Entries = append(out.Entries, e)
 			}

@@ -10,11 +10,11 @@ import (
 // successful parse must survive a write/read round trip.
 func FuzzRead(f *testing.F) {
 	p := &Profile{
-		Program: "seed", Mode: "flow+hw", Event0: "dcache-miss", Event1: "insts",
+		Program: "seed", Mode: "flow+hw", Events: []string{"dcache-miss", "insts"},
 		Procs: []*ProcPaths{
 			{ProcID: 0, Name: "main", NumPaths: 4, Entries: []PathEntry{
-				{Sum: 0, Freq: 3, M0: 7, M1: 41},
-				{Sum: 2, Freq: 1, M0: 0, M1: 9},
+				NewEntry(0, 3, 7, 41),
+				NewEntry(2, 1, 0, 9),
 			}},
 			{ProcID: 1, Name: "a proc with spaces", NumPaths: 2},
 		},
@@ -24,6 +24,24 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.String())
+	// Wide-schema seed: four metric columns per path line.
+	wide := &Profile{
+		Program: "seed4", Mode: "flow+hw",
+		Events: []string{"cycles", "insts", "dcache-miss", "icache-miss"},
+		Procs: []*ProcPaths{
+			{ProcID: 0, Name: "main", NumPaths: 2, Entries: []PathEntry{
+				NewEntry(0, 5, 1, 2, 3, 4),
+			}},
+		},
+	}
+	var wideSeed bytes.Buffer
+	if err := wide.Write(&wideSeed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wideSeed.String())
+	// Single-event and zero-event headers.
+	f.Add("profile p m insts\nproc 0 main 2\npath 0 1 42\n")
+	f.Add("profile p m\nproc 0 main 2\npath 0 1\n")
 	f.Add("")
 	f.Add("profile x y z")
 	f.Add("proc 0 main 4\npath 0 1 2 3")

@@ -1,7 +1,8 @@
 // Package profile defines the profile data model produced by instrumented
-// runs: per-procedure path tables carrying a frequency and up to two
-// hardware-metric accumulators per path, plus program-level totals. It also
-// provides a line-oriented text encoding for saving and reloading profiles.
+// runs: per-procedure path tables carrying a frequency and N hardware-metric
+// accumulators per path (the metric schema names what each slot counted),
+// plus program-level totals. It also provides a line-oriented text encoding
+// for saving and reloading profiles.
 package profile
 
 import (
@@ -16,12 +17,33 @@ import (
 	"pathprof/internal/flat"
 )
 
-// PathEntry is one executed path's record.
+// PathEntry is one executed path's record. Metrics[i] accumulates the event
+// named by the owning Profile's Events[i]; the classic two-slot layout puts
+// the PIC0 metric (D-cache misses) in slot 0 and PIC1 (instructions) in
+// slot 1.
 type PathEntry struct {
-	Sum  int64  // Ball-Larus path identifier
-	Freq uint64 // executions
-	M0   uint64 // accumulated PIC0 metric (e.g. D-cache misses)
-	M1   uint64 // accumulated PIC1 metric (e.g. instructions)
+	Sum     int64  // Ball-Larus path identifier
+	Freq    uint64 // executions
+	Metrics []uint64
+}
+
+// Metric returns slot i's accumulator, treating missing slots as zero.
+func (e *PathEntry) Metric(i int) uint64 {
+	if i < 0 || i >= len(e.Metrics) {
+		return 0
+	}
+	return e.Metrics[i]
+}
+
+// NewEntry builds a PathEntry holding the given metric values. The metrics
+// slice is heap-allocated rather than arena-backed — convenient for
+// hand-built profiles; bulk extraction should use ProcPaths.NewMetrics.
+func NewEntry(sum int64, freq uint64, metrics ...uint64) PathEntry {
+	e := PathEntry{Sum: sum, Freq: freq}
+	if len(metrics) > 0 {
+		e.Metrics = append([]uint64(nil), metrics...)
+	}
+	return e
 }
 
 // ProcPaths is the path profile of one procedure.
@@ -30,17 +52,49 @@ type ProcPaths struct {
 	Name     string
 	NumPaths int64 // potential paths
 	Entries  []PathEntry
+
+	// arena backs the Entries' Metrics slices in chunks — one allocation
+	// per arenaChunk entries instead of one per path, the same discipline
+	// the cct package uses for its node records.
+	arena []uint64
+}
+
+// arenaChunk is the arena growth quantum, in uint64 words.
+const arenaChunk = 1024
+
+// NewMetrics carves an n-slot zeroed metrics slice out of the procedure's
+// arena. The returned slice has capacity exactly n, so appending to it can
+// never bleed into a neighbouring entry.
+func (pp *ProcPaths) NewMetrics(n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if len(pp.arena)+n > cap(pp.arena) {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		pp.arena = make([]uint64, 0, size)
+	}
+	lo := len(pp.arena)
+	pp.arena = pp.arena[:lo+n]
+	return pp.arena[lo : lo+n : lo+n]
 }
 
 // Executed returns how many distinct paths executed.
 func (pp *ProcPaths) Executed() int { return len(pp.Entries) }
 
-// Totals sums frequency and metrics over all executed paths.
-func (pp *ProcPaths) Totals() (freq, m0, m1 uint64) {
+// Totals sums frequency and per-slot metrics over all executed paths. The
+// metrics vector is as wide as the widest entry.
+func (pp *ProcPaths) Totals() (freq uint64, metrics []uint64) {
 	for _, e := range pp.Entries {
 		freq += e.Freq
-		m0 += e.M0
-		m1 += e.M1
+		for len(metrics) < len(e.Metrics) {
+			metrics = append(metrics, 0)
+		}
+		for i, m := range e.Metrics {
+			metrics[i] += m
+		}
 	}
 	return
 }
@@ -55,10 +109,30 @@ func (pp *ProcPaths) Sort() {
 type Profile struct {
 	Program string
 	Mode    string
-	Event0  string // what M0 counted
-	Event1  string // what M1 counted
-	Procs   []*ProcPaths
+
+	// Events is the metric schema: Events[i] names the hardware event that
+	// every entry's Metrics[i] accumulated. The classic schema is
+	// {"dcache-miss", "insts"}.
+	Events []string
+
+	Procs []*ProcPaths
 }
+
+// NumMetrics returns the schema width.
+func (p *Profile) NumMetrics() int { return len(p.Events) }
+
+// MetricIndex returns the slot whose event is named, or -1.
+func (p *Profile) MetricIndex(name string) int {
+	for i, ev := range p.Events {
+		if ev == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SchemaKey returns the schema as a stable comma-joined identity string.
+func (p *Profile) SchemaKey() string { return strings.Join(p.Events, ",") }
 
 // Proc returns the entry for the given procedure ID, or nil.
 func (p *Profile) Proc(id int) *ProcPaths {
@@ -70,13 +144,18 @@ func (p *Profile) Proc(id int) *ProcPaths {
 	return nil
 }
 
-// Totals sums over all procedures.
-func (p *Profile) Totals() (freq, m0, m1 uint64) {
+// Totals sums frequency and per-slot metrics over all procedures.
+func (p *Profile) Totals() (freq uint64, metrics []uint64) {
+	metrics = make([]uint64, len(p.Events))
 	for _, pp := range p.Procs {
-		f, a, b := pp.Totals()
+		f, ms := pp.Totals()
 		freq += f
-		m0 += a
-		m1 += b
+		for len(metrics) < len(ms) {
+			metrics = append(metrics, 0)
+		}
+		for i, m := range ms {
+			metrics[i] += m
+		}
 	}
 	return
 }
@@ -91,8 +170,13 @@ func (p *Profile) TotalExecutedPaths() int {
 }
 
 // Merge adds other's counts into p (matching procedures by ID). Profiles
-// from repeated runs of the same instrumented program can be combined.
+// from repeated runs of the same instrumented program can be combined; the
+// metric schemas must agree, since slot i of one run is only meaningfully
+// summable with slot i of another when both counted the same event.
 func (p *Profile) Merge(other *Profile) error {
+	if p.SchemaKey() != other.SchemaKey() {
+		return fmt.Errorf("profile: merge schema mismatch: %q vs %q", p.SchemaKey(), other.SchemaKey())
+	}
 	if len(p.Procs) != len(other.Procs) {
 		return fmt.Errorf("profile: merge shape mismatch: %d vs %d procs", len(p.Procs), len(other.Procs))
 	}
@@ -107,11 +191,22 @@ func (p *Profile) Merge(other *Profile) error {
 		}
 		for _, e := range op.Entries {
 			if j, ok := idx.Get(e.Sum); ok {
-				pp.Entries[j].Freq += e.Freq
-				pp.Entries[j].M0 += e.M0
-				pp.Entries[j].M1 += e.M1
+				dst := &pp.Entries[j]
+				dst.Freq += e.Freq
+				for k, m := range e.Metrics {
+					if k < len(dst.Metrics) {
+						dst.Metrics[k] += m
+					}
+				}
 			} else {
-				pp.Entries = append(pp.Entries, e)
+				// Copy the metrics into pp's own arena so merged profiles
+				// never alias the source run's storage.
+				ne := PathEntry{Sum: e.Sum, Freq: e.Freq}
+				if len(e.Metrics) > 0 {
+					ne.Metrics = pp.NewMetrics(len(e.Metrics))
+					copy(ne.Metrics, e.Metrics)
+				}
+				pp.Entries = append(pp.Entries, ne)
 			}
 		}
 		pp.Sort()
@@ -121,16 +216,28 @@ func (p *Profile) Merge(other *Profile) error {
 
 // Write encodes the profile as text:
 //
-//	profile <program> <mode> <event0> <event1>
+//	profile <program> <mode> <event>...
 //	proc <id> <name> <numpaths>
-//	path <sum> <freq> <m0> <m1>
+//	path <sum> <freq> <metric>...
+//
+// Each path line carries exactly one metric column per schema event (the
+// classic two-event schema reproduces the legacy 5-field layout).
 func (p *Profile) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "profile %s %s %s %s\n", field(p.Program), field(p.Mode), field(p.Event0), field(p.Event1))
+	fmt.Fprintf(bw, "profile %s %s", field(p.Program), field(p.Mode))
+	for _, ev := range p.Events {
+		fmt.Fprintf(bw, " %s", field(ev))
+	}
+	bw.WriteByte('\n')
 	for _, pp := range p.Procs {
 		fmt.Fprintf(bw, "proc %d %s %d\n", pp.ProcID, field(pp.Name), pp.NumPaths)
-		for _, e := range pp.Entries {
-			fmt.Fprintf(bw, "path %d %d %d %d\n", e.Sum, e.Freq, e.M0, e.M1)
+		for i := range pp.Entries {
+			e := &pp.Entries[i]
+			fmt.Fprintf(bw, "path %d %d", e.Sum, e.Freq)
+			for k := range p.Events {
+				fmt.Fprintf(bw, " %d", e.Metric(k))
+			}
+			bw.WriteByte('\n')
 		}
 	}
 	return bw.Flush()
@@ -150,7 +257,8 @@ func unfield(s string) string {
 	return s
 }
 
-// Read decodes a profile written by Write.
+// Read decodes a profile written by Write. The header's event count fixes
+// the expected width of every path line.
 func Read(r io.Reader) (*Profile, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -165,12 +273,12 @@ func Read(r io.Reader) (*Profile, error) {
 		}
 		switch fields[0] {
 		case "profile":
-			if len(fields) != 5 {
+			if len(fields) < 3 {
 				return nil, fmt.Errorf("profile: line %d: malformed header", line)
 			}
-			p = &Profile{
-				Program: unfield(fields[1]), Mode: unfield(fields[2]),
-				Event0: unfield(fields[3]), Event1: unfield(fields[4]),
+			p = &Profile{Program: unfield(fields[1]), Mode: unfield(fields[2])}
+			for _, f := range fields[3:] {
+				p.Events = append(p.Events, unfield(f))
 			}
 		case "proc":
 			if p == nil || len(fields) != 4 {
@@ -184,18 +292,23 @@ func Read(r io.Reader) (*Profile, error) {
 			cur = &ProcPaths{ProcID: id, Name: unfield(fields[2]), NumPaths: np}
 			p.Procs = append(p.Procs, cur)
 		case "path":
-			if cur == nil || len(fields) != 5 {
+			if cur == nil || len(fields) != 3+len(p.Events) {
 				return nil, fmt.Errorf("profile: line %d: malformed path", line)
 			}
 			var e PathEntry
-			var errs [4]error
-			e.Sum, errs[0] = strconv.ParseInt(fields[1], 10, 64)
-			e.Freq, errs[1] = strconv.ParseUint(fields[2], 10, 64)
-			e.M0, errs[2] = strconv.ParseUint(fields[3], 10, 64)
-			e.M1, errs[3] = strconv.ParseUint(fields[4], 10, 64)
-			for _, err := range errs {
-				if err != nil {
-					return nil, fmt.Errorf("profile: line %d: bad path numbers", line)
+			var err error
+			if e.Sum, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return nil, fmt.Errorf("profile: line %d: bad path numbers", line)
+			}
+			if e.Freq, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("profile: line %d: bad path numbers", line)
+			}
+			if n := len(p.Events); n > 0 {
+				e.Metrics = cur.NewMetrics(n)
+				for k := 0; k < n; k++ {
+					if e.Metrics[k], err = strconv.ParseUint(fields[3+k], 10, 64); err != nil {
+						return nil, fmt.Errorf("profile: line %d: bad path numbers", line)
+					}
 				}
 			}
 			cur.Entries = append(cur.Entries, e)

@@ -43,6 +43,12 @@ type Config struct {
 	// is the scalar in-order default used by all the paper experiments.
 	IssueWidth int
 
+	// NumCounters is the PMU bank width K (0 means the UltraSPARC's classic
+	// two PICs). Wider banks let instrumentation collect more events per
+	// run; a MetricSet wider than the bank needs the multiplexing scheduler
+	// (AttachScheduler).
+	NumCounters int
+
 	// Penalties, in cycles.
 	DMissPenalty      uint64 // load miss stall (memory, or L2 miss)
 	IMissPenalty      uint64 // instruction fetch miss stall
@@ -171,6 +177,13 @@ type Machine struct {
 	onUnwind []UnwindFn
 	tracer   Tracer
 
+	// Counter-multiplexing state (AttachScheduler): the scheduler rotates
+	// every muxQuantum retired instructions, so the schedule is a pure
+	// function of the instruction stream — deterministic across runs.
+	mux        *hpm.Scheduler
+	muxQuantum uint64
+	muxSpent   uint64
+
 	jmpbufs []jmpbuf
 
 	output []int64
@@ -189,6 +202,9 @@ func New(prog *ir.Program, cfg Config) *Machine {
 	if cfg.MaxOutput == 0 {
 		cfg.MaxOutput = DefaultConfig().MaxOutput
 	}
+	if cfg.NumCounters == 0 {
+		cfg.NumCounters = 2
+	}
 	m := &Machine{
 		cfg:    cfg,
 		prog:   prog,
@@ -196,7 +212,7 @@ func New(prog *ir.Program, cfg Config) *Machine {
 		l1d:    cache.New(cfg.L1D),
 		l1i:    cache.New(cfg.L1I),
 		pred:   branch.NewPredictor(cfg.PredictorBits),
-		pmu:    hpm.New(),
+		pmu:    hpm.NewK(cfg.NumCounters),
 		probes: make(map[int64]Probe),
 	}
 	if cfg.L2.SizeBytes > 0 {
@@ -237,6 +253,40 @@ func (m *Machine) reloadBlock() {
 // PMU returns the machine's performance monitor (to program event
 // selections before running).
 func (m *Machine) PMU() *hpm.Unit { return m.pmu }
+
+// AttachScheduler multiplexes set over the machine's counter bank for the
+// coming run: the bank rotates through the set's groups every quantum
+// retired instructions (0 means DefaultMuxQuantum). Because rotation is
+// driven by the deterministic instruction stream, the schedule — and the
+// scaled estimates — are identical on every run of the same program. Run
+// closes the final interval automatically; query the returned scheduler
+// for Estimates afterwards. Attach before running, not mid-run.
+func (m *Machine) AttachScheduler(set hpm.MetricSet, quantum uint64) *hpm.Scheduler {
+	if quantum == 0 {
+		quantum = DefaultMuxQuantum
+	}
+	m.mux = hpm.NewScheduler(m.pmu, set)
+	m.muxQuantum = quantum
+	m.muxSpent = 0
+	return m.mux
+}
+
+// DefaultMuxQuantum is the rotation interval, in retired instructions, used
+// when AttachScheduler is given a zero quantum. Small enough that even the
+// test-scale workloads see every group many times, large enough that
+// rotation overhead would be negligible on real hardware.
+const DefaultMuxQuantum = 10_000
+
+// EventCatalog returns the countable hardware events the machine model
+// exposes, in menu order (EvNone excluded) — the universe a MetricSet can
+// draw from.
+func EventCatalog() []hpm.Event {
+	evs := make([]hpm.Event, 0, hpm.NumEvents-1)
+	for e := hpm.Event(1); e < hpm.NumEvents; e++ {
+		evs = append(evs, e)
+	}
+	return evs
+}
 
 // RegisterProbe installs fn as the handler for Probe instructions carrying
 // id.
@@ -384,6 +434,10 @@ func (m *Machine) Run() (Result, error) {
 		if err := m.step(); err != nil {
 			return Result{}, fmt.Errorf("sim: %s: %w", m.prog.Name, err)
 		}
+	}
+	if m.mux != nil && m.muxSpent > 0 {
+		m.mux.Finish(m.muxSpent)
+		m.muxSpent = 0
 	}
 	res := Result{
 		Cycles:   m.cycles,
@@ -633,9 +687,11 @@ func (m *Machine) step() error {
 		m.output = append(m.output, regs[in.Rs])
 
 	case ir.RdPIC:
-		regs[in.Rd] = int64(m.pmu.Read())
+		// Imm selects the counter pair; the classic instrumentation leaves
+		// it zero (PIC0/PIC1), wider metric sets address pairs 1, 2, ...
+		regs[in.Rd] = int64(m.pmu.ReadPair(int(in.Imm)))
 	case ir.WrPIC:
-		m.pmu.Write(uint64(regs[in.Rs]))
+		m.pmu.WritePair(int(in.Imm), uint64(regs[in.Rs]))
 	case ir.RdTick:
 		regs[in.Rd] = int64(m.cycles)
 
@@ -718,6 +774,13 @@ func (m *Machine) step() error {
 	}
 
 	m.pmu.Retire()
+	if m.mux != nil {
+		m.muxSpent++
+		if m.muxSpent >= m.muxQuantum {
+			m.mux.Rotate(m.muxSpent)
+			m.muxSpent = 0
+		}
+	}
 	if advance {
 		m.cur.idx++
 	}

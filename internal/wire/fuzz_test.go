@@ -13,13 +13,24 @@ import (
 // simulator, so the corpus is cheap and deterministic.
 func seedEnvelopes() [][]byte {
 	p := &profile.Profile{
-		Program: "seed", Mode: "flow+hw", Event0: "dcache-miss", Event1: "insts",
+		Program: "seed", Mode: "flow+hw", Events: []string{"dcache-miss", "insts"},
 		Procs: []*profile.ProcPaths{
 			{ProcID: 0, Name: "main", NumPaths: 4, Entries: []profile.PathEntry{
-				{Sum: 0, Freq: 3, M0: 7, M1: 41},
-				{Sum: 2, Freq: 1, M0: 0, M1: 9},
+				profile.NewEntry(0, 3, 7, 41),
+				profile.NewEntry(2, 1, 0, 9),
 			}},
 			{ProcID: 1, Name: "leaf", NumPaths: 2},
+		},
+	}
+	// A wide v2 schema: five events on one entry exercises the schema
+	// section with more metric columns than the classic pair.
+	wide := &profile.Profile{
+		Program: "seed5", Mode: "flow+hw",
+		Events: []string{"cycles", "insts", "dcache-miss", "icache-miss", "branches"},
+		Procs: []*profile.ProcPaths{
+			{ProcID: 0, Name: "main", NumPaths: 2, Entries: []profile.PathEntry{
+				profile.NewEntry(0, 4, 9, 8, 7, 6, 5),
+			}},
 		},
 	}
 	tr := cct.New([]cct.ProcInfo{
@@ -39,14 +50,17 @@ func seedEnvelopes() [][]byte {
 	tr.Exit(nil)
 	tr.Exit(nil)
 
-	var pb, xb bytes.Buffer
+	var pb, wb, xb bytes.Buffer
 	if err := wire.EncodeProfile(&pb, p); err != nil {
+		panic(err)
+	}
+	if err := wire.EncodeProfile(&wb, wide); err != nil {
 		panic(err)
 	}
 	if err := wire.EncodeExport(&xb, tr.Export("seed")); err != nil {
 		panic(err)
 	}
-	return [][]byte{pb.Bytes(), xb.Bytes()}
+	return [][]byte{pb.Bytes(), wb.Bytes(), xb.Bytes()}
 }
 
 // FuzzDecode: arbitrary input must produce either a decoded payload or a

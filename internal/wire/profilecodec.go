@@ -8,7 +8,11 @@ import (
 
 // Profile payload layout.
 //
-// Section secProfileHeader (one, first):
+// Version 2, section secProfileSchema (one, first):
+//
+//	string program, string mode, uvarint numEvents, string event...
+//
+// Version 1, section secProfileHeader (one, first):
 //
 //	string program, string mode, string event0, string event1
 //
@@ -16,7 +20,13 @@ import (
 //
 //	varint procID, string name, varint numPaths,
 //	uvarint numEntries, then per entry (in stored order):
-//	varint sum, uvarint freq, uvarint m0, uvarint m1
+//	varint sum, uvarint freq, uvarint metric × numEvents
+//
+// (numEvents is fixed at 2 for version-1 envelopes.)
+
+// maxWireEvents bounds the schema width a decoded envelope may declare —
+// generous against hpm.MaxCounters, tight against hostile headers.
+const maxWireEvents = 256
 
 // EncodeProfile writes p as one wire envelope.
 func EncodeProfile(w io.Writer, p *profile.Profile) error {
@@ -27,9 +37,11 @@ func EncodeProfile(w io.Writer, p *profile.Profile) error {
 	b := e.tmp[:0]
 	b = putString(b, p.Program)
 	b = putString(b, p.Mode)
-	b = putString(b, p.Event0)
-	b = putString(b, p.Event1)
-	if err := e.section(secProfileHeader, b); err != nil {
+	b = putUvarint(b, uint64(len(p.Events)))
+	for _, ev := range p.Events {
+		b = putString(b, ev)
+	}
+	if err := e.section(secProfileSchema, b); err != nil {
 		return err
 	}
 	for _, pp := range p.Procs {
@@ -38,11 +50,13 @@ func EncodeProfile(w io.Writer, p *profile.Profile) error {
 		b = putString(b, pp.Name)
 		b = putVarint(b, pp.NumPaths)
 		b = putUvarint(b, uint64(len(pp.Entries)))
-		for _, en := range pp.Entries {
+		for i := range pp.Entries {
+			en := &pp.Entries[i]
 			b = putVarint(b, en.Sum)
 			b = putUvarint(b, en.Freq)
-			b = putUvarint(b, en.M0)
-			b = putUvarint(b, en.M1)
+			for k := range p.Events {
+				b = putUvarint(b, en.Metric(k))
+			}
 		}
 		if err := e.section(secProfileProc, b); err != nil {
 			return err
@@ -88,14 +102,18 @@ func decodeProfileSections(d *decoder) (*profile.Profile, error) {
 		c := &cursor{b: payload}
 		switch id {
 		case secProfileHeader:
+			// Version-1 header: a fixed two-event schema.
+			if d.version != 1 {
+				return nil, d.errorf("v1 profile header in version %d envelope", d.version)
+			}
 			if p != nil {
 				return nil, d.errorf("duplicate profile header section")
 			}
-			p = &profile.Profile{}
+			p = &profile.Profile{Events: make([]string, 2)}
 			if p.Program, err = c.string(); err == nil {
 				if p.Mode, err = c.string(); err == nil {
-					if p.Event0, err = c.string(); err == nil {
-						p.Event1, err = c.string()
+					if p.Events[0], err = c.string(); err == nil {
+						p.Events[1], err = c.string()
 					}
 				}
 			}
@@ -105,11 +123,42 @@ func decodeProfileSections(d *decoder) (*profile.Profile, error) {
 			if err != nil {
 				return nil, d.errorf("profile header: %v", err)
 			}
+		case secProfileSchema:
+			if d.version < 2 {
+				return nil, d.errorf("schema section in version %d envelope", d.version)
+			}
+			if p != nil {
+				return nil, d.errorf("duplicate profile header section")
+			}
+			p = &profile.Profile{}
+			if p.Program, err = c.string(); err == nil {
+				p.Mode, err = c.string()
+			}
+			if err == nil {
+				var n int
+				if n, err = c.count(1); err == nil {
+					if n > maxWireEvents {
+						return nil, d.errorf("profile schema: %d events exceeds limit", n)
+					}
+					p.Events = make([]string, n)
+					for i := range p.Events {
+						if p.Events[i], err = c.string(); err != nil {
+							break
+						}
+					}
+				}
+			}
+			if err == nil {
+				err = c.done()
+			}
+			if err != nil {
+				return nil, d.errorf("profile schema: %v", err)
+			}
 		case secProfileProc:
 			if p == nil {
 				return nil, d.errorf("proc section before profile header")
 			}
-			pp, err := decodeProcSection(c)
+			pp, err := decodeProcSection(c, len(p.Events))
 			if err != nil {
 				return nil, d.errorf("proc section: %v", err)
 			}
@@ -124,7 +173,7 @@ func decodeProfileSections(d *decoder) (*profile.Profile, error) {
 	return p, nil
 }
 
-func decodeProcSection(c *cursor) (*profile.ProcPaths, error) {
+func decodeProcSection(c *cursor, numMetrics int) (*profile.ProcPaths, error) {
 	pp := &profile.ProcPaths{}
 	id, err := c.varint()
 	if err != nil {
@@ -137,7 +186,7 @@ func decodeProcSection(c *cursor) (*profile.ProcPaths, error) {
 	if pp.NumPaths, err = c.varint(); err != nil {
 		return nil, err
 	}
-	n, err := c.count(4) // sum + freq + m0 + m1, one byte each minimum
+	n, err := c.count(2 + numMetrics) // sum + freq + metrics, one byte each minimum
 	if err != nil {
 		return nil, err
 	}
@@ -150,11 +199,13 @@ func decodeProcSection(c *cursor) (*profile.ProcPaths, error) {
 		if en.Freq, err = c.uvarint(); err != nil {
 			return nil, err
 		}
-		if en.M0, err = c.uvarint(); err != nil {
-			return nil, err
-		}
-		if en.M1, err = c.uvarint(); err != nil {
-			return nil, err
+		if numMetrics > 0 {
+			en.Metrics = pp.NewMetrics(numMetrics)
+			for k := 0; k < numMetrics; k++ {
+				if en.Metrics[k], err = c.uvarint(); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	if err := c.done(); err != nil {

@@ -7,11 +7,18 @@
 // Layout:
 //
 //	"PPW1"                         magic
-//	version  byte                  format version (currently 1)
+//	version  byte                  format version (currently 2; 1 still decodes)
 //	kind     byte                  1 = profile, 2 = CCT export
 //	sections { id byte, uvarint length, payload }*
 //	end      byte 0                end-of-sections marker
 //	crc      uint32 little-endian  CRC-32C of every preceding byte
+//
+// Version 2 replaces the profile header section with a schema-carrying
+// variant (secProfileSchema): instead of exactly two event-name strings it
+// holds the full N-event metric schema, and each path entry carries N
+// metric accumulators. Version 1 envelopes — fixed two-metric layout — are
+// still decoded (the reader maps them onto a two-event schema), so blobs
+// produced by old producers keep working; see testdata/v1_*.bin.
 //
 // Sections stream: encoders emit one section per procedure (profiles) or
 // per call record (CCTs), and decoders consume section by section, so
@@ -41,7 +48,10 @@ import (
 )
 
 // Version is the format version this package writes.
-const Version = 1
+const Version = 2
+
+// minVersion is the oldest format version the decoder accepts.
+const minVersion = 1
 
 var magic = [4]byte{'P', 'P', 'W', '1'}
 
@@ -67,11 +77,12 @@ func (k Kind) String() string {
 // Section IDs.
 const (
 	secEnd           = 0
-	secProfileHeader = 1
+	secProfileHeader = 1 // v1 profile header: exactly two event names
 	secProfileProc   = 2
 	secCCTHeader     = 3
 	secCCTNode       = 4
 	secCCTBackedges  = 5
+	secProfileSchema = 6 // v2 profile header: N-event metric schema
 )
 
 // maxSectionLen bounds a single section's declared payload length; it is
@@ -201,9 +212,10 @@ func putBool(b []byte, v bool) []byte {
 // --- decoder ---
 
 type decoder struct {
-	r      *bufio.Reader
-	crc    hash.Hash32
-	offset int64
+	r       *bufio.Reader
+	crc     hash.Hash32
+	offset  int64
+	version byte // envelope format version, set by header()
 }
 
 func newDecoder(r io.Reader) *decoder {
@@ -270,9 +282,10 @@ func (d *decoder) header() (Kind, error) {
 	if [4]byte(m[:4]) != magic {
 		return 0, d.errorf("bad magic %q", m[:4])
 	}
-	if m[4] != Version {
-		return 0, d.errorf("unsupported version %d (have %d)", m[4], Version)
+	if m[4] < minVersion || m[4] > Version {
+		return 0, d.errorf("unsupported version %d (accept %d..%d)", m[4], minVersion, Version)
 	}
+	d.version = m[4]
 	return Kind(m[5]), nil
 }
 

@@ -11,12 +11,18 @@ go vet ./...
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x ./...
 
-# The CCT fast path must stay allocation-free in steady state. This run
-# also refreshes BENCH_cct.json (TestMain splits CCT records out of the
-# experiment log).
+# Golden-table regression gate: under the default two-event metric schema
+# the paper tables must render byte-identically to the committed
+# reference output.
+go run ./cmd/experiments -all -scale ref 2>/dev/null | diff ref_results.txt -
+
+# The CCT fast path must stay allocation-free in steady state, at the
+# classic two-counter schema width (the N=4/8 variants track wider metric
+# sets). This run also refreshes BENCH_cct.json (TestMain splits CCT
+# records out of the experiment log).
 out="$(go test -run='^$' -bench='BenchmarkCCT' -benchmem -benchtime=1000x .)"
 echo "$out"
-echo "$out" | grep 'BenchmarkCCTEnterExit' | grep -q ' 0 allocs/op'
+echo "$out" | grep 'BenchmarkCCTEnterExit/N=2' | grep -q ' 0 allocs/op'
 
 # Wire codec throughput and end-to-end collector ingest. TestMain splits
 # Wire records into BENCH_wire.json; the ingest benchmark exercises the
