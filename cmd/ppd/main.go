@@ -255,4 +255,3 @@ func parseMode(s string) (instrument.Mode, error) {
 	}
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
-

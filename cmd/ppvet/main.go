@@ -1,0 +1,122 @@
+// Command ppvet statically verifies instrumented programs. It reads the
+// same workload sources as cmd/pp, instruments them in the requested modes
+// and metric schemas, and runs the ppvet checkers (path-sum soundness,
+// counter save/restore balance, CCT probe balance, CFG well-formedness)
+// over the result — without ever executing the programs.
+//
+// Usage:
+//
+//	ppvet [-workload all|compress,go,...] [-mode all|flow|flowhw|context|combined|context-probes|edge|block]
+//	      [-events dcache-miss,insts] [-scale test|ref] [-max-paths N]
+//
+// Findings are printed one per line as
+//
+//	workload/mode/events proc:bN:iM check: message
+//
+// sorted deterministically; the exit status is 1 if there were any.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ppvet"
+	"pathprof/internal/workload"
+)
+
+var modeNames = []struct {
+	name string
+	mode instrument.Mode
+}{
+	{"edge", instrument.ModeEdgeCount},
+	{"flow", instrument.ModePathFreq},
+	{"flowhw", instrument.ModePathHW},
+	{"context", instrument.ModeContextHW},
+	{"combined", instrument.ModeContextFlow},
+	{"context-probes", instrument.ModeContextProbesOnly},
+	{"block", instrument.ModeBlockHW},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppvet: ")
+
+	names := flag.String("workload", "all", "comma-separated workloads to verify, or all")
+	modeStr := flag.String("mode", "all", "all | edge | flow | flowhw | context | combined | context-probes | block")
+	events := flag.String("events", "dcache-miss,insts", "comma-separated event selection (the metric schema)")
+	scaleStr := flag.String("scale", "test", "workload scale: ref or test")
+	maxPaths := flag.Int64("max-paths", ppvet.DefaultMaxEnumPaths, "path-enumeration cap per procedure")
+	flag.Parse()
+
+	var suite []workload.Workload
+	if *names == "all" {
+		suite = workload.Suite()
+	} else {
+		for _, name := range strings.Split(*names, ",") {
+			w, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown workload %q (try cmd/specgen -list)", name)
+			}
+			suite = append(suite, w)
+		}
+	}
+
+	var modes []struct {
+		name string
+		mode instrument.Mode
+	}
+	if *modeStr == "all" {
+		modes = modeNames
+	} else {
+		for _, m := range modeNames {
+			if m.name == *modeStr {
+				modes = append(modes, m)
+			}
+		}
+		if len(modes) == 0 {
+			log.Fatalf("unknown mode %q", *modeStr)
+		}
+	}
+
+	scale := workload.Test
+	switch *scaleStr {
+	case "test":
+	case "ref":
+		scale = workload.Ref
+	default:
+		log.Fatalf("unknown scale %q", *scaleStr)
+	}
+
+	set, err := hpm.ParseMetricSet(*events)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	findings := 0
+	cells := 0
+	for _, w := range suite {
+		prog := w.Build(scale)
+		for _, m := range modes {
+			opts := instrument.DefaultOptions(m.mode)
+			opts.NumCounters = set.Len()
+			plan, err := instrument.Instrument(prog, opts)
+			if err != nil {
+				log.Fatalf("%s/%s: instrument: %v", w.Name, m.name, err)
+			}
+			cells++
+			for _, f := range ppvet.VerifyOpts(plan, ppvet.Options{MaxEnumPaths: *maxPaths}) {
+				findings++
+				fmt.Printf("%s/%s/%s %s\n", w.Name, m.name, set, f)
+			}
+		}
+	}
+	fmt.Printf("ppvet: %d workload/mode cells verified, %d finding(s)\n", cells, findings)
+	if findings > 0 {
+		os.Exit(1)
+	}
+}

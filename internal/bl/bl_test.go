@@ -1,6 +1,7 @@
 package bl
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -479,5 +480,34 @@ func TestRegeneratePrefixInverse(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCheckCompactReportsOffendingPath(t *testing.T) {
+	nm, err := New(figure1Proc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one edge value: every path through it now collides with (or
+	// escapes) the compact range, and the error must carry that path.
+corrupt:
+	for b := range nm.Succs {
+		for i := range nm.Succs[b] {
+			if nm.Succs[b][i].Val != 0 {
+				nm.Succs[b][i].Val += 2
+				break corrupt
+			}
+		}
+	}
+	err = nm.CheckCompact()
+	var ce *CompactError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *CompactError", err, err)
+	}
+	if ce.Kind != "out-of-range" && ce.Kind != "duplicate" {
+		t.Fatalf("Kind = %q, want out-of-range or duplicate", ce.Kind)
+	}
+	if len(ce.Path) < 2 || ce.Path[0] != 0 || ce.Path[len(ce.Path)-1] != nm.Proc.ExitBlock {
+		t.Fatalf("Path = %v, want entry..exit sequence", ce.Path)
 	}
 }

@@ -198,30 +198,59 @@ func (nm *Numbering) EdgeVal(e cfg.Edge) int64 { return nm.Val[e] }
 // one per potential path.
 func (nm *Numbering) CounterSlots() int64 { return nm.NumPaths }
 
-// CheckCompact verifies (by exhaustive enumeration; intended for tests and
-// small procedures) that path sums are exactly a bijection onto
-// 0..NumPaths-1. It returns an error describing the first violation.
+// CompactError reports why a numbering is not compact. For violations found
+// on a concrete path (an out-of-range or duplicated sum) Path carries the
+// offending entry→exit block sequence of the transformed graph, so callers
+// can show exactly which path breaks the bijection.
+type CompactError struct {
+	Kind       string       // "too-many-paths", "out-of-range", "duplicate", "count-mismatch"
+	Sum        int64        // the offending path sum (out-of-range, duplicate)
+	Path       []ir.BlockID // offending path, entry..exit; nil when not path-specific
+	NumPaths   int64        // NP(entry)
+	Enumerated int64        // paths enumerated (count-mismatch)
+}
+
+func (e *CompactError) Error() string {
+	switch e.Kind {
+	case "too-many-paths":
+		return fmt.Sprintf("bl: too many paths to enumerate (%d)", e.NumPaths)
+	case "out-of-range":
+		return fmt.Sprintf("bl: path %v sums to %d, out of range [0,%d)", e.Path, e.Sum, e.NumPaths)
+	case "duplicate":
+		return fmt.Sprintf("bl: path %v duplicates sum %d", e.Path, e.Sum)
+	}
+	return fmt.Sprintf("bl: enumerated %d paths, NP(entry)=%d", e.Enumerated, e.NumPaths)
+}
+
+// CheckCompact verifies (by exhaustive enumeration; intended for tests,
+// verifiers, and small procedures) that path sums are exactly a bijection
+// onto 0..NumPaths-1. The error, when non-nil, is a *CompactError carrying
+// the first offending path.
 func (nm *Numbering) CheckCompact() error {
 	if nm.NumPaths > 1<<20 {
-		return fmt.Errorf("bl: too many paths to enumerate (%d)", nm.NumPaths)
+		return &CompactError{Kind: "too-many-paths", NumPaths: nm.NumPaths}
 	}
 	seen := make([]bool, nm.NumPaths)
 	count := int64(0)
+	trail := []ir.BlockID{0}
 	var walk func(b ir.BlockID, sum int64) error
 	walk = func(b ir.BlockID, sum int64) error {
 		if b == nm.Proc.ExitBlock {
 			if sum < 0 || sum >= nm.NumPaths {
-				return fmt.Errorf("bl: path sum %d out of range [0,%d)", sum, nm.NumPaths)
+				return &CompactError{Kind: "out-of-range", Sum: sum, Path: append([]ir.BlockID(nil), trail...), NumPaths: nm.NumPaths}
 			}
 			if seen[sum] {
-				return fmt.Errorf("bl: duplicate path sum %d", sum)
+				return &CompactError{Kind: "duplicate", Sum: sum, Path: append([]ir.BlockID(nil), trail...), NumPaths: nm.NumPaths}
 			}
 			seen[sum] = true
 			count++
 			return nil
 		}
 		for _, e := range nm.Succs[b] {
-			if err := walk(e.To, sum+e.Val); err != nil {
+			trail = append(trail, e.To)
+			err := walk(e.To, sum+e.Val)
+			trail = trail[:len(trail)-1]
+			if err != nil {
 				return err
 			}
 		}
@@ -233,7 +262,7 @@ func (nm *Numbering) CheckCompact() error {
 		return err
 	}
 	if count != nm.NumPaths {
-		return fmt.Errorf("bl: enumerated %d paths, NP(entry)=%d", count, nm.NumPaths)
+		return &CompactError{Kind: "count-mismatch", NumPaths: nm.NumPaths, Enumerated: count}
 	}
 	return nil
 }

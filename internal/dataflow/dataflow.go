@@ -1,0 +1,174 @@
+// Package dataflow is a small, reusable dataflow-analysis framework over
+// ir.Proc control-flow graphs: a forward/backward worklist engine with
+// pluggable lattices, plus three shipped analyses — register liveness,
+// reaching definitions, and a definite-pairing ("available pairing")
+// analysis modeled on definite-lock-pairing.
+//
+// The static instrumentation verifier (internal/ppvet) builds its proofs on
+// these analyses: save/restore balance is a pairing problem, "no probe
+// clobbers a live register" is a liveness question, and "the restored value
+// is the saved one" is a reaching-definitions question. The engine is
+// deliberately generic so future passes can add their own lattices.
+package dataflow
+
+import (
+	"pathprof/internal/ir"
+)
+
+// Direction selects how facts propagate through the CFG.
+type Direction int
+
+const (
+	// Forward propagates facts from entry toward exit (block input is the
+	// meet of predecessor outputs).
+	Forward Direction = iota
+	// Backward propagates facts from exit toward entry (block output is
+	// the meet of successor inputs).
+	Backward
+)
+
+// Analysis defines one dataflow problem: a lattice (Top as the optimistic
+// initial fact, Meet to combine facts at CFG joins) and a block-level
+// transfer function. Facts must be treated as immutable values; Transfer
+// and Meet return new facts rather than mutating their arguments.
+type Analysis[F any] interface {
+	Direction() Direction
+
+	// Boundary is the fact at the CFG boundary: the entry block's input in
+	// a forward analysis, the exit block's output in a backward one.
+	Boundary(p *ir.Proc) F
+
+	// Top is the initial fact for every other program point; it must be
+	// the identity of Meet.
+	Top(p *ir.Proc) F
+
+	// Meet combines two facts at a control-flow join.
+	Meet(a, b F) F
+
+	// Transfer computes the block's output fact (forward) or input fact
+	// (backward) from the fact flowing into it.
+	Transfer(p *ir.Proc, b *ir.Block, in F) F
+
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal(a, b F) bool
+}
+
+// Result holds the fixpoint facts of one analysis run. In[b] is the fact at
+// block b's start, Out[b] the fact at its end, for both directions.
+type Result[F any] struct {
+	In  []F
+	Out []F
+}
+
+// Run iterates a to a fixpoint over p's CFG using a deterministic worklist
+// (blocks in reverse postorder for forward analyses, postorder for backward
+// ones), and returns the per-block boundary facts. Unreachable blocks keep
+// Top facts.
+func Run[F any](p *ir.Proc, a Analysis[F]) *Result[F] {
+	n := len(p.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = a.Top(p)
+		res.Out[i] = a.Top(p)
+	}
+
+	order := postorder(p)
+	fwd := a.Direction() == Forward
+	if fwd {
+		// Reverse postorder: visit sources before sinks.
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	preds := p.Preds()
+	inWork := make([]bool, n)
+	queue := make([]ir.BlockID, 0, n)
+	for _, b := range order {
+		queue = append(queue, b)
+		inWork[b] = true
+	}
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inWork[b] = false
+		blk := p.Blocks[b]
+
+		if fwd {
+			in := a.Boundary(p)
+			if len(preds[b]) > 0 {
+				in = a.Top(p)
+				for _, pb := range preds[b] {
+					in = a.Meet(in, res.Out[pb])
+				}
+				if b == 0 {
+					// The entry block joins the boundary fact with any
+					// incoming (back) edges.
+					in = a.Meet(in, a.Boundary(p))
+				}
+			}
+			res.In[b] = in
+			out := a.Transfer(p, blk, in)
+			if !a.Equal(out, res.Out[b]) {
+				res.Out[b] = out
+				for _, s := range blk.Succs {
+					if !inWork[s] {
+						inWork[s] = true
+						queue = append(queue, s)
+					}
+				}
+			}
+		} else {
+			out := a.Boundary(p)
+			if len(blk.Succs) > 0 {
+				out = a.Top(p)
+				for _, s := range blk.Succs {
+					out = a.Meet(out, res.In[s])
+				}
+			}
+			res.Out[b] = out
+			in := a.Transfer(p, blk, out)
+			if !a.Equal(in, res.In[b]) {
+				res.In[b] = in
+				for _, pb := range preds[b] {
+					if !inWork[pb] {
+						inWork[pb] = true
+						queue = append(queue, pb)
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// postorder returns the blocks reachable from entry in DFS postorder,
+// following successor slots in order (deterministic).
+func postorder(p *ir.Proc) []ir.BlockID {
+	n := len(p.Blocks)
+	seen := make([]bool, n)
+	out := make([]ir.BlockID, 0, n)
+	type frame struct {
+		b    ir.BlockID
+		next int
+	}
+	stack := []frame{{b: 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := p.Blocks[f.b].Succs
+		if f.next < len(succs) {
+			w := succs[f.next]
+			f.next++
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, frame{b: w})
+			}
+			continue
+		}
+		out = append(out, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}

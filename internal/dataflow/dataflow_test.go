@@ -1,0 +1,294 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/testgen"
+)
+
+// buildDiamond returns a proc:
+//
+//	b0: movi r1,1; br r1 -> b1,b2
+//	b1: movi r2,10; jmp b3
+//	b2: movi r3,20; jmp b3
+//	b3: add r4,r2,r3; out r4; ret
+func buildDiamond(t *testing.T) *ir.Proc {
+	t.Helper()
+	b := ir.NewBuilder("t")
+	pb := b.NewProc("diamond", 0)
+	b0 := pb.NewBlock()
+	b1 := pb.NewBlock()
+	b2 := pb.NewBlock()
+	b3 := pb.NewBlock()
+	b0.MovI(1, 1)
+	b0.Br(1, b1, b2)
+	b1.MovI(2, 10)
+	b1.Jmp(b3)
+	b2.MovI(3, 20)
+	b2.Jmp(b3)
+	b3.Add(4, 2, 3)
+	b3.Out(4)
+	b3.Ret()
+	b.SetMain(pb)
+	return b.MustFinish().Procs[0]
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	p := buildDiamond(t)
+	lr := Liveness(p)
+
+	// r2 and r3 are read in b3, so both are live into b3.
+	if !lr.LiveIn[3].Has(2) || !lr.LiveIn[3].Has(3) {
+		t.Fatalf("r2,r3 should be live into b3: %v", lr.LiveIn[3].Regs())
+	}
+	// r4 is defined then used inside b3: dead at entry.
+	if lr.LiveIn[3].Has(4) {
+		t.Fatalf("r4 must not be live into b3")
+	}
+	// b1 defines r2 but not r3, so r3 is live through b1 (it is read in b3
+	// and defined on neither path... it is defined only in b2); at b1 entry
+	// r3 is live because the b1->b3 path reads it without a def.
+	if !lr.LiveIn[1].Has(3) {
+		t.Fatalf("r3 should be live into b1")
+	}
+	if lr.LiveIn[1].Has(2) {
+		t.Fatalf("r2 is defined in b1 before use; not live into b1")
+	}
+	// Nothing relevant is live into the entry beyond the branch temp chain.
+	if lr.LiveIn[0].Has(1) {
+		t.Fatalf("r1 is defined in b0 before its branch use")
+	}
+}
+
+func TestLiveBeforeAfter(t *testing.T) {
+	p := buildDiamond(t)
+	lr := Liveness(p)
+	// In b3: before "add r4,r2,r3" r2,r3 live; after it r4 live, r2,r3 dead.
+	before := lr.LiveBefore(p, 3, 0)
+	if !before.Has(2) || !before.Has(3) {
+		t.Fatalf("before add: want r2,r3 live, got %v", before.Regs())
+	}
+	after := lr.LiveAfter(p, 3, 0)
+	if after.Has(2) || after.Has(3) || !after.Has(4) {
+		t.Fatalf("after add: want only r4 live, got %v", after.Regs())
+	}
+}
+
+func TestUsesDefsConventions(t *testing.T) {
+	cases := []struct {
+		in   ir.Instr
+		uses []ir.Reg
+		defs []ir.Reg
+	}{
+		{ir.Instr{Op: ir.Store, Rd: 5, Rs: 6, Imm: 8}, []ir.Reg{5, 6}, nil},
+		{ir.Instr{Op: ir.StoreIdx, Rd: 5, Rs: 6, Rt: 7}, []ir.Reg{5, 6, 7}, nil},
+		{ir.Instr{Op: ir.Load, Rd: 5, Rs: 6}, []ir.Reg{6}, []ir.Reg{5}},
+		{ir.Instr{Op: ir.RdPIC, Rd: 9}, nil, []ir.Reg{9}},
+		{ir.Instr{Op: ir.WrPIC, Rs: 9}, []ir.Reg{9}, nil},
+		{ir.Instr{Op: ir.Probe, Rd: 4, Rs: 3, Imm: 2}, []ir.Reg{3}, []ir.Reg{4}},
+		{ir.Instr{Op: ir.MovI, Rd: 4, Imm: 7}, nil, []ir.Reg{4}},
+		{ir.Instr{Op: ir.Br, Rs: 2}, []ir.Reg{2}, nil},
+		{ir.Instr{Op: ir.SetJmp, Rd: 10, Rt: 11}, nil, []ir.Reg{10, 11}},
+		{ir.Instr{Op: ir.LongJmp, Rs: 10, Rt: 11}, []ir.Reg{10, 11}, nil},
+	}
+	for _, c := range cases {
+		var wantU, wantD RegSet
+		for _, r := range c.uses {
+			wantU = wantU.Add(r)
+		}
+		for _, r := range c.defs {
+			wantD = wantD.Add(r)
+		}
+		if got := Uses(c.in); got != wantU {
+			t.Errorf("%v: uses %v, want %v", c.in, got.Regs(), wantU.Regs())
+		}
+		if got := Defs(c.in); got != wantD {
+			t.Errorf("%v: defs %v, want %v", c.in, got.Regs(), wantD.Regs())
+		}
+	}
+}
+
+func TestReachingDefsDiamond(t *testing.T) {
+	p := buildDiamond(t)
+	r := ReachingDefs(p)
+
+	// At b3's use of r2, exactly one def (b1's movi) reaches.
+	defs := r.ReachingAt(3, 0, 2)
+	if len(defs) != 1 || defs[0].Block != 1 {
+		t.Fatalf("r2 at b3: want the b1 def, got %v", defs)
+	}
+	// r4's def inside b3 kills upstream defs: at the out instruction only
+	// the local def reaches.
+	defs = r.ReachingAt(3, 1, 4)
+	if len(defs) != 1 || defs[0].Block != 3 || defs[0].Instr != 0 {
+		t.Fatalf("r4 at b3:1: want local def, got %v", defs)
+	}
+}
+
+func TestReachingDefsLoopMerge(t *testing.T) {
+	// b0: movi r2,0; jmp b1
+	// b1: addi r2,r2,1; cmplti r3,r2,10; br r3 -> b1, b2
+	// b2: out r2; ret
+	b := ir.NewBuilder("t")
+	pb := b.NewProc("loop", 0)
+	b0 := pb.NewBlock()
+	b1 := pb.NewBlock()
+	b2 := pb.NewBlock()
+	b0.MovI(2, 0)
+	b0.Jmp(b1)
+	b1.AddI(2, 2, 1)
+	b1.CmpLTI(3, 2, 10)
+	b1.Br(3, b1, b2)
+	b2.Out(2)
+	b2.Ret()
+	b.SetMain(pb)
+	p := b.MustFinish().Procs[0]
+
+	r := ReachingDefs(p)
+	// Into b1, both the init and the loop increment reach.
+	defs := r.ReachingAt(1, 0, 2)
+	if len(defs) != 2 {
+		t.Fatalf("r2 at loop head: want 2 reaching defs, got %v", defs)
+	}
+	// At the exit use, only the loop def reaches (it post-dominates the init).
+	defs = r.ReachingAt(2, 0, 2)
+	if len(defs) != 1 || defs[0].Block != 1 {
+		t.Fatalf("r2 at exit: want loop def only, got %v", defs)
+	}
+}
+
+// pairingProbe classifies Probe #1 as acquire, #2 as release, #3 as require,
+// and WrPIC as clobber — a miniature of the save/restore instance.
+func pairingProbe(_ *ir.Block, _ int, in ir.Instr) PairEvent {
+	switch {
+	case in.Op == ir.Probe && in.Imm == 1:
+		return PairAcquire
+	case in.Op == ir.Probe && in.Imm == 2:
+		return PairRelease
+	case in.Op == ir.Probe && in.Imm == 3:
+		return PairRequire
+	case in.Op == ir.WrPIC:
+		return PairClobber
+	}
+	return PairNone
+}
+
+func buildPairProc(t *testing.T) *ir.Proc {
+	t.Helper()
+	b := ir.NewBuilder("t")
+	pb := b.NewProc("pairing", 0)
+	b0 := pb.NewBlock()
+	b1 := pb.NewBlock()
+	b2 := pb.NewBlock()
+	b3 := pb.NewBlock()
+	b0.Probe(1, 2, 2) // acquire
+	b0.MovI(4, 1)
+	b0.Br(4, b1, b2)
+	b1.Probe(3, 2, 2) // require: held on this path
+	b1.Jmp(b3)
+	b2.Jmp(b3)
+	b3.Probe(2, 2, 2) // release
+	b3.Ret()
+	b.SetMain(pb)
+	return b.MustFinish().Procs[0]
+}
+
+func TestPairingBalanced(t *testing.T) {
+	p := buildPairProc(t)
+	res := Pairing(p, pairingProbe, true)
+	if len(res.Violations) != 0 {
+		t.Fatalf("balanced pairing reported violations: %v", res.Violations)
+	}
+	if res.In[3] != Paired || res.Out[3] != Unpaired {
+		t.Fatalf("exit block facts: in %v out %v", res.In[3], res.Out[3])
+	}
+}
+
+func TestPairingViolations(t *testing.T) {
+	kindsOf := func(res *PairingResult) map[string]bool {
+		m := map[string]bool{}
+		for _, v := range res.Violations {
+			m[v.Kind] = true
+		}
+		return m
+	}
+
+	// Dropped release: exit still paired.
+	p := buildPairProc(t)
+	exit := p.Exit()
+	exit.Instrs = exit.Instrs[1:] // drop the release probe
+	res := Pairing(p, pairingProbe, true)
+	if !kindsOf(res)["exit-paired"] {
+		t.Fatalf("dropped release: want exit-paired, got %v", res.Violations)
+	}
+
+	// Dropped acquire: the require and release both fire.
+	p = buildPairProc(t)
+	p.Blocks[0].Instrs = p.Blocks[0].Instrs[1:]
+	res = Pairing(p, pairingProbe, true)
+	k := kindsOf(res)
+	if !k["require"] || !k["release-unpaired"] {
+		t.Fatalf("dropped acquire: want require+release-unpaired, got %v", res.Violations)
+	}
+
+	// Clobber while held.
+	p = buildPairProc(t)
+	b1 := p.Blocks[1]
+	b1.Instrs = append([]ir.Instr{{Op: ir.WrPIC, Rs: 2}}, b1.Instrs...)
+	res = Pairing(p, pairingProbe, true)
+	if !kindsOf(res)["clobber"] {
+		t.Fatalf("clobber: want clobber violation, got %v", res.Violations)
+	}
+
+	// Acquire on one arm only: join conflict at the merge.
+	p = buildPairProc(t)
+	p.Blocks[0].Instrs = p.Blocks[0].Instrs[1:] // no acquire at entry
+	b1 = p.Blocks[1]
+	b1.Instrs = append([]ir.Instr{{Op: ir.Probe, Imm: 1, Rs: 2, Rd: 2}}, b1.Instrs...)
+	res = Pairing(p, pairingProbe, true)
+	if !kindsOf(res)["join-conflict"] {
+		t.Fatalf("one-armed acquire: want join-conflict, got %v", res.Violations)
+	}
+}
+
+// TestWorklistConvergesOnRandomCFGs: the engine must reach the same
+// fixpoint as naive round-robin iteration on arbitrary (loopy, irreducible)
+// graphs.
+func TestWorklistConvergesOnRandomCFGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := testgen.RandomProc(rng, "r", rng.Intn(20)+4)
+		lr := Liveness(p)
+
+		// Naive iteration to a fixpoint for comparison.
+		n := len(p.Blocks)
+		liveIn := make([]RegSet, n)
+		liveOut := make([]RegSet, n)
+		for changed := true; changed; {
+			changed = false
+			for i := n - 1; i >= 0; i-- {
+				b := p.Blocks[i]
+				var out RegSet
+				for _, s := range b.Succs {
+					out |= liveIn[s]
+				}
+				in := out
+				for j := len(b.Instrs) - 1; j >= 0; j-- {
+					in = (in &^ Defs(b.Instrs[j])) | Uses(b.Instrs[j])
+				}
+				if in != liveIn[i] || out != liveOut[i] {
+					liveIn[i], liveOut[i] = in, out
+					changed = true
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if lr.LiveIn[i] != liveIn[i] || lr.LiveOut[i] != liveOut[i] {
+				t.Fatalf("trial %d block %d: engine (%v,%v) != naive (%v,%v)",
+					trial, i, lr.LiveIn[i].Regs(), lr.LiveOut[i].Regs(), liveIn[i].Regs(), liveOut[i].Regs())
+			}
+		}
+	}
+}

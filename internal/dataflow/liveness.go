@@ -1,0 +1,147 @@
+package dataflow
+
+import (
+	"math/bits"
+
+	"pathprof/internal/ir"
+)
+
+// RegSet is a bitset over the ir register file (NumRegs <= 64).
+type RegSet uint64
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r ir.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Add returns the set with r added.
+func (s RegSet) Add(r ir.Reg) RegSet { return s | 1<<uint(r) }
+
+// Remove returns the set without r.
+func (s RegSet) Remove(r ir.Reg) RegSet { return s &^ (1 << uint(r)) }
+
+// Regs lists the members in ascending order.
+func (s RegSet) Regs() []ir.Reg {
+	out := make([]ir.Reg, 0, bits.OnesCount64(uint64(s)))
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, ir.Reg(bits.TrailingZeros64(v)))
+	}
+	return out
+}
+
+// Uses returns the registers read by in, following the operand conventions
+// documented on the opcodes (unlike ir.Proc.UsedRegs, which is a
+// conservative "mentioned anywhere" set).
+func Uses(in ir.Instr) RegSet {
+	var s RegSet
+	switch in.Op {
+	case ir.Nop, ir.Jmp, ir.Halt, ir.MovI, ir.RdPIC, ir.RdTick:
+		// no register reads
+	case ir.Ret:
+		// The calling convention copies the return value and stack pointer
+		// back to the caller.
+		s = s.Add(ir.RegRV).Add(ir.RegSP)
+	case ir.Br, ir.Out, ir.WrPIC:
+		s = s.Add(in.Rs)
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or, ir.Xor,
+		ir.Shl, ir.Shr, ir.FAdd, ir.FSub, ir.FMul, ir.FDiv, ir.FCmpLT,
+		ir.CmpLT, ir.CmpLE, ir.CmpEQ, ir.CmpNE:
+		s = s.Add(in.Rs).Add(in.Rt)
+	case ir.AddI, ir.MulI, ir.AndI, ir.OrI, ir.XorI, ir.ShlI, ir.ShrI,
+		ir.CmpLTI, ir.CmpLEI, ir.CmpEQI, ir.CmpNEI,
+		ir.Mov, ir.FNeg, ir.FSqrt, ir.CvtIF, ir.CvtFI, ir.Load:
+		s = s.Add(in.Rs)
+	case ir.LoadIdx:
+		s = s.Add(in.Rs).Add(in.Rt)
+	case ir.Store:
+		s = s.Add(in.Rs).Add(in.Rd) // Rd holds the stored value
+	case ir.StoreIdx:
+		s = s.Add(in.Rs).Add(in.Rt).Add(in.Rd)
+	case ir.Call, ir.CallInd:
+		for r := ir.RegArg0; r < ir.RegArg0+ir.NumArgRegs; r++ {
+			s = s.Add(r)
+		}
+		s = s.Add(ir.RegSP)
+		if in.Op == ir.CallInd {
+			s = s.Add(in.Rs)
+		}
+	case ir.SetJmp:
+		// no reads; Rd and Rt are written (at set time and resume time)
+	case ir.LongJmp:
+		s = s.Add(in.Rs).Add(in.Rt)
+	case ir.Probe:
+		s = s.Add(in.Rs)
+	}
+	return s
+}
+
+// Defs returns the registers written by in.
+func Defs(in ir.Instr) RegSet {
+	var s RegSet
+	switch in.Op {
+	case ir.Nop, ir.Jmp, ir.Br, ir.Ret, ir.Halt, ir.Out, ir.WrPIC,
+		ir.Store, ir.StoreIdx, ir.LongJmp:
+		// no register writes
+	case ir.Call, ir.CallInd:
+		// The callee's return copies R1 and RegSP back.
+		s = s.Add(ir.RegRV).Add(ir.RegSP)
+	case ir.SetJmp:
+		// Rd receives the handle; Rt is zeroed now and receives the
+		// delivered value on resume.
+		s = s.Add(in.Rd).Add(in.Rt)
+	default:
+		s = s.Add(in.Rd)
+	}
+	return s
+}
+
+// LivenessResult holds per-block live-register sets.
+type LivenessResult struct {
+	LiveIn  []RegSet // live at block entry
+	LiveOut []RegSet // live at block exit
+}
+
+// livenessAnalysis is the classic backward union liveness problem.
+type livenessAnalysis struct{}
+
+func (livenessAnalysis) Direction() Direction     { return Backward }
+func (livenessAnalysis) Boundary(*ir.Proc) RegSet { return 0 }
+func (livenessAnalysis) Top(*ir.Proc) RegSet      { return 0 }
+func (livenessAnalysis) Meet(a, b RegSet) RegSet  { return a | b }
+func (livenessAnalysis) Equal(a, b RegSet) bool   { return a == b }
+func (livenessAnalysis) Transfer(p *ir.Proc, b *ir.Block, out RegSet) RegSet {
+	live := out
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		live = (live &^ Defs(in)) | Uses(in)
+	}
+	return live
+}
+
+// Liveness computes register liveness for p.
+func Liveness(p *ir.Proc) *LivenessResult {
+	res := Run[RegSet](p, livenessAnalysis{})
+	return &LivenessResult{LiveIn: res.In, LiveOut: res.Out}
+}
+
+// LiveBefore returns the registers live immediately before instruction idx
+// of block b (recomputed locally from the block's LiveOut fact).
+func (lr *LivenessResult) LiveBefore(p *ir.Proc, b ir.BlockID, idx int) RegSet {
+	blk := p.Blocks[b]
+	live := lr.LiveOut[b]
+	for i := len(blk.Instrs) - 1; i >= idx; i-- {
+		in := blk.Instrs[i]
+		live = (live &^ Defs(in)) | Uses(in)
+	}
+	return live
+}
+
+// LiveAfter returns the registers live immediately after instruction idx of
+// block b.
+func (lr *LivenessResult) LiveAfter(p *ir.Proc, b ir.BlockID, idx int) RegSet {
+	blk := p.Blocks[b]
+	live := lr.LiveOut[b]
+	for i := len(blk.Instrs) - 1; i > idx; i-- {
+		in := blk.Instrs[i]
+		live = (live &^ Defs(in)) | Uses(in)
+	}
+	return live
+}

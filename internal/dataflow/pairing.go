@@ -1,0 +1,178 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+)
+
+// Definite pairing ("available pairing"): a forward must-analysis over a
+// two-point resource lattice, modeled on definite-lock-pairing. A resource
+// is acquired and released by designated instructions; the analysis proves
+// that on every path each program point sees a definite state (acquired or
+// not), that acquire/release alternate correctly, and that nothing clobbers
+// the resource while it is held. The ppvet save/restore and CCT
+// enter/exit-balance checkers are instances of this analysis.
+
+// PairEvent classifies one instruction's effect on the paired resource.
+type PairEvent int
+
+const (
+	// PairNone leaves the resource untouched.
+	PairNone PairEvent = iota
+	// PairAcquire transitions unpaired -> paired (save, enter).
+	PairAcquire
+	// PairRelease transitions paired -> unpaired (restore, exit).
+	PairRelease
+	// PairClobber destroys the held resource: a violation while paired.
+	PairClobber
+	// PairRequire demands the resource be held: a violation while unpaired.
+	PairRequire
+)
+
+// PairState is the lattice: Top (unvisited), definite states, and Conflict
+// (paths disagree).
+type PairState uint8
+
+const (
+	PairTop PairState = iota
+	Unpaired
+	Paired
+	PairConflict
+)
+
+func (s PairState) String() string {
+	switch s {
+	case PairTop:
+		return "unreached"
+	case Unpaired:
+		return "unpaired"
+	case Paired:
+		return "paired"
+	}
+	return "conflicting"
+}
+
+func meetPair(a, b PairState) PairState {
+	switch {
+	case a == PairTop:
+		return b
+	case b == PairTop:
+		return a
+	case a == b:
+		return a
+	}
+	return PairConflict
+}
+
+// PairViolation is one discovered pairing defect, positioned at the
+// offending instruction (Instr == -1 for block-level join conflicts).
+type PairViolation struct {
+	Block ir.BlockID
+	Instr int
+	Kind  string // "double-acquire", "release-unpaired", "clobber", "require", "join-conflict", "exit-paired"
+	State PairState
+}
+
+func (v PairViolation) String() string {
+	return fmt.Sprintf("b%d:%d: %s (state %s)", v.Block, v.Instr, v.Kind, v.State)
+}
+
+// PairingResult holds the fixpoint states and the violations found.
+type PairingResult struct {
+	In, Out    []PairState
+	Violations []PairViolation
+}
+
+type pairingAnalysis struct {
+	classify func(b *ir.Block, idx int, in ir.Instr) PairEvent
+}
+
+func (pairingAnalysis) Direction() Direction          { return Forward }
+func (pairingAnalysis) Boundary(*ir.Proc) PairState   { return Unpaired }
+func (pairingAnalysis) Top(*ir.Proc) PairState        { return PairTop }
+func (pairingAnalysis) Meet(a, b PairState) PairState { return meetPair(a, b) }
+func (pairingAnalysis) Equal(a, b PairState) bool     { return a == b }
+
+func (a pairingAnalysis) Transfer(p *ir.Proc, b *ir.Block, in PairState) PairState {
+	st := in
+	for i, instr := range b.Instrs {
+		switch a.classify(b, i, instr) {
+		case PairAcquire:
+			st = Paired
+		case PairRelease:
+			st = Unpaired
+		}
+	}
+	return st
+}
+
+// Pairing runs the definite-pairing analysis over p. classify assigns each
+// instruction its event; it must be a pure function of its arguments.
+// wantReleasedAtExit adds a check that the resource is released again when
+// the exit block's terminator runs.
+func Pairing(p *ir.Proc, classify func(b *ir.Block, idx int, in ir.Instr) PairEvent, wantReleasedAtExit bool) *PairingResult {
+	res := Run[PairState](p, pairingAnalysis{classify: classify})
+	pr := &PairingResult{In: res.In, Out: res.Out}
+
+	// Deterministic violation pass using the fixpoint facts.
+	preds := p.Preds()
+	for _, b := range p.Blocks {
+		// Join conflicts: predecessors with definite but disagreeing states.
+		if pr.In[b.ID] == PairConflict {
+			conflict := false
+			var first PairState = PairTop
+			for _, pb := range preds[b.ID] {
+				o := pr.Out[pb]
+				if o == PairTop {
+					continue
+				}
+				if first == PairTop {
+					first = o
+				} else if o != first && o != PairConflict {
+					conflict = true
+				}
+			}
+			if conflict {
+				pr.Violations = append(pr.Violations, PairViolation{
+					Block: b.ID, Instr: -1, Kind: "join-conflict", State: PairConflict,
+				})
+			}
+		}
+		st := pr.In[b.ID]
+		for i, instr := range b.Instrs {
+			ev := classify(b, i, instr)
+			switch ev {
+			case PairAcquire:
+				if st == Paired {
+					pr.Violations = append(pr.Violations, PairViolation{Block: b.ID, Instr: i, Kind: "double-acquire", State: st})
+				}
+				st = Paired
+			case PairRelease:
+				if st != Paired {
+					pr.Violations = append(pr.Violations, PairViolation{Block: b.ID, Instr: i, Kind: "release-unpaired", State: st})
+				}
+				st = Unpaired
+			case PairClobber:
+				if st == Paired || st == PairConflict {
+					pr.Violations = append(pr.Violations, PairViolation{Block: b.ID, Instr: i, Kind: "clobber", State: st})
+				}
+			case PairRequire:
+				if st != Paired {
+					pr.Violations = append(pr.Violations, PairViolation{Block: b.ID, Instr: i, Kind: "require", State: st})
+				}
+			}
+		}
+	}
+
+	if wantReleasedAtExit {
+		exit := p.Exit()
+		st := pr.Out[exit.ID]
+		if st != Unpaired {
+			pr.Violations = append(pr.Violations, PairViolation{
+				Block: exit.ID, Instr: len(exit.Instrs) - 1, Kind: "exit-paired", State: st,
+			})
+		}
+	}
+	return pr
+}

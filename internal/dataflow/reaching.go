@@ -1,0 +1,159 @@
+package dataflow
+
+import (
+	"math/bits"
+
+	"pathprof/internal/ir"
+)
+
+// Def identifies one register-writing instruction (a definition site).
+type Def struct {
+	Block ir.BlockID
+	Instr int
+	Reg   ir.Reg
+}
+
+// BitSet is a growable bitset used for definition sets.
+type BitSet []uint64
+
+func newBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports whether bit i is set.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+
+func (s BitSet) set(i int)   { s[i/64] |= 1 << uint(i%64) }
+func (s BitSet) clear(i int) { s[i/64] &^= 1 << uint(i%64) }
+
+func (s BitSet) clone() BitSet {
+	out := make(BitSet, len(s))
+	copy(out, s)
+	return out
+}
+
+func (s BitSet) equal(o BitSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s BitSet) union(o BitSet) BitSet {
+	out := s.clone()
+	for i := range out {
+		out[i] |= o[i]
+	}
+	return out
+}
+
+// Members lists the set bits in ascending order.
+func (s BitSet) Members() []int {
+	var out []int
+	for w, word := range s {
+		for v := word; v != 0; v &= v - 1 {
+			out = append(out, w*64+bits.TrailingZeros64(v))
+		}
+	}
+	return out
+}
+
+// ReachingResult holds the reaching-definitions fixpoint: Defs lists every
+// definition site of the procedure in deterministic (block, instr) order,
+// and In[b]/Out[b] are bitsets over indices into Defs.
+type ReachingResult struct {
+	Defs []Def
+	In   []BitSet
+	Out  []BitSet
+
+	proc    *ir.Proc
+	byBlock [][]int // def indices per block, in instruction order
+	byReg   [][]int // def indices per register
+}
+
+// reachingAnalysis: forward union analysis with per-block gen/kill.
+type reachingAnalysis struct {
+	r *ReachingResult
+}
+
+func (reachingAnalysis) Direction() Direction { return Forward }
+func (a reachingAnalysis) Boundary(*ir.Proc) BitSet {
+	return newBitSet(len(a.r.Defs))
+}
+func (a reachingAnalysis) Top(*ir.Proc) BitSet {
+	return newBitSet(len(a.r.Defs))
+}
+func (a reachingAnalysis) Meet(x, y BitSet) BitSet { return x.union(y) }
+func (a reachingAnalysis) Equal(x, y BitSet) bool  { return x.equal(y) }
+
+func (a reachingAnalysis) Transfer(p *ir.Proc, b *ir.Block, in BitSet) BitSet {
+	out := in.clone()
+	for _, di := range a.r.byBlock[b.ID] {
+		d := a.r.Defs[di]
+		// Kill every other def of the same register, then gen this one.
+		for _, k := range a.r.byReg[d.Reg] {
+			out.clear(k)
+		}
+		out.set(di)
+	}
+	return out
+}
+
+// ReachingDefs computes reaching definitions for p. Definitions are
+// register writes as reported by Defs (an instruction writing two registers
+// contributes two definition sites).
+func ReachingDefs(p *ir.Proc) *ReachingResult {
+	r := &ReachingResult{proc: p, byReg: make([][]int, ir.NumRegs)}
+	r.byBlock = make([][]int, len(p.Blocks))
+	for _, b := range p.Blocks {
+		for i, in := range b.Instrs {
+			for _, reg := range Defs(in).Regs() {
+				di := len(r.Defs)
+				r.Defs = append(r.Defs, Def{Block: b.ID, Instr: i, Reg: reg})
+				r.byBlock[b.ID] = append(r.byBlock[b.ID], di)
+				r.byReg[reg] = append(r.byReg[reg], di)
+			}
+		}
+	}
+	res := Run[BitSet](p, reachingAnalysis{r: r})
+	r.In, r.Out = res.In, res.Out
+	return r
+}
+
+// ReachingAt returns the definition sites of reg that reach the program
+// point immediately before instruction idx of block b.
+func (r *ReachingResult) ReachingAt(b ir.BlockID, idx int, reg ir.Reg) []Def {
+	// Start from the block-entry fact and walk forward to idx.
+	live := map[int]bool{}
+	for _, di := range r.In[b].Members() {
+		if r.Defs[di].Reg == reg {
+			live[di] = true
+		}
+	}
+	for _, di := range r.byBlock[b] {
+		d := r.Defs[di]
+		if d.Instr >= idx {
+			break
+		}
+		if d.Reg != reg {
+			continue
+		}
+		for k := range live {
+			delete(live, k)
+		}
+		live[di] = true
+	}
+	out := make([]Def, 0, len(live))
+	for _, di := range r.byBlock[b] {
+		if live[di] {
+			out = append(out, r.Defs[di])
+		}
+	}
+	// Defs reaching from other blocks, in global order.
+	for di := range r.Defs {
+		if live[di] && r.Defs[di].Block != b {
+			out = append(out, r.Defs[di])
+		}
+	}
+	return out
+}

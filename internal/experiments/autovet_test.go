@@ -1,0 +1,5 @@
+package experiments
+
+// Blank-importing autovet makes every instrument.Instrument call in this
+// test binary verify its output with the ppvet static checkers.
+import _ "pathprof/internal/ppvet/autovet"

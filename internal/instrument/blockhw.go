@@ -21,6 +21,7 @@ func (plan *Plan) blockHWProc(p *ir.Proc) error {
 	pp := plan.Procs[p.ID]
 	ed := &editor{proc: p}
 	ed.splitEntry()
+	pp.BaseBlocks = len(p.Blocks)
 
 	nBlocks := int64(len(p.Blocks))
 	pp.BlockCount = nBlocks
@@ -33,6 +34,7 @@ func (plan *Plan) blockHWProc(p *ir.Proc) error {
 	}
 	rp.pairs = plan.numPairs()
 	pp.Spilled = rp.spill
+	pp.Regs = rp.info()
 
 	for _, b := range p.Blocks {
 		bid := int64(b.ID)

@@ -15,12 +15,14 @@ func (plan *Plan) cctOnlyProc(p *ir.Proc) error {
 	pp := plan.Procs[p.ID]
 	ed := &editor{proc: p}
 	ed.splitEntry()
+	pp.BaseBlocks = len(p.Blocks)
 
 	rp, err := planRegs(p, 3)
 	if err != nil {
 		return err
 	}
 	pp.Spilled = rp.spill
+	pp.Regs = rp.info()
 
 	// Backedge counter reads must be planned against the CFG before other
 	// edits (they are the only edge-targeted insertions in this mode).

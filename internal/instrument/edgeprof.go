@@ -17,6 +17,7 @@ func (plan *Plan) edgeCountProc(p *ir.Proc) error {
 	pp := plan.Procs[p.ID]
 	ed := &editor{proc: p}
 	ed.splitEntry()
+	pp.BaseBlocks = len(p.Blocks)
 	pp.exitBlock = p.ExitBlock
 
 	n := len(p.Blocks)
@@ -45,7 +46,7 @@ func (plan *Plan) edgeCountProc(p *ir.Proc) error {
 	}
 	union(int(p.ExitBlock), 0)
 	for _, e := range edges {
-		ref := edgeRef{From: e.From, Slot: e.Slot, To: e.To}
+		ref := EdgeRef{From: e.From, Slot: e.Slot, To: e.To}
 		if union(int(e.From), int(e.To)) {
 			pp.EdgeTree = append(pp.EdgeTree, ref)
 		} else {
@@ -62,6 +63,7 @@ func (plan *Plan) edgeCountProc(p *ir.Proc) error {
 		return err
 	}
 	pp.Spilled = rp.spill
+	pp.Regs = rp.info()
 
 	preds := ed.numPreds()
 	for i, ch := range pp.EdgeChords {

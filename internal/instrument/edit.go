@@ -158,6 +158,10 @@ type regPlan struct {
 	// Spill mode.
 	frame   ir.Reg    // the single free register, holds the frame base
 	victims [5]ir.Reg // borrowed registers (r0..): saved around sequences
+
+	// allocated is the full list of free registers handed out in direct
+	// mode (the pass's reserved set), for the exported RegInfo.
+	allocated []ir.Reg
 }
 
 // Frame slot offsets (bytes) in spill mode. Extra saved counter pairs for
@@ -206,7 +210,7 @@ func (rp *regPlan) saveReg(pr int) ir.Reg {
 func planRegs(p *ir.Proc, need int) (*regPlan, error) {
 	free := freeRegs(p, need)
 	if len(free) >= need {
-		rp := &regPlan{}
+		rp := &regPlan{allocated: free}
 		rp.zero = free[0]
 		if len(free) > 1 {
 			rp.path = free[1]
@@ -237,6 +241,27 @@ func planRegs(p *ir.Proc, need int) (*regPlan, error) {
 		v++
 	}
 	return rp, nil
+}
+
+// info exports the plan for verifiers (see RegInfo).
+func (rp *regPlan) info() *RegInfo {
+	ri := &RegInfo{
+		Spill:     rp.spill,
+		Pairs:     rp.numPairs(),
+		Zero:      rp.zero,
+		Path:      rp.path,
+		Tmp:       rp.tmp,
+		Save:      rp.save,
+		SaveExtra: rp.saveExtra,
+		Frame:     rp.frame,
+		Victims:   rp.victims,
+	}
+	if rp.spill {
+		ri.Reserved = []ir.Reg{rp.frame}
+	} else {
+		ri.Reserved = append([]ir.Reg(nil), rp.allocated...)
+	}
+	return ri
 }
 
 // seqBuilder accumulates an instrumentation sequence under a regPlan,

@@ -226,18 +226,80 @@ type ProcPlan struct {
 	// EdgeChords[i] is the (block, slot) whose counter lives at
 	// EdgeBase + 8*i. Non-chord edge counts are recovered by flow
 	// conservation during decoding.
-	EdgeChords []edgeRef
+	EdgeChords []EdgeRef
 	EdgeBase   uint64
 	// EdgeTree describes the spanning tree used (for decoding).
-	EdgeTree []edgeRef
+	EdgeTree []EdgeRef
 	// exitBlock is the instrumented procedure's exit block (decoding).
 	exitBlock ir.BlockID
+
+	// Regs records the register regime the pass used, so static verifiers
+	// can reason about reserved registers and frame slots. Nil when the
+	// procedure was not instrumented (ModeNone).
+	Regs *RegInfo
+
+	// BaseBlocks is the block count right after the entry split, before any
+	// edge-splitting insertions; blocks with IDs at or above it are
+	// pass-through blocks created to instrument an edge. Zero when the
+	// procedure was not instrumented.
+	BaseBlocks int
 }
 
-type edgeRef struct {
+// EdgeRef names one CFG edge by source block and successor slot.
+type EdgeRef struct {
 	From ir.BlockID
 	Slot int
 	To   ir.BlockID
+}
+
+// RegInfo is the exported view of a procedure's instrumentation register
+// plan: which registers the instrumentation reserved (direct mode) or
+// borrowed (spill mode), and how its frame is laid out.
+type RegInfo struct {
+	Spill bool // register-starved: state lives in a frame
+	Pairs int  // counter pairs saved/restored (>= 1 once normalized)
+
+	// Direct mode.
+	Zero      ir.Reg // holds 0 for StoreIdx addressing
+	Path      ir.Reg // Ball-Larus tracking register
+	Tmp       [3]ir.Reg
+	Save      ir.Reg   // saved counter pair 0
+	SaveExtra []ir.Reg // saved pairs 1..
+
+	// Spill mode.
+	Frame   ir.Reg    // frame base register
+	Victims [5]ir.Reg // borrowed registers, saved around each sequence
+
+	// Reserved lists every register the instrumentation owns outright: the
+	// direct-mode dedicated registers, or just Frame in spill mode (victims
+	// are borrowed program registers, saved and restored around sequences).
+	Reserved []ir.Reg
+}
+
+// FrameSize returns the spill frame size in bytes.
+func (ri *RegInfo) FrameSize() int64 {
+	rp := regPlan{pairs: ri.Pairs}
+	return rp.frameSize()
+}
+
+// SlotPath returns the frame offset of the spilled path register.
+func (ri *RegInfo) SlotPath() int64 { return slotPath }
+
+// SlotSave returns the frame offset holding saved counter pair pr.
+func (ri *RegInfo) SlotSave(pr int) int64 {
+	rp := regPlan{pairs: ri.Pairs}
+	return rp.slotSave(pr)
+}
+
+// SlotVictim returns the frame offset saving victim i around sequences.
+func (ri *RegInfo) SlotVictim(i int) int64 { return slotVictim0 + 8*int64(i) }
+
+// SaveReg returns the direct-mode register holding saved counter pair pr.
+func (ri *RegInfo) SaveReg(pr int) ir.Reg {
+	if pr == 0 {
+		return ri.Save
+	}
+	return ri.SaveExtra[pr-1]
 }
 
 // Plan is the complete instrumentation result. A Plan is immutable once
@@ -312,8 +374,20 @@ func Instrument(prog *ir.Program, opts Options) (*Plan, error) {
 	if err := ir.Validate(clone); err != nil {
 		return nil, fmt.Errorf("instrument: produced invalid program: %w", err)
 	}
+	if DebugVerify != nil {
+		if err := DebugVerify(plan); err != nil {
+			return nil, fmt.Errorf("instrument: verification failed: %w", err)
+		}
+	}
 	return plan, nil
 }
+
+// DebugVerify, when non-nil, runs over every plan Instrument produces, and
+// its error fails the instrumentation. The ppvet verifier installs itself
+// here (via its autovet package) so the test suite and debug builds check
+// every emitted program; it is a variable, not an import, to keep the
+// instrumenter free of a dependency on its own verifier.
+var DebugVerify func(*Plan) error
 
 func countSites(p *ir.Proc) int {
 	n := 0

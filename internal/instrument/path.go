@@ -20,6 +20,7 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 
 	ed := &editor{proc: p}
 	ed.splitEntry()
+	pp.BaseBlocks = len(p.Blocks)
 
 	nm, err := bl.New(p)
 	if err != nil {
@@ -72,6 +73,7 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 		rp.pairs = plan.numPairs()
 	}
 	pp.Spilled = rp.spill
+	pp.Regs = rp.info()
 
 	preds := ed.numPreds()
 

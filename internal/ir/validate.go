@@ -2,90 +2,168 @@ package ir
 
 import "fmt"
 
+// PosError is a validation error positioned at the procedure, block, and
+// instruction it concerns. Block is -1 for procedure-level errors and Instr
+// is -1 for block-level ones, so tools can render findings at the finest
+// position available.
+type PosError struct {
+	Proc  string
+	Block int // block ID, or -1 when not block-specific
+	Instr int // instruction index, or -1 when not instruction-specific
+	Msg   string
+}
+
+func (e *PosError) Error() string {
+	switch {
+	case e.Proc == "":
+		return e.Msg
+	case e.Block < 0:
+		return fmt.Sprintf("proc %q: %s", e.Proc, e.Msg)
+	case e.Instr < 0:
+		return fmt.Sprintf("proc %q: block %d: %s", e.Proc, e.Block, e.Msg)
+	}
+	return fmt.Sprintf("proc %q: block %d: instr %d: %s", e.Proc, e.Block, e.Instr, e.Msg)
+}
+
 // Validate checks the structural invariants the rest of the system relies
 // on: well-formed terminators and successor lists, a unique entry (block 0)
 // from which all blocks are reachable, a unique exit block that is reachable
-// from all blocks, in-range register and call operands, and 8-byte operand
-// sanity. It returns the first violation found.
+// from all blocks, in-range register and call operands. It returns the first
+// violation found.
 //
 // These are exactly the preconditions the Ball-Larus algorithm states for a
 // profilable CFG ("a unique entry vertex ENTRY from which all vertices are
 // reachable and a unique exit vertex EXIT that is reachable from all
 // vertices").
 func Validate(prog *Program) error {
-	if len(prog.Procs) == 0 {
-		return fmt.Errorf("program %q has no procedures", prog.Name)
-	}
-	if prog.Main < 0 || prog.Main >= len(prog.Procs) {
-		return fmt.Errorf("program %q: main index %d out of range", prog.Name, prog.Main)
-	}
-	for i, p := range prog.Procs {
-		if p.ID != i {
-			return fmt.Errorf("proc %q: ID %d does not match slot %d", p.Name, p.ID, i)
-		}
-		if err := validateProc(prog, p); err != nil {
-			return fmt.Errorf("proc %q: %w", p.Name, err)
-		}
+	if errs := ValidateAll(prog); len(errs) > 0 {
+		return errs[0]
 	}
 	return nil
 }
 
-func validateProc(prog *Program, p *Proc) error {
+// ValidateAll runs every structural check and returns all violations in
+// deterministic (proc, block, instr) order, rather than stopping at the
+// first. Checks whose preconditions are broken (e.g. an out-of-range exit
+// block) are skipped for that procedure instead of panicking.
+func ValidateAll(prog *Program) []*PosError {
+	var errs []*PosError
+	add := func(proc string, block, instr int, format string, args ...any) {
+		errs = append(errs, &PosError{Proc: proc, Block: block, Instr: instr, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if len(prog.Procs) == 0 {
+		add("", -1, -1, "program %q has no procedures", prog.Name)
+		return errs
+	}
+	if prog.Main < 0 || prog.Main >= len(prog.Procs) {
+		add("", -1, -1, "program %q: main index %d out of range", prog.Name, prog.Main)
+		return errs
+	}
+
+	// Aliased blocks: the same *Block appearing in two slots (in one proc or
+	// across procs) makes every in-place rewrite corrupt the other site.
+	seenBlocks := make(map[*Block]string)
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			if prev, ok := seenBlocks[b]; ok {
+				add(p.Name, int(b.ID), -1, "block aliases %s", prev)
+			} else {
+				seenBlocks[b] = fmt.Sprintf("proc %q block %d", p.Name, b.ID)
+			}
+		}
+	}
+
+	for i, p := range prog.Procs {
+		if p.ID != i {
+			add(p.Name, -1, -1, "ID %d does not match slot %d", p.ID, i)
+		}
+		validateProc(prog, p, add)
+	}
+	return errs
+}
+
+type errAdder func(proc string, block, instr int, format string, args ...any)
+
+func validateProc(prog *Program, p *Proc, add errAdder) {
 	if len(p.Blocks) == 0 {
-		return fmt.Errorf("no blocks")
+		add(p.Name, -1, -1, "no blocks")
+		return
 	}
-	if p.ExitBlock < 0 || int(p.ExitBlock) >= len(p.Blocks) {
-		return fmt.Errorf("exit block %d out of range", p.ExitBlock)
+	if p.NumArgs < 0 || p.NumArgs > NumArgRegs {
+		add(p.Name, -1, -1, "NumArgs %d out of range [0,%d]", p.NumArgs, NumArgRegs)
 	}
+	exitOK := p.ExitBlock >= 0 && int(p.ExitBlock) < len(p.Blocks)
+	if !exitOK {
+		add(p.Name, -1, -1, "exit block %d out of range", p.ExitBlock)
+	}
+	blocksOK := true
 	for i, b := range p.Blocks {
 		if b.ID != BlockID(i) {
-			return fmt.Errorf("block %d: ID %d does not match slot", i, b.ID)
+			add(p.Name, i, -1, "ID %d does not match slot", b.ID)
+			blocksOK = false
 		}
-		if err := validateBlock(prog, p, b); err != nil {
-			return fmt.Errorf("block %d: %w", i, err)
+		if !validateBlock(prog, p, b, add) {
+			blocksOK = false
 		}
+	}
+	if !blocksOK || !exitOK {
+		// Terminator or successor structure is broken; the whole-CFG checks
+		// below would report cascading noise (or walk out of range).
+		return
 	}
 	exitTerm := p.Exit().Term().Op
 	if exitTerm != Ret && exitTerm != Halt {
-		return fmt.Errorf("exit block %d ends in %s, want ret or halt", p.ExitBlock, exitTerm)
+		add(p.Name, int(p.ExitBlock), -1, "exit block ends in %s, want ret or halt", exitTerm)
 	}
 	for _, b := range p.Blocks {
 		t := b.Term().Op
 		if (t == Ret || t == Halt) && b.ID != p.ExitBlock {
-			return fmt.Errorf("block %d ends in %s but is not the exit block", b.ID, t)
+			add(p.Name, int(b.ID), -1, "ends in %s but is not the exit block", t)
+		}
+		if t == Halt && p.ID != prog.Main {
+			add(p.Name, int(b.ID), len(b.Instrs)-1, "halt outside main procedure")
 		}
 	}
 	// Reachability: entry reaches all, all reach exit.
 	if unreached := unreachableFrom(p, 0, false); len(unreached) > 0 {
-		return fmt.Errorf("blocks %v not reachable from entry", unreached)
+		add(p.Name, -1, -1, "blocks %v not reachable from entry", unreached)
+		return
 	}
 	if unreaching := unreachableFrom(p, p.ExitBlock, true); len(unreaching) > 0 {
-		return fmt.Errorf("blocks %v cannot reach exit", unreaching)
+		add(p.Name, -1, -1, "blocks %v cannot reach exit", unreaching)
 	}
-	return nil
 }
 
-func validateBlock(prog *Program, p *Proc, b *Block) error {
+func validateBlock(prog *Program, p *Proc, b *Block, add errAdder) bool {
+	ok := true
 	if len(b.Instrs) == 0 {
-		return fmt.Errorf("empty block")
+		add(p.Name, int(b.ID), -1, "empty block")
+		return false
 	}
 	for i, in := range b.Instrs {
 		isLast := i == len(b.Instrs)-1
 		if in.Op.IsTerminator() != isLast {
 			if isLast {
-				return fmt.Errorf("last instruction %q is not a terminator", in)
+				add(p.Name, int(b.ID), i, "last instruction %q is not a terminator", in)
+			} else {
+				add(p.Name, int(b.ID), i, "terminator %q in block interior", in)
 			}
-			return fmt.Errorf("terminator %q in block interior (instr %d)", in, i)
+			ok = false
 		}
 		if in.Op >= numOpcodes {
-			return fmt.Errorf("instr %d: invalid opcode %d", i, in.Op)
+			add(p.Name, int(b.ID), i, "invalid opcode %d", in.Op)
+			ok = false
+			continue
 		}
 		if int(in.Rd) >= NumRegs || int(in.Rs) >= NumRegs || int(in.Rt) >= NumRegs {
-			return fmt.Errorf("instr %d (%q): register out of range", i, in)
+			add(p.Name, int(b.ID), i, "(%q): register out of range", in)
+			ok = false
 		}
 		if in.Op == Call {
 			if in.Imm < 0 || int(in.Imm) >= len(prog.Procs) {
-				return fmt.Errorf("instr %d: call target %d out of range", i, in.Imm)
+				add(p.Name, int(b.ID), i, "call target %d out of range", in.Imm)
+				ok = false
 			}
 		}
 	}
@@ -98,14 +176,16 @@ func validateBlock(prog *Program, p *Proc, b *Block) error {
 		wantSuccs = 1
 	}
 	if len(b.Succs) != wantSuccs {
-		return fmt.Errorf("terminator %s has %d successors, want %d", term, len(b.Succs), wantSuccs)
+		add(p.Name, int(b.ID), len(b.Instrs)-1, "terminator %s has %d successors, want %d", term, len(b.Succs), wantSuccs)
+		ok = false
 	}
 	for _, s := range b.Succs {
 		if s < 0 || int(s) >= len(p.Blocks) {
-			return fmt.Errorf("successor %d out of range", s)
+			add(p.Name, int(b.ID), len(b.Instrs)-1, "successor %d out of range", s)
+			ok = false
 		}
 	}
-	return nil
+	return ok
 }
 
 // unreachableFrom returns the blocks not reachable from start, following

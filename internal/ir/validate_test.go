@@ -1,0 +1,94 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoProcProg builds main (halt) calling f (ret), both valid.
+func twoProcProg(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("vt")
+	f := b.NewProc("f", 0)
+	fb := f.NewBlock()
+	fb.MovI(RegRV, 1)
+	fb.Ret()
+	m := b.NewProc("main", 0)
+	mb := m.NewBlock()
+	mb.Call(f)
+	mb.Halt()
+	b.SetMain(m)
+	return b.MustFinish()
+}
+
+func TestValidateAllCollectsMultiple(t *testing.T) {
+	prog := twoProcProg(t)
+	// Seed two independent defects: halt in the non-main proc and an
+	// out-of-range register in main.
+	f := prog.Procs[0]
+	f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = Instr{Op: Halt}
+	m := prog.Procs[1]
+	m.Blocks[0].Instrs[0].Rd = NumRegs + 3
+
+	errs := ValidateAll(prog)
+	if len(errs) < 2 {
+		t.Fatalf("want >=2 errors, got %v", errs)
+	}
+	var sawHalt, sawReg bool
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "halt outside main") && e.Proc == "f" {
+			sawHalt = true
+		}
+		if strings.Contains(e.Msg, "register out of range") && e.Proc == "main" {
+			sawReg = true
+		}
+	}
+	if !sawHalt || !sawReg {
+		t.Fatalf("missing expected errors (halt=%v reg=%v): %v", sawHalt, sawReg, errs)
+	}
+}
+
+func TestValidateAllPositions(t *testing.T) {
+	prog := twoProcProg(t)
+	m := prog.Procs[1]
+	m.Blocks[0].Instrs[0].Rd = NumRegs
+
+	errs := ValidateAll(prog)
+	if len(errs) != 1 {
+		t.Fatalf("want 1 error, got %v", errs)
+	}
+	e := errs[0]
+	if e.Proc != "main" || e.Block != 0 || e.Instr != 0 {
+		t.Fatalf("bad position: %+v", e)
+	}
+	if !strings.Contains(e.Error(), `proc "main": block 0: instr 0:`) {
+		t.Fatalf("Error() lacks position prefix: %s", e.Error())
+	}
+}
+
+func TestValidateAllRejectsAliasedBlocks(t *testing.T) {
+	prog := twoProcProg(t)
+	f, m := prog.Procs[0], prog.Procs[1]
+	// Alias f's exit block into main's slot 0's place... build a fresh slot:
+	// replace main's block list so slot 0 is f's block (same pointer).
+	m.Blocks[0] = f.Blocks[0]
+	// Fix the ID so only the aliasing check can catch it.
+	found := false
+	for _, e := range ValidateAll(prog) {
+		if strings.Contains(e.Msg, "aliases") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("aliased block not reported")
+	}
+}
+
+func TestValidateHaltOnlyInMain(t *testing.T) {
+	prog := twoProcProg(t)
+	f := prog.Procs[0]
+	f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = Instr{Op: Halt}
+	if err := Validate(prog); err == nil || !strings.Contains(err.Error(), "halt outside main") {
+		t.Fatalf("err = %v, want halt-outside-main", err)
+	}
+}

@@ -1,0 +1,21 @@
+// Package autovet turns on automatic static verification of every
+// instrumentation pass: importing it for side effects installs
+// ppvet.VerifyError as instrument.DebugVerify, so each Instrument call
+// verifies its own output and fails loudly on any finding. Test binaries
+// blank-import this package, which runs the whole dynamic suite behind the
+// static verifier; production binaries leave the hook nil and pay nothing.
+//
+// It is a separate package (rather than an init in ppvet) so that importing
+// ppvet for explicit verification does not silently change Instrument's
+// behavior, and so instrument's own tests, which cannot import ppvet without
+// a cycle, remain unaffected.
+package autovet
+
+import (
+	"pathprof/internal/instrument"
+	"pathprof/internal/ppvet"
+)
+
+func init() {
+	instrument.DebugVerify = ppvet.VerifyError
+}

@@ -1,0 +1,145 @@
+package ppvet
+
+import (
+	"pathprof/internal/dataflow"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+)
+
+// checkCCTBalance proves the calling-context-tree probe discipline: every
+// path through the procedure fires the enter probe exactly once (in the
+// entry block) and the exit probe exactly once (in the exit block), every
+// other context probe fires strictly between them, and each call site is
+// announced by a call probe carrying the correct site index immediately
+// before the call.
+func (v *verifier) checkCCTBalance(id int) {
+	pp := v.plan.Procs[id]
+	p := v.plan.Prog.Procs[id]
+
+	classify := func(_ *ir.Block, _ int, in ir.Instr) dataflow.PairEvent {
+		if in.Op.IsCall() {
+			return dataflow.PairRequire
+		}
+		if in.Op != ir.Probe {
+			return dataflow.PairNone
+		}
+		switch in.Imm {
+		case instrument.ProbeCCTEnter:
+			return dataflow.PairAcquire
+		case instrument.ProbeCCTExit:
+			return dataflow.PairRelease
+		case instrument.ProbeCCTCall, instrument.ProbeCCTTick, instrument.ProbeCCTPath:
+			return dataflow.PairRequire
+		}
+		return dataflow.PairNone
+	}
+	res := dataflow.Pairing(p, classify, true)
+	for _, viol := range res.Violations {
+		v.addf("cctbalance", id, int(viol.Block), viol.Instr, "%s (state %s)", viol.Kind, viol.State)
+	}
+
+	// Placement: one enter probe, in the entry block; one exit probe, in the
+	// exit block. (The pairing analysis alone would accept an enter probe
+	// inside a loop body that dominates everything, which would double-count
+	// activations.)
+	enters, exits := 0, 0
+	for _, b := range p.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op != ir.Probe {
+				continue
+			}
+			switch in.Imm {
+			case instrument.ProbeCCTEnter:
+				enters++
+				if b.ID != 0 {
+					v.addf("cctbalance", id, int(b.ID), i, "enter probe outside the entry block")
+				}
+			case instrument.ProbeCCTExit:
+				exits++
+				if b.ID != p.ExitBlock {
+					v.addf("cctbalance", id, int(b.ID), i, "exit probe outside the exit block")
+				}
+			}
+		}
+	}
+	if enters != 1 {
+		v.addf("cctbalance", id, -1, -1, "%d enter probes, want 1", enters)
+	}
+	if exits != 1 {
+		v.addf("cctbalance", id, -1, -1, "%d exit probes, want 1", exits)
+	}
+
+	// Call-site probes: walking blocks in ID order (the order the
+	// instrumenter assigned site indices), each call must be preceded in its
+	// block by exactly one pending call probe whose packed site index is the
+	// next expected one, recorded against the right block.
+	nextSite := 0
+	for _, b := range p.Blocks {
+		pending := -1
+		pendingIdx := -1
+		for i, in := range b.Instrs {
+			if in.Op == ir.Probe && in.Imm == instrument.ProbeCCTCall {
+				if pending >= 0 {
+					v.addf("cctbalance", id, int(b.ID), i, "call probe with no call after previous probe (site %d)", pending)
+				}
+				site, ok := callProbeSite(b, i)
+				if !ok {
+					v.addf("cctbalance", id, int(b.ID), i, "call probe argument is not a packed site constant")
+					pending, pendingIdx = -2, i // consume the next call anyway
+					continue
+				}
+				pending, pendingIdx = site, i
+				continue
+			}
+			if !in.Op.IsCall() {
+				continue
+			}
+			switch {
+			case pending == -1:
+				v.addf("cctbalance", id, int(b.ID), i, "call without a preceding call probe")
+			case pending >= 0 && pending != nextSite:
+				v.addf("cctbalance", id, int(b.ID), pendingIdx, "call probe carries site %d, want %d", pending, nextSite)
+			case pending == nextSite && nextSite < len(pp.SiteBlocks) && pp.SiteBlocks[nextSite] != b.ID:
+				v.addf("cctbalance", id, int(b.ID), i, "site %d recorded in block %d, called in block %d", nextSite, pp.SiteBlocks[nextSite], b.ID)
+			}
+			nextSite++
+			pending, pendingIdx = -1, -1
+		}
+		if pending >= 0 {
+			v.addf("cctbalance", id, int(b.ID), pendingIdx, "call probe (site %d) with no following call in its block", pending)
+		}
+	}
+	if nextSite != pp.NumSites {
+		v.addf("cctbalance", id, -1, -1, "%d calls found, plan records %d sites", nextSite, pp.NumSites)
+	}
+	if len(pp.SiteBlocks) != pp.NumSites {
+		v.addf("cctbalance", id, -1, -1, "SiteBlocks has %d entries for %d sites", len(pp.SiteBlocks), pp.NumSites)
+	}
+}
+
+// callProbeSite recovers the packed site index of the call probe at b[idx]
+// by walking back over the instructions that build its argument register
+// (MovI of the packed constant, optionally followed by adding the live path
+// register).
+func callProbeSite(b *ir.Block, idx int) (int, bool) {
+	t := b.Instrs[idx].Rs
+	for i := idx - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if !dataflow.Defs(in).Has(t) {
+			continue
+		}
+		switch in.Op {
+		case ir.MovI:
+			site, _ := instrument.UnpackSitePath(in.Imm)
+			return site, true
+		case ir.Add:
+			if in.Rd == t && (in.Rs == t || in.Rt == t) {
+				continue // accumulating the path prefix onto the packed base
+			}
+			return 0, false
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}

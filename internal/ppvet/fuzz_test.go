@@ -1,0 +1,39 @@
+package ppvet
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/testgen"
+)
+
+// FuzzVet is the differential fuzzer: random programs from testgen are
+// instrumented in every mode and the static verifier must find nothing —
+// any finding is either an instrumenter bug or a checker bug, and both are
+// worth a failing corpus entry. The corpus coordinates are the generator
+// seed and shape knobs, so every crash reproduces deterministically.
+func FuzzVet(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(6), false, false)
+	f.Add(int64(2), uint8(3), uint8(12), true, false)
+	f.Add(int64(3), uint8(6), uint8(8), false, true)
+	f.Add(int64(42), uint8(5), uint8(10), true, true)
+	f.Fuzz(func(t *testing.T, seed int64, nProcs, blocksPer uint8, recursion, indirect bool) {
+		prog := testgen.RandomProgram(rand.New(rand.NewSource(seed)), "fuzz", testgen.ProgramOptions{
+			NumProcs:      2 + int(nProcs%8),
+			BlocksPer:     3 + int(blocksPer%16),
+			Recursion:     recursion,
+			IndirectCalls: indirect,
+			Memory:        seed%2 == 0,
+		})
+		for _, m := range allModes {
+			plan, err := instrument.Instrument(prog, instrument.DefaultOptions(m))
+			if err != nil {
+				t.Fatalf("mode %v: %v", m, err)
+			}
+			for _, fd := range Verify(plan) {
+				t.Errorf("mode %v: %s", m, fd)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package ppvet
+
+import (
+	"fmt"
+
+	"pathprof/internal/dataflow"
+	"pathprof/internal/ir"
+)
+
+// The path-sum checker proves properties of the emitted code, not of the
+// plan, so it interprets instructions abstractly. The domain is deliberately
+// tiny: a value is a known constant, a stack-pointer-relative address
+// (tracking the instrumentation frame in spill mode), or unknown. Constant
+// folding covers exactly the arithmetic the instrumenter emits — moves and
+// additions — and everything else falls to unknown via the written-register
+// sets, which keeps the interpreter sound for arbitrary program code
+// interleaved with the probes.
+
+type avKind uint8
+
+const (
+	avUnknown avKind = iota
+	avConst          // a known integer constant
+	avSP             // stack pointer + offset (frame addressing)
+)
+
+type aval struct {
+	k avKind
+	c int64
+}
+
+func (a aval) String() string {
+	switch a.k {
+	case avConst:
+		return fmt.Sprintf("%d", a.c)
+	case avSP:
+		return fmt.Sprintf("sp%+d", a.c)
+	}
+	return "?"
+}
+
+func unknown() aval        { return aval{} }
+func konst(c int64) aval   { return aval{k: avConst, c: c} }
+func spval(off int64) aval { return aval{k: avSP, c: off} }
+
+// absState is the abstract machine state: a register file plus the
+// activation's instrumentation-frame memory, keyed by SP-relative offset.
+type absState struct {
+	regs  [ir.NumRegs]aval
+	frame map[int64]aval
+}
+
+func newAbsState() *absState {
+	st := &absState{frame: make(map[int64]aval)}
+	st.regs[ir.RegSP] = spval(0)
+	return st
+}
+
+func (st *absState) clone() *absState {
+	out := &absState{regs: st.regs, frame: make(map[int64]aval, len(st.frame))}
+	for k, v := range st.frame {
+		out.frame[k] = v
+	}
+	return out
+}
+
+// step applies one instruction to the state.
+func (st *absState) step(in ir.Instr) {
+	switch in.Op {
+	case ir.MovI:
+		st.regs[in.Rd] = konst(in.Imm)
+	case ir.Mov:
+		st.regs[in.Rd] = st.regs[in.Rs]
+	case ir.AddI:
+		st.regs[in.Rd] = addv(st.regs[in.Rs], konst(in.Imm))
+	case ir.Add:
+		st.regs[in.Rd] = addv(st.regs[in.Rs], st.regs[in.Rt])
+	case ir.Sub:
+		a, b := st.regs[in.Rs], st.regs[in.Rt]
+		if a.k == avConst && b.k == avConst {
+			st.regs[in.Rd] = konst(a.c - b.c)
+		} else {
+			st.regs[in.Rd] = unknown()
+		}
+	case ir.Load:
+		if base := st.regs[in.Rs]; base.k == avSP {
+			st.regs[in.Rd] = st.frame[base.c+in.Imm]
+		} else {
+			st.regs[in.Rd] = unknown()
+		}
+	case ir.Store:
+		// Stores through a non-frame base are the program's own memory
+		// traffic (or counter-table writes); the instrumentation frame is
+		// fresh stack space, assumed unaliased.
+		if base := st.regs[in.Rs]; base.k == avSP {
+			st.frame[base.c+in.Imm] = st.regs[in.Rd]
+		}
+	case ir.StoreIdx:
+		// Counter-table writes; no frame effect.
+	default:
+		for _, r := range dataflow.Defs(in).Regs() {
+			st.regs[r] = unknown()
+		}
+	}
+}
+
+func addv(a, b aval) aval {
+	switch {
+	case a.k == avConst && b.k == avConst:
+		return konst(a.c + b.c)
+	case a.k == avSP && b.k == avConst:
+		return spval(a.c + b.c)
+	case a.k == avConst && b.k == avSP:
+		return spval(a.c + b.c)
+	}
+	return unknown()
+}

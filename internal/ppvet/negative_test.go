@@ -1,0 +1,264 @@
+package ppvet
+
+import (
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+)
+
+// negProg builds a small program with the features every checker exercises:
+// a branch diamond and a loop (multiple paths, a backedge) and a call.
+func negProg(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("neg")
+
+	f := b.NewProc("f", 1)
+	fe := f.NewBlock()
+	th := f.NewBlock()
+	el := f.NewBlock()
+	jo := f.NewBlock()
+	fe.CmpLTI(9, 1, 5)
+	fe.Br(9, th, el)
+	th.AddI(ir.RegRV, 1, 1)
+	th.Jmp(jo)
+	el.AddI(ir.RegRV, 1, 2)
+	el.Jmp(jo)
+	jo.Ret()
+
+	m := b.NewProc("main", 0)
+	entry := m.NewBlock()
+	head := m.NewBlock()
+	body := m.NewBlock()
+	odd := m.NewBlock()
+	even := m.NewBlock()
+	latch := m.NewBlock()
+	done := m.NewBlock()
+	entry.MovI(9, 0)
+	entry.Jmp(head)
+	head.CmpLTI(10, 9, 6)
+	head.Br(10, body, done)
+	body.AndI(11, 9, 1)
+	body.Mov(1, 9)
+	body.Call(f)
+	body.Br(11, odd, even)
+	odd.AddI(12, 12, 3)
+	odd.Jmp(latch)
+	even.AddI(12, 12, 5)
+	even.Jmp(latch)
+	latch.AddI(9, 9, 1)
+	latch.Jmp(head)
+	done.Out(12)
+	done.Halt()
+	b.SetMain(m)
+	return b.MustFinish()
+}
+
+// hasCheck reports whether any finding came from the named checker.
+func hasCheck(fs []Finding, check string) bool {
+	for _, f := range fs {
+		if f.Check == check {
+			return true
+		}
+	}
+	return false
+}
+
+// pathIncrement locates an edge increment `AddI path, path, c` (c != 0) in
+// some instrumented procedure, returning the block and instruction index.
+func pathIncrement(plan *instrument.Plan) (*ir.Block, int, bool) {
+	for id, p := range plan.Prog.Procs {
+		ri := plan.Procs[id].Regs
+		if ri == nil || ri.Spill {
+			continue
+		}
+		for _, b := range p.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op == ir.AddI && in.Rd == ri.Path && in.Rs == ri.Path && in.Imm != 0 {
+					return b, i, true
+				}
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+func removeInstr(b *ir.Block, i int) {
+	b.Instrs = append(b.Instrs[:i:i], b.Instrs[i+1:]...)
+}
+
+// TestVerifyCatchesSeededDefects: each checker flags the defect it exists
+// for when the instrumented program is corrupted behind the plan's back.
+func TestVerifyCatchesSeededDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		mode instrument.Mode
+		want string // checker expected to fire
+		// mutate corrupts the plan; it must fail the test if the expected
+		// instrumentation shape is absent.
+		mutate func(t *testing.T, plan *instrument.Plan)
+	}{
+		{
+			name: "dropped counter restore",
+			mode: instrument.ModePathHW,
+			want: "saverestore",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				for _, p := range plan.Prog.Procs {
+					exit := p.Blocks[p.ExitBlock]
+					for i, in := range exit.Instrs {
+						if in.Op == ir.WrPIC {
+							removeInstr(exit, i)
+							return
+						}
+					}
+				}
+				t.Fatal("no counter restore found to drop")
+			},
+		},
+		{
+			name: "duplicated path increment",
+			mode: instrument.ModePathFreq,
+			want: "pathsum",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				b, i, ok := pathIncrement(plan)
+				if !ok {
+					t.Fatal("no edge increment found to duplicate")
+				}
+				b.Instrs = append(b.Instrs[:i:i], append([]ir.Instr{b.Instrs[i]}, b.Instrs[i:]...)...)
+			},
+		},
+		{
+			name: "corrupted edge increment value",
+			mode: instrument.ModePathFreq,
+			want: "pathsum",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				b, i, ok := pathIncrement(plan)
+				if !ok {
+					t.Fatal("no edge increment found to corrupt")
+				}
+				b.Instrs[i].Imm += 100
+			},
+		},
+		{
+			name: "dropped tracking register init",
+			mode: instrument.ModePathFreq,
+			want: "pathsum",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				for id, p := range plan.Prog.Procs {
+					ri := plan.Procs[id].Regs
+					if ri == nil || ri.Spill {
+						continue
+					}
+					entry := p.Blocks[0]
+					for i, in := range entry.Instrs {
+						if in.Op == ir.MovI && in.Rd == ri.Path && in.Imm == 0 {
+							removeInstr(entry, i)
+							return
+						}
+					}
+				}
+				t.Fatal("no tracking-register initialization found to drop")
+			},
+		},
+		{
+			name: "unbalanced context exit probe",
+			mode: instrument.ModeContextHW,
+			want: "cctbalance",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				for _, p := range plan.Prog.Procs {
+					exit := p.Blocks[p.ExitBlock]
+					for i, in := range exit.Instrs {
+						if in.Op == ir.Probe && in.Imm == instrument.ProbeCCTExit {
+							removeInstr(exit, i)
+							return
+						}
+					}
+				}
+				t.Fatal("no exit probe found to drop")
+			},
+		},
+		{
+			name: "mislabeled call site",
+			mode: instrument.ModeContextHW,
+			want: "cctbalance",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				for _, p := range plan.Prog.Procs {
+					for _, b := range p.Blocks {
+						for i, in := range b.Instrs {
+							if in.Op == ir.Probe && in.Imm == instrument.ProbeCCTCall && i > 0 &&
+								b.Instrs[i-1].Op == ir.MovI {
+								b.Instrs[i-1].Imm += int64(1) << 40 // skew the site index
+								return
+							}
+						}
+					}
+				}
+				t.Fatal("no call probe found to mislabel")
+			},
+		},
+		{
+			name: "lost chord record",
+			mode: instrument.ModeEdgeCount,
+			want: "wellformed",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				for _, pp := range plan.Procs {
+					if len(pp.EdgeChords) > 0 {
+						pp.EdgeChords = pp.EdgeChords[1:]
+						return
+					}
+				}
+				t.Fatal("no procedure with chords")
+			},
+		},
+		{
+			name: "wrong block slot index",
+			mode: instrument.ModeBlockHW,
+			want: "blockslots",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				for id, p := range plan.Prog.Procs {
+					pp := plan.Procs[id]
+					if pp.FreqBase == 0 {
+						continue
+					}
+					for _, b := range p.Blocks {
+						for _, in := range b.Instrs {
+							if in.Op != ir.StoreIdx || uint64(in.Imm) != pp.FreqBase {
+								continue
+							}
+							for j := range b.Instrs {
+								m := &b.Instrs[j]
+								if m.Op == ir.MovI && m.Rd == in.Rt && m.Imm == int64(b.ID) {
+									m.Imm++
+									return
+								}
+							}
+						}
+					}
+				}
+				t.Fatal("no block frequency index found to corrupt")
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog := negProg(t)
+			plan, err := instrument.Instrument(prog, instrument.DefaultOptions(tc.mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs := Verify(plan); len(fs) != 0 {
+				t.Fatalf("clean plan has findings: %v", fs)
+			}
+			tc.mutate(t, plan)
+			fs := Verify(plan)
+			if len(fs) == 0 {
+				t.Fatalf("seeded %q defect produced no findings", tc.name)
+			}
+			if !hasCheck(fs, tc.want) {
+				t.Fatalf("seeded %q defect: no %q finding among %v", tc.name, tc.want, fs)
+			}
+		})
+	}
+}

@@ -1,0 +1,288 @@
+package ppvet
+
+import (
+	"errors"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+)
+
+// checkPathSums proves the path-profiling soundness property of one
+// procedure: executing any entry→exit path of the *emitted* program counts
+// exactly the Ball-Larus identifier of that path, and the identifiers cover
+// 0..NumPaths-1 bijectively.
+//
+// Layer 1 checks the plan (numbering compactness, optimized-increment
+// equivalence, hash-mode flags). Layer 2 abstractly interprets the final
+// instrumented CFG: it enumerates "segments" — entry→(exit|backedge) and
+// backedge-target→(exit|backedge) walks of the acyclic residue — observing
+// the count events the code actually performs. Segments correspond one to
+// one with paths of the Ball-Larus transformed graph, so collecting every
+// segment's counted identifier and checking the multiset equals
+// {0..NumPaths-1} verifies the emitted increments, resets, and counter
+// addressing all at once.
+func (v *verifier) checkPathSums(id int) {
+	pp := v.plan.Procs[id]
+	nm := pp.Numbering
+	if nm == nil {
+		v.addf("pathsum", id, -1, -1, "mode %v requires a numbering, none recorded", v.plan.Mode)
+		return
+	}
+
+	// Layer 1: plan-level.
+	smallEnough := nm.NumPaths <= v.opts.MaxEnumPaths
+	if smallEnough {
+		if err := nm.CheckCompact(); err != nil {
+			var ce *bl.CompactError
+			if errors.As(err, &ce) && ce.Kind != "too-many-paths" {
+				v.addf("pathsum", id, -1, -1, "numbering not compact: %v", ce)
+				return
+			}
+		}
+		if pp.Inc != nil {
+			if err := pp.Inc.VerifyPathSums(nm); err != nil {
+				v.addf("pathsum", id, -1, -1, "optimized increments diverge: %v", err)
+				return
+			}
+		}
+	}
+	wantHash := nm.NumPaths > v.plan.Opts.HashPathThreshold
+	if pp.UseHash != wantHash {
+		v.addf("pathsum", id, -1, -1, "UseHash=%v inconsistent with %d paths vs threshold %d",
+			pp.UseHash, nm.NumPaths, v.plan.Opts.HashPathThreshold)
+	}
+	if !pp.UseHash && v.plan.Mode != instrument.ModeContextFlow {
+		if pp.FreqBase == 0 {
+			v.addf("pathsum", id, -1, -1, "dense mode but no frequency table allocated")
+			return
+		}
+		if v.plan.Mode == instrument.ModePathHW {
+			if len(pp.AccBases) != v.plan.Opts.NumCounters {
+				v.addf("pathsum", id, -1, -1, "%d accumulator tables for %d counters",
+					len(pp.AccBases), v.plan.Opts.NumCounters)
+				return
+			}
+			for i, b := range pp.AccBases {
+				if b == 0 {
+					v.addf("pathsum", id, -1, -1, "accumulator table %d not allocated", i)
+					return
+				}
+			}
+		}
+	}
+
+	// Layer 2: code-level.
+	if !smallEnough {
+		return
+	}
+	v.enumerateSegments(id)
+}
+
+// countEvent is one counter update observed during abstract interpretation.
+type countEvent struct {
+	kind  string // "freq" (the canonical per-path count) or "acc"
+	id    int64
+	known bool
+	block ir.BlockID
+	instr int
+}
+
+// enumerateSegments walks the final CFG and checks the counted identifiers.
+func (v *verifier) enumerateSegments(id int) {
+	pp := v.plan.Procs[id]
+	p := v.plan.Prog.Procs[id]
+	nm := pp.Numbering
+
+	isBE := make(map[cfg.Edge]bool)
+	for _, e := range cfg.Backedges(p) {
+		isBE[e] = true
+	}
+
+	counted := make(map[int64]int) // identifier -> times counted
+	var segments int64
+	budget := 4 * v.opts.MaxEnumPaths // hard stop for malformed CFGs
+	exhausted := false
+	cycleSeen := false
+
+	type seedKey struct {
+		block ir.BlockID
+		path  int64
+	}
+	seeded := map[seedKey]bool{}
+	type seed struct {
+		block ir.BlockID
+		st    *absState
+	}
+	var queue []seed
+
+	// finalize validates one completed segment's event list and records the
+	// counted identifier.
+	finalize := func(events []countEvent, at ir.BlockID) {
+		segments++
+		var freq *countEvent
+		for i := range events {
+			ev := &events[i]
+			if ev.kind != "freq" {
+				continue
+			}
+			if freq != nil {
+				v.addf("pathsum", id, int(ev.block), ev.instr, "second count on one path (first at b%d:i%d)", freq.block, freq.instr)
+				return
+			}
+			freq = ev
+		}
+		if freq == nil {
+			v.addf("pathsum", id, int(at), -1, "path reaches b%d without being counted", at)
+			return
+		}
+		if !freq.known {
+			v.addf("pathsum", id, int(freq.block), freq.instr, "counted identifier is not a derivable constant")
+			return
+		}
+		if freq.id < 0 || freq.id >= nm.NumPaths {
+			v.addf("pathsum", id, int(freq.block), freq.instr, "counted identifier %d outside [0,%d)", freq.id, nm.NumPaths)
+			return
+		}
+		for i := range events {
+			ev := &events[i]
+			if ev.kind == "acc" && (!ev.known || ev.id != freq.id) {
+				v.addf("pathsum", id, int(ev.block), ev.instr, "accumulator indexed by %d but path counted as %d", ev.id, freq.id)
+				return
+			}
+		}
+		counted[freq.id]++
+	}
+
+	// pathVal extracts the abstract tracking-register value.
+	pathVal := func(st *absState) (int64, bool) {
+		ri := pp.Regs
+		if ri == nil {
+			return 0, false
+		}
+		if !ri.Spill {
+			a := st.regs[ri.Path]
+			return a.c, a.k == avConst
+		}
+		fr := st.regs[ri.Frame]
+		if fr.k != avSP {
+			return 0, false
+		}
+		a := st.frame[fr.c+ri.SlotPath()]
+		return a.c, a.k == avConst
+	}
+
+	// walk explores one segment depth-first. onstack guards against cycles
+	// not broken by a recognized backedge (a transform bug).
+	onstack := make([]bool, len(p.Blocks))
+	var walk func(b ir.BlockID, st *absState, events []countEvent)
+	walk = func(b ir.BlockID, st *absState, events []countEvent) {
+		if exhausted || segments > budget {
+			exhausted = true
+			return
+		}
+		if onstack[b] {
+			if !cycleSeen {
+				cycleSeen = true
+				v.addf("pathsum", id, int(b), -1, "cycle not broken by a recognized backedge")
+			}
+			return
+		}
+		blk := p.Blocks[b]
+		for i, in := range blk.Instrs {
+			if ev, ok := v.countEventAt(pp, in, st, b, i); ok {
+				events = append(events, ev)
+			}
+			st.step(in)
+		}
+		if b == p.ExitBlock {
+			finalize(events, b)
+			return
+		}
+		onstack[b] = true
+		for slot, s := range blk.Succs {
+			if isBE[cfg.Edge{From: b, To: s, Slot: slot}] {
+				// Segment ends here; the post-reset state seeds the target.
+				finalize(events, b)
+				pv, ok := pathVal(st)
+				if !ok {
+					v.addf("pathsum", id, int(b), -1, "tracking register not a constant after backedge reset")
+					continue
+				}
+				k := seedKey{block: s, path: pv}
+				if !seeded[k] {
+					seeded[k] = true
+					queue = append(queue, seed{block: s, st: st.clone()})
+				}
+				continue
+			}
+			walk(s, st.clone(), events[:len(events):len(events)])
+		}
+		onstack[b] = false
+	}
+
+	walk(0, newAbsState(), nil)
+	for len(queue) > 0 && !exhausted {
+		sd := queue[0]
+		queue = queue[1:]
+		walk(sd.block, sd.st, nil)
+	}
+	if exhausted {
+		v.addf("pathsum", id, -1, -1, "segment enumeration exceeded %d segments (expected %d)", budget, nm.NumPaths)
+		return
+	}
+
+	// Bijection: every identifier counted exactly once across all segments.
+	if segments != nm.NumPaths {
+		v.addf("pathsum", id, -1, -1, "enumerated %d counted paths, numbering has %d", segments, nm.NumPaths)
+	}
+	for pid := int64(0); pid < nm.NumPaths; pid++ {
+		if n := counted[pid]; n != 1 && segments == nm.NumPaths {
+			v.addf("pathsum", id, -1, -1, "path identifier %d counted %d times", pid, n)
+		}
+	}
+}
+
+// countEventAt classifies in as a counter update for pp, resolving the
+// counted identifier from the abstract state (before in executes).
+func (v *verifier) countEventAt(pp *instrument.ProcPlan, in ir.Instr, st *absState, b ir.BlockID, idx int) (countEvent, bool) {
+	mode := v.plan.Mode
+	switch {
+	case mode == instrument.ModeContextFlow:
+		if in.Op == ir.Probe && in.Imm == instrument.ProbeCCTPath {
+			a := st.regs[in.Rs]
+			return countEvent{kind: "freq", id: a.c, known: a.k == avConst, block: b, instr: idx}, true
+		}
+	case pp.UseHash:
+		probe := int64(instrument.ProbeHashFreq)
+		if mode == instrument.ModePathHW {
+			probe = instrument.ProbeHashHW
+		}
+		if in.Op == ir.Probe && in.Imm == probe {
+			a := st.regs[in.Rs]
+			if a.k != avConst {
+				return countEvent{kind: "freq", block: b, instr: idx}, true
+			}
+			proc, pathIdx := instrument.UnpackProcPath(a.c)
+			if proc != pp.ProcID {
+				// Report as an unknown identifier; finalize flags it.
+				return countEvent{kind: "freq", block: b, instr: idx}, true
+			}
+			return countEvent{kind: "freq", id: pathIdx, known: true, block: b, instr: idx}, true
+		}
+	default: // dense tables
+		if in.Op == ir.StoreIdx {
+			a := st.regs[in.Rt]
+			if uint64(in.Imm) == pp.FreqBase && pp.FreqBase != 0 {
+				return countEvent{kind: "freq", id: a.c, known: a.k == avConst, block: b, instr: idx}, true
+			}
+			for _, acc := range pp.AccBases {
+				if uint64(in.Imm) == acc && acc != 0 {
+					return countEvent{kind: "acc", id: a.c, known: a.k == avConst, block: b, instr: idx}, true
+				}
+			}
+		}
+	}
+	return countEvent{}, false
+}

@@ -1,0 +1,131 @@
+// Package ppvet statically verifies instrumented programs: it proves, per
+// procedure, that the inserted Ball-Larus instrumentation counts exactly the
+// compact path identifiers 0..NumPaths-1 (by bounded abstract interpretation
+// over the final CFG), that hardware-counter save/restore is balanced on
+// every path (a definite-pairing dataflow proof), that CCT enter/exit probes
+// balance, and that the emitted CFG satisfies well-formedness invariants
+// beyond ir.Validate. It is the static-analysis complement to the dynamic
+// test suite: the properties the profiler's decoding relies on are checked
+// on the program text itself, before anything runs.
+package ppvet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathprof/internal/instrument"
+)
+
+// Finding is one verification failure, positioned at the finest granularity
+// the checker could establish (-1 for "not applicable").
+type Finding struct {
+	Check  string // "wellformed", "pathsum", "saverestore", "cctbalance"
+	Proc   string
+	ProcID int
+	Block  int // block ID, or -1
+	Instr  int // instruction index, or -1
+	Msg    string
+}
+
+func (f Finding) String() string {
+	pos := f.Proc
+	if f.Block >= 0 {
+		pos = fmt.Sprintf("%s:b%d", pos, f.Block)
+	}
+	if f.Instr >= 0 {
+		pos = fmt.Sprintf("%s:i%d", pos, f.Instr)
+	}
+	return fmt.Sprintf("%s %s: %s", pos, f.Check, f.Msg)
+}
+
+// Options bounds the expensive parts of verification.
+type Options struct {
+	// MaxEnumPaths caps the exhaustive path enumeration of the path-sum
+	// checker; procedures with more potential paths are skipped (their
+	// numbering is still checked at the plan level when small enough). Zero
+	// means DefaultMaxEnumPaths.
+	MaxEnumPaths int64
+}
+
+// DefaultMaxEnumPaths keeps full-program verification fast while covering
+// every procedure of the workload suite (the largest is well under this).
+const DefaultMaxEnumPaths = int64(1) << 14
+
+// Verify runs every checker applicable to the plan's mode and returns the
+// findings sorted deterministically. An empty slice means the instrumented
+// program passed.
+func Verify(plan *instrument.Plan) []Finding {
+	return VerifyOpts(plan, Options{})
+}
+
+// VerifyOpts is Verify with explicit bounds.
+func VerifyOpts(plan *instrument.Plan, opts Options) []Finding {
+	if opts.MaxEnumPaths == 0 {
+		opts.MaxEnumPaths = DefaultMaxEnumPaths
+	}
+	v := &verifier{plan: plan, opts: opts}
+	v.checkWellFormed()
+	for id := range plan.Prog.Procs {
+		if plan.Mode.UsesPaths() {
+			v.checkPathSums(id)
+		}
+		if plan.Mode == instrument.ModeBlockHW {
+			v.checkBlockSlots(id)
+		}
+		if plan.Mode == instrument.ModePathHW || plan.Mode == instrument.ModeBlockHW {
+			v.checkSaveRestore(id)
+		}
+		if plan.Mode.UsesCCT() {
+			v.checkCCTBalance(id)
+		}
+	}
+	sort.Slice(v.findings, func(i, j int) bool {
+		a, b := v.findings[i], v.findings[j]
+		if a.ProcID != b.ProcID {
+			return a.ProcID < b.ProcID
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		return a.Msg < b.Msg
+	})
+	return v.findings
+}
+
+// VerifyError wraps Verify for use as an error-returning hook: nil when
+// clean, else an error listing every finding.
+func VerifyError(plan *instrument.Plan) error {
+	fs := Verify(plan)
+	if len(fs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(fs))
+	for i, f := range fs {
+		lines[i] = f.String()
+	}
+	return fmt.Errorf("ppvet: %d finding(s):\n  %s", len(fs), strings.Join(lines, "\n  "))
+}
+
+type verifier struct {
+	plan     *instrument.Plan
+	opts     Options
+	findings []Finding
+}
+
+func (v *verifier) addf(check string, procID, block, instr int, format string, args ...any) {
+	name := ""
+	if procID >= 0 && procID < len(v.plan.Prog.Procs) {
+		name = v.plan.Prog.Procs[procID].Name
+	}
+	v.findings = append(v.findings, Finding{
+		Check: check, Proc: name, ProcID: procID, Block: block, Instr: instr,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,45 @@
+package ppvet
+
+import (
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/workload"
+)
+
+var allModes = []instrument.Mode{
+	instrument.ModeEdgeCount,
+	instrument.ModePathFreq,
+	instrument.ModePathHW,
+	instrument.ModeContextHW,
+	instrument.ModeContextFlow,
+	instrument.ModeContextProbesOnly,
+	instrument.ModeBlockHW,
+}
+
+// TestVerifyCleanOnSuite: the verifier accepts every workload under every
+// instrumentation mode and both metric schemas — the positive half of the
+// checker matrix (the negative half seeds defects below).
+func TestVerifyCleanOnSuite(t *testing.T) {
+	schemas := []int{0, 4} // classic UltraSPARC pair, 4-event MetricSet
+	for _, w := range workload.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(workload.Test)
+			for _, mode := range allModes {
+				for _, nc := range schemas {
+					opts := instrument.DefaultOptions(mode)
+					opts.NumCounters = nc
+					opts.CCTMetrics = 0 // derive from schema width
+					plan, err := instrument.Instrument(prog, opts)
+					if err != nil {
+						t.Fatalf("mode %v/%d-event: %v", mode, nc, err)
+					}
+					for _, f := range Verify(plan) {
+						t.Errorf("mode %v/%d-event: %s", mode, nc, f)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package ppvet
+
+import (
+	"pathprof/internal/dataflow"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+)
+
+// checkSaveRestore proves counter save/restore balance for the HW modes:
+// every path through the procedure saves each counter pair exactly once on
+// entry and restores it exactly once before return, nothing clobbers the
+// saved value while it is held, and the instrumentation's registers are
+// disjoint from the program's. The proof is the definite-pairing dataflow
+// analysis, one instance per counter pair, plus liveness and reaching-defs
+// side conditions.
+func (v *verifier) checkSaveRestore(id int) {
+	pp := v.plan.Procs[id]
+	p := v.plan.Prog.Procs[id]
+	orig := v.plan.Orig.Procs[id]
+	ri := pp.Regs
+	if ri == nil {
+		v.addf("saverestore", id, -1, -1, "no register plan recorded")
+		return
+	}
+
+	// Reserved registers must be untouched by the original procedure; a
+	// probe writing a register the program holds live would corrupt it.
+	used := orig.UsedRegs()
+	for _, r := range ri.Reserved {
+		if used[r] {
+			v.addf("saverestore", id, -1, -1, "reserved register r%d is used by the original procedure", r)
+		}
+	}
+
+	// No reserved register may be live into the entry block: each is defined
+	// by the entry instrumentation before any use, so a live-in reserved
+	// register means an initialization (zero, path reset, counter save) was
+	// dropped.
+	lv := dataflow.Liveness(p)
+	for _, r := range ri.Reserved {
+		if lv.LiveIn[0].Has(r) {
+			v.addf("saverestore", id, 0, -1, "reserved register r%d live into entry: missing initialization", r)
+		}
+	}
+
+	for pr := 0; pr < ri.Pairs; pr++ {
+		classify := saveRestoreClassifier(ri, pr)
+		res := dataflow.Pairing(p, classify, true)
+		for _, viol := range res.Violations {
+			v.addf("saverestore", id, int(viol.Block), viol.Instr, "pair %d: %s (state %s)", pr, viol.Kind, viol.State)
+		}
+		if len(res.Violations) > 0 || ri.Spill {
+			continue
+		}
+		// Direct mode: the value written back by each restore must be
+		// exactly the entry save — a single reaching definition, and that
+		// definition the saving RdPIC.
+		rd := dataflow.ReachingDefs(p)
+		save := ri.SaveReg(pr)
+		for _, b := range p.Blocks {
+			for i, in := range b.Instrs {
+				if classify(b, i, in) != dataflow.PairRelease {
+					continue
+				}
+				defs := rd.ReachingAt(b.ID, i, save)
+				if len(defs) != 1 {
+					v.addf("saverestore", id, int(b.ID), i, "pair %d: restore sees %d reaching defs of r%d, want 1", pr, len(defs), save)
+					continue
+				}
+				d := p.Blocks[defs[0].Block].Instrs[defs[0].Instr]
+				if d.Op != ir.RdPIC || d.Imm != int64(pr) {
+					v.addf("saverestore", id, int(b.ID), i, "pair %d: restored value defined by %q, not the entry save", pr, d)
+				}
+			}
+		}
+	}
+}
+
+// saveRestoreClassifier builds the pairing event map for counter pair pr.
+//
+// Direct mode: the save is RdPIC into the dedicated save register (acquire),
+// the restore is WrPIC from it (release), zero-writes from the zero register
+// are requires (legal only while saved), and any other write to the save
+// register is a clobber.
+//
+// Spill mode: the save is the Store of a just-read pair into the frame's
+// save slot, the restore is a WrPIC fed by a Load from that slot, zero
+// writes are requires, and other stores to the save slot are clobbers.
+func saveRestoreClassifier(ri *instrument.RegInfo, pr int) func(b *ir.Block, idx int, in ir.Instr) dataflow.PairEvent {
+	if !ri.Spill {
+		save := ri.SaveReg(pr)
+		return func(b *ir.Block, idx int, in ir.Instr) dataflow.PairEvent {
+			switch {
+			case in.Op == ir.RdPIC && in.Imm == int64(pr) && in.Rd == save:
+				return dataflow.PairAcquire
+			case in.Op == ir.WrPIC && in.Imm == int64(pr) && in.Rs == save:
+				return dataflow.PairRelease
+			case in.Op == ir.WrPIC && in.Imm == int64(pr):
+				return dataflow.PairRequire // counter restart while saved
+			case dataflow.Defs(in).Has(save):
+				return dataflow.PairClobber
+			}
+			return dataflow.PairNone
+		}
+	}
+	slot := ri.SlotSave(pr)
+	return func(b *ir.Block, idx int, in ir.Instr) dataflow.PairEvent {
+		switch in.Op {
+		case ir.Store:
+			if in.Rs != ri.Frame || in.Imm != slot {
+				return dataflow.PairNone
+			}
+			if idx > 0 {
+				prev := b.Instrs[idx-1]
+				if prev.Op == ir.RdPIC && prev.Imm == int64(pr) && prev.Rd == in.Rd {
+					return dataflow.PairAcquire
+				}
+			}
+			return dataflow.PairClobber
+		case ir.WrPIC:
+			if in.Imm != int64(pr) {
+				return dataflow.PairNone
+			}
+			if idx > 0 {
+				prev := b.Instrs[idx-1]
+				if prev.Op == ir.Load && prev.Rd == in.Rs && prev.Rs == ri.Frame && prev.Imm == slot {
+					return dataflow.PairRelease
+				}
+			}
+			return dataflow.PairRequire // counter restart while saved
+		}
+		return dataflow.PairNone
+	}
+}

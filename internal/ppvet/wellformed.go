@@ -1,0 +1,239 @@
+package ppvet
+
+import (
+	"pathprof/internal/cfg"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+)
+
+// checkWellFormed validates structural invariants of the instrumented
+// program that the decoders rely on but ir.Validate does not enforce: the
+// entry-split discipline, backedge-transform bookkeeping, the edge-profiling
+// spanning-tree partition, and plan/CCT metadata consistency.
+func (v *verifier) checkWellFormed() {
+	plan := v.plan
+
+	procID := make(map[string]int, len(plan.Prog.Procs))
+	for i, p := range plan.Prog.Procs {
+		procID[p.Name] = i
+	}
+	for _, pe := range ir.ValidateAll(plan.Prog) {
+		id, ok := procID[pe.Proc]
+		if !ok {
+			id = -1
+		}
+		v.addf("wellformed", id, pe.Block, pe.Instr, "%s", pe.Msg)
+	}
+
+	for id, p := range plan.Prog.Procs {
+		pp := plan.Procs[id]
+		if pp == nil || pp.BaseBlocks == 0 {
+			continue // not instrumented (ModeNone)
+		}
+
+		// Entry-split discipline: every pass runs behind splitEntry, so the
+		// entry block holds only instrumentation and nothing may jump to it
+		// (path numbering and probe placement both assume this).
+		for _, b := range p.Blocks {
+			for slot, s := range b.Succs {
+				if s == 0 {
+					v.addf("wellformed", id, int(b.ID), -1, "successor slot %d targets the entry block: entry split violated", slot)
+				}
+			}
+		}
+		if pp.BaseBlocks > len(p.Blocks) {
+			v.addf("wellformed", id, -1, -1, "BaseBlocks %d exceeds block count %d", pp.BaseBlocks, len(p.Blocks))
+			continue
+		}
+
+		// Backedge transform: the final CFG's backedges must be exactly the
+		// ones the numbering transformed, or the reset/counting code is
+		// attached to the wrong edges.
+		if nm := pp.Numbering; nm != nil {
+			if got := len(cfg.Backedges(p)); got != len(nm.Backedges) {
+				v.addf("wellformed", id, -1, -1, "final CFG has %d backedges, numbering transformed %d", got, len(nm.Backedges))
+			}
+		}
+
+		if plan.Mode == instrument.ModeEdgeCount {
+			v.checkEdgePlan(id)
+		}
+	}
+
+	// CCT metadata: the runtime sizes per-record path vectors and call-site
+	// arrays from CCTInfo, so it must agree with the per-proc plans.
+	if plan.Mode.UsesCCT() {
+		if len(plan.CCTInfo) != len(plan.Prog.Procs) {
+			v.addf("wellformed", -1, -1, -1, "CCTInfo has %d entries for %d procedures", len(plan.CCTInfo), len(plan.Prog.Procs))
+			return
+		}
+		for id, ci := range plan.CCTInfo {
+			pp := plan.Procs[id]
+			if ci.Name != plan.Prog.Procs[id].Name {
+				v.addf("wellformed", id, -1, -1, "CCTInfo name %q does not match procedure %q", ci.Name, plan.Prog.Procs[id].Name)
+			}
+			if ci.NumSites != pp.NumSites {
+				v.addf("wellformed", id, -1, -1, "CCTInfo records %d sites, plan has %d", ci.NumSites, pp.NumSites)
+			}
+			if nm := pp.Numbering; nm != nil && ci.NumPaths != nm.NumPaths {
+				v.addf("wellformed", id, -1, -1, "CCTInfo records %d paths, numbering has %d", ci.NumPaths, nm.NumPaths)
+			}
+		}
+	}
+}
+
+// checkEdgePlan proves the edge-profiling bookkeeping: the recorded chords
+// and tree edges exactly partition the pre-instrumentation CFG's edges, each
+// ref still leads to its recorded target through any pass-through block the
+// editor inserted, and the tree (plus the virtual EXIT→ENTRY edge) spans the
+// CFG acyclically — the two properties flow-conservation decoding needs.
+func (v *verifier) checkEdgePlan(id int) {
+	pp := v.plan.Procs[id]
+	p := v.plan.Prog.Procs[id]
+	base := pp.BaseBlocks
+
+	// resolve follows (from, slot) through inserted pass-through blocks
+	// (IDs at or above BaseBlocks, straight-line single-successor) back to
+	// the base-CFG target.
+	resolve := func(from ir.BlockID, slot int) (ir.BlockID, bool) {
+		if int(from) >= len(p.Blocks) || slot < 0 || slot >= len(p.Blocks[from].Succs) {
+			return 0, false
+		}
+		t := p.Blocks[from].Succs[slot]
+		for hops := 0; int(t) >= base; hops++ {
+			tb := p.Blocks[t]
+			if len(tb.Succs) != 1 || hops > len(p.Blocks) {
+				return 0, false
+			}
+			t = tb.Succs[0]
+		}
+		return t, true
+	}
+
+	type key struct {
+		from ir.BlockID
+		slot int
+	}
+	cover := map[key]string{}
+	checkRefs := func(refs []instrument.EdgeRef, kind string) {
+		for _, r := range refs {
+			if int(r.From) >= base {
+				v.addf("wellformed", id, int(r.From), -1, "%s edge originates in an inserted block", kind)
+				continue
+			}
+			k := key{r.From, r.Slot}
+			if prev, dup := cover[k]; dup {
+				v.addf("wellformed", id, int(r.From), -1, "edge slot %d recorded as both %s and %s", r.Slot, prev, kind)
+				continue
+			}
+			cover[k] = kind
+			if t, ok := resolve(r.From, r.Slot); !ok || t != r.To {
+				v.addf("wellformed", id, int(r.From), -1, "%s edge slot %d no longer reaches b%d", kind, r.Slot, r.To)
+			}
+		}
+	}
+	checkRefs(pp.EdgeTree, "tree")
+	checkRefs(pp.EdgeChords, "chord")
+
+	// Every base edge must be covered by exactly one ref (uncounted,
+	// unrecorded edges would make the flow system underdetermined).
+	for _, b := range p.Blocks {
+		if int(b.ID) >= base {
+			continue
+		}
+		for slot := range b.Succs {
+			if _, ok := cover[key{b.ID, slot}]; !ok {
+				v.addf("wellformed", id, int(b.ID), -1, "edge slot %d is neither a chord nor a tree edge", slot)
+			}
+		}
+	}
+
+	// The tree plus the virtual EXIT→ENTRY edge must span the base CFG
+	// without cycles: leaf elimination then solves every unknown.
+	parent := make([]int, base)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		return true
+	}
+	if int(p.ExitBlock) < base {
+		union(int(p.ExitBlock), 0)
+	}
+	for _, te := range pp.EdgeTree {
+		if int(te.From) >= base || int(te.To) >= base {
+			continue // already reported above
+		}
+		if !union(int(te.From), int(te.To)) {
+			v.addf("wellformed", id, int(te.From), -1, "tree edge to b%d closes a cycle in the spanning tree", te.To)
+		}
+	}
+	root := find(0)
+	for b := 0; b < base; b++ {
+		if find(b) != root {
+			v.addf("wellformed", id, b, -1, "spanning tree does not reach this block")
+		}
+	}
+}
+
+// checkBlockSlots proves the ModeBlockHW slot discipline: the plan reserves
+// one frequency slot per block, and every block's emitted code bumps exactly
+// its own slot (frequency and metric accumulators alike), so the decoder's
+// block-indexed reads see the right counts.
+func (v *verifier) checkBlockSlots(id int) {
+	pp := v.plan.Procs[id]
+	p := v.plan.Prog.Procs[id]
+	if pp.BlockCount != int64(len(p.Blocks)) {
+		v.addf("blockslots", id, -1, -1, "plan reserves %d block slots, procedure has %d blocks", pp.BlockCount, len(p.Blocks))
+	}
+	if pp.FreqBase == 0 {
+		v.addf("blockslots", id, -1, -1, "no frequency table allocated")
+		return
+	}
+	isAcc := make(map[uint64]bool, len(pp.AccBases))
+	for _, a := range pp.AccBases {
+		if a != 0 {
+			isAcc[a] = true
+		}
+	}
+	for _, b := range p.Blocks {
+		// A fresh abstract state per block: the block index is materialized
+		// by a MovI inside the block, so intra-block interpretation suffices
+		// to recover every StoreIdx index operand.
+		st := newAbsState()
+		freqStores := 0
+		for i, in := range b.Instrs {
+			if in.Op == ir.StoreIdx {
+				a := st.regs[in.Rt]
+				switch {
+				case uint64(in.Imm) == pp.FreqBase:
+					freqStores++
+					if a.k != avConst || a.c != int64(b.ID) {
+						v.addf("blockslots", id, int(b.ID), i, "frequency store indexes slot %v, want block %d", a, b.ID)
+					}
+				case isAcc[uint64(in.Imm)]:
+					if a.k != avConst || a.c != int64(b.ID) {
+						v.addf("blockslots", id, int(b.ID), i, "accumulator store indexes slot %v, want block %d", a, b.ID)
+					}
+				}
+			}
+			st.step(in)
+		}
+		if freqStores != 1 {
+			v.addf("blockslots", id, int(b.ID), -1, "%d frequency increments, want exactly 1", freqStores)
+		}
+	}
+}

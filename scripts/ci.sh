@@ -8,6 +8,18 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Deeper lint when available: staticcheck is pinned by version so CI results
+# are reproducible; environments without it (or with a different version)
+# skip the step rather than fail.
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2025.1}"
+if command -v staticcheck >/dev/null 2>&1 &&
+	staticcheck -version 2>/dev/null | grep -q "$STATICCHECK_VERSION"; then
+	staticcheck ./...
+else
+	echo "staticcheck $STATICCHECK_VERSION not available; skipping"
+fi
+
 go test -race ./...
 go test -run='^$' -bench=. -benchtime=1x ./...
 
@@ -32,7 +44,19 @@ echo "$out"
 echo "$out" | grep -q 'BenchmarkWireIngest'
 test -s BENCH_wire.json
 
+# Static instrumentation verification: ppvet must find nothing across every
+# workload x instrumentation mode, under both the classic two-event schema
+# and a four-event MetricSet (exercising the N-counter save/restore and
+# accumulator layouts).
+go run ./cmd/ppvet -workload all -mode all -events dcache-miss,insts
+go run ./cmd/ppvet -workload all -mode all -events dcache-miss,icache-miss,mispredict,insts
+
 # Decoder hardening: the fuzz targets must survive a short smoke run
 # (corrupt and truncated input may error, never panic).
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=5s ./internal/profile
+
+# Differential instrumentation fuzz: random testgen programs, instrumented
+# in every mode, must verify clean (any finding is an instrumenter or
+# checker bug).
+go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=5s ./internal/ppvet
