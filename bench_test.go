@@ -92,11 +92,13 @@ func TestMain(m *testing.M) {
 		// tier can be tracked release to release without diffing against
 		// the table-regeneration benchmarks. The Wire match runs first:
 		// BenchmarkWireEncodeCCT and friends belong to the wire log.
-		var cctRecs, wireRecs, expRecs []benchRecord
+		var cctRecs, wireRecs, ingestRecs, expRecs []benchRecord
 		for _, r := range recs {
 			switch {
 			case strings.Contains(r.Name, "Wire"):
 				wireRecs = append(wireRecs, r)
+			case strings.Contains(r.Name, "Ingest"):
+				ingestRecs = append(ingestRecs, r)
 			case strings.Contains(r.Name, "CCT"):
 				cctRecs = append(cctRecs, r)
 			default:
@@ -110,6 +112,9 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 		if err := writeBenchLog("BENCH_wire.json", wireRecs); err != nil {
+			code = 1
+		}
+		if err := writeBenchLog("BENCH_ingest.json", ingestRecs); err != nil {
 			code = 1
 		}
 	}
@@ -1056,13 +1061,18 @@ func BenchmarkWireDecodeProfile(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
 	b.ResetTimer()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	for i := 0; i < b.N; i++ {
 		if _, err := wire.DecodeProfile(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
 		}
 	}
+	runtime.ReadMemStats(&ms1)
 	b.StopTimer()
-	recordBench(b, nil)
+	recordBench(b, map[string]float64{
+		"allocs-per-op": float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
+	})
 }
 
 func BenchmarkWireEncodeCCT(b *testing.B) {
@@ -1137,5 +1147,106 @@ func BenchmarkWireIngest(b *testing.B) {
 	recordBench(b, map[string]float64{
 		"envelope-bytes": float64(buf.Len()),
 		"ingested-ccts":  float64(m.IngestedCCTs),
+	})
+}
+
+// --- batched ingest (BENCH_ingest.json) ---
+
+// ingestBenchFrame builds one wire-v3 frame of n envelopes alternating
+// between the benchmark profile and CCT export.
+func ingestBenchFrame(b *testing.B, n int) []byte {
+	p, ex := wireBenchData(b)
+	bw := wire.NewBatchWriter()
+	for i := 0; i < n; i++ {
+		var err error
+		if i%2 == 0 {
+			err = bw.AddProfile(p)
+		} else {
+			err = bw.AddExport(ex)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bw.Frame()
+}
+
+// BenchmarkIngestSinglePOST is the baseline the batched path is measured
+// against: one envelope per POST over loopback HTTP, i.e. one iteration
+// is one ingested envelope.
+func BenchmarkIngestSinglePOST(b *testing.B) {
+	p, _ := wireBenchData(b)
+	c := collector.New(collector.Config{Shards: 4})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	cl := &collector.Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.PushProfile(ctx, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, map[string]float64{
+		"envelopes-per-op": 1,
+		"ns-per-envelope":  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	})
+}
+
+// BenchmarkIngestBatchPOST posts one 64-envelope wire-v3 frame per
+// iteration; ns-per-envelope divides out the batch size for direct
+// comparison with BenchmarkIngestSinglePOST.
+func BenchmarkIngestBatchPOST(b *testing.B) {
+	const batch = 64
+	frame := ingestBenchFrame(b, batch)
+	c := collector.New(collector.Config{Shards: 4})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	cl := &collector.Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+	ctx := context.Background()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.PushFrame(ctx, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, map[string]float64{
+		"envelopes-per-op": batch,
+		"frame-bytes":      float64(len(frame)),
+		"ns-per-envelope":  float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch),
+	})
+}
+
+// BenchmarkIngestFrameFold isolates the server-side decode-to-shard loop
+// (no HTTP): folding a 64-envelope frame into warm shard aggregates.
+// This is the path that must not allocate — ci.sh gates on 0 allocs/op.
+func BenchmarkIngestFrameFold(b *testing.B) {
+	const batch = 64
+	frame := ingestBenchFrame(b, batch)
+	c := collector.New(collector.Config{Shards: 4})
+	for i := 0; i < 3; i++ { // graft aggregates, warm the scratch pool
+		if _, _, err := c.IngestFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.IngestFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	b.StopTimer()
+	recordBench(b, map[string]float64{
+		"envelopes-per-op": batch,
+		"ns-per-envelope":  float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch),
+		"allocs-per-op":    float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
 	})
 }

@@ -6,7 +6,21 @@
 // data:
 //
 //	ppd serve [-addr :7997] [-shards 4] [-max-body 64MiB]
-//	          [-max-concurrent 64] [-timeout 30s]
+//	          [-max-concurrent 64] [-max-queue 256] [-retry-after 1s]
+//	          [-timeout 30s]
+//
+// When the concurrency slots and wait queue are full, serve sheds new
+// pushes with 429 + Retry-After; push and relay clients back off and
+// retry automatically.
+//
+// Relay mode runs a local collector that forwards: leaf producers push
+// to the relay, which pre-merges their envelopes and periodically
+// pushes one batched frame per interval upstream. Chain relays to build
+// a fan-in tree whose root sees one pre-merged push stream per child
+// instead of one per producer:
+//
+//	ppd relay -addr :7998 -upstream http://root:7997
+//	          [-interval 1s] [-batch 64] [-shards 4]
 //
 // Push mode runs instrumented workloads locally and uploads what they
 // produce — CCT-building modes contribute their calling context tree,
@@ -15,10 +29,13 @@
 //	ppd push -addr http://host:7997 -workload compress[,objdb,...]
 //	         [-mode combined|flow|flowhw|context|block] [-scale test|ref]
 //	         [-events dcache-miss,insts] [-runs 1] [-parallel N]
+//	         [-batch 1] [-max-wait 1s]
 //
 // -events takes any number of comma-separated event names; the pushed
 // profiles carry the schema, and the collector refuses to merge pushes
-// whose schemas disagree (HTTP 409).
+// whose schemas disagree (HTTP 409). -batch > 1 coalesces that many
+// envelopes into one wire-v3 frame per POST (flushed early after
+// -max-wait), which is how large producer fleets should push.
 //
 // Query mode fetches a rendered table from a running daemon ("metrics"
 // renders per-program totals under the schema's named columns):
@@ -58,6 +75,8 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		serve(os.Args[2:])
+	case "relay":
+		relay(os.Args[2:])
 	case "push":
 		push(os.Args[2:])
 	case "query":
@@ -68,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ppd serve|push|query [flags] (see -h of each subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: ppd serve|relay|push|query [flags] (see -h of each subcommand)")
 	os.Exit(2)
 }
 
@@ -78,6 +97,8 @@ func serve(args []string) {
 	shards := fs.Int("shards", 4, "aggregate shards")
 	maxBody := fs.Int64("max-body", 64<<20, "max request body bytes")
 	maxConc := fs.Int("max-concurrent", 64, "max concurrent ingests")
+	maxQueue := fs.Int("max-queue", 256, "max ingests waiting for a slot before shedding with 429")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-ingest request timeout")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget")
 	fs.Parse(args)
@@ -86,6 +107,8 @@ func serve(args []string) {
 		Shards:         *shards,
 		MaxBodyBytes:   *maxBody,
 		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		RetryAfter:     *retryAfter,
 		RequestTimeout: *timeout,
 	})
 	srv := &http.Server{Addr: *addr, Handler: c.Handler()}
@@ -119,6 +142,60 @@ func serve(args []string) {
 		m.IngestedProfiles, m.IngestedCCTs, m.IngestedBytes)
 }
 
+func relay(args []string) {
+	fs := flag.NewFlagSet("ppd relay", flag.ExitOnError)
+	addr := fs.String("addr", ":7998", "listen address for leaf producers")
+	upstream := fs.String("upstream", "", "base URL of the upstream collector (required)")
+	interval := fs.Duration("interval", time.Second, "upstream flush period")
+	batch := fs.Int("batch", 64, "max envelopes per upstream frame")
+	shards := fs.Int("shards", 4, "aggregate shards")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget")
+	fs.Parse(args)
+
+	if *upstream == "" {
+		log.Fatal("relay needs -upstream http://host:port")
+	}
+	c := collector.New(collector.Config{Shards: *shards})
+	r := &collector.Relay{
+		Local:    c,
+		Upstream: &collector.Client{BaseURL: strings.TrimRight(*upstream, "/"), Retry: &collector.RetryPolicy{}},
+		Interval: *interval,
+		MaxItems: *batch,
+	}
+	srv := &http.Server{Addr: *addr, Handler: c.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		log.Printf("draining (up to %v)...", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := c.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := r.Stop(ctx); err != nil {
+			log.Printf("final upstream flush: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	r.Start()
+	log.Printf("relay listening on %s, forwarding to %s every %v (batch %d)",
+		*addr, *upstream, *interval, *batch)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	st := r.Stats()
+	log.Printf("relayed %d envelopes in %d frames (%d flush failures)",
+		st.EnvelopesPushed, st.FramesPushed, st.FlushFailures)
+}
+
 func push(args []string) {
 	fs := flag.NewFlagSet("ppd push", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:7997", "collector base URL")
@@ -128,6 +205,8 @@ func push(args []string) {
 	events := fs.String("events", "dcache-miss,insts", "comma-separated event selection (any number of names)")
 	runs := fs.Int("runs", 1, "independent instrumented runs to push per workload")
 	parallel := fs.Int("parallel", 0, "concurrent pushers (0 = one per workload)")
+	batch := fs.Int("batch", 1, "envelopes per POST (>1 batches into wire-v3 frames)")
+	maxWait := fs.Duration("max-wait", time.Second, "flush a partial batch this long after its first envelope")
 	fs.Parse(args)
 
 	if *names == "" {
@@ -156,7 +235,11 @@ func push(args []string) {
 
 	s := experiments.NewSession(scale)
 	s.Workloads = suite
-	cl := &collector.Client{BaseURL: strings.TrimRight(*addr, "/")}
+	cl := &collector.Client{BaseURL: strings.TrimRight(*addr, "/"), Retry: &collector.RetryPolicy{}}
+	var batcher *collector.Batcher
+	if *batch > 1 {
+		batcher = collector.NewBatcher(cl, *batch, *maxWait)
+	}
 	ctx := context.Background()
 
 	workers := *parallel
@@ -181,7 +264,11 @@ func push(args []string) {
 				cell, err := s.RunFreshSet(ctx, j.w, mode, set)
 				var resps []collector.IngestResponse
 				if err == nil {
-					resps, err = cl.PushRun(ctx, cell)
+					if batcher != nil {
+						err = batchRun(ctx, batcher, cell)
+					} else {
+						resps, err = cl.PushRun(ctx, cell)
+					}
 				}
 				mu.Lock()
 				if err != nil {
@@ -189,6 +276,8 @@ func push(args []string) {
 					if firstErr == nil {
 						firstErr = err
 					}
+				} else if batcher != nil {
+					log.Printf("%s run %d: batched", j.w.Name, j.run)
 				} else {
 					for _, r := range resps {
 						log.Printf("%s run %d: pushed %s %s", j.w.Name, j.run, r.Kind, r.Program)
@@ -205,9 +294,26 @@ func push(args []string) {
 	}
 	close(jobs)
 	wg.Wait()
+	if batcher != nil {
+		if err := batcher.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if firstErr != nil {
 		os.Exit(1)
 	}
+}
+
+// batchRun adds what one instrumented run produced to the shared batch
+// (the batcher flushes full frames inline).
+func batchRun(ctx context.Context, b *collector.Batcher, cell *experiments.Cell) error {
+	switch {
+	case cell.Tree != nil:
+		return b.AddExport(ctx, cell.Tree.Export(cell.Workload))
+	case cell.Profile != nil:
+		return b.AddProfile(ctx, cell.Profile)
+	}
+	return fmt.Errorf("%s %v run produced nothing to push", cell.Workload, cell.Mode)
 }
 
 func query(args []string) {

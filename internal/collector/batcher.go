@@ -1,0 +1,170 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pathprof/internal/cct"
+	"pathprof/internal/profile"
+	"pathprof/internal/wire"
+)
+
+// Batcher coalesces pushed envelopes into version-3 batched frames and
+// flushes them to the collector in one POST each — when MaxItems
+// envelopes have accumulated, when MaxWait has elapsed since the first
+// buffered envelope, or on an explicit Flush/Close. Producers that emit
+// one small profile per run amortize the HTTP round-trip across the
+// whole batch.
+//
+// Add methods encode immediately (into the pending frame), so the
+// caller may reuse or mutate the pushed value as soon as Add returns.
+// Flushing happens inline in whichever Add crosses MaxItems — the
+// producer is paced by the collector, which is the backpressure taking
+// effect — or on the MaxWait timer goroutine. A failed flush (after the
+// client's retries) is sticky: the batch is dropped and every later Add
+// returns the error, so a producer loop notices instead of silently
+// feeding a dead collector.
+type Batcher struct {
+	// Client performs the uploads. Give it a RetryPolicy to ride out
+	// collector backpressure.
+	Client *Client
+	// MaxItems flushes when this many envelopes are buffered
+	// (default 64).
+	MaxItems int
+	// MaxWait flushes a non-empty batch this long after its first
+	// envelope arrived (default 1s), bounding how stale buffered data
+	// can get at low push rates.
+	MaxWait time.Duration
+
+	mu     sync.Mutex
+	bw     *wire.BatchWriter
+	timer  *time.Timer
+	err    error // sticky first flush failure
+	closed bool
+}
+
+// NewBatcher returns a batcher pushing through cl. maxItems and maxWait
+// ≤ 0 select the defaults (64 envelopes, 1s).
+func NewBatcher(cl *Client, maxItems int, maxWait time.Duration) *Batcher {
+	return &Batcher{Client: cl, MaxItems: maxItems, MaxWait: maxWait}
+}
+
+func (b *Batcher) maxItems() int {
+	if b.MaxItems > 0 {
+		return b.MaxItems
+	}
+	return 64
+}
+
+func (b *Batcher) maxWait() time.Duration {
+	if b.MaxWait > 0 {
+		return b.MaxWait
+	}
+	return time.Second
+}
+
+// AddProfile buffers one path profile, flushing inline if the batch is
+// full.
+func (b *Batcher) AddProfile(ctx context.Context, p *profile.Profile) error {
+	return b.add(ctx, func(bw *wire.BatchWriter) error { return bw.AddProfile(p) })
+}
+
+// AddExport buffers one CCT export, flushing inline if the batch is
+// full.
+func (b *Batcher) AddExport(ctx context.Context, ex *cct.Export) error {
+	return b.add(ctx, func(bw *wire.BatchWriter) error { return bw.AddExport(ex) })
+}
+
+func (b *Batcher) add(ctx context.Context, enc func(*wire.BatchWriter) error) error {
+	b.mu.Lock()
+	if err := b.addErrLocked(); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	if b.bw == nil {
+		b.bw = wire.NewBatchWriter()
+	}
+	if err := enc(b.bw); err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	if b.bw.Items() == 1 {
+		// First envelope of a new batch: arm the staleness timer.
+		b.timer = time.AfterFunc(b.maxWait(), func() { b.Flush(context.Background()) })
+	}
+	if b.bw.Items() < b.maxItems() {
+		b.mu.Unlock()
+		return nil
+	}
+	frame, timer := b.takeLocked()
+	b.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	return b.push(ctx, frame)
+}
+
+func (b *Batcher) addErrLocked() error {
+	if b.closed {
+		return errors.New("collector: batcher is closed")
+	}
+	if b.err != nil {
+		return fmt.Errorf("collector: batcher failed: %w", b.err)
+	}
+	return nil
+}
+
+// takeLocked detaches the pending frame (nil if empty) and its timer.
+// Caller holds b.mu.
+func (b *Batcher) takeLocked() (frame []byte, timer *time.Timer) {
+	if b.bw == nil || b.bw.Items() == 0 {
+		return nil, nil
+	}
+	frame = b.bw.Frame()
+	b.bw.Reset()
+	timer, b.timer = b.timer, nil
+	return frame, timer
+}
+
+func (b *Batcher) push(ctx context.Context, frame []byte) error {
+	if frame == nil {
+		return nil
+	}
+	_, err := b.Client.PushFrame(ctx, frame)
+	if err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+	}
+	return err
+}
+
+// Flush pushes whatever is buffered, if anything. Safe to call
+// concurrently with Add.
+func (b *Batcher) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
+	frame, timer := b.takeLocked()
+	b.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	return b.push(ctx, frame)
+}
+
+// Close flushes the final partial batch and rejects further Adds.
+func (b *Batcher) Close(ctx context.Context) error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return b.Flush(ctx)
+}

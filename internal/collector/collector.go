@@ -1,19 +1,22 @@
 // Package collector implements the profile collection tier: an HTTP
 // service that ingests wire-format envelopes (internal/wire) POSTed by
-// many concurrent producers, merges them into sharded in-memory
-// aggregates, and answers queries by rendering the paper's tables from
-// the merged data.
+// many concurrent producers — singly or in version-3 batched frames —
+// folds them into sharded in-memory aggregates, and answers queries by
+// rendering the paper's tables from the merged data.
 //
 // Concurrency model: admission is bounded by a semaphore of
-// Config.MaxConcurrent slots; each admitted request is decoded off the
-// socket under a request timeout and a body size cap, then folded into
-// one of Config.Shards shard aggregates chosen round-robin. Shards
-// never mutate published values — merging replaces the map entry with a
-// freshly built aggregate (cct.MergeExports builds new nodes; profiles
-// are cloned before profile.Merge) — so queries snapshot pointers under
-// the shard lock and read without further locking. Because merging is
-// associative and commutative over these aggregates, the fully merged
-// result is independent of how requests were spread across shards.
+// Config.MaxConcurrent slots plus a wait queue of Config.MaxQueue
+// requests; beyond that new pushes are shed immediately with 429 and a
+// Retry-After hint, so overload degrades into client-side backoff
+// instead of a convoy of timed-out sockets. Each admitted request is
+// decoded under a request timeout and a body size cap, then folded into
+// one of Config.Shards shard aggregates chosen round-robin (batched
+// frames fold item by item, spreading one frame across shards). Shards
+// hold fold-in-place aggregates (see agg.go) that queries snapshot under
+// the shard lock, so readers never share mutable state with the ingest
+// path. Because merging is associative and commutative over these
+// aggregates, the fully merged result is independent of how requests
+// were spread across shards.
 //
 // Shutdown sets a draining flag (new ingests get 503) and waits for
 // in-flight merges, so no accepted profile is lost.
@@ -30,6 +33,7 @@ import (
 
 	"pathprof/internal/cct"
 	"pathprof/internal/profile"
+	"pathprof/internal/wire"
 )
 
 // Config bounds the collector's resource use. Zero values select the
@@ -41,8 +45,14 @@ type Config struct {
 	// uploads get 413.
 	MaxBodyBytes int64
 	// MaxConcurrent bounds admitted ingest requests (default 64); when
-	// all slots are busy new requests get 503.
+	// all slots are busy new requests wait in the queue.
 	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for a concurrency slot
+	// (default 256); beyond that pushes are shed with 429 + Retry-After.
+	MaxQueue int
+	// RetryAfter is the backoff hint sent with 429 responses
+	// (default 1s).
+	RetryAfter time.Duration
 	// RequestTimeout bounds one ingest from admission to merge
 	// (default 30s); slow clients get 408.
 	RequestTimeout time.Duration
@@ -58,41 +68,72 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 64
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
 	return c
 }
 
-// shard is one independent slice of the aggregate state. Map values are
-// immutable once published: merges replace entries.
+// shard is one independent slice of the aggregate state. Aggregates are
+// mutated in place under the shard lock; queries snapshot them (also
+// under the lock) before rendering.
 type shard struct {
 	mu       sync.Mutex
-	profiles map[string]*profile.Profile
-	exports  map[string]*cct.Export
+	profiles map[string]*profAgg
+	exports  map[string]*cctAgg
+}
+
+func newShard() *shard {
+	return &shard{
+		profiles: make(map[string]*profAgg),
+		exports:  make(map[string]*cctAgg),
+	}
 }
 
 // Metrics is a point-in-time snapshot of the collector's counters.
 type Metrics struct {
-	IngestedProfiles uint64 `json:"ingested_profiles"`
-	IngestedCCTs     uint64 `json:"ingested_ccts"`
-	IngestedBytes    uint64 `json:"ingested_bytes"`
-	RejectedBusy     uint64 `json:"rejected_busy"`
-	RejectedTooLarge uint64 `json:"rejected_too_large"`
-	RejectedTimeout  uint64 `json:"rejected_timeout"`
-	RejectedBad      uint64 `json:"rejected_bad"`
-	RejectedConflict uint64 `json:"rejected_conflict"`
-	RejectedDraining uint64 `json:"rejected_draining"`
-	Inflight         int64  `json:"inflight"`
-	Draining         bool   `json:"draining"`
+	IngestedProfiles  uint64 `json:"ingested_profiles"`
+	IngestedCCTs      uint64 `json:"ingested_ccts"`
+	IngestedFrames    uint64 `json:"ingested_frames"`
+	IngestedBytes     uint64 `json:"ingested_bytes"`
+	RejectedBusy      uint64 `json:"rejected_busy"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	RejectedTooLarge  uint64 `json:"rejected_too_large"`
+	RejectedTimeout   uint64 `json:"rejected_timeout"`
+	RejectedBad       uint64 `json:"rejected_bad"`
+	RejectedConflict  uint64 `json:"rejected_conflict"`
+	RejectedDraining  uint64 `json:"rejected_draining"`
+	Inflight          int64  `json:"inflight"`
+	QueueDepth        int64  `json:"queue_depth"`
+	Draining          bool   `json:"draining"`
+}
+
+// foldScratch bundles the reusable decode state one ingest needs: the
+// zero-copy frame parser, the item scratch structs, the ancestor map for
+// CCT folds, and a batch writer for converting single envelopes onto the
+// batch fold path. Pooled so steady-state ingest allocates nothing.
+type foldScratch struct {
+	frame wire.Frame
+	bp    wire.BatchProfile
+	bc    wire.BatchCCT
+	bw    wire.BatchWriter
+	buf   []byte
+	anc   []*aggNode
 }
 
 // Collector aggregates pushed profiles. Create one with New.
 type Collector struct {
-	cfg    Config
-	sem    chan struct{}
-	next   atomic.Uint64 // round-robin shard cursor
-	shards []*shard
+	cfg     Config
+	sem     chan struct{}
+	next    atomic.Uint64 // round-robin shard cursor
+	shards  []*shard
+	scratch sync.Pool // of *foldScratch
 
 	mu       sync.Mutex
 	draining bool
@@ -100,14 +141,17 @@ type Collector struct {
 
 	ingestedProfiles atomic.Uint64
 	ingestedCCTs     atomic.Uint64
+	ingestedFrames   atomic.Uint64
 	ingestedBytes    atomic.Uint64
 	rejectedBusy     atomic.Uint64
+	rejectedQueue    atomic.Uint64
 	rejectedTooBig   atomic.Uint64
 	rejectedTimeout  atomic.Uint64
 	rejectedBad      atomic.Uint64
 	rejectedConflict atomic.Uint64
 	rejectedDraining atomic.Uint64
 	inflightCount    atomic.Int64
+	queueDepth       atomic.Int64
 }
 
 // New creates a collector with cfg (zero fields defaulted).
@@ -118,11 +162,9 @@ func New(cfg Config) *Collector {
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		shards: make([]*shard, cfg.Shards),
 	}
+	c.scratch.New = func() any { return &foldScratch{} }
 	for i := range c.shards {
-		c.shards[i] = &shard{
-			profiles: make(map[string]*profile.Profile),
-			exports:  make(map[string]*cct.Export),
-		}
+		c.shards[i] = newShard()
 	}
 	return c
 }
@@ -136,17 +178,20 @@ func (c *Collector) Metrics() Metrics {
 	draining := c.draining
 	c.mu.Unlock()
 	return Metrics{
-		IngestedProfiles: c.ingestedProfiles.Load(),
-		IngestedCCTs:     c.ingestedCCTs.Load(),
-		IngestedBytes:    c.ingestedBytes.Load(),
-		RejectedBusy:     c.rejectedBusy.Load(),
-		RejectedTooLarge: c.rejectedTooBig.Load(),
-		RejectedTimeout:  c.rejectedTimeout.Load(),
-		RejectedBad:      c.rejectedBad.Load(),
-		RejectedConflict: c.rejectedConflict.Load(),
-		RejectedDraining: c.rejectedDraining.Load(),
-		Inflight:         c.inflightCount.Load(),
-		Draining:         draining,
+		IngestedProfiles:  c.ingestedProfiles.Load(),
+		IngestedCCTs:      c.ingestedCCTs.Load(),
+		IngestedFrames:    c.ingestedFrames.Load(),
+		IngestedBytes:     c.ingestedBytes.Load(),
+		RejectedBusy:      c.rejectedBusy.Load(),
+		RejectedQueueFull: c.rejectedQueue.Load(),
+		RejectedTooLarge:  c.rejectedTooBig.Load(),
+		RejectedTimeout:   c.rejectedTimeout.Load(),
+		RejectedBad:       c.rejectedBad.Load(),
+		RejectedConflict:  c.rejectedConflict.Load(),
+		RejectedDraining:  c.rejectedDraining.Load(),
+		Inflight:          c.inflightCount.Load(),
+		QueueDepth:        c.queueDepth.Load(),
+		Draining:          draining,
 	}
 }
 
@@ -195,51 +240,129 @@ type conflictError struct{ err error }
 func (e *conflictError) Error() string { return e.err.Error() }
 func (e *conflictError) Unwrap() error { return e.err }
 
-// ingestProfile folds p into a round-robin shard.
+func (c *Collector) getScratch() *foldScratch   { return c.scratch.Get().(*foldScratch) }
+func (c *Collector) putScratch(sc *foldScratch) { c.scratch.Put(sc) }
+
+// ingestProfile folds p into a round-robin shard (the v1/v2
+// single-envelope path).
 func (c *Collector) ingestProfile(p *profile.Profile) error {
 	sh := c.pick()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	cur, ok := sh.profiles[p.Program]
+	a, ok := sh.profiles[p.Program]
 	if !ok {
-		sh.profiles[p.Program] = p
+		sh.profiles[p.Program] = newProfAgg(p)
 		c.ingestedProfiles.Add(1)
 		return nil
 	}
-	if cur.Mode != p.Mode {
-		return &conflictError{fmt.Errorf("profile mode %q conflicts with aggregated mode %q", p.Mode, cur.Mode)}
+	if err := a.fold(p); err != nil {
+		return err
 	}
-	if cur.SchemaKey() != p.SchemaKey() {
-		return &conflictError{fmt.Errorf("profile metric schema %q conflicts with aggregated schema %q", p.SchemaKey(), cur.SchemaKey())}
-	}
-	merged := cloneProfile(cur)
-	if err := merged.Merge(p); err != nil {
-		return &conflictError{err}
-	}
-	sh.profiles[p.Program] = merged
 	c.ingestedProfiles.Add(1)
 	return nil
 }
 
-// ingestExport folds ex into a round-robin shard.
+// ingestExport folds ex into a round-robin shard. The export is
+// converted through the batch codec so the single-envelope path and the
+// frame path share one fold implementation.
 func (c *Collector) ingestExport(ex *cct.Export) error {
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	sc.bw.Reset()
+	if err := sc.bw.AddExport(ex); err != nil {
+		return err
+	}
+	sc.buf = sc.bw.AppendFrame(sc.buf[:0])
+	if err := sc.frame.Reset(sc.buf); err != nil {
+		return err
+	}
+	if err := sc.frame.DecodeCCT(0, &sc.bc); err != nil {
+		return err
+	}
+	return c.ingestBatchCCT(&sc.bc, sc)
+}
+
+// ingestBatchProfile folds one decoded batch profile item into a shard.
+func (c *Collector) ingestBatchProfile(bp *wire.BatchProfile, _ *foldScratch) error {
 	sh := c.pick()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	cur, ok := sh.exports[ex.Program]
+	a, ok := sh.profiles[string(bp.Program)] // string(…) key lookup does not allocate
 	if !ok {
-		sh.exports[ex.Program] = ex
+		a = newProfAggBatch(bp)
+		sh.profiles[a.program] = a
+		c.ingestedProfiles.Add(1)
+		return nil
+	}
+	if err := a.foldBatch(bp); err != nil {
+		return err
+	}
+	c.ingestedProfiles.Add(1)
+	return nil
+}
+
+// ingestBatchCCT folds one decoded batch CCT item into a shard.
+func (c *Collector) ingestBatchCCT(bc *wire.BatchCCT, sc *foldScratch) error {
+	sh := c.pick()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a, ok := sh.exports[string(bc.Program)]
+	if !ok {
+		agg, err := newCCTAgg(bc, sc)
+		if err != nil {
+			return err
+		}
+		sh.exports[agg.program] = agg
 		c.ingestedCCTs.Add(1)
 		return nil
 	}
-	merged, err := cct.MergeExports(cur, ex)
-	if err != nil {
-		return &conflictError{err}
+	if err := a.foldBatch(bc, sc); err != nil {
+		return err
 	}
-	merged.Program = cur.Program
-	sh.exports[ex.Program] = merged
 	c.ingestedCCTs.Add(1)
 	return nil
+}
+
+// IngestFrame decodes a version-3 batched frame and folds every item
+// into the shard aggregates. Items fold independently in frame order; on
+// a mid-frame error the items already folded stay applied, and the
+// returned counts say how many of each kind landed. Steady-state frames
+// from a stable producer population fold without allocating.
+func (c *Collector) IngestFrame(data []byte) (profiles, ccts int, err error) {
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	if err := sc.frame.Reset(data); err != nil {
+		return 0, 0, err
+	}
+	n := sc.frame.Items()
+	for i := 0; i < n; i++ {
+		switch sc.frame.Kind(i) {
+		case wire.KindProfile:
+			if err := sc.frame.DecodeProfile(i, &sc.bp); err != nil {
+				return profiles, ccts, err
+			}
+			if len(sc.bp.Program) == 0 {
+				return profiles, ccts, fmt.Errorf("frame item %d names no program", i)
+			}
+			if err := c.ingestBatchProfile(&sc.bp, sc); err != nil {
+				return profiles, ccts, err
+			}
+			profiles++
+		case wire.KindCCT:
+			if err := sc.frame.DecodeCCT(i, &sc.bc); err != nil {
+				return profiles, ccts, err
+			}
+			if len(sc.bc.Program) == 0 {
+				return profiles, ccts, fmt.Errorf("frame item %d names no program", i)
+			}
+			if err := c.ingestBatchCCT(&sc.bc, sc); err != nil {
+				return profiles, ccts, err
+			}
+			ccts++
+		}
+	}
+	c.ingestedFrames.Add(1)
+	return profiles, ccts, nil
 }
 
 func (c *Collector) pick() *shard {
@@ -268,18 +391,21 @@ func (c *Collector) Programs() []string {
 }
 
 // MergedExport returns the program's CCT aggregate merged across all
-// shards, or false when no shard holds one. The result shares nodes
-// with at most one shard aggregate when only one shard holds data;
-// callers must not mutate it.
+// shards, or false when no shard holds one. The result is a fresh
+// snapshot; callers may keep it as long as they like.
 func (c *Collector) MergedExport(program string) (*cct.Export, bool) {
 	var parts []*cct.Export
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		if ex, ok := sh.exports[program]; ok {
-			parts = append(parts, ex)
+		if a, ok := sh.exports[program]; ok {
+			parts = append(parts, a.snapshot())
 		}
 		sh.mu.Unlock()
 	}
+	return mergeExportParts(parts)
+}
+
+func mergeExportParts(parts []*cct.Export) (*cct.Export, bool) {
 	if len(parts) == 0 {
 		return nil, false
 	}
@@ -299,26 +425,70 @@ func (c *Collector) MergedExport(program string) (*cct.Export, bool) {
 
 // MergedProfile returns the program's path profile merged across all
 // shards, or false when no shard holds one. The result is always a
-// clone; callers may mutate it.
+// fresh snapshot; callers may mutate it.
 func (c *Collector) MergedProfile(program string) (*profile.Profile, bool) {
 	var parts []*profile.Profile
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		if p, ok := sh.profiles[program]; ok {
-			parts = append(parts, p)
+		if a, ok := sh.profiles[program]; ok {
+			parts = append(parts, a.snapshot())
 		}
 		sh.mu.Unlock()
 	}
+	return mergeProfileParts(parts)
+}
+
+func mergeProfileParts(parts []*profile.Profile) (*profile.Profile, bool) {
 	if len(parts) == 0 {
 		return nil, false
 	}
-	out := cloneProfile(parts[0])
+	out := parts[0]
 	for _, p := range parts[1:] {
 		if err := out.Merge(p); err != nil {
 			return out, true
 		}
 	}
 	return out, true
+}
+
+// Take removes and returns everything aggregated so far, merged across
+// shards per program and sorted by program name. Ingest continues
+// concurrently into fresh aggregates; this is the relay flush primitive
+// (see relay.go): a leaf collector periodically Takes its aggregate and
+// pushes it upstream as one batch.
+func (c *Collector) Take() ([]*profile.Profile, []*cct.Export) {
+	profParts := map[string][]*profile.Profile{}
+	exportParts := map[string][]*cct.Export{}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		pm, em := sh.profiles, sh.exports
+		sh.profiles = make(map[string]*profAgg)
+		sh.exports = make(map[string]*cctAgg)
+		sh.mu.Unlock()
+		// The swapped-out aggregates are exclusively owned now; snapshot
+		// them outside the shard lock.
+		for name, a := range pm {
+			profParts[name] = append(profParts[name], a.snapshot())
+		}
+		for name, a := range em {
+			exportParts[name] = append(exportParts[name], a.snapshot())
+		}
+	}
+	var profiles []*profile.Profile
+	for _, parts := range profParts {
+		if p, ok := mergeProfileParts(parts); ok {
+			profiles = append(profiles, p)
+		}
+	}
+	var exports []*cct.Export
+	for _, parts := range exportParts {
+		if ex, ok := mergeExportParts(parts); ok {
+			exports = append(exports, ex)
+		}
+	}
+	sort.Slice(profiles, func(i, j int) bool { return profiles[i].Program < profiles[j].Program })
+	sort.Slice(exports, func(i, j int) bool { return exports[i].Program < exports[j].Program })
+	return profiles, exports
 }
 
 // cloneProfile deep-copies p so merges never mutate published

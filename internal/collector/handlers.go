@@ -43,10 +43,15 @@ func (c *Collector) Handler() http.Handler {
 	return mux
 }
 
-// IngestResponse is the JSON body of a successful push.
+// IngestResponse is the JSON body of a successful push. Batched frames
+// additionally report how many envelopes of each kind the frame carried
+// (Kind is "batch" and Program is empty: one frame may span programs).
 type IngestResponse struct {
-	Kind    string `json:"kind"`
-	Program string `json:"program"`
+	Kind      string `json:"kind"`
+	Program   string `json:"program,omitempty"`
+	Envelopes int    `json:"envelopes,omitempty"`
+	Profiles  int    `json:"profiles,omitempty"`
+	CCTs      int    `json:"ccts,omitempty"`
 }
 
 func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -61,12 +66,27 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
 	defer cancel()
 
+	// Backpressure: when every concurrency slot is busy and the wait
+	// queue is full, shed the push immediately with 429 + Retry-After
+	// instead of letting a convoy build up toward the request timeout.
+	// Well-behaved clients (collector.Client with a RetryPolicy) back
+	// off and retry.
+	if q := c.queueDepth.Add(1); q > int64(c.cfg.MaxQueue) {
+		c.queueDepth.Add(-1)
+		c.rejectedQueue.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(c.cfg.RetryAfter)))
+		http.Error(w, "ingest queue is full", http.StatusTooManyRequests)
+		return
+	}
+
 	// Admission: wait for a concurrency slot, but never longer than the
 	// request timeout.
 	select {
 	case c.sem <- struct{}{}:
+		c.queueDepth.Add(-1)
 		defer func() { <-c.sem }()
 	case <-ctx.Done():
+		c.queueDepth.Add(-1)
 		c.rejectedBusy.Add(1)
 		http.Error(w, "too many concurrent pushes", http.StatusServiceUnavailable)
 		return
@@ -108,6 +128,27 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Batched frames take the zero-copy fold path: items decode into
+	// pooled scratch and fold straight into the shard aggregates without
+	// materializing intermediate Profile/Export values.
+	if wire.IsFrame(data) {
+		profiles, ccts, err := c.IngestFrame(data)
+		if err != nil {
+			var ce *conflictError
+			if errors.As(err, &ce) {
+				c.rejectedConflict.Add(1)
+				http.Error(w, err.Error(), http.StatusConflict)
+			} else {
+				c.rejectedBad.Add(1)
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		c.ingestedBytes.Add(uint64(len(data)))
+		writeJSON(w, IngestResponse{Kind: "batch", Envelopes: profiles + ccts, Profiles: profiles, CCTs: ccts})
+		return
+	}
+
 	pl, err := wire.Decode(bytes.NewReader(data))
 	if err != nil {
 		c.rejectedBad.Add(1)
@@ -138,6 +179,16 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	c.ingestedBytes.Add(uint64(len(data)))
 	writeJSON(w, IngestResponse{Kind: pl.Kind.String(), Program: pl.Program()})
+}
+
+// retryAfterSeconds rounds d up to whole seconds for the Retry-After
+// header (which has no sub-second form), with a 1s floor.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // abortBody forces pending and post-handler reads of the request body to

@@ -1,0 +1,5 @@
+//go:build !race
+
+package collector
+
+const raceEnabled = false

@@ -1,0 +1,175 @@
+package collector
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"pathprof/internal/wire"
+)
+
+// Relay turns a collector into an interior node of a fan-in tree: leaf
+// producers push to a nearby relay collector, which folds their
+// envelopes into its shard aggregates as usual, and a background loop
+// periodically Takes the merged aggregate and pushes it upstream as a
+// handful of batched frames — one pre-merged envelope per program
+// instead of one per producer push. Stacking relays gives each tier a
+// bounded fan-in, which is what lets a single root collector absorb
+// tens of thousands of producers.
+//
+// Because folding is associative and commutative, the root's merged
+// tables are byte-identical to what direct pushes would have produced,
+// whatever the relay topology or flush timing.
+//
+// A failed upstream push (after the client's retries) re-ingests the
+// taken envelopes locally, so data survives upstream outages and rides
+// along with the next flush.
+type Relay struct {
+	// Local is the collector absorbing leaf pushes; serve its Handler.
+	Local *Collector
+	// Upstream pushes the merged batches; give it a RetryPolicy.
+	Upstream *Client
+	// Interval is the flush period (default 1s).
+	Interval time.Duration
+	// MaxItems caps envelopes per upstream frame (default 64); a Take
+	// spanning more programs is split into multiple frames.
+	MaxItems int
+
+	framesPushed    atomic.Uint64
+	envelopesPushed atomic.Uint64
+	flushFailures   atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// RelayStats counts the relay's upstream traffic.
+type RelayStats struct {
+	FramesPushed    uint64 `json:"frames_pushed"`
+	EnvelopesPushed uint64 `json:"envelopes_pushed"`
+	FlushFailures   uint64 `json:"flush_failures"`
+}
+
+func (r *Relay) interval() time.Duration {
+	if r.Interval > 0 {
+		return r.Interval
+	}
+	return time.Second
+}
+
+func (r *Relay) maxItems() int {
+	if r.MaxItems > 0 {
+		return r.MaxItems
+	}
+	return 64
+}
+
+// Start launches the periodic flush loop. Call Stop to flush the tail
+// and halt.
+func (r *Relay) Start() {
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.FlushOnce(context.Background())
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the flush loop and pushes whatever the local collector
+// still holds. The local collector keeps serving; shut it down
+// separately.
+func (r *Relay) Stop(ctx context.Context) error {
+	if r.stop != nil {
+		close(r.stop)
+		<-r.done
+	}
+	return r.FlushOnce(ctx)
+}
+
+// Stats returns a snapshot of the relay's counters.
+func (r *Relay) Stats() RelayStats {
+	return RelayStats{
+		FramesPushed:    r.framesPushed.Load(),
+		EnvelopesPushed: r.envelopesPushed.Load(),
+		FlushFailures:   r.flushFailures.Load(),
+	}
+}
+
+// FlushOnce takes the local aggregate and pushes it upstream in frames
+// of at most MaxItems envelopes. On push failure the frame's envelopes
+// are folded back into the local collector and the first error is
+// returned after the remaining frames are attempted.
+func (r *Relay) FlushOnce(ctx context.Context) error {
+	profiles, exports := r.Local.Take()
+	if len(profiles) == 0 && len(exports) == 0 {
+		return nil
+	}
+
+	bw := wire.NewBatchWriter()
+	// Envelopes in the current frame, kept for local re-ingest if the
+	// push fails. Re-ingest cannot conflict: Take left fresh aggregates,
+	// and these envelopes came from mutually consistent ones.
+	var pendingP, pendingX []int // indices into profiles / exports
+	var firstErr error
+
+	push := func() {
+		if bw.Items() == 0 {
+			return
+		}
+		n := bw.Items()
+		_, err := r.Upstream.PushFrame(ctx, bw.Frame())
+		if err != nil {
+			r.flushFailures.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			for _, i := range pendingP {
+				r.Local.ingestProfile(profiles[i])
+			}
+			for _, i := range pendingX {
+				r.Local.ingestExport(exports[i])
+			}
+		} else {
+			r.framesPushed.Add(1)
+			r.envelopesPushed.Add(uint64(n))
+		}
+		bw.Reset()
+		pendingP, pendingX = pendingP[:0], pendingX[:0]
+	}
+
+	for i, p := range profiles {
+		if err := bw.AddProfile(p); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		pendingP = append(pendingP, i)
+		if bw.Items() >= r.maxItems() {
+			push()
+		}
+	}
+	for i, ex := range exports {
+		if err := bw.AddExport(ex); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		pendingX = append(pendingX, i)
+		if bw.Items() >= r.maxItems() {
+			push()
+		}
+	}
+	push()
+	return firstErr
+}

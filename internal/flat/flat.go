@@ -151,6 +151,21 @@ func (t *Table) grow() {
 	}
 }
 
+// Clone returns an independent copy of the table. The bucket array is
+// copied verbatim (same capacity, same slot layout), so a clone ranges in
+// the same order as its source.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		keys:   append([]int64(nil), t.keys...),
+		vals:   append([]int64(nil), t.vals...),
+		mask:   t.mask,
+		n:      t.n,
+		hasMin: t.hasMin,
+		minVal: t.minVal,
+	}
+	return c
+}
+
 // Range calls fn for every (key, value) pair in unspecified (but
 // deterministic for a given insertion history) order, stopping early if fn
 // returns false.

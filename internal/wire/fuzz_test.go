@@ -2,6 +2,8 @@ package wire_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"pathprof/internal/cct"
@@ -60,12 +62,43 @@ func seedEnvelopes() [][]byte {
 	if err := wire.EncodeExport(&xb, tr.Export("seed")); err != nil {
 		panic(err)
 	}
-	return [][]byte{pb.Bytes(), wb.Bytes(), xb.Bytes()}
+
+	// A v3 batched frame carrying all three payloads twice, so the corpus
+	// exercises the shared string table and both item kinds.
+	bw := wire.NewBatchWriter()
+	for i := 0; i < 2; i++ {
+		if err := bw.AddProfile(p); err != nil {
+			panic(err)
+		}
+		if err := bw.AddProfile(wide); err != nil {
+			panic(err)
+		}
+		if err := bw.AddExport(tr.Export("seed")); err != nil {
+			panic(err)
+		}
+	}
+	frame := bw.Frame()
+
+	// Deliberately damaged frame variants: truncated mid-batch, a flipped
+	// byte (CRC mismatch), and a duplicated section run with a valid CRC
+	// (so the duplicate-string-table validator is reached, not the
+	// checksum).
+	truncated := frame[:len(frame)*2/3]
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)/2] ^= 0x20
+	dupStrings := append([]byte(nil), frame[:6]...)
+	dupStrings = append(dupStrings, frame[6:len(frame)-5]...) // sections, sans end + CRC
+	dupStrings = append(dupStrings, frame[6:len(frame)-4]...) // sections again + end
+	sum := crc32.Checksum(dupStrings, crc32.MakeTable(crc32.Castagnoli))
+	dupStrings = binary.LittleEndian.AppendUint32(dupStrings, sum)
+
+	return [][]byte{pb.Bytes(), wb.Bytes(), xb.Bytes(), frame, truncated, flipped, dupStrings}
 }
 
 // FuzzDecode: arbitrary input must produce either a decoded payload or a
 // descriptive error — never a panic, and never unbounded allocation. A
-// successful decode must also re-encode.
+// successful decode must also re-encode, and batched frames must both
+// parse structurally and materialize every item (or error cleanly).
 func FuzzDecode(f *testing.F) {
 	for _, seed := range seedEnvelopes() {
 		f.Add(seed)
@@ -73,8 +106,44 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte("PPW1"))
 	f.Add([]byte("PPW1\x01\x02\x00"))
+	f.Add([]byte("PPW1\x03\x03\x00"))
 	f.Add([]byte("not an envelope at all"))
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if wire.IsFrame(data) {
+			fr, err := wire.ParseFrame(data)
+			if err != nil {
+				return
+			}
+			bw := wire.NewBatchWriter()
+			for i := 0; i < fr.Items(); i++ {
+				switch fr.Kind(i) {
+				case wire.KindProfile:
+					p, err := fr.ProfileAt(i)
+					if err != nil {
+						continue
+					}
+					if err := bw.AddProfile(p); err != nil {
+						t.Fatalf("decoded profile item failed to re-encode: %v", err)
+					}
+				case wire.KindCCT:
+					ex, err := fr.ExportAt(i)
+					if err != nil {
+						continue
+					}
+					if err := bw.AddExport(ex); err != nil {
+						t.Fatalf("decoded cct item failed to re-encode: %v", err)
+					}
+				default:
+					t.Fatalf("frame reported unknown item kind %v", fr.Kind(i))
+				}
+			}
+			if bw.Items() > 0 {
+				if _, err := wire.ParseFrame(bw.Frame()); err != nil {
+					t.Fatalf("re-encoded frame failed to parse: %v", err)
+				}
+			}
+			return
+		}
 		pl, err := wire.Decode(bytes.NewReader(data))
 		if err != nil {
 			return

@@ -162,6 +162,12 @@ func decodeProfileSections(d *decoder) (*profile.Profile, error) {
 			if err != nil {
 				return nil, d.errorf("proc section: %v", err)
 			}
+			if p.Procs == nil {
+				// Sections stream, so the proc count is unknown up front;
+				// start at a capacity that covers typical workloads in one
+				// allocation instead of growing through the doublings.
+				p.Procs = make([]*profile.ProcPaths, 0, 64)
+			}
 			p.Procs = append(p.Procs, pp)
 		default:
 			return nil, d.errorf("unexpected section %d in profile payload", id)

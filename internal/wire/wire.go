@@ -215,7 +215,8 @@ type decoder struct {
 	r       *bufio.Reader
 	crc     hash.Hash32
 	offset  int64
-	version byte // envelope format version, set by header()
+	version byte   // envelope format version, set by header()
+	buf     []byte // section payload buffer, reused across sections
 }
 
 func newDecoder(r io.Reader) *decoder {
@@ -253,12 +254,17 @@ func (d *decoder) eof(err error, what string) error {
 	return fmt.Errorf("wire: offset %d: reading %s: %w", d.offset, what, err)
 }
 
-// readFull reads exactly n bytes through the checksum. The allocation grows
-// with the bytes actually present, so a lying length field fails at the
-// true end of input instead of pre-allocating n bytes.
+// readFull reads exactly n bytes through the checksum into the decoder's
+// reusable payload buffer — section decoders copy everything they keep, so
+// one buffer serves every section of the envelope. Growth is chunked with
+// the bytes actually present, so a lying length field fails at the true
+// end of input instead of pre-allocating n bytes.
 func (d *decoder) readFull(n int) ([]byte, error) {
 	const chunk = 64 << 10
-	buf := make([]byte, 0, min(n, chunk))
+	buf := d.buf[:0]
+	if cap(buf) < n && cap(buf) < chunk {
+		buf = make([]byte, 0, min(n, chunk))
+	}
 	for len(buf) < n {
 		c := min(n-len(buf), chunk)
 		start := len(buf)
@@ -269,6 +275,7 @@ func (d *decoder) readFull(n int) ([]byte, error) {
 		d.crc.Write(buf[start:])
 		d.offset += int64(c)
 	}
+	d.buf = buf
 	return buf, nil
 }
 

@@ -44,6 +44,18 @@ echo "$out"
 echo "$out" | grep -q 'BenchmarkWireIngest'
 test -s BENCH_wire.json
 
+# Batched ingest: regenerate BENCH_ingest.json and gate the wire-v3
+# decode-to-shard loop on staying allocation-free in steady state.
+out="$(go test -run='^$' -bench='BenchmarkIngest' -benchmem -benchtime=200x .)"
+echo "$out"
+echo "$out" | grep 'BenchmarkIngestFrameFold' | grep -q ' 0 allocs/op'
+test -s BENCH_ingest.json
+
+# Fan-in load smoke: a scaled-down producer fleet through a two-level
+# relay tree must reproduce the local ground-truth tables byte for byte
+# (the full 10k-producer run is the test's default outside CI).
+PPD_FANIN_PRODUCERS=2000 go test -run='^TestRelayTreeFanIn$' -count=1 ./internal/collector
+
 # Static instrumentation verification: ppvet must find nothing across every
 # workload x instrumentation mode, under both the classic two-event schema
 # and a four-event MetricSet (exercising the N-counter save/restore and
