@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-table N | -all] [-scale ref|test] [-workloads a,b,c]
-//	            [-parallel N] [-shards N] [-mux [-events a,b,c,d]] [-v]
+//	            [-parallel N] [-shards N] [-mux [-events a,b,c,d]]
+//	            [-pgo [-pgo-out FILE] [-pgo-gate a,b,c]] [-v]
 //
 // -parallel sets the experiment engine's worker count (0 means
 // GOMAXPROCS, 1 forces serial execution); rendered tables are
@@ -12,11 +13,15 @@
 // context trees from N independent instrumented runs merged together —
 // output is byte-identical at any shard count. -mux skips the paper
 // tables and instead compares time-multiplexed scaled estimates of the
-// -events metric set against dedicated-counter runs. -v prints per-cell
-// timings to stderr.
+// -events metric set against dedicated-counter runs. -pgo closes the
+// loop: each workload is profiled, rewritten by the profile-guided
+// optimizer, verified behaviorally equivalent, and re-measured; results
+// go to BENCH_pgo.json and -pgo-gate turns regressions on the named
+// workloads into a non-zero exit. -v prints per-cell timings to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +31,7 @@ import (
 
 	"pathprof/internal/experiments"
 	"pathprof/internal/hpm"
+	"pathprof/internal/pgo"
 	"pathprof/internal/workload"
 )
 
@@ -41,6 +47,9 @@ func main() {
 	shards := flag.Int("shards", 1, "independent runs to merge per Table 3 CCT (sharded collection)")
 	mux := flag.Bool("mux", false, "report multiplexed vs dedicated counter accuracy instead of the paper tables")
 	events := flag.String("events", "cycles,insts,loads,branches", "metric set for -mux (comma-separated event names)")
+	pgoRun := flag.Bool("pgo", false, "run the profile-guided optimization round trip instead of the paper tables; writes BENCH_pgo.json")
+	pgoOut := flag.String("pgo-out", "BENCH_pgo.json", "output path for the -pgo results")
+	pgoGate := flag.String("pgo-gate", "", "comma-separated workloads that must show cycle reduction without imiss/mispredict regressions (exit 1 otherwise)")
 	verbose := flag.Bool("v", false, "print per-cell timing/throughput to stderr")
 	flag.Parse()
 
@@ -65,6 +74,30 @@ func main() {
 			subset = append(subset, w)
 		}
 		s.Workloads = subset
+	}
+
+	if *pgoRun {
+		recs, err := s.PGOAll(pgo.DefaultOptions())
+		exitOn(err)
+		experiments.RenderPGO(recs, os.Stdout)
+		data, err := json.MarshalIndent(recs, "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(*pgoOut, append(data, '\n'), 0o644))
+		fmt.Fprintf(os.Stderr, "[pgo results written to %s]\n", *pgoOut)
+		if *pgoGate != "" {
+			var gate []string
+			for _, name := range strings.Split(*pgoGate, ",") {
+				gate = append(gate, strings.TrimSpace(name))
+			}
+			if errs := experiments.CheckPGOGate(recs, gate); len(errs) > 0 {
+				for _, err := range errs {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[pgo gate passed: %s]\n", *pgoGate)
+		}
+		return
 	}
 
 	if *mux {

@@ -8,6 +8,15 @@
 //	pp -workload compress[,go,...] [-mode flow|flowhw|context|combined|edge]
 //	   [-scale ref|test] [-events dcache-miss,insts] [-top 10]
 //	   [-profile out.prof] [-cct] [-parallel N]
+//	   [-optimize] [-dot procname]
+//
+// -optimize closes the profiling loop: each workload is profiled,
+// rewritten by the profile-guided optimizer (internal/pgo), verified
+// behaviorally equivalent, and re-measured; the report lists every
+// candidate option set and the winning rewrite's deltas. -dot writes the
+// named procedure's CFG as Graphviz DOT with blocks shaded by measured
+// execution frequency and hot branch edges (taken probability >= 0.5)
+// highlighted.
 //
 // -events takes any number of comma-separated event names (the metric
 // schema); instrumented runs get a counter bank as wide as the set, and
@@ -36,7 +45,10 @@ import (
 	"pathprof/internal/experiments"
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/pgo"
 	"pathprof/internal/report"
+	"pathprof/internal/sim"
 	"pathprof/internal/workload"
 )
 
@@ -54,6 +66,8 @@ func main() {
 	cctOut := flag.String("cctout", "", "write the calling context tree to this file (context modes)")
 	cctDump := flag.Bool("cctdump", false, "print the calling context tree as an indented listing")
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-workload runs (0 = GOMAXPROCS)")
+	optimize := flag.Bool("optimize", false, "profile, optimize and re-measure each workload (the PGO round trip)")
+	dotProc := flag.String("dot", "", "write a profile-annotated DOT graph of the named procedure to stdout")
 	flag.Parse()
 
 	if *names == "" {
@@ -97,6 +111,15 @@ func main() {
 	s := experiments.NewSession(scale)
 	s.Workloads = suite
 	s.Parallel = *parallel
+
+	if *dotProc != "" {
+		dotReport(suite, scale, *dotProc)
+		return
+	}
+	if *optimize {
+		optimizeReport(s, suite)
+		return
+	}
 	specs := make([]experiments.CellSpec, len(suite))
 	for i, w := range suite {
 		specs[i] = experiments.CellSpec{Workload: w, Mode: mode, Events: set}
@@ -120,6 +143,72 @@ func main() {
 			}
 		}
 		reportWorkload(w, mode, set, cells[i], *top, profPath, *showCCT, cctPath, *cctDump)
+	}
+}
+
+// optimizeReport runs the full PGO round trip on every named workload and
+// prints the before/after comparison plus each candidate's measurements.
+func optimizeReport(s *experiments.Session, suite []workload.Workload) {
+	var recs []experiments.PGORecord
+	for _, w := range suite {
+		prog := w.Build(s.Scale)
+		res, err := pgo.RoundTrip(prog, s.SimConfig, pgo.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := experiments.PGORecord{
+			Workload:      w.Name,
+			Winner:        res.Winner,
+			Before:        res.Before,
+			After:         res.After,
+			ProfileBefore: res.ProfileBefore,
+			ProfileAfter:  res.ProfileAfter,
+			Transforms:    "none (identity)",
+		}
+		if res.Stats != nil {
+			rec.Transforms = res.Stats.String()
+		}
+		recs = append(recs, rec)
+
+		fmt.Printf("workload %s: candidates\n", w.Name)
+		t := &report.Table{Cols: []string{"Candidate", "Cycles", "Instrs", "IMiss", "Mispredict", "Transforms"}}
+		t.AddRow("baseline", res.Before.Cycles, res.Before.Instrs,
+			res.Before.ICacheMiss, res.Before.Mispredicts, "-")
+		for _, c := range res.Candidates {
+			t.AddRow(c.Name, c.Metrics.Cycles, c.Metrics.Instrs,
+				c.Metrics.ICacheMiss, c.Metrics.Mispredicts, c.Stats.String())
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("re-profile (path-frequency instrumented cycles): %d -> %d\n\n",
+			res.ProfileBefore, res.ProfileAfter)
+	}
+	experiments.RenderPGO(recs, os.Stdout)
+}
+
+// dotReport acquires a profile for each workload and writes the named
+// procedure's CFG as DOT, blocks shaded by execution frequency and hot
+// branch edges highlighted.
+func dotReport(suite []workload.Workload, scale workload.Scale, procName string) {
+	found := false
+	for _, w := range suite {
+		prog := w.Build(scale)
+		p := prog.ProcByName(procName)
+		if p == nil {
+			continue
+		}
+		found = true
+		data, err := pgo.Acquire(prog, sim.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ef analysis.EdgeFreq
+		if p.ID < len(data.Edges) {
+			ef = data.Edges[p.ID]
+		}
+		ir.FprintDotAnnotated(os.Stdout, p, analysis.HeatAnnotations(p, ef))
+	}
+	if !found {
+		log.Fatalf("no procedure %q in the selected workloads", procName)
 	}
 }
 

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// This file derives edge-level frequency information from a Ball-Larus path
+// profile: every executed path is regenerated and its frequency charged to
+// each transformed edge it traverses. Because path counts are exact (not
+// sampled), the projected edge counts are exact too — they are the branch
+// probabilities the pgo optimizer and the DOT hot-path renderer consume.
+
+// EdgeFreq maps CFG edges to execution counts.
+type EdgeFreq map[cfg.Edge]int64
+
+// ProjectEdgeFrequencies converts one procedure's path profile into exact
+// edge execution counts, keyed on the CFG the numbering was computed over
+// (the entry-split form every instrumentation mode normalizes to).
+//
+// Real transformed edges are charged directly. A backedge executes once per
+// path that ends with it, so its count comes from PseudoEnd traversals
+// alone; the matching PseudoStart on the successor path describes the same
+// dynamic event and is skipped to avoid double counting.
+func ProjectEdgeFrequencies(pp *profile.ProcPaths, nm *bl.Numbering) (EdgeFreq, error) {
+	ef := make(EdgeFreq)
+	for i := range pp.Entries {
+		e := &pp.Entries[i]
+		if e.Freq == 0 {
+			continue
+		}
+		path, err := nm.Regenerate(e.Sum)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: proc %s: %w", pp.Name, err)
+		}
+		for _, ref := range path.Edges {
+			te := nm.Succs[ref.Block][ref.Pos]
+			switch te.Kind {
+			case bl.Real:
+				edge := cfg.Edge{From: ir.BlockID(ref.Block), To: te.To, Slot: te.Slot}
+				ef[edge] += int64(e.Freq)
+			case bl.PseudoEnd:
+				ef[nm.Backedges[te.Backedge]] += int64(e.Freq)
+			case bl.PseudoStart:
+				// Counted by the previous path's PseudoEnd.
+			}
+		}
+	}
+	return ef, nil
+}
+
+// ToOriginalCFG renumbers entry-split edge frequencies back onto the
+// original CFG. The instrumenter's split moves the original entry body to
+// block baseBlocks-1 and leaves a bare jump stub as block 0; undoing it
+// maps the moved block back to 0 and drops the synthetic stub edge.
+// Edge-split pass-through blocks (IDs >= baseBlocks) never appear in the
+// numbering, which is computed before those insertions.
+func ToOriginalCFG(ef EdgeFreq, baseBlocks int) EdgeFreq {
+	moved := ir.BlockID(baseBlocks - 1)
+	norm := func(b ir.BlockID) ir.BlockID {
+		if b == moved {
+			return 0
+		}
+		return b
+	}
+	out := make(EdgeFreq, len(ef))
+	for e, f := range ef {
+		if e.From == 0 {
+			continue // the stub's only out-edge is the synthetic jump to moved
+		}
+		out[cfg.Edge{From: norm(e.From), To: norm(e.To), Slot: e.Slot}] += f
+	}
+	return out
+}
+
+// BlockFrequencies returns per-block execution counts implied by edge
+// frequencies: the larger of the incoming and outgoing edge sums (they
+// agree for interior blocks; the entry has activations without incoming
+// edges, the exit has none outgoing).
+func BlockFrequencies(p *ir.Proc, ef EdgeFreq) []int64 {
+	in := make([]int64, len(p.Blocks))
+	out := make([]int64, len(p.Blocks))
+	for _, b := range p.Blocks {
+		for slot, s := range b.Succs {
+			f := ef[cfg.Edge{From: b.ID, To: s, Slot: slot}]
+			out[b.ID] += f
+			in[s] += f
+		}
+	}
+	freq := make([]int64, len(p.Blocks))
+	for i := range freq {
+		freq[i] = max(in[i], out[i])
+	}
+	return freq
+}
+
+// BranchProbabilities returns, per block, the probability of each successor
+// slot (taken/fallthrough for branches), derived from edge counts. Blocks
+// that never executed get all-zero rows.
+func BranchProbabilities(p *ir.Proc, ef EdgeFreq) [][]float64 {
+	probs := make([][]float64, len(p.Blocks))
+	for _, b := range p.Blocks {
+		row := make([]float64, len(b.Succs))
+		var total int64
+		for slot, s := range b.Succs {
+			total += ef[cfg.Edge{From: b.ID, To: s, Slot: slot}]
+		}
+		if total > 0 {
+			for slot, s := range b.Succs {
+				row[slot] = float64(ef[cfg.Edge{From: b.ID, To: s, Slot: slot}]) / float64(total)
+			}
+		}
+		probs[b.ID] = row
+	}
+	return probs
+}
+
+// HotEdgeThreshold is the successor probability at or above which the DOT
+// renderer paints an edge as hot.
+const HotEdgeThreshold = 0.5
+
+// HeatAnnotations builds DOT annotations for a procedure from measured edge
+// frequencies: block fill intensity scales with execution count (square
+// root, so mid-frequency blocks stay distinguishable from cold ones), edges
+// are labelled with probability and count, and dominant edges out of
+// executed blocks render hot.
+func HeatAnnotations(p *ir.Proc, ef EdgeFreq) *ir.DotAnnotations {
+	freq := BlockFrequencies(p, ef)
+	probs := BranchProbabilities(p, ef)
+	var maxFreq int64
+	for _, f := range freq {
+		maxFreq = max(maxFreq, f)
+	}
+	heat := make([]float64, len(freq))
+	if maxFreq > 0 {
+		for i, f := range freq {
+			heat[i] = math.Sqrt(float64(f) / float64(maxFreq))
+		}
+	}
+	return &ir.DotAnnotations{
+		BlockHeat: heat,
+		BlockNote: func(b ir.BlockID) string {
+			return fmt.Sprintf("freq %d", freq[b])
+		},
+		EdgeLabel: func(b ir.BlockID, slot int) string {
+			row := probs[b]
+			if slot >= len(row) {
+				return ""
+			}
+			blk := p.Blocks[b]
+			count := ef[cfg.Edge{From: b, To: blk.Succs[slot], Slot: slot}]
+			return fmt.Sprintf("p=%.2f n=%d", row[slot], count)
+		},
+		EdgeHot: func(b ir.BlockID, slot int) bool {
+			row := probs[b]
+			return slot < len(row) && freq[b] > 0 && row[slot] >= HotEdgeThreshold
+		},
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// buildLoopProc returns a proc with a conditional loop (backedge) and a
+// diamond, exercising both the real-edge and pseudo-edge projection
+// rules: entry -> head; head -> body | exit-side; body -> head (backedge).
+func buildLoopProc(t *testing.T) *ir.Proc {
+	t.Helper()
+	b := ir.NewBuilder("x")
+	p := b.NewProc("p0", 0)
+	e := p.NewBlock()
+	head := p.NewBlock()
+	body := p.NewBlock()
+	x := p.NewBlock()
+	e.Nop()
+	e.Jmp(head)
+	head.Nop()
+	head.Br(2, body, x)
+	body.Nop()
+	body.Jmp(head)
+	x.Ret()
+	b.SetMain(p)
+	return b.MustFinish().Procs[0]
+}
+
+func TestProjectEdgeFrequenciesConservation(t *testing.T) {
+	p := buildLoopProc(t)
+	nm, err := bl.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A realizable frequency mix: one run with three loop iterations plus
+	// one that exits immediately. Paths are classified by their pseudo-edge
+	// shape (a path ending at a backedge must be continued by one starting
+	// there, so arbitrary mixes would not be flow-consistent).
+	pp := &profile.ProcPaths{ProcID: 0, Name: "p0", NumPaths: nm.NumPaths}
+	for i := int64(0); i < nm.NumPaths; i++ {
+		path, err := nm.Regenerate(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasStart, hasEnd := false, false
+		for _, ref := range path.Edges {
+			switch nm.Succs[ref.Block][ref.Pos].Kind {
+			case bl.PseudoStart:
+				hasStart = true
+			case bl.PseudoEnd:
+				hasEnd = true
+			}
+		}
+		var freq uint64
+		switch {
+		case !hasStart && !hasEnd: // enter and exit without looping
+			freq = 1
+		case !hasStart && hasEnd: // enter, take the backedge
+			freq = 1
+		case hasStart && hasEnd: // middle loop iteration
+			freq = 2
+		case hasStart && !hasEnd: // final iteration, exit
+			freq = 1
+		}
+		pp.Entries = append(pp.Entries, profile.NewEntry(i, freq, 0, 0))
+	}
+	ef, err := ProjectEdgeFrequencies(pp, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ef) == 0 {
+		t.Fatal("no edges projected")
+	}
+	if ef[cfg.Edge{From: 2, To: 1, Slot: 0}] == 0 {
+		t.Fatal("backedge body->head has zero frequency (pseudo-edge rule broken)")
+	}
+
+	// Flow conservation at interior blocks: inflow == outflow.
+	in := make([]int64, len(p.Blocks))
+	out := make([]int64, len(p.Blocks))
+	for e, f := range ef {
+		out[e.From] += f
+		in[e.To] += f
+	}
+	for _, blk := range p.Blocks {
+		id := int(blk.ID)
+		if id == 0 || blk.ID == p.ExitBlock {
+			continue
+		}
+		if in[id] != out[id] {
+			t.Errorf("block %d: inflow %d != outflow %d", id, in[id], out[id])
+		}
+	}
+
+	bf := BlockFrequencies(p, ef)
+	for _, blk := range p.Blocks {
+		want := max(in[blk.ID], out[blk.ID])
+		if bf[blk.ID] != want {
+			t.Errorf("block %d frequency %d, want %d", blk.ID, bf[blk.ID], want)
+		}
+	}
+
+	// Branch probabilities on executed multi-successor blocks sum to 1.
+	probs := BranchProbabilities(p, ef)
+	for _, blk := range p.Blocks {
+		if len(blk.Succs) < 2 || out[blk.ID] == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, pr := range probs[blk.ID] {
+			sum += pr
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("block %d probabilities sum to %f", blk.ID, sum)
+		}
+	}
+
+	// Annotations: the loop head is the hottest block, and its hot
+	// successor edge is flagged.
+	ann := HeatAnnotations(p, ef)
+	if ann.BlockHeat[1] != 1 {
+		t.Errorf("loop head heat %f, want 1 (hottest)", ann.BlockHeat[1])
+	}
+	hot := 0
+	for _, blk := range p.Blocks {
+		for slot := range blk.Succs {
+			if ann.EdgeHot(blk.ID, slot) {
+				hot++
+			}
+		}
+	}
+	if hot == 0 {
+		t.Error("no hot edges flagged")
+	}
+}
+
+func TestToOriginalCFG(t *testing.T) {
+	// Entry-split shape: 4 base blocks, block 3 is the moved original
+	// entry. Edges out of the stub (block 0) drop; references to the moved
+	// block normalize back to 0.
+	split := EdgeFreq{
+		{From: 0, To: 3, Slot: 0}: 5, // stub -> moved entry: dropped
+		{From: 3, To: 1, Slot: 0}: 5, // moved entry -> b1: becomes 0 -> 1
+		{From: 1, To: 2, Slot: 0}: 4, // untouched
+		{From: 2, To: 3, Slot: 1}: 2, // backedge to entry: To normalizes
+	}
+	got := ToOriginalCFG(split, 4)
+	want := EdgeFreq{
+		{From: 0, To: 1, Slot: 0}: 5,
+		{From: 1, To: 2, Slot: 0}: 4,
+		{From: 2, To: 0, Slot: 1}: 2,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges %v, want %d", len(got), got, len(want))
+	}
+	for e, f := range want {
+		if got[e] != f {
+			t.Errorf("edge %v = %d, want %d", e, got[e], f)
+		}
+	}
+}

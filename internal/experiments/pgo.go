@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pathprof/internal/pgo"
+	"pathprof/internal/report"
+	"pathprof/internal/workload"
+)
+
+// The closed-loop experiment: profile each workload, rewrite it with the
+// profile-guided optimizer, and measure the rewrite on the same simulator
+// that produced the profile. Emitted both as a before/after table and as
+// BENCH_pgo.json for the CI gate.
+
+// PGORecord is one workload's round trip, in the shape BENCH_pgo.json
+// stores.
+type PGORecord struct {
+	Workload string      `json:"workload"`
+	Winner   string      `json:"winner"`
+	Before   pgo.Metrics `json:"before"`
+	After    pgo.Metrics `json:"after"`
+	// ProfileBefore/ProfileAfter are instrumented (path-frequency) cycles
+	// on the original and optimized program: the re-profile leg.
+	ProfileBefore uint64 `json:"profile_before"`
+	ProfileAfter  uint64 `json:"profile_after"`
+	// Transforms summarizes what the winning rewrite did.
+	Transforms string `json:"transforms"`
+}
+
+// PGO runs the profile→optimize→verify round trip on workload w.
+// RoundTrip hard-fails on any behavioral divergence, so a returned record
+// is always from a verified-equivalent rewrite.
+func (s *Session) PGO(w workload.Workload, opts pgo.Options) (PGORecord, error) {
+	res, err := pgo.RoundTrip(s.builtProg(w), s.SimConfig, opts)
+	if err != nil {
+		return PGORecord{}, fmt.Errorf("experiments: %s: %w", w.Name, err)
+	}
+	rec := PGORecord{
+		Workload:      w.Name,
+		Winner:        res.Winner,
+		Before:        res.Before,
+		After:         res.After,
+		ProfileBefore: res.ProfileBefore,
+		ProfileAfter:  res.ProfileAfter,
+	}
+	if res.Stats != nil {
+		rec.Transforms = res.Stats.String()
+	} else {
+		rec.Transforms = "none (identity)"
+	}
+	return rec, nil
+}
+
+// PGOAll round-trips every session workload in order.
+func (s *Session) PGOAll(opts pgo.Options) ([]PGORecord, error) {
+	recs := make([]PGORecord, 0, len(s.Workloads))
+	for _, w := range s.Workloads {
+		rec, err := s.PGO(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// RenderPGO writes the before/after comparison as a side-by-side delta
+// table.
+func RenderPGO(recs []PGORecord, w io.Writer) {
+	t := report.DeltaTable(
+		"Profile-guided optimization: simulator-verified round trip",
+		"Winners are behaviorally verified (byte-identical output and final memory); "+
+			"a winner is only accepted when cycles drop and I-cache misses and "+
+			"mispredicts do not rise.",
+		"Workload", "Winner / transforms",
+		[]string{"cycles", "imiss", "misp"},
+	)
+	for _, r := range recs {
+		t.AddDeltaRow(r.Workload, []report.DeltaMetric{
+			{Name: "cycles", Before: r.Before.Cycles, After: r.After.Cycles},
+			{Name: "imiss", Before: r.Before.ICacheMiss, After: r.After.ICacheMiss},
+			{Name: "misp", Before: r.Before.Mispredicts, After: r.After.Mispredicts},
+		}, r.Winner+": "+r.Transforms)
+	}
+	t.Render(w)
+}
+
+// CheckPGOGate enforces the CI acceptance criterion on the named
+// workloads: strict cycle reduction with non-increasing I-cache misses
+// and mispredicts. Returns one error per violated workload.
+func CheckPGOGate(recs []PGORecord, gate []string) []error {
+	byName := make(map[string]PGORecord, len(recs))
+	for _, r := range recs {
+		byName[r.Workload] = r
+	}
+	var errs []error
+	for _, name := range gate {
+		r, ok := byName[name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("pgo gate: workload %q not in results", name))
+			continue
+		}
+		if r.After.Cycles >= r.Before.Cycles {
+			errs = append(errs, fmt.Errorf("pgo gate: %s: cycles did not improve (%d -> %d)",
+				name, r.Before.Cycles, r.After.Cycles))
+		}
+		if r.After.ICacheMiss > r.Before.ICacheMiss {
+			errs = append(errs, fmt.Errorf("pgo gate: %s: icache misses rose (%d -> %d)",
+				name, r.Before.ICacheMiss, r.After.ICacheMiss))
+		}
+		if r.After.Mispredicts > r.Before.Mispredicts {
+			errs = append(errs, fmt.Errorf("pgo gate: %s: mispredicts rose (%d -> %d)",
+				name, r.Before.Mispredicts, r.After.Mispredicts))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pathprof/internal/pgo"
+	"pathprof/internal/workload"
+)
+
+func TestPGORecordAndGate(t *testing.T) {
+	s := NewSession(workload.Test)
+	w, _ := workload.ByName("interp")
+	rec, err := s.PGO(w, pgo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Workload != "interp" {
+		t.Fatalf("workload name %q", rec.Workload)
+	}
+	if rec.After.Cycles >= rec.Before.Cycles {
+		t.Fatalf("expected cycle reduction on interp: %d -> %d", rec.Before.Cycles, rec.After.Cycles)
+	}
+	if rec.ProfileBefore == 0 || rec.ProfileAfter == 0 {
+		t.Fatal("re-profile leg missing")
+	}
+
+	if errs := CheckPGOGate([]PGORecord{rec}, []string{"interp"}); len(errs) > 0 {
+		t.Fatalf("gate failed: %v", errs)
+	}
+	// A regressing record must trip the gate.
+	bad := rec
+	bad.After = bad.Before
+	errs := CheckPGOGate([]PGORecord{bad}, []string{"interp"})
+	if len(errs) == 0 {
+		t.Fatal("gate accepted a non-improving record")
+	}
+	if errs2 := CheckPGOGate([]PGORecord{rec}, []string{"nosuch"}); len(errs2) != 1 ||
+		!strings.Contains(errs2[0].Error(), "not in results") {
+		t.Fatalf("missing-workload gate: %v", errs2)
+	}
+}
+
+func TestRenderPGO(t *testing.T) {
+	recs := []PGORecord{{
+		Workload: "w1", Winner: "full",
+		Before:     pgo.Metrics{Cycles: 1000, ICacheMiss: 10, Mispredicts: 5},
+		After:      pgo.Metrics{Cycles: 900, ICacheMiss: 10, Mispredicts: 5},
+		Transforms: "threaded 1",
+	}}
+	var sb strings.Builder
+	RenderPGO(recs, &sb)
+	out := sb.String()
+	for _, want := range []string{"w1", "-10.00%", "full: threaded 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

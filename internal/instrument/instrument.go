@@ -5,6 +5,7 @@ import (
 
 	"pathprof/internal/bl"
 	"pathprof/internal/cct"
+	"pathprof/internal/cfg"
 	"pathprof/internal/hpm"
 	"pathprof/internal/ir"
 	"pathprof/internal/mem"
@@ -170,12 +171,18 @@ type Options struct {
 	NumCounters int
 
 	// ProfiledFreqs, when non-nil, supplies measured edge frequencies per
-	// procedure (from CollectEdgeFrequencies) to weight the spanning tree
-	// of the increment optimization — the profile-guided placement of the
-	// original path-profiling work. Procedures with a nil entry fall back
-	// to the static loop-depth heuristic.
+	// procedure (from pgo.Acquire, the single profile-acquisition entry
+	// point) to weight the spanning tree of the increment optimization —
+	// the profile-guided placement of the original path-profiling work.
+	// Procedures with a nil entry fall back to the static loop-depth
+	// heuristic.
 	ProfiledFreqs []EdgeFreqs
 }
+
+// EdgeFreqs maps a procedure's CFG edges (identified on the entry-split
+// CFG, the form every instrumentation mode normalizes to first) to
+// execution counts.
+type EdgeFreqs map[cfg.Edge]int64
 
 // DefaultHashPathThreshold is where the array-of-counters gives way to a
 // hash table, as in the paper's instrumentation.

@@ -571,13 +571,25 @@ func TestBackedgesPreservedByEntrySplit(t *testing.T) {
 func TestProfileGuidedPlacement(t *testing.T) {
 	prog := randomProgram(21)
 
+	// One edge-profiled run to obtain measured frequencies (the package's
+	// public acquisition entry point lives in internal/pgo, which cannot be
+	// imported from here; this inlines the same ModeEdgeCount run+decode).
 	edgePlan, err := Instrument(prog, DefaultOptions(ModeEdgeCount))
 	if err != nil {
 		t.Fatal(err)
 	}
-	freqs, err := CollectEdgeFrequencies(edgePlan, sim.DefaultConfig())
-	if err != nil {
+	em := sim.New(edgePlan.Prog, sim.DefaultConfig())
+	edgePlan.Wire(em)
+	if _, err := em.Run(); err != nil {
 		t.Fatal(err)
+	}
+	freqs := make([]EdgeFreqs, len(edgePlan.Procs))
+	for _, pp := range edgePlan.Procs {
+		counts, _, err := DecodeEdgeCounts(pp, em.Mem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs[pp.ProcID] = EdgeFreqs(counts)
 	}
 	nonzero := 0
 	for _, ef := range freqs {

@@ -8,6 +8,24 @@ import (
 	"pathprof/internal/ir"
 )
 
+// profiledFreqHint converts measured edge counts into a spanning-tree
+// weight function for the numbering's transformed edges. Pseudo edges take
+// their backedge's measured count. A +1 floor keeps never-executed edges
+// comparable.
+func profiledFreqHint(freqs EdgeFreqs, nm *bl.Numbering) func(bl.SuccRef) int64 {
+	return func(ref bl.SuccRef) int64 {
+		te := nm.Succs[ref.Block][ref.Pos]
+		var e cfg.Edge
+		switch te.Kind {
+		case bl.Real:
+			e = cfg.Edge{From: ir.BlockID(ref.Block), To: te.To, Slot: te.Slot}
+		default:
+			e = nm.Backedges[te.Backedge]
+		}
+		return freqs[e] + 1
+	}
+}
+
 // pathProc inserts Ball-Larus path instrumentation into p, in one of three
 // flavours: frequency only (ModePathFreq), hardware metrics per path
 // (ModePathHW, Figure 3 of the paper), or per-context path frequency

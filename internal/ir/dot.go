@@ -6,10 +6,37 @@ import (
 	"strings"
 )
 
+// DotAnnotations decorates a DOT rendering with profile-derived heat
+// information. All fields are optional; the zero value renders the plain
+// CFG. The analysis package builds annotations from measured path profiles
+// (block heat from execution counts, hot edges from branch probabilities)
+// without ir needing to know where the numbers came from.
+type DotAnnotations struct {
+	// BlockHeat, indexed by block ID, is a 0..1 intensity used as the node
+	// fill (white at 0, saturated red at 1). Nil disables fills.
+	BlockHeat []float64
+	// BlockNote returns extra text appended to a block's label header
+	// (e.g. an execution count).
+	BlockNote func(b BlockID) string
+	// EdgeLabel returns the label for a successor edge (e.g. a branch
+	// probability); empty string omits the label.
+	EdgeLabel func(b BlockID, slot int) string
+	// EdgeHot reports whether a successor edge should render highlighted
+	// (thick and red).
+	EdgeHot func(b BlockID, slot int) bool
+}
+
 // FprintDot renders a procedure's CFG in Graphviz DOT syntax: one node per
 // basic block labelled with its instructions, solid edges for branch/jump
 // successors. Tools use it to visualize hot paths next to the CFG.
 func FprintDot(w io.Writer, p *Proc) {
+	FprintDotAnnotated(w, p, nil)
+}
+
+// FprintDotAnnotated renders the CFG with optional profile annotations:
+// heat-colored blocks, probability-labelled edges, and highlighted hot
+// edges. A nil ann is equivalent to FprintDot.
+func FprintDotAnnotated(w io.Writer, p *Proc, ann *DotAnnotations) {
 	fmt.Fprintf(w, "digraph %q {\n", p.Name)
 	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
 	for _, b := range p.Blocks {
@@ -21,27 +48,67 @@ func FprintDot(w io.Writer, p *Proc) {
 		if b.ID == p.ExitBlock {
 			label.WriteString(" (exit)")
 		}
+		if ann != nil && ann.BlockNote != nil {
+			if note := ann.BlockNote(b.ID); note != "" {
+				label.WriteString("  ")
+				label.WriteString(escapeDot(note))
+			}
+		}
 		label.WriteString("\\l")
 		for _, in := range b.Instrs {
 			label.WriteString(escapeDot(in.String()))
 			label.WriteString("\\l")
 		}
-		fmt.Fprintf(w, "  b%d [label=\"%s\"];\n", b.ID, label.String())
+		style := ""
+		if ann != nil && int(b.ID) < len(ann.BlockHeat) {
+			style = fmt.Sprintf(", style=filled, fillcolor=\"%s\"", heatColor(ann.BlockHeat[b.ID]))
+		}
+		fmt.Fprintf(w, "  b%d [label=\"%s\"%s];\n", b.ID, label.String(), style)
 	}
 	for _, b := range p.Blocks {
 		for slot, s := range b.Succs {
-			attr := ""
+			var attrs []string
 			if len(b.Succs) == 2 {
 				if slot == 0 {
-					attr = " [label=\"T\"]"
+					attrs = append(attrs, "label=\"T\"")
 				} else {
-					attr = " [label=\"F\"]"
+					attrs = append(attrs, "label=\"F\"")
 				}
+			}
+			if ann != nil && ann.EdgeLabel != nil {
+				if lbl := ann.EdgeLabel(b.ID, slot); lbl != "" {
+					// Replace the bare T/F label with the richer one.
+					prefix := ""
+					if len(b.Succs) == 2 {
+						prefix = []string{"T ", "F "}[slot]
+						attrs = attrs[:0]
+					}
+					attrs = append(attrs, fmt.Sprintf("label=\"%s%s\"", prefix, escapeDot(lbl)))
+				}
+			}
+			if ann != nil && ann.EdgeHot != nil && ann.EdgeHot(b.ID, slot) {
+				attrs = append(attrs, "color=red", "penwidth=2")
+			}
+			attr := ""
+			if len(attrs) > 0 {
+				attr = " [" + strings.Join(attrs, ", ") + "]"
 			}
 			fmt.Fprintf(w, "  b%d -> b%d%s;\n", b.ID, s, attr)
 		}
 	}
 	fmt.Fprintln(w, "}")
+}
+
+// heatColor maps a 0..1 intensity to a white→red fill.
+func heatColor(h float64) string {
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	g := int(255 * (1 - h))
+	return fmt.Sprintf("#ff%02x%02x", g, g)
 }
 
 func escapeDot(s string) string {

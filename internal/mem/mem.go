@@ -5,7 +5,10 @@
 // the perturbation phenomenon of Table 2 of the paper.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Standard region bases. The layout mirrors a conventional process image:
 // globals low, a downward-growing stack, then separate regions for
@@ -97,6 +100,63 @@ func (m *Memory) ReadRegion(base uint64, n int) []int64 {
 		out[i] = m.Load(base + uint64(i)*8)
 	}
 	return out
+}
+
+// Equal reports whether two address spaces hold identical contents: every
+// word present in either must match the other, with absent pages reading as
+// zero. Differential semantic-preservation tests compare the final memory
+// images of original and rewritten programs with this.
+func Equal(a, b *Memory) bool {
+	check := func(x, y *Memory) bool {
+		var zero page
+		for pn, px := range x.pages {
+			py := y.pages[pn]
+			if py == nil {
+				py = &zero
+			}
+			if *px != *py {
+				return false
+			}
+		}
+		return true
+	}
+	return check(a, b) && check(b, a)
+}
+
+// DiffWord returns the byte address and both values of the first differing
+// word between two address spaces (scanning pages in ascending order), or
+// ok=false when they are equal. Harnesses use it to report where a rewritten
+// program's memory image diverged.
+func DiffWord(a, b *Memory) (addr uint64, av, bv int64, ok bool) {
+	seen := make(map[uint64]bool, len(a.pages)+len(b.pages))
+	var pns []uint64
+	for pn := range a.pages {
+		seen[pn] = true
+		pns = append(pns, pn)
+	}
+	for pn := range b.pages {
+		if !seen[pn] {
+			pns = append(pns, pn)
+		}
+	}
+	slices.Sort(pns)
+	var zero page
+	for _, pn := range pns {
+		pa, pb := a.pages[pn], b.pages[pn]
+		if pa == nil {
+			pa = &zero
+		}
+		if pb == nil {
+			pb = &zero
+		}
+		for i := 0; i < pageWords; i++ {
+			if pa[i] != pb[i] {
+				byteAddr := ((pn << pageWordShift) + uint64(i)) << wordShift
+				return byteAddr, pa[i], pb[i], true
+			}
+		}
+	}
+	return 0, 0, 0, false
 }
 
 // Allocator hands out non-overlapping address ranges within a region.

@@ -1,0 +1,157 @@
+package pgo
+
+import (
+	"fmt"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/cct"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+	"pathprof/internal/sim"
+)
+
+// Profile acquisition: the single entry point that turns a program into
+// the profile data every optimization decision reads. Two instrumented
+// runs — a Ball-Larus path-frequency run (exact edge frequencies by path
+// regeneration) and a CCT run (per-context call counts for inlining) —
+// replace the old ad-hoc edge-count collection that used to live in
+// internal/instrument.
+
+// SiteKey names one static call site: the calling procedure and the site's
+// index in the instrumentation convention (blocks in original order
+// starting after the entry, the entry block's sites last, calls in
+// instruction order within a block).
+type SiteKey struct {
+	Caller int
+	Site   int
+}
+
+// ProfileData is everything Acquire measures about one program on one
+// input, in the shapes the optimizer consumes.
+type ProfileData struct {
+	// Profile is the Ball-Larus path profile from the path-frequency run.
+	Profile *profile.Profile
+	// Tree is the calling-context tree from the CCT run.
+	Tree *cct.Tree
+	// Edges holds per-procedure exact edge frequencies projected from the
+	// path profile, keyed on each procedure's original CFG.
+	Edges []analysis.EdgeFreq
+	// Placement holds the same frequencies keyed on the entry-split CFG —
+	// the form instrument.Options.ProfiledFreqs wants for profile-guided
+	// counter placement when the optimized program is re-instrumented.
+	Placement []instrument.EdgeFreqs
+	// SiteCalls counts calls per static site, split by callee procedure
+	// (context-sensitive: summed over every CCT context of the caller).
+	SiteCalls map[SiteKey]map[int]int64
+	// Calls counts invocations per procedure (CCT Metrics[0] sums).
+	Calls []int64
+}
+
+// Acquire profiles prog on the given simulator configuration and returns
+// the data the optimizer needs. The program itself is not modified (the
+// instrumenter works on clones).
+func Acquire(prog *ir.Program, simCfg sim.Config) (*ProfileData, error) {
+	data := &ProfileData{
+		Edges:     make([]analysis.EdgeFreq, len(prog.Procs)),
+		Placement: make([]instrument.EdgeFreqs, len(prog.Procs)),
+		SiteCalls: make(map[SiteKey]map[int]int64),
+		Calls:     make([]int64, len(prog.Procs)),
+	}
+
+	// Run 1: path frequencies → exact edge frequencies.
+	pathPlan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModePathFreq))
+	if err != nil {
+		return nil, fmt.Errorf("pgo: path instrumentation: %w", err)
+	}
+	m := sim.New(pathPlan.Prog, simCfg)
+	rt := pathPlan.Wire(m)
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("pgo: path profiling run: %w", err)
+	}
+	data.Profile = rt.ExtractProfile()
+	for _, pp := range pathPlan.Procs {
+		if pp.Numbering == nil {
+			continue
+		}
+		procPaths := data.Profile.Proc(pp.ProcID)
+		if procPaths == nil {
+			continue
+		}
+		split, err := analysis.ProjectEdgeFrequencies(procPaths, pp.Numbering)
+		if err != nil {
+			return nil, fmt.Errorf("pgo: %w", err)
+		}
+		data.Placement[pp.ProcID] = instrument.EdgeFreqs(split)
+		data.Edges[pp.ProcID] = analysis.ToOriginalCFG(split, pp.BaseBlocks)
+	}
+
+	// Run 2: calling-context tree → per-site, per-callee call counts.
+	cctPlan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModeContextHW))
+	if err != nil {
+		return nil, fmt.Errorf("pgo: cct instrumentation: %w", err)
+	}
+	m2 := sim.New(cctPlan.Prog, simCfg)
+	rt2 := cctPlan.Wire(m2)
+	if _, err := m2.Run(); err != nil {
+		return nil, fmt.Errorf("pgo: cct profiling run: %w", err)
+	}
+	data.Tree = rt2.Tree
+	data.Tree.Walk(func(n *cct.Node) {
+		if len(n.Metrics) > 0 {
+			data.Calls[n.Proc] += n.Metrics[0]
+		}
+		for _, sv := range n.Slots() {
+			for _, ch := range sv.Children {
+				key := SiteKey{Caller: n.Proc, Site: sv.Site}
+				per := data.SiteCalls[key]
+				if per == nil {
+					per = make(map[int]int64)
+					data.SiteCalls[key] = per
+				}
+				if len(ch.Metrics) > 0 {
+					per[ch.Proc] += ch.Metrics[0]
+				}
+			}
+			// Recursed edges lead back to an ancestor activation: the
+			// callee necessarily has a call on the stack, so it can never
+			// be a leaf-inline candidate; skipping them here loses nothing.
+		}
+	})
+	return data, nil
+}
+
+// callSite locates one call instruction in a procedure.
+type callSite struct {
+	Block ir.BlockID
+	Index int // instruction index within the block
+	Op    ir.Opcode
+	// Callee is the static callee procedure index for direct calls, -1 for
+	// indirect ones.
+	Callee int
+}
+
+// callSites enumerates a procedure's call instructions in the site-index
+// convention shared with the CCT instrumentation, so SiteCalls keys line
+// up: the instrumenter splits the entry, making the original entry block
+// the last block it scans — original blocks 1..n-1 first, block 0 last,
+// instruction order within each block.
+func callSites(p *ir.Proc) []callSite {
+	var sites []callSite
+	scan := func(b *ir.Block) {
+		for i, in := range b.Instrs {
+			if in.Op.IsCall() {
+				callee := -1
+				if in.Op == ir.Call {
+					callee = int(in.Imm)
+				}
+				sites = append(sites, callSite{Block: b.ID, Index: i, Op: in.Op, Callee: callee})
+			}
+		}
+	}
+	for _, b := range p.Blocks[1:] {
+		scan(b)
+	}
+	scan(p.Blocks[0])
+	return sites
+}

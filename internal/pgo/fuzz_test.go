@@ -1,0 +1,101 @@
+package pgo
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+	"pathprof/internal/sim"
+	"pathprof/internal/testgen"
+)
+
+// Randomized differential testing: generated programs — including
+// recursive, indirectly-calling, memory-heavy and setjmp/longjmp shapes —
+// are profiled, optimized under every variant, and checked for
+// byte-identical behavior. Seeds are fixed so failures replay.
+
+func fuzzShapes() []testgen.ProgramOptions {
+	return []testgen.ProgramOptions{
+		{NumProcs: 3, BlocksPer: 6},
+		{NumProcs: 5, BlocksPer: 8, Recursion: true},
+		{NumProcs: 4, BlocksPer: 6, IndirectCalls: true, Memory: true},
+		{NumProcs: 5, BlocksPer: 10, Recursion: true, Memory: true},
+		{NumProcs: 4, BlocksPer: 7, NonLocal: true, Memory: true},
+		{NumProcs: 6, BlocksPer: 9, Recursion: true, IndirectCalls: true, NonLocal: true},
+	}
+}
+
+func TestOptimizeRandomPrograms(t *testing.T) {
+	const seedsPerShape = 8
+	for si, shape := range fuzzShapes() {
+		for seed := int64(0); seed < seedsPerShape; seed++ {
+			si, shape, seed := si, shape, seed
+			t.Run(fmt.Sprintf("shape%d-seed%d", si, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed*1000 + int64(si)))
+				prog := testgen.RandomProgram(rng, fmt.Sprintf("rp%d_%d", si, seed), shape)
+				checkOptimizeEquivalence(t, prog)
+			})
+		}
+	}
+}
+
+// checkOptimizeEquivalence runs prog, acquires its profile, and verifies
+// every optimization variant reproduces the baseline exactly.
+func checkOptimizeEquivalence(t *testing.T, prog *ir.Program) {
+	t.Helper()
+	if errs := ir.ValidateAll(prog); len(errs) > 0 {
+		t.Fatalf("generated program invalid: %v", errs[0])
+	}
+	_, baseOut, baseMem, err := runPlain(prog, sim.DefaultConfig())
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	data, err := Acquire(prog, sim.DefaultConfig())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	for _, v := range variants() {
+		opt, _, err := Optimize(prog, data, v.Opts)
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", v.Name, err)
+		}
+		if errs := ir.ValidateAll(opt); len(errs) > 0 {
+			t.Fatalf("%s: optimized program invalid: %v", v.Name, errs[0])
+		}
+		_, out, memory, err := runPlain(opt, sim.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: optimized run: %v", v.Name, err)
+		}
+		if !slices.Equal(out, baseOut) {
+			t.Fatalf("%s: output diverges", v.Name)
+		}
+		if !mem.Equal(memory, baseMem) {
+			addr, av, bv, _ := mem.DiffWord(memory, baseMem)
+			t.Fatalf("%s: memory diverges at %#x: %d vs %d", v.Name, addr, av, bv)
+		}
+	}
+}
+
+// FuzzOptimize lets the fuzzer explore seeds and shape bits beyond the
+// fixed table above.
+func FuzzOptimize(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(42), uint8(0x1f))
+	f.Add(int64(7), uint8(0x0a))
+	f.Fuzz(func(t *testing.T, seed int64, bits uint8) {
+		shape := testgen.ProgramOptions{
+			NumProcs:      2 + int(bits&0x3),
+			BlocksPer:     4 + int(bits>>2&0x7),
+			Recursion:     bits&0x20 != 0,
+			IndirectCalls: bits&0x40 != 0,
+			NonLocal:      bits&0x80 != 0,
+			Memory:        true,
+		}
+		rng := rand.New(rand.NewSource(seed))
+		prog := testgen.RandomProgram(rng, "fuzz", shape)
+		checkOptimizeEquivalence(t, prog)
+	})
+}

@@ -1,0 +1,306 @@
+package pgo
+
+import (
+	"sort"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/cfg"
+	"pathprof/internal/dataflow"
+	"pathprof/internal/ir"
+)
+
+// Context-sensitive inlining of hot call edges. The CCT tells us, per
+// static site, how many calls went to which callee across every calling
+// context; sites whose measured traffic clears opts.InlineMinCalls get
+// their (leaf) callee body spliced in, eliminating the call/return
+// activation machinery on the hot path. Register pressure is handled with
+// liveness: the callee's registers map onto caller registers that are dead
+// across the call, with explicit copies only where an argument register is
+// both overwritten by the callee and still live in the caller.
+//
+// The pass must run first on a procedure's pipeline: site indices and
+// liveness facts are computed against the pristine procedure, and remain
+// valid under the application order used here (per-block, descending
+// instruction index — earlier sites stay at their original positions, and
+// an inlined region neither reads registers the call instruction did not
+// already read nor leaves its own scratch registers live).
+
+// inlineCand is one chosen site.
+type inlineCand struct {
+	order  int // site index, for deterministic tie-breaks
+	site   callSite
+	callee *ir.Proc
+	calls  int64
+}
+
+// inlinable reports whether callee's body can be spliced into another
+// procedure: a leaf (no calls — also excludes recursion), small enough,
+// and free of instructions whose semantics depend on the activation or
+// machine state we would be eliding (setjmp captures, counter accesses,
+// probes, cycle reads).
+func inlinable(callee *ir.Proc, opts Options) bool {
+	n := 0
+	for _, b := range callee.Blocks {
+		n += len(b.Instrs)
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.Call, ir.CallInd, ir.SetJmp, ir.LongJmp,
+				ir.Probe, ir.RdPIC, ir.WrPIC, ir.RdTick, ir.Halt:
+				return false
+			}
+		}
+	}
+	return n <= opts.InlineMaxInstrs
+}
+
+// inlinePass splices hot leaf callees into xp. prog is the pristine input
+// program: callee bodies, the caller's liveness, and site indices all come
+// from it, so the pass is independent of what other procedures' pipelines
+// have done. Returns sites inlined and instructions added.
+func (xp *xproc) inlinePass(prog *ir.Program, data *ProfileData, opts Options) (count, grown int) {
+	caller := prog.Procs[xp.proc.ID]
+	for _, b := range caller.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.SetJmp {
+				// A longjmp can resume mid-procedure here through edges the
+				// CFG does not show; the liveness facts below would be
+				// unsound, so leave this caller alone.
+				return 0, 0
+			}
+		}
+	}
+
+	var cands []inlineCand
+	for i, s := range callSites(caller) {
+		if s.Op != ir.Call || s.Callee == caller.ID {
+			continue
+		}
+		callee := prog.Procs[s.Callee]
+		if !inlinable(callee, opts) {
+			continue
+		}
+		calls := data.SiteCalls[SiteKey{Caller: caller.ID, Site: i}][s.Callee]
+		if calls < opts.InlineMinCalls {
+			continue
+		}
+		cands = append(cands, inlineCand{order: i, site: s, callee: callee, calls: calls})
+	}
+	if len(cands) == 0 {
+		return 0, 0
+	}
+
+	// Spend the growth budget on the hottest sites first.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].calls != cands[j].calls {
+			return cands[i].calls > cands[j].calls
+		}
+		return cands[i].order < cands[j].order
+	})
+	budget := int(opts.InlineGrowth * float64(countInstrsProc(caller)))
+	var chosen []inlineCand
+	for _, c := range cands {
+		cost := countInstrsProc(c.callee) + 8 // body + prologue/jump estimate
+		if cost > budget {
+			continue
+		}
+		budget -= cost
+		chosen = append(chosen, c)
+	}
+	if len(chosen) == 0 {
+		return 0, 0
+	}
+
+	// Apply per block in descending instruction index, so remaining sites
+	// keep their (block, index) addresses.
+	sort.SliceStable(chosen, func(i, j int) bool {
+		if chosen[i].site.Block != chosen[j].site.Block {
+			return chosen[i].site.Block < chosen[j].site.Block
+		}
+		return chosen[i].site.Index > chosen[j].site.Index
+	})
+	live := dataflow.Liveness(caller)
+	used := caller.UsedRegs()
+	for _, c := range chosen {
+		if added, ok := xp.inlineOne(caller, live, used, data, c, opts); ok {
+			count++
+			grown += added
+		}
+	}
+	return count, grown
+}
+
+func countInstrsProc(p *ir.Proc) int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// inlineOne splices one callee body in place of the call at c.site.
+// Returns false (leaving the site untouched) when no register assignment
+// exists within the caps.
+func (xp *xproc) inlineOne(caller *ir.Proc, live *dataflow.LivenessResult, used [ir.NumRegs]bool, data *ProfileData, c inlineCand, opts Options) (int, bool) {
+	callee := c.callee
+	liveAfter := live.LiveAfter(caller, c.site.Block, c.site.Index)
+
+	// Classify the callee's register traffic.
+	var reads, writes dataflow.RegSet
+	for _, b := range callee.Blocks {
+		for _, in := range b.Instrs {
+			reads |= dataflow.Uses(in)
+			writes |= dataflow.Defs(in)
+		}
+	}
+	usedRegs := reads | writes
+	isArg := func(r ir.Reg) bool { return r >= ir.RegArg0 && r < ir.RegArg0+ir.NumArgRegs }
+
+	// Build the register mapping. Identity except where the convention
+	// demands otherwise: R1 and SP are copied back by Ret, so identity is
+	// exactly right; other argument registers the callee overwrites must
+	// be relocated when the caller still needs them; callee-private
+	// registers start at zero in a fresh activation and need explicit
+	// zeroing, on a caller register that is dead across the call.
+	var mapping [ir.NumRegs]ir.Reg
+	for r := range mapping {
+		mapping[r] = ir.Reg(r)
+	}
+	var targets dataflow.RegSet
+	var copyIn, zeroInit []ir.Reg // callee regs needing a fresh target
+	for r := ir.Reg(0); r < ir.NumRegs; r++ {
+		if !usedRegs.Has(r) {
+			continue
+		}
+		switch {
+		case r == ir.RegSP || r == ir.RegRV:
+			targets = targets.Add(r)
+		case isArg(r):
+			if writes.Has(r) && liveAfter.Has(r) {
+				copyIn = append(copyIn, r)
+			} else {
+				targets = targets.Add(r)
+			}
+		default:
+			if r != 0 && !liveAfter.Has(r) && !targets.Has(r) &&
+				(used[r] || r <= opts.MaxInlineReg) {
+				targets = targets.Add(r)
+				zeroInit = append(zeroInit, r)
+			} else {
+				copyIn = append(copyIn, r) // fresh target, zero-initialized
+			}
+		}
+	}
+	// Fresh targets may not collide with identity-mapped registers, other
+	// targets, live caller registers, or argument registers the prologue
+	// still needs to read.
+	forbidden := targets | liveAfter
+	forbidden = forbidden.Add(ir.RegSP).Add(ir.RegRV).Add(0)
+	for r := ir.RegArg0; r < ir.RegArg0+ir.NumArgRegs; r++ {
+		if reads.Has(r) {
+			forbidden = forbidden.Add(r)
+		}
+	}
+	pickFresh := func() (ir.Reg, bool) {
+		// Prefer registers the caller already uses (keeps the procedure's
+		// register footprint — and the instrumenter's headroom — intact),
+		// then untouched ones up to the cap.
+		for pass := 0; pass < 2; pass++ {
+			for r := ir.Reg(1); r < ir.NumRegs; r++ {
+				if forbidden.Has(r) {
+					continue
+				}
+				if pass == 0 && !used[r] {
+					continue
+				}
+				if pass == 1 && (used[r] || r > opts.MaxInlineReg) {
+					continue
+				}
+				forbidden = forbidden.Add(r)
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	var prologue []ir.Instr
+	for _, r := range copyIn {
+		f, ok := pickFresh()
+		if !ok {
+			return 0, false
+		}
+		mapping[r] = f
+		if isArg(r) {
+			prologue = append(prologue, ir.Instr{Op: ir.Mov, Rd: f, Rs: r})
+		} else {
+			prologue = append(prologue, ir.Instr{Op: ir.MovI, Rd: f, Imm: 0})
+		}
+	}
+	for _, r := range zeroInit {
+		prologue = append(prologue, ir.Instr{Op: ir.MovI, Rd: r, Imm: 0})
+	}
+
+	// Frequency estimates for the spliced blocks: the callee's own profile
+	// scaled by this site's share of its invocations.
+	calleeEF := data.Edges[callee.ID]
+	var calleeFreqs []int64
+	if calleeEF != nil {
+		calleeFreqs = analysis.BlockFrequencies(callee, calleeEF)
+	}
+	total := max(data.Calls[callee.ID], 1)
+	scale := func(v int64) int64 { return v * c.calls / total }
+
+	// Split the call block: b keeps the prefix and jumps into the spliced
+	// entry; cont picks up at the instruction after the call.
+	b := xp.blocks[int(c.site.Block)]
+	idx := c.site.Index
+	cont := xp.add(&xblock{
+		instrs: append([]ir.Instr(nil), b.instrs[idx+1:]...),
+		succs:  b.succs,
+		ef:     b.ef,
+		freq:   b.freq,
+	})
+	if xp.exit == b {
+		xp.exit = cont
+	}
+
+	rename := func(in ir.Instr) ir.Instr {
+		in.Rd = mapping[in.Rd]
+		in.Rs = mapping[in.Rs]
+		in.Rt = mapping[in.Rt]
+		return in
+	}
+	copies := make([]*xblock, len(callee.Blocks))
+	for i, cb := range callee.Blocks {
+		x := &xblock{instrs: make([]ir.Instr, len(cb.Instrs))}
+		for k, in := range cb.Instrs {
+			x.instrs[k] = rename(in)
+		}
+		if calleeFreqs != nil {
+			x.freq = scale(calleeFreqs[i])
+		}
+		copies[i] = xp.add(x)
+	}
+	for i, cb := range callee.Blocks {
+		x := copies[i]
+		if cb.Term().Op == ir.Ret {
+			x.instrs[len(x.instrs)-1] = ir.Instr{Op: ir.Jmp}
+			x.succs = []*xblock{cont}
+			x.ef = []int64{x.freq}
+			continue
+		}
+		x.succs = make([]*xblock, len(cb.Succs))
+		x.ef = make([]int64, len(cb.Succs))
+		for slot, s := range cb.Succs {
+			x.succs[slot] = copies[s]
+			if calleeEF != nil {
+				x.ef[slot] = scale(calleeEF[cfg.Edge{From: cb.ID, To: s, Slot: slot}])
+			}
+		}
+	}
+
+	b.instrs = append(b.instrs[:idx:idx], prologue...)
+	b.instrs = append(b.instrs, ir.Instr{Op: ir.Jmp})
+	b.succs = []*xblock{copies[0]}
+	b.ef = []int64{c.calls}
+	added := len(prologue) + 1 + countInstrs(copies)
+	return added, true
+}

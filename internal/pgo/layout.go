@@ -1,0 +1,120 @@
+package pgo
+
+import "sort"
+
+// Code layout in the Pettis–Hansen style. The simulator lays instruction
+// addresses out in block order (sim.InstrBytes per instruction, procedures
+// aligned to sim.ProcAlign), so the order chosen here directly determines
+// I-cache line packing and branch-predictor indexing. Chains of
+// measured-hot edges keep the dominant path on consecutive cache lines;
+// cold chains — including never-executed blocks — sink to the procedure
+// tail, which is the cold-block outlining transform: the hot footprint
+// shrinks to the lines the hot path actually touches.
+
+// layoutEdge is one candidate fall-through edge during chain building.
+type layoutEdge struct {
+	from, to *xblock
+	freq     int64
+}
+
+// layout orders the reachable blocks: greedy chain-merging over edges in
+// descending frequency order, then chains ordered hot-to-cold with the
+// entry chain first. When coldLast is false, chains keep creation order
+// instead of hotness order (plain reordering without outlining). Returns
+// the order (entry first) and how many never-executed blocks ended up
+// outlined behind all executed ones.
+func (xp *xproc) layout(coldLast bool) (order []*xblock, outlined int) {
+	live := xp.reachable()
+
+	// Each block starts as its own chain.
+	chain := make(map[*xblock]int, len(live))
+	chains := make([][]*xblock, len(live))
+	for i, b := range live {
+		chain[b] = i
+		chains[i] = []*xblock{b}
+	}
+
+	var edges []layoutEdge
+	for _, b := range live {
+		for slot, s := range b.succs {
+			edges = append(edges, layoutEdge{from: b, to: s, freq: b.ef[slot]})
+		}
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].freq != edges[j].freq {
+			return edges[i].freq > edges[j].freq
+		}
+		if edges[i].from.pos != edges[j].from.pos {
+			return edges[i].from.pos < edges[j].from.pos
+		}
+		return edges[i].to.pos < edges[j].to.pos
+	})
+
+	// Merge: from must be a chain tail, to a chain head, chains distinct,
+	// and the entry must stay a chain head so it can be laid out first.
+	for _, e := range edges {
+		ci, cj := chain[e.from], chain[e.to]
+		if ci == cj || e.to == xp.entry {
+			continue
+		}
+		a, b := chains[ci], chains[cj]
+		if a[len(a)-1] != e.from || b[0] != e.to {
+			continue
+		}
+		chains[ci] = append(a, b...)
+		chains[cj] = nil
+		for _, x := range b {
+			chain[x] = ci
+		}
+	}
+
+	// Order the chains: entry chain first, then by hotness (peak block
+	// frequency, creation-order tie-break); never-executed chains last.
+	type chainInfo struct {
+		blocks []*xblock
+		peak   int64
+		pos    int
+	}
+	var infos []chainInfo
+	var entryChain []*xblock
+	for _, c := range chains {
+		if len(c) == 0 {
+			continue
+		}
+		if c[0] == xp.entry {
+			entryChain = c
+			continue
+		}
+		ci := chainInfo{blocks: c, pos: c[0].pos}
+		for _, b := range c {
+			ci.peak = max(ci.peak, b.freq)
+		}
+		infos = append(infos, ci)
+	}
+	if coldLast {
+		sort.SliceStable(infos, func(i, j int) bool {
+			hotI, hotJ := infos[i].peak > 0, infos[j].peak > 0
+			if hotI != hotJ {
+				return hotI
+			}
+			if infos[i].peak != infos[j].peak {
+				return infos[i].peak > infos[j].peak
+			}
+			return infos[i].pos < infos[j].pos
+		})
+	} else {
+		sort.SliceStable(infos, func(i, j int) bool { return infos[i].pos < infos[j].pos })
+	}
+
+	order = append(order, entryChain...)
+	for _, ci := range infos {
+		order = append(order, ci.blocks...)
+	}
+	if coldLast {
+		// Count trailing never-executed blocks as outlined.
+		for i := len(order) - 1; i >= 0 && order[i].freq == 0; i-- {
+			outlined++
+		}
+	}
+	return order, outlined
+}

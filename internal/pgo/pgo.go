@@ -1,0 +1,177 @@
+package pgo
+
+import (
+	"fmt"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/ir"
+)
+
+// Options selects and bounds the transforms. The zero value disables
+// everything; DefaultOptions enables the full pipeline with the budgets
+// used by the experiments.
+type Options struct {
+	// ThreadJumps bypasses bare-jump blocks and demotes converged
+	// branches.
+	ThreadJumps bool
+	// MergeBlocks folds sole-predecessor jump targets into their
+	// predecessor.
+	MergeBlocks bool
+	// TailDup forms superblocks by duplicating hot jump targets that have
+	// side entrances.
+	TailDup bool
+	// TailDupGrowth bounds tail-duplication code growth as a fraction of
+	// the procedure's pre-duplication instruction count.
+	TailDupGrowth float64
+	// TailDupMaxBlock is the largest block (instructions) tail duplication
+	// will copy.
+	TailDupMaxBlock int
+	// TailDupMinFreq is the minimum measured edge count worth a private
+	// copy.
+	TailDupMinFreq int64
+	// Inline splices hot leaf callees into their callers.
+	Inline bool
+	// InlineMaxInstrs is the largest callee body eligible for inlining.
+	InlineMaxInstrs int
+	// InlineMinCalls is the minimum measured call count at a site.
+	InlineMinCalls int64
+	// InlineGrowth bounds per-caller inlining growth as a fraction of the
+	// caller's instruction count.
+	InlineGrowth float64
+	// MaxInlineReg caps which caller-unused registers inlining may claim,
+	// preserving the high registers the instrumenter allocates from.
+	MaxInlineReg ir.Reg
+	// Reorder lays blocks out in Pettis–Hansen fall-through chains.
+	Reorder bool
+	// ColdOutline sinks never-executed chains to the procedure tail
+	// (requires Reorder).
+	ColdOutline bool
+}
+
+// DefaultOptions returns the full pipeline with the standard budgets.
+func DefaultOptions() Options {
+	return Options{
+		ThreadJumps:     true,
+		MergeBlocks:     true,
+		TailDup:         true,
+		TailDupGrowth:   0.25,
+		TailDupMaxBlock: 8,
+		TailDupMinFreq:  16,
+		Inline:          true,
+		InlineMaxInstrs: 48,
+		InlineMinCalls:  16,
+		InlineGrowth:    0.5,
+		MaxInlineReg:    25,
+		Reorder:         true,
+		ColdOutline:     true,
+	}
+}
+
+// Stats reports what Optimize did.
+type Stats struct {
+	Threaded     int // edges retargeted / branches demoted
+	Merged       int // blocks folded into predecessors
+	Duplicated   int // tail-duplicated blocks
+	DupInstrs    int // instructions added by duplication
+	Inlined      int // call sites inlined
+	InlineInstrs int // instructions added by inlining
+	Outlined     int // never-executed blocks sunk to procedure tails
+	// Skipped is non-empty when the whole program was left untouched, with
+	// the reason.
+	Skipped string
+}
+
+func (s *Stats) String() string {
+	if s.Skipped != "" {
+		return fmt.Sprintf("skipped (%s)", s.Skipped)
+	}
+	return fmt.Sprintf("threaded %d, merged %d, tail-dup %d (+%d instrs), inlined %d (+%d instrs), outlined %d",
+		s.Threaded, s.Merged, s.Duplicated, s.DupInstrs, s.Inlined, s.InlineInstrs, s.Outlined)
+}
+
+// Optimize rewrites a clone of prog guided by data and returns it with
+// statistics. The input program is never modified. The result always
+// passes ir.Validate and is architecturally equivalent to the input: same
+// outputs, same final memory image, on every input (transforms only remove
+// or relocate control transfers and splice callee bodies under the calling
+// convention).
+//
+// Programs reading the cycle counter (RdTick) or carrying instrumentation
+// (Probe, RdPIC, WrPIC) are returned unchanged: any rewrite shifts their
+// observable values.
+func Optimize(prog *ir.Program, data *ProfileData, opts Options) (*ir.Program, *Stats, error) {
+	out := ir.Clone(prog)
+	stats := &Stats{}
+	if reason := timingSensitive(prog); reason != "" {
+		stats.Skipped = reason
+		return out, stats, nil
+	}
+	for _, p := range out.Procs {
+		xp := newXproc(p, edgesFor(data, p.ID))
+		if opts.Inline {
+			n, grown := xp.inlinePass(prog, data, opts)
+			stats.Inlined += n
+			stats.InlineInstrs += grown
+		}
+		if opts.ThreadJumps {
+			stats.Threaded += xp.threadJumps()
+		}
+		if opts.MergeBlocks {
+			stats.Merged += xp.mergeBlocks()
+		}
+		if opts.TailDup {
+			d, g := xp.tailDup(opts)
+			stats.Duplicated += d
+			stats.DupInstrs += g
+			// Duplication can empty side paths into bare jumps; clean up.
+			if opts.ThreadJumps {
+				stats.Threaded += xp.threadJumps()
+			}
+			if opts.MergeBlocks {
+				stats.Merged += xp.mergeBlocks()
+			}
+		}
+		var order []*xblock
+		if opts.Reorder {
+			var outlined int
+			order, outlined = xp.layout(opts.ColdOutline)
+			stats.Outlined += outlined
+		} else {
+			order = xp.reachable()
+		}
+		if err := xp.commit(order); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := ir.Validate(out); err != nil {
+		return nil, nil, fmt.Errorf("pgo: optimized program invalid: %w", err)
+	}
+	return out, stats, nil
+}
+
+// edgesFor returns the measured edge frequencies for proc id, nil when the
+// profile has none.
+func edgesFor(data *ProfileData, id int) analysis.EdgeFreq {
+	if data == nil || id >= len(data.Edges) {
+		return nil
+	}
+	return data.Edges[id]
+}
+
+// timingSensitive reports why a program cannot be rewritten safely, or ""
+// when it can.
+func timingSensitive(prog *ir.Program) string {
+	for _, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.RdTick:
+					return fmt.Sprintf("proc %s reads the cycle counter", p.Name)
+				case ir.Probe, ir.RdPIC, ir.WrPIC:
+					return fmt.Sprintf("proc %s carries instrumentation", p.Name)
+				}
+			}
+		}
+	}
+	return ""
+}

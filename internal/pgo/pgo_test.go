@@ -1,0 +1,46 @@
+package pgo
+
+import (
+	"testing"
+
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+
+	_ "pathprof/internal/ppvet/autovet" // self-verify every Instrument call
+)
+
+// TestRoundTripWorkloads runs the full profile→optimize→re-profile loop on
+// every workload. RoundTrip itself enforces equivalence (outputs and final
+// memory byte-identical for every ladder candidate) and never picks a
+// winner that regresses cycles, I-cache misses, or mispredicts.
+func TestRoundTripWorkloads(t *testing.T) {
+	improved := 0
+	for _, w := range workload.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(workload.Test)
+			res, err := RoundTrip(prog, sim.DefaultConfig(), DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.After.Cycles > res.Before.Cycles {
+				t.Errorf("winner regresses cycles: %d -> %d", res.Before.Cycles, res.After.Cycles)
+			}
+			if res.After.ICacheMiss > res.Before.ICacheMiss {
+				t.Errorf("winner regresses icache misses: %d -> %d", res.Before.ICacheMiss, res.After.ICacheMiss)
+			}
+			if res.After.Mispredicts > res.Before.Mispredicts {
+				t.Errorf("winner regresses mispredicts: %d -> %d", res.Before.Mispredicts, res.After.Mispredicts)
+			}
+			if res.After.Cycles < res.Before.Cycles {
+				improved++
+			}
+			t.Logf("%s: winner=%s cycles %d -> %d (%.1f%%), imiss %d -> %d, misp %d -> %d; %v",
+				w.Name, res.Winner, res.Before.Cycles, res.After.Cycles,
+				100*(1-float64(res.After.Cycles)/float64(res.Before.Cycles)),
+				res.Before.ICacheMiss, res.After.ICacheMiss,
+				res.Before.Mispredicts, res.After.Mispredicts, res.Stats)
+		})
+	}
+	t.Logf("workloads improved: %d", improved)
+}

@@ -1,0 +1,142 @@
+package pgo
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+// The differential semantic-preservation harness: every workload, under
+// every individual transform and every ladder combination, must validate
+// and reproduce the baseline's output stream and final memory image
+// byte for byte. The full-opts result is additionally re-instrumented in
+// every mode (autovet checks each plan) and re-run.
+
+// variants enumerates the option sets the harness exercises: each
+// transform alone, then the ladder combinations.
+func variants() []struct {
+	Name string
+	Opts Options
+} {
+	full := DefaultOptions()
+	single := func(mut func(*Options)) Options {
+		o := Options{
+			TailDupGrowth:   full.TailDupGrowth,
+			TailDupMaxBlock: full.TailDupMaxBlock,
+			TailDupMinFreq:  full.TailDupMinFreq,
+			InlineMaxInstrs: full.InlineMaxInstrs,
+			InlineMinCalls:  full.InlineMinCalls,
+			InlineGrowth:    full.InlineGrowth,
+			MaxInlineReg:    full.MaxInlineReg,
+		}
+		mut(&o)
+		return o
+	}
+	vs := []struct {
+		Name string
+		Opts Options
+	}{
+		{"none", single(func(o *Options) {})},
+		{"thread", single(func(o *Options) { o.ThreadJumps = true })},
+		{"merge", single(func(o *Options) { o.MergeBlocks = true })},
+		{"taildup", single(func(o *Options) { o.TailDup = true })},
+		{"inline", single(func(o *Options) { o.Inline = true })},
+		{"reorder", single(func(o *Options) { o.Reorder = true })},
+		{"outline", single(func(o *Options) { o.Reorder = true; o.ColdOutline = true })},
+	}
+	for _, c := range ladder(full) {
+		vs = append(vs, c)
+	}
+	return vs
+}
+
+// checkEquivalent optimizes prog with opts and fails if the result does
+// not validate or diverges from the baseline run.
+func checkEquivalent(t *testing.T, prog *ir.Program, data *ProfileData, opts Options, baseOut []int64, baseMem *mem.Memory) *ir.Program {
+	t.Helper()
+	opt, _, err := Optimize(prog, data, opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if errs := ir.ValidateAll(opt); len(errs) > 0 {
+		t.Fatalf("optimized program invalid: %v (+%d more)", errs[0], len(errs)-1)
+	}
+	_, out, memory, err := runPlain(opt, sim.DefaultConfig())
+	if err != nil {
+		t.Fatalf("optimized run: %v", err)
+	}
+	if !slices.Equal(out, baseOut) {
+		t.Fatalf("output diverges: %d words vs %d", len(out), len(baseOut))
+	}
+	if !mem.Equal(memory, baseMem) {
+		addr, av, bv, _ := mem.DiffWord(memory, baseMem)
+		t.Fatalf("memory diverges at %#x: %d vs %d", addr, av, bv)
+	}
+	return opt
+}
+
+func TestPreservationWorkloads(t *testing.T) {
+	modes := []instrument.Mode{
+		instrument.ModeEdgeCount,
+		instrument.ModePathFreq,
+		instrument.ModePathHW,
+		instrument.ModeContextHW,
+		instrument.ModeContextFlow,
+		instrument.ModeContextProbesOnly,
+		instrument.ModeBlockHW,
+	}
+	for _, w := range workload.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(workload.Test)
+			_, baseOut, baseMem, err := runPlain(prog, sim.DefaultConfig())
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			data, err := Acquire(prog, sim.DefaultConfig())
+			if err != nil {
+				t.Fatalf("acquire: %v", err)
+			}
+			var fullOpt *ir.Program
+			for _, v := range variants() {
+				v := v
+				t.Run(v.Name, func(t *testing.T) {
+					opt := checkEquivalent(t, prog, data, v.Opts, baseOut, baseMem)
+					if v.Name == "full" {
+						fullOpt = opt
+					}
+				})
+			}
+			if fullOpt == nil {
+				t.Fatal("full variant did not run")
+			}
+			// The optimized program must remain instrumentable: every mode
+			// (autovet verifies each plan) and the instrumented run must
+			// still produce the baseline output.
+			for _, mode := range modes {
+				mode := mode
+				t.Run(fmt.Sprintf("reinstrument-%s", mode), func(t *testing.T) {
+					plan, err := instrument.Instrument(fullOpt, instrument.DefaultOptions(mode))
+					if err != nil {
+						t.Fatalf("instrument: %v", err)
+					}
+					m := sim.New(plan.Prog, sim.DefaultConfig())
+					plan.Wire(m)
+					res, err := m.Run()
+					if err != nil {
+						t.Fatalf("instrumented run: %v", err)
+					}
+					if !slices.Equal(res.Output, baseOut) {
+						t.Fatalf("instrumented output diverges")
+					}
+				})
+			}
+		})
+	}
+}

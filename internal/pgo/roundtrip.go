@@ -1,0 +1,183 @@
+package pgo
+
+import (
+	"fmt"
+	"slices"
+
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/mem"
+	"pathprof/internal/sim"
+)
+
+// The round-trip driver: profile → optimize → verify → re-profile. Every
+// candidate option set is built, validated, run to completion, and checked
+// for byte-identical output and final memory against the baseline — an
+// equivalence failure is a hard error, never a silent fallback. Among the
+// candidates that do not regress any gated metric, the one with the fewest
+// simulated cycles wins; the unmodified program is always a candidate, so
+// a winner always exists and never regresses the baseline.
+
+// Metrics are the simulated measurements the optimizer is judged on.
+type Metrics struct {
+	Cycles      uint64 `json:"cycles"`
+	Instrs      uint64 `json:"instrs"`
+	ICacheMiss  uint64 `json:"icache_miss"`
+	Mispredicts uint64 `json:"mispredicts"`
+	DCacheMiss  uint64 `json:"dcache_miss"`
+}
+
+func metricsOf(res sim.Result) Metrics {
+	return Metrics{
+		Cycles:      res.Cycles,
+		Instrs:      res.Instrs,
+		ICacheMiss:  res.Totals[hpm.EvICacheMiss],
+		Mispredicts: res.Totals[hpm.EvMispredict],
+		DCacheMiss:  res.Totals[hpm.EvDCacheMiss],
+	}
+}
+
+// Candidate is one evaluated option set.
+type Candidate struct {
+	Name    string
+	Metrics Metrics
+	Stats   *Stats
+}
+
+// Result is one program's complete round trip.
+type Result struct {
+	// Before/After are the uninstrumented baseline and winning rewrite.
+	Before, After Metrics
+	// Winner names the winning candidate ("identity" when no rewrite beat
+	// the baseline without regressing a gated metric).
+	Winner string
+	// Candidates lists every evaluated option set, in ladder order.
+	Candidates []Candidate
+	// Stats describes the winning rewrite (nil for identity).
+	Stats *Stats
+	// Optimized is the winning program.
+	Optimized *ir.Program
+	// ProfileBefore/ProfileAfter are the instrumented (ModePathFreq)
+	// cycle counts of original and winning program — the re-profile leg,
+	// showing the optimized program still profiles and what profiling
+	// costs on it.
+	ProfileBefore, ProfileAfter uint64
+}
+
+// ladder returns the candidate option sets in evaluation order: the full
+// pipeline first, then progressively safer subsets, so the winner
+// gracefully degrades when an aggressive transform regresses a gated
+// metric on some workload.
+func ladder(opts Options) []struct {
+	Name string
+	Opts Options
+} {
+	full := opts
+	noDup := full
+	noDup.TailDup = false
+	noDupNoInl := noDup
+	noDupNoInl.Inline = false
+	layoutOnly := Options{ThreadJumps: true, MergeBlocks: true, Reorder: opts.Reorder, ColdOutline: opts.ColdOutline}
+	threadOnly := Options{ThreadJumps: true, MergeBlocks: true}
+	return []struct {
+		Name string
+		Opts Options
+	}{
+		{"full", full},
+		{"no-taildup", noDup},
+		{"thread+merge+layout", layoutOnly},
+		{"no-taildup-no-inline", noDupNoInl},
+		{"thread+merge", threadOnly},
+	}
+}
+
+// runPlain executes an uninstrumented program and returns its metrics,
+// output stream and final memory image.
+func runPlain(prog *ir.Program, simCfg sim.Config) (Metrics, []int64, *mem.Memory, error) {
+	m := sim.New(prog, simCfg)
+	res, err := m.Run()
+	if err != nil {
+		return Metrics{}, nil, nil, err
+	}
+	return metricsOf(res), res.Output, m.Mem(), nil
+}
+
+// profiledCycles instruments prog for path frequencies (using placement
+// when provided) and returns the instrumented run's cycle count.
+func profiledCycles(prog *ir.Program, simCfg sim.Config, placement []instrument.EdgeFreqs) (uint64, error) {
+	opts := instrument.DefaultOptions(instrument.ModePathFreq)
+	opts.ProfiledFreqs = placement
+	plan, err := instrument.Instrument(prog, opts)
+	if err != nil {
+		return 0, err
+	}
+	m := sim.New(plan.Prog, simCfg)
+	plan.Wire(m)
+	res, err := m.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// RoundTrip profiles prog, optimizes it under every ladder candidate,
+// verifies each rewrite's architectural equivalence (outputs and final
+// memory byte-identical to the baseline), and picks the cycle-minimal
+// candidate whose I-cache misses and branch mispredicts do not exceed the
+// baseline's. The re-profile leg then instruments the winner — with
+// profile-guided counter placement from the acquisition run — and records
+// instrumented cycles before and after.
+func RoundTrip(prog *ir.Program, simCfg sim.Config, opts Options) (*Result, error) {
+	base, baseOut, baseMem, err := runPlain(prog, simCfg)
+	if err != nil {
+		return nil, fmt.Errorf("pgo: baseline run: %w", err)
+	}
+	data, err := Acquire(prog, simCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Before: base, After: base, Winner: "identity", Optimized: prog}
+	for _, cand := range ladder(opts) {
+		optimized, stats, err := Optimize(prog, data, cand.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("pgo: candidate %s: %w", cand.Name, err)
+		}
+		m, out, memory, err := runPlain(optimized, simCfg)
+		if err != nil {
+			return nil, fmt.Errorf("pgo: candidate %s run: %w", cand.Name, err)
+		}
+		if !slices.Equal(out, baseOut) {
+			return nil, fmt.Errorf("pgo: candidate %s: output diverges from baseline", cand.Name)
+		}
+		if !mem.Equal(memory, baseMem) {
+			addr, av, bv, _ := mem.DiffWord(memory, baseMem)
+			return nil, fmt.Errorf("pgo: candidate %s: memory diverges at %#x (%d vs %d)", cand.Name, addr, av, bv)
+		}
+		res.Candidates = append(res.Candidates, Candidate{Name: cand.Name, Metrics: m, Stats: stats})
+		if m.Cycles < res.After.Cycles &&
+			m.ICacheMiss <= base.ICacheMiss &&
+			m.Mispredicts <= base.Mispredicts {
+			res.After = m
+			res.Winner = cand.Name
+			res.Stats = stats
+			res.Optimized = optimized
+		}
+	}
+
+	if res.ProfileBefore, err = profiledCycles(prog, simCfg, nil); err != nil {
+		return nil, fmt.Errorf("pgo: re-profile baseline: %w", err)
+	}
+	// Re-profiling the winner uses the acquisition run's measured
+	// frequencies for counter placement only when the CFGs still line up
+	// (identity winner); rewritten programs get the static heuristic.
+	var placement []instrument.EdgeFreqs
+	if res.Winner == "identity" {
+		placement = data.Placement
+	}
+	if res.ProfileAfter, err = profiledCycles(res.Optimized, simCfg, placement); err != nil {
+		return nil, fmt.Errorf("pgo: re-profile optimized: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package pgo
+
+import (
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+// TestOptimizeDeterministic re-runs the full pipeline and requires the
+// printed programs to be identical: every choice (layout chains, tail-dup
+// picks, inline order, fresh registers) must have a stable tie-break.
+func TestOptimizeDeterministic(t *testing.T) {
+	for _, name := range []string{"interp", "compress", "objdb"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %q", name)
+		}
+		prog := w.Build(workload.Test)
+		data, err := Acquire(prog, sim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, _, err := Optimize(prog, data, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			again, _, err := Optimize(prog, data, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.String() != first.String() {
+				t.Fatalf("%s: run %d produced a different program", name, i)
+			}
+		}
+	}
+}
+
+// TestOptimizeTimingSensitive: programs that read the cycle counter must
+// come back untouched, with the reason recorded.
+func TestOptimizeTimingSensitive(t *testing.T) {
+	w, _ := workload.ByName("interp")
+	prog := w.Build(workload.Test)
+	entry := prog.Procs[prog.Main].Blocks[0]
+	entry.Instrs = append([]ir.Instr{{Op: ir.RdTick, Rd: 9}}, entry.Instrs...)
+	data, err := Acquire(prog, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, stats, err := Optimize(prog, data, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped == "" {
+		t.Fatal("expected Skipped reason for RdTick program")
+	}
+	if opt.String() != prog.String() {
+		t.Fatal("timing-sensitive program was modified")
+	}
+}
+
+// TestOptimizeZeroOptions: with everything disabled the program is
+// renumbered through commit but must stay behaviorally identical and
+// report zero work.
+func TestOptimizeZeroOptions(t *testing.T) {
+	w, _ := workload.ByName("strhash")
+	prog := w.Build(workload.Test)
+	data, err := Acquire(prog, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, stats, err := Optimize(prog, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Threaded+stats.Merged+stats.Duplicated+stats.Inlined+stats.Outlined != 0 {
+		t.Fatalf("zero options did work: %v", stats)
+	}
+	if errs := ir.ValidateAll(opt); len(errs) > 0 {
+		t.Fatalf("invalid: %v", errs[0])
+	}
+}

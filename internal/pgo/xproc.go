@@ -1,0 +1,187 @@
+// Package pgo closes the profile→optimize→re-profile loop: it consumes the
+// exact Ball-Larus path profiles and calling-context trees the rest of the
+// system produces and rewrites program IR to run faster on the simulated
+// machine — jump threading and block merging along measured-hot edges,
+// superblock formation by bounded tail duplication, Pettis–Hansen-style
+// fall-through chaining with cold-block outlining, and context-sensitive
+// inlining of hot leaf call edges. Every transform preserves architectural
+// semantics; the round-trip driver verifies output equivalence and measured
+// speedup on the simulator before accepting a rewrite.
+package pgo
+
+import (
+	"fmt"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+)
+
+// xblock is a basic block under transformation: instructions (terminator
+// last), successor pointers instead of IDs, and profile estimates. Pointer
+// successors let transforms splice, duplicate and drop blocks freely; IDs
+// are assigned once at commit.
+type xblock struct {
+	instrs []ir.Instr
+	succs  []*xblock
+	ef     []int64 // per-successor edge execution counts (estimates)
+	freq   int64   // block execution count (estimate)
+	pos    int     // creation order, the deterministic tie-break everywhere
+}
+
+func (x *xblock) term() ir.Instr { return x.instrs[len(x.instrs)-1] }
+
+// bareJump reports whether the block is a single unconditional jump — no
+// effects, safe to bypass.
+func (x *xblock) bareJump() bool {
+	return len(x.instrs) == 1 && x.instrs[0].Op == ir.Jmp
+}
+
+// xproc is one procedure's mutable CFG. blocks holds every block ever
+// created in creation order; unreachable ones are dropped at commit.
+type xproc struct {
+	proc   *ir.Proc // the clone that commit rewrites
+	entry  *xblock
+	exit   *xblock
+	blocks []*xblock
+}
+
+// newXproc lifts a procedure into pointer form, attaching measured edge
+// frequencies (keyed on this procedure's CFG; nil means an unexecuted or
+// unprofiled procedure — all estimates zero).
+func newXproc(p *ir.Proc, ef analysis.EdgeFreq) *xproc {
+	xp := &xproc{proc: p}
+	xs := make([]*xblock, len(p.Blocks))
+	var freqs []int64
+	if ef != nil {
+		freqs = analysis.BlockFrequencies(p, ef)
+	}
+	for i, b := range p.Blocks {
+		x := &xblock{
+			instrs: append([]ir.Instr(nil), b.Instrs...),
+			pos:    i,
+		}
+		if freqs != nil {
+			x.freq = freqs[i]
+		}
+		xs[i] = x
+	}
+	for i, b := range p.Blocks {
+		x := xs[i]
+		x.succs = make([]*xblock, len(b.Succs))
+		x.ef = make([]int64, len(b.Succs))
+		for slot, s := range b.Succs {
+			x.succs[slot] = xs[s]
+			if ef != nil {
+				x.ef[slot] = ef[cfg.Edge{From: b.ID, To: s, Slot: slot}]
+			}
+		}
+	}
+	xp.blocks = xs
+	xp.entry = xs[0]
+	xp.exit = xs[p.ExitBlock]
+	return xp
+}
+
+// add appends a newly created block (giving it the next creation position).
+func (xp *xproc) add(x *xblock) *xblock {
+	x.pos = len(xp.blocks)
+	xp.blocks = append(xp.blocks, x)
+	return x
+}
+
+// reachable returns the blocks reachable from entry in deterministic
+// depth-first order (successor slot order, entry first).
+func (xp *xproc) reachable() []*xblock {
+	seen := make(map[*xblock]bool, len(xp.blocks))
+	var order []*xblock
+	var rec func(x *xblock)
+	rec = func(x *xblock) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		order = append(order, x)
+		for _, s := range x.succs {
+			rec(s)
+		}
+	}
+	rec(xp.entry)
+	return order
+}
+
+// preds counts predecessors among the given blocks.
+func preds(blocks []*xblock) map[*xblock]int {
+	n := make(map[*xblock]int, len(blocks))
+	for _, b := range blocks {
+		for _, s := range b.succs {
+			n[s]++
+		}
+	}
+	return n
+}
+
+// countInstrs totals instructions over the given blocks.
+func countInstrs(blocks []*xblock) int {
+	n := 0
+	for _, b := range blocks {
+		n += len(b.instrs)
+	}
+	return n
+}
+
+// commit writes the blocks back into the procedure in the given order,
+// which must start with the entry and contain exactly the reachable set.
+// Block IDs are assigned by position; successor pointers become IDs.
+func (xp *xproc) commit(order []*xblock) error {
+	if len(order) == 0 || order[0] != xp.entry {
+		return fmt.Errorf("pgo: %s: commit order must start with the entry", xp.proc.Name)
+	}
+	id := make(map[*xblock]int, len(order))
+	for i, x := range order {
+		if _, dup := id[x]; dup {
+			return fmt.Errorf("pgo: %s: block %d appears twice in commit order", xp.proc.Name, x.pos)
+		}
+		id[x] = i
+	}
+	p := xp.proc
+	p.Blocks = make([]*ir.Block, len(order))
+	for i, x := range order {
+		b := &ir.Block{
+			ID:     ir.BlockID(i),
+			Instrs: x.instrs,
+			Succs:  make([]ir.BlockID, len(x.succs)),
+		}
+		for slot, s := range x.succs {
+			si, ok := id[s]
+			if !ok {
+				return fmt.Errorf("pgo: %s: successor of block %d missing from commit order", p.Name, x.pos)
+			}
+			b.Succs[slot] = ir.BlockID(si)
+		}
+		p.Blocks[i] = b
+	}
+	ei, ok := id[xp.exit]
+	if !ok {
+		return fmt.Errorf("pgo: %s: exit block missing from commit order", p.Name)
+	}
+	p.ExitBlock = ir.BlockID(ei)
+	return nil
+}
+
+// edgeFreqs reprojects the current estimates onto committed block IDs —
+// used after commit when later stages want frequencies for the rewritten
+// CFG.
+func (xp *xproc) edgeFreqs(order []*xblock) analysis.EdgeFreq {
+	id := make(map[*xblock]int, len(order))
+	for i, x := range order {
+		id[x] = i
+	}
+	ef := make(analysis.EdgeFreq)
+	for _, x := range order {
+		for slot, s := range x.succs {
+			ef[cfg.Edge{From: ir.BlockID(id[x]), To: ir.BlockID(id[s]), Slot: slot}] = x.ef[slot]
+		}
+	}
+	return ef
+}

@@ -1,0 +1,53 @@
+package report
+
+import "fmt"
+
+// Before/after reporting for the optimization experiments: one row per
+// item, each tracked metric shown side by side with its signed delta.
+
+// DeltaMetric is one measured quantity in a DeltaTable row.
+type DeltaMetric struct {
+	Name          string
+	Before, After uint64
+}
+
+// DeltaPct formats the relative change of after vs before as a signed
+// percentage ("-9.78%"); zero baselines render as "n/a" unless nothing
+// changed.
+func DeltaPct(before, after uint64) string {
+	if before == 0 {
+		if after == 0 {
+			return "+0.00%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.2f%%", 100*(float64(after)-float64(before))/float64(before))
+}
+
+// DeltaTable builds a side-by-side before/after table: a name column and
+// a note column per item, then before/after/Δ columns for each metric in
+// metricNames. Rows are added with AddDeltaRow; metrics must arrive in
+// the same order.
+func DeltaTable(title, note string, itemCol, noteCol string, metricNames []string) *Table {
+	cols := []string{itemCol}
+	for _, m := range metricNames {
+		cols = append(cols, m+" before", m+" after", "Δ"+m)
+	}
+	if noteCol != "" {
+		cols = append(cols, noteCol)
+	}
+	return &Table{Title: title, Note: note, Cols: cols}
+}
+
+// AddDeltaRow appends one item with its metrics (ordered as in
+// DeltaTable's metricNames) and an optional trailing note cell.
+func (t *Table) AddDeltaRow(item string, metrics []DeltaMetric, note string) {
+	row := []interface{}{item}
+	for _, m := range metrics {
+		row = append(row, m.Before, m.After, DeltaPct(m.Before, m.After))
+	}
+	if note != "" {
+		row = append(row, note)
+	}
+	t.AddRow(row...)
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeltaPct(t *testing.T) {
+	cases := []struct {
+		before, after uint64
+		want          string
+	}{
+		{100, 90, "-10.00%"},
+		{100, 100, "+0.00%"},
+		{100, 125, "+25.00%"},
+		{0, 0, "+0.00%"},
+		{0, 5, "n/a"},
+	}
+	for _, c := range cases {
+		if got := DeltaPct(c.before, c.after); got != c.want {
+			t.Errorf("DeltaPct(%d, %d) = %q, want %q", c.before, c.after, got, c.want)
+		}
+	}
+}
+
+func TestDeltaTable(t *testing.T) {
+	tbl := DeltaTable("T", "", "Item", "Note", []string{"cycles", "imiss"})
+	if len(tbl.Cols) != 1+2*3+1 {
+		t.Fatalf("got %d cols: %v", len(tbl.Cols), tbl.Cols)
+	}
+	tbl.AddDeltaRow("w", []DeltaMetric{
+		{Name: "cycles", Before: 200, After: 150},
+		{Name: "imiss", Before: 10, After: 10},
+	}, "full")
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"-25.00%", "+0.00%", "full", "cycles before"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -63,6 +63,17 @@ type Config struct {
 	MaxOutput int    // output buffer limit (0 = default)
 }
 
+// Instruction layout constants. Code is laid out sequentially from
+// mem.TextBase in block order — InstrBytes per instruction, each procedure
+// aligned to a fresh ProcAlign-byte I-cache line — so a program's block
+// order determines its instruction addresses, and with them its I-cache
+// footprint and branch-predictor indexing. The pgo layout passes rely on
+// this model when packing hot chains.
+const (
+	InstrBytes uint64 = 4
+	ProcAlign  uint64 = 32
+)
+
 // DefaultConfig returns the UltraSPARC-like default machine.
 func DefaultConfig() Config {
 	return Config{
@@ -226,9 +237,9 @@ func New(prog *ir.Program, cfg Config) *Machine {
 		m.blockAddr[pi] = make([]uint64, len(p.Blocks))
 		for bi, b := range p.Blocks {
 			m.blockAddr[pi][bi] = addr
-			addr += uint64(len(b.Instrs)) * 4
+			addr += uint64(len(b.Instrs)) * InstrBytes
 		}
-		addr = (addr + 31) &^ 31 // procedures start on fresh cache lines
+		addr = (addr + ProcAlign - 1) &^ (ProcAlign - 1) // procedures start on fresh cache lines
 	}
 
 	base := prog.GlobalBase

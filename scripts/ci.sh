@@ -72,3 +72,15 @@ go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=5s ./internal/profile
 # in every mode, must verify clean (any finding is an instrumenter or
 # checker bug).
 go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=5s ./internal/ppvet
+
+# Differential optimizer fuzz: random programs through every pgo variant
+# must stay behaviorally identical to their baselines.
+go test -run='^$' -fuzz='^FuzzOptimize$' -fuzztime=5s ./internal/pgo
+
+# Profile-guided optimization gate: the closed loop (profile -> optimize ->
+# verify -> re-measure) must show strict cycle reductions with
+# non-increasing I-cache misses and mispredicts on the gated workloads,
+# and refresh BENCH_pgo.json. RoundTrip hard-fails on any behavioral
+# divergence, so a passing gate also certifies output equivalence.
+go run ./cmd/experiments -pgo -scale test -pgo-gate interp,compress,turbulence
+test -s BENCH_pgo.json
