@@ -92,9 +92,11 @@ func TestMain(m *testing.M) {
 		// tier can be tracked release to release without diffing against
 		// the table-regeneration benchmarks. The Wire match runs first:
 		// BenchmarkWireEncodeCCT and friends belong to the wire log.
-		var cctRecs, wireRecs, ingestRecs, expRecs []benchRecord
+		var cctRecs, wireRecs, ingestRecs, storeRecs, expRecs []benchRecord
 		for _, r := range recs {
 			switch {
+			case strings.Contains(r.Name, "Store"):
+				storeRecs = append(storeRecs, r)
 			case strings.Contains(r.Name, "Wire"):
 				wireRecs = append(wireRecs, r)
 			case strings.Contains(r.Name, "Ingest"):
@@ -115,6 +117,9 @@ func TestMain(m *testing.M) {
 			code = 1
 		}
 		if err := writeBenchLog("BENCH_ingest.json", ingestRecs); err != nil {
+			code = 1
+		}
+		if err := writeBenchLog("BENCH_store.json", storeRecs); err != nil {
 			code = 1
 		}
 	}

@@ -8,10 +8,29 @@
 //	ppd serve [-addr :7997] [-shards 4] [-max-body 64MiB]
 //	          [-max-concurrent 64] [-max-queue 256] [-retry-after 1s]
 //	          [-timeout 30s]
+//	          [-data-dir DIR] [-durability none|batch]
+//	          [-max-log-bytes N] [-segment-bytes 8MiB]
+//	          [-fsync-batch 256] [-fsync-wait 2ms]
+//	          [-snapshot-interval 0] [-compact-after 4]
 //
 // When the concurrency slots and wait queue are full, serve sheds new
 // pushes with 429 + Retry-After; push and relay clients back off and
 // retry automatically.
+//
+// Durability: by default (-durability=none) aggregates live only in
+// memory — fast, and gone on restart. -data-dir mounts the storage tier
+// (internal/store) and switches to -durability=batch: every push is
+// appended to a segmented CRC-framed log and group-committed — many
+// concurrent pushes coalesce into one fsync — before it is acked, so an
+// acked push survives kill -9; startup replays the log (and the newest
+// snapshot) back into the aggregates. -max-log-bytes bounds the log's
+// disk use (pushes beyond it shed with 503 + Retry-After until
+// compaction or a snapshot frees space), -compact-after rewrites that
+// many sealed segments as pre-merged frames, and -snapshot-interval
+// takes periodic snapshots that bound replay time (POST /store/snapshot
+// and /store/compact trigger both on demand). The modes are explicit:
+// asking for -durability=batch without -data-dir, or -durability=none
+// with one, is a configuration error.
 //
 // Relay mode runs a local collector that forwards: leaf producers push
 // to the relay, which pre-merges their envelopes and periodically
@@ -21,6 +40,13 @@
 //
 //	ppd relay -addr :7998 -upstream http://root:7997
 //	          [-interval 1s] [-batch 64] [-shards 4]
+//	          [-data-dir DIR] [-durability none|batch] [...store flags]
+//
+// A relay with -data-dir becomes a durable spool: leaf pushes are on
+// disk before they are acked, a crash replays everything not yet
+// delivered upstream, and each fully flushed batch checkpoints the
+// spool. Timed snapshots are forced off in relay mode — the
+// post-flush checkpoint replaces them.
 //
 // Push mode runs instrumented workloads locally and uploads what they
 // produce — CCT-building modes contribute their calling context tree,
@@ -63,8 +89,78 @@ import (
 	"pathprof/internal/experiments"
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
+	"pathprof/internal/store"
 	"pathprof/internal/workload"
 )
+
+// storeFlags is the flag group shared by serve and relay for mounting
+// the durable storage tier.
+type storeFlags struct {
+	dataDir      *string
+	durability   *string
+	maxLogBytes  *int64
+	segmentBytes *int64
+	fsyncBatch   *int
+	fsyncWait    *time.Duration
+	snapInterval *time.Duration
+	compactAfter *int
+}
+
+func addStoreFlags(fs *flag.FlagSet) *storeFlags {
+	return &storeFlags{
+		dataDir:      fs.String("data-dir", "", "store directory; mounts the durable storage tier"),
+		durability:   fs.String("durability", "", "ack mode: none (in-memory) or batch (ack after group-committed fsync); default follows -data-dir"),
+		maxLogBytes:  fs.Int64("max-log-bytes", 0, "log disk budget; pushes beyond it shed with 503 until space is freed (0 = unbounded)"),
+		segmentBytes: fs.Int64("segment-bytes", 8<<20, "seal segments at this size"),
+		fsyncBatch:   fs.Int("fsync-batch", 256, "max pushes coalesced into one fsync"),
+		fsyncWait:    fs.Duration("fsync-wait", 2*time.Millisecond, "max time the group committer gathers a non-full batch"),
+		snapInterval: fs.Duration("snapshot-interval", 0, "periodic snapshot period (0 = manual/ops-endpoint only)"),
+		compactAfter: fs.Int("compact-after", 4, "compact once this many sealed segments pend (-1 disables)"),
+	}
+}
+
+// mount validates the durability flags and, when a data directory is
+// configured, opens/recovers the store onto c. Returns nil when running
+// in-memory.
+func (sf *storeFlags) mount(c *collector.Collector) *store.Log {
+	mode, err := collector.ParseAckMode(*sf.durability)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case *sf.dataDir == "" && *sf.durability == "":
+		return nil // explicit default: in-memory
+	case *sf.dataDir == "" && mode == collector.AckBatch:
+		log.Fatal("-durability=batch needs -data-dir")
+	case *sf.dataDir == "":
+		return nil
+	case mode == collector.AckNone && *sf.durability != "":
+		log.Fatal("-durability=none contradicts -data-dir; drop one")
+	}
+	l, rec, err := c.OpenStore(*sf.dataDir, store.Options{
+		SegmentBytes:  *sf.segmentBytes,
+		MaxLogBytes:   *sf.maxLogBytes,
+		MaxBatch:      *sf.fsyncBatch,
+		MaxWait:       *sf.fsyncWait,
+		CompactAfter:  *sf.compactAfter,
+		SnapshotEvery: *sf.snapInterval,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("opening store: %v", err)
+	}
+	log.Printf("store %s: recovered %d records (%d segments, %d dup, %d torn bytes dropped) in %.1fms%s",
+		*sf.dataDir, rec.Records, rec.Segments, rec.Duplicates, rec.TruncatedBytes,
+		float64(rec.Nanos)/1e6, snapNote(rec))
+	return l
+}
+
+func snapNote(rec store.Recovery) string {
+	if rec.SnapshotSeq == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" + snapshot@%d (%d bytes)", rec.SnapshotSeq, rec.SnapshotBytes)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -101,6 +197,7 @@ func serve(args []string) {
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-ingest request timeout")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget")
+	sf := addStoreFlags(fs)
 	fs.Parse(args)
 
 	c := collector.New(collector.Config{
@@ -111,6 +208,7 @@ func serve(args []string) {
 		RetryAfter:     *retryAfter,
 		RequestTimeout: *timeout,
 	})
+	l := sf.mount(c)
 	srv := &http.Server{Addr: *addr, Handler: c.Handler()}
 
 	stop := make(chan os.Signal, 1)
@@ -128,11 +226,22 @@ func serve(args []string) {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("http shutdown: %v", err)
 		}
+		if l != nil {
+			// A parting snapshot makes the next startup replay one frame
+			// instead of the whole log tail. Best-effort: the log already
+			// holds everything acked.
+			if err := c.Checkpoint(); err != nil {
+				log.Printf("shutdown snapshot: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+		}
 	}()
 
 	cfg := c.Config()
-	log.Printf("collector listening on %s (%d shards, %d concurrent, %s timeout)",
-		*addr, cfg.Shards, cfg.MaxConcurrent, cfg.RequestTimeout)
+	log.Printf("collector listening on %s (%d shards, %d concurrent, %s timeout, durability %s)",
+		*addr, cfg.Shards, cfg.MaxConcurrent, cfg.RequestTimeout, c.AckMode())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -140,6 +249,10 @@ func serve(args []string) {
 	m := c.Metrics()
 	log.Printf("drained: %d profiles, %d ccts, %d bytes ingested",
 		m.IngestedProfiles, m.IngestedCCTs, m.IngestedBytes)
+	if m.Store != nil {
+		log.Printf("store: %d appends in %d fsyncs (max batch %d), %d segments, %d live bytes",
+			m.Store.Appends, m.Store.Fsyncs, m.Store.BatchMax, m.Store.Segments, m.Store.LiveBytes)
+	}
 }
 
 func relay(args []string) {
@@ -150,12 +263,18 @@ func relay(args []string) {
 	batch := fs.Int("batch", 64, "max envelopes per upstream frame")
 	shards := fs.Int("shards", 4, "aggregate shards")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget")
+	sf := addStoreFlags(fs)
 	fs.Parse(args)
 
 	if *upstream == "" {
 		log.Fatal("relay needs -upstream http://host:port")
 	}
+	// Durable relays checkpoint after each fully flushed batch; a timed
+	// snapshot racing a flush could capture the taken-but-unpushed gap,
+	// so it is forced off (see collector.Relay).
+	*sf.snapInterval = 0
 	c := collector.New(collector.Config{Shards: *shards})
+	l := sf.mount(c)
 	r := &collector.Relay{
 		Local:    c,
 		Upstream: &collector.Client{BaseURL: strings.TrimRight(*upstream, "/"), Retry: &collector.RetryPolicy{}},
@@ -181,6 +300,13 @@ func relay(args []string) {
 		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("http shutdown: %v", err)
+		}
+		if l != nil {
+			// A clean final flush already checkpointed the spool; a failed
+			// one left its envelopes in the log for the next incarnation.
+			if err := l.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
 		}
 	}()
 

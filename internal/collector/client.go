@@ -122,13 +122,18 @@ func retryable(err error) (time.Duration, bool) {
 	return 0, true
 }
 
-// doPush POSTs body to /ingest once and decodes the response.
-func (cl *Client) doPush(ctx context.Context, body []byte) (*IngestResponse, error) {
+// doPush POSTs body to /ingest once and decodes the response. id, when
+// non-zero, rides in X-Push-Id so a durable collector can recognize a
+// retry of a push it already committed.
+func (cl *Client) doPush(ctx context.Context, body []byte, id uint64) (*IngestResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+"/ingest", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if id != 0 {
+		req.Header.Set("X-Push-Id", strconv.FormatUint(id, 16))
+	}
 	resp, err := cl.http().Do(req)
 	if err != nil {
 		return nil, err
@@ -150,10 +155,15 @@ func (cl *Client) doPush(ctx context.Context, body []byte) (*IngestResponse, err
 }
 
 // pushBytes pushes body, retrying per cl.Retry. Context cancellation
-// aborts both in-flight requests and backoff sleeps.
+// aborts both in-flight requests and backoff sleeps. One push ID is
+// generated per call and reused across every retry attempt, so a
+// durable collector that committed the push but lost the ack — a crash,
+// a dropped connection — acks the retry as a duplicate instead of
+// folding the same data twice.
 func (cl *Client) pushBytes(ctx context.Context, body []byte) (*IngestResponse, error) {
+	id := newPushID()
 	if cl.Retry == nil {
-		return cl.doPush(ctx, body)
+		return cl.doPush(ctx, body, id)
 	}
 	rp := cl.Retry.withDefaults()
 	var lastErr error
@@ -167,7 +177,7 @@ func (cl *Client) pushBytes(ctx context.Context, body []byte) (*IngestResponse, 
 				return nil, fmt.Errorf("collector: push retry: %w", ctx.Err())
 			}
 		}
-		ir, err := cl.doPush(ctx, body)
+		ir, err := cl.doPush(ctx, body, id)
 		if err == nil {
 			return ir, nil
 		}
@@ -180,6 +190,17 @@ func (cl *Client) pushBytes(ctx context.Context, body []byte) (*IngestResponse, 
 		}
 	}
 	return nil, fmt.Errorf("collector: push failed after %d attempts: %w", rp.MaxAttempts, lastErr)
+}
+
+// newPushID returns a random non-zero push identity. 64 random bits
+// across a fleet's push volume keep the collision probability far below
+// any other failure mode; zero is reserved for "no id".
+func newPushID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
 }
 
 func retryAfterOf(err error) time.Duration {

@@ -33,6 +33,7 @@ import (
 
 	"pathprof/internal/cct"
 	"pathprof/internal/profile"
+	"pathprof/internal/store"
 	"pathprof/internal/wire"
 )
 
@@ -97,21 +98,27 @@ func newShard() *shard {
 }
 
 // Metrics is a point-in-time snapshot of the collector's counters.
+// Store is present only when a durability tier is mounted (see
+// durable.go): it carries the per-stage append/fsync/replay/compaction
+// counters and latencies.
 type Metrics struct {
-	IngestedProfiles  uint64 `json:"ingested_profiles"`
-	IngestedCCTs      uint64 `json:"ingested_ccts"`
-	IngestedFrames    uint64 `json:"ingested_frames"`
-	IngestedBytes     uint64 `json:"ingested_bytes"`
-	RejectedBusy      uint64 `json:"rejected_busy"`
-	RejectedQueueFull uint64 `json:"rejected_queue_full"`
-	RejectedTooLarge  uint64 `json:"rejected_too_large"`
-	RejectedTimeout   uint64 `json:"rejected_timeout"`
-	RejectedBad       uint64 `json:"rejected_bad"`
-	RejectedConflict  uint64 `json:"rejected_conflict"`
-	RejectedDraining  uint64 `json:"rejected_draining"`
-	Inflight          int64  `json:"inflight"`
-	QueueDepth        int64  `json:"queue_depth"`
-	Draining          bool   `json:"draining"`
+	IngestedProfiles  uint64         `json:"ingested_profiles"`
+	IngestedCCTs      uint64         `json:"ingested_ccts"`
+	IngestedFrames    uint64         `json:"ingested_frames"`
+	IngestedBytes     uint64         `json:"ingested_bytes"`
+	RejectedBusy      uint64         `json:"rejected_busy"`
+	RejectedQueueFull uint64         `json:"rejected_queue_full"`
+	RejectedTooLarge  uint64         `json:"rejected_too_large"`
+	RejectedTimeout   uint64         `json:"rejected_timeout"`
+	RejectedBad       uint64         `json:"rejected_bad"`
+	RejectedConflict  uint64         `json:"rejected_conflict"`
+	RejectedStoreFull uint64         `json:"rejected_store_full"`
+	RejectedDraining  uint64         `json:"rejected_draining"`
+	Inflight          int64          `json:"inflight"`
+	QueueDepth        int64          `json:"queue_depth"`
+	Draining          bool           `json:"draining"`
+	Durability        string         `json:"durability"`
+	Store             *store.Metrics `json:"store,omitempty"`
 }
 
 // foldScratch bundles the reusable decode state one ingest needs: the
@@ -135,6 +142,11 @@ type Collector struct {
 	shards  []*shard
 	scratch sync.Pool // of *foldScratch
 
+	// store, when mounted (durable.go), makes every ingest durable
+	// before it is acked; nil keeps the zero-dependency in-memory mode.
+	store   Store
+	ackMode AckMode
+
 	mu       sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
@@ -147,9 +159,10 @@ type Collector struct {
 	rejectedQueue    atomic.Uint64
 	rejectedTooBig   atomic.Uint64
 	rejectedTimeout  atomic.Uint64
-	rejectedBad      atomic.Uint64
-	rejectedConflict atomic.Uint64
-	rejectedDraining atomic.Uint64
+	rejectedBad       atomic.Uint64
+	rejectedConflict  atomic.Uint64
+	rejectedStoreFull atomic.Uint64
+	rejectedDraining  atomic.Uint64
 	inflightCount    atomic.Int64
 	queueDepth       atomic.Int64
 }
@@ -177,7 +190,7 @@ func (c *Collector) Metrics() Metrics {
 	c.mu.Lock()
 	draining := c.draining
 	c.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		IngestedProfiles:  c.ingestedProfiles.Load(),
 		IngestedCCTs:      c.ingestedCCTs.Load(),
 		IngestedFrames:    c.ingestedFrames.Load(),
@@ -188,11 +201,18 @@ func (c *Collector) Metrics() Metrics {
 		RejectedTimeout:   c.rejectedTimeout.Load(),
 		RejectedBad:       c.rejectedBad.Load(),
 		RejectedConflict:  c.rejectedConflict.Load(),
+		RejectedStoreFull: c.rejectedStoreFull.Load(),
 		RejectedDraining:  c.rejectedDraining.Load(),
 		Inflight:          c.inflightCount.Load(),
 		QueueDepth:        c.queueDepth.Load(),
 		Draining:          draining,
+		Durability:        c.ackMode.String(),
 	}
+	if c.store != nil {
+		sm := c.store.Metrics()
+		m.Store = &sm
+	}
+	return m
 }
 
 // begin admits one ingest: it fails when draining and otherwise

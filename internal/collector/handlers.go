@@ -1,7 +1,6 @@
 package collector
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,7 +13,7 @@ import (
 	"pathprof/internal/analysis"
 	"pathprof/internal/experiments"
 	"pathprof/internal/report"
-	"pathprof/internal/wire"
+	"pathprof/internal/store"
 )
 
 // Handler returns the collector's HTTP surface:
@@ -40,6 +39,8 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("GET /programs", c.handlePrograms)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("POST /store/snapshot", c.handleStoreSnapshot)
+	mux.HandleFunc("POST /store/compact", c.handleStoreCompact)
 	return mux
 }
 
@@ -52,6 +53,9 @@ type IngestResponse struct {
 	Envelopes int    `json:"envelopes,omitempty"`
 	Profiles  int    `json:"profiles,omitempty"`
 	CCTs      int    `json:"ccts,omitempty"`
+	// Duplicate marks a retried push the durable collector had already
+	// applied: the original ack was lost, the data was not.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -128,57 +132,98 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Batched frames take the zero-copy fold path: items decode into
-	// pooled scratch and fold straight into the shard aggregates without
-	// materializing intermediate Profile/Export values.
-	if wire.IsFrame(data) {
-		profiles, ccts, err := c.IngestFrame(data)
-		if err != nil {
-			var ce *conflictError
-			if errors.As(err, &ce) {
-				c.rejectedConflict.Add(1)
-				http.Error(w, err.Error(), http.StatusConflict)
-			} else {
-				c.rejectedBad.Add(1)
-				http.Error(w, err.Error(), http.StatusBadRequest)
-			}
+	// Single envelopes and batched frames share one fold path
+	// (applyPayload, durable.go); frames decode into pooled scratch and
+	// fold without materializing intermediate Profile/Export values.
+	//
+	// With a store mounted, the payload is appended and group-committed
+	// to disk first and folded only once durable, so the ack below means
+	// the push survives kill -9. The X-Push-Id header (stable across one
+	// client's retries) dedups the crash window where a push was durable
+	// but the ack was lost.
+	var resp IngestResponse
+	if c.store != nil {
+		dup, err := c.store.Ingest(ctx, parsePushID(r), data, func(p []byte) error {
+			var ferr error
+			resp, ferr = c.applyPayload(p)
+			return ferr
+		})
+		if dup {
+			writeJSON(w, IngestResponse{Kind: "duplicate", Duplicate: true})
 			return
 		}
-		c.ingestedBytes.Add(uint64(len(data)))
-		writeJSON(w, IngestResponse{Kind: "batch", Envelopes: profiles + ccts, Profiles: profiles, CCTs: ccts})
-		return
-	}
-
-	pl, err := wire.Decode(bytes.NewReader(data))
-	if err != nil {
-		c.rejectedBad.Add(1)
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if pl.Program() == "" {
-		c.rejectedBad.Add(1)
-		http.Error(w, "payload names no program", http.StatusBadRequest)
-		return
-	}
-	switch pl.Kind {
-	case wire.KindProfile:
-		err = c.ingestProfile(pl.Profile)
-	case wire.KindCCT:
-		err = c.ingestExport(pl.Export)
-	}
-	if err != nil {
-		var ce *conflictError
-		if errors.As(err, &ce) {
-			c.rejectedConflict.Add(1)
-			http.Error(w, err.Error(), http.StatusConflict)
-		} else {
-			c.rejectedBad.Add(1)
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err != nil {
+			c.failIngest(w, err)
+			return
 		}
-		return
+	} else {
+		var err error
+		resp, err = c.applyPayload(data)
+		if err != nil {
+			c.failIngest(w, err)
+			return
+		}
 	}
 	c.ingestedBytes.Add(uint64(len(data)))
-	writeJSON(w, IngestResponse{Kind: pl.Kind.String(), Program: pl.Program()})
+	writeJSON(w, resp)
+}
+
+// failIngest maps a fold or store error to its HTTP rejection.
+func (c *Collector) failIngest(w http.ResponseWriter, err error) {
+	var ce *conflictError
+	switch {
+	case errors.Is(err, store.ErrFull):
+		// The WAL disk budget is exhausted: durable backpressure.
+		// Compaction or the next snapshot usually frees space, so tell
+		// clients to back off and retry rather than fail outright.
+		c.rejectedStoreFull.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(c.cfg.RetryAfter)))
+		http.Error(w, "store disk budget exhausted", http.StatusServiceUnavailable)
+	case errors.As(err, &ce):
+		c.rejectedConflict.Add(1)
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		c.rejectedTimeout.Add(1)
+		http.Error(w, "push timed out", http.StatusRequestTimeout)
+	default:
+		c.rejectedBad.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// parsePushID extracts the client's hex push ID (0 = none).
+func parsePushID(r *http.Request) uint64 {
+	id, err := strconv.ParseUint(r.Header.Get("X-Push-Id"), 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// handleStoreSnapshot forces a snapshot of the mounted store.
+func (c *Collector) handleStoreSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if c.store == nil {
+		http.Error(w, "no store mounted", http.StatusNotFound)
+		return
+	}
+	if err := c.store.SnapshotNow(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, c.store.Metrics())
+}
+
+// handleStoreCompact forces compaction of sealed segments.
+func (c *Collector) handleStoreCompact(w http.ResponseWriter, _ *http.Request) {
+	if c.store == nil {
+		http.Error(w, "no store mounted", http.StatusNotFound)
+		return
+	}
+	if err := c.store.CompactNow(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, c.store.Metrics())
 }
 
 // retryAfterSeconds rounds d up to whole seconds for the Retry-After

@@ -24,6 +24,16 @@ import (
 // A failed upstream push (after the client's retries) re-ingests the
 // taken envelopes locally, so data survives upstream outages and rides
 // along with the next flush.
+//
+// With a store mounted on Local the relay becomes a durable spool:
+// leaf pushes are on disk before they are acked, a crash replays
+// everything not yet flushed, and after a fully successful flush the
+// relay checkpoints the store so the replayed spool never re-delivers
+// envelopes the upstream already has. A crash between the upstream ack
+// and the checkpoint re-pushes that flush — at-least-once upstream,
+// never data loss. Durable relays must leave timed store snapshots off
+// (ppd relay does): a snapshot between Take and a failure re-ingest
+// would capture the emptied aggregate and orphan the taken envelopes.
 type Relay struct {
 	// Local is the collector absorbing leaf pushes; serve its Handler.
 	Local *Collector
@@ -38,6 +48,7 @@ type Relay struct {
 	framesPushed    atomic.Uint64
 	envelopesPushed atomic.Uint64
 	flushFailures   atomic.Uint64
+	checkpoints     atomic.Uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -48,6 +59,7 @@ type RelayStats struct {
 	FramesPushed    uint64 `json:"frames_pushed"`
 	EnvelopesPushed uint64 `json:"envelopes_pushed"`
 	FlushFailures   uint64 `json:"flush_failures"`
+	Checkpoints     uint64 `json:"checkpoints"`
 }
 
 func (r *Relay) interval() time.Duration {
@@ -101,6 +113,7 @@ func (r *Relay) Stats() RelayStats {
 		FramesPushed:    r.framesPushed.Load(),
 		EnvelopesPushed: r.envelopesPushed.Load(),
 		FlushFailures:   r.flushFailures.Load(),
+		Checkpoints:     r.checkpoints.Load(),
 	}
 }
 
@@ -171,5 +184,16 @@ func (r *Relay) FlushOnce(ctx context.Context) error {
 		}
 	}
 	push()
+	if firstErr == nil && r.Local.Store() != nil {
+		// Everything taken is delivered upstream: checkpoint the spool so
+		// a crash replay does not re-deliver it. (The snapshot also
+		// captures anything ingested since Take — that is merely early,
+		// not wrong: it stays in local memory and flushes next round.)
+		if err := r.Local.Checkpoint(); err != nil {
+			firstErr = err
+		} else {
+			r.checkpoints.Add(1)
+		}
+	}
 	return firstErr
 }

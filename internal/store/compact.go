@@ -1,0 +1,115 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CompactNow rewrites every sealed, uncompacted segment at or after the
+// snapshot watermark as a compacted sibling: one pre-merged payload
+// record (built by Options.Compact from the segment's payloads) plus a
+// manifest of the push IDs it absorbed, so replay after compaction
+// folds one record per segment and still recognizes client retries.
+// The compacted file is written durably before the raw segment is
+// removed; a crash in between leaves both, and Open prefers the
+// compacted rewrite.
+func (l *Log) CompactNow() error {
+	if l.opts.Compact == nil {
+		return fmt.Errorf("store: no compact callback mounted")
+	}
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	segs, _, err := listDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	active, wm := l.activeSeq.Load(), l.watermark.Load()
+	for _, sf := range segs {
+		if sf.compacted || sf.seq >= active || sf.seq < wm {
+			continue
+		}
+		if err := l.compactSegment(sf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactSegment rewrites one sealed raw segment.
+func (l *Log) compactSegment(sf segmentFile) error {
+	start := time.Now()
+	path := filepath.Join(l.dir, sf.name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := checkHeader(sf.name, data, segMagic); err != nil {
+		return err
+	}
+	// Sealed segments are immutable and fully acked: scan strictly.
+	recs, _, err := scanRecords(sf.name, data[headerLen:], headerLen, false)
+	if err != nil {
+		return err
+	}
+	var payloads [][]byte
+	var ids []uint64
+	for _, r := range recs {
+		switch r.kind {
+		case recKindPayload:
+			payloads = append(payloads, r.payload)
+			if r.id != 0 {
+				ids = append(ids, r.id)
+			}
+		case recKindManifest:
+			more, err := parseManifest(sf.name, r.off, 0, r.payload)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, more...)
+		}
+	}
+	if len(recs) == 0 {
+		// Nothing to keep: an empty sealed segment just disappears.
+		if os.Remove(path) == nil {
+			l.liveBytes.Add(-sf.size)
+			l.segments.Add(-1)
+		}
+		return nil
+	}
+	if len(payloads) <= 1 && len(recs) == len(payloads) {
+		return nil // already minimal; rewriting would not shrink replay
+	}
+	merged, err := l.opts.Compact(payloads)
+	if err != nil {
+		return fmt.Errorf("store: compact callback: %w", err)
+	}
+	buf := fileHeader(segMagic)
+	if len(merged) > 0 {
+		buf = appendRecord(buf, recKindPayload, 0, merged)
+	}
+	if len(ids) > 0 {
+		buf = appendRecord(buf, recKindManifest, 0, appendManifest(nil, ids))
+	}
+	cmp := filepath.Join(l.dir, segName(sf.seq, true))
+	tmp := cmp + ".tmp"
+	if err := writeDurable(tmp, buf); err != nil {
+		return fmt.Errorf("store: writing compacted segment: %w", err)
+	}
+	if err := os.Rename(tmp, cmp); err != nil {
+		return fmt.Errorf("store: publishing compacted segment: %w", err)
+	}
+	if err := l.dirf.Sync(); err != nil {
+		return fmt.Errorf("store: publishing compacted segment: %w", err)
+	}
+	os.Remove(path)
+	l.liveBytes.Add(int64(len(buf)) - sf.size)
+	l.compactions.Add(1)
+	l.compactNs.Add(uint64(time.Since(start).Nanoseconds()))
+	l.compactSavedLen.Add(sf.size - int64(len(buf)))
+	return nil
+}

@@ -1,0 +1,333 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The corruption matrix: every way a segment can be damaged, and
+// whether recovery truncates (torn tail — the damage extends to the end
+// of the newest segment, so it can only be an unacked group commit) or
+// rejects with a positioned *CorruptError (damage where acked data
+// could live).
+
+// seedLog ingests n payloads and closes the log, returning the expected
+// state bytes and the path of the single segment file written.
+func seedLog(t *testing.T, dir string, n int) ([]byte, string) {
+	t.Helper()
+	live := &testState{}
+	l, _ := mustOpen(t, dir, live.options())
+	var want []byte
+	for i := 1; i <= n; i++ {
+		p := fmt.Sprintf("seed-%03d|", i)
+		mustIngest(t, l, uint64(i), p)
+		want = append(want, p...)
+	}
+	l.Close()
+	segs, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, sf := range segs {
+		if sf.size > headerLen {
+			last = filepath.Join(dir, sf.name)
+		}
+	}
+	if last == "" {
+		t.Fatal("no non-empty segment written")
+	}
+	return want, last
+}
+
+func mutate(t *testing.T, path string, fn func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reopen opens the damaged directory and returns either the recovery or
+// the error, plus the restored bytes.
+func reopen(t *testing.T, dir string) (Recovery, []byte, error) {
+	t.Helper()
+	restored := &testState{}
+	l, rec, err := Open(dir, restored.options())
+	if err != nil {
+		return rec, nil, err
+	}
+	l.Close()
+	return rec, restored.bytes(), nil
+}
+
+func wantCorrupt(t *testing.T, err error, file string) *CorruptError {
+	t.Helper()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %v, want *CorruptError", err)
+	}
+	if ce.File != filepath.Base(file) {
+		t.Fatalf("error positioned at %q, want %q", ce.File, filepath.Base(file))
+	}
+	if ce.Offset <= 0 {
+		t.Fatalf("error carries no offset: %v", ce)
+	}
+	return ce
+}
+
+func TestCorruptionTruncatedTailRecovers(t *testing.T) {
+	// A group commit torn mid-write: the final record's bytes stop short.
+	// The batch was never acked, so recovery truncates and replays the
+	// rest.
+	for _, cut := range []int{1, recHdrLen - 3, recHdrLen + 4} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			want, seg := seedLog(t, dir, 10)
+			var tornOff int64
+			mutate(t, seg, func(data []byte) []byte {
+				// Remove the last record, then re-append only a prefix of it.
+				recs, _, err := scanRecords(filepath.Base(seg), data[headerLen:], headerLen, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				last := recs[len(recs)-1]
+				tornOff = last.off
+				torn := appendRecord(nil, last.kind, last.id, last.payload)
+				if cut > len(torn) {
+					t.Fatalf("cut %d > record %d", cut, len(torn))
+				}
+				return append(data[:last.off], torn[:cut]...)
+			})
+			rec, got, err := reopen(t, dir)
+			if err != nil {
+				t.Fatalf("torn tail must recover, got %v", err)
+			}
+			if rec.Records != 9 || rec.TruncatedBytes != int64(cut) {
+				t.Fatalf("recovery = %+v, want 9 records, %d truncated bytes", rec, cut)
+			}
+			wantPrefix := want[:len(want)-len("seed-010|")]
+			if !bytes.Equal(got, wantPrefix) {
+				t.Fatalf("recovered state:\n got %q\nwant %q", got, wantPrefix)
+			}
+			// The file must have been physically truncated at the tear.
+			info, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() != tornOff {
+				t.Fatalf("segment not truncated: %d bytes, want %d", info.Size(), tornOff)
+			}
+		})
+	}
+}
+
+func TestCorruptionFlippedCRCByteRejects(t *testing.T) {
+	// A flipped byte in a record that is NOT the torn tail (valid
+	// records follow it) is real corruption: fsync ordering means the
+	// later records were only acked after this one was durable.
+	dir := t.TempDir()
+	_, seg := seedLog(t, dir, 10)
+	var wantOff int64
+	mutate(t, seg, func(data []byte) []byte {
+		recs, _, err := scanRecords(filepath.Base(seg), data[headerLen:], headerLen, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid := recs[len(recs)/2]
+		wantOff = mid.off
+		data[mid.off+recHdrLen] ^= 0xFF // first payload byte
+		return data
+	})
+	_, _, err := reopen(t, dir)
+	ce := wantCorrupt(t, err, seg)
+	if ce.Offset != wantOff {
+		t.Fatalf("error at offset %d, want %d", ce.Offset, wantOff)
+	}
+	if ce.Record != 5 {
+		t.Fatalf("error at record %d, want 5", ce.Record)
+	}
+}
+
+func TestCorruptionFlippedCRCOnFinalRecordTruncates(t *testing.T) {
+	// The same flip on the very last record is indistinguishable from a
+	// torn write of that record — it was never guaranteed acked — so
+	// recovery drops it.
+	dir := t.TempDir()
+	want, seg := seedLog(t, dir, 10)
+	mutate(t, seg, func(data []byte) []byte {
+		data[len(data)-1] ^= 0xFF
+		return data
+	})
+	rec, got, err := reopen(t, dir)
+	if err != nil {
+		t.Fatalf("final-record flip must truncate, got %v", err)
+	}
+	if rec.Records != 9 || rec.TruncatedBytes == 0 {
+		t.Fatalf("recovery = %+v, want 9 records and a truncation", rec)
+	}
+	wantPrefix := want[:len(want)-len("seed-010|")]
+	if !bytes.Equal(got, wantPrefix) {
+		t.Fatalf("recovered state:\n got %q\nwant %q", got, wantPrefix)
+	}
+}
+
+func TestCorruptionZeroLengthRecordRejects(t *testing.T) {
+	// A zero-length payload record is never written; one in the log is
+	// always structural damage, even at the tail.
+	dir := t.TempDir()
+	_, seg := seedLog(t, dir, 3)
+	var wantOff int64
+	mutate(t, seg, func(data []byte) []byte {
+		wantOff = int64(len(data))
+		hdr := []byte{recKindPayload}
+		hdr = binary.LittleEndian.AppendUint64(hdr, 99)
+		hdr = binary.LittleEndian.AppendUint32(hdr, 0)
+		crc := crcOf(hdr)
+		hdr = binary.LittleEndian.AppendUint32(hdr, crc)
+		return append(data, hdr...)
+	})
+	_, _, err := reopen(t, dir)
+	ce := wantCorrupt(t, err, seg)
+	if ce.Offset != wantOff {
+		t.Fatalf("error at offset %d, want %d", ce.Offset, wantOff)
+	}
+	if ce.Record != 3 {
+		t.Fatalf("error at record %d, want 3", ce.Record)
+	}
+}
+
+func TestCorruptionMidFileGarbageRejects(t *testing.T) {
+	// Garbage in the middle of an earlier (sealed) segment rejects even
+	// though the same bytes at the end of the newest segment would
+	// truncate: sealed segments hold only acked data.
+	dir := t.TempDir()
+	live := &testState{}
+	opts := live.options()
+	opts.SegmentBytes = 256
+	l, _ := mustOpen(t, dir, opts)
+	for i := 1; i <= 30; i++ {
+		mustIngest(t, l, uint64(i), fmt.Sprintf("sealed-%03d-pad|", i))
+	}
+	l.Close()
+	segs, _, err := listDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	first := filepath.Join(dir, segs[0].name)
+	mutate(t, first, func(data []byte) []byte {
+		data[headerLen] = 0xEE // clobber the first record's kind byte
+		return data
+	})
+	_, _, err = reopen(t, dir)
+	ce := wantCorrupt(t, err, first)
+	if ce.Offset != headerLen || ce.Record != 0 {
+		t.Fatalf("error at offset %d record %d, want %d record 0", ce.Offset, ce.Record, headerLen)
+	}
+}
+
+func TestCorruptionDuplicatedBatchDedupes(t *testing.T) {
+	// A whole batch duplicated in the log (a replayed write, a copied
+	// file region) folds once: every record carries its push ID.
+	dir := t.TempDir()
+	want, seg := seedLog(t, dir, 10)
+	mutate(t, seg, func(data []byte) []byte {
+		return append(data, data[headerLen:]...) // duplicate all 10 records
+	})
+	rec, got, err := reopen(t, dir)
+	if err != nil {
+		t.Fatalf("duplicated batch must recover, got %v", err)
+	}
+	if rec.Records != 10 || rec.Duplicates != 10 {
+		t.Fatalf("recovery = %+v, want 10 records + 10 duplicates", rec)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("duplicated batch changed state:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestCorruptionBadHeaderRejects(t *testing.T) {
+	dir := t.TempDir()
+	_, seg := seedLog(t, dir, 3)
+	mutate(t, seg, func(data []byte) []byte {
+		copy(data, "NOTMAGIC")
+		return data
+	})
+	_, _, err := reopen(t, dir)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.File != filepath.Base(seg) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+func TestCorruptionSnapshotRejects(t *testing.T) {
+	// Snapshots are written+fsynced+renamed before anything they cover
+	// is deleted — a damaged snapshot is never a torn write, always
+	// corruption.
+	dir := t.TempDir()
+	live := &testState{}
+	l, _ := mustOpen(t, dir, live.options())
+	for i := 1; i <= 10; i++ {
+		mustIngest(t, l, uint64(i), fmt.Sprintf("snap-seed-%03d|", i))
+	}
+	if err := l.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	wm := l.Metrics().SnapshotWatermark
+	l.Close()
+	snap := filepath.Join(dir, snapName(wm))
+	mutate(t, snap, func(data []byte) []byte {
+		data[len(data)-3] ^= 0x01
+		return data
+	})
+	_, _, err := reopen(t, dir)
+	wantCorrupt(t, err, snap)
+}
+
+// crcOf mirrors the record checksum for hand-built test records.
+func crcOf(hdr []byte) uint32 {
+	return crc32.Update(0, crcTable, hdr)
+}
+
+func TestIngestAfterTornTailRecovery(t *testing.T) {
+	// After truncating a torn tail the log keeps working: new ingests
+	// land in a fresh segment and the next replay sees everything.
+	dir := t.TempDir()
+	want, seg := seedLog(t, dir, 5)
+	mutate(t, seg, func(data []byte) []byte {
+		return append(data, 0x01) // lone kind byte: partial header
+	})
+	restored := &testState{}
+	l, rec, err := Open(dir, restored.options())
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	if rec.TruncatedBytes != 1 {
+		t.Fatalf("truncated %d bytes, want 1", rec.TruncatedBytes)
+	}
+	mustIngest(t, l, 100, "after-tear|")
+	want = append(want, "after-tear|"...)
+	l.Close()
+
+	final := &testState{}
+	l2, rec2 := mustOpen(t, dir, final.options())
+	defer l2.Close()
+	if rec2.Records != 6 {
+		t.Fatalf("second replay: %d records, want 6", rec2.Records)
+	}
+	if got := final.bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("state after tear+ingest+replay:\n got %q\nwant %q", got, want)
+	}
+}

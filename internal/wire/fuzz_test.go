@@ -108,6 +108,23 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("PPW1\x01\x02\x00"))
 	f.Add([]byte("PPW1\x03\x03\x00"))
 	f.Add([]byte("not an envelope at all"))
+	// Store segment files (internal/store) hold wire payloads behind a
+	// 16-byte "PPWALSEG" header and 17-byte record frames. A decoder
+	// handed a whole segment, or an envelope at a record-frame offset,
+	// must reject cleanly — these seeds keep the two on-disk formats from
+	// ever being confused.
+	for _, env := range seedEnvelopes()[:1] {
+		seg := append([]byte("PPWALSEG\x01\x00\x00\x00\x00\x00\x00\x00"), 1)  // header, kind
+		seg = append(seg, 0x2a, 0, 0, 0, 0, 0, 0, 0)                          // push id
+		seg = binary.LittleEndian.AppendUint32(seg, uint32(len(env)))         // length
+		crc := crc32.Checksum(seg[16:], crc32.MakeTable(crc32.Castagnoli))    // kind+id+len
+		crc = crc32.Update(crc, crc32.MakeTable(crc32.Castagnoli), env)
+		seg = binary.LittleEndian.AppendUint32(seg, crc)
+		seg = append(seg, env...)
+		f.Add(seg)
+		f.Add(seg[16:]) // record frame without the file header
+	}
+	f.Add([]byte("PPWALSNP\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x03"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if wire.IsFrame(data) {
 			fr, err := wire.ParseFrame(data)

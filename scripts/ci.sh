@@ -56,6 +56,25 @@ test -s BENCH_ingest.json
 # (the full 10k-producer run is the test's default outside CI).
 PPD_FANIN_PRODUCERS=2000 go test -run='^TestRelayTreeFanIn$' -count=1 ./internal/collector
 
+# Crash-injection smoke: a child-process durable collector is SIGKILLed
+# three times mid-ingest (with snapshots and compactions forced between
+# kills) and the recovered tables must be byte-identical to an
+# uninterrupted in-memory run. Scaled down from the 1000-envelope
+# acceptance run; the full size is the test's default outside CI.
+PPD_CRASH_COPIES=75 go test -run='^TestCrashRecoveryByteIdentity$' -count=1 ./internal/collector
+
+# Group-commit throughput gate: with the same modeled fsync latency,
+# batched commits must move envelopes at >= 10x the per-record-fsync
+# rate (the whole point of the batcher). Refreshes BENCH_store.json.
+out="$(go test -run='^$' -bench='BenchmarkStoreAppendFsync' -benchtime=1s .)"
+echo "$out"
+test -s BENCH_store.json
+grp="$(echo "$out" | awk '/groupCommit/ {print $3}')"
+per="$(echo "$out" | awk '/perRecordFsync/ {print $3}')"
+awk -v g="$grp" -v p="$per" 'BEGIN { ratio = p / g;
+	printf "group-commit speedup: %.1fx\n", ratio;
+	exit (ratio >= 10) ? 0 : 1 }'
+
 # Static instrumentation verification: ppvet must find nothing across every
 # workload x instrumentation mode, under both the classic two-event schema
 # and a four-event MetricSet (exercising the N-counter save/restore and
@@ -67,6 +86,7 @@ go run ./cmd/ppvet -workload all -mode all -events dcache-miss,icache-miss,mispr
 # (corrupt and truncated input may error, never panic).
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=5s ./internal/profile
+go test -run='^$' -fuzz='^FuzzSegmentReplay$' -fuzztime=5s ./internal/store
 
 # Differential instrumentation fuzz: random testgen programs, instrumented
 # in every mode, must verify clean (any finding is an instrumenter or

@@ -1,0 +1,66 @@
+package pathprof
+
+// Storage-tier benchmarks (BENCH_store.json): the group-commit claim is
+// that many concurrent durable appends coalesce into one fsync, so
+// throughput scales with the batch size rather than the device's fsync
+// rate. Both sub-benchmarks run the same concurrent append load against
+// the same store with the same modeled fsync latency (Options.SyncDelay
+// stands in for a real device — on this CI filesystem a raw fsync is
+// nearly free, which would let a no-op measure pass); the only variable
+// is MaxBatch. scripts/ci.sh gates groupCommit at >= 10x the
+// per-record-fsync envelope rate.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pathprof/internal/store"
+)
+
+// storeBenchAppend measures concurrent durable appends with the given
+// batching limit and a 1ms modeled fsync (a disk-backed flush; large
+// enough that scheduler overhead on a small CI box does not drown the
+// device term either mode is paying).
+func storeBenchAppend(b *testing.B, maxBatch int) {
+	l, _, err := store.Open(b.TempDir(), store.Options{
+		MaxBatch:     maxBatch,
+		MaxWait:      2 * time.Millisecond,
+		CompactAfter: -1,
+		SyncDelay:    time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	rand.New(rand.NewSource(1)).Read(payload)
+	ctx := context.Background()
+	b.SetParallelism(32) // 32*GOMAXPROCS concurrent producers
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := l.Append(ctx, 0, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	m := l.Metrics()
+	perFsync := float64(m.Appends)
+	if m.Fsyncs > 0 {
+		perFsync = float64(m.Appends) / float64(m.Fsyncs)
+	}
+	recordBench(b, map[string]float64{
+		"envelopes-per-sec": float64(b.N) / b.Elapsed().Seconds(),
+		"appends-per-fsync": perFsync,
+		"batch-max":         float64(m.BatchMax),
+	})
+}
+
+func BenchmarkStoreAppendFsync(b *testing.B) {
+	b.Run("groupCommit", func(b *testing.B) { storeBenchAppend(b, 256) })
+	b.Run("perRecordFsync", func(b *testing.B) { storeBenchAppend(b, 1) })
+}
