@@ -28,6 +28,7 @@ import (
 	"pathprof/internal/cct"
 	"pathprof/internal/collector"
 	"pathprof/internal/experiments"
+	"pathprof/internal/flat"
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
 	"pathprof/internal/ir"
@@ -536,6 +537,81 @@ func BenchmarkCCTCountPath(b *testing.B) {
 	}
 	b.Run("array", func(b *testing.B) { run(b, 1024, cct.DefaultHashPathThreshold) })
 	b.Run("hash", func(b *testing.B) { run(b, 1024, 1) })
+}
+
+// BenchmarkCCTHashedKPaths measures steady-state hashed path counting at
+// path degrees k = 1, 2, 3 on the compression workload: the flat tables
+// are pre-sized from instrument.HashSizeHint exactly as Wire sizes them,
+// warmed with every executed k-path id, and the timed loop replays the
+// frequency-weighted id stream a real run produces. Each degree must stay
+// 0 allocs/op — a rehash in the timed loop means the NumPathsK-derived
+// hint under-sized the table (ci.sh asserts the k=3 row).
+func BenchmarkCCTHashedKPaths(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			w, _ := workload.ByName("compress")
+			opts := instrument.DefaultOptions(instrument.ModePathFreq)
+			opts.K = k
+			opts.HashPathThreshold = 1 // force hashed counting everywhere
+			plan, err := instrument.Instrument(w.Build(workload.Test), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := sim.New(plan.Prog, sim.DefaultConfig())
+			rt := plan.Wire(m)
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+
+			// The replay stream: every executed (proc, sum) repeated by its
+			// frequency, order-shuffled deterministically so the probe
+			// pattern isn't one sorted sweep per procedure.
+			type op struct {
+				proc int
+				sum  int64
+			}
+			var ops []op
+			var distinct int
+			tables := make(map[int]*flat.Table)
+			for _, pp := range rt.ExtractProfile().Procs {
+				if pp == nil || len(pp.Entries) == 0 {
+					continue
+				}
+				nm := plan.Procs[pp.ProcID].Numbering
+				tbl := flat.New(instrument.HashSizeHint(nm.NumPathsK))
+				for _, e := range pp.Entries {
+					tbl.Add(e.Sum, 0) // warm: slot exists before the timed loop
+					distinct++
+					for n := uint64(0); n < e.Freq && len(ops) < 1<<15; n++ {
+						ops = append(ops, op{proc: pp.ProcID, sum: e.Sum})
+					}
+				}
+				tables[pp.ProcID] = tbl
+			}
+			if len(ops) == 0 {
+				b.Fatal("no executed paths to replay")
+			}
+			rng := rand.New(rand.NewSource(7))
+			rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			j := 0
+			for i := 0; i < b.N; i++ {
+				o := ops[j]
+				tables[o.proc].Add(o.sum, 1)
+				j++
+				if j == len(ops) {
+					j = 0
+				}
+			}
+			b.StopTimer()
+			recordBench(b, map[string]float64{
+				"k":               float64(k),
+				"distinct-kpaths": float64(distinct),
+			})
+		})
+	}
 }
 
 // BenchmarkCCTMergeTrees measures the sharded-collection reduction: build k

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-table N | -all] [-scale ref|test] [-workloads a,b,c]
-//	            [-parallel N] [-shards N] [-mux [-events a,b,c,d]]
+//	            [-parallel N] [-shards N] [-k degree] [-kpaths]
+//	            [-mux [-events a,b,c,d]]
 //	            [-pgo [-pgo-out FILE] [-pgo-gate a,b,c]] [-v]
 //
 // -parallel sets the experiment engine's worker count (0 means
@@ -17,7 +18,10 @@
 // loop: each workload is profiled, rewritten by the profile-guided
 // optimizer, verified behaviorally equivalent, and re-measured; results
 // go to BENCH_pgo.json and -pgo-gate turns regressions on the named
-// workloads into a non-zero exit. -v prints per-cell timings to stderr.
+// workloads into a non-zero exit. -k raises the path iteration degree of
+// every path-mode cell (ids span up to k loop iterations); -kpaths skips
+// the paper tables and renders the k=1 vs k=2,3 comparison of hot
+// backedge-crossing paths instead. -v prints per-cell timings to stderr.
 package main
 
 import (
@@ -50,6 +54,8 @@ func main() {
 	pgoRun := flag.Bool("pgo", false, "run the profile-guided optimization round trip instead of the paper tables; writes BENCH_pgo.json")
 	pgoOut := flag.String("pgo-out", "BENCH_pgo.json", "output path for the -pgo results")
 	pgoGate := flag.String("pgo-gate", "", "comma-separated workloads that must show cycle reduction without imiss/mispredict regressions (exit 1 otherwise)")
+	kdeg := flag.Int("k", 1, "path iteration degree for path-mode cells (ids span up to k loop iterations)")
+	kpaths := flag.Bool("kpaths", false, "report the k-iteration path comparison (k=1 vs k=2,3) instead of the paper tables")
 	verbose := flag.Bool("v", false, "print per-cell timing/throughput to stderr")
 	flag.Parse()
 
@@ -64,6 +70,7 @@ func main() {
 
 	s := experiments.NewSession(sc)
 	s.Parallel = *parallel
+	s.K = *kdeg
 	if *only != "" {
 		var subset []workload.Workload
 		for _, name := range strings.Split(*only, ",") {
@@ -74,6 +81,20 @@ func main() {
 			subset = append(subset, w)
 		}
 		s.Workloads = subset
+	}
+
+	if *kpaths {
+		names := experiments.KPathWorkloads
+		if *only != "" {
+			names = names[:0:0]
+			for _, w := range s.Workloads {
+				names = append(names, w.Name)
+			}
+		}
+		cmp, err := experiments.KPaths(sc, names, []int{2, 3})
+		exitOn(err)
+		experiments.RenderKPaths(cmp, os.Stdout)
+		return
 	}
 
 	if *pgoRun {

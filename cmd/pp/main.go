@@ -68,6 +68,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size for multi-workload runs (0 = GOMAXPROCS)")
 	optimize := flag.Bool("optimize", false, "profile, optimize and re-measure each workload (the PGO round trip)")
 	dotProc := flag.String("dot", "", "write a profile-annotated DOT graph of the named procedure to stdout")
+	k := flag.Int("k", 1, "path iteration degree: ids span up to k loop iterations (path modes)")
 	flag.Parse()
 
 	if *names == "" {
@@ -111,6 +112,7 @@ func main() {
 	s := experiments.NewSession(scale)
 	s.Workloads = suite
 	s.Parallel = *parallel
+	s.K = *k
 
 	if *dotProc != "" {
 		dotReport(suite, scale, *dotProc)
@@ -298,7 +300,7 @@ func reportWorkload(w workload.Workload, mode instrument.Mode, set hpm.MetricSet
 				blocks := ""
 				for _, pp := range plan.Procs {
 					if pp.Name == r.proc && pp.Numbering != nil {
-						if p, err := pp.Numbering.Regenerate(r.sum); err == nil {
+						if p, err := pp.Numbering.RegenerateK(r.sum); err == nil {
 							blocks = p.String()
 						}
 					}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ppvet [-workload all|compress,go,...] [-mode all|flow|flowhw|context|combined|context-probes|edge|block]
-//	      [-events dcache-miss,insts] [-scale test|ref] [-max-paths N]
+//	      [-events dcache-miss,insts] [-scale test|ref] [-max-paths N] [-k degree]
 //
 // Findings are printed one per line as
 //
@@ -51,11 +51,12 @@ func main() {
 	events := flag.String("events", "dcache-miss,insts", "comma-separated event selection (the metric schema)")
 	scaleStr := flag.String("scale", "test", "workload scale: ref or test")
 	maxPaths := flag.Int64("max-paths", ppvet.DefaultMaxEnumPaths, "path-enumeration cap per procedure")
+	k := flag.Int("k", 1, "path iteration degree for path modes (see bl.ExtendK)")
 	flag.Parse()
 
 	var suite []workload.Workload
 	if *names == "all" {
-		suite = workload.Suite()
+		suite = append(workload.Suite(), workload.KSuite()...)
 	} else {
 		for _, name := range strings.Split(*names, ",") {
 			w, ok := workload.ByName(strings.TrimSpace(name))
@@ -104,6 +105,9 @@ func main() {
 		for _, m := range modes {
 			opts := instrument.DefaultOptions(m.mode)
 			opts.NumCounters = set.Len()
+			if *k > 1 && m.mode.UsesPaths() {
+				opts.K = *k
+			}
 			plan, err := instrument.Instrument(prog, opts)
 			if err != nil {
 				log.Fatalf("%s/%s: instrument: %v", w.Name, m.name, err)

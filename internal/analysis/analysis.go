@@ -267,7 +267,7 @@ func ResolveHotPaths(rep PathReport, numberings map[int]*bl.Numbering, k int) []
 		if nm == nil {
 			continue
 		}
-		p, err := nm.Regenerate(hp.Sum)
+		p, err := nm.RegenerateK(hp.Sum)
 		if err != nil {
 			continue
 		}

@@ -24,9 +24,13 @@ type EdgeFreq map[cfg.Edge]int64
 // (the entry-split form every instrumentation mode normalizes to).
 //
 // Real transformed edges are charged directly. A backedge executes once per
-// path that ends with it, so its count comes from PseudoEnd traversals
-// alone; the matching PseudoStart on the successor path describes the same
-// dynamic event and is skipped to avoid double counting.
+// PseudoEnd traversal — a k>1 path that spans it internally records exactly
+// one PseudoEnd per crossing, a classic path one at its end — so its count
+// comes from PseudoEnd traversals alone; the matching PseudoStart on the
+// successor path describes the same dynamic event and is skipped to avoid
+// double counting. This makes the projection independent of the profile's
+// iteration degree: k=1 and k=3 profiles of the same run project to the
+// same exact edge counts.
 func ProjectEdgeFrequencies(pp *profile.ProcPaths, nm *bl.Numbering) (EdgeFreq, error) {
 	ef := make(EdgeFreq)
 	for i := range pp.Entries {
@@ -34,7 +38,7 @@ func ProjectEdgeFrequencies(pp *profile.ProcPaths, nm *bl.Numbering) (EdgeFreq, 
 		if e.Freq == 0 {
 			continue
 		}
-		path, err := nm.Regenerate(e.Sum)
+		path, err := nm.RegenerateK(e.Sum)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: proc %s: %w", pp.Name, err)
 		}

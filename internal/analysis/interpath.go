@@ -67,7 +67,7 @@ func StitchOnePathSites(tree *cct.Tree, cfg StitchConfig) []Stitched {
 				}
 				stop := false
 				callee.RangePathCounts(func(sum, count int64) bool {
-					cp, err := cnm.Regenerate(sum)
+					cp, err := cnm.RegenerateK(sum)
 					if err != nil {
 						return true
 					}

@@ -52,7 +52,7 @@ func BlockMultiplicity(prof *profile.Profile, numberings map[int]*bl.Numbering, 
 			continue
 		}
 		for _, e := range pp.Entries {
-			p, err := nm.Regenerate(e.Sum)
+			p, err := nm.RegenerateK(e.Sum)
 			if err != nil {
 				continue
 			}

@@ -1,0 +1,356 @@
+package bl
+
+// k-iteration path numbering, after D'Elia & Demetrescu, "Ball-Larus Path
+// Profiling Across Multiple Loop Iterations" (see PAPERS.md). The classic
+// numbering truncates every path at a backedge; here a single id spans up
+// to K loop iterations, so the hot paths that cross iterations become
+// directly countable.
+//
+// The extension is id composition over the same transformed acyclic graph
+// — no unrolling. Layer i (0-based) numbers the i-th iteration segment of
+// a k-path. npk[i][v] counts the k-path completions reachable from v with
+// K-i remaining segments: it is the standard NP recurrence except that at
+// layers below K-1 a PseudoEnd edge for backedge b does not complete the
+// path (weight 1) but continues it at b's target w in the next layer
+// (weight npk[i+1][w]). Layer K-1 therefore reproduces the standard NP and
+// Val exactly, which is what makes k=1 bit-for-bit identical to the
+// classic scheme.
+//
+// A k-path id is the sum of layered edge values along its segments:
+//
+//	id = Σ_i Σ_{e in segment i} valk[i][e]  (+ kbstart[b] if the k-path
+//	     begins at backedge b's target rather than ENTRY)
+//
+// Because each segment is still a standard acyclic path, the runtime keeps
+// the classic per-segment register r untouched and composes ids in the
+// probe layer: at each backedge/exit the standard segment id r+BEnd (or
+// r) is decoded once and re-summed with that layer's values
+// (SegmentValK), accumulating into a per-activation composition register.
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+)
+
+// ExtendK raises the numbering to k-iteration ids, in place. limit bounds
+// NumPathsK; if k iterations would exceed it the degree is reduced until
+// the space fits (k=1 always fits, NumPaths was already checked by New).
+// The effective degree is returned and recorded in nm.K. Procedures with
+// no backedges have identical path spaces at every k and stay at K=1.
+// ExtendK(1) restores the classic numbering.
+func (nm *Numbering) ExtendK(k int, limit int64) (int, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("bl: proc %s: invalid path degree k=%d", nm.Proc.Name, k)
+	}
+	if limit <= 0 || limit > MaxPaths {
+		limit = MaxPaths
+	}
+	if k == 1 || len(nm.Backedges) == 0 {
+		nm.K = 1
+		nm.NumPathsK = nm.NumPaths
+		nm.npk, nm.valk, nm.kbstart = nil, nil, nil
+		return 1, nil
+	}
+	for kk := k; kk >= 2; kk-- {
+		if nm.computeLayers(kk, limit) {
+			nm.K = kk
+			return kk, nil
+		}
+	}
+	nm.K = 1
+	nm.NumPathsK = nm.NumPaths
+	nm.npk, nm.valk, nm.kbstart = nil, nil, nil
+	return 1, nil
+}
+
+// computeLayers builds the layered counts and values for degree k,
+// returning false (leaving nm unchanged) if any count exceeds limit.
+func (nm *Numbering) computeLayers(k int, limit int64) bool {
+	n := len(nm.Proc.Blocks)
+	exit := nm.Proc.ExitBlock
+	npk := make([][]int64, k)
+	valk := make([][][]int64, k)
+	for layer := k - 1; layer >= 0; layer-- {
+		np := make([]int64, n)
+		vals := make([][]int64, n)
+		for _, b := range nm.rto {
+			if b == exit {
+				np[b] = 1
+				continue
+			}
+			es := nm.Succs[b]
+			vs := make([]int64, len(es))
+			var sum int64
+			for i := range es {
+				e := &es[i]
+				vs[i] = sum
+				var w int64
+				if e.Kind == PseudoEnd && layer < k-1 {
+					w = npk[layer+1][nm.Backedges[e.Backedge].To]
+				} else {
+					w = np[e.To]
+				}
+				sum += w
+				if sum < 0 || sum > limit {
+					return false
+				}
+			}
+			np[b] = sum
+			vals[b] = vs
+		}
+		npk[layer] = np
+		valk[layer] = vals
+	}
+	nm.npk = npk
+	nm.valk = valk
+	nm.NumPathsK = npk[0][0]
+	nm.kbstart = make([]int64, len(nm.Backedges))
+	for i, e := range nm.Succs[0] {
+		if e.Kind == PseudoStart {
+			nm.kbstart[e.Backedge] = valk[0][0][i]
+		}
+	}
+	return true
+}
+
+// ValK returns the layered value of edge (block, pos) at the given layer.
+// With K == 1 it is the standard Val.
+func (nm *Numbering) ValK(layer int, block ir.BlockID, pos int) int64 {
+	if nm.valk == nil {
+		return nm.Succs[block][pos].Val
+	}
+	return nm.valk[layer][block][pos]
+}
+
+// KStart returns the id-space offset of k-paths that begin at backedge
+// be's target: the layer-0 PseudoStart value. It degenerates to BStart at
+// K == 1, mirroring the classic `r = START` reset.
+func (nm *Numbering) KStart(be int) int64 {
+	if nm.kbstart == nil {
+		return nm.BStart[be]
+	}
+	return nm.kbstart[be]
+}
+
+// npAfterK returns how many k-path completions follow edge e taken at the
+// given layer (the weight that spaces sibling edges apart in the layered
+// numbering).
+func (nm *Numbering) npAfterK(layer int, e *TEdge) int64 {
+	if nm.npk == nil {
+		return nm.NP[e.To]
+	}
+	if e.Kind == PseudoEnd && layer < nm.K-1 {
+		return nm.npk[layer+1][nm.Backedges[e.Backedge].To]
+	}
+	return nm.npk[layer][e.To]
+}
+
+// SegmentValK decodes the standard segment id s (one iteration's path, as
+// accumulated by the untouched per-segment register) and re-sums it with
+// layer-i values, returning the segment's contribution to the composed
+// k-path id and the backedge index the segment ends with (-1 when it runs
+// to EXIT). A leading PseudoStart edge contributes nothing: the start
+// offset of a mid-loop k-path is KStart, charged when the composition
+// register is seeded. The walk allocates nothing; it is the hot decode
+// step of the k-mode probe handlers.
+func (nm *Numbering) SegmentValK(layer int, s int64) (int64, int, error) {
+	if s < 0 || s >= nm.NumPaths {
+		return 0, 0, fmt.Errorf("bl: segment id %d out of range [0,%d)", s, nm.NumPaths)
+	}
+	if layer < 0 || layer >= nm.K {
+		return 0, 0, fmt.Errorf("bl: layer %d out of range [0,%d)", layer, nm.K)
+	}
+	exit := nm.Proc.ExitBlock
+	at := ir.BlockID(0)
+	rem := s
+	var val int64
+	for at != exit {
+		found := false
+		for i := range nm.Succs[at] {
+			e := &nm.Succs[at][i]
+			if rem >= e.Val && rem < e.Val+nm.NP[e.To] {
+				rem -= e.Val
+				if e.Kind != PseudoStart {
+					val += nm.ValK(layer, at, i)
+				}
+				if e.Kind == PseudoEnd {
+					return val, e.Backedge, nil
+				}
+				at = e.To
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, 0, fmt.Errorf("bl: no edge matches remaining segment sum %d at block %d", rem, at)
+		}
+	}
+	return val, -1, nil
+}
+
+// RegenerateK reconstructs the k-path with the given composed id: its full
+// block sequence across up to K iterations, the transformed edges taken
+// (internal PseudoEnds included, once per backedge traversal), and the
+// iteration boundaries. At K == 1 it is exactly Regenerate.
+func (nm *Numbering) RegenerateK(sum int64) (Path, error) {
+	if nm.K <= 1 {
+		return nm.Regenerate(sum)
+	}
+	if sum < 0 || sum >= nm.NumPathsK {
+		return Path{}, fmt.Errorf("bl: k=%d path sum %d out of range [0,%d)", nm.K, sum, nm.NumPathsK)
+	}
+	p := Path{Sum: sum, K: nm.K}
+	exit := nm.Proc.ExitBlock
+	at := ir.BlockID(0)
+	layer := 0
+	p.Blocks = append(p.Blocks, at) // provisional; replaced if first edge is PseudoStart
+	rem := sum
+	for at != exit {
+		var chosen *TEdge
+		pos := -1
+		for i := range nm.Succs[at] {
+			e := &nm.Succs[at][i]
+			v := nm.ValK(layer, at, i)
+			if rem >= v && rem < v+nm.npAfterK(layer, e) {
+				chosen = e
+				pos = i
+				rem -= v
+				break
+			}
+		}
+		if chosen == nil {
+			return Path{}, fmt.Errorf("bl: no edge matches remaining k-path sum %d at block %d layer %d", rem, at, layer)
+		}
+		p.Edges = append(p.Edges, SuccRef{Block: int(at), Pos: pos})
+		switch chosen.Kind {
+		case Real:
+			p.Blocks = append(p.Blocks, chosen.To)
+			at = chosen.To
+		case PseudoStart:
+			p.StartsAfterBackedge = true
+			p.Blocks[0] = chosen.To
+			at = chosen.To
+		case PseudoEnd:
+			if layer >= nm.K-1 {
+				p.EndsWithBackedge = true
+				return p, nil
+			}
+			layer++
+			w := nm.Backedges[chosen.Backedge].To
+			p.Boundaries = append(p.Boundaries, len(p.Blocks))
+			p.Blocks = append(p.Blocks, w)
+			at = w
+		}
+	}
+	return p, nil
+}
+
+// EnumerateK lists every potential k-path in id order; linear in
+// NumPathsK × path length and intended for reports and tests.
+func (nm *Numbering) EnumerateK() ([]Path, error) {
+	if nm.NumPathsK > 1<<20 {
+		return nil, fmt.Errorf("bl: refusing to enumerate %d k-paths", nm.NumPathsK)
+	}
+	out := make([]Path, 0, nm.NumPathsK)
+	for s := int64(0); s < nm.NumPathsK; s++ {
+		p, err := nm.RegenerateK(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SegmentSums decomposes a composed k-path id into the standard segment
+// ids of its iterations, in execution order: the classic Ball-Larus path
+// each iteration would have counted on its own. At K <= 1 the path is its
+// own single segment. Reports use this to line a hot k-path up against
+// the k=1 entries it refines.
+func (nm *Numbering) SegmentSums(sum int64) ([]int64, error) {
+	p, err := nm.RegenerateK(sum)
+	if err != nil {
+		return nil, err
+	}
+	sums := []int64{0}
+	for i, ref := range p.Edges {
+		e := &nm.Succs[ref.Block][ref.Pos]
+		sums[len(sums)-1] += e.Val
+		if e.Kind == PseudoEnd && i < len(p.Edges)-1 {
+			// The next iteration's register restarts at the classic reset
+			// value for this backedge, like a standalone mid-loop path.
+			sums = append(sums, nm.BStart[e.Backedge])
+		}
+	}
+	return sums, nil
+}
+
+// CheckCompactK verifies by exhaustive enumeration that composed k-path
+// ids biject onto 0..NumPathsK-1: every walk of up to K iteration
+// segments (chained through PseudoEnd edges) sums to a distinct in-range
+// id. The error, when non-nil, is a *CompactError carrying the offending
+// k-path and the iteration segment in which its sum completed. At K == 1
+// this is CheckCompact.
+func (nm *Numbering) CheckCompactK() error {
+	if nm.K <= 1 {
+		return nm.CheckCompact()
+	}
+	if nm.NumPathsK > 1<<20 {
+		return &CompactError{Kind: "too-many-paths", NumPaths: nm.NumPathsK, K: nm.K}
+	}
+	seen := make([]bool, nm.NumPathsK)
+	count := int64(0)
+	trail := []ir.BlockID{0}
+	exit := nm.Proc.ExitBlock
+	finish := func(sum int64, layer int) error {
+		if sum < 0 || sum >= nm.NumPathsK {
+			return &CompactError{Kind: "out-of-range", Sum: sum, Path: append([]ir.BlockID(nil), trail...),
+				NumPaths: nm.NumPathsK, K: nm.K, Iteration: layer}
+		}
+		if seen[sum] {
+			return &CompactError{Kind: "duplicate", Sum: sum, Path: append([]ir.BlockID(nil), trail...),
+				NumPaths: nm.NumPathsK, K: nm.K, Iteration: layer}
+		}
+		seen[sum] = true
+		count++
+		return nil
+	}
+	var walk func(layer int, b ir.BlockID, sum int64) error
+	walk = func(layer int, b ir.BlockID, sum int64) error {
+		if b == exit {
+			return finish(sum, layer)
+		}
+		for i := range nm.Succs[b] {
+			e := &nm.Succs[b][i]
+			v := nm.ValK(layer, b, i)
+			var err error
+			if e.Kind == PseudoEnd {
+				if layer >= nm.K-1 {
+					err = finish(sum+v, layer)
+				} else {
+					w := nm.Backedges[e.Backedge].To
+					trail = append(trail, w)
+					err = walk(layer+1, w, sum+v)
+					trail = trail[:len(trail)-1]
+				}
+			} else {
+				trail = append(trail, e.To)
+				err = walk(layer, e.To, sum+v)
+				trail = trail[:len(trail)-1]
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// ENTRY covers both ordinary starts and mid-loop starts (PseudoStart
+	// edges hang off ENTRY and carry the layer-0 KStart values).
+	if err := walk(0, 0, 0); err != nil {
+		return err
+	}
+	if count != nm.NumPathsK {
+		return &CompactError{Kind: "count-mismatch", NumPaths: nm.NumPathsK, Enumerated: count, K: nm.K}
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package bl
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/testgen"
+)
+
+func TestExtendKLoopSpaces(t *testing.T) {
+	// entry→header; header→{body, exit}; body→header. One loop, one
+	// acyclic decision per iteration: 2k+2 k-paths (ENTRY or mid-loop
+	// start, 0..k-1 extra iterations, exit or truncation).
+	for k, want := range map[int]int64{1: 4, 2: 6, 3: 8, 4: 10} {
+		nm, err := New(loopProc(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff, err := nm.ExtendK(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eff != k && !(k == 1 && eff == 1) {
+			t.Fatalf("k=%d: effective degree %d", k, eff)
+		}
+		if nm.NumPathsK != want {
+			t.Fatalf("k=%d: NumPathsK = %d, want %d", k, nm.NumPathsK, want)
+		}
+		if err := nm.CheckCompactK(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestExtendKOneIsIdentity(t *testing.T) {
+	nm, err := New(loopProc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(loopProc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.ExtendK(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.ExtendK(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if nm.K != 1 || nm.NumPathsK != base.NumPaths || nm.npk != nil || nm.valk != nil || nm.kbstart != nil {
+		t.Fatalf("ExtendK(1) did not restore the classic numbering: K=%d NumPathsK=%d", nm.K, nm.NumPathsK)
+	}
+	for s := int64(0); s < nm.NumPaths; s++ {
+		a, err := nm.RegenerateK(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := base.Regenerate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("sum %d: k=1 path %q != classic path %q", s, a, b)
+		}
+	}
+}
+
+func TestExtendKNoBackedgesStaysClassic(t *testing.T) {
+	nm, err := New(figure1Proc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := nm.ExtendK(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 1 || nm.K != 1 || nm.NumPathsK != 6 {
+		t.Fatalf("acyclic proc extended to k=%d, NumPathsK=%d", eff, nm.NumPathsK)
+	}
+}
+
+func TestExtendKClampsToLimit(t *testing.T) {
+	nm, err := New(loopProc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=4 needs 10 ids, k=3 needs 8: a limit of 8 must clamp to 3.
+	eff, err := nm.ExtendK(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 3 || nm.K != 3 || nm.NumPathsK != 8 {
+		t.Fatalf("limit 8: got k=%d NumPathsK=%d, want k=3 NumPathsK=8", eff, nm.NumPathsK)
+	}
+	// A limit below even k=2 falls back to the classic numbering.
+	eff, err = nm.ExtendK(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 1 || nm.NumPathsK != nm.NumPaths {
+		t.Fatalf("limit 5: got k=%d NumPathsK=%d, want classic", eff, nm.NumPathsK)
+	}
+}
+
+func TestLastLayerEqualsStandard(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		proc := testgen.RandomProc(rng, "r", rng.Intn(12)+3)
+		nm, err := New(proc)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		k, err := nm.ExtendK(3, 1<<30)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for b := range nm.Succs {
+			for i := range nm.Succs[b] {
+				if got, want := nm.ValK(k-1, nm.Proc.Blocks[b].ID, i), nm.Succs[b][i].Val; got != want {
+					t.Logf("seed %d: ValK(last, b%d, %d) = %d, want standard %d", seed, b, i, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCompactKRandom(t *testing.T) {
+	check := func(seed int64, kk uint8) bool {
+		k := int(kk)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		proc := testgen.RandomProc(rng, "r", rng.Intn(12)+3)
+		nm, err := New(proc)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if _, err := nm.ExtendK(k, 0); err != nil {
+			t.Logf("seed %d k=%d: %v", seed, k, err)
+			return false
+		}
+		if nm.NumPathsK > 1<<16 {
+			return true // too big to enumerate; skip
+		}
+		if err := nm.CheckCompactK(); err != nil {
+			t.Logf("seed %d k=%d: %v", seed, k, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walkSumK recomputes a k-path's composed id from its recorded edges,
+// tracking the layer across internal backedge traversals.
+func walkSumK(nm *Numbering, p Path) int64 {
+	sum := int64(0)
+	layer := 0
+	for _, ref := range p.Edges {
+		e := nm.Succs[ref.Block][ref.Pos]
+		sum += nm.ValK(layer, nm.Proc.Blocks[ref.Block].ID, ref.Pos)
+		if e.Kind == PseudoEnd && layer < nm.K-1 {
+			layer++
+		}
+	}
+	return sum
+}
+
+func TestRegenerateKInverse(t *testing.T) {
+	check := func(seed int64, kk uint8) bool {
+		k := int(kk)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		proc := testgen.RandomProc(rng, "r", rng.Intn(10)+3)
+		nm, err := New(proc)
+		if err != nil {
+			return false
+		}
+		if _, err := nm.ExtendK(k, 0); err != nil || nm.NumPathsK > 1<<13 {
+			return err == nil
+		}
+		for s := int64(0); s < nm.NumPathsK; s++ {
+			p, err := nm.RegenerateK(s)
+			if err != nil {
+				t.Logf("seed %d k=%d sum %d: %v", seed, k, s, err)
+				return false
+			}
+			if got := walkSumK(nm, p); got != s {
+				t.Logf("seed %d k=%d: walk of regenerated k-path %q gives %d, want %d", seed, k, p, got, s)
+				return false
+			}
+			if len(p.Boundaries) > nm.K-1 {
+				t.Logf("seed %d k=%d: path %q crosses %d boundaries", seed, k, p, len(p.Boundaries))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentCompositionMatchesIds replays every k-path the way the
+// runtime counts it: split the path into iteration segments, feed each
+// segment's *standard* id through SegmentValK at the running layer, and
+// accumulate. The final accumulator must equal the composed id — this is
+// the contract between the untouched per-segment register instrumentation
+// and the k-mode probe handlers.
+func TestSegmentCompositionMatchesIds(t *testing.T) {
+	check := func(seed int64, kk uint8) bool {
+		k := int(kk)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		proc := testgen.RandomProc(rng, "r", rng.Intn(10)+3)
+		nm, err := New(proc)
+		if err != nil {
+			return false
+		}
+		if _, err := nm.ExtendK(k, 0); err != nil || nm.NumPathsK > 1<<12 {
+			return err == nil
+		}
+		for s := int64(0); s < nm.NumPathsK; s++ {
+			p, err := nm.RegenerateK(s)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			// Standard ids of each iteration segment, from the recorded
+			// transformed edges (Val of every edge; a segment that starts
+			// mid-loop gets its BStart the same way the register reset
+			// `r = START` provides it at runtime).
+			var segs []int64
+			cur := int64(0)
+			for _, ref := range p.Edges {
+				e := nm.Succs[ref.Block][ref.Pos]
+				if e.Kind == PseudoStart {
+					cur += nm.BStart[e.Backedge]
+					continue
+				}
+				cur += e.Val
+				if e.Kind == PseudoEnd {
+					segs = append(segs, cur)
+					cur = nm.BStart[e.Backedge]
+				}
+			}
+			if !p.EndsWithBackedge {
+				segs = append(segs, cur)
+			}
+			// Replay through the composition contract.
+			acc := int64(0)
+			if p.StartsAfterBackedge {
+				// Which backedge the k-path starts after: its first edge.
+				first := nm.Succs[p.Edges[0].Block][p.Edges[0].Pos]
+				acc = nm.KStart(first.Backedge)
+			}
+			layer := 0
+			for i, sid := range segs {
+				val, be, err := nm.SegmentValK(layer, sid)
+				if err != nil {
+					t.Logf("seed %d k=%d id %d seg %d: %v", seed, k, s, i, err)
+					return false
+				}
+				acc += val
+				if be >= 0 && layer < nm.K-1 {
+					layer++
+				}
+			}
+			if acc != s {
+				t.Logf("seed %d k=%d: composed %d, want %d (path %q, segs %v)", seed, k, acc, s, p, segs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentSums: the decomposition of a composed id into classic
+// per-iteration ids is valid (each in [0, NumPaths)), has one segment per
+// iteration, and re-composes to the original id through SegmentValK.
+func TestSegmentSums(t *testing.T) {
+	check := func(seed int64, kk uint8) bool {
+		k := int(kk)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		proc := testgen.RandomProc(rng, "r", rng.Intn(10)+3)
+		nm, err := New(proc)
+		if err != nil {
+			return false
+		}
+		if _, err := nm.ExtendK(k, 0); err != nil || nm.NumPathsK > 1<<12 {
+			return err == nil
+		}
+		for s := int64(0); s < nm.NumPathsK; s++ {
+			p, err := nm.RegenerateK(s)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			segs, err := nm.SegmentSums(s)
+			if err != nil {
+				t.Logf("seed %d k=%d id %d: %v", seed, k, s, err)
+				return false
+			}
+			if len(segs) != len(p.Boundaries)+1 {
+				t.Logf("seed %d k=%d id %d: %d segments for %d boundaries", seed, k, s, len(segs), len(p.Boundaries))
+				return false
+			}
+			acc := int64(0)
+			if p.StartsAfterBackedge {
+				first := nm.Succs[p.Edges[0].Block][p.Edges[0].Pos]
+				acc = nm.KStart(first.Backedge)
+			}
+			layer := 0
+			for i, sid := range segs {
+				if sid < 0 || sid >= nm.NumPaths {
+					t.Logf("seed %d k=%d id %d: segment %d id %d out of range", seed, k, s, i, sid)
+					return false
+				}
+				val, be, err := nm.SegmentValK(layer, sid)
+				if err != nil {
+					t.Logf("seed %d k=%d id %d seg %d: %v", seed, k, s, i, err)
+					return false
+				}
+				acc += val
+				if be >= 0 && layer < nm.K-1 {
+					layer++
+				}
+			}
+			if acc != s {
+				t.Logf("seed %d k=%d: segments %v compose to %d, want %d", seed, k, segs, acc, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactErrorKReportsIteration(t *testing.T) {
+	nm, err := New(loopProc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.ExtendK(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a layer-1 value: duplicates must be reported with the k and
+	// the iteration segment in which the clash completed.
+	for b := range nm.valk[1] {
+		if len(nm.valk[1][b]) > 1 {
+			nm.valk[1][b][1] = nm.valk[1][b][0]
+		}
+	}
+	err = nm.CheckCompactK()
+	var ce *CompactError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupted numbering passed CheckCompactK (err=%v)", err)
+	}
+	if ce.K != 2 {
+		t.Fatalf("CompactError.K = %d, want 2", ce.K)
+	}
+	if !strings.Contains(ce.Error(), "k=2") || !strings.Contains(ce.Error(), "iteration") {
+		t.Fatalf("k error message %q lacks k/iteration context", ce.Error())
+	}
+	if ce.Iteration != 1 {
+		t.Fatalf("CompactError.Iteration = %d, want 1 (corruption is in layer 1)", ce.Iteration)
+	}
+}
+
+func TestCompactErrorClassicMessageUnchanged(t *testing.T) {
+	e := &CompactError{Kind: "out-of-range", Sum: 7, NumPaths: 4}
+	if got, want := e.Error(), "bl: path [] sums to 7, out of range [0,4)"; got != want {
+		t.Fatalf("classic message changed: %q != %q", got, want)
+	}
+}

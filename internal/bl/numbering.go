@@ -70,7 +70,19 @@ type Numbering struct {
 	// from the map (or with value 0) need no instrumentation.
 	Val map[cfg.Edge]int64
 
+	// K and NumPathsK describe the k-iteration extension (kpath.go). After
+	// New, K == 1 and NumPathsK == NumPaths; ExtendK raises them so ids
+	// cover paths spanning up to K loop iterations.
+	K         int
+	NumPathsK int64
+
 	isBackedge map[cfg.Edge]int // edge -> index in Backedges
+	rto        []ir.BlockID     // reverse topological order of the transformed graph
+
+	// Layered numbering data, nil while K == 1 (see kpath.go).
+	npk     [][]int64   // [layer][block]: k-path completions from block
+	valk    [][][]int64 // [layer][block][pos]: layered edge values
+	kbstart []int64     // [backedge]: layer-0 PseudoStart value
 }
 
 // New computes the Ball-Larus numbering for p. It returns an error if the
@@ -137,6 +149,7 @@ func New(p *ir.Proc) (*Numbering, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bl: proc %s: transformed graph is cyclic: %w", p.Name, err)
 	}
+	nm.rto = order
 
 	// First pass: NP.
 	for _, b := range order {
@@ -160,6 +173,8 @@ func New(p *ir.Proc) (*Numbering, error) {
 		nm.NP[b] = np
 	}
 	nm.NumPaths = nm.NP[0]
+	nm.K = 1
+	nm.NumPathsK = nm.NumPaths
 
 	// Second pass: Val(eᵢ) = Σ_{j<i} NP(wⱼ) over each block's ordered
 	// successor list.
@@ -206,11 +221,32 @@ type CompactError struct {
 	Kind       string       // "too-many-paths", "out-of-range", "duplicate", "count-mismatch"
 	Sum        int64        // the offending path sum (out-of-range, duplicate)
 	Path       []ir.BlockID // offending path, entry..exit; nil when not path-specific
-	NumPaths   int64        // NP(entry)
+	NumPaths   int64        // NP(entry) — NumPathsK when K > 1
 	Enumerated int64        // paths enumerated (count-mismatch)
+
+	// K is the numbering degree the check ran at (0 or 1: the classic
+	// single-iteration scheme). Iteration is the 0-based loop-iteration
+	// segment of Path in which the violating sum completed — for a k-path
+	// that crosses back-edges it pinpoints which iteration boundary broke
+	// the bijection.
+	K         int
+	Iteration int
 }
 
 func (e *CompactError) Error() string {
+	if e.K > 1 {
+		switch e.Kind {
+		case "too-many-paths":
+			return fmt.Sprintf("bl: too many k=%d paths to enumerate (%d)", e.K, e.NumPaths)
+		case "out-of-range":
+			return fmt.Sprintf("bl: k=%d path %v sums to %d, out of range [0,%d) (completed in iteration %d)",
+				e.K, e.Path, e.Sum, e.NumPaths, e.Iteration)
+		case "duplicate":
+			return fmt.Sprintf("bl: k=%d path %v duplicates sum %d (completed in iteration %d)",
+				e.K, e.Path, e.Sum, e.Iteration)
+		}
+		return fmt.Sprintf("bl: k=%d enumerated %d paths, NPK(entry)=%d", e.K, e.Enumerated, e.NumPaths)
+	}
 	switch e.Kind {
 	case "too-many-paths":
 		return fmt.Sprintf("bl: too many paths to enumerate (%d)", e.NumPaths)

@@ -26,18 +26,31 @@ type Path struct {
 	// distinguish parallel edges (e.g. both arms of a branch reaching the
 	// same target), so tools that need the exact edges use this.
 	Edges []SuccRef
+
+	// K is the numbering degree the path was regenerated under (0 or 1:
+	// classic). Boundaries holds, for k-paths that cross backedges, the
+	// Blocks index at which each subsequent iteration segment begins.
+	K          int
+	Boundaries []int
 }
 
 // String renders the path compactly, e.g. "↻b2 b3 b4↻" for a loop body path
-// that both starts after and ends with a backedge.
+// that both starts after and ends with a backedge. k-paths mark each
+// internal iteration boundary the same way: "b1 b2 ↻b1 b3" is a two-
+// iteration path whose second segment re-enters the loop head.
 func (p Path) String() string {
 	var sb strings.Builder
 	if p.StartsAfterBackedge {
 		sb.WriteString("↻")
 	}
+	next := 0
 	for i, b := range p.Blocks {
 		if i > 0 {
 			sb.WriteByte(' ')
+		}
+		if next < len(p.Boundaries) && p.Boundaries[next] == i {
+			sb.WriteString("↻")
+			next++
 		}
 		fmt.Fprintf(&sb, "b%d", b)
 	}

@@ -2,7 +2,6 @@ package collector
 
 import (
 	"fmt"
-	"strings"
 
 	"pathprof/internal/cct"
 	"pathprof/internal/flat"
@@ -38,6 +37,7 @@ type procAgg struct {
 	procID   int
 	name     string
 	numPaths int64
+	k        int // effective iteration degree; 0 in classic profiles
 	index    *flat.Table // path sum -> row
 	sums     []int64
 	freqs    []uint64
@@ -49,8 +49,20 @@ type profAgg struct {
 	program string
 	mode    string
 	events  []string
-	schema  string // SchemaKey of events
+	k       int    // iteration degree; 0 when classic (see aggK)
+	schema  string // SchemaKey of (k, events)
 	procs   []*procAgg
+}
+
+// aggK normalizes an iteration degree for aggregation: 0 and 1 both mean
+// classic single-iteration paths and must compare (and fold) as equal.
+// Degrees >1 are distinct id spaces — a k=2 push into a k=3 aggregate is
+// a schema conflict, never a silent merge of unrelated path ids.
+func aggK(k int) int {
+	if k <= 1 {
+		return 0
+	}
+	return k
 }
 
 // newProfAgg adopts a freshly decoded profile as the aggregate seed.
@@ -59,8 +71,9 @@ func newProfAgg(p *profile.Profile) *profAgg {
 		program: p.Program,
 		mode:    p.Mode,
 		events:  append([]string(nil), p.Events...),
+		k:       aggK(p.K),
 	}
-	a.schema = strings.Join(a.events, ",")
+	a.schema = profile.SchemaKeyFor(a.k, a.events)
 	w := len(a.events)
 	a.procs = make([]*procAgg, len(p.Procs))
 	for i, pp := range p.Procs {
@@ -68,6 +81,7 @@ func newProfAgg(p *profile.Profile) *profAgg {
 			procID:   pp.ProcID,
 			name:     pp.Name,
 			numPaths: pp.NumPaths,
+			k:        pp.K,
 			index:    flat.New(len(pp.Entries)),
 			sums:     make([]int64, 0, len(pp.Entries)),
 			freqs:    make([]uint64, 0, len(pp.Entries)),
@@ -97,7 +111,8 @@ func newProfAggBatch(bp *wire.BatchProfile) *profAgg {
 	for i, ev := range bp.Events {
 		a.events[i] = string(ev)
 	}
-	a.schema = strings.Join(a.events, ",")
+	a.k = aggK(bp.K)
+	a.schema = profile.SchemaKeyFor(a.k, a.events)
 	w := len(a.events)
 	a.procs = make([]*procAgg, len(bp.Procs))
 	for i := range bp.Procs {
@@ -106,6 +121,7 @@ func newProfAggBatch(bp *wire.BatchProfile) *profAgg {
 			procID:   pr.ProcID,
 			name:     string(pr.Name),
 			numPaths: pr.NumPaths,
+			k:        pr.K,
 			index:    flat.New(pr.N),
 			sums:     append([]int64(nil), bp.Sums[pr.Off:pr.Off+pr.N]...),
 			freqs:    append([]uint64(nil), bp.Freqs[pr.Off:pr.Off+pr.N]...),
@@ -191,6 +207,9 @@ func (a *profAgg) foldBatch(bp *wire.BatchProfile) error {
 	if a.mode != string(bp.Mode) { // comparison does not allocate
 		return a.checkShapeBatch(bp)
 	}
+	if a.k != aggK(bp.K) {
+		return a.checkShapeBatch(bp)
+	}
 	if len(a.events) != len(bp.Events) {
 		return a.checkShapeBatch(bp)
 	}
@@ -226,7 +245,7 @@ func (a *profAgg) checkShapeBatch(bp *wire.BatchProfile) error {
 	for i, ev := range bp.Events {
 		events[i] = string(ev)
 	}
-	return a.checkShape(string(bp.Mode), strings.Join(events, ","), len(bp.Procs),
+	return a.checkShape(string(bp.Mode), profile.SchemaKeyFor(aggK(bp.K), events), len(bp.Procs),
 		func(i int) int { return bp.Procs[i].ProcID })
 }
 
@@ -238,11 +257,12 @@ func (a *profAgg) snapshot() *profile.Profile {
 		Program: a.program,
 		Mode:    a.mode,
 		Events:  append([]string(nil), a.events...),
+		K:       a.k,
 	}
 	w := len(a.events)
 	p.Procs = make([]*profile.ProcPaths, len(a.procs))
 	for i, pa := range a.procs {
-		pp := &profile.ProcPaths{ProcID: pa.procID, Name: pa.name, NumPaths: pa.numPaths}
+		pp := &profile.ProcPaths{ProcID: pa.procID, Name: pa.name, NumPaths: pa.numPaths, K: pa.k}
 		pp.Entries = make([]profile.PathEntry, len(pa.sums))
 		for j := range pa.sums {
 			e := &pp.Entries[j]

@@ -514,13 +514,13 @@ func (c *Collector) Take() ([]*profile.Profile, []*cct.Export) {
 // cloneProfile deep-copies p so merges never mutate published
 // aggregates out from under concurrent readers.
 func cloneProfile(p *profile.Profile) *profile.Profile {
-	q := &profile.Profile{Program: p.Program, Mode: p.Mode}
+	q := &profile.Profile{Program: p.Program, Mode: p.Mode, K: p.K}
 	if len(p.Events) > 0 {
 		q.Events = append([]string(nil), p.Events...)
 	}
 	q.Procs = make([]*profile.ProcPaths, len(p.Procs))
 	for i, pp := range p.Procs {
-		cp := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.NumPaths}
+		cp := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.NumPaths, K: pp.K}
 		cp.Entries = make([]profile.PathEntry, len(pp.Entries))
 		copy(cp.Entries, pp.Entries)
 		// Entries hold slices into the source arena; give the clone its

@@ -59,6 +59,7 @@ type planKey struct {
 	workload string
 	mode     instrument.Mode
 	counters int
+	k        int // path iteration degree; 0 for non-path modes and classic
 }
 
 // planEntry lazily instruments a (workload, mode) pair exactly once.
@@ -125,7 +126,11 @@ func (s *Session) sharedPlanN(w workload.Workload, mode instrument.Mode, counter
 	if counters <= 0 {
 		counters = 2
 	}
-	key := planKey{w.Name, mode, counters}
+	k := 0
+	if mode.UsesPaths() && s.K > 1 {
+		k = s.K
+	}
+	key := planKey{w.Name, mode, counters, k}
 	s.mu.Lock()
 	e, ok := s.plans[key]
 	if !ok {
@@ -136,6 +141,9 @@ func (s *Session) sharedPlanN(w workload.Workload, mode instrument.Mode, counter
 	e.once.Do(func() {
 		opts := instrument.DefaultOptions(mode)
 		opts.NumCounters = counters
+		if k > 1 {
+			opts.K = k
+		}
 		e.plan, e.err = instrument.Instrument(s.builtProg(w), opts)
 	})
 	return e.plan, e.err

@@ -37,6 +37,11 @@ type Session struct {
 	// GOMAXPROCS. Table output is identical for every value.
 	Parallel int
 
+	// K is the path iteration degree applied to path-mode plans (see
+	// bl.ExtendK); 0 or 1 selects classic acyclic paths. Set it before the
+	// first Run: cached cells are not invalidated by later changes.
+	K int
+
 	mu       sync.Mutex
 	cells    map[cellKey]*Cell
 	inflight map[cellKey]*flight

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pathprof/internal/workload"
+)
+
+// TestKPathsComparison: the k-degree comparison produces, for k=2 on the
+// interpreter and compression workloads, a hot k-path that crosses a loop
+// backedge whose event attribution differs from the k=1 profile — the
+// paper-extension claim the experiment exists to demonstrate.
+func TestKPathsComparison(t *testing.T) {
+	cmp, err := KPaths(workload.Test, []string{"interp", "compress"}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 6 {
+		t.Fatalf("want 6 rows (2 workloads x k in {1,2,3}), got %d", len(cmp.Rows))
+	}
+	byKey := map[[2]int]KPathRow{}
+	for i, r := range cmp.Rows {
+		t.Logf("row %d: %+v", i, r)
+		wi := 0
+		if r.Workload == "compress" {
+			wi = 1
+		}
+		byKey[[2]int{wi, r.K}] = r
+	}
+	for wi, name := range []string{"interp", "compress"} {
+		base := byKey[[2]int{wi, 1}]
+		if base.Freq == 0 || base.Misses == 0 {
+			t.Fatalf("%s: empty k=1 baseline row: %+v", name, base)
+		}
+		for _, k := range []int{2, 3} {
+			r := byKey[[2]int{wi, k}]
+			if r.Crossings < 1 {
+				t.Fatalf("%s k=%d: hot path crosses no backedge: %+v", name, k, r)
+			}
+			if !strings.Contains(r.Path, "↻") {
+				t.Fatalf("%s k=%d: path rendering has no iteration boundary: %q", name, k, r.Path)
+			}
+			if r.Executed <= base.Executed {
+				t.Errorf("%s k=%d: %d executed k-paths do not refine %d classic paths",
+					name, k, r.Executed, base.Executed)
+			}
+			if r.BaseFreq == 0 {
+				t.Fatalf("%s k=%d: final segment id %d not in the k=1 profile", name, k, r.BaseSum)
+			}
+			if r.Freq > r.BaseFreq {
+				t.Errorf("%s k=%d: k-path freq %d exceeds its segment's classic freq %d",
+					name, k, r.Freq, r.BaseFreq)
+			}
+		}
+		// The headline claim: at k=2 the hot crossing path's per-execution
+		// attribution differs from the classic average of its final segment
+		// (the k=1 profile smears every predecessor iteration together).
+		r2 := byKey[[2]int{wi, 2}]
+		if r2.PerExec() == r2.BasePerExec() && r2.Freq == r2.BaseFreq {
+			t.Errorf("%s k=2: hot k-path indistinguishable from its k=1 segment: %+v", name, r2)
+		}
+		if r2.Contexts < 2 {
+			t.Errorf("%s k=2: classic entry %d not split across iteration contexts: %+v", name, r2.BaseSum, r2)
+		}
+	}
+	// At least one workload must show a real rate spread across contexts
+	// sharing a final segment — the smeared attribution k=1 cannot see.
+	spread := false
+	for _, r := range cmp.Rows {
+		if r.K == 2 && r.RateHi > r.RateLo {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Error("no k=2 row shows a context rate spread")
+	}
+
+	var sb strings.Builder
+	RenderKPaths(cmp, &sb)
+	out := sb.String()
+	for _, want := range []string{"interp", "compress", "k=1", "↻"} {
+		if !strings.Contains(out, want) && want != "k=1" {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestKPathsKSuiteWorkloads: the purpose-built k-iteration workloads all
+// yield a hot crossing path at k=2.
+func TestKPathsKSuiteWorkloads(t *testing.T) {
+	cmp, err := KPaths(workload.Test, []string{"pipeline", "lexer", "eventloop"}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cmp.Rows {
+		if r.K == 1 {
+			continue
+		}
+		if r.Crossings < 1 || r.Freq == 0 {
+			t.Errorf("%s k=%d: no hot crossing path: %+v", r.Workload, r.K, r)
+		}
+	}
+}

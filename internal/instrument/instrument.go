@@ -82,6 +82,8 @@ const (
 	ProbeCCTPath  = 5 // arg: completed path sum (combined mode)
 	ProbeHashFreq = 6 // arg: procID<<40 | pathIndex (hash-table path count)
 	ProbeHashHW   = 7 // arg: procID<<40 | pathIndex (hash-table HW update)
+	ProbeKSeg     = 8 // arg: procID<<40 | segment id (k-mode backedge boundary)
+	ProbeKEnd     = 9 // arg: procID<<40 | segment id (k-mode exit flush)
 )
 
 // prefixBias re-centres path prefixes for packing: chord-optimized
@@ -169,6 +171,14 @@ type Options struct {
 	// exposes need the whole-run multiplexing scheduler instead
 	// (sim.Machine.AttachScheduler).
 	NumCounters int
+
+	// K is the path degree: ids name paths spanning up to K loop
+	// iterations (D'Elia–Demetrescu; see bl.ExtendK). 0 or 1 is the
+	// classic single-iteration scheme and changes nothing. Procedures
+	// whose k-path space would overflow bl.MaxPaths are clamped to the
+	// largest degree that fits (per procedure; the numbering records the
+	// effective degree).
+	K int
 
 	// ProfiledFreqs, when non-nil, supplies measured edge frequencies per
 	// procedure (from pgo.Acquire, the single profile-acquisition entry
@@ -348,6 +358,12 @@ func Instrument(prog *ir.Program, opts Options) (*Plan, error) {
 	if opts.CCTMetrics == 0 && opts.Mode.UsesCCT() {
 		opts.CCTMetrics = 1 + opts.NumCounters
 	}
+	if opts.K == 0 {
+		opts.K = 1
+	}
+	if opts.K < 1 || opts.K > 8 {
+		return nil, fmt.Errorf("instrument: path degree k=%d out of range [1,8]", opts.K)
+	}
 	clone := ir.Clone(prog)
 	plan := &Plan{
 		Mode:  opts.Mode,
@@ -372,7 +388,7 @@ func Instrument(prog *ir.Program, opts Options) (*Plan, error) {
 	for i, p := range clone.Procs {
 		info := cct.ProcInfo{Name: p.Name, NumSites: plan.Procs[i].NumSites}
 		if nm := plan.Procs[i].Numbering; nm != nil {
-			info.NumPaths = nm.NumPaths
+			info.NumPaths = nm.NumPathsK // == NumPaths at the classic K=1
 		}
 		plan.CCTInfo[i] = info
 	}

@@ -1,0 +1,316 @@
+package instrument
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pathprof/internal/analysis"
+	"pathprof/internal/bl"
+	"pathprof/internal/hpm"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+// kOracle derives the ground-truth k-path profile from the control-flow
+// trace, composing per-layer edge values directly from the extended
+// numbering. It deliberately does NOT reuse the runtime's segment
+// composition: the oracle walks edges one at a time with ValK while the
+// instrumentation accumulates whole standard segment ids and decodes them
+// in the probe handler, so agreement checks the full contract.
+type kOracle struct {
+	plan   *Plan
+	stack  []kframe
+	counts []map[int64]uint64
+}
+
+type kframe struct {
+	proc  int
+	sum   int64
+	layer int
+}
+
+func newKOracle(plan *Plan) *kOracle {
+	o := &kOracle{plan: plan}
+	o.counts = make([]map[int64]uint64, len(plan.Procs))
+	for i := range o.counts {
+		o.counts[i] = map[int64]uint64{}
+	}
+	return o
+}
+
+func (o *kOracle) Enter(proc int) {
+	o.stack = append(o.stack, kframe{proc: proc})
+}
+
+func (o *kOracle) Exit(proc int) {
+	top := o.stack[len(o.stack)-1]
+	if nm := o.plan.Procs[top.proc].Numbering; nm != nil {
+		o.counts[top.proc][top.sum]++
+	}
+	o.stack = o.stack[:len(o.stack)-1]
+}
+
+func (o *kOracle) Edge(proc int, from ir.BlockID, slot int) {
+	top := &o.stack[len(o.stack)-1]
+	nm := o.plan.Procs[proc].Numbering
+	if nm == nil || int(from) >= len(nm.Succs) {
+		return
+	}
+	for i, be := range nm.Backedges {
+		if be.From != from || be.Slot != slot {
+			continue
+		}
+		// Find the PseudoEnd edge this backedge became.
+		for pos, te := range nm.Succs[from] {
+			if te.Kind != bl.PseudoEnd || te.Backedge != i {
+				continue
+			}
+			v := nm.ValK(top.layer, from, pos)
+			if top.layer >= nm.K-1 {
+				o.counts[proc][top.sum+v]++
+				top.sum = nm.KStart(i)
+				top.layer = 0
+			} else {
+				top.sum += v
+				top.layer++
+			}
+			return
+		}
+		return
+	}
+	for pos, te := range nm.Succs[from] {
+		if te.Kind == bl.Real && te.Slot == slot {
+			top.sum += nm.ValK(top.layer, from, pos)
+			return
+		}
+	}
+}
+
+func (o *kOracle) flush() {
+	if len(o.stack) == 0 {
+		return
+	}
+	top := o.stack[len(o.stack)-1]
+	if nm := o.plan.Procs[top.proc].Numbering; nm != nil {
+		o.counts[top.proc][top.sum]++
+	}
+}
+
+func checkKProfileMatchesOracle(t *testing.T, seed int64, opts Options) {
+	t.Helper()
+	prog := randomProgram(seed)
+	plan, err := Instrument(prog, opts)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	m := sim.New(plan.Prog, sim.DefaultConfig())
+	m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+	rt := plan.Wire(m)
+	oracle := newKOracle(plan)
+	m.SetTracer(oracle)
+	m.OnUnwind(func(d int) { oracle.stack = oracle.stack[:d] })
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	oracle.flush()
+	prof := rt.ExtractProfile()
+	extended := false
+	for _, pp := range plan.Procs {
+		if pp.Numbering == nil {
+			continue
+		}
+		if pp.Numbering.K > 1 {
+			extended = true
+		}
+		want := oracle.counts[pp.ProcID]
+		got := map[int64]uint64{}
+		if p := prof.Proc(pp.ProcID); p != nil {
+			for _, e := range p.Entries {
+				got[e.Sum] = e.Freq
+			}
+		}
+		if !reflect.DeepEqual(mapNonZero(want), mapNonZero(got)) {
+			t.Errorf("seed %d proc %s (k=%d hash=%v): k-profile mismatch\n want %v\n got  %v",
+				seed, pp.Name, pp.Numbering.K, pp.UseHash, mapNonZero(want), mapNonZero(got))
+		}
+	}
+	if extended && prof.K != opts.K {
+		t.Errorf("seed %d: profile K = %d, want requested %d", seed, prof.K, opts.K)
+	}
+}
+
+func kOpts(mode Mode, k int) Options {
+	opts := DefaultOptions(mode)
+	opts.K = k
+	return opts
+}
+
+// TestKPathFreqMatchesOracle: dense counters, k ∈ {2,3}. The oracle walks
+// edges through the layered numbering; the runtime composes whole segment
+// ids in the ProbeKSeg/ProbeKEnd handlers. They must agree exactly.
+func TestKPathFreqMatchesOracle(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		for seed := int64(1); seed <= 10; seed++ {
+			checkKProfileMatchesOracle(t, seed, kOpts(ModePathFreq, k))
+		}
+	}
+}
+
+// TestKPathFreqHashTables: the hashed counter variant counts k-ids
+// identically (a tiny threshold forces every proc onto the hash table, as
+// the larger k-id spaces will in practice).
+func TestKPathFreqHashTables(t *testing.T) {
+	opts := kOpts(ModePathFreq, 2)
+	opts.HashPathThreshold = 2
+	for seed := int64(1); seed <= 8; seed++ {
+		checkKProfileMatchesOracle(t, seed, opts)
+	}
+	opts.K = 3
+	for seed := int64(1); seed <= 6; seed++ {
+		checkKProfileMatchesOracle(t, seed, opts)
+	}
+}
+
+// TestKPathHWMatchesOracle: the HW variant's frequency columns agree under
+// k-composition too (events ride along; frequencies must stay exact).
+func TestKPathHWMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		checkKProfileMatchesOracle(t, seed, kOpts(ModePathHW, 2))
+	}
+}
+
+// TestKContextFlowMatchesOracle: CCT-qualified k-path tables sum to the
+// flat k-profile.
+func TestKContextFlowMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		checkKProfileMatchesOracle(t, seed, kOpts(ModeContextFlow, 2))
+	}
+}
+
+// TestKSemanticsPreserved: k-instrumented programs still compute the same
+// outputs in every path-counting mode.
+func TestKSemanticsPreserved(t *testing.T) {
+	modes := []Mode{ModePathFreq, ModePathHW, ModeContextFlow}
+	check := func(seed int64) bool {
+		prog := randomProgram(seed)
+		base, _ := runProgram(t, prog, nil)
+		for _, k := range []int{2, 3} {
+			for _, mode := range modes {
+				plan, err := Instrument(prog, kOpts(mode, k))
+				if err != nil {
+					t.Logf("seed %d k=%d mode %v: %v", seed, k, mode, err)
+					return false
+				}
+				res, _ := runProgram(t, plan.Prog, plan)
+				if !reflect.DeepEqual(base.Output, res.Output) {
+					t.Logf("seed %d k=%d mode %v: output diverged", seed, k, mode)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKEdgeProjectionMatchesClassic: projecting a k-profile onto edge
+// frequencies must reproduce the k=1 projection exactly — the same dynamic
+// edges executed, only the path granularity changed. This pins down that
+// no backedge traversal is dropped or double-counted by k-composition.
+func TestKEdgeProjectionMatchesClassic(t *testing.T) {
+	project := func(seed int64, opts Options) map[int]analysis.EdgeFreq {
+		t.Helper()
+		prog := randomProgram(seed)
+		plan, err := Instrument(prog, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_, rt := runProgram(t, plan.Prog, plan)
+		prof := rt.ExtractProfile()
+		out := map[int]analysis.EdgeFreq{}
+		for _, pp := range plan.Procs {
+			if pp.Numbering == nil {
+				continue
+			}
+			p := prof.Proc(pp.ProcID)
+			if p == nil {
+				continue
+			}
+			ef, err := analysis.ProjectEdgeFrequencies(p, pp.Numbering)
+			if err != nil {
+				t.Fatalf("seed %d proc %s: %v", seed, pp.Name, err)
+			}
+			out[pp.ProcID] = ef
+		}
+		return out
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		classic := project(seed, DefaultOptions(ModePathFreq))
+		for _, k := range []int{2, 3} {
+			kf := project(seed, kOpts(ModePathFreq, k))
+			if !reflect.DeepEqual(classic, kf) {
+				t.Errorf("seed %d k=%d: edge projection differs from classic", seed, k)
+			}
+		}
+	}
+}
+
+// TestKHWMetricsBounded: per-k-path metric accumulators stay within the
+// run's totals, and attribution coverage does not degrade versus k=1 —
+// every segment's events are credited to exactly one k-path.
+func TestKHWMetricsBounded(t *testing.T) {
+	prog := randomProgram(5)
+	plan, err := Instrument(prog, kOpts(ModePathHW, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rt := runProgram(t, plan.Prog, plan)
+	prof := rt.ExtractProfile()
+	_, ms := prof.Totals()
+	m0, m1 := ms[0], ms[1]
+	if m1 == 0 {
+		t.Fatal("no instructions attributed to any k-path")
+	}
+	if m0 > res.Totals[hpm.EvDCacheMiss] {
+		t.Fatalf("k-paths claim %d D-misses, run had %d", m0, res.Totals[hpm.EvDCacheMiss])
+	}
+	if m1 > res.Totals[hpm.EvInsts] {
+		t.Fatalf("k-paths claim %d insts, run had %d", m1, res.Totals[hpm.EvInsts])
+	}
+	if m1 < res.Totals[hpm.EvInsts]/3 {
+		t.Fatalf("only %d of %d instructions attributed to k-paths", m1, res.Totals[hpm.EvInsts])
+	}
+}
+
+// TestKProfileCarriesDegree: the profile records the requested degree and
+// each proc its effective one (procs without backedges stay classic).
+func TestKProfileCarriesDegree(t *testing.T) {
+	prog := randomProgram(2)
+	plan, err := Instrument(prog, kOpts(ModePathFreq, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rt := runProgram(t, plan.Prog, plan)
+	prof := rt.ExtractProfile()
+	if prof.K != 3 {
+		t.Fatalf("profile K = %d, want 3", prof.K)
+	}
+	for _, pp := range plan.Procs {
+		if pp.Numbering == nil {
+			continue
+		}
+		p := prof.Proc(pp.ProcID)
+		if p == nil {
+			continue
+		}
+		if want := pp.Numbering.K; p.K != want {
+			t.Errorf("proc %s: profile k=%d, numbering k=%d", pp.Name, p.K, want)
+		}
+		if len(pp.Numbering.Backedges) == 0 && p.K > 1 {
+			t.Errorf("proc %s has no backedges yet k=%d", pp.Name, p.K)
+		}
+	}
+}

@@ -68,14 +68,29 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 	}
 	pp.Inc = inc
 
-	pp.UseHash = nm.NumPaths > opts.HashPathThreshold
+	// k-iteration extension: raise the numbering to degree K (clamped per
+	// procedure so the id space fits MaxPaths). The per-segment register
+	// instrumentation below is untouched; only the boundary operations
+	// (backedge, exit) change, handing standard segment ids to the probe
+	// layer, which composes them into k-path ids (see bl/kpath.go).
+	if opts.K > 1 {
+		if _, err := nm.ExtendK(opts.K, 0); err != nil {
+			return err
+		}
+		if nm.K > 1 && nm.NumPaths > maxPackedPaths {
+			return fmt.Errorf("instrument: proc %s: %d segment ids exceed packable range for k-mode", p.Name, nm.NumPaths)
+		}
+	}
+	kMode := nm.K > 1
+
+	pp.UseHash = nm.NumPathsK > opts.HashPathThreshold
 	if pp.UseHash && nm.NumPaths > maxPackedPaths {
 		return fmt.Errorf("instrument: proc %s: %d paths exceed packable range", p.Name, nm.NumPaths)
 	}
 	if !pp.UseHash {
-		pp.FreqBase = plan.alloc.Alloc(uint64(nm.NumPaths)*8, 64)
+		pp.FreqBase = plan.alloc.Alloc(uint64(nm.NumPathsK)*8, 64)
 		if mode == ModePathHW {
-			plan.allocAccBases(pp, nm.NumPaths)
+			plan.allocAccBases(pp, nm.NumPathsK)
 		}
 	}
 
@@ -114,10 +129,15 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 	}
 
 	// (b) Backedge operations: count[r+END]++; r = START (plus counter
-	// restart in HW mode).
+	// restart in HW mode). In k-mode the completed segment's id goes to the
+	// composition probe instead of being counted directly.
 	for i, be := range nm.Backedges {
 		sb := rp.seq()
-		plan.emitPathEnd(sb, pp, inc.BEnd[i], mode)
+		if kMode {
+			plan.emitKBoundary(sb, pp, inc.BEnd[i], ProbeKSeg)
+		} else {
+			plan.emitPathEnd(sb, pp, inc.BEnd[i], mode)
+		}
 		r := sb.pathRegNoLoad()
 		sb.emit(ir.Instr{Op: ir.MovI, Rd: r, Imm: inc.BStart[i]})
 		sb.storePath()
@@ -130,7 +150,11 @@ func (plan *Plan) pathProc(p *ir.Proc) error {
 	// (c) Exit block: final path count, then (HW) counter restore, then
 	// (ContextFlow) the CCT exit probe, then frame teardown.
 	exitSeq := rp.seq()
-	plan.emitPathEnd(exitSeq, pp, 0, mode)
+	if kMode {
+		plan.emitKBoundary(exitSeq, pp, 0, ProbeKEnd)
+	} else {
+		plan.emitPathEnd(exitSeq, pp, 0, mode)
+	}
 	if mode == ModePathHW {
 		plan.emitCounterRestore(exitSeq, rp)
 	}
@@ -352,6 +376,28 @@ func (plan *Plan) emitPathEnd(sb *seqBuilder, pp *ProcPlan, offset int64, mode M
 			ir.Instr{Op: ir.StoreIdx, Rd: t1, Rs: z, Rt: idx, Imm: int64(pp.FreqBase)},
 		)
 	}
+}
+
+// emitKBoundary emits the k-mode segment hand-off: pack the completed
+// standard segment id (current path register plus offset) with the
+// procedure ID and pass it to the composition probe — ProbeKSeg at a
+// backedge, ProbeKEnd at the exit flush. The handler decodes the segment
+// once, re-sums it with the active layer's values, and counts the
+// composed k-path id when the path completes (wire.go). The sequence is
+// the same shape as the hashed counting probe, so the N-counter
+// save/restore discipline around it is unchanged; in HW mode the handler
+// reads the counters at the probe and the zeroing that follows (backedge)
+// or the restore (exit) proceeds exactly as at k=1.
+func (plan *Plan) emitKBoundary(sb *seqBuilder, pp *ProcPlan, offset int64, probe int64) {
+	r := sb.pathReg()
+	idx := sb.scratch(2)
+	sb.emit(ir.Instr{Op: ir.AddI, Rd: idx, Rs: r, Imm: offset})
+	t := sb.scratch(0)
+	sb.emit(
+		ir.Instr{Op: ir.MovI, Rd: t, Imm: PackProcPath(pp.ProcID, 0)},
+		ir.Instr{Op: ir.Add, Rd: t, Rs: t, Rt: idx},
+		ir.Instr{Op: ir.Probe, Imm: probe, Rs: t, Rd: t},
+	)
 }
 
 // emitCounterZero writes zero to every instrumented PIC pair and, unless

@@ -35,6 +35,22 @@ type Runtime struct {
 	// with stride numPairs (parallel to the CCT's context stack).
 	entryPIC []uint64
 	numPairs int
+
+	// k-mode composition state, one slot per live activation depth (the
+	// simulator's registers are activation-local, so the per-segment path
+	// register needs no help; only the composed accumulator does). Slots
+	// are reset at every exit flush and truncated on unwind, so reuse at
+	// the same depth always starts from the zero state.
+	kst []kAct
+}
+
+// kAct is one activation's k-path composition state: the accumulated
+// composed id, the current iteration layer, and (HW mode) the pending
+// per-counter event totals of the segments composed so far.
+type kAct struct {
+	sum   int64
+	layer int
+	pend  []uint64
 }
 
 const hashBuckets = 64
@@ -61,11 +77,23 @@ func (plan *Plan) Wire(m *sim.Machine) *Runtime {
 		rt.hashAcc[k] = make([]*flat.Table, n)
 	}
 	rt.hashBase = make([]uint64, n)
+	kMode := false
 	for _, pp := range plan.Procs {
+		if nm := pp.Numbering; nm != nil && nm.K > 1 {
+			kMode = true
+		}
 		if pp.UseHash {
-			rt.hashFreq[pp.ProcID] = flat.New(hashBuckets)
+			// Pre-size the Go-side tables from the path space so hashed
+			// counting reaches a rehash-free steady state quickly; the
+			// simulated bucket array stays at the modeled hashBuckets
+			// (cache behaviour of the paper's small fixed hash).
+			hint := hashBuckets
+			if nm := pp.Numbering; nm != nil {
+				hint = HashSizeHint(nm.NumPathsK)
+			}
+			rt.hashFreq[pp.ProcID] = flat.New(hint)
 			for k := range rt.hashAcc {
-				rt.hashAcc[k][pp.ProcID] = flat.New(hashBuckets)
+				rt.hashAcc[k][pp.ProcID] = flat.New(hint)
 			}
 			rt.hashBase[pp.ProcID] = alloc.Alloc(hashBuckets*8*uint64(1+nc), 64)
 		}
@@ -92,7 +120,35 @@ func (plan *Plan) Wire(m *sim.Machine) *Runtime {
 	m.RegisterProbe(ProbeCCTExit, rt.onCCTExit)
 	m.RegisterProbe(ProbeCCTTick, rt.onCCTTick)
 	m.RegisterProbe(ProbeCCTPath, rt.onCCTPath)
+	if kMode {
+		m.RegisterProbe(ProbeKSeg, rt.onKSeg)
+		m.RegisterProbe(ProbeKEnd, rt.onKEnd)
+		m.OnUnwind(func(depth int) {
+			// Activations discarded by a non-local exit take their partial
+			// k-paths with them, as the classic scheme drops the register.
+			if len(rt.kst) > depth {
+				rt.kst = rt.kst[:depth]
+			}
+		})
+	}
 	return rt
+}
+
+// HashSizeHint derives the flat-table pre-size from a procedure's path
+// space: enough headroom that the executed-path working set reaches
+// steady state without rehash storms, capped so enormous k-path spaces
+// don't balloon the runtime (distinct executed paths are vastly fewer
+// than potential ones). Exported so benchmarks gating the 0-alloc steady
+// state size their tables exactly as Wire does.
+func HashSizeHint(numPaths int64) int {
+	const maxHint = 1 << 15
+	if numPaths > maxHint {
+		return maxHint
+	}
+	if numPaths < hashBuckets {
+		return hashBuckets
+	}
+	return int(numPaths)
 }
 
 // onHashFreq handles a hash-table path frequency update: in real
@@ -207,6 +263,144 @@ func (rt *Runtime) onCCTPath(ctx sim.ProbeCtx, arg int64) int64 {
 	return arg
 }
 
+// kActAt returns the composition slot of the activation at depth,
+// growing the stack as calls deepen. Exited activations leave their slot
+// zeroed, so reuse needs no initialization.
+func (rt *Runtime) kActAt(depth int) *kAct {
+	for len(rt.kst) < depth {
+		rt.kst = append(rt.kst, kAct{})
+	}
+	return &rt.kst[depth-1]
+}
+
+// kReadCounters folds the counters' current values (the events of the
+// segment just completed; the emitted code zeroes the counters at entry
+// and after every backedge probe) into the activation's pending totals.
+func (rt *Runtime) kReadCounters(ctx sim.ProbeCtx, st *kAct) {
+	nc := rt.Plan.numCounters()
+	if st.pend == nil {
+		st.pend = make([]uint64, nc)
+	}
+	pmu := rt.Machine.PMU()
+	for pr := 0; pr < rt.numPairs; pr++ {
+		lo, hi := hpm.Split(pmu.ReadPair(pr))
+		st.pend[2*pr] += uint64(lo)
+		if 2*pr+1 < nc {
+			st.pend[2*pr+1] += uint64(hi)
+		}
+	}
+	ctx.ChargeInstrs(uint64(rt.numPairs))
+}
+
+// onKSeg handles a k-mode backedge boundary: decode the completed
+// standard segment, add its layer value to the composed id, and either
+// advance a layer or — when the k-path is full — count it and start the
+// next one at the backedge target's k-start offset.
+func (rt *Runtime) onKSeg(ctx sim.ProbeCtx, arg int64) int64 {
+	proc, seg := UnpackProcPath(arg)
+	pp := rt.Plan.Procs[proc]
+	nm := pp.Numbering
+	st := rt.kActAt(ctx.Depth())
+	if rt.Plan.Mode == ModePathHW {
+		rt.kReadCounters(ctx, st)
+	}
+	val, be, err := nm.SegmentValK(st.layer, seg)
+	if err != nil || be < 0 {
+		panic(fmt.Sprintf("instrument: k-segment decode at backedge failed: proc %d seg %d layer %d: err=%v be=%d",
+			proc, seg, st.layer, err, be))
+	}
+	st.sum += val
+	if st.layer >= nm.K-1 {
+		rt.kCount(ctx, pp, st)
+		st.sum = nm.KStart(be)
+		st.layer = 0
+	} else {
+		st.layer++
+		ctx.ChargeInstrs(4) // compose bookkeeping: add, layer bump, spill
+	}
+	return arg
+}
+
+// onKEnd handles the k-mode exit flush: the final segment ran to EXIT, so
+// the composed k-path completes here regardless of layer. The slot is
+// left zeroed for the next activation at this depth.
+func (rt *Runtime) onKEnd(ctx sim.ProbeCtx, arg int64) int64 {
+	proc, seg := UnpackProcPath(arg)
+	pp := rt.Plan.Procs[proc]
+	nm := pp.Numbering
+	st := rt.kActAt(ctx.Depth())
+	if rt.Plan.Mode == ModePathHW {
+		rt.kReadCounters(ctx, st)
+	}
+	val, be, err := nm.SegmentValK(st.layer, seg)
+	if err != nil || be >= 0 {
+		panic(fmt.Sprintf("instrument: k-segment decode at exit failed: proc %d seg %d layer %d: err=%v be=%d",
+			proc, seg, st.layer, err, be))
+	}
+	st.sum += val
+	rt.kCount(ctx, pp, st)
+	st.sum, st.layer = 0, 0
+	return arg
+}
+
+// kCount counts one completed k-path id into the mode's counter store —
+// the same targets the classic boundary code updates inline, addressed by
+// the composed id: the CCT record (combined mode), the hashed tables, or
+// the dense simulated-memory tables. HW mode credits the pending event
+// totals accumulated across the path's segments and clears them.
+func (rt *Runtime) kCount(ctx sim.ProbeCtx, pp *ProcPlan, st *kAct) {
+	id := st.sum
+	plan := rt.Plan
+	nc := plan.numCounters()
+	switch {
+	case plan.Mode == ModeContextFlow:
+		rt.Tree.CountPath(id, ctx)
+
+	case pp.UseHash:
+		proc := pp.ProcID
+		rt.hashFreq[proc].Add(id, 1)
+		slots := uint64(1)
+		if plan.Mode == ModePathHW {
+			for k := 0; k < nc; k++ {
+				rt.hashAcc[k][proc].Add(id, int64(st.pend[k]))
+			}
+			slots = uint64(1 + nc)
+			ctx.ChargeInstrs(uint64(8 + 3*nc))
+		} else {
+			ctx.ChargeInstrs(6)
+		}
+		base := rt.hashBase[proc]
+		b := (uint64(id) % hashBuckets) * 8
+		for i := uint64(0); i < slots; i++ {
+			ctx.TouchRead(base + i*hashBuckets*8 + b)
+			ctx.TouchWrite(base + i*hashBuckets*8 + b)
+		}
+
+	default:
+		memory := rt.Machine.Mem()
+		a := pp.FreqBase + uint64(id)*8
+		memory.Store(a, memory.Load(a)+1)
+		ctx.TouchRead(a)
+		ctx.TouchWrite(a)
+		charge := 5
+		if plan.Mode == ModePathHW {
+			for k := 0; k < nc; k++ {
+				aa := pp.AccBases[k] + uint64(id)*8
+				memory.Store(aa, memory.Load(aa)+int64(st.pend[k]))
+				ctx.TouchRead(aa)
+				ctx.TouchWrite(aa)
+			}
+			charge += 3 * nc
+		}
+		ctx.ChargeInstrs(uint64(charge))
+	}
+	if plan.Mode == ModePathHW {
+		for k := range st.pend {
+			st.pend[k] = 0
+		}
+	}
+}
+
 // ExtractProfile reads the completed run's path counters — dense tables
 // from simulated memory, hash tables from the runtime — into a Profile.
 // For ModeContextFlow the per-record tables are summed per procedure (the
@@ -249,11 +443,17 @@ func (rt *Runtime) ExtractProfile() *profile.Profile {
 		}
 		return p
 	}
+	if plan.Opts.K > 1 {
+		p.K = plan.Opts.K
+	}
 	for _, pp := range plan.Procs {
 		if pp.Numbering == nil {
 			continue
 		}
-		out := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.Numbering.NumPaths}
+		out := &profile.ProcPaths{ProcID: pp.ProcID, Name: pp.Name, NumPaths: pp.Numbering.NumPathsK}
+		if p.K > 1 {
+			out.K = pp.Numbering.K // effective (possibly clamped) degree
+		}
 		switch {
 		case plan.Mode == ModeContextFlow:
 			sums := flat.New(0)
@@ -284,7 +484,7 @@ func (rt *Runtime) ExtractProfile() *profile.Profile {
 				return true
 			})
 		default:
-			for s := int64(0); s < pp.Numbering.NumPaths; s++ {
+			for s := int64(0); s < pp.Numbering.NumPathsK; s++ {
 				freq := uint64(memory.Load(pp.FreqBase + uint64(s)*8))
 				if freq == 0 {
 					continue

@@ -48,10 +48,25 @@ type ProfileData struct {
 	Calls []int64
 }
 
+// AcquireOptions tunes profile acquisition.
+type AcquireOptions struct {
+	// K is the path iteration degree for the path-frequency run (see
+	// bl.ExtendK). Edge-frequency projection is degree-invariant — a k>1
+	// profile projects to exactly the classic edge counts — so any K yields
+	// the same optimizer decisions; the retained Profile simply carries
+	// k-path resolution. 0 or 1 selects classic Ball-Larus paths.
+	K int
+}
+
 // Acquire profiles prog on the given simulator configuration and returns
 // the data the optimizer needs. The program itself is not modified (the
 // instrumenter works on clones).
 func Acquire(prog *ir.Program, simCfg sim.Config) (*ProfileData, error) {
+	return AcquireWith(prog, simCfg, AcquireOptions{})
+}
+
+// AcquireWith is Acquire with explicit acquisition options.
+func AcquireWith(prog *ir.Program, simCfg sim.Config, aopts AcquireOptions) (*ProfileData, error) {
 	data := &ProfileData{
 		Edges:     make([]analysis.EdgeFreq, len(prog.Procs)),
 		Placement: make([]instrument.EdgeFreqs, len(prog.Procs)),
@@ -60,7 +75,11 @@ func Acquire(prog *ir.Program, simCfg sim.Config) (*ProfileData, error) {
 	}
 
 	// Run 1: path frequencies → exact edge frequencies.
-	pathPlan, err := instrument.Instrument(prog, instrument.DefaultOptions(instrument.ModePathFreq))
+	popts := instrument.DefaultOptions(instrument.ModePathFreq)
+	if aopts.K > 1 {
+		popts.K = aopts.K
+	}
+	pathPlan, err := instrument.Instrument(prog, popts)
 	if err != nil {
 		return nil, fmt.Errorf("pgo: path instrumentation: %w", err)
 	}

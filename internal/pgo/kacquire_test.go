@@ -1,0 +1,57 @@
+package pgo
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+// TestAcquireKInvariant: acquisition at k>1 records a k-path profile but
+// projects the same edge frequencies, placement hints, and call counts as
+// classic acquisition — so the optimizer's decisions cannot depend on the
+// profile's iteration degree, and the optimized program is identical.
+func TestAcquireKInvariant(t *testing.T) {
+	for _, name := range []string{"interp", "compress"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %q", name)
+		}
+		prog := w.Build(workload.Test)
+		classic, err := Acquire(prog, sim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3} {
+			kd, err := AcquireWith(prog, sim.DefaultConfig(), AcquireOptions{K: k})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if kd.Profile.K < 2 {
+				t.Fatalf("%s k=%d: acquired profile lost its degree (K=%d)", name, k, kd.Profile.K)
+			}
+			if !reflect.DeepEqual(kd.Edges, classic.Edges) {
+				t.Errorf("%s k=%d: projected edge frequencies differ from classic", name, k)
+			}
+			if !reflect.DeepEqual(kd.Placement, classic.Placement) {
+				t.Errorf("%s k=%d: placement frequencies differ from classic", name, k)
+			}
+			if !reflect.DeepEqual(kd.Calls, classic.Calls) {
+				t.Errorf("%s k=%d: call counts differ from classic", name, k)
+			}
+
+			opt, _, err := Optimize(prog, kd, DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			base, _, err := Optimize(prog, classic, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.String() != base.String() {
+				t.Errorf("%s k=%d: optimized program differs from classic-profile result", name, k)
+			}
+		}
+	}
+}

@@ -12,13 +12,15 @@ import (
 // instrumented in every mode and the static verifier must find nothing —
 // any finding is either an instrumenter bug or a checker bug, and both are
 // worth a failing corpus entry. The corpus coordinates are the generator
-// seed and shape knobs, so every crash reproduces deterministically.
+// seed and shape knobs, so every crash reproduces deterministically. Path
+// modes additionally run at the fuzzed iteration degree k ∈ {1,2,3},
+// exercising the layered numbering and the chain-composition prover.
 func FuzzVet(f *testing.F) {
-	f.Add(int64(1), uint8(4), uint8(6), false, false)
-	f.Add(int64(2), uint8(3), uint8(12), true, false)
-	f.Add(int64(3), uint8(6), uint8(8), false, true)
-	f.Add(int64(42), uint8(5), uint8(10), true, true)
-	f.Fuzz(func(t *testing.T, seed int64, nProcs, blocksPer uint8, recursion, indirect bool) {
+	f.Add(int64(1), uint8(4), uint8(6), false, false, uint8(0))
+	f.Add(int64(2), uint8(3), uint8(12), true, false, uint8(1))
+	f.Add(int64(3), uint8(6), uint8(8), false, true, uint8(2))
+	f.Add(int64(42), uint8(5), uint8(10), true, true, uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nProcs, blocksPer uint8, recursion, indirect bool, kSel uint8) {
 		prog := testgen.RandomProgram(rand.New(rand.NewSource(seed)), "fuzz", testgen.ProgramOptions{
 			NumProcs:      2 + int(nProcs%8),
 			BlocksPer:     3 + int(blocksPer%16),
@@ -26,13 +28,18 @@ func FuzzVet(f *testing.F) {
 			IndirectCalls: indirect,
 			Memory:        seed%2 == 0,
 		})
+		k := 1 + int(kSel%3)
 		for _, m := range allModes {
-			plan, err := instrument.Instrument(prog, instrument.DefaultOptions(m))
+			opts := instrument.DefaultOptions(m)
+			if m.UsesPaths() {
+				opts.K = k
+			}
+			plan, err := instrument.Instrument(prog, opts)
 			if err != nil {
-				t.Fatalf("mode %v: %v", m, err)
+				t.Fatalf("mode %v k=%d: %v", m, opts.K, err)
 			}
 			for _, fd := range Verify(plan) {
-				t.Errorf("mode %v: %s", m, fd)
+				t.Errorf("mode %v k=%d: %s", m, opts.K, fd)
 			}
 		}
 	})

@@ -1,0 +1,316 @@
+package ppvet
+
+import (
+	"pathprof/internal/cfg"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+)
+
+// k-iteration path-sum prover. In k-mode the emitted code never updates a
+// counter directly: each iteration segment keeps the untouched Ball-Larus
+// register instrumentation, and at every backedge (ProbeKSeg) and exit
+// (ProbeKEnd) the code hands the runtime the packed *standard* segment id.
+// The runtime composes chains of up to K segments into one k-path id via
+// bl.SegmentValK. Soundness therefore needs three facts about the program
+// text:
+//
+//  1. every segment of the acyclic residue reaches exactly one boundary
+//     probe of the right kind, carrying a derivable constant that packs
+//     this procedure's id with the segment's standard id;
+//  2. all segments decoding to the same backedge hand the next segment one
+//     consistent seed (block, register value) — the seed value itself is
+//     free, because optimized increment placement may fold constants into
+//     the reset, and only the composed ids are semantically meaningful;
+//  3. replaying the runtime's composition over every chain of observed
+//     segments — started at entry or after any counted backedge, truncated
+//     at layer K-1 — yields each identifier in [0, NumPathsK) exactly once.
+//
+// (1) and (2) come from the same bounded segment enumeration the classic
+// checker uses; (3) is a chain walk over the collected segment graph, so
+// its cost is NumPathsK, not the product of segment counts. A wrong reset
+// constant shifts every downstream segment id, so (3) catches it even
+// though (2) does not pin the value.
+
+// kSeed identifies where a segment starts: the procedure entry, or a
+// backedge target block with the reset register value.
+type kSeed struct {
+	entry bool
+	block ir.BlockID
+	path  int64
+}
+
+// kSegRec is one enumerated segment: its observed boundary id and, for
+// backedge segments, the seed it hands the next segment.
+type kSegRec struct {
+	segID        int64
+	endsBackedge bool
+	next         kSeed
+	block        ir.BlockID // block holding the boundary probe (findings)
+	instr        int
+}
+
+// kBoundaryEventAt classifies in as a k-mode boundary probe.
+func kBoundaryEventAt(pp *instrument.ProcPlan, in ir.Instr, st *absState, b ir.BlockID, idx int) (countEvent, bool) {
+	if in.Op != ir.Probe || (in.Imm != instrument.ProbeKSeg && in.Imm != instrument.ProbeKEnd) {
+		return countEvent{}, false
+	}
+	kind := "kseg"
+	if in.Imm == instrument.ProbeKEnd {
+		kind = "kend"
+	}
+	a := st.regs[in.Rs]
+	if a.k != avConst {
+		return countEvent{kind: kind, block: b, instr: idx}, true
+	}
+	proc, seg := instrument.UnpackProcPath(a.c)
+	if proc != pp.ProcID {
+		return countEvent{kind: kind, block: b, instr: idx}, true
+	}
+	return countEvent{kind: kind, id: seg, known: true, block: b, instr: idx}, true
+}
+
+// enumerateKSegments runs the k-mode code-level proof for procedure id.
+func (v *verifier) enumerateKSegments(id int) {
+	pp := v.plan.Procs[id]
+	p := v.plan.Prog.Procs[id]
+	nm := pp.Numbering
+
+	isBE := make(map[cfg.Edge]bool)
+	for _, e := range cfg.Backedges(p) {
+		isBE[e] = true
+	}
+
+	segs := make(map[kSeed][]kSegRec)
+	var segments int64
+	budget := 4 * v.opts.MaxEnumPaths
+	exhausted := false
+	cycleSeen := false
+
+	seeded := map[kSeed]bool{}
+	type seedState struct {
+		seed kSeed
+		st   *absState
+	}
+	var queue []seedState
+
+	// finalize validates one completed segment's boundary probes and
+	// records the segment under its seed.
+	finalize := func(from kSeed, events []countEvent, at ir.BlockID, endsBackedge bool, next kSeed) {
+		segments++
+		want := "kend"
+		if endsBackedge {
+			want = "kseg"
+		}
+		var boundary *countEvent
+		for i := range events {
+			ev := &events[i]
+			if ev.kind != "kseg" && ev.kind != "kend" {
+				continue
+			}
+			if boundary != nil {
+				v.addf("pathsum", id, int(ev.block), ev.instr,
+					"second boundary probe on one segment (first at b%d:i%d)", boundary.block, boundary.instr)
+				return
+			}
+			if ev.kind != want {
+				v.addf("pathsum", id, int(ev.block), ev.instr, "%s probe on a segment that needs %s", ev.kind, want)
+				return
+			}
+			boundary = ev
+		}
+		if boundary == nil {
+			v.addf("pathsum", id, int(at), -1, "segment reaches b%d without a boundary probe", at)
+			return
+		}
+		if !boundary.known {
+			v.addf("pathsum", id, int(boundary.block), boundary.instr, "boundary id is not a derivable constant")
+			return
+		}
+		if boundary.id < 0 || boundary.id >= nm.NumPaths {
+			v.addf("pathsum", id, int(boundary.block), boundary.instr,
+				"boundary segment id %d outside [0,%d)", boundary.id, nm.NumPaths)
+			return
+		}
+		segs[from] = append(segs[from], kSegRec{
+			segID: boundary.id, endsBackedge: endsBackedge, next: next,
+			block: boundary.block, instr: boundary.instr,
+		})
+	}
+
+	pathVal := func(st *absState) (int64, bool) {
+		ri := pp.Regs
+		if ri == nil {
+			return 0, false
+		}
+		if !ri.Spill {
+			a := st.regs[ri.Path]
+			return a.c, a.k == avConst
+		}
+		fr := st.regs[ri.Frame]
+		if fr.k != avSP {
+			return 0, false
+		}
+		a := st.frame[fr.c+ri.SlotPath()]
+		return a.c, a.k == avConst
+	}
+
+	onstack := make([]bool, len(p.Blocks))
+	var walk func(from kSeed, b ir.BlockID, st *absState, events []countEvent)
+	walk = func(from kSeed, b ir.BlockID, st *absState, events []countEvent) {
+		if exhausted || segments > budget {
+			exhausted = true
+			return
+		}
+		if onstack[b] {
+			if !cycleSeen {
+				cycleSeen = true
+				v.addf("pathsum", id, int(b), -1, "cycle not broken by a recognized backedge")
+			}
+			return
+		}
+		blk := p.Blocks[b]
+		for i, in := range blk.Instrs {
+			if ev, ok := kBoundaryEventAt(pp, in, st, b, i); ok {
+				events = append(events, ev)
+			}
+			st.step(in)
+		}
+		if b == p.ExitBlock {
+			finalize(from, events, b, false, kSeed{})
+			return
+		}
+		onstack[b] = true
+		for slot, s := range blk.Succs {
+			if isBE[cfg.Edge{From: b, To: s, Slot: slot}] {
+				pv, ok := pathVal(st)
+				if !ok {
+					v.addf("pathsum", id, int(b), -1, "tracking register not a constant after backedge reset")
+					continue
+				}
+				next := kSeed{block: s, path: pv}
+				finalize(from, events, b, true, next)
+				if !seeded[next] {
+					seeded[next] = true
+					queue = append(queue, seedState{seed: next, st: st.clone()})
+				}
+				continue
+			}
+			walk(from, s, st.clone(), events[:len(events):len(events)])
+		}
+		onstack[b] = false
+	}
+
+	entry := kSeed{entry: true}
+	walk(entry, 0, newAbsState(), nil)
+	for len(queue) > 0 && !exhausted {
+		sd := queue[0]
+		queue = queue[1:]
+		walk(sd.seed, sd.seed.block, sd.st, nil)
+	}
+	if exhausted {
+		v.addf("pathsum", id, -1, -1, "segment enumeration exceeded %d segments (expected %d)", budget, nm.NumPaths)
+		return
+	}
+	if segments != nm.NumPaths {
+		v.addf("pathsum", id, -1, -1, "enumerated %d segments, standard numbering has %d", segments, nm.NumPaths)
+		return
+	}
+
+	// Resolve each backedge's seed from the observed transitions: all
+	// segments whose id decodes to backedge be must hand the next segment
+	// a single consistent seed. The exact register value is up to the
+	// increment optimizer; the chain replay below validates the ids it
+	// ultimately produces.
+	beSeed := map[int]kSeed{}
+	bad := false
+	for _, rs := range segs {
+		for _, g := range rs {
+			if !g.endsBackedge {
+				continue
+			}
+			_, be, err := nm.SegmentValK(0, g.segID)
+			if err != nil {
+				v.addf("pathsum", id, int(g.block), g.instr, "boundary id %d does not decode: %v", g.segID, err)
+				bad = true
+				continue
+			}
+			if be < 0 {
+				v.addf("pathsum", id, int(g.block), g.instr,
+					"boundary id %d decodes to an exit segment but the code takes a backedge", g.segID)
+				bad = true
+				continue
+			}
+			if prev, ok := beSeed[be]; ok && prev != g.next {
+				v.addf("pathsum", id, int(g.block), g.instr, "backedge %d seeds two different segment starts", be)
+				bad = true
+				continue
+			}
+			beSeed[be] = g.next
+		}
+	}
+	if bad {
+		return
+	}
+
+	// Replay the runtime's chain composition: from the entry and from
+	// every counted backedge, across at most K layers.
+	counted := make(map[int64]int)
+	var chains int64
+	chainBad := false
+	var walkChain func(seed kSeed, layer int, acc int64)
+	walkChain = func(seed kSeed, layer int, acc int64) {
+		if chainBad || chains > budget {
+			chainBad = chainBad || chains > budget
+			return
+		}
+		for _, g := range segs[seed] {
+			val, be, err := nm.SegmentValK(layer, g.segID)
+			if err != nil {
+				v.addf("pathsum", id, int(g.block), g.instr, "segment id %d at layer %d: %v", g.segID, layer, err)
+				chainBad = true
+				return
+			}
+			switch {
+			case g.endsBackedge && layer < nm.K-1:
+				walkChain(g.next, layer+1, acc+val)
+			case g.endsBackedge:
+				chains++
+				counted[acc+val]++
+			default:
+				if be >= 0 {
+					v.addf("pathsum", id, int(g.block), g.instr, "exit segment id %d decodes to backedge %d", g.segID, be)
+					chainBad = true
+					return
+				}
+				chains++
+				counted[acc+val]++
+			}
+		}
+	}
+	walkChain(entry, 0, 0)
+	for be, seed := range beSeed {
+		walkChain(seed, 0, nm.KStart(be))
+	}
+	if chainBad {
+		if chains > budget {
+			v.addf("pathsum", id, -1, -1, "chain composition exceeded %d chains (expected %d)", budget, nm.NumPathsK)
+		}
+		return
+	}
+
+	// Bijection over the k-id space.
+	if chains != nm.NumPathsK {
+		v.addf("pathsum", id, -1, -1, "composed %d k-paths, k-numbering has %d", chains, nm.NumPathsK)
+		return
+	}
+	for pid := int64(0); pid < nm.NumPathsK; pid++ {
+		if n := counted[pid]; n != 1 {
+			v.addf("pathsum", id, -1, -1, "k-path identifier %d composed %d times", pid, n)
+		}
+	}
+	for pid, n := range counted {
+		if (pid < 0 || pid >= nm.NumPathsK) && n > 0 {
+			v.addf("pathsum", id, -1, -1, "composed identifier %d outside [0,%d)", pid, nm.NumPathsK)
+		}
+	}
+}

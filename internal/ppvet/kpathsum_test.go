@@ -1,0 +1,179 @@
+package ppvet
+
+import (
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/workload"
+)
+
+var kPathModes = []instrument.Mode{
+	instrument.ModePathFreq,
+	instrument.ModePathHW,
+	instrument.ModeContextFlow,
+}
+
+// TestVerifyCleanOnSuiteK: the k-bijection prover accepts every workload's
+// k-instrumented form for k ∈ {2,3}, in every path-counting mode — the
+// paper suite and the k-iteration workloads alike.
+func TestVerifyCleanOnSuiteK(t *testing.T) {
+	for _, w := range append(workload.Suite(), workload.KSuite()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(workload.Test)
+			for _, mode := range kPathModes {
+				for _, k := range []int{2, 3} {
+					opts := instrument.DefaultOptions(mode)
+					opts.K = k
+					plan, err := instrument.Instrument(prog, opts)
+					if err != nil {
+						t.Fatalf("mode %v k=%d: %v", mode, k, err)
+					}
+					for _, f := range Verify(plan) {
+						t.Errorf("mode %v k=%d: %s", mode, k, f)
+					}
+				}
+			}
+		})
+	}
+}
+
+// kBoundaryProbe locates the AddI computing a boundary probe's segment id
+// offset (the instruction sequence emitKBoundary emits: AddI idx, path,
+// BEnd; MovI t, packed; Add t, t, idx; Probe).
+func kBoundaryProbe(plan *instrument.Plan, probe int64) (*ir.Block, int, bool) {
+	for _, p := range plan.Prog.Procs {
+		for _, b := range p.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op == ir.Probe && in.Imm == probe {
+					return b, i, true
+				}
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// TestVerifyCatchesSeededKDefects: the chain-composition prover flags
+// corruption of each k-specific instrumentation ingredient.
+func TestVerifyCatchesSeededKDefects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, plan *instrument.Plan)
+	}{
+		{
+			// The probe's AddI carries the segment's BEnd offset; skewing it
+			// shifts every composed id crossing that backedge.
+			name: "corrupted boundary offset",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				b, i, ok := kBoundaryProbe(plan, instrument.ProbeKSeg)
+				if !ok {
+					t.Fatal("no k boundary probe found")
+				}
+				for j := i; j >= 0; j-- {
+					if b.Instrs[j].Op == ir.AddI {
+						b.Instrs[j].Imm++
+						return
+					}
+				}
+				t.Fatal("no AddI before the boundary probe")
+			},
+		},
+		{
+			name: "dropped backedge boundary probe",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				b, i, ok := kBoundaryProbe(plan, instrument.ProbeKSeg)
+				if !ok {
+					t.Fatal("no k boundary probe found")
+				}
+				removeInstr(b, i)
+			},
+		},
+		{
+			name: "dropped exit boundary probe",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				b, i, ok := kBoundaryProbe(plan, instrument.ProbeKEnd)
+				if !ok {
+					t.Fatal("no k exit probe found")
+				}
+				removeInstr(b, i)
+			},
+		},
+		{
+			// Skewing the reset shifts every segment id downstream of the
+			// backedge, so the composed ids no longer biject.
+			name: "corrupted register reset",
+			mutate: func(t *testing.T, plan *instrument.Plan) {
+				b, i, ok := kBoundaryProbe(plan, instrument.ProbeKSeg)
+				if !ok {
+					t.Fatal("no k boundary probe found")
+				}
+				for j := i + 1; j < len(b.Instrs); j++ {
+					if b.Instrs[j].Op == ir.MovI {
+						b.Instrs[j].Imm += 2
+						return
+					}
+				}
+				t.Fatal("no register reset after the boundary probe")
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog := negProg(t)
+			opts := instrument.DefaultOptions(instrument.ModePathFreq)
+			opts.K = 2
+			plan, err := instrument.Instrument(prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs := Verify(plan); len(fs) != 0 {
+				t.Fatalf("clean k-plan has findings: %v", fs)
+			}
+			tc.mutate(t, plan)
+			fs := Verify(plan)
+			if len(fs) == 0 {
+				t.Fatalf("seeded %q defect produced no findings", tc.name)
+			}
+			if !hasCheck(fs, "pathsum") {
+				t.Fatalf("seeded %q defect: no pathsum finding among %v", tc.name, fs)
+			}
+		})
+	}
+}
+
+// TestVerifyCatchesCorruptedLayeredNumbering: plan-level k check — a
+// numbering whose layered values collide fails CheckCompactK through the
+// verifier, with the iteration context in the message.
+func TestVerifyCatchesCorruptedLayeredNumbering(t *testing.T) {
+	prog := negProg(t)
+	opts := instrument.DefaultOptions(instrument.ModePathFreq)
+	opts.K = 2
+	plan, err := instrument.Instrument(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	for _, pp := range plan.Procs {
+		nm := pp.Numbering
+		if nm == nil || nm.K < 2 {
+			continue
+		}
+		// Re-deriving layers against a corrupted K makes the layered check
+		// disagree with the emitted code: shrink the id space behind the
+		// plan's back by re-extending to a different degree.
+		if _, err := nm.ExtendK(3, 0); err == nil && nm.K == 3 {
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no extendable procedure to corrupt")
+	}
+	fs := Verify(plan)
+	if !hasCheck(fs, "pathsum") {
+		t.Fatalf("re-extended numbering produced no pathsum finding: %v", fs)
+	}
+}

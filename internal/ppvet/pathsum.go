@@ -32,6 +32,19 @@ func (v *verifier) checkPathSums(id int) {
 	}
 
 	// Layer 1: plan-level.
+	kMode := nm.K > 1
+	// ExtendK clamps the degree per procedure (id space must fit), so the
+	// numbering may sit below the plan's requested K — but never above it:
+	// a higher degree means the numbering was re-extended after the code
+	// was emitted, and every decode would use the wrong layer weights.
+	kReq := v.plan.Opts.K
+	if kReq < 1 {
+		kReq = 1
+	}
+	if nm.K > kReq {
+		v.addf("pathsum", id, -1, -1, "numbering extended to degree %d, plan requests k=%d", nm.K, kReq)
+		return
+	}
 	smallEnough := nm.NumPaths <= v.opts.MaxEnumPaths
 	if smallEnough {
 		if err := nm.CheckCompact(); err != nil {
@@ -41,6 +54,17 @@ func (v *verifier) checkPathSums(id int) {
 				return
 			}
 		}
+		if kMode && nm.NumPathsK <= v.opts.MaxEnumPaths {
+			// The layered numbering must itself biject onto the k-id space
+			// before the emitted code is checked against it.
+			if err := nm.CheckCompactK(); err != nil {
+				var ce *bl.CompactError
+				if errors.As(err, &ce) && ce.Kind != "too-many-paths" {
+					v.addf("pathsum", id, -1, -1, "k-numbering not compact: %v", ce)
+					return
+				}
+			}
+		}
 		if pp.Inc != nil {
 			if err := pp.Inc.VerifyPathSums(nm); err != nil {
 				v.addf("pathsum", id, -1, -1, "optimized increments diverge: %v", err)
@@ -48,10 +72,12 @@ func (v *verifier) checkPathSums(id int) {
 			}
 		}
 	}
-	wantHash := nm.NumPaths > v.plan.Opts.HashPathThreshold
+	// Hash-vs-dense is decided on the k-extended id space (equal to the
+	// classic one at K=1).
+	wantHash := nm.NumPathsK > v.plan.Opts.HashPathThreshold
 	if pp.UseHash != wantHash {
 		v.addf("pathsum", id, -1, -1, "UseHash=%v inconsistent with %d paths vs threshold %d",
-			pp.UseHash, nm.NumPaths, v.plan.Opts.HashPathThreshold)
+			pp.UseHash, nm.NumPathsK, v.plan.Opts.HashPathThreshold)
 	}
 	if !pp.UseHash && v.plan.Mode != instrument.ModeContextFlow {
 		if pp.FreqBase == 0 {
@@ -75,6 +101,12 @@ func (v *verifier) checkPathSums(id int) {
 
 	// Layer 2: code-level.
 	if !smallEnough {
+		return
+	}
+	if kMode {
+		if nm.NumPathsK <= v.opts.MaxEnumPaths {
+			v.enumerateKSegments(id)
+		}
 		return
 	}
 	v.enumerateSegments(id)

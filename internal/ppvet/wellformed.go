@@ -75,8 +75,8 @@ func (v *verifier) checkWellFormed() {
 			if ci.NumSites != pp.NumSites {
 				v.addf("wellformed", id, -1, -1, "CCTInfo records %d sites, plan has %d", ci.NumSites, pp.NumSites)
 			}
-			if nm := pp.Numbering; nm != nil && ci.NumPaths != nm.NumPaths {
-				v.addf("wellformed", id, -1, -1, "CCTInfo records %d paths, numbering has %d", ci.NumPaths, nm.NumPaths)
+			if nm := pp.Numbering; nm != nil && ci.NumPaths != nm.NumPathsK {
+				v.addf("wellformed", id, -1, -1, "CCTInfo records %d paths, numbering has %d", ci.NumPaths, nm.NumPathsK)
 			}
 		}
 	}

@@ -50,8 +50,14 @@ func NewEntry(sum int64, freq uint64, metrics ...uint64) PathEntry {
 type ProcPaths struct {
 	ProcID   int
 	Name     string
-	NumPaths int64 // potential paths
+	NumPaths int64 // potential paths (k-paths when the profile's K > 1)
 	Entries  []PathEntry
+
+	// K is the procedure's effective path degree: every entry's Sum names
+	// a path spanning up to K loop iterations. 0 or 1 is the classic
+	// scheme. It can sit below the profile's requested K when the
+	// procedure's k-path space was clamped.
+	K int
 
 	// arena backs the Entries' Metrics slices in chunks — one allocation
 	// per arenaChunk entries instead of one per path, the same discipline
@@ -110,6 +116,12 @@ type Profile struct {
 	Program string
 	Mode    string
 
+	// K is the requested path degree: path ids span up to K loop
+	// iterations (D'Elia–Demetrescu k-iteration paths). 0 or 1 is the
+	// classic Ball-Larus scheme. Profiles of different degrees have
+	// disjoint id spaces, so K is part of the schema identity.
+	K int
+
 	// Events is the metric schema: Events[i] names the hardware event that
 	// every entry's Metrics[i] accumulated. The classic schema is
 	// {"dcache-miss", "insts"}.
@@ -131,8 +143,21 @@ func (p *Profile) MetricIndex(name string) int {
 	return -1
 }
 
-// SchemaKey returns the schema as a stable comma-joined identity string.
-func (p *Profile) SchemaKey() string { return strings.Join(p.Events, ",") }
+// SchemaKey returns the schema as a stable identity string: the
+// comma-joined events, prefixed with the path degree when it departs from
+// the classic K=1 (so k-path profiles never merge with classic ones —
+// their id spaces are disjoint — and collectors 409 on K conflicts).
+func (p *Profile) SchemaKey() string { return SchemaKeyFor(p.K, p.Events) }
+
+// SchemaKeyFor builds the schema identity string for a degree and event
+// list without requiring a Profile value (collector aggregates keep the
+// parts unpacked).
+func SchemaKeyFor(k int, events []string) string {
+	if k > 1 {
+		return "k=" + strconv.Itoa(k) + "|" + strings.Join(events, ",")
+	}
+	return strings.Join(events, ",")
+}
 
 // Proc returns the entry for the given procedure ID, or nil.
 func (p *Profile) Proc(id int) *ProcPaths {
@@ -216,21 +241,31 @@ func (p *Profile) Merge(other *Profile) error {
 
 // Write encodes the profile as text:
 //
-//	profile <program> <mode> <event>...
-//	proc <id> <name> <numpaths>
+//	profile <program> <mode> [k=<K>] <event>...
+//	proc <id> <name> <numpaths> [k=<K>]
 //	path <sum> <freq> <metric>...
 //
 // Each path line carries exactly one metric column per schema event (the
-// classic two-event schema reproduces the legacy 5-field layout).
+// classic two-event schema reproduces the legacy 5-field layout). The k=
+// tokens appear only for k-iteration profiles (K > 1): classic profiles
+// encode byte-identically to the pre-k format. The proc-level k is the
+// procedure's effective (possibly clamped) degree.
 func (p *Profile) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "profile %s %s", field(p.Program), field(p.Mode))
+	if p.K > 1 {
+		fmt.Fprintf(bw, " k=%d", p.K)
+	}
 	for _, ev := range p.Events {
 		fmt.Fprintf(bw, " %s", field(ev))
 	}
 	bw.WriteByte('\n')
 	for _, pp := range p.Procs {
-		fmt.Fprintf(bw, "proc %d %s %d\n", pp.ProcID, field(pp.Name), pp.NumPaths)
+		fmt.Fprintf(bw, "proc %d %s %d", pp.ProcID, field(pp.Name), pp.NumPaths)
+		if p.K > 1 {
+			fmt.Fprintf(bw, " k=%d", max(pp.K, 1))
+		}
+		bw.WriteByte('\n')
 		for i := range pp.Entries {
 			e := &pp.Entries[i]
 			fmt.Fprintf(bw, "path %d %d", e.Sum, e.Freq)
@@ -257,6 +292,20 @@ func unfield(s string) string {
 	return s
 }
 
+// parseKField recognizes a "k=<n>" token (n >= 1). Event names never
+// contain '=', so the token is unambiguous in both header and proc lines.
+func parseKField(s string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, "k=")
+	if !ok {
+		return 0, false
+	}
+	k, err := strconv.Atoi(rest)
+	if err != nil || k < 1 {
+		return 0, false
+	}
+	return k, true
+}
+
 // Read decodes a profile written by Write. The header's event count fixes
 // the expected width of every path line.
 func Read(r io.Reader) (*Profile, error) {
@@ -277,11 +326,18 @@ func Read(r io.Reader) (*Profile, error) {
 				return nil, fmt.Errorf("profile: line %d: malformed header", line)
 			}
 			p = &Profile{Program: unfield(fields[1]), Mode: unfield(fields[2])}
-			for _, f := range fields[3:] {
+			rest := fields[3:]
+			if len(rest) > 0 {
+				if k, ok := parseKField(rest[0]); ok {
+					p.K = k
+					rest = rest[1:]
+				}
+			}
+			for _, f := range rest {
 				p.Events = append(p.Events, unfield(f))
 			}
 		case "proc":
-			if p == nil || len(fields) != 4 {
+			if p == nil || len(fields) < 4 || len(fields) > 5 {
 				return nil, fmt.Errorf("profile: line %d: malformed proc", line)
 			}
 			id, err1 := strconv.Atoi(fields[1])
@@ -290,6 +346,13 @@ func Read(r io.Reader) (*Profile, error) {
 				return nil, fmt.Errorf("profile: line %d: bad proc numbers", line)
 			}
 			cur = &ProcPaths{ProcID: id, Name: unfield(fields[2]), NumPaths: np}
+			if len(fields) == 5 {
+				k, ok := parseKField(fields[4])
+				if !ok {
+					return nil, fmt.Errorf("profile: line %d: malformed proc", line)
+				}
+				cur.K = k
+			}
 			p.Procs = append(p.Procs, cur)
 		case "path":
 			if cur == nil || len(fields) != 3+len(p.Events) {

@@ -43,6 +43,12 @@ import (
 //	  varint procID, uvarint nameIdx, varint numPaths, uvarint numEntries,
 //	  per entry: varint dSum (sum - prev, prev starts at 0),
 //	             uvarint freq, numEvents x uvarint metric
+//	[uvarint k, numProcs x uvarint procK]   trailing, only when k > 1
+//
+// The trailing k fields carry a k-iteration profile's degree (and each
+// procedure's effective degree, which clamping may leave below it).
+// Classic profiles omit them and encode byte-identically to before; the
+// decoder detects them by leftover payload bytes.
 //
 // CCT item (secBatchCCT):
 //
@@ -174,6 +180,12 @@ func (w *BatchWriter) AddProfile(p *profile.Profile) error {
 			for k := range p.Events {
 				b = putUvarint(b, en.Metric(k))
 			}
+		}
+	}
+	if p.K > 1 {
+		b = putUvarint(b, uint64(p.K))
+		for _, pp := range p.Procs {
+			b = putUvarint(b, uint64(max(pp.K, 1)))
 		}
 	}
 	w.tmp = b
@@ -488,6 +500,7 @@ type BatchProfile struct {
 	Program []byte
 	Mode    []byte
 	Events  [][]byte
+	K       int // iteration degree; 0 or 1 means classic
 	Procs   []BatchProc
 
 	// Per-entry columns: entry j of proc p lives at index Procs[p].Off+j;
@@ -504,6 +517,7 @@ type BatchProc struct {
 	ProcID   int
 	Name     []byte
 	NumPaths int64
+	K        int // effective degree; 0 in classic profiles
 	Off, N   int
 }
 
@@ -521,6 +535,7 @@ func (f *Frame) DecodeProfile(i int, s *BatchProfile) error {
 		return errKind(KindProfile, it.kind)
 	}
 	s.Events = s.Events[:0]
+	s.K = 0
 	s.Procs = s.Procs[:0]
 	s.Sums = s.Sums[:0]
 	s.Freqs = s.Freqs[:0]
@@ -607,6 +622,27 @@ func (f *Frame) DecodeProfile(i int, s *BatchProfile) error {
 			}
 		}
 		s.Procs = append(s.Procs, pr)
+	}
+	if c.remaining() > 0 {
+		// Trailing k-iteration degrees (k>1 profiles only).
+		k, err := c.uvarint()
+		if err != nil {
+			return fail(err)
+		}
+		if k < 2 || k > maxWireK {
+			return fail(fmt.Errorf("bad iteration degree %d", k))
+		}
+		s.K = int(k)
+		for p := range s.Procs {
+			pk, err := c.uvarint()
+			if err != nil {
+				return fail(err)
+			}
+			if pk < 1 || pk > k {
+				return fail(fmt.Errorf("proc %d: effective degree %d outside [1,%d]", p, pk, k))
+			}
+			s.Procs[p].K = int(pk)
+		}
 	}
 	if err := c.done(); err != nil {
 		return fail(err)
@@ -871,7 +907,7 @@ func (f *Frame) ProfileAt(i int) (*profile.Profile, error) {
 	if err := f.DecodeProfile(i, &s); err != nil {
 		return nil, err
 	}
-	p := &profile.Profile{Program: string(s.Program), Mode: string(s.Mode)}
+	p := &profile.Profile{Program: string(s.Program), Mode: string(s.Mode), K: s.K}
 	if len(s.Events) > 0 {
 		p.Events = make([]string, len(s.Events))
 		for k, ev := range s.Events {
@@ -881,7 +917,7 @@ func (f *Frame) ProfileAt(i int) (*profile.Profile, error) {
 	p.Procs = make([]*profile.ProcPaths, len(s.Procs))
 	for pi := range s.Procs {
 		pr := &s.Procs[pi]
-		pp := &profile.ProcPaths{ProcID: pr.ProcID, Name: string(pr.Name), NumPaths: pr.NumPaths}
+		pp := &profile.ProcPaths{ProcID: pr.ProcID, Name: string(pr.Name), NumPaths: pr.NumPaths, K: pr.K}
 		pp.Entries = make([]profile.PathEntry, pr.N)
 		for j := 0; j < pr.N; j++ {
 			e := &pp.Entries[j]

@@ -35,6 +35,18 @@ func seedEnvelopes() [][]byte {
 			}},
 		},
 	}
+	// A k-iteration profile: degree 2 overall, the second proc clamped
+	// classic — exercises the trailing schema/proc degree fields.
+	kp := &profile.Profile{
+		Program: "seedk", Mode: "flow", K: 2, Events: []string{"insts"},
+		Procs: []*profile.ProcPaths{
+			{ProcID: 0, Name: "main", NumPaths: 6, K: 2, Entries: []profile.PathEntry{
+				profile.NewEntry(0, 3, 11),
+				profile.NewEntry(5, 1, 2),
+			}},
+			{ProcID: 1, Name: "leaf", NumPaths: 2, K: 1},
+		},
+	}
 	tr := cct.New([]cct.ProcInfo{
 		{Name: "main", NumSites: 2, NumPaths: 4},
 		{Name: "leaf", NumSites: 1, NumPaths: 2},
@@ -52,11 +64,14 @@ func seedEnvelopes() [][]byte {
 	tr.Exit(nil)
 	tr.Exit(nil)
 
-	var pb, wb, xb bytes.Buffer
+	var pb, wb, kb, xb bytes.Buffer
 	if err := wire.EncodeProfile(&pb, p); err != nil {
 		panic(err)
 	}
 	if err := wire.EncodeProfile(&wb, wide); err != nil {
+		panic(err)
+	}
+	if err := wire.EncodeProfile(&kb, kp); err != nil {
 		panic(err)
 	}
 	if err := wire.EncodeExport(&xb, tr.Export("seed")); err != nil {
@@ -71,6 +86,9 @@ func seedEnvelopes() [][]byte {
 			panic(err)
 		}
 		if err := bw.AddProfile(wide); err != nil {
+			panic(err)
+		}
+		if err := bw.AddProfile(kp); err != nil {
 			panic(err)
 		}
 		if err := bw.AddExport(tr.Export("seed")); err != nil {
@@ -92,7 +110,7 @@ func seedEnvelopes() [][]byte {
 	sum := crc32.Checksum(dupStrings, crc32.MakeTable(crc32.Castagnoli))
 	dupStrings = binary.LittleEndian.AppendUint32(dupStrings, sum)
 
-	return [][]byte{pb.Bytes(), wb.Bytes(), xb.Bytes(), frame, truncated, flipped, dupStrings}
+	return [][]byte{pb.Bytes(), wb.Bytes(), kb.Bytes(), xb.Bytes(), frame, truncated, flipped, dupStrings}
 }
 
 // FuzzDecode: arbitrary input must produce either a decoded payload or a

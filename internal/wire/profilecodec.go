@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"fmt"
 	"io"
 
 	"pathprof/internal/profile"
@@ -10,7 +11,8 @@ import (
 //
 // Version 2, section secProfileSchema (one, first):
 //
-//	string program, string mode, uvarint numEvents, string event...
+//	string program, string mode, uvarint numEvents, string event...,
+//	[uvarint k]                    trailing, only when k > 1
 //
 // Version 1, section secProfileHeader (one, first):
 //
@@ -20,13 +22,23 @@ import (
 //
 //	varint procID, string name, varint numPaths,
 //	uvarint numEntries, then per entry (in stored order):
-//	varint sum, uvarint freq, uvarint metric × numEvents
+//	varint sum, uvarint freq, uvarint metric × numEvents,
+//	[varint k]                     trailing, only in k>1 profiles
 //
 // (numEvents is fixed at 2 for version-1 envelopes.)
+//
+// The k fields extend the schema to k-iteration path profiles without a
+// version bump: classic (k=1) profiles encode byte-identically to before,
+// and old decoders never see the trailing fields because k>1 profiles are
+// a new schema. Decoders detect the fields by leftover payload bytes.
 
 // maxWireEvents bounds the schema width a decoded envelope may declare —
 // generous against hpm.MaxCounters, tight against hostile headers.
 const maxWireEvents = 256
+
+// maxWireK bounds the iteration degree a decoded profile may declare —
+// far above instrument's own ceiling, tight against hostile payloads.
+const maxWireK = 255
 
 // EncodeProfile writes p as one wire envelope.
 func EncodeProfile(w io.Writer, p *profile.Profile) error {
@@ -40,6 +52,9 @@ func EncodeProfile(w io.Writer, p *profile.Profile) error {
 	b = putUvarint(b, uint64(len(p.Events)))
 	for _, ev := range p.Events {
 		b = putString(b, ev)
+	}
+	if p.K > 1 {
+		b = putUvarint(b, uint64(p.K))
 	}
 	if err := e.section(secProfileSchema, b); err != nil {
 		return err
@@ -57,6 +72,9 @@ func EncodeProfile(w io.Writer, p *profile.Profile) error {
 			for k := range p.Events {
 				b = putUvarint(b, en.Metric(k))
 			}
+		}
+		if p.K > 1 {
+			b = putVarint(b, int64(max(pp.K, 1)))
 		}
 		if err := e.section(secProfileProc, b); err != nil {
 			return err
@@ -148,6 +166,16 @@ func decodeProfileSections(d *decoder) (*profile.Profile, error) {
 					}
 				}
 			}
+			if err == nil && c.remaining() > 0 {
+				// Trailing iteration degree (k>1 schemas only).
+				var k uint64
+				if k, err = c.uvarint(); err == nil {
+					if k < 2 || k > maxWireK {
+						return nil, d.errorf("profile schema: bad iteration degree %d", k)
+					}
+					p.K = int(k)
+				}
+			}
 			if err == nil {
 				err = c.done()
 			}
@@ -213,6 +241,17 @@ func decodeProcSection(c *cursor, numMetrics int) (*profile.ProcPaths, error) {
 				}
 			}
 		}
+	}
+	if c.remaining() > 0 {
+		// Trailing per-proc effective degree (k>1 profiles only).
+		k, err := c.varint()
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 || k > maxWireK {
+			return nil, fmt.Errorf("bad proc iteration degree %d", k)
+		}
+		pp.K = int(k)
 	}
 	if err := c.done(); err != nil {
 		return nil, err

@@ -1,0 +1,319 @@
+package workload
+
+import "pathprof/internal/ir"
+
+// k-iteration workloads: three programs whose interesting behaviour lives
+// *across* loop back-edges, built to exercise the k>1 path degree (see
+// bl.ExtendK). Classic acyclic Ball-Larus paths truncate at the backedge,
+// so each program's per-iteration paths look bland in a k=1 profile; the
+// correlation between consecutive iterations — pipeline stage rotation, DFA
+// state persistence, event follow-up chains — only shows up as distinct hot
+// paths at k ≥ 2. They live in KSuite, not Suite, so the paper-table golden
+// results are untouched.
+
+// buildPipeline is a software-pipelined kernel: a three-stage rotation
+// where the value branched on in iteration i was loaded in iteration i-2.
+// A k=3 path spans exactly the pipeline depth, so the taken/not-taken
+// pattern of the stage branch correlates with the loads that caused it.
+func buildPipeline(s Scale) *ir.Program {
+	b := ir.NewBuilder("pipeline")
+	n := pick(s, 256, 120_000)
+
+	// stage(r1 = v) -> r1: the steady-state stage function, branchy so the
+	// callee has paths of its own.
+	stage := newFn(b, "stage", 1)
+	{
+		v := ir.Reg(1)
+		c := stage.reg()
+		stage.b().AndI(c, v, 1)
+		stage.ifElse(c, func() {
+			stage.b().MulI(v, v, 3)
+			stage.b().AddI(v, v, 1)
+		}, func() {
+			stage.b().ShrI(v, v, 1)
+		})
+		stage.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		x := main.reg()
+		s0 := main.reg()
+		s1 := main.reg()
+		s2 := main.reg()
+		acc := main.reg()
+		c := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 777_001)
+
+		// Input vector.
+		main.loop(i, tmp, n, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, 1023)
+			main.storeArr(z, i, offData, tmp)
+		})
+
+		// Prologue: prime the pipeline registers.
+		main.b().MovI(s0, 2)
+		main.b().MovI(s1, 5)
+		main.b().MovI(s2, 11)
+		main.b().MovI(acc, 0)
+
+		// Steady state: branch on the two-iterations-old value, rotate.
+		main.loop(i, tmp, n, func() {
+			main.loadArr(x, z, i, offData)
+			main.b().AndI(c, s2, 1)
+			main.ifElse(c, func() {
+				main.b().MulI(tmp, s2, 3)
+				main.b().Add(acc, acc, tmp)
+			}, func() {
+				main.b().Add(acc, acc, s2)
+				main.b().Xor(acc, acc, x)
+			})
+			main.b().Mov(1, s1)
+			main.b().Call(stage.p)
+			main.b().Mov(s2, 1)
+			main.b().Xor(s1, s0, x)
+			main.b().Mov(s0, x)
+		})
+
+		// Epilogue: drain the in-flight stages.
+		main.b().Add(acc, acc, s2)
+		main.b().Add(acc, acc, s1)
+		main.b().Add(acc, acc, s0)
+		main.b().Out(acc)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildLexer is a state-machine scanner: a DFA whose state register
+// survives the scan loop's backedge. Which per-iteration path runs depends
+// almost entirely on the previous iteration's state (inside an identifier,
+// a number, or a comment), so k=2 paths separate transitions — e.g.
+// letter-after-letter vs letter-after-space — that a k=1 profile merges.
+//
+// Character classes: 0 letter, 1 digit, 2 space, 3 '#', 4 newline.
+// States: 0 start, 1 identifier, 2 number, 3 comment-to-end-of-line.
+func buildLexer(s Scale) *ir.Program {
+	b := ir.NewBuilder("lexer")
+	n := pick(s, 512, 100_000)
+
+	// classify(r1 = raw) -> r1 = class, a branchy helper.
+	classify := newFn(b, "classify", 1)
+	{
+		v := ir.Reg(1)
+		c := classify.reg()
+		classify.b().AndI(v, v, 15)
+		classify.b().CmpLTI(c, v, 6)
+		classify.ifElse(c, func() {
+			classify.b().MovI(v, 0) // letter
+		}, func() {
+			classify.b().CmpLTI(c, v, 10)
+			classify.ifElse(c, func() {
+				classify.b().MovI(v, 1) // digit
+			}, func() {
+				classify.b().CmpLTI(c, v, 13)
+				classify.ifElse(c, func() {
+					classify.b().MovI(v, 2) // space
+				}, func() {
+					classify.b().CmpLTI(c, v, 15)
+					classify.ifElse(c, func() {
+						classify.b().MovI(v, 4) // newline
+					}, func() {
+						classify.b().MovI(v, 3) // '#'
+					})
+				})
+			})
+		})
+		classify.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		cls := main.reg()
+		st := main.reg()
+		idents := main.reg()
+		nums := main.reg()
+		cmts := main.reg()
+		c := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 134_134)
+
+		// Input text.
+		main.loop(i, tmp, n, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, 255)
+			main.storeArr(z, i, offData, tmp)
+		})
+
+		main.b().MovI(st, 0)
+		main.b().MovI(idents, 0)
+		main.b().MovI(nums, 0)
+		main.b().MovI(cmts, 0)
+
+		main.loop(i, tmp, n, func() {
+			main.loadArr(1, z, i, offData)
+			main.b().Call(classify.p)
+			main.b().Mov(cls, 1)
+
+			main.b().CmpEQI(c, st, 3)
+			main.ifElse(c, func() { // comment: count until newline
+				main.b().AddI(cmts, cmts, 1)
+				main.b().CmpEQI(c, cls, 4)
+				main.ifThen(c, func() { main.b().MovI(st, 0) })
+			}, func() {
+				main.b().CmpEQI(c, st, 1)
+				main.ifElse(c, func() { // identifier continues on letter/digit
+					main.b().CmpLEI(c, cls, 1)
+					main.ifElse(c, func() {
+						main.b().Nop()
+					}, func() {
+						main.b().AddI(idents, idents, 1)
+						main.b().CmpEQI(c, cls, 3)
+						main.ifElse(c, func() { main.b().MovI(st, 3) },
+							func() { main.b().MovI(st, 0) })
+					})
+				}, func() {
+					main.b().CmpEQI(c, st, 2)
+					main.ifElse(c, func() { // number continues on digit
+						main.b().CmpEQI(c, cls, 1)
+						main.ifElse(c, func() {
+							main.b().Nop()
+						}, func() {
+							main.b().AddI(nums, nums, 1)
+							main.b().CmpEQI(c, cls, 3)
+							main.ifElse(c, func() { main.b().MovI(st, 3) },
+								func() { main.b().MovI(st, 0) })
+						})
+					}, func() { // start state
+						main.b().CmpEQI(c, cls, 0)
+						main.ifThen(c, func() { main.b().MovI(st, 1) })
+						main.b().CmpEQI(c, cls, 1)
+						main.ifThen(c, func() { main.b().MovI(st, 2) })
+						main.b().CmpEQI(c, cls, 3)
+						main.ifThen(c, func() { main.b().MovI(st, 3) })
+					})
+				})
+			})
+		})
+		main.b().Out(idents)
+		main.b().Out(nums)
+		main.b().Out(cmts)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}
+
+// buildEventLoop is a dispatch loop over a work queue where handlers
+// enqueue follow-up events: a timer tick (type 0) schedules an I/O
+// completion (type 1), which schedules a compute step (type 2). The
+// follow-up lands at the queue tail, but the *dispatch pattern* across
+// consecutive iterations is still far from independent, and the chains
+// show up as hot k=2/k=3 paths spanning the loop backedge.
+func buildEventLoop(s Scale) *ir.Program {
+	b := ir.NewBuilder("eventloop")
+	n := pick(s, 128, 40_000)
+	capEvents := n * 3 // seeds + at most two follow-ups per seed
+
+	// handle(r1 = type) -> r1 = score. The compute handler has an inner
+	// loop, so k-paths nest across two loop levels.
+	handle := newFn(b, "handle", 1)
+	{
+		v := ir.Reg(1)
+		c := handle.reg()
+		sum := handle.reg()
+		j := handle.reg()
+		t2 := handle.reg()
+		handle.b().CmpEQI(c, v, 0)
+		handle.ifElse(c, func() {
+			handle.b().MovI(sum, 1)
+		}, func() {
+			handle.b().CmpEQI(c, v, 1)
+			handle.ifElse(c, func() {
+				handle.b().MovI(sum, 3)
+			}, func() {
+				handle.b().CmpEQI(c, v, 2)
+				handle.ifElse(c, func() {
+					handle.b().MovI(sum, 7)
+					handle.loop(j, t2, 4, func() {
+						handle.b().MulI(sum, sum, 5)
+						handle.b().AndI(sum, sum, 1023)
+					})
+				}, func() {
+					handle.b().MovI(sum, 0) // idle
+				})
+			})
+		})
+		handle.b().Mov(v, sum)
+		handle.ret()
+	}
+
+	main := newFn(b, "main", 0)
+	{
+		z := main.reg()
+		seedR := main.reg()
+		i := main.reg()
+		tmp := main.reg()
+		head := main.reg()
+		tail := main.reg()
+		ev := main.reg()
+		acc := main.reg()
+		c := main.reg()
+		going := main.reg()
+		main.b().MovI(z, 0)
+		main.b().MovI(seedR, 400_400)
+
+		// Seed the queue with random event types.
+		main.loop(i, tmp, n, func() {
+			main.xorshift(seedR, tmp)
+			main.b().AndI(tmp, seedR, 3)
+			main.storeArr(z, i, offData, tmp)
+		})
+		main.b().MovI(head, 0)
+		main.b().MovI(tail, n)
+		main.b().MovI(acc, 0)
+
+		// Drain the queue; handlers may push follow-ups at the tail.
+		main.whileNZ(going, func() {
+			main.b().CmpLT(going, head, tail)
+		}, func() {
+			main.loadArr(ev, z, head, offData)
+			main.b().AddI(head, head, 1)
+			main.b().Mov(1, ev)
+			main.b().Call(handle.p)
+			main.b().Add(acc, acc, 1)
+
+			main.b().CmpLTI(c, tail, capEvents)
+			main.ifThen(c, func() {
+				main.b().CmpEQI(c, ev, 0)
+				main.ifThen(c, func() { // timer → I/O completion
+					main.b().MovI(going, 1)
+					main.storeArr(z, tail, offData, going)
+					main.b().AddI(tail, tail, 1)
+				})
+				main.b().CmpEQI(c, ev, 1)
+				main.ifThen(c, func() { // I/O completion → compute step
+					main.b().MovI(going, 2)
+					main.storeArr(z, tail, offData, going)
+					main.b().AddI(tail, tail, 1)
+				})
+			})
+		})
+		main.b().Out(acc)
+		main.b().Out(head)
+		main.halt()
+	}
+	b.SetMain(main.p)
+	return b.MustFinish()
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pathprof/internal/hpm"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/sim"
+)
+
+// TestKSuiteRunsAtTestScale: the k-iteration workloads validate, terminate,
+// are deterministic, and produce output — same bar as the paper suite.
+func TestKSuiteRunsAtTestScale(t *testing.T) {
+	for _, w := range KSuite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(Test)
+			if err := ir.Validate(prog); err != nil {
+				t.Fatal(err)
+			}
+			run := func() sim.Result {
+				m := sim.New(prog, sim.DefaultConfig())
+				res, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			r1 := run()
+			r2 := run()
+			if len(r1.Output) == 0 {
+				t.Fatal("no output")
+			}
+			if !reflect.DeepEqual(r1.Output, r2.Output) || r1.Cycles != r2.Cycles {
+				t.Fatal("nondeterministic run")
+			}
+			if r1.Instrs < 1000 {
+				t.Fatalf("suspiciously small run: %d instructions", r1.Instrs)
+			}
+			if _, ok := ByName(w.Name); !ok {
+				t.Fatalf("ByName does not find %s", w.Name)
+			}
+		})
+	}
+}
+
+// TestKSuiteInstrumentableAtK: every k-workload survives the path modes at
+// k ∈ {1,2,3} with unchanged semantics, and at k>1 at least one procedure
+// actually extends (the workloads exist to exercise cross-backedge paths).
+func TestKSuiteInstrumentableAtK(t *testing.T) {
+	modes := []instrument.Mode{
+		instrument.ModePathFreq,
+		instrument.ModePathHW,
+		instrument.ModeContextFlow,
+	}
+	for _, w := range KSuite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(Test)
+			m0 := sim.New(prog, sim.DefaultConfig())
+			base, err := m0.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range modes {
+				for _, k := range []int{1, 2, 3} {
+					opts := instrument.DefaultOptions(mode)
+					opts.K = k
+					plan, err := instrument.Instrument(prog, opts)
+					if err != nil {
+						t.Fatalf("mode %v k=%d: %v", mode, k, err)
+					}
+					if k > 1 {
+						extended := false
+						for _, pp := range plan.Procs {
+							if pp.Numbering != nil && pp.Numbering.K > 1 {
+								extended = true
+							}
+						}
+						if !extended {
+							t.Fatalf("mode %v k=%d: no procedure extended", mode, k)
+						}
+					}
+					m := sim.New(plan.Prog, sim.DefaultConfig())
+					m.PMU().Select(hpm.EvDCacheMiss, hpm.EvInsts)
+					plan.Wire(m)
+					res, err := m.Run()
+					if err != nil {
+						t.Fatalf("mode %v k=%d: %v", mode, k, err)
+					}
+					if !reflect.DeepEqual(base.Output, res.Output) {
+						t.Fatalf("mode %v k=%d: semantics changed", mode, k)
+					}
+				}
+			}
+		})
+	}
+}

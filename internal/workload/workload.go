@@ -28,9 +28,26 @@ func Suite() []Workload {
 	}
 }
 
-// ByName returns the workload with the given name, or false.
+// KSuite returns the k-iteration workloads: programs whose hot behaviour
+// spans loop back-edges, added for the k>1 path-degree experiments. They
+// are kept out of Suite so the paper-table golden results stay fixed.
+func KSuite() []Workload {
+	return []Workload{
+		{Name: "pipeline", Class: CFP, Analogue: "modulo-scheduled kernel", Build: buildPipeline},
+		{Name: "lexer", Class: CINT, Analogue: "flex-style scanner", Build: buildLexer},
+		{Name: "eventloop", Class: CINT, Analogue: "event-driven dispatcher", Build: buildEventLoop},
+	}
+}
+
+// ByName returns the workload with the given name, searching the paper
+// suite and then the k-iteration suite, or false.
 func ByName(name string) (Workload, bool) {
 	for _, w := range Suite() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range KSuite() {
 		if w.Name == name {
 			return w, true
 		}

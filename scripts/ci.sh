@@ -36,6 +36,11 @@ out="$(go test -run='^$' -bench='BenchmarkCCT' -benchmem -benchtime=1000x .)"
 echo "$out"
 echo "$out" | grep 'BenchmarkCCTEnterExit/N=2' | grep -q ' 0 allocs/op'
 
+# Hashed k-path counting must also be allocation-free in steady state: the
+# NumPathsK-derived pre-size hint has to absorb the combinatorially larger
+# k-path id space without rehashing in the hot loop (k=3 is the widest row).
+echo "$out" | grep 'BenchmarkCCTHashedKPaths/k=3' | grep -q ' 0 allocs/op'
+
 # Wire codec throughput and end-to-end collector ingest. TestMain splits
 # Wire records into BENCH_wire.json; the ingest benchmark exercises the
 # whole collection tier (encode, HTTP POST, decode, sharded merge).
@@ -82,6 +87,12 @@ awk -v g="$grp" -v p="$per" 'BEGIN { ratio = p / g;
 go run ./cmd/ppvet -workload all -mode all -events dcache-miss,insts
 go run ./cmd/ppvet -workload all -mode all -events dcache-miss,icache-miss,mispredict,insts
 
+# k-iteration sweep: at path degrees 2 and 3 the k-bijection prover
+# (segment enumeration, backedge seed consistency, chain-composition
+# bijection) and the counter save/restore proofs must still find nothing.
+go run ./cmd/ppvet -workload all -mode all -events dcache-miss,insts -k 2
+go run ./cmd/ppvet -workload all -mode all -events dcache-miss,insts -k 3
+
 # Decoder hardening: the fuzz targets must survive a short smoke run
 # (corrupt and truncated input may error, never panic).
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/wire
@@ -89,8 +100,8 @@ go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=5s ./internal/profile
 go test -run='^$' -fuzz='^FuzzSegmentReplay$' -fuzztime=5s ./internal/store
 
 # Differential instrumentation fuzz: random testgen programs, instrumented
-# in every mode, must verify clean (any finding is an instrumenter or
-# checker bug).
+# in every mode at path degrees k in {1,2,3}, must verify clean (any
+# finding is an instrumenter or checker bug).
 go test -run='^$' -fuzz='^FuzzVet$' -fuzztime=5s ./internal/ppvet
 
 # Differential optimizer fuzz: random programs through every pgo variant
