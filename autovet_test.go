@@ -1,5 +1,10 @@
 package pathprof
 
 // Blank-importing autovet makes every instrument.Instrument call in this
-// test binary verify its output with the ppvet static checkers.
-import _ "pathprof/internal/ppvet/autovet"
+// test binary verify its output with the ppvet static checkers, and autotv
+// makes every pgo.Optimize call prove its rewrite with the translation
+// validator.
+import (
+	_ "pathprof/internal/ppvet/autovet"
+	_ "pathprof/internal/tv/autotv"
+)

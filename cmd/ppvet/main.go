@@ -4,16 +4,22 @@
 // counter save/restore balance, CCT probe balance, CFG well-formedness)
 // over the result — without ever executing the programs.
 //
+// With -tv it verifies the optimizer instead: each workload is profiled,
+// rewritten under every pgo ladder candidate, and the rewrite is proved
+// semantics-preserving by the internal/tv translation validator — again
+// without running the optimized programs (profiling runs the original).
+//
 // Usage:
 //
 //	ppvet [-workload all|compress,go,...] [-mode all|flow|flowhw|context|combined|context-probes|edge|block]
-//	      [-events dcache-miss,insts] [-scale test|ref] [-max-paths N] [-k degree]
+//	      [-events dcache-miss,insts] [-scale test|ref] [-max-paths N] [-k degree] [-tv]
 //
 // Findings are printed one per line as
 //
 //	workload/mode/events proc:bN:iM check: message
 //
-// sorted deterministically; the exit status is 1 if there were any.
+// (with the ladder candidate in place of mode/events under -tv), sorted
+// deterministically; the exit status is 1 if there were any.
 package main
 
 import (
@@ -25,7 +31,10 @@ import (
 
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
+	"pathprof/internal/pgo"
 	"pathprof/internal/ppvet"
+	"pathprof/internal/sim"
+	"pathprof/internal/tv"
 	"pathprof/internal/workload"
 )
 
@@ -52,6 +61,7 @@ func main() {
 	scaleStr := flag.String("scale", "test", "workload scale: ref or test")
 	maxPaths := flag.Int64("max-paths", ppvet.DefaultMaxEnumPaths, "path-enumeration cap per procedure")
 	k := flag.Int("k", 1, "path iteration degree for path modes (see bl.ExtendK)")
+	tvRun := flag.Bool("tv", false, "validate the pgo optimizer's rewrites instead of instrumentation")
 	flag.Parse()
 
 	var suite []workload.Workload
@@ -98,6 +108,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *tvRun {
+		os.Exit(runTV(suite, scale, *k))
+	}
+
 	findings := 0
 	cells := 0
 	for _, w := range suite {
@@ -123,4 +137,35 @@ func main() {
 	if findings > 0 {
 		os.Exit(1)
 	}
+}
+
+// runTV proves every ladder candidate's rewrite of every workload
+// semantics-preserving with the translation validator. Returns the exit
+// status.
+func runTV(suite []workload.Workload, scale workload.Scale, k int) int {
+	findings := 0
+	cells := 0
+	for _, w := range suite {
+		prog := w.Build(scale)
+		data, err := pgo.AcquireWith(prog, sim.DefaultConfig(), pgo.AcquireOptions{K: k})
+		if err != nil {
+			log.Fatalf("%s: acquire: %v", w.Name, err)
+		}
+		for _, cand := range pgo.Ladder(pgo.DefaultOptions()) {
+			opt, wit, _, err := pgo.OptimizeTV(prog, data, cand.Opts)
+			if err != nil {
+				log.Fatalf("%s/tv/%s: optimize: %v", w.Name, cand.Name, err)
+			}
+			cells++
+			for _, f := range tv.Validate(prog, opt, wit) {
+				findings++
+				fmt.Printf("%s/tv/%s %s\n", w.Name, cand.Name, f)
+			}
+		}
+	}
+	fmt.Printf("ppvet: %d workload/candidate rewrites validated, %d finding(s)\n", cells, findings)
+	if findings > 0 {
+		return 1
+	}
+	return 0
 }

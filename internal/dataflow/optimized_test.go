@@ -1,0 +1,182 @@
+package dataflow_test
+
+// Liveness and reaching-definitions are exercised elsewhere over
+// hand-written and instrumented programs; here they run over OPTIMIZED
+// ones — the post-threading, post-inlining, post-tail-duplication CFGs
+// the pgo pipeline emits, whose merged superblocks and duplicated tails
+// are exactly the shapes that stress a dataflow fixed point. Every
+// result is checked against the defining equations directly.
+
+import (
+	"testing"
+
+	"pathprof/internal/dataflow"
+	"pathprof/internal/ir"
+	"pathprof/internal/pgo"
+	"pathprof/internal/sim"
+	"pathprof/internal/workload"
+)
+
+// optimizedProcs builds and optimizes a few representative workloads and
+// yields every procedure of every optimized program.
+func optimizedProcs(t *testing.T) map[string]*ir.Proc {
+	t.Helper()
+	procs := make(map[string]*ir.Proc)
+	for _, name := range []string{"compress", "interp", "compiler", "pipeline"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		prog := w.Build(workload.Test)
+		data, err := pgo.Acquire(prog, sim.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: acquire: %v", name, err)
+		}
+		opt, _, err := pgo.Optimize(prog, data, pgo.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", name, err)
+		}
+		if err := ir.Validate(opt); err != nil {
+			t.Fatalf("%s: optimized program invalid: %v", name, err)
+		}
+		for _, p := range opt.Procs {
+			procs[name+"/"+p.Name] = p
+		}
+	}
+	return procs
+}
+
+// TestLivenessFixedPointOptimized re-derives the liveness equations at
+// every block of every optimized procedure:
+//
+//	LiveOut[b] = union of LiveIn[s] over successors s
+//	LiveIn[b]  = Uses(b) | (LiveOut[b] &^ Defs(b))   instruction by instruction
+func TestLivenessFixedPointOptimized(t *testing.T) {
+	for name, p := range optimizedProcs(t) {
+		live := dataflow.Liveness(p)
+		for _, b := range p.Blocks {
+			var out dataflow.RegSet
+			for _, s := range b.Succs {
+				out |= live.LiveIn[s]
+			}
+			if live.LiveOut[b.ID] != out {
+				t.Errorf("%s b%d: LiveOut = %x, want union of succ LiveIn %x",
+					name, b.ID, live.LiveOut[b.ID], out)
+			}
+			in := live.LiveOut[b.ID]
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in = (in &^ dataflow.Defs(b.Instrs[i])) | dataflow.Uses(b.Instrs[i])
+			}
+			if live.LiveIn[b.ID] != in {
+				t.Errorf("%s b%d: LiveIn = %x, want transfer of LiveOut %x",
+					name, b.ID, live.LiveIn[b.ID], in)
+			}
+			// LiveBefore/LiveAfter must agree with the block summaries at
+			// the boundaries.
+			if got := live.LiveBefore(p, b.ID, 0); got != live.LiveIn[b.ID] {
+				t.Errorf("%s b%d: LiveBefore(0) = %x, want LiveIn %x", name, b.ID, got, live.LiveIn[b.ID])
+			}
+			if got := live.LiveAfter(p, b.ID, len(b.Instrs)-1); got != live.LiveOut[b.ID] {
+				t.Errorf("%s b%d: LiveAfter(last) = %x, want LiveOut %x", name, b.ID, got, live.LiveOut[b.ID])
+			}
+		}
+	}
+}
+
+// TestReachingDefsCoverOptimizedUses checks, over optimized procedures,
+// that every definition ReachingAt reports for a used register really is
+// a definition of that register, and that any use with NO reaching
+// definition reads procedure-entry state — which is only legitimate for
+// the argument registers and the stack pointer the caller populates.
+func TestReachingDefsCoverOptimizedUses(t *testing.T) {
+	for name, p := range optimizedProcs(t) {
+		reach := dataflow.ReachingDefs(p)
+		for _, b := range p.Blocks {
+			for idx, in := range b.Instrs {
+				uses := dataflow.Uses(in)
+				for r := ir.Reg(0); r < ir.NumRegs; r++ {
+					if !uses.Has(r) {
+						continue
+					}
+					defs := reach.ReachingAt(b.ID, idx, r)
+					for _, d := range defs {
+						if d.Reg != r {
+							t.Errorf("%s b%d:i%d uses r%d: ReachingAt returned def of r%d",
+								name, b.ID, idx, r, d.Reg)
+						}
+						db := p.Blocks[d.Block]
+						if !dataflow.Defs(db.Instrs[d.Instr]).Has(r) {
+							t.Errorf("%s b%d:i%d: reported def b%d:i%d does not define r%d",
+								name, b.ID, idx, d.Block, d.Instr, r)
+						}
+					}
+					if len(defs) == 0 && !entryDefined(r) {
+						t.Errorf("%s b%d:i%d reads r%d with no reaching def and no entry value",
+							name, b.ID, idx, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// entryDefined reports whether a register holds a caller-established
+// value at procedure entry: the argument registers r1..r8 (r1 doubles as
+// the return-value home) and the stack pointer. Reads of anything else
+// without a reaching definition would be reads of garbage.
+func entryDefined(r ir.Reg) bool {
+	return (r >= ir.RegArg0 && r < ir.RegArg0+ir.NumArgRegs) || r == ir.RegSP
+}
+
+// TestReachingDefsFixedPointOptimized re-derives the reaching-defs
+// equations at every block: In[b] = union of Out[p] over predecessors p,
+// and Out[b] = gen(b) | (In[b] &^ kill(b)), the latter replayed
+// instruction by instruction.
+func TestReachingDefsFixedPointOptimized(t *testing.T) {
+	for name, p := range optimizedProcs(t) {
+		reach := dataflow.ReachingDefs(p)
+		nd := len(reach.Defs)
+		preds := p.Preds()
+
+		for _, b := range p.Blocks {
+			// In = union of predecessor Outs (entry has none).
+			for d := 0; d < nd; d++ {
+				want := false
+				for _, pb := range preds[b.ID] {
+					if reach.Out[pb].Has(d) {
+						want = true
+						break
+					}
+				}
+				if got := reach.In[b.ID].Has(d); got != want {
+					t.Errorf("%s b%d: In.Has(def b%d:i%d r%d) = %v, want %v",
+						name, b.ID, reach.Defs[d].Block, reach.Defs[d].Instr, reach.Defs[d].Reg, got, want)
+				}
+			}
+
+			// Out = replay of the block's definitions over In: a write to
+			// register r kills every def of r and generates this site's.
+			cur := make([]bool, nd)
+			for d := 0; d < nd; d++ {
+				cur[d] = reach.In[b.ID].Has(d)
+			}
+			for idx, in := range b.Instrs {
+				defs := dataflow.Defs(in)
+				if defs == 0 {
+					continue
+				}
+				for d := 0; d < nd; d++ {
+					if defs.Has(reach.Defs[d].Reg) {
+						cur[d] = reach.Defs[d].Block == b.ID && reach.Defs[d].Instr == idx
+					}
+				}
+			}
+			for d := 0; d < nd; d++ {
+				if got := reach.Out[b.ID].Has(d); got != cur[d] {
+					t.Errorf("%s b%d: Out.Has(def b%d:i%d r%d) = %v, want %v",
+						name, b.ID, reach.Defs[d].Block, reach.Defs[d].Instr, reach.Defs[d].Reg, got, cur[d])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"pathprof/internal/ir"
+)
+
+// Symbolic block summaries: a small abstract interpreter that executes a
+// straight-line instruction sequence over symbolic register values and
+// reports its architectural effect — the final value of every written
+// register as an expression over the entry register values, plus the
+// ordered stream of observable actions (memory writes, output, counter
+// writes). Two sequences with equal summaries are semantically
+// interchangeable at any program point, which is exactly the per-block
+// obligation the translation validator (internal/tv) discharges when it
+// proves an optimized block equivalent to the original instructions it
+// claims to implement.
+//
+// Expressions are hash-consed into a per-summary table so equality is
+// pointer-free and structural, and loads are sequence-numbered: a load is
+// only equal to another load of the same address at the same position in
+// the effect stream, making reordering across stores observable.
+
+// ExprKind discriminates symbolic expression nodes.
+type ExprKind uint8
+
+const (
+	// ExprReg is the value a register held at sequence entry.
+	ExprReg ExprKind = iota
+	// ExprConst is an integer constant.
+	ExprConst
+	// ExprOp applies an opcode (the ALU/FP subset) to operand expressions.
+	ExprOp
+	// ExprLoad is the value loaded from memory: operand 0 is the address,
+	// Imm is the load's ordinal position in the effect stream.
+	ExprLoad
+)
+
+// Expr is one node of a symbolic value DAG. Nodes are interned per
+// Summary: two nodes within one comparison are equal iff their indices
+// into the table are equal.
+type Expr struct {
+	Kind ExprKind
+	Op   ir.Opcode // ExprOp: the operation
+	Reg  ir.Reg    // ExprReg: which register
+	Imm  int64     // ExprConst: the value; ExprLoad: load ordinal
+	A, B int32     // operand indices into the table, -1 when absent
+}
+
+// EffectKind discriminates observable actions.
+type EffectKind uint8
+
+const (
+	// EffectStore writes Val to address Addr (8-byte word).
+	EffectStore EffectKind = iota
+	// EffectOut appends Val to the output stream.
+	EffectOut
+	// EffectLoad reads address Addr (ordered: loads may not move across
+	// stores).
+	EffectLoad
+	// EffectWrPIC writes Val to the performance counters.
+	EffectWrPIC
+)
+
+// Effect is one entry of the ordered observable-action stream.
+type Effect struct {
+	Kind EffectKind
+	Addr int32 // expression index, -1 when absent
+	Val  int32 // expression index, -1 when absent
+}
+
+// Summary is the symbolic effect of a straight-line sequence.
+type Summary struct {
+	exprs []Expr
+	memo  map[Expr]int32
+
+	// Regs[r] is the expression index of r's final value, or -1 when the
+	// sequence leaves r untouched.
+	Regs [ir.NumRegs]int32
+	// Effects is the ordered observable-action stream.
+	Effects []Effect
+}
+
+func newSummary() *Summary {
+	s := &Summary{memo: make(map[Expr]int32)}
+	for i := range s.Regs {
+		s.Regs[i] = -1
+	}
+	return s
+}
+
+// intern returns the index of e in the table, adding it if new.
+func (s *Summary) intern(e Expr) int32 {
+	if i, ok := s.memo[e]; ok {
+		return i
+	}
+	i := int32(len(s.exprs))
+	s.exprs = append(s.exprs, e)
+	s.memo[e] = i
+	return i
+}
+
+func (s *Summary) reg(r ir.Reg) int32 {
+	if s.Regs[r] >= 0 {
+		return s.Regs[r]
+	}
+	return s.intern(Expr{Kind: ExprReg, Reg: r, A: -1, B: -1})
+}
+
+func (s *Summary) constant(v int64) int32 {
+	return s.intern(Expr{Kind: ExprConst, Imm: v, A: -1, B: -1})
+}
+
+func (s *Summary) op2(op ir.Opcode, a, b int32) int32 {
+	return s.intern(Expr{Kind: ExprOp, Op: op, A: a, B: b})
+}
+
+// Summarizable reports whether op can appear in a summarized sequence:
+// anything but control transfers, calls, probes, and the context-capturing
+// setjmp/longjmp pair (whose meaning depends on machine state a block
+// summary cannot carry).
+func Summarizable(op ir.Opcode) bool {
+	switch op {
+	case ir.Br, ir.Jmp, ir.Ret, ir.Halt, ir.Call, ir.CallInd,
+		ir.SetJmp, ir.LongJmp, ir.Probe, ir.RdPIC, ir.RdTick:
+		return false
+	}
+	return true
+}
+
+// Summarize abstractly executes the sequence and returns its summary, or
+// an error naming the first unsupported instruction.
+func Summarize(instrs []ir.Instr) (*Summary, error) {
+	s := newSummary()
+	for i, in := range instrs {
+		if !Summarizable(in.Op) {
+			return nil, fmt.Errorf("instr %d: %s is not summarizable", i, in.Op)
+		}
+		s.step(in)
+	}
+	return s, nil
+}
+
+func (s *Summary) step(in ir.Instr) {
+	switch in.Op {
+	case ir.Nop:
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And, ir.Or, ir.Xor,
+		ir.Shl, ir.Shr, ir.FAdd, ir.FSub, ir.FMul, ir.FDiv, ir.FCmpLT,
+		ir.CmpLT, ir.CmpLE, ir.CmpEQ, ir.CmpNE:
+		s.Regs[in.Rd] = s.op2(in.Op, s.reg(in.Rs), s.reg(in.Rt))
+	case ir.AddI, ir.MulI, ir.AndI, ir.OrI, ir.XorI, ir.ShlI, ir.ShrI,
+		ir.CmpLTI, ir.CmpLEI, ir.CmpEQI, ir.CmpNEI:
+		s.Regs[in.Rd] = s.op2(in.Op, s.reg(in.Rs), s.constant(in.Imm))
+	case ir.MovI:
+		s.Regs[in.Rd] = s.constant(in.Imm)
+	case ir.Mov:
+		s.Regs[in.Rd] = s.reg(in.Rs)
+	case ir.FNeg, ir.FSqrt, ir.CvtIF, ir.CvtFI:
+		s.Regs[in.Rd] = s.op2(in.Op, s.reg(in.Rs), -1)
+	case ir.Load:
+		addr := s.op2(ir.AddI, s.reg(in.Rs), s.constant(in.Imm))
+		s.load(in.Rd, addr)
+	case ir.LoadIdx:
+		addr := s.idxAddr(in)
+		s.load(in.Rd, addr)
+	case ir.Store:
+		addr := s.op2(ir.AddI, s.reg(in.Rs), s.constant(in.Imm))
+		s.Effects = append(s.Effects, Effect{Kind: EffectStore, Addr: addr, Val: s.reg(in.Rd)})
+	case ir.StoreIdx:
+		addr := s.idxAddr(in)
+		s.Effects = append(s.Effects, Effect{Kind: EffectStore, Addr: addr, Val: s.reg(in.Rd)})
+	case ir.Out:
+		s.Effects = append(s.Effects, Effect{Kind: EffectOut, Addr: -1, Val: s.reg(in.Rs)})
+	case ir.WrPIC:
+		s.Effects = append(s.Effects, Effect{Kind: EffectWrPIC, Addr: -1, Val: s.reg(in.Rs)})
+	}
+}
+
+// idxAddr builds Rs + Rt*8 + Imm.
+func (s *Summary) idxAddr(in ir.Instr) int32 {
+	scaled := s.op2(ir.MulI, s.reg(in.Rt), s.constant(8))
+	base := s.op2(ir.Add, s.reg(in.Rs), scaled)
+	return s.op2(ir.AddI, base, s.constant(in.Imm))
+}
+
+// load records the ordered read and binds Rd to a load expression keyed by
+// the read's position in the effect stream, so loads separated by stores
+// never compare equal by accident.
+func (s *Summary) load(rd ir.Reg, addr int32) {
+	ord := int64(len(s.Effects))
+	s.Effects = append(s.Effects, Effect{Kind: EffectLoad, Addr: addr, Val: -1})
+	s.Regs[rd] = s.intern(Expr{Kind: ExprLoad, Imm: ord, A: addr, B: -1})
+}
+
+// exprEqual structurally compares expression a (in sa) with b (in sb).
+// Interning makes the recursion terminate: indices strictly decrease.
+func exprEqual(sa *Summary, a int32, sb *Summary, b int32) bool {
+	if (a < 0) != (b < 0) {
+		return false
+	}
+	if a < 0 {
+		return true
+	}
+	ea, eb := sa.exprs[a], sb.exprs[b]
+	if ea.Kind != eb.Kind || ea.Op != eb.Op || ea.Reg != eb.Reg || ea.Imm != eb.Imm {
+		return false
+	}
+	return exprEqual(sa, ea.A, sb, eb.A) && exprEqual(sa, ea.B, sb, eb.B)
+}
+
+// SummaryEqual reports whether two summaries describe the same
+// architectural effect: identical register results and an identical
+// ordered observable stream.
+func SummaryEqual(a, b *Summary) bool {
+	if len(a.Effects) != len(b.Effects) {
+		return false
+	}
+	for i := range a.Effects {
+		ea, eb := a.Effects[i], b.Effects[i]
+		if ea.Kind != eb.Kind ||
+			!exprEqual(a, ea.Addr, b, eb.Addr) ||
+			!exprEqual(a, ea.Val, b, eb.Val) {
+			return false
+		}
+	}
+	for r := 0; r < ir.NumRegs; r++ {
+		if !exprEqual(a, a.Regs[r], b, b.Regs[r]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SameEffect reports whether two single instructions have identical
+// semantics: for summarizable opcodes the symbolic transfers are compared
+// (so operand fields an opcode ignores never matter); control transfers,
+// calls and the other non-summarizable opcodes compare by opcode and the
+// operand fields their semantics actually read.
+func SameEffect(a, b ir.Instr) bool {
+	if Summarizable(a.Op) && Summarizable(b.Op) {
+		sa, err1 := Summarize([]ir.Instr{a})
+		sb, err2 := Summarize([]ir.Instr{b})
+		return err1 == nil && err2 == nil && SummaryEqual(sa, sb)
+	}
+	if a.Op != b.Op {
+		return false
+	}
+	switch a.Op {
+	case ir.Jmp, ir.Ret, ir.Halt:
+		return true
+	case ir.Br:
+		return a.Rs == b.Rs
+	case ir.Call:
+		return a.Imm == b.Imm
+	case ir.CallInd:
+		return a.Rs == b.Rs
+	case ir.RdPIC, ir.RdTick:
+		return a.Rd == b.Rd
+	case ir.SetJmp:
+		return a.Rd == b.Rd && a.Rt == b.Rt
+	case ir.LongJmp:
+		return a.Rs == b.Rs && a.Rt == b.Rt
+	case ir.Probe:
+		return a.Rd == b.Rd && a.Rs == b.Rs && a.Imm == b.Imm
+	}
+	return a == b
+}
+
+// String renders the summary for debugging and test failure messages.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	for r := 0; r < ir.NumRegs; r++ {
+		if s.Regs[r] >= 0 {
+			fmt.Fprintf(&sb, "r%d = %s\n", r, s.render(s.Regs[r]))
+		}
+	}
+	for _, e := range s.Effects {
+		switch e.Kind {
+		case EffectStore:
+			fmt.Fprintf(&sb, "store [%s] = %s\n", s.render(e.Addr), s.render(e.Val))
+		case EffectOut:
+			fmt.Fprintf(&sb, "out %s\n", s.render(e.Val))
+		case EffectLoad:
+			fmt.Fprintf(&sb, "load [%s]\n", s.render(e.Addr))
+		case EffectWrPIC:
+			fmt.Fprintf(&sb, "wrpic %s\n", s.render(e.Val))
+		}
+	}
+	return sb.String()
+}
+
+func (s *Summary) render(i int32) string {
+	if i < 0 {
+		return "_"
+	}
+	e := s.exprs[i]
+	switch e.Kind {
+	case ExprReg:
+		return fmt.Sprintf("r%d.in", e.Reg)
+	case ExprConst:
+		return fmt.Sprintf("%d", e.Imm)
+	case ExprLoad:
+		return fmt.Sprintf("load#%d[%s]", e.Imm, s.render(e.A))
+	default:
+		if e.B < 0 {
+			return fmt.Sprintf("%s(%s)", e.Op, s.render(e.A))
+		}
+		return fmt.Sprintf("%s(%s, %s)", e.Op, s.render(e.A), s.render(e.B))
+	}
+}

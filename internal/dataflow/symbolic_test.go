@@ -1,0 +1,128 @@
+package dataflow
+
+import (
+	"testing"
+
+	"pathprof/internal/ir"
+)
+
+// Unit coverage for the symbolic evaluator: semantic (in)equality of
+// instruction sequences, dummy-operand insensitivity, and the ordering
+// discipline of the observable-effect stream.
+
+func mustSummarize(t *testing.T, instrs ...ir.Instr) *Summary {
+	t.Helper()
+	s, err := Summarize(instrs)
+	if err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	return s
+}
+
+func TestSummaryEquivalences(t *testing.T) {
+	cases := []struct {
+		name  string
+		a, b  []ir.Instr
+		equal bool
+	}{
+		{
+			name:  "mov chain collapses",
+			a:     []ir.Instr{{Op: ir.Mov, Rd: 2, Rs: 1}, {Op: ir.Add, Rd: 3, Rs: 2, Rt: 2}},
+			b:     []ir.Instr{{Op: ir.Add, Rd: 3, Rs: 1, Rt: 1}, {Op: ir.Mov, Rd: 2, Rs: 1}},
+			equal: true,
+		},
+		{
+			name:  "independent ALU ops commute",
+			a:     []ir.Instr{{Op: ir.AddI, Rd: 2, Rs: 1, Imm: 5}, {Op: ir.MulI, Rd: 3, Rs: 4, Imm: 7}},
+			b:     []ir.Instr{{Op: ir.MulI, Rd: 3, Rs: 4, Imm: 7}, {Op: ir.AddI, Rd: 2, Rs: 1, Imm: 5}},
+			equal: true,
+		},
+		{
+			name:  "overwritten scratch differs",
+			a:     []ir.Instr{{Op: ir.MovI, Rd: 2, Imm: 9}, {Op: ir.MovI, Rd: 2, Imm: 5}},
+			b:     []ir.Instr{{Op: ir.MovI, Rd: 2, Imm: 5}, {Op: ir.MovI, Rd: 3, Imm: 9}},
+			equal: false,
+		},
+		{
+			name:  "sub operand swap differs",
+			a:     []ir.Instr{{Op: ir.Sub, Rd: 1, Rs: 2, Rt: 3}},
+			b:     []ir.Instr{{Op: ir.Sub, Rd: 1, Rs: 3, Rt: 2}},
+			equal: false,
+		},
+		{
+			name:  "store order is observable",
+			a:     []ir.Instr{{Op: ir.Store, Rs: 2, Imm: 0, Rd: 4}, {Op: ir.Store, Rs: 3, Imm: 0, Rd: 5}},
+			b:     []ir.Instr{{Op: ir.Store, Rs: 3, Imm: 0, Rd: 5}, {Op: ir.Store, Rs: 2, Imm: 0, Rd: 4}},
+			equal: false,
+		},
+		{
+			name:  "load may not cross a store",
+			a:     []ir.Instr{{Op: ir.Load, Rd: 4, Rs: 2, Imm: 0}, {Op: ir.Store, Rs: 3, Imm: 8, Rd: 5}},
+			b:     []ir.Instr{{Op: ir.Store, Rs: 3, Imm: 8, Rd: 5}, {Op: ir.Load, Rd: 4, Rs: 2, Imm: 0}},
+			equal: false,
+		},
+		{
+			name:  "same loads same order equal",
+			a:     []ir.Instr{{Op: ir.Load, Rd: 4, Rs: 2, Imm: 0}, {Op: ir.AddI, Rd: 5, Rs: 4, Imm: 1}},
+			b:     []ir.Instr{{Op: ir.Load, Rd: 4, Rs: 2, Imm: 0}, {Op: ir.AddI, Rd: 5, Rs: 4, Imm: 1}},
+			equal: true,
+		},
+		{
+			name:  "out value differs",
+			a:     []ir.Instr{{Op: ir.Out, Rs: 1}},
+			b:     []ir.Instr{{Op: ir.Out, Rs: 2}},
+			equal: false,
+		},
+		{
+			name:  "indexed store matches scaled address",
+			a:     []ir.Instr{{Op: ir.StoreIdx, Rs: 2, Rt: 3, Imm: 16, Rd: 4}},
+			b:     []ir.Instr{{Op: ir.StoreIdx, Rs: 2, Rt: 3, Imm: 16, Rd: 4}},
+			equal: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sa, sb := mustSummarize(t, tc.a...), mustSummarize(t, tc.b...)
+			if got := SummaryEqual(sa, sb); got != tc.equal {
+				t.Fatalf("SummaryEqual = %v, want %v\n--- a ---\n%s--- b ---\n%s",
+					got, tc.equal, sa, sb)
+			}
+		})
+	}
+}
+
+func TestSummarizeRejectsControl(t *testing.T) {
+	for _, op := range []ir.Opcode{ir.Br, ir.Jmp, ir.Ret, ir.Halt, ir.Call,
+		ir.CallInd, ir.SetJmp, ir.LongJmp, ir.Probe, ir.RdPIC, ir.RdTick} {
+		if _, err := Summarize([]ir.Instr{{Op: op}}); err == nil {
+			t.Errorf("Summarize accepted %s", op)
+		}
+	}
+}
+
+func TestSameEffectDummyFields(t *testing.T) {
+	// The optimizer's register renaming rewrites every operand field,
+	// including ones the opcode ignores; SameEffect must not care.
+	a := ir.Instr{Op: ir.MovI, Rd: 2, Imm: 7, Rs: 11, Rt: 13}
+	b := ir.Instr{Op: ir.MovI, Rd: 2, Imm: 7, Rs: 23, Rt: 29}
+	if !SameEffect(a, b) {
+		t.Error("MovI with differing dummy operands rejected")
+	}
+	br1 := ir.Instr{Op: ir.Br, Rs: 5, Rd: 1}
+	br2 := ir.Instr{Op: ir.Br, Rs: 5, Rd: 9}
+	if !SameEffect(br1, br2) {
+		t.Error("Br with differing dummy Rd rejected")
+	}
+	if SameEffect(ir.Instr{Op: ir.Br, Rs: 5}, ir.Instr{Op: ir.Br, Rs: 6}) {
+		t.Error("Br with differing condition accepted")
+	}
+	if SameEffect(ir.Instr{Op: ir.Call, Imm: 1}, ir.Instr{Op: ir.Call, Imm: 2}) {
+		t.Error("Call with differing callee accepted")
+	}
+	if SameEffect(ir.Instr{Op: ir.MovI, Rd: 2, Imm: 7}, ir.Instr{Op: ir.MovI, Rd: 2, Imm: 8}) {
+		t.Error("MovI with differing immediate accepted")
+	}
+	if SameEffect(ir.Instr{Op: ir.MovI, Rd: 2, Imm: 7}, ir.Instr{Op: ir.Jmp}) {
+		t.Error("summarizable vs control accepted")
+	}
+}

@@ -1,0 +1,12 @@
+package pgo
+
+// pgo's own tests cannot blank-import internal/tv/autotv (it imports pgo),
+// so they install the validation hook directly: every Optimize call in
+// this test binary — the preservation harness, the round-trip tests — runs
+// behind the static translation validator.
+
+import "pathprof/internal/tv"
+
+func init() {
+	DebugValidate = tv.ValidateError
+}

@@ -7,6 +7,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/dataflow"
 	"pathprof/internal/ir"
+	"pathprof/internal/tv"
 )
 
 // Context-sensitive inlining of hot call edges. The CCT tells us, per
@@ -253,11 +254,24 @@ func (xp *xproc) inlineOne(caller *ir.Proc, live *dataflow.LivenessResult, used 
 	b := xp.blocks[int(c.site.Block)]
 	idx := c.site.Index
 	cont := xp.add(&xblock{
-		instrs: append([]ir.Instr(nil), b.instrs[idx+1:]...),
-		succs:  b.succs,
-		ef:     b.ef,
-		freq:   b.freq,
+		instrs:  append([]ir.Instr(nil), b.instrs[idx+1:]...),
+		succs:   b.succs,
+		ef:      b.ef,
+		freq:    b.freq,
+		wanchor: tv.Point{Block: c.site.Block, Idx: idx + 1},
 	})
+	// Witness seams after the call move to the continuation, re-based on
+	// its first instruction; earlier seams stay with the prefix.
+	var keep []tv.InlineEvent
+	for _, ev := range b.wevents {
+		if ev.OptIdx > idx {
+			ev.OptIdx -= idx + 1
+			cont.wevents = append(cont.wevents, ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	b.wevents = keep
 	if xp.exit == b {
 		xp.exit = cont
 	}
@@ -268,9 +282,13 @@ func (xp *xproc) inlineOne(caller *ir.Proc, live *dataflow.LivenessResult, used 
 		in.Rt = mapping[in.Rt]
 		return in
 	}
+	frame := tv.Frame{Callee: callee.ID, RetBlock: c.site.Block, RetIdx: idx + 1, Map: mapping}
 	copies := make([]*xblock, len(callee.Blocks))
 	for i, cb := range callee.Blocks {
-		x := &xblock{instrs: make([]ir.Instr, len(cb.Instrs))}
+		x := &xblock{
+			instrs:  make([]ir.Instr, len(cb.Instrs)),
+			wanchor: tv.Point{Frames: []tv.Frame{frame}, Block: cb.ID, Idx: 0},
+		}
 		for k, in := range cb.Instrs {
 			x.instrs[k] = rename(in)
 		}
@@ -301,6 +319,12 @@ func (xp *xproc) inlineOne(caller *ir.Proc, live *dataflow.LivenessResult, used 
 	b.instrs = append(b.instrs, ir.Instr{Op: ir.Jmp})
 	b.succs = []*xblock{copies[0]}
 	b.ef = []int64{c.calls}
+	b.wevents = append(b.wevents, tv.InlineEvent{
+		OptIdx:   idx,
+		Prologue: len(prologue),
+		Callee:   callee.ID,
+		Map:      mapping,
+	})
 	added := len(prologue) + 1 + countInstrs(copies)
 	return added, true
 }

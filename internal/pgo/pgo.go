@@ -5,6 +5,7 @@ import (
 
 	"pathprof/internal/analysis"
 	"pathprof/internal/ir"
+	"pathprof/internal/tv"
 )
 
 // Options selects and bounds the transforms. The zero value disables
@@ -89,6 +90,14 @@ func (s *Stats) String() string {
 		s.Threaded, s.Merged, s.Duplicated, s.DupInstrs, s.Inlined, s.InlineInstrs, s.Outlined)
 }
 
+// DebugValidate, when non-nil, is called by OptimizeTV (and therefore
+// Optimize) on every result with the original program, the rewrite, and
+// its witness; a non-nil return fails the optimization. The tv package's
+// autotv subpackage installs tv.ValidateError here from an init function,
+// turning every optimization in the importing test binary into a checked
+// translation.
+var DebugValidate func(orig, opt *ir.Program, w *tv.ProgramWitness) error
+
 // Optimize rewrites a clone of prog guided by data and returns it with
 // statistics. The input program is never modified. The result always
 // passes ir.Validate and is architecturally equivalent to the input: same
@@ -100,12 +109,22 @@ func (s *Stats) String() string {
 // (Probe, RdPIC, WrPIC) are returned unchanged: any rewrite shifts their
 // observable values.
 func Optimize(prog *ir.Program, data *ProfileData, opts Options) (*ir.Program, *Stats, error) {
+	out, _, stats, err := OptimizeTV(prog, data, opts)
+	return out, stats, err
+}
+
+// OptimizeTV is Optimize returning, in addition, the translation-validation
+// witness the transforms emitted: the proof outline internal/tv checks to
+// establish statically that the rewrite simulates the input. The witness
+// indexes the returned program's procedures and blocks.
+func OptimizeTV(prog *ir.Program, data *ProfileData, opts Options) (*ir.Program, *tv.ProgramWitness, *Stats, error) {
 	out := ir.Clone(prog)
 	stats := &Stats{}
 	if reason := timingSensitive(prog); reason != "" {
 		stats.Skipped = reason
-		return out, stats, nil
+		return out, tv.Identity(prog), stats, nil
 	}
+	w := &tv.ProgramWitness{Procs: make([]tv.ProcWitness, len(out.Procs))}
 	for _, p := range out.Procs {
 		xp := newXproc(p, edgesFor(data, p.ID))
 		if opts.Inline {
@@ -140,13 +159,19 @@ func Optimize(prog *ir.Program, data *ProfileData, opts Options) (*ir.Program, *
 			order = xp.reachable()
 		}
 		if err := xp.commit(order); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
+		w.Procs[p.ID] = xp.witness(order)
 	}
 	if err := ir.Validate(out); err != nil {
-		return nil, nil, fmt.Errorf("pgo: optimized program invalid: %w", err)
+		return nil, nil, nil, fmt.Errorf("pgo: optimized program invalid: %w", err)
 	}
-	return out, stats, nil
+	if DebugValidate != nil {
+		if err := DebugValidate(prog, out, w); err != nil {
+			return nil, nil, nil, fmt.Errorf("pgo: translation validation: %w", err)
+		}
+	}
+	return out, w, stats, nil
 }
 
 // edgesFor returns the measured edge frequencies for proc id, nil when the

@@ -50,7 +50,7 @@ func variants() []struct {
 		{"reorder", single(func(o *Options) { o.Reorder = true })},
 		{"outline", single(func(o *Options) { o.Reorder = true; o.ColdOutline = true })},
 	}
-	for _, c := range ladder(full) {
+	for _, c := range Ladder(full) {
 		vs = append(vs, c)
 	}
 	return vs

@@ -3,17 +3,20 @@ package pgo
 import (
 	"fmt"
 	"slices"
+	"strings"
 
 	"pathprof/internal/hpm"
 	"pathprof/internal/instrument"
 	"pathprof/internal/ir"
 	"pathprof/internal/mem"
 	"pathprof/internal/sim"
+	"pathprof/internal/tv"
 )
 
 // The round-trip driver: profile → optimize → verify → re-profile. Every
-// candidate option set is built, validated, run to completion, and checked
-// for byte-identical output and final memory against the baseline — an
+// candidate option set is built, statically validated against its
+// translation-validation witness, run to completion, and checked for
+// byte-identical output and final memory against the baseline — an
 // equivalence failure is a hard error, never a silent fallback. Among the
 // candidates that do not regress any gated metric, the one with the fewest
 // simulated cycles wins; the unmodified program is always a candidate, so
@@ -65,14 +68,17 @@ type Result struct {
 	ProfileBefore, ProfileAfter uint64
 }
 
-// ladder returns the candidate option sets in evaluation order: the full
+// LadderCandidate is one named option subset in the evaluation ladder.
+type LadderCandidate struct {
+	Name string
+	Opts Options
+}
+
+// Ladder returns the candidate option sets in evaluation order: the full
 // pipeline first, then progressively safer subsets, so the winner
 // gracefully degrades when an aggressive transform regresses a gated
 // metric on some workload.
-func ladder(opts Options) []struct {
-	Name string
-	Opts Options
-} {
+func Ladder(opts Options) []LadderCandidate {
 	full := opts
 	noDup := full
 	noDup.TailDup = false
@@ -80,10 +86,7 @@ func ladder(opts Options) []struct {
 	noDupNoInl.Inline = false
 	layoutOnly := Options{ThreadJumps: true, MergeBlocks: true, Reorder: opts.Reorder, ColdOutline: opts.ColdOutline}
 	threadOnly := Options{ThreadJumps: true, MergeBlocks: true}
-	return []struct {
-		Name string
-		Opts Options
-	}{
+	return []LadderCandidate{
 		{"full", full},
 		{"no-taildup", noDup},
 		{"thread+merge+layout", layoutOnly},
@@ -91,6 +94,32 @@ func ladder(opts Options) []struct {
 		{"thread+merge", threadOnly},
 	}
 }
+
+// CandidateError reports which ladder candidate failed, at which stage
+// ("optimize", "validate", "run", "output", "memory"), with the static
+// findings when translation validation rejected the rewrite. RoundTrip's
+// callers wrap it with the workload name, so the full failure reads
+// workload → candidate → stage → findings.
+type CandidateError struct {
+	Candidate string       // ladder candidate name ("full", "no-taildup", ...)
+	Stage     string       // which leg of the verification failed
+	Findings  []tv.Finding // static validator findings (Stage "validate")
+	Err       error        // underlying error, when there is one
+}
+
+func (e *CandidateError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pgo: candidate %s: %s failed", e.Candidate, e.Stage)
+	if e.Err != nil {
+		fmt.Fprintf(&sb, ": %v", e.Err)
+	}
+	for _, f := range e.Findings {
+		fmt.Fprintf(&sb, "\n  %s", f)
+	}
+	return sb.String()
+}
+
+func (e *CandidateError) Unwrap() error { return e.Err }
 
 // runPlain executes an uninstrumented program and returns its metrics,
 // output stream and final memory image.
@@ -122,6 +151,7 @@ func profiledCycles(prog *ir.Program, simCfg sim.Config, placement []instrument.
 }
 
 // RoundTrip profiles prog, optimizes it under every ladder candidate,
+// statically validates each rewrite against its witness (internal/tv),
 // verifies each rewrite's architectural equivalence (outputs and final
 // memory byte-identical to the baseline), and picks the cycle-minimal
 // candidate whose I-cache misses and branch mispredicts do not exceed the
@@ -139,21 +169,30 @@ func RoundTrip(prog *ir.Program, simCfg sim.Config, opts Options) (*Result, erro
 	}
 
 	res := &Result{Before: base, After: base, Winner: "identity", Optimized: prog}
-	for _, cand := range ladder(opts) {
-		optimized, stats, err := Optimize(prog, data, cand.Opts)
+	for _, cand := range Ladder(opts) {
+		optimized, w, stats, err := OptimizeTV(prog, data, cand.Opts)
 		if err != nil {
-			return nil, fmt.Errorf("pgo: candidate %s: %w", cand.Name, err)
+			return nil, &CandidateError{Candidate: cand.Name, Stage: "optimize", Err: err}
+		}
+		// The static gate: the rewrite must be proved semantics-preserving
+		// from its witness before it is allowed anywhere near the simulator.
+		// The runtime byte-equivalence checks below remain as a differential
+		// backstop behind this proof.
+		if findings := tv.Validate(prog, optimized, w); len(findings) > 0 {
+			return nil, &CandidateError{Candidate: cand.Name, Stage: "validate", Findings: findings}
 		}
 		m, out, memory, err := runPlain(optimized, simCfg)
 		if err != nil {
-			return nil, fmt.Errorf("pgo: candidate %s run: %w", cand.Name, err)
+			return nil, &CandidateError{Candidate: cand.Name, Stage: "run", Err: err}
 		}
 		if !slices.Equal(out, baseOut) {
-			return nil, fmt.Errorf("pgo: candidate %s: output diverges from baseline", cand.Name)
+			return nil, &CandidateError{Candidate: cand.Name, Stage: "output",
+				Err: fmt.Errorf("output diverges from baseline")}
 		}
 		if !mem.Equal(memory, baseMem) {
 			addr, av, bv, _ := mem.DiffWord(memory, baseMem)
-			return nil, fmt.Errorf("pgo: candidate %s: memory diverges at %#x (%d vs %d)", cand.Name, addr, av, bv)
+			return nil, &CandidateError{Candidate: cand.Name, Stage: "memory",
+				Err: fmt.Errorf("memory diverges at %#x (%d vs %d)", addr, av, bv)}
 		}
 		res.Candidates = append(res.Candidates, Candidate{Name: cand.Name, Metrics: m, Stats: stats})
 		if m.Cycles < res.After.Cycles &&

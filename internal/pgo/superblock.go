@@ -67,9 +67,11 @@ func (xp *xproc) mergeBlocks() int {
 			if t == xp.entry || t == b || np[t] != 1 {
 				continue
 			}
+			off := len(b.instrs) - 1 // the deleted jump's slot
 			b.instrs = append(b.instrs[:len(b.instrs)-1:len(b.instrs)-1], t.instrs...)
 			b.succs = slices.Clone(t.succs)
 			b.ef = slices.Clone(t.ef)
+			b.wevents = append(b.wevents, shiftEvents(t.wevents, off)...)
 			if t == xp.exit {
 				xp.exit = b
 			}
@@ -121,9 +123,13 @@ func (xp *xproc) tailDup(opts Options) (dups, grown int) {
 		}
 		t := best.succs[0]
 		share := best.ef[0]
+		off := len(best.instrs) - 1 // the deleted jump's slot
 		best.instrs = append(best.instrs[:len(best.instrs)-1:len(best.instrs)-1], t.instrs...)
 		best.succs = slices.Clone(t.succs)
 		best.ef = make([]int64, len(t.ef))
+		// The copy inherits the duplicated body's seams; the side-entrance
+		// original keeps its own.
+		best.wevents = append(best.wevents, shiftEvents(t.wevents, off)...)
 		// Move the duplicated traffic's share of t's outgoing estimates to
 		// the copy, proportionally.
 		for i, f := range t.ef {

@@ -15,18 +15,41 @@ import (
 	"pathprof/internal/analysis"
 	"pathprof/internal/cfg"
 	"pathprof/internal/ir"
+	"pathprof/internal/tv"
 )
 
 // xblock is a basic block under transformation: instructions (terminator
 // last), successor pointers instead of IDs, and profile estimates. Pointer
 // successors let transforms splice, duplicate and drop blocks freely; IDs
 // are assigned once at commit.
+//
+// Each block also carries its translation-validation witness: the original
+// program point its first instruction implements (wanchor) and the inline
+// seams inside it (wevents). Transforms maintain both as they splice, so
+// commit can hand internal/tv a complete proof outline for free.
 type xblock struct {
 	instrs []ir.Instr
 	succs  []*xblock
 	ef     []int64 // per-successor edge execution counts (estimates)
 	freq   int64   // block execution count (estimate)
 	pos    int     // creation order, the deterministic tie-break everywhere
+
+	wanchor tv.Point
+	wevents []tv.InlineEvent
+}
+
+// shiftEvents relocates witness events spliced in at instruction offset
+// off of their new block.
+func shiftEvents(evs []tv.InlineEvent, off int) []tv.InlineEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]tv.InlineEvent, len(evs))
+	for i, ev := range evs {
+		ev.OptIdx += off
+		out[i] = ev
+	}
+	return out
 }
 
 func (x *xblock) term() ir.Instr { return x.instrs[len(x.instrs)-1] }
@@ -58,8 +81,9 @@ func newXproc(p *ir.Proc, ef analysis.EdgeFreq) *xproc {
 	}
 	for i, b := range p.Blocks {
 		x := &xblock{
-			instrs: append([]ir.Instr(nil), b.Instrs...),
-			pos:    i,
+			instrs:  append([]ir.Instr(nil), b.Instrs...),
+			pos:     i,
+			wanchor: tv.Point{Block: b.ID},
 		}
 		if freqs != nil {
 			x.freq = freqs[i]
@@ -167,6 +191,16 @@ func (xp *xproc) commit(order []*xblock) error {
 	}
 	p.ExitBlock = ir.BlockID(ei)
 	return nil
+}
+
+// witness assembles the procedure's translation-validation witness for the
+// committed block order (which must be the order just passed to commit).
+func (xp *xproc) witness(order []*xblock) tv.ProcWitness {
+	pw := tv.ProcWitness{Blocks: make([]tv.BlockWitness, len(order))}
+	for i, x := range order {
+		pw.Blocks[i] = tv.BlockWitness{Anchor: x.wanchor, Events: x.wevents}
+	}
+	return pw
 }
 
 // edgeFreqs reprojects the current estimates onto committed block IDs —

@@ -1,0 +1,22 @@
+// Package autotv turns on automatic static translation validation of every
+// profile-guided optimization: importing it for side effects installs
+// tv.ValidateError as pgo.DebugValidate, so each Optimize/OptimizeTV call
+// proves its own rewrite against the emitted witness and fails loudly on
+// any finding. Test binaries blank-import this package, which runs the
+// whole optimizer suite behind the static validator; production binaries
+// leave the hook nil and pay nothing.
+//
+// It is a separate package (rather than an init in tv) so that importing
+// tv for explicit validation does not silently change Optimize's behavior,
+// and so pgo's own tests, which cannot import a pgo-importing package
+// without a cycle, can install the hook directly instead.
+package autotv
+
+import (
+	"pathprof/internal/pgo"
+	"pathprof/internal/tv"
+)
+
+func init() {
+	pgo.DebugValidate = tv.ValidateError
+}

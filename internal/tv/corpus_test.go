@@ -1,0 +1,127 @@
+package tv_test
+
+// The seeded-miscompile corpus: each testdata/miscompile/*.seed file is an
+// (original, optimized, witness) triple in textual form, with an expect
+// header naming the finding kind and position the validator must report —
+// or "expect none" for positive controls. This is the soundness half of
+// the validator's test matrix: every seeded miscompile must be rejected,
+// at the declared position.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/tv"
+)
+
+type seed struct {
+	name     string
+	expectOK bool   // "expect none": must validate clean
+	check    string // else: required finding kind...
+	block    int    // ...at this optimized block (-1 = program level)
+	instr    int    // ...and instruction (-1 = block level)
+	orig     *ir.Program
+	opt      *ir.Program
+	witness  *tv.ProgramWitness
+}
+
+func parseSeed(t *testing.T, path string) seed {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seed{name: strings.TrimSuffix(filepath.Base(path), ".seed")}
+	sections := map[string]*strings.Builder{}
+	var cur *strings.Builder
+	for _, line := range strings.Split(string(raw), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "#"):
+		case strings.HasPrefix(trimmed, "expect "):
+			rest := strings.TrimPrefix(trimmed, "expect ")
+			if rest == "none" {
+				s.expectOK = true
+				break
+			}
+			if _, err := fmt.Sscanf(rest, "%s %d %d", &s.check, &s.block, &s.instr); err != nil {
+				t.Fatalf("%s: malformed expect line %q", path, trimmed)
+			}
+		case strings.HasPrefix(trimmed, "== ") && strings.HasSuffix(trimmed, " =="):
+			name := strings.TrimSuffix(strings.TrimPrefix(trimmed, "== "), " ==")
+			cur = &strings.Builder{}
+			sections[name] = cur
+		case cur != nil:
+			cur.WriteString(line)
+			cur.WriteByte('\n')
+		}
+	}
+	for _, want := range []string{"original", "optimized", "witness"} {
+		if sections[want] == nil {
+			t.Fatalf("%s: missing section %q", path, want)
+		}
+	}
+	if s.orig, err = ir.ParseString(sections["original"].String()); err != nil {
+		t.Fatalf("%s: original: %v", path, err)
+	}
+	if s.opt, err = ir.ParseString(sections["optimized"].String()); err != nil {
+		t.Fatalf("%s: optimized: %v", path, err)
+	}
+	if s.witness, err = tv.ParseWitnessString(sections["witness"].String()); err != nil {
+		t.Fatalf("%s: witness: %v", path, err)
+	}
+	return s
+}
+
+func TestMiscompileCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "miscompile", "*.seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("corpus too small: %d seeds", len(paths))
+	}
+	for _, path := range paths {
+		s := parseSeed(t, path)
+		t.Run(s.name, func(t *testing.T) {
+			findings := tv.Validate(s.orig, s.opt, s.witness)
+			if s.expectOK {
+				if len(findings) > 0 {
+					t.Fatalf("positive control rejected: %v", findings[0])
+				}
+				return
+			}
+			if len(findings) == 0 {
+				t.Fatal("seeded miscompile accepted")
+			}
+			f := findings[0]
+			if f.Check != s.check || f.Block != s.block || f.Instr != s.instr {
+				t.Fatalf("finding %q: got %s at b%d:i%d, want %s at b%d:i%d",
+					f, f.Check, f.Block, f.Instr, s.check, s.block, s.instr)
+			}
+		})
+	}
+}
+
+// TestWitnessTextRoundTrip: the corpus serialization is faithful.
+func TestWitnessTextRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "miscompile", "*.seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		s := parseSeed(t, path)
+		text := tv.WitnessString(s.witness)
+		back, err := tv.ParseWitnessString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", s.name, err, text)
+		}
+		if tv.WitnessString(back) != text {
+			t.Fatalf("%s: witness text does not round-trip", s.name)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package tv_test
+
+// FuzzTV is the differential fuzzer closing the loop between the static
+// validator and the machine: random small mutations are applied to a real
+// optimized program and its witness, and any mutant the validator ACCEPTS
+// must be runtime-equivalent to the original (same output stream, same
+// exit). A counterexample would be a soundness bug in the checker. The
+// fuzzer also hammers totality: Validate must reject garbage witnesses
+// with findings, never a panic.
+
+import (
+	"slices"
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/pgo"
+	"pathprof/internal/sim"
+	"pathprof/internal/tv"
+	"pathprof/internal/workload"
+)
+
+type fuzzCase struct {
+	name string
+	orig *ir.Program
+	opt  *ir.Program
+	wit  *tv.ProgramWitness
+	out  []int64 // original program's output stream
+	cap  uint64  // step budget for mutant runs
+}
+
+func buildFuzzCases(f *testing.F) []fuzzCase {
+	var cases []fuzzCase
+	for _, w := range workload.Suite()[:6] {
+		prog := w.Build(workload.Test)
+		data, err := pgo.Acquire(prog, sim.DefaultConfig())
+		if err != nil {
+			f.Fatal(err)
+		}
+		opt, wit, _, err := pgo.OptimizeTV(prog, data, pgo.DefaultOptions())
+		if err != nil {
+			f.Fatal(err)
+		}
+		m := sim.New(prog, sim.DefaultConfig())
+		res, err := m.Run()
+		if err != nil {
+			f.Fatal(err)
+		}
+		cases = append(cases, fuzzCase{
+			name: w.Name, orig: prog, opt: opt, wit: wit,
+			out: res.Output, cap: res.Instrs*4 + 1_000_000,
+		})
+	}
+	return cases
+}
+
+// mutate applies one byte-directed mutation; returns false when the byte
+// stream is exhausted.
+func mutate(prog *ir.Program, w *tv.ProgramWitness, data []byte, i *int) bool {
+	next := func() (byte, bool) {
+		if *i >= len(data) {
+			return 0, false
+		}
+		b := data[*i]
+		*i++
+		return b, true
+	}
+	kind, ok := next()
+	if !ok {
+		return false
+	}
+	pb, _ := next()
+	bb, _ := next()
+	ib, _ := next()
+	vb, _ := next()
+	p := prog.Procs[int(pb)%len(prog.Procs)]
+	blk := p.Blocks[int(bb)%len(p.Blocks)]
+	idx := int(ib) % len(blk.Instrs)
+	in := &blk.Instrs[idx]
+	pw := &w.Procs[p.ID]
+	bw := &pw.Blocks[int(bb)%len(pw.Blocks)]
+	switch kind % 12 {
+	case 0:
+		in.Imm += int64(int8(vb))
+	case 1:
+		in.Rs, in.Rt = in.Rt, in.Rs
+	case 2:
+		in.Rd = ir.Reg(vb) % ir.NumRegs
+	case 3:
+		in.Rs = ir.Reg(vb) % ir.NumRegs
+	case 4:
+		if len(blk.Succs) == 2 {
+			blk.Succs[0], blk.Succs[1] = blk.Succs[1], blk.Succs[0]
+		}
+	case 5:
+		if len(blk.Succs) > 0 {
+			blk.Succs[int(vb)%len(blk.Succs)] = ir.BlockID(int(vb) % len(p.Blocks))
+		}
+	case 6:
+		if idx < len(blk.Instrs)-1 {
+			blk.Instrs = slices.Delete(blk.Instrs, idx, idx+1)
+		}
+	case 7:
+		bw.Anchor.Block = ir.BlockID(int(vb) % (len(p.Blocks) + 2))
+	case 8:
+		bw.Anchor.Idx += int(int8(vb))
+	case 9:
+		if len(bw.Events) > 0 {
+			bw.Events[int(ib)%len(bw.Events)].OptIdx += int(int8(vb))
+		}
+	case 10:
+		if len(bw.Events) > 0 {
+			ev := &bw.Events[int(ib)%len(bw.Events)]
+			ev.Map[int(vb)%ir.NumRegs] = ir.Reg(vb) % ir.NumRegs
+		}
+	case 11:
+		if len(bw.Anchor.Frames) > 0 {
+			fr := &bw.Anchor.Frames[int(ib)%len(bw.Anchor.Frames)]
+			fr.RetIdx += int(int8(vb))
+		}
+	}
+	return true
+}
+
+func cloneWitness(w *tv.ProgramWitness) *tv.ProgramWitness {
+	out, err := tv.ParseWitnessString(tv.WitnessString(w))
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func FuzzTV(f *testing.F) {
+	cases := buildFuzzCases(f)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1})
+	f.Add([]byte{1, 0, 1, 0, 0})
+	f.Add([]byte{4, 0, 2, 0, 0, 5, 0, 1, 1, 3})
+	f.Add([]byte{7, 0, 0, 0, 9, 8, 0, 1, 0, 250})
+	f.Add([]byte{10, 0, 0, 0, 17, 11, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc := cases[0]
+		if len(data) > 0 {
+			fc = cases[int(data[0])%len(cases)]
+		}
+		mutOpt := ir.Clone(fc.opt)
+		mutWit := cloneWitness(fc.wit)
+		for i := 0; mutate(mutOpt, mutWit, data, &i); {
+		}
+		findings := tv.Validate(fc.orig, mutOpt, mutWit) // must never panic
+		if len(findings) > 0 {
+			return // rejected: fine, whatever the mutation did
+		}
+		// Accepted: the mutant must be runtime-equivalent to the original.
+		cfg := sim.DefaultConfig()
+		cfg.MaxSteps = fc.cap
+		res, err := sim.New(mutOpt, cfg).Run()
+		if err != nil {
+			t.Fatalf("validator accepted a mutant that fails to run: %v", err)
+		}
+		if !slices.Equal(res.Output, fc.out) {
+			t.Fatalf("validator accepted a mutant with diverging output (%d vs %d words)",
+				len(res.Output), len(fc.out))
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package tv
+
+import (
+	"fmt"
+
+	"pathprof/internal/dataflow"
+	"pathprof/internal/ir"
+)
+
+// Inline seam checking. An InlineEvent claims that, from this optimized
+// instruction on, the block executes a fresh activation of Callee with
+// callee register r stored in caller register Map[r]. The claim is only
+// as good as the calling convention it replaces, so the checker discharges
+// every obligation the convention implies:
+//
+//	entry     the callee body must observe a fresh activation: argument
+//	          registers and SP hold the caller's values (identity map or
+//	          an explicit Mov), every other register it reads holds zero
+//	          (an explicit MovI 0).
+//	exit      Ret copies R1 and SP back, so Map must pin both to
+//	          themselves and the prologue may not disturb them — then the
+//	          copy-back is the identity and pop glue is register-neutral.
+//	caller    everything the seam writes — prologue targets and the
+//	          mapped images of callee writes — must be dead in the caller
+//	          after the call (R1 and SP excepted: the call itself defines
+//	          them, and the pinned map hands them the same values).
+//	model     the callee must not contain calls, context captures,
+//	          probes, counter or clock accesses, or halts (their meaning
+//	          depends on the activation being real), and the caller must
+//	          not contain SetJmp (a longjmp could resume mid-procedure
+//	          through edges liveness cannot see).
+//
+// These checks run for explicit witness events (with the event's prologue
+// instructions) and for "virtual pushes" during reachability (with no
+// prologue, so every entry obligation must be vacuous).
+
+// seamError is a positioned push-seam rejection.
+type seamError struct {
+	check string
+	msg   string
+}
+
+func (e *seamError) Error() string { return e.msg }
+
+func seamErrf(check, format string, args ...any) *seamError {
+	return &seamError{check: check, msg: fmt.Sprintf(format, args...)}
+}
+
+func (v *validator) liveness(p *ir.Proc) *dataflow.LivenessResult {
+	if lr, ok := v.liveCache[p.ID]; ok {
+		return lr
+	}
+	lr := dataflow.Liveness(p)
+	v.liveCache[p.ID] = lr
+	return lr
+}
+
+func (v *validator) calleeFactsFor(id int) *calleeFacts {
+	if f, ok := v.callees[id]; ok {
+		return f
+	}
+	f := &calleeFacts{admissible: true}
+	p := v.orig.Procs[id]
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.Call, ir.CallInd, ir.SetJmp, ir.LongJmp,
+				ir.Probe, ir.RdPIC, ir.WrPIC, ir.RdTick, ir.Halt:
+				if f.admissible {
+					f.admissible = false
+					f.reason = fmt.Sprintf("callee %s contains %s", p.Name, in.Op)
+				}
+			}
+			f.reads |= dataflow.Uses(in)
+			f.writes |= dataflow.Defs(in)
+		}
+	}
+	v.callees[id] = f
+	return f
+}
+
+func (v *validator) hasSetJmp(p *ir.Proc) bool {
+	if s, ok := v.setjmp[p.ID]; ok {
+		return s
+	}
+	found := false
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.SetJmp {
+				found = true
+			}
+		}
+	}
+	v.setjmp[p.ID] = found
+	return found
+}
+
+func isArgReg(r ir.Reg) bool {
+	return r >= ir.RegArg0 && r < ir.RegArg0+ir.NumArgRegs
+}
+
+// pushSeam validates an explicit inline event at cursor c and returns the
+// cursor inside the fresh frame.
+func (v *validator) pushSeam(c cursor, ev InlineEvent, prologue []ir.Instr, bid int) (cursor, bool) {
+	c = v.normalize(c)
+	if err := v.pushErr(c, ev.Callee, ev.Map, prologue); err != nil {
+		v.addf(err.check, bid, ev.OptIdx, "%s (original at %s)", err.msg, c)
+		return cursor{}, false
+	}
+	frame := Frame{Callee: ev.Callee, RetBlock: c.block, RetIdx: c.idx + 1, Map: ev.Map}
+	return cursor{frames: []Frame{frame}, block: 0, idx: 0}, true
+}
+
+// pushErr discharges every seam obligation for inlining callee at cursor c
+// under map m with the given prologue; nil means the push is proved sound.
+func (v *validator) pushErr(c cursor, callee int, m [ir.NumRegs]ir.Reg, prologue []ir.Instr) *seamError {
+	if !v.validPoint(c) {
+		return seamErrf("inline", "cursor out of range")
+	}
+	if len(c.frames) != 0 {
+		return seamErrf("inline", "inline seam inside an inlined frame")
+	}
+	if callee < 0 || callee >= len(v.orig.Procs) {
+		return seamErrf("inline", "callee %d out of range", callee)
+	}
+	caller := v.origProc
+	blk := caller.Blocks[c.block]
+	if c.idx >= len(blk.Instrs)-1 {
+		return seamErrf("inline", "original cursor is at a terminator, not a call")
+	}
+	in := blk.Instrs[c.idx]
+	if in.Op != ir.Call || int(in.Imm) != callee {
+		return seamErrf("inline", "original %s is not a call of procedure %d", in.Op, callee)
+	}
+	if v.hasSetJmp(caller) {
+		return seamErrf("inline", "caller %s contains setjmp; liveness facts are unsound", caller.Name)
+	}
+	facts := v.calleeFactsFor(callee)
+	if !facts.admissible {
+		return seamErrf("inline", "%s", facts.reason)
+	}
+
+	// Map shape: in-range entries, R1 and SP pinned (the Ret copy-back
+	// must be the identity), injective over the registers the callee
+	// touches (distinct activation registers need distinct storage).
+	for r, t := range m {
+		if t >= ir.NumRegs {
+			return seamErrf("inline", "map sends r%d to nonexistent r%d", r, t)
+		}
+	}
+	if m[ir.RegRV] != ir.RegRV {
+		return seamErrf("inline", "map does not pin the return-value register (r%d -> %s)", ir.RegRV, m[ir.RegRV])
+	}
+	if m[ir.RegSP] != ir.RegSP {
+		return seamErrf("inline", "map does not pin the stack pointer (r%d -> %s)", ir.RegSP, m[ir.RegSP])
+	}
+	used := facts.reads | facts.writes
+	var images dataflow.RegSet
+	for _, r := range used.Regs() {
+		if images.Has(m[r]) {
+			return seamErrf("inline", "map is not injective on the callee's registers (%s shared)", m[r])
+		}
+		images = images.Add(m[r])
+	}
+
+	// Prologue structure: each instruction is either a Mov materializing
+	// an argument into its mapped home or a zero-init of a mapped
+	// callee-private register; targets are distinct, never R1 or SP, and
+	// never a register a later Mov still needs to read.
+	var zeroable dataflow.RegSet // legal MovI targets: images of non-arg callee registers
+	for _, r := range used.Regs() {
+		if !isArgReg(r) && r != ir.RegSP {
+			zeroable = zeroable.Add(m[r])
+		}
+	}
+	var targets, movSources, movFor, zeroed dataflow.RegSet
+	for i, pin := range prologue {
+		switch {
+		case pin.Op == ir.Mov && isArgReg(pin.Rs) && m[pin.Rs] == pin.Rd && pin.Rd != pin.Rs:
+			movSources = movSources.Add(pin.Rs)
+			movFor = movFor.Add(pin.Rs)
+		case pin.Op == ir.MovI && pin.Imm == 0 && zeroable.Has(pin.Rd):
+			zeroed = zeroed.Add(pin.Rd)
+		default:
+			return seamErrf("inline", "prologue instruction %d (%s) is neither an argument copy nor a zero-init", i, pin.Op)
+		}
+		if targets.Has(pin.Rd) {
+			return seamErrf("inline", "prologue writes %s twice", pin.Rd)
+		}
+		if pin.Rd == ir.RegRV || pin.Rd == ir.RegSP {
+			return seamErrf("inline", "prologue clobbers %s before the body runs", pin.Rd)
+		}
+		targets = targets.Add(pin.Rd)
+	}
+	if overlap := targets & movSources; overlap != 0 {
+		return seamErrf("inline", "prologue clobbers argument source %s it still reads", overlap.Regs()[0])
+	}
+
+	// Entry obligations: every argument the callee reads must be in its
+	// mapped home (identity, or an explicit copy); every non-argument
+	// register it reads must be zeroed like a fresh activation.
+	for _, r := range facts.reads.Regs() {
+		switch {
+		case r == ir.RegSP:
+			// pinned identity; the activation inherits the caller's SP
+		case isArgReg(r):
+			if m[r] != r && !movFor.Has(r) {
+				return seamErrf("inline", "callee reads argument %s but the prologue never copies it to %s", r, m[r])
+			}
+		default:
+			if !zeroed.Has(m[r]) {
+				return seamErrf("inline", "callee reads %s but the prologue never zeroes %s", r, m[r])
+			}
+		}
+	}
+
+	// Caller obligations: nothing the seam writes may be live after the
+	// call. R1 and SP are exempt — the call itself defines them, and the
+	// pinned map delivers exactly the values the real call would.
+	var mappedWrites dataflow.RegSet
+	for _, r := range facts.writes.Regs() {
+		mappedWrites = mappedWrites.Add(m[r])
+	}
+	clobbered := (targets | mappedWrites).Remove(ir.RegRV).Remove(ir.RegSP)
+	liveAfter := v.liveness(caller).LiveAfter(caller, c.block, c.idx)
+	if bad := clobbered & liveAfter; bad != 0 {
+		return seamErrf("clobber", "seam clobbers live caller register(s) %v", bad.Regs())
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package tv_test
+
+// The positive sweep: every workload in the suite (and the k-iteration
+// suite), profiled at both classic and k=2 path degree, optimized under
+// every ladder candidate, must validate with zero findings. This is the
+// validator's completeness half — the seeded-miscompile corpus in
+// corpus_test.go is the soundness half.
+
+import (
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/pgo"
+	"pathprof/internal/sim"
+	"pathprof/internal/tv"
+	"pathprof/internal/workload"
+)
+
+func suite() []workload.Workload {
+	return append(workload.Suite(), workload.KSuite()...)
+}
+
+func TestValidateLadderAllWorkloads(t *testing.T) {
+	for _, w := range suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog := w.Build(workload.Test)
+			for _, k := range []int{1, 2} {
+				data, err := pgo.AcquireWith(prog, sim.DefaultConfig(), pgo.AcquireOptions{K: k})
+				if err != nil {
+					t.Fatalf("acquire k=%d: %v", k, err)
+				}
+				for _, cand := range pgo.Ladder(pgo.DefaultOptions()) {
+					opt, wit, _, err := pgo.OptimizeTV(prog, data, cand.Opts)
+					if err != nil {
+						t.Fatalf("k=%d %s: optimize: %v", k, cand.Name, err)
+					}
+					if findings := tv.Validate(prog, opt, wit); len(findings) > 0 {
+						for _, f := range findings {
+							t.Errorf("k=%d %s: %s", k, cand.Name, f)
+						}
+						t.Fatalf("k=%d %s: %d finding(s)", k, cand.Name, len(findings))
+					}
+				}
+				// k=2 profiles project to identical edge counts; one pass of
+				// the ladder per degree is the coverage the gate promises.
+			}
+		})
+	}
+}
+
+// TestIdentityWitness: an unchanged clone validates against the identity
+// witness for every workload.
+func TestIdentityWitness(t *testing.T) {
+	for _, w := range suite() {
+		prog := w.Build(workload.Test)
+		clone := ir.Clone(prog)
+		if findings := tv.Validate(prog, clone, tv.Identity(prog)); len(findings) > 0 {
+			t.Errorf("%s: identity witness rejected: %v", w.Name, findings[0])
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package tv is a static translation validator for the profile-guided
+// optimizer: given an original program, its optimized form, and a witness
+// the optimizer emitted while transforming, Validate proves — without
+// running either program — that the optimized program simulates the
+// original instruction for instruction. The proof is a co-walk: every
+// optimized block carries an anchor naming the original program point it
+// implements, the checker advances a cursor through the original program
+// in lockstep with the optimized instructions, and only three kinds of
+// "glue" may be consumed silently, each observation-free by construction:
+// unconditional jumps the optimizer threaded or merged away, returns of
+// inlined callees (whose calling-convention effect the inline register map
+// reproduces exactly), and conditional branches whose two arms provably
+// reconverge. Inlined call seams carry explicit witness events whose
+// register maps and prologues are checked against the calling convention
+// and the caller's liveness. Anything else — a reordered store, a changed
+// immediate, a retargeted branch, a clobbered live register — fails the
+// walk and surfaces as a positioned Finding.
+//
+// The validator's trust boundary: it assumes ir.Validate holds for both
+// programs (checked here first), and it shares internal/dataflow's machine
+// model — in particular liveness treats LongJmp as an ordinary
+// instruction, the same axiom the optimizer's inliner builds on. Runtime
+// byte-equivalence in pgo.RoundTrip remains as a differential backstop
+// behind this gate.
+package tv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathprof/internal/ir"
+)
+
+// Frame is one inlined activation on a cursor's stack: the callee whose
+// body the optimized code is currently inside, where the original caller
+// resumes when that callee returns, and the register map the inliner chose
+// (callee register r lives in caller register Map[r]).
+type Frame struct {
+	Callee   int        // callee procedure ID in the original program
+	RetBlock ir.BlockID // original caller block to resume in after Ret
+	RetIdx   int        // instruction index in RetBlock to resume at
+	Map      [ir.NumRegs]ir.Reg
+}
+
+// Point is an extended original program point: a stack of inlined frames
+// (empty = the procedure's own frame) and a position inside the innermost
+// procedure's body. With no frames, Block/Idx index the original
+// procedure; with frames, they index the innermost callee.
+type Point struct {
+	Frames []Frame
+	Block  ir.BlockID
+	Idx    int
+}
+
+func (p Point) String() string {
+	if len(p.Frames) == 0 {
+		return fmt.Sprintf("b%d:i%d", p.Block, p.Idx)
+	}
+	var sb strings.Builder
+	for _, f := range p.Frames {
+		fmt.Fprintf(&sb, "inlined@b%d:i%d/", f.RetBlock, f.RetIdx-1)
+	}
+	fmt.Fprintf(&sb, "b%d:i%d", p.Block, p.Idx)
+	return sb.String()
+}
+
+// InlineEvent marks an inlined call seam inside an optimized block: at
+// instruction OptIdx the block stops tracking the caller and enters the
+// callee's body, after Prologue instructions of register setup. The
+// checker verifies the prologue establishes a fresh activation of Callee
+// under Map and that nothing live in the caller is clobbered.
+type InlineEvent struct {
+	OptIdx   int // optimized instruction index where the prologue begins
+	Prologue int // number of prologue instructions (Mov/MovI setup)
+	Callee   int // callee procedure ID in the original program
+	Map      [ir.NumRegs]ir.Reg
+}
+
+// BlockWitness describes one optimized block: the original point its first
+// instruction implements, plus any inline seams inside it, in ascending
+// OptIdx order.
+type BlockWitness struct {
+	Anchor Point
+	Events []InlineEvent
+}
+
+// ProcWitness covers one optimized procedure, indexed by optimized block
+// ID.
+type ProcWitness struct {
+	Blocks []BlockWitness
+}
+
+// ProgramWitness covers the whole optimized program, indexed by procedure
+// ID.
+type ProgramWitness struct {
+	Procs []ProcWitness
+}
+
+// Identity returns the witness of the do-nothing transformation of prog:
+// every block anchored at its own start, no inline events. An unchanged
+// clone always validates against it.
+func Identity(prog *ir.Program) *ProgramWitness {
+	w := &ProgramWitness{Procs: make([]ProcWitness, len(prog.Procs))}
+	for i, p := range prog.Procs {
+		pw := ProcWitness{Blocks: make([]BlockWitness, len(p.Blocks))}
+		for j, b := range p.Blocks {
+			pw.Blocks[j] = BlockWitness{Anchor: Point{Block: b.ID}}
+		}
+		w.Procs[i] = pw
+	}
+	return w
+}
+
+// Finding is one validation failure, positioned in the OPTIMIZED program
+// at the finest granularity the checker could establish (-1 for "not
+// applicable"). The Msg names the original point involved when there is
+// one.
+type Finding struct {
+	Check  string // "witness", "anchor", "instr", "term", "inline", "clobber"
+	Proc   string
+	ProcID int
+	Block  int // optimized block ID, or -1
+	Instr  int // optimized instruction index, or -1
+	Msg    string
+}
+
+func (f Finding) String() string {
+	pos := f.Proc
+	if f.Block >= 0 {
+		pos = fmt.Sprintf("%s:b%d", pos, f.Block)
+	}
+	if f.Instr >= 0 {
+		pos = fmt.Sprintf("%s:i%d", pos, f.Instr)
+	}
+	return fmt.Sprintf("%s %s: %s", pos, f.Check, f.Msg)
+}
+
+// Validate checks that opt simulates orig according to witness w and
+// returns the findings sorted deterministically; empty means proved. It
+// never panics on a malformed witness — shape errors are findings too.
+func Validate(orig, opt *ir.Program, w *ProgramWitness) []Finding {
+	v := &validator{orig: orig, opt: opt}
+	v.run(w)
+	sort.Slice(v.findings, func(i, j int) bool {
+		a, b := v.findings[i], v.findings[j]
+		if a.ProcID != b.ProcID {
+			return a.ProcID < b.ProcID
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	return v.findings
+}
+
+// ValidateError wraps Validate for use as an error-returning hook: nil
+// when the proof goes through, else an error listing every finding.
+func ValidateError(orig, opt *ir.Program, w *ProgramWitness) error {
+	fs := Validate(orig, opt, w)
+	if len(fs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(fs))
+	for i, f := range fs {
+		lines[i] = f.String()
+	}
+	return fmt.Errorf("tv: %d finding(s):\n  %s", len(fs), strings.Join(lines, "\n  "))
+}

@@ -1,0 +1,532 @@
+package tv
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"pathprof/internal/dataflow"
+	"pathprof/internal/ir"
+)
+
+// The co-walk. A cursor is a Point the checker owns: where in the original
+// program execution stands while the optimized block is replayed
+// instruction by instruction. Three cursor moves are "glue" — original
+// steps with no optimized counterpart, each observation-free:
+//
+//	jump glue      an unconditional Jmp the optimizer threaded or merged
+//	               away; deterministic transfer, no effects.
+//	pop glue       a Ret inside an inlined frame; the calling convention
+//	               copies R1 and SP back, and the frame map pins both to
+//	               themselves, so register state is untouched.
+//	branch glue    a conditional Br whose two arms provably reconverge
+//	               (each through jump glue alone); whichever arm the
+//	               machine takes, it lands at the same point having done
+//	               nothing observable.
+//
+// Everything else must match an optimized instruction under the frame's
+// register substitution, or the proof fails.
+
+type cursor struct {
+	frames []Frame
+	block  ir.BlockID
+	idx    int
+}
+
+func (c cursor) String() string {
+	return Point{Frames: c.frames, Block: c.block, Idx: c.idx}.String()
+}
+
+func cursorOf(p Point) cursor {
+	return cursor{frames: p.Frames, block: p.Block, idx: p.Idx}
+}
+
+func cursorEqual(a, b cursor) bool {
+	return a.block == b.block && a.idx == b.idx && slices.Equal(a.frames, b.frames)
+}
+
+// key encodes a cursor for visited sets (Frame is comparable, so the
+// encoding is faithful enough: collisions only make the search give up
+// earlier, which is rejection-biased and therefore sound).
+func (c cursor) key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:%d", c.block, c.idx)
+	for _, f := range c.frames {
+		fmt.Fprintf(&sb, "|%d@%d:%d%v", f.Callee, f.RetBlock, f.RetIdx, f.Map)
+	}
+	return sb.String()
+}
+
+type validator struct {
+	orig, opt *ir.Program
+	findings  []Finding
+
+	// per-procedure walk state
+	origProc *ir.Proc
+	optProc  *ir.Proc
+	pw       *ProcWitness
+
+	liveCache map[int]*dataflow.LivenessResult
+	callees   map[int]*calleeFacts
+	setjmp    map[int]bool
+}
+
+// calleeFacts caches the per-callee classification the push-seam checks
+// need.
+type calleeFacts struct {
+	admissible bool
+	reason     string
+	reads      dataflow.RegSet // registers read anywhere in the body
+	writes     dataflow.RegSet // registers written anywhere in the body
+}
+
+func (v *validator) addf(check string, block, instr int, format string, args ...any) {
+	v.findings = append(v.findings, Finding{
+		Check:  check,
+		Proc:   v.optProc.Name,
+		ProcID: v.optProc.ID,
+		Block:  block,
+		Instr:  instr,
+		Msg:    fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *validator) run(w *ProgramWitness) {
+	if err := ir.Validate(v.orig); err != nil {
+		v.findings = append(v.findings, Finding{Check: "witness", Block: -1, Instr: -1,
+			Msg: fmt.Sprintf("original program invalid: %v", err)})
+		return
+	}
+	if err := ir.Validate(v.opt); err != nil {
+		v.findings = append(v.findings, Finding{Check: "witness", Block: -1, Instr: -1,
+			Msg: fmt.Sprintf("optimized program invalid: %v", err)})
+		return
+	}
+	if len(v.opt.Procs) != len(v.orig.Procs) {
+		v.findings = append(v.findings, Finding{Check: "witness", Block: -1, Instr: -1,
+			Msg: fmt.Sprintf("procedure count changed: %d -> %d", len(v.orig.Procs), len(v.opt.Procs))})
+		return
+	}
+	if w == nil || len(w.Procs) != len(v.opt.Procs) {
+		n := 0
+		if w != nil {
+			n = len(w.Procs)
+		}
+		v.findings = append(v.findings, Finding{Check: "witness", Block: -1, Instr: -1,
+			Msg: fmt.Sprintf("witness covers %d of %d procedures", n, len(v.opt.Procs))})
+		return
+	}
+	v.liveCache = make(map[int]*dataflow.LivenessResult)
+	v.callees = make(map[int]*calleeFacts)
+	v.setjmp = make(map[int]bool)
+	for id := range v.opt.Procs {
+		v.checkProc(id, &w.Procs[id])
+	}
+}
+
+func (v *validator) checkProc(id int, pw *ProcWitness) {
+	v.origProc = v.orig.Procs[id]
+	v.optProc = v.opt.Procs[id]
+	v.pw = pw
+	if len(pw.Blocks) != len(v.optProc.Blocks) {
+		v.addf("witness", -1, -1, "witness covers %d of %d blocks", len(pw.Blocks), len(v.optProc.Blocks))
+		return
+	}
+	// The machine enters both procedures at block 0 instruction 0 with
+	// identical state, so the entry anchor must be exactly that point.
+	a0 := pw.Blocks[0].Anchor
+	if len(a0.Frames) != 0 || a0.Block != 0 || a0.Idx != 0 {
+		v.addf("anchor", 0, -1, "entry block anchored at %s, want b0:i0", a0)
+		return
+	}
+	for bid := range v.optProc.Blocks {
+		v.checkBlock(ir.BlockID(bid))
+	}
+}
+
+// anchorOK validates an anchor's shape so the walk can index fearlessly:
+// frame callees and map entries in range, the point inside its procedure.
+func (v *validator) anchorOK(p Point) bool {
+	for _, f := range p.Frames {
+		if f.Callee < 0 || f.Callee >= len(v.orig.Procs) {
+			return false
+		}
+		for _, r := range f.Map {
+			if r >= ir.NumRegs {
+				return false
+			}
+		}
+	}
+	return v.validPoint(cursorOf(p))
+}
+
+// procAt returns the original procedure the cursor's innermost frame is
+// executing. Frame callee indices are validated before cursors circulate.
+func (v *validator) procAt(c cursor) *ir.Proc {
+	if len(c.frames) == 0 {
+		return v.origProc
+	}
+	return v.orig.Procs[c.frames[len(c.frames)-1].Callee]
+}
+
+func (v *validator) validPoint(c cursor) bool {
+	p := v.procAt(c)
+	if c.block < 0 || int(c.block) >= len(p.Blocks) {
+		return false
+	}
+	return c.idx >= 0 && c.idx < len(p.Blocks[c.block].Instrs)
+}
+
+// substReg maps a register of the innermost frame's callee to the machine
+// register it lives in, through every enclosing frame map.
+func (v *validator) substReg(r ir.Reg, frames []Frame) ir.Reg {
+	for i := len(frames) - 1; i >= 0; i-- {
+		r = frames[i].Map[r]
+	}
+	return r
+}
+
+// subst rewrites all of in's register fields through the frame maps —
+// exactly what the inliner's renaming did, including to fields the opcode
+// ignores; the semantic comparison downstream is insensitive to those.
+func (v *validator) subst(in ir.Instr, frames []Frame) ir.Instr {
+	for i := len(frames) - 1; i >= 0; i-- {
+		m := &frames[i].Map
+		in.Rd, in.Rs, in.Rt = m[in.Rd], m[in.Rs], m[in.Rt]
+	}
+	return in
+}
+
+// normalize consumes jump glue and pop glue until the cursor rests on a
+// real instruction or a terminator that needs explicit matching (Br, a
+// depth-0 Ret, Halt). Cycles of bare jumps cannot occur in validated
+// input, but the visited set keeps the walk total on any input.
+func (v *validator) normalize(c cursor) cursor {
+	var seen map[string]bool
+	for {
+		if !v.validPoint(c) {
+			return c
+		}
+		p := v.procAt(c)
+		blk := p.Blocks[c.block]
+		if c.idx < len(blk.Instrs)-1 {
+			return c
+		}
+		term := blk.Instrs[c.idx]
+		switch term.Op {
+		case ir.Jmp:
+			if seen == nil {
+				seen = make(map[string]bool)
+			}
+			k := c.key()
+			if seen[k] {
+				return c
+			}
+			seen[k] = true
+			c = cursor{frames: c.frames, block: blk.Succs[0], idx: 0}
+		case ir.Ret:
+			if len(c.frames) == 0 {
+				return c
+			}
+			f := c.frames[len(c.frames)-1]
+			c = cursor{frames: c.frames[:len(c.frames)-1], block: f.RetBlock, idx: f.RetIdx}
+		default:
+			return c
+		}
+	}
+}
+
+// convergentSkip steps the cursor past a conditional branch whose arms
+// reconverge: if both successors normalize to the same point, the branch
+// is observation-free regardless of the condition and may be consumed.
+func (v *validator) convergentSkip(c cursor) (cursor, bool) {
+	p := v.procAt(c)
+	blk := p.Blocks[c.block]
+	if blk.Instrs[c.idx].Op != ir.Br || len(blk.Succs) != 2 {
+		return cursor{}, false
+	}
+	a0 := v.normalize(cursor{frames: c.frames, block: blk.Succs[0], idx: 0})
+	a1 := v.normalize(cursor{frames: c.frames, block: blk.Succs[1], idx: 0})
+	if v.validPoint(a0) && cursorEqual(a0, a1) {
+		return a0, true
+	}
+	return cursor{}, false
+}
+
+// checkBlock replays one optimized block against the original program
+// from its anchor.
+func (v *validator) checkBlock(bid ir.BlockID) {
+	bw := v.pw.Blocks[bid]
+	blk := v.optProc.Blocks[bid]
+	if !v.anchorOK(bw.Anchor) {
+		v.addf("anchor", int(bid), -1, "anchor %s is not a valid original point", bw.Anchor)
+		return
+	}
+	// Events must be strictly ascending with disjoint prologue ranges that
+	// stay clear of the terminator.
+	prevIdx, prevEnd := -1, 0
+	for _, ev := range bw.Events {
+		if ev.OptIdx <= prevIdx || ev.OptIdx < prevEnd || ev.Prologue < 0 ||
+			ev.OptIdx+ev.Prologue > len(blk.Instrs)-1 {
+			v.addf("witness", int(bid), ev.OptIdx, "inline event range [%d,%d) malformed for a %d-instruction block",
+				ev.OptIdx, ev.OptIdx+ev.Prologue, len(blk.Instrs))
+			return
+		}
+		prevIdx, prevEnd = ev.OptIdx, ev.OptIdx+ev.Prologue
+	}
+
+	c := cursorOf(bw.Anchor)
+	ei := 0
+	for oi := 0; oi < len(blk.Instrs); oi++ {
+		if ei < len(bw.Events) && bw.Events[ei].OptIdx == oi {
+			ev := bw.Events[ei]
+			ei++
+			nc, ok := v.pushSeam(c, ev, blk.Instrs[oi:oi+ev.Prologue], int(bid))
+			if !ok {
+				return
+			}
+			c = nc
+			oi += ev.Prologue - 1 // next iteration resumes after the prologue
+			continue
+		}
+		if oi == len(blk.Instrs)-1 {
+			v.checkTerm(c, blk, int(bid))
+			return
+		}
+		nc, ok := v.matchInstr(c, blk.Instrs[oi], int(bid), oi)
+		if !ok {
+			return
+		}
+		c = nc
+	}
+}
+
+// matchInstr aligns one non-terminator optimized instruction with the
+// original program, consuming glue as needed.
+func (v *validator) matchInstr(c cursor, oin ir.Instr, bid, oi int) (cursor, bool) {
+	var seen map[string]bool
+	for {
+		c = v.normalize(c)
+		if !v.validPoint(c) {
+			v.addf("instr", bid, oi, "original cursor %s out of range", c)
+			return c, false
+		}
+		p := v.procAt(c)
+		blk := p.Blocks[c.block]
+		in := blk.Instrs[c.idx]
+		if c.idx < len(blk.Instrs)-1 {
+			if dataflow.SameEffect(oin, v.subst(in, c.frames)) {
+				c.idx++
+				return c, true
+			}
+			v.addf("instr", bid, oi, "%s does not match original %s at %s", oin.Op, in.Op, c)
+			return c, false
+		}
+		// The cursor rests on a terminator normalize would not consume. A
+		// reconvergent branch (demoted and merged away) may be skipped;
+		// anything else means the optimized block dropped an instruction.
+		if in.Op == ir.Br {
+			if nc, ok := v.convergentSkip(c); ok {
+				if seen == nil {
+					seen = make(map[string]bool)
+				}
+				k := nc.key()
+				if !seen[k] {
+					seen[k] = true
+					c = nc
+					continue
+				}
+			}
+		}
+		v.addf("instr", bid, oi, "%s has no original counterpart: cursor stopped at %s (%s)", oin.Op, c, in.Op)
+		return c, false
+	}
+}
+
+// checkTerm verifies the optimized block's terminator transfers control to
+// points whose anchors the original program provably reaches.
+func (v *validator) checkTerm(c cursor, blk *ir.Block, bid int) {
+	ti := len(blk.Instrs) - 1
+	term := blk.Instrs[ti]
+	switch term.Op {
+	case ir.Jmp:
+		target := cursorOf(v.pw.Blocks[blk.Succs[0]].Anchor)
+		if !v.anchorOK(v.pw.Blocks[blk.Succs[0]].Anchor) {
+			v.addf("anchor", int(blk.Succs[0]), -1, "anchor %s is not a valid original point", v.pw.Blocks[blk.Succs[0]].Anchor)
+			return
+		}
+		if !v.reaches(c, target) {
+			v.addf("term", bid, ti, "jump target anchored at %s unreachable from %s", target, c)
+		}
+	case ir.Ret:
+		if !v.reachesTerm(c, ir.Ret) {
+			v.addf("term", bid, ti, "return has no original return reachable from %s", c)
+		}
+	case ir.Halt:
+		if !v.reachesTerm(c, ir.Halt) {
+			v.addf("term", bid, ti, "halt has no original halt reachable from %s", c)
+		}
+	case ir.Br:
+		v.checkBr(c, blk, bid, ti, term)
+	default:
+		v.addf("term", bid, ti, "unexpected terminator %s", term.Op)
+	}
+}
+
+// checkBr finds the original conditional branch the optimized one
+// implements: same condition register under substitution, each arm
+// reaching the corresponding successor's anchor. Reconvergent branches in
+// between are consumed as glue; a condition-matching branch whose arms do
+// not line up may itself be reconvergent, so the search continues past it.
+func (v *validator) checkBr(c cursor, blk *ir.Block, bid, ti int, term ir.Instr) {
+	for s := 0; s < 2; s++ {
+		if !v.anchorOK(v.pw.Blocks[blk.Succs[s]].Anchor) {
+			v.addf("anchor", int(blk.Succs[s]), -1, "anchor %s is not a valid original point", v.pw.Blocks[blk.Succs[s]].Anchor)
+			return
+		}
+	}
+	t0 := cursorOf(v.pw.Blocks[blk.Succs[0]].Anchor)
+	t1 := cursorOf(v.pw.Blocks[blk.Succs[1]].Anchor)
+	var seen map[string]bool
+	for {
+		c = v.normalize(c)
+		if !v.validPoint(c) {
+			v.addf("term", bid, ti, "original cursor %s out of range", c)
+			return
+		}
+		p := v.procAt(c)
+		oblk := p.Blocks[c.block]
+		in := oblk.Instrs[c.idx]
+		if c.idx == len(oblk.Instrs)-1 && in.Op == ir.Br && len(oblk.Succs) == 2 {
+			if v.substReg(in.Rs, c.frames) == term.Rs {
+				a0 := cursor{frames: c.frames, block: oblk.Succs[0], idx: 0}
+				a1 := cursor{frames: c.frames, block: oblk.Succs[1], idx: 0}
+				if v.reaches(a0, t0) && v.reaches(a1, t1) {
+					return
+				}
+			}
+			if nc, ok := v.convergentSkip(c); ok {
+				if seen == nil {
+					seen = make(map[string]bool)
+				}
+				k := nc.key()
+				if !seen[k] {
+					seen[k] = true
+					c = nc
+					continue
+				}
+			}
+			v.addf("term", bid, ti, "branch on %s has no matching original branch: cursor stopped at %s", term.Rs, c)
+			return
+		}
+		v.addf("term", bid, ti, "branch on %s has no original counterpart: cursor stopped at %s (%s)", term.Rs, c, in.Op)
+		return
+	}
+}
+
+// reaches proves every glue path from start arrives at exactly target.
+// Conditional branches are universally quantified — both arms must reach —
+// because the caller is discharging an unconditional transfer: whatever
+// the machine's register values, the original must land on the target
+// point having performed nothing observable. A Call may be entered
+// ("virtual push") when the target's frame stack names it at this very
+// site and a zero-instruction prologue discharges every seam obligation.
+func (v *validator) reaches(start, target cursor) bool {
+	visited := make(map[string]bool)
+	var rec func(c cursor) bool
+	rec = func(c cursor) bool {
+		for {
+			if cursorEqual(c, target) {
+				return true
+			}
+			if !v.validPoint(c) {
+				return false
+			}
+			k := c.key()
+			if visited[k] {
+				return false
+			}
+			visited[k] = true
+			p := v.procAt(c)
+			blk := p.Blocks[c.block]
+			if d := len(c.frames); d < len(target.frames) && c.idx < len(blk.Instrs)-1 {
+				f := target.frames[d]
+				if slices.Equal(c.frames, target.frames[:d]) &&
+					f.RetBlock == c.block && f.RetIdx == c.idx+1 {
+					in := blk.Instrs[c.idx]
+					if in.Op == ir.Call && int(in.Imm) == f.Callee &&
+						v.pushErr(c, f.Callee, f.Map, nil) == nil {
+						frames := append(slices.Clone(c.frames), f)
+						if rec(cursor{frames: frames, block: 0, idx: 0}) {
+							return true
+						}
+					}
+				}
+			}
+			if c.idx < len(blk.Instrs)-1 {
+				return false // a real instruction is never glue
+			}
+			term := blk.Instrs[c.idx]
+			switch term.Op {
+			case ir.Jmp:
+				c = cursor{frames: c.frames, block: blk.Succs[0], idx: 0}
+			case ir.Ret:
+				if len(c.frames) == 0 {
+					return false
+				}
+				f := c.frames[len(c.frames)-1]
+				c = cursor{frames: c.frames[:len(c.frames)-1], block: f.RetBlock, idx: f.RetIdx}
+			case ir.Br:
+				return rec(cursor{frames: c.frames, block: blk.Succs[0], idx: 0}) &&
+					rec(cursor{frames: c.frames, block: blk.Succs[1], idx: 0})
+			default:
+				return false
+			}
+		}
+	}
+	return rec(start)
+}
+
+// reachesTerm proves every glue path from start arrives at a depth-0
+// terminator with opcode op (Ret or Halt).
+func (v *validator) reachesTerm(start cursor, op ir.Opcode) bool {
+	visited := make(map[string]bool)
+	var rec func(c cursor) bool
+	rec = func(c cursor) bool {
+		for {
+			if !v.validPoint(c) {
+				return false
+			}
+			k := c.key()
+			if visited[k] {
+				return false
+			}
+			visited[k] = true
+			p := v.procAt(c)
+			blk := p.Blocks[c.block]
+			if c.idx < len(blk.Instrs)-1 {
+				return false
+			}
+			term := blk.Instrs[c.idx]
+			if term.Op == op && len(c.frames) == 0 {
+				return true
+			}
+			switch term.Op {
+			case ir.Jmp:
+				c = cursor{frames: c.frames, block: blk.Succs[0], idx: 0}
+			case ir.Ret:
+				if len(c.frames) == 0 {
+					return false
+				}
+				f := c.frames[len(c.frames)-1]
+				c = cursor{frames: c.frames[:len(c.frames)-1], block: f.RetBlock, idx: f.RetIdx}
+			case ir.Br:
+				return rec(cursor{frames: c.frames, block: blk.Succs[0], idx: 0}) &&
+					rec(cursor{frames: c.frames, block: blk.Succs[1], idx: 0})
+			default:
+				return false
+			}
+		}
+	}
+	return rec(start)
+}

@@ -1,0 +1,214 @@
+package tv
+
+// Textual witness form, the companion to ir.Fprint/ir.Parse: it lets the
+// seeded-miscompile corpus under testdata/ ship (original, optimized,
+// witness) triples as plain text, and makes witnesses diffable in golden
+// tests. Register maps print only their non-identity entries.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pathprof/internal/ir"
+)
+
+// FprintWitness renders w in the syntax ParseWitness reads:
+//
+//	witness <nprocs>
+//	proc <id> blocks <n>
+//	b<id>: [frame <callee> b<RB>:i<RI> {r=r,...}]* anchor b<B>:i<I> [event <opt> <pro> <callee> {r=r,...}]*
+func FprintWitness(sb *strings.Builder, w *ProgramWitness) {
+	fmt.Fprintf(sb, "witness %d\n", len(w.Procs))
+	for id, pw := range w.Procs {
+		fmt.Fprintf(sb, "proc %d blocks %d\n", id, len(pw.Blocks))
+		for bid, bw := range pw.Blocks {
+			fmt.Fprintf(sb, "b%d:", bid)
+			for _, f := range bw.Anchor.Frames {
+				fmt.Fprintf(sb, " frame %d b%d:i%d %s", f.Callee, f.RetBlock, f.RetIdx, mapString(f.Map))
+			}
+			fmt.Fprintf(sb, " anchor b%d:i%d", bw.Anchor.Block, bw.Anchor.Idx)
+			for _, ev := range bw.Events {
+				fmt.Fprintf(sb, " event %d %d %d %s", ev.OptIdx, ev.Prologue, ev.Callee, mapString(ev.Map))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+}
+
+// WitnessString renders w as text.
+func WitnessString(w *ProgramWitness) string {
+	var sb strings.Builder
+	FprintWitness(&sb, w)
+	return sb.String()
+}
+
+func mapString(m [ir.NumRegs]ir.Reg) string {
+	var ks []int
+	for r, t := range m {
+		if ir.Reg(r) != t {
+			ks = append(ks, r)
+		}
+	}
+	sort.Ints(ks)
+	parts := make([]string, len(ks))
+	for i, r := range ks {
+		parts[i] = fmt.Sprintf("%d=%d", r, m[r])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func parseMap(tok string) ([ir.NumRegs]ir.Reg, error) {
+	var m [ir.NumRegs]ir.Reg
+	for r := range m {
+		m[r] = ir.Reg(r)
+	}
+	if !strings.HasPrefix(tok, "{") || !strings.HasSuffix(tok, "}") {
+		return m, fmt.Errorf("malformed register map %q", tok)
+	}
+	body := tok[1 : len(tok)-1]
+	if body == "" {
+		return m, nil
+	}
+	for _, kv := range strings.Split(body, ",") {
+		var r, t int
+		if _, err := fmt.Sscanf(kv, "%d=%d", &r, &t); err != nil {
+			return m, fmt.Errorf("malformed map entry %q", kv)
+		}
+		if r < 0 || r >= ir.NumRegs || t < 0 {
+			return m, fmt.Errorf("map entry %q out of range", kv)
+		}
+		m[r] = ir.Reg(t)
+	}
+	return m, nil
+}
+
+// ParseWitness reads the form FprintWitness emits. It checks syntax only;
+// semantic shape errors are Validate's job (and are themselves findings,
+// never panics).
+func ParseWitness(r io.Reader) (*ProgramWitness, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("witness line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	s, ok := next()
+	if !ok {
+		return nil, errf("empty witness")
+	}
+	var nprocs int
+	if _, err := fmt.Sscanf(s, "witness %d", &nprocs); err != nil || nprocs < 0 {
+		return nil, errf("want %q header, got %q", "witness <nprocs>", s)
+	}
+	w := &ProgramWitness{Procs: make([]ProcWitness, nprocs)}
+	for pi := 0; pi < nprocs; pi++ {
+		s, ok = next()
+		if !ok {
+			return nil, errf("missing proc %d", pi)
+		}
+		var id, nblocks int
+		if _, err := fmt.Sscanf(s, "proc %d blocks %d", &id, &nblocks); err != nil || id != pi || nblocks < 0 {
+			return nil, errf("want %q, got %q", fmt.Sprintf("proc %d blocks <n>", pi), s)
+		}
+		pw := ProcWitness{Blocks: make([]BlockWitness, nblocks)}
+		for bi := 0; bi < nblocks; bi++ {
+			s, ok = next()
+			if !ok {
+				return nil, errf("missing block %d of proc %d", bi, pi)
+			}
+			bw, err := parseBlockWitness(s, bi)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			pw.Blocks[bi] = bw
+		}
+		w.Procs[pi] = pw
+	}
+	return w, nil
+}
+
+// ParseWitnessString is ParseWitness over a string.
+func ParseWitnessString(s string) (*ProgramWitness, error) {
+	return ParseWitness(strings.NewReader(s))
+}
+
+func parseBlockWitness(s string, bi int) (BlockWitness, error) {
+	var bw BlockWitness
+	toks := strings.Fields(s)
+	if len(toks) == 0 || toks[0] != fmt.Sprintf("b%d:", bi) {
+		return bw, fmt.Errorf("want block header %q, got %q", fmt.Sprintf("b%d:", bi), s)
+	}
+	toks = toks[1:]
+	anchored := false
+	for len(toks) > 0 {
+		switch toks[0] {
+		case "frame":
+			if anchored || len(toks) < 4 {
+				return bw, fmt.Errorf("malformed frame in %q", s)
+			}
+			var f Frame
+			if _, err := fmt.Sscanf(toks[1], "%d", &f.Callee); err != nil {
+				return bw, fmt.Errorf("malformed frame callee %q", toks[1])
+			}
+			var rb, ri int
+			if _, err := fmt.Sscanf(toks[2], "b%d:i%d", &rb, &ri); err != nil {
+				return bw, fmt.Errorf("malformed frame return point %q", toks[2])
+			}
+			f.RetBlock, f.RetIdx = ir.BlockID(rb), ri
+			m, err := parseMap(toks[3])
+			if err != nil {
+				return bw, err
+			}
+			f.Map = m
+			bw.Anchor.Frames = append(bw.Anchor.Frames, f)
+			toks = toks[4:]
+		case "anchor":
+			if anchored || len(toks) < 2 {
+				return bw, fmt.Errorf("malformed anchor in %q", s)
+			}
+			var b, i int
+			if _, err := fmt.Sscanf(toks[1], "b%d:i%d", &b, &i); err != nil {
+				return bw, fmt.Errorf("malformed anchor point %q", toks[1])
+			}
+			bw.Anchor.Block, bw.Anchor.Idx = ir.BlockID(b), i
+			anchored = true
+			toks = toks[2:]
+		case "event":
+			if !anchored || len(toks) < 5 {
+				return bw, fmt.Errorf("malformed event in %q", s)
+			}
+			var ev InlineEvent
+			if _, err := fmt.Sscanf(toks[1]+" "+toks[2]+" "+toks[3], "%d %d %d",
+				&ev.OptIdx, &ev.Prologue, &ev.Callee); err != nil {
+				return bw, fmt.Errorf("malformed event fields in %q", s)
+			}
+			m, err := parseMap(toks[4])
+			if err != nil {
+				return bw, err
+			}
+			ev.Map = m
+			bw.Events = append(bw.Events, ev)
+			toks = toks[5:]
+		default:
+			return bw, fmt.Errorf("unexpected token %q in %q", toks[0], s)
+		}
+	}
+	if !anchored {
+		return bw, fmt.Errorf("block %d has no anchor", bi)
+	}
+	return bw, nil
+}
